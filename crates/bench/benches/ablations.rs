@@ -1,0 +1,233 @@
+//! Ablation benchmarks for the session's extension features:
+//!
+//! * **Widening-delay sweep** — demanded fixed-point cost as a function of
+//!   `FixStrategy::widen_delay` (precision is paid for in unrollings;
+//!   footnote 4's "other widening strategies");
+//! * **Convergence mode** — `=` vs `⊑` convergence checking on loops;
+//! * **Memo capacity sweep** — warm re-analysis cost vs the memo table's
+//!   capacity bound, quantifying the paper's §2.2 memory/reuse trade
+//!   ("sound to drop cached results … trading efficiency of reuse for a
+//!   lower memory footprint");
+//! * **Interprocedural policy** — call-string contexts vs functional
+//!   (entry-keyed summary) analysis on a call-heavy program, including
+//!   the incremental re-query after a leaf edit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dai_core::analysis::FuncAnalysis;
+use dai_core::interproc::{ContextPolicy, InterAnalyzer};
+use dai_core::query::{IntraResolver, QueryStats};
+use dai_core::strategy::{Convergence, FixStrategy};
+use dai_core::summaries::SummaryAnalyzer;
+use dai_domains::IntervalDomain;
+use dai_lang::cfg::{lower_program, Cfg, LoweredProgram};
+use dai_lang::parser::parse_program;
+use dai_memo::MemoTable;
+use std::hint::black_box;
+
+/// A function with several bounded loops (trip counts 10/20/30), where the
+/// widening delay visibly trades unrollings for precision.
+fn loopy_cfg() -> Cfg {
+    let src = "function f(n) {
+        var a = 0; var b = 0; var c = 0;
+        while (a < 10) { a = a + 1; }
+        while (b < 20) { b = b + 1; }
+        while (c < 30) { c = c + 1; }
+        return a + b + c;
+    }";
+    lower_program(&parse_program(src).unwrap()).unwrap().cfgs()[0].clone()
+}
+
+fn bench_widen_delay_sweep(c: &mut Criterion) {
+    let cfg = loopy_cfg();
+    let mut group = c.benchmark_group("ablation/widen_delay");
+    for delay in [0u32, 2, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(delay), &delay, |b, &delay| {
+            b.iter(|| {
+                let mut fa = FuncAnalysis::with_strategy(
+                    cfg.clone(),
+                    IntervalDomain::top(),
+                    FixStrategy::delayed(delay),
+                );
+                let mut memo = MemoTable::new();
+                let mut stats = QueryStats::default();
+                black_box(
+                    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence_mode(c: &mut Criterion) {
+    let cfg = loopy_cfg();
+    let mut group = c.benchmark_group("ablation/convergence");
+    for (label, mode) in [("equal", Convergence::Equal), ("leq", Convergence::Leq)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut fa = FuncAnalysis::with_strategy(
+                    cfg.clone(),
+                    IntervalDomain::top(),
+                    FixStrategy::PAPER.with_convergence(mode),
+                );
+                let mut memo = MemoTable::new();
+                let mut stats = QueryStats::default();
+                black_box(
+                    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Warm-memo re-analysis: dirty everything, re-query with a memo table
+/// that survived — the capacity bound decides how much `Q-Match` can
+/// recover (at the limit, a fresh table every time = pure recompute).
+fn bench_memo_capacity_sweep(c: &mut Criterion) {
+    let cfg = loopy_cfg();
+    let mut group = c.benchmark_group("ablation/memo_capacity");
+    let capacities: [(&str, Option<usize>); 4] = [
+        ("unbounded", None),
+        ("1024", Some(1024)),
+        ("64", Some(64)),
+        ("4", Some(4)),
+    ];
+    for (label, cap) in capacities {
+        group.bench_function(label, |b| {
+            let mut fa = FuncAnalysis::new(cfg.clone(), IntervalDomain::top());
+            let mut memo = match cap {
+                None => MemoTable::new(),
+                Some(k) => MemoTable::with_capacity_limit(k),
+            };
+            // Prime the table once.
+            let mut stats = QueryStats::default();
+            fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                .unwrap();
+            b.iter(|| {
+                fa.dirty_everything();
+                let mut stats = QueryStats::default();
+                black_box(
+                    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A call-heavy program: three layers of helpers, each called from
+/// several sites with a mix of repeated and distinct constant arguments
+/// (so summaries get both hits and misses).
+fn call_heavy_program() -> LoweredProgram {
+    let src = r#"
+        function leaf(z) { var t = 0; while (t < z) { t = t + 1; } return t; }
+        function mid(y) { var a = leaf(y); var b = leaf(5); return a + b; }
+        function top_(x) { var a = mid(x); var b = mid(7); return a + b; }
+        function main() {
+            var r0 = top_(3);
+            var r1 = top_(3);
+            var r2 = top_(9);
+            var r3 = mid(7);
+            var r4 = leaf(5);
+            return r0 + r1 + r2 + r3 + r4;
+        }
+    "#;
+    lower_program(&parse_program(src).unwrap()).unwrap()
+}
+
+fn bench_interproc_policy(c: &mut Criterion) {
+    let program = call_heavy_program();
+    let exit = program.by_name("main").unwrap().exit();
+    let mut group = c.benchmark_group("ablation/interproc");
+    for (label, policy) in [
+        ("insensitive", ContextPolicy::Insensitive),
+        ("1cs", ContextPolicy::CallString(1)),
+        ("2cs", ContextPolicy::CallString(2)),
+    ] {
+        group.bench_function(format!("callstring_{label}"), |b| {
+            b.iter(|| {
+                let mut an = InterAnalyzer::<IntervalDomain>::new(
+                    program.clone(),
+                    policy,
+                    "main",
+                    IntervalDomain::top(),
+                );
+                black_box(an.query_joined("main", exit).unwrap())
+            })
+        });
+    }
+    group.bench_function("functional", |b| {
+        b.iter(|| {
+            let mut an = SummaryAnalyzer::<IntervalDomain>::new(
+                program.clone(),
+                "main",
+                IntervalDomain::top(),
+            );
+            black_box(an.query_joined("main", exit).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Incremental re-query after editing the leaf procedure: the functional
+/// analyzer drops only the summaries that can observe the edit, while the
+/// call-string layer conservatively resets callee entries.
+fn bench_interproc_edit_requery(c: &mut Criterion) {
+    let program = call_heavy_program();
+    let exit = program.by_name("main").unwrap().exit();
+    let leaf_ret = program
+        .by_name("leaf")
+        .unwrap()
+        .edges()
+        .find(|e| e.stmt.to_string().contains("__ret"))
+        .unwrap()
+        .id;
+    let alt = |k: u64| {
+        dai_lang::Stmt::Assign(
+            dai_lang::RETURN_VAR.into(),
+            dai_lang::parse_expr(&format!("t + {k}")).unwrap(),
+        )
+    };
+    let mut group = c.benchmark_group("ablation/interproc_edit");
+    group.bench_function("callstring_2cs", |b| {
+        let mut an = InterAnalyzer::<IntervalDomain>::new(
+            program.clone(),
+            ContextPolicy::CallString(2),
+            "main",
+            IntervalDomain::top(),
+        );
+        let _ = an.query_joined("main", exit).unwrap();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            an.relabel("leaf", leaf_ret, alt(k % 17)).unwrap();
+            black_box(an.query_joined("main", exit).unwrap())
+        })
+    });
+    group.bench_function("functional", |b| {
+        let mut an =
+            SummaryAnalyzer::<IntervalDomain>::new(program.clone(), "main", IntervalDomain::top());
+        let _ = an.query_joined("main", exit).unwrap();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            an.relabel("leaf", leaf_ret, alt(k % 17)).unwrap();
+            black_box(an.query_joined("main", exit).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_widen_delay_sweep,
+    bench_convergence_mode,
+    bench_memo_capacity_sweep,
+    bench_interproc_policy,
+    bench_interproc_edit_requery,
+);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Criterion micro-benchmarks for core DAIG operations: initial
+//! construction, demand-driven queries (cold and warm), edit dirtying and
+//! re-query, and demanded unrolling — the ablation set for the design
+//! choices called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dai_core::analysis::FuncAnalysis;
+use dai_core::query::{IntraResolver, QueryStats};
+use dai_domains::IntervalDomain;
+use dai_lang::cfg::lower_program;
+use dai_lang::parser::{parse_block, parse_program};
+use dai_lang::Stmt;
+use dai_memo::MemoTable;
+use std::hint::black_box;
+
+/// A mid-sized function: straight-line arithmetic, branches, and loops.
+fn subject_src(chain: usize) -> String {
+    let mut body = String::from("var x = 0; var y = 1;\n");
+    for i in 0..chain {
+        body.push_str(&format!("x = x + {};\n", i % 7));
+        if i % 10 == 5 {
+            body.push_str("if (x > 50) { y = y + 1; } else { y = y - 1; }\n");
+        }
+        if i % 25 == 20 {
+            body.push_str("var j = 0; while (j < 10) { j = j + 1; }\n");
+        }
+    }
+    body.push_str("return x + y;\n");
+    format!("function f() {{ {body} }}")
+}
+
+fn subject(chain: usize) -> FuncAnalysis<IntervalDomain> {
+    let cfg = lower_program(&parse_program(&subject_src(chain)).unwrap())
+        .unwrap()
+        .cfgs()[0]
+        .clone();
+    FuncAnalysis::new(cfg, IntervalDomain::top())
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let cfg = lower_program(&parse_program(&subject_src(200)).unwrap())
+        .unwrap()
+        .cfgs()[0]
+        .clone();
+    c.bench_function("daig/initial_construction_200", |b| {
+        b.iter(|| {
+            black_box(dai_core::build::initial_daig::<IntervalDomain>(
+                &cfg,
+                IntervalDomain::top(),
+            ))
+        })
+    });
+}
+
+fn bench_query_cold_vs_warm(c: &mut Criterion) {
+    c.bench_function("daig/query_cold_200", |b| {
+        b.iter_batched(
+            || (subject(200), MemoTable::new()),
+            |(mut fa, mut memo)| {
+                let mut stats = QueryStats::default();
+                black_box(
+                    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                        .unwrap(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("daig/query_warm_200", |b| {
+        let mut fa = subject(200);
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap();
+        b.iter(|| {
+            let mut stats = QueryStats::default();
+            black_box(
+                fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                    .unwrap(),
+            )
+        })
+    });
+    // Warm memo table, cold cells: the Q-Match path.
+    c.bench_function("daig/query_memo_match_200", |b| {
+        let mut warm_memo = MemoTable::new();
+        {
+            let mut fa = subject(200);
+            let mut stats = QueryStats::default();
+            fa.query_exit(&mut warm_memo, &mut IntraResolver, &mut stats)
+                .unwrap();
+        }
+        b.iter_batched(
+            || (subject(200), warm_memo.clone()),
+            |(mut fa, mut memo)| {
+                let mut stats = QueryStats::default();
+                black_box(
+                    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                        .unwrap(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_edit_and_requery(c: &mut Criterion) {
+    c.bench_function("daig/relabel_dirty_requery_200", |b| {
+        let mut fa = subject(200);
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap();
+        // Relabel an edge near the end: small dirty region.
+        let edge = fa
+            .cfg()
+            .edges()
+            .filter(|e| e.stmt.to_string().starts_with("x = x +"))
+            .last()
+            .unwrap()
+            .id;
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let k = if flip { 3 } else { 4 };
+            fa.relabel(
+                edge,
+                Stmt::Assign(
+                    "x".into(),
+                    dai_lang::parse_expr(&format!("x + {k}")).unwrap(),
+                ),
+            )
+            .unwrap();
+            let mut stats = QueryStats::default();
+            black_box(
+                fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("daig/splice_dirty_requery_200", |b| {
+        let mut fa = subject(200);
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap();
+        let block = parse_block("y = y + 1;").unwrap();
+        b.iter(|| {
+            let edge = fa
+                .cfg()
+                .edges()
+                .find(|e| e.stmt.to_string().contains("__ret"))
+                .unwrap()
+                .id;
+            fa.splice(edge, &block).unwrap();
+            let mut stats = QueryStats::default();
+            black_box(
+                fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_demanded_unrolling(c: &mut Criterion) {
+    // A loop whose analysis needs several abstract iterations before
+    // widening converges: measures unroll cost.
+    let src =
+        "function f(n) { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1; } return s; }";
+    let cfg = lower_program(&parse_program(src).unwrap()).unwrap().cfgs()[0].clone();
+    c.bench_function("daig/loop_fixpoint_with_unrolling", |b| {
+        b.iter_batched(
+            || FuncAnalysis::new(cfg.clone(), IntervalDomain::top()),
+            |mut fa| {
+                let mut memo = MemoTable::new();
+                let mut stats = QueryStats::default();
+                black_box(
+                    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                        .unwrap(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_query_cold_vs_warm,
+    bench_edit_and_requery,
+    bench_demanded_unrolling
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the three abstract domains' operator
+//! costs (transfer, join, widen, equality) — the constants that determine
+//! the absolute analysis latencies in Fig. 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain, ShapeDomain};
+use dai_lang::{parse_expr, Stmt};
+use std::hint::black_box;
+
+fn interval_states() -> (IntervalDomain, IntervalDomain) {
+    let mut a = IntervalDomain::top();
+    let mut b = IntervalDomain::top();
+    for i in 0..12 {
+        a = a.transfer(&Stmt::Assign(
+            format!("v{i}").into(),
+            parse_expr(&format!("{i} * 3")).unwrap(),
+        ));
+        b = b.transfer(&Stmt::Assign(
+            format!("v{i}").into(),
+            parse_expr(&format!("{i} + 100")).unwrap(),
+        ));
+    }
+    (a, b)
+}
+
+fn octagon_states() -> (OctagonDomain, OctagonDomain) {
+    let mut a = OctagonDomain::top();
+    let mut b = OctagonDomain::top();
+    for i in 0..10 {
+        a = a.transfer(&Stmt::Assign(
+            format!("v{i}").into(),
+            parse_expr(&format!("v{} + {i}", i.max(1) - 1)).unwrap(),
+        ));
+        b = b.transfer(&Stmt::Assign(
+            format!("v{i}").into(),
+            parse_expr("7").unwrap(),
+        ));
+    }
+    (a, b)
+}
+
+fn shape_states() -> (ShapeDomain, ShapeDomain) {
+    let a = ShapeDomain::with_lists(&["p", "q"]);
+    let b = a
+        .transfer(&Stmt::Assume(parse_expr("p != null").unwrap()))
+        .transfer(&Stmt::Assign("r".into(), parse_expr("p.next").unwrap()));
+    (a, b)
+}
+
+fn bench_interval(c: &mut Criterion) {
+    let (a, b) = interval_states();
+    let stmt = Stmt::Assign("x".into(), parse_expr("v3 * v4 + 2").unwrap());
+    c.bench_function("domain/interval/transfer", |bch| {
+        bch.iter(|| black_box(a.transfer(&stmt)))
+    });
+    c.bench_function("domain/interval/join", |bch| {
+        bch.iter(|| black_box(a.join(&b)))
+    });
+    c.bench_function("domain/interval/widen", |bch| {
+        bch.iter(|| black_box(a.widen(&b)))
+    });
+    c.bench_function("domain/interval/eq", |bch| bch.iter(|| black_box(a == b)));
+}
+
+fn bench_octagon(c: &mut Criterion) {
+    let (a, b) = octagon_states();
+    let stmt = Stmt::Assign("x".into(), parse_expr("v3 + 1").unwrap());
+    let guard = Stmt::Assume(parse_expr("v2 < v5").unwrap());
+    c.bench_function("domain/octagon/transfer_linear", |bch| {
+        bch.iter(|| black_box(a.transfer(&stmt)))
+    });
+    c.bench_function("domain/octagon/assume_relational", |bch| {
+        bch.iter(|| black_box(a.transfer(&guard)))
+    });
+    c.bench_function("domain/octagon/join_with_closure", |bch| {
+        bch.iter(|| black_box(a.join(&b)))
+    });
+    c.bench_function("domain/octagon/widen", |bch| {
+        bch.iter(|| black_box(a.widen(&b)))
+    });
+}
+
+fn bench_shape(c: &mut Criterion) {
+    let (a, b) = shape_states();
+    let guard = Stmt::Assume(parse_expr("p.next != null").unwrap());
+    c.bench_function("domain/shape/materializing_assume", |bch| {
+        bch.iter(|| black_box(a.transfer(&guard)))
+    });
+    c.bench_function("domain/shape/join", |bch| {
+        bch.iter(|| black_box(a.join(&b)))
+    });
+    c.bench_function("domain/shape/widen_canonicalize", |bch| {
+        bch.iter(|| black_box(a.widen(&b)))
+    });
+}
+
+criterion_group!(benches, bench_interval, bench_octagon, bench_shape);
+criterion_main!(benches);

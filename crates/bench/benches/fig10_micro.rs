@@ -1,0 +1,54 @@
+//! A Criterion-sized slice of the Fig. 10 workload: per-configuration
+//! cost of one edit + five queries on a grown program. The full figure is
+//! produced by the `fig10` binary; this bench tracks regressions in the
+//! four configurations' relative costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dai_bench::workload::Workload;
+use dai_core::driver::{Config, Driver};
+use dai_core::interproc::ContextPolicy;
+use dai_domains::OctagonDomain;
+use std::hint::black_box;
+
+/// Grows a program with `n` edits under the cheapest configuration, then
+/// returns the edit stream state for measurement.
+fn grown_driver(config: Config, grow: usize, seed: u64) -> (Driver<OctagonDomain>, Workload) {
+    let mut driver = Driver::new(
+        config,
+        Workload::initial_program(),
+        ContextPolicy::Insensitive,
+        "main",
+        OctagonDomain::top(),
+    );
+    let mut gen = Workload::new(seed);
+    for _ in 0..grow {
+        let edit = gen.next_edit(driver.analyzer().program());
+        driver.apply_edit(&edit).expect("edit applies");
+        // Demand-driven configs answer queries between edits.
+        for (f, loc) in gen.next_queries(driver.analyzer().program(), 2) {
+            let _ = driver.query(f.as_str(), loc).expect("query succeeds");
+        }
+    }
+    (driver, gen)
+}
+
+fn bench_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_micro/edit_plus_queries");
+    group.sample_size(10);
+    for config in Config::ALL {
+        group.bench_function(config.label(), |b| {
+            let (mut driver, mut gen) = grown_driver(config, 40, 0xF16);
+            b.iter(|| {
+                let edit = gen.next_edit(driver.analyzer().program());
+                driver.apply_edit(&edit).expect("edit applies");
+                for (f, loc) in gen.next_queries(driver.analyzer().program(), 5) {
+                    black_box(driver.query(f.as_str(), loc).expect("query succeeds"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configs);
+criterion_main!(benches);

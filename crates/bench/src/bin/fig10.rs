@@ -1,0 +1,93 @@
+//! Regenerates Fig. 10: the scalability comparison of the four analysis
+//! configurations on the §7.3 synthetic workload (octagon domain,
+//! context-insensitive, interleaved random edits and queries).
+//!
+//! Prints the summary statistics table (always), and optionally the CDF
+//! (`--cdf`) and the per-sample scatter data (`--scatter`, CSV). Use
+//! `--edits 3000 --trials 9` for the paper-scale run.
+
+use dai_bench::harness::{cdf, format_summary, run_fig10, summarize, Fig10Params};
+use std::env;
+
+fn main() {
+    let mut params = Fig10Params::default();
+    let mut show_cdf = false;
+    let mut show_scatter = false;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--edits" => {
+                params.edits = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--edits needs a number"));
+            }
+            "--trials" => {
+                params.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--trials needs a number"));
+            }
+            "--queries" => {
+                params.queries_per_edit = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--queries needs a number"));
+            }
+            "--cdf" => show_cdf = true,
+            "--scatter" => show_scatter = true,
+            "--help" | "-h" => {
+                println!(
+                    "fig10 [--edits N] [--trials T] [--queries Q] [--cdf] [--scatter]\n\
+                     Reproduces Fig. 10 of 'Demanded Abstract Interpretation' (PLDI 2021).\n\
+                     Paper-scale: --edits 3000 --trials 9 --queries 5"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    eprintln!(
+        "fig10: {} edits x {} trials, {} queries/edit, 4 configurations \
+         (octagon, context-insensitive)",
+        params.edits, params.trials, params.queries_per_edit
+    );
+    let samples = run_fig10(params);
+
+    println!("== Fig. 10 summary table (per-configuration latency) ==");
+    print!("{}", format_summary(&summarize(&samples)));
+
+    if show_cdf {
+        println!("\n== Fig. 10 CDF (fraction of runs completed within t) ==");
+        println!("config,t_ms,fraction");
+        for p in cdf(&samples, 40) {
+            println!(
+                "{},{:.3},{:.4}",
+                p.config.label(),
+                p.upto.as_secs_f64() * 1e3,
+                p.fraction
+            );
+        }
+    }
+
+    if show_scatter {
+        println!("\n== Fig. 10 scatter data (program size vs latency) ==");
+        println!("config,trial,edit,program_size,latency_ms");
+        for s in &samples {
+            println!(
+                "{},{},{},{},{:.3}",
+                s.config.label(),
+                s.trial,
+                s.edit_index,
+                s.program_size,
+                s.latency.as_secs_f64() * 1e3
+            );
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("fig10: {msg}");
+    std::process::exit(2);
+}

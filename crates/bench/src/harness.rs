@@ -1,0 +1,298 @@
+//! The Fig. 10 measurement harness.
+//!
+//! Runs the four analysis configurations over identical interleaved
+//! edit/query streams (octagon domain, context-insensitive — §7.3) and
+//! collects per-execution latencies:
+//!
+//! * exhaustive configurations (batch, incremental): one *analysis
+//!   execution* per edit;
+//! * demand-driven configurations: one sample per query (five queries per
+//!   edit).
+//!
+//! From the samples the harness derives the three artifacts of Fig. 10:
+//! per-configuration scatter series (program size vs. latency), the
+//! latency CDF, and the summary table (mean / p50 / p90 / p95 / p99).
+
+use crate::workload::Workload;
+use dai_core::driver::{Config, Driver};
+use dai_core::interproc::ContextPolicy;
+use dai_domains::OctagonDomain;
+use std::time::{Duration, Instant};
+
+/// Parameters of a Fig. 10 run. The paper uses 3,000 edits × 9 trials;
+/// the defaults here are scaled down so the full four-configuration sweep
+/// finishes in CI-scale time (pass `--edits 3000 --trials 9` to the
+/// `fig10` binary for the paper-scale run).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Params {
+    /// Edits per trial.
+    pub edits: usize,
+    /// Trials (each with a distinct fixed seed).
+    pub trials: u64,
+    /// Queries between consecutive edits (the paper uses 5).
+    pub queries_per_edit: usize,
+}
+
+impl Default for Fig10Params {
+    fn default() -> Fig10Params {
+        Fig10Params {
+            edits: 150,
+            trials: 3,
+            queries_per_edit: 5,
+        }
+    }
+}
+
+/// One latency sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Which configuration produced it.
+    pub config: Config,
+    /// Trial seed.
+    pub trial: u64,
+    /// Edit index within the trial.
+    pub edit_index: usize,
+    /// Program size (total CFG edges) at measurement time.
+    pub program_size: usize,
+    /// Measured latency.
+    pub latency: Duration,
+}
+
+/// Runs one configuration over one trial's edit stream.
+pub fn run_trial(config: Config, seed: u64, params: Fig10Params) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let program = Workload::initial_program();
+    let mut driver: Driver<OctagonDomain> = Driver::new(
+        config,
+        program,
+        ContextPolicy::Insensitive,
+        "main",
+        OctagonDomain::top(),
+    );
+    let mut gen = Workload::new(seed);
+    for edit_index in 0..params.edits {
+        let edit = gen.next_edit(driver.analyzer().program());
+        let t0 = Instant::now();
+        driver
+            .apply_edit(&edit)
+            .expect("workload edits are well-formed");
+        let edit_latency = t0.elapsed();
+        let size = driver.program_size();
+        match config {
+            Config::Batch | Config::Incremental => {
+                // One analysis execution per edit; queries are lookups and
+                // are folded into the execution sample.
+                samples.push(Sample {
+                    config,
+                    trial: seed,
+                    edit_index,
+                    program_size: size,
+                    latency: edit_latency,
+                });
+                for (f, loc) in
+                    gen.next_queries(driver.analyzer().program(), params.queries_per_edit)
+                {
+                    let _ = driver.query(f.as_str(), loc).expect("query succeeds");
+                }
+            }
+            Config::DemandDriven | Config::IncrementalDemandDriven => {
+                for (f, loc) in
+                    gen.next_queries(driver.analyzer().program(), params.queries_per_edit)
+                {
+                    let q0 = Instant::now();
+                    let _ = driver.query(f.as_str(), loc).expect("query succeeds");
+                    samples.push(Sample {
+                        config,
+                        trial: seed,
+                        edit_index,
+                        program_size: size,
+                        latency: q0.elapsed(),
+                    });
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// Runs all four configurations over all trials.
+pub fn run_fig10(params: Fig10Params) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for config in Config::ALL {
+        for trial in 0..params.trials {
+            samples.extend(run_trial(config, 0xDA1 + trial, params));
+        }
+    }
+    samples
+}
+
+/// Summary statistics for one configuration (the Fig. 10 table row).
+#[derive(Debug, Clone, Copy)]
+pub struct SummaryRow {
+    /// Configuration.
+    pub config: Config,
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+}
+
+/// Computes the Fig. 10 summary table from samples.
+pub fn summarize(samples: &[Sample]) -> Vec<SummaryRow> {
+    Config::ALL
+        .iter()
+        .filter_map(|&config| {
+            let mut lats: Vec<Duration> = samples
+                .iter()
+                .filter(|s| s.config == config)
+                .map(|s| s.latency)
+                .collect();
+            if lats.is_empty() {
+                return None;
+            }
+            lats.sort();
+            let total: Duration = lats.iter().sum();
+            let pick = |q: f64| {
+                let idx = ((lats.len() as f64 - 1.0) * q).round() as usize;
+                lats[idx.min(lats.len() - 1)]
+            };
+            Some(SummaryRow {
+                config,
+                count: lats.len(),
+                mean: total / lats.len() as u32,
+                p50: pick(0.50),
+                p90: pick(0.90),
+                p95: pick(0.95),
+                p99: pick(0.99),
+            })
+        })
+        .collect()
+}
+
+/// One CDF point: the fraction of samples completing within `upto`.
+#[derive(Debug, Clone, Copy)]
+pub struct CdfPoint {
+    /// Configuration.
+    pub config: Config,
+    /// Time bound.
+    pub upto: Duration,
+    /// Fraction of samples with latency ≤ `upto`.
+    pub fraction: f64,
+}
+
+/// Computes a CDF over a logarithmic time grid (the Fig. 10 distribution
+/// plot).
+pub fn cdf(samples: &[Sample], points: usize) -> Vec<CdfPoint> {
+    let max = samples
+        .iter()
+        .map(|s| s.latency)
+        .max()
+        .unwrap_or(Duration::from_micros(1));
+    let max_us = (max.as_micros() + 1).max(1) as f64;
+    let grid: Vec<Duration> = (0..points)
+        .map(|i| {
+            let t = (i + 1) as f64 / points as f64;
+            Duration::from_micros(max_us.powf(t).round() as u64)
+        })
+        .collect();
+    let mut out = Vec::new();
+    for &config in &Config::ALL {
+        let lats: Vec<Duration> = samples
+            .iter()
+            .filter(|s| s.config == config)
+            .map(|s| s.latency)
+            .collect();
+        if lats.is_empty() {
+            continue;
+        }
+        for &upto in &grid {
+            let n = lats.iter().filter(|&&l| l <= upto).count();
+            out.push(CdfPoint {
+                config,
+                upto,
+                fraction: n as f64 / lats.len() as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the summary table in the paper's format.
+pub fn format_summary(rows: &[SummaryRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Analysis Time (ms)\n");
+    s.push_str(&format!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "config", "n", "mean", "p50", "p90", "p95", "p99"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            r.config.label(),
+            r.count,
+            r.mean.as_secs_f64() * 1e3,
+            r.p50.as_secs_f64() * 1e3,
+            r.p90.as_secs_f64() * 1e3,
+            r.p95.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_expected_sample_counts() {
+        let params = Fig10Params {
+            edits: 5,
+            trials: 1,
+            queries_per_edit: 2,
+        };
+        let samples = run_fig10(params);
+        let count = |c: Config| samples.iter().filter(|s| s.config == c).count();
+        // Exhaustive configs: one sample per edit; demand: one per query.
+        assert_eq!(count(Config::Batch), 5);
+        assert_eq!(count(Config::Incremental), 5);
+        assert_eq!(count(Config::DemandDriven), 10);
+        assert_eq!(count(Config::IncrementalDemandDriven), 10);
+    }
+
+    #[test]
+    fn summary_and_cdf_cover_all_configs() {
+        let params = Fig10Params {
+            edits: 4,
+            trials: 1,
+            queries_per_edit: 1,
+        };
+        let samples = run_fig10(params);
+        let rows = summarize(&samples);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.p50 <= r.p99);
+            assert!(r.count > 0);
+        }
+        let cdf_points = cdf(&samples, 10);
+        assert!(cdf_points.len() >= 40);
+        // CDF is monotone per config and ends at 1.0.
+        for &config in &Config::ALL {
+            let pts: Vec<&CdfPoint> = cdf_points.iter().filter(|p| p.config == config).collect();
+            for w in pts.windows(2) {
+                assert!(w[0].fraction <= w[1].fraction + 1e-12);
+            }
+            assert!((pts.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        }
+        let table = format_summary(&rows);
+        assert!(table.contains("incr+dd"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # dai-bench — workloads and experiment harnesses
+//!
+//! Reproduces the evaluation of *Demanded Abstract Interpretation*
+//! (PLDI 2021):
+//!
+//! * [`workload`] — the §7.3 synthetic workload: random edit streams
+//!   (85% statement / 10% `if` / 5% `while` insertions, expressions
+//!   sampled from the grammar) interleaved with random queries;
+//! * [`harness`] — the Fig. 10 measurement pipeline over the four driver
+//!   configurations, producing the scatter series, the latency CDF, and
+//!   the summary statistics table;
+//! * [`buckets`] — the §7.2 interval / context-sensitivity experiment on
+//!   ports of the Buckets.js array functions;
+//! * [`lists`] — the §7.2 shape-analysis experiment (Fig. 1 `append` and
+//!   linked-list utilities).
+
+pub mod buckets;
+pub mod harness;
+pub mod lists;
+pub mod workload;

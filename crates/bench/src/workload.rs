@@ -1,0 +1,345 @@
+//! The §7.3 synthetic workload.
+//!
+//! "We created synthetic workloads consisting of 3,000 random edits to an
+//! initially-empty program. Programs are generated in a JavaScript subset
+//! with assignment, arrays, conditional branching, while loops, and
+//! (non-recursive) function calls of the form `x = f(y)`. An 'edit' is an
+//! insertion of a randomly generated statement, if-then-else conditional,
+//! or while loop at a randomly-sampled program location, with 85%, 10%,
+//! and 5% probability respectively. [...] queries are issued at five
+//! randomly-sampled program locations between each edit."
+//!
+//! The generator is deterministic given a seed **and** the evolving
+//! program structure; since every configuration applies the identical edit
+//! stream, re-running with the same seed reproduces the same trial for
+//! each configuration (the paper's "fixed random seeds such that the same
+//! edits … are issued to each configuration").
+
+use dai_core::driver::ProgramEdit;
+use dai_lang::ast::{AstStmt, BinOp, Block, Expr, Function, Program, Stmt};
+use dai_lang::cfg::{lower_program, LoweredProgram};
+use dai_lang::{EdgeId, Loc, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of auxiliary callee functions besides `main`.
+const HELPER_COUNT: usize = 4;
+
+/// Variable pool per function.
+const VAR_POOL: usize = 8;
+
+/// Generates random edits and queries for an evolving program.
+#[derive(Debug)]
+pub struct Workload {
+    rng: StdRng,
+}
+
+impl Workload {
+    /// Creates a workload with a fixed seed.
+    pub fn new(seed: u64) -> Workload {
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The initial program: `main` plus a few helpers, each with a trivial
+    /// body (the paper starts from an initially-empty program; ours has
+    /// the minimal skeleton required for edits to have insertion points).
+    pub fn initial_program() -> LoweredProgram {
+        let mut functions = Vec::new();
+        for i in 0..HELPER_COUNT {
+            functions.push(Function {
+                name: Symbol::new(format!("f{i}")),
+                params: vec![Symbol::new("p")],
+                body: Block(vec![
+                    AstStmt::Simple(Stmt::Assign("x0".into(), Expr::var("p"))),
+                    AstStmt::Return(Some(Expr::var("x0"))),
+                ]),
+            });
+        }
+        functions.push(Function {
+            name: Symbol::new("main"),
+            params: vec![],
+            body: Block(vec![
+                AstStmt::Simple(Stmt::Assign("x0".into(), Expr::Int(0))),
+                AstStmt::Return(Some(Expr::var("x0"))),
+            ]),
+        });
+        lower_program(&Program { functions }).expect("skeleton is well-formed")
+    }
+
+    /// Samples a random structured block with the §7.3 mix (85% statement,
+    /// 10% if, 5% while), without calls. Useful for single-function
+    /// property tests.
+    pub fn random_block_no_calls(&mut self) -> Block {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.85 {
+            let mut s = self.gen_stmt(Some(HELPER_COUNT)); // index beyond helpers: no calls
+            if s.is_call() {
+                s = Stmt::Assign(self.var(), self.gen_expr(1));
+            }
+            Block(vec![AstStmt::Simple(s)])
+        } else if roll < 0.95 {
+            Block(vec![AstStmt::If {
+                cond: self.gen_cond(),
+                then_: Block(vec![AstStmt::Simple(Stmt::Assign(
+                    self.var(),
+                    self.gen_expr(1),
+                ))]),
+                else_: Block(vec![AstStmt::Simple(Stmt::Assign(
+                    self.var(),
+                    self.gen_expr(1),
+                ))]),
+            }])
+        } else {
+            let v = self.var();
+            let bound = self.rng.gen_range(1..12);
+            Block(vec![
+                AstStmt::Simple(Stmt::Assign(v.clone(), Expr::Int(0))),
+                AstStmt::While {
+                    cond: Expr::binary(BinOp::Lt, Expr::Var(v.clone()), Expr::Int(bound)),
+                    body: Block(vec![AstStmt::Simple(Stmt::Assign(
+                        v.clone(),
+                        Expr::binary(BinOp::Add, Expr::Var(v), Expr::Int(1)),
+                    ))]),
+                },
+            ])
+        }
+    }
+
+    /// Samples a uniformly random index below `n`.
+    pub fn pick_index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n.max(1))
+    }
+
+    /// Samples the next edit for the current program.
+    pub fn next_edit(&mut self, program: &LoweredProgram) -> ProgramEdit {
+        let (func, edge) = self.pick_edge(program);
+        let func_index = Self::helper_index(&func);
+        let roll: f64 = self.rng.gen();
+        let block = if roll < 0.85 {
+            Block(vec![AstStmt::Simple(self.gen_stmt(func_index))])
+        } else if roll < 0.95 {
+            Block(vec![AstStmt::If {
+                cond: self.gen_cond(),
+                then_: Block(vec![AstStmt::Simple(self.gen_stmt(func_index))]),
+                else_: Block(vec![AstStmt::Simple(self.gen_stmt(func_index))]),
+            }])
+        } else {
+            // A bounded counting loop: the generated programs never run,
+            // but bounded conditions keep interval/octagon fixed points
+            // interesting (both finite and widened bounds occur).
+            let v = self.var();
+            let bound = self.rng.gen_range(1..20);
+            Block(vec![
+                AstStmt::Simple(Stmt::Assign(v.clone(), Expr::Int(0))),
+                AstStmt::While {
+                    cond: Expr::binary(BinOp::Lt, Expr::Var(v.clone()), Expr::Int(bound)),
+                    body: Block(vec![AstStmt::Simple(Stmt::Assign(
+                        v.clone(),
+                        Expr::binary(BinOp::Add, Expr::Var(v), Expr::Int(1)),
+                    ))]),
+                },
+            ])
+        };
+        ProgramEdit::Insert { func, edge, block }
+    }
+
+    /// Samples `count` query targets (function, location).
+    pub fn next_queries(&mut self, program: &LoweredProgram, count: usize) -> Vec<(Symbol, Loc)> {
+        (0..count)
+            .map(|_| {
+                let cfg = &program.cfgs()[self.rng.gen_range(0..program.cfgs().len())];
+                let locs = cfg.locs();
+                let loc = locs[self.rng.gen_range(0..locs.len())];
+                (cfg.name().clone(), loc)
+            })
+            .collect()
+    }
+
+    fn helper_index(func: &Symbol) -> Option<usize> {
+        func.as_str().strip_prefix('f').and_then(|s| s.parse().ok())
+    }
+
+    fn pick_edge(&mut self, program: &LoweredProgram) -> (Symbol, EdgeId) {
+        // Weight functions by size so edits spread proportionally, with
+        // main edited most (it is the entry and grows fastest).
+        let total: usize = program.cfgs().iter().map(|c| c.edge_count()).sum();
+        let mut pick = self.rng.gen_range(0..total.max(1));
+        for cfg in program.cfgs() {
+            if pick < cfg.edge_count() {
+                let edges: Vec<EdgeId> = cfg.edges().map(|e| e.id).collect();
+                let edge = edges[self.rng.gen_range(0..edges.len())];
+                return (cfg.name().clone(), edge);
+            }
+            pick -= cfg.edge_count();
+        }
+        let cfg = &program.cfgs()[0];
+        let edges: Vec<EdgeId> = cfg.edges().map(|e| e.id).collect();
+        (cfg.name().clone(), edges[0])
+    }
+
+    fn var(&mut self) -> Symbol {
+        Symbol::new(format!("x{}", self.rng.gen_range(0..VAR_POOL)))
+    }
+
+    /// A random simple statement. `func_index` is `Some(i)` inside helper
+    /// `fᵢ` (whose calls may only target `f_{i+1}`…, keeping the call
+    /// graph acyclic) and `None` inside `main` (which may call any helper).
+    fn gen_stmt(&mut self, func_index: Option<usize>) -> Stmt {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.70 {
+            Stmt::Assign(self.var(), self.gen_expr(2))
+        } else if roll < 0.80 {
+            // Array creation or write.
+            if self.rng.gen_bool(0.5) {
+                let len = self.rng.gen_range(1..5);
+                let elems = (0..len)
+                    .map(|_| Expr::Int(self.rng.gen_range(0..10)))
+                    .collect();
+                Stmt::Assign(self.var(), Expr::ArrayLit(elems))
+            } else {
+                Stmt::Assign(self.var(), Expr::Int(self.rng.gen_range(-50..50)))
+            }
+        } else if roll < 0.88 {
+            Stmt::Print(Expr::Var(self.var()))
+        } else {
+            // Call: main may call any helper; fᵢ only higher-indexed ones.
+            let lo = func_index.map(|i| i + 1).unwrap_or(0);
+            if lo >= HELPER_COUNT {
+                Stmt::Assign(self.var(), self.gen_expr(1))
+            } else {
+                let callee = self.rng.gen_range(lo..HELPER_COUNT);
+                Stmt::Call {
+                    lhs: Some(self.var()),
+                    callee: Symbol::new(format!("f{callee}")),
+                    args: vec![self.gen_expr(1)],
+                }
+            }
+        }
+    }
+
+    fn gen_expr(&mut self, depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.4) {
+            return if self.rng.gen_bool(0.5) {
+                Expr::Int(self.rng.gen_range(-20..20))
+            } else {
+                Expr::Var(self.var())
+            };
+        }
+        let op = match self.rng.gen_range(0..4) {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            _ => BinOp::Add,
+        };
+        Expr::binary(op, self.gen_expr(depth - 1), self.gen_expr(depth - 1))
+    }
+
+    fn gen_cond(&mut self) -> Expr {
+        let op = match self.rng.gen_range(0..6) {
+            0 => BinOp::Lt,
+            1 => BinOp::Le,
+            2 => BinOp::Gt,
+            3 => BinOp::Ge,
+            4 => BinOp::Eq,
+            _ => BinOp::Ne,
+        };
+        Expr::binary(
+            op,
+            Expr::Var(self.var()),
+            Expr::Int(self.rng.gen_range(-10..10)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dai_core::driver::{Config, Driver};
+    use dai_core::interproc::ContextPolicy;
+    use dai_domains::OctagonDomain;
+
+    #[test]
+    fn initial_program_is_wellformed() {
+        let p = Workload::initial_program();
+        assert_eq!(p.cfgs().len(), HELPER_COUNT + 1);
+        for cfg in p.cfgs() {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn edit_stream_is_deterministic() {
+        let p = Workload::initial_program();
+        let mut g1 = Workload::new(42);
+        let mut g2 = Workload::new(42);
+        for _ in 0..20 {
+            let e1 = g1.next_edit(&p);
+            let e2 = g2.next_edit(&p);
+            match (e1, e2) {
+                (
+                    ProgramEdit::Insert {
+                        func: f1,
+                        edge: e1,
+                        block: b1,
+                    },
+                    ProgramEdit::Insert {
+                        func: f2,
+                        edge: e2,
+                        block: b2,
+                    },
+                ) => {
+                    assert_eq!(f1, f2);
+                    assert_eq!(e1, e2);
+                    assert_eq!(b1, b2);
+                }
+                _ => panic!("expected insert edits"),
+            }
+        }
+    }
+
+    #[test]
+    fn workload_drives_analysis_without_errors() {
+        let program = Workload::initial_program();
+        let mut driver: Driver<OctagonDomain> = Driver::new(
+            Config::IncrementalDemandDriven,
+            program,
+            ContextPolicy::Insensitive,
+            "main",
+            OctagonDomain::top(),
+        );
+        let mut gen = Workload::new(7);
+        for step in 0..40 {
+            let edit = gen.next_edit(driver.analyzer().program());
+            driver
+                .apply_edit(&edit)
+                .unwrap_or_else(|e| panic!("edit {step}: {e}"));
+            for (f, loc) in gen.next_queries(driver.analyzer().program(), 2) {
+                driver
+                    .query(f.as_str(), loc)
+                    .unwrap_or_else(|e| panic!("query {step} at {f}:{loc}: {e}"));
+            }
+        }
+        assert!(driver.program_size() > 40);
+    }
+
+    #[test]
+    fn generated_calls_respect_call_graph_order() {
+        let program = Workload::initial_program();
+        let mut gen = Workload::new(99);
+        // Apply many edits through the driver; recursion would make
+        // refresh_call_graph fail inside apply_edit.
+        let mut driver: Driver<OctagonDomain> = Driver::new(
+            Config::IncrementalDemandDriven,
+            program,
+            ContextPolicy::Insensitive,
+            "main",
+            OctagonDomain::top(),
+        );
+        for _ in 0..60 {
+            let edit = gen.next_edit(driver.analyzer().program());
+            driver.apply_edit(&edit).unwrap();
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! Per-function analysis state: a CFG paired with its DAIG, exposing
+//! program edits and fixed-point-consistent location queries.
+
+use crate::build::{
+    add_edge_structure, add_join_comp, add_loc_cells, dest_name, entry_cell_name, initial_daig,
+    rollback_loop, Overrides,
+};
+use crate::edit::{dirty_from, write_with_invalidation};
+use crate::graph::{Daig, DaigError, Value};
+use crate::name::{IterCtx, Name};
+use crate::query::{query, CallResolver, QueryStats};
+use dai_domains::AbstractDomain;
+use dai_lang::cfg::{Cfg, CfgError};
+use dai_lang::edit::{relabel_edge, splice_block_on_edge, SpliceInfo};
+use dai_lang::{Block, EdgeId, Loc, Stmt};
+use dai_memo::MemoTable;
+
+/// A function's CFG, its DAIG, and the entry state `φ₀`.
+///
+/// This is the paper's per-procedure analysis unit: queries demand values
+/// (§5.1–5.2), edits dirty them (§5.3), and both keep the DAIG consistent
+/// with the evolving CFG.
+#[derive(Debug, Clone)]
+pub struct FuncAnalysis<D: AbstractDomain> {
+    cfg: Cfg,
+    daig: Daig<D>,
+    entry_state: D,
+}
+
+impl<D: AbstractDomain> FuncAnalysis<D> {
+    /// Builds the initial DAIG for `cfg` with entry state `φ₀` under the
+    /// paper's default strategy.
+    pub fn new(cfg: Cfg, phi0: D) -> FuncAnalysis<D> {
+        FuncAnalysis::with_strategy(cfg, phi0, crate::strategy::FixStrategy::PAPER)
+    }
+
+    /// Builds the initial DAIG for `cfg` with entry state `φ₀` under the
+    /// given loop-head iteration strategy (see [`crate::strategy`]).
+    pub fn with_strategy(
+        cfg: Cfg,
+        phi0: D,
+        strategy: crate::strategy::FixStrategy,
+    ) -> FuncAnalysis<D> {
+        let mut daig = initial_daig(&cfg, phi0.clone());
+        daig.set_strategy(strategy);
+        FuncAnalysis {
+            cfg,
+            daig,
+            entry_state: phi0,
+        }
+    }
+
+    /// The underlying CFG.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The underlying DAIG.
+    pub fn daig(&self) -> &Daig<D> {
+        &self.daig
+    }
+
+    /// Mutable access to the DAIG for cross-DAIG dirtying (crate-internal).
+    pub(crate) fn daig_mut(&mut self) -> &mut Daig<D> {
+        &mut self.daig
+    }
+
+    /// The current entry state `φ₀`.
+    pub fn entry_state(&self) -> &D {
+        &self.entry_state
+    }
+
+    /// Replaces the entry state, dirtying downstream results (an edit to
+    /// the `φ₀` cell — how the interprocedural layer feeds callee entry
+    /// joins).
+    pub fn set_entry_state(&mut self, phi0: D) {
+        if phi0 == self.entry_state {
+            return;
+        }
+        self.entry_state = phi0.clone();
+        let ec = entry_cell_name(&self.cfg);
+        write_with_invalidation(&mut self.daig, &ec, Value::State(phi0));
+    }
+
+    /// Replaces the statement on `edge` (in-place program edit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::NoSuchEdge`] for unknown edges.
+    pub fn relabel(&mut self, edge: EdgeId, stmt: Stmt) -> Result<(), CfgError> {
+        relabel_edge(&mut self.cfg, edge, stmt.clone())?;
+        write_with_invalidation(&mut self.daig, &Name::Stmt(edge), Value::Stmt(stmt));
+        Ok(())
+    }
+
+    /// Deletes the statement on `edge` (relabels it to `skip`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::NoSuchEdge`] for unknown edges.
+    pub fn delete(&mut self, edge: EdgeId) -> Result<(), CfgError> {
+        self.relabel(edge, Stmt::Skip)
+    }
+
+    /// Splices `block` onto `edge` (the §7.3 insertion edit): the moved
+    /// edge keeps its statement cell, downstream cells are dirtied, and
+    /// enclosing loops roll back via the dirtying pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CfgError`]s from the CFG splice.
+    pub fn splice(&mut self, edge: EdgeId, block: &Block) -> Result<SpliceInfo, CfgError> {
+        let info = splice_block_on_edge(&mut self.cfg, edge, block)?;
+        let ov = Overrides::new();
+        // A `while` at the start of the block turns the insertion point —
+        // an existing location — into a loop head; its cells must be
+        // restructured (plain state cell becomes the fix cell, in-edges
+        // re-target the 0th iterate).
+        let promoted: Vec<Loc> = info
+            .new_loop_heads
+            .iter()
+            .copied()
+            .filter(|h| !info.new_locs.contains(h))
+            .collect();
+        for &h in &promoted {
+            let ctx = crate::build::iter_ctx(&self.cfg, h, &ov);
+            let old_cell = Name::State {
+                loc: h,
+                ctx: ctx.clone(),
+            };
+            dirty_from(&mut self.daig, vec![old_cell]);
+            // Pre-join cells of the promoted head carried the old context;
+            // they are superseded by freshly named ones below.
+            for e in self.cfg.fwd_in_edges(h) {
+                let stale = Name::PreJoin {
+                    edge: e,
+                    ctx: ctx.clone(),
+                };
+                if self.daig.contains(&stale) {
+                    self.daig.remove_cell(&stale);
+                }
+            }
+        }
+        // Dirty the moved edge's destination cell (its pre-state source is
+        // about to change); this also rolls back enclosing loops when the
+        // wave reaches their fix cells.
+        let dest = self.moved_edge_dest(edge);
+        dirty_from(&mut self.daig, vec![dest]);
+        // Install the structure for the inserted region (iteration 0).
+        for &l in info.new_locs.iter().chain(&promoted) {
+            add_loc_cells(&mut self.daig, &self.cfg, l, &ov);
+        }
+        for &e in &info.new_edges {
+            let edge_ref = self.cfg.edge(e).expect("new edge exists").clone();
+            add_edge_structure(&mut self.daig, &self.cfg, &edge_ref, &ov);
+        }
+        // In-edges of promoted heads re-target the 0th iterate.
+        for &h in &promoted {
+            for e in self.cfg.fwd_in_edges(h) {
+                let edge_ref = self.cfg.edge(e).expect("edge exists").clone();
+                add_edge_structure(&mut self.daig, &self.cfg, &edge_ref, &ov);
+            }
+        }
+        for &l in info.new_locs.iter().chain(&promoted) {
+            add_join_comp(&mut self.daig, &self.cfg, l, &ov);
+        }
+        // Re-point the moved edge's computation at its new source.
+        let moved = self.cfg.edge(edge).expect("moved edge exists").clone();
+        add_edge_structure(&mut self.daig, &self.cfg, &moved, &ov);
+        // A promoted entry re-seeds φ₀ into its 0th iterate.
+        if promoted.contains(&self.cfg.entry()) {
+            let ec = entry_cell_name(&self.cfg);
+            self.daig.write(&ec, Value::State(self.entry_state.clone()));
+        }
+        Ok(info)
+    }
+
+    /// The destination cell of `edge`'s transfer at iteration 0.
+    fn moved_edge_dest(&self, edge: EdgeId) -> Name {
+        let ov = Overrides::new();
+        let e = self.cfg.edge(edge).expect("edge exists");
+        if self.cfg.is_back_edge(edge) {
+            let ctx = crate::build::iter_ctx(&self.cfg, e.dst, &ov);
+            Name::PreWiden {
+                head: e.dst,
+                ctx: ctx.push(e.dst, 0),
+            }
+        } else if self.cfg.is_join(e.dst) {
+            let ctx = match dest_name(&self.cfg, e.dst, &ov) {
+                Name::State { ctx, .. } => ctx,
+                _ => unreachable!("dest_name returns a state name"),
+            };
+            Name::PreJoin { edge, ctx }
+        } else {
+            dest_name(&self.cfg, e.dst, &ov)
+        }
+    }
+
+    /// Dirties every analysis result (the paper's demand-driven-only
+    /// configuration "dirties the full DAIG after each edit"): unrolled
+    /// loops are rolled back, all state cells emptied, and `φ₀` re-seeded.
+    pub fn dirty_everything(&mut self) {
+        // Roll every loop instance back to its initial structure,
+        // outermost first.
+        let fix_cells: Vec<(Loc, IterCtx)> = self
+            .daig
+            .names()
+            .filter_map(|n| match (n, self.daig.comp(n)) {
+                (Name::State { loc, ctx }, Some(c)) if c.func == crate::graph::Func::Fix => {
+                    Some((*loc, ctx.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        for (head, sigma) in fix_cells {
+            let fix_cell = Name::State {
+                loc: head,
+                ctx: sigma.clone(),
+            };
+            if self.daig.contains(&fix_cell) {
+                rollback_loop(&mut self.daig, head, &sigma);
+            }
+        }
+        let names: Vec<Name> = self
+            .daig
+            .names()
+            .filter(|n| !n.is_stmt())
+            .cloned()
+            .collect();
+        for n in names {
+            self.daig.clear(&n);
+        }
+        let ec = entry_cell_name(&self.cfg);
+        self.daig.write(&ec, Value::State(self.entry_state.clone()));
+    }
+
+    /// Queries the raw cell named `n`.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::query::query`].
+    pub fn query_name(
+        &mut self,
+        memo: &mut MemoTable<Value<D>>,
+        n: &Name,
+        resolver: &mut dyn CallResolver<D>,
+        stats: &mut QueryStats,
+    ) -> Result<Value<D>, DaigError> {
+        query(&mut self.daig, &self.cfg, memo, n, resolver, stats)
+    }
+
+    /// Queries the fixed-point-consistent abstract state at a program
+    /// location: for each enclosing loop (outermost first) the fixed point
+    /// is demanded, and the body cell of the last (converged) iteration is
+    /// returned — which equals the batch invariant at that location
+    /// (Theorem 6.1).
+    ///
+    /// # Errors
+    ///
+    /// [`DaigError::NoSuchCell`] for locations not in the CFG; otherwise
+    /// see [`crate::query::query`].
+    pub fn query_loc(
+        &mut self,
+        memo: &mut MemoTable<Value<D>>,
+        loc: Loc,
+        resolver: &mut dyn CallResolver<D>,
+        stats: &mut QueryStats,
+    ) -> Result<D, DaigError> {
+        let name = self.resolve_loc_name(memo, loc, resolver, stats)?;
+        let v = query(&mut self.daig, &self.cfg, memo, &name, resolver, stats)?;
+        v.as_state()
+            .cloned()
+            .ok_or_else(|| DaigError::Invariant(format!("location cell {name} holds a statement")))
+    }
+
+    /// Demands enclosing fixed points and resolves the name of the
+    /// fixed-point-consistent cell at `loc`.
+    fn resolve_loc_name(
+        &mut self,
+        memo: &mut MemoTable<Value<D>>,
+        loc: Loc,
+        resolver: &mut dyn CallResolver<D>,
+        stats: &mut QueryStats,
+    ) -> Result<Name, DaigError> {
+        let chain = self.cfg.enclosing_loops(loc);
+        let mut sigma = IterCtx::root();
+        for h in chain {
+            let fix_cell = Name::State {
+                loc: h,
+                ctx: sigma.clone(),
+            };
+            query(&mut self.daig, &self.cfg, memo, &fix_cell, resolver, stats)?;
+            let comp = self.daig.comp(&fix_cell).ok_or_else(|| {
+                DaigError::Invariant(format!("loop head {h} has no fix computation"))
+            })?;
+            let (hd, k_prev) = comp.srcs[0]
+                .ctx()
+                .and_then(|c| c.last())
+                .ok_or_else(|| DaigError::Invariant(format!("bad fix source at {h}")))?;
+            debug_assert_eq!(hd, h);
+            sigma = sigma.push(h, k_prev);
+        }
+        let name = Name::State { loc, ctx: sigma };
+        if !self.daig.contains(&name) {
+            return Err(DaigError::NoSuchCell(name.to_string()));
+        }
+        Ok(name)
+    }
+
+    /// Queries the abstract state at the function's exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`FuncAnalysis::query_loc`].
+    pub fn query_exit(
+        &mut self,
+        memo: &mut MemoTable<Value<D>>,
+        resolver: &mut dyn CallResolver<D>,
+        stats: &mut QueryStats,
+    ) -> Result<D, DaigError> {
+        self.query_loc(memo, self.cfg.exit(), resolver, stats)
+    }
+
+    /// Evaluates every cell (exhaustive configurations).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::query::evaluate_all`].
+    pub fn evaluate_all(
+        &mut self,
+        memo: &mut MemoTable<Value<D>>,
+        resolver: &mut dyn CallResolver<D>,
+        stats: &mut QueryStats,
+    ) -> Result<(), DaigError> {
+        crate::query::evaluate_all(&mut self.daig, &self.cfg, memo, resolver, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::IntraResolver;
+    use dai_domains::interval::Interval;
+    use dai_domains::IntervalDomain;
+    use dai_lang::cfg::lower_program;
+    use dai_lang::parser::{parse_block, parse_program};
+
+    type D = IntervalDomain;
+
+    fn analysis(src: &str) -> FuncAnalysis<D> {
+        let cfg = lower_program(&parse_program(src).unwrap()).unwrap().cfgs()[0].clone();
+        FuncAnalysis::new(cfg, IntervalDomain::top())
+    }
+
+    fn exit_state(fa: &mut FuncAnalysis<D>) -> D {
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap()
+    }
+
+    #[test]
+    fn straightline_query() {
+        let mut fa = analysis("function f() { var x = 1; x = x + 2; return x; }");
+        let s = exit_state(&mut fa);
+        assert_eq!(s.interval_of(dai_lang::RETURN_VAR), Interval::constant(3));
+    }
+
+    #[test]
+    fn branch_join_query() {
+        let mut fa = analysis(
+            "function f(c) { var x = 0; if (c > 0) { x = 1; } else { x = 9; } return x; }",
+        );
+        let s = exit_state(&mut fa);
+        assert_eq!(s.interval_of("x"), Interval::of(1, 9));
+    }
+
+    #[test]
+    fn loop_fixpoint_with_widening() {
+        let mut fa =
+            analysis("function f(n) { var i = 0; while (i < 10) { i = i + 1; } return i; }");
+        let s = exit_state(&mut fa);
+        // After the loop: i >= 10 (exit guard refines the widened [0, +inf]).
+        let iv = s.interval_of("i");
+        assert!(iv.contains(10));
+        assert!(!iv.contains(9), "exit guard must exclude i < 10, got {iv}");
+    }
+
+    #[test]
+    fn query_loc_inside_loop_is_fixpoint_consistent() {
+        let mut fa =
+            analysis("function f(n) { var i = 0; while (i < 10) { i = i + 1; } return i; }");
+        let head = fa.cfg().loop_heads()[0];
+        // Body location right after the loop guard.
+        let guard_edge = fa
+            .cfg()
+            .out_edges(head)
+            .iter()
+            .map(|&e| fa.cfg().edge(e).unwrap().clone())
+            .find(|e| e.stmt.to_string().contains('<'))
+            .unwrap();
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        let body_state = fa
+            .query_loc(&mut memo, guard_edge.dst, &mut IntraResolver, &mut stats)
+            .unwrap();
+        // At the fixpoint, inside the loop body: 0 <= i <= 9.
+        let iv = body_state.interval_of("i");
+        assert!(iv.contains(0) && iv.contains(9) && !iv.contains(10), "{iv}");
+    }
+
+    #[test]
+    fn relabel_then_requery_reflects_edit() {
+        let mut fa = analysis("function f() { var x = 1; return x; }");
+        assert_eq!(exit_state(&mut fa).interval_of("x"), Interval::constant(1));
+        let e0 = fa.cfg().edges().next().unwrap().id;
+        fa.relabel(
+            e0,
+            Stmt::Assign("x".into(), dai_lang::parse_expr("41").unwrap()),
+        )
+        .unwrap();
+        assert_eq!(exit_state(&mut fa).interval_of("x"), Interval::constant(41));
+    }
+
+    #[test]
+    fn splice_then_requery_like_fig4b() {
+        let mut fa = analysis("function f() { var x = 1; return x; }");
+        let _ = exit_state(&mut fa);
+        let ret_edge = fa
+            .cfg()
+            .edges()
+            .find(|e| e.stmt.to_string().contains("__ret"))
+            .unwrap()
+            .id;
+        fa.splice(ret_edge, &parse_block("x = x + 10;").unwrap())
+            .unwrap();
+        fa.daig().check_well_formed().unwrap();
+        assert_eq!(exit_state(&mut fa).interval_of("x"), Interval::constant(11));
+    }
+
+    #[test]
+    fn splice_into_loop_body() {
+        let mut fa =
+            analysis("function f(n) { var i = 0; while (i < 10) { i = i + 1; } return i; }");
+        let before = exit_state(&mut fa);
+        assert!(!before.interval_of("i").contains(9));
+        let head = fa.cfg().loop_heads()[0];
+        let back = fa.cfg().back_edge(head).unwrap();
+        // Insert a second increment before the back edge statement.
+        fa.splice(back, &parse_block("i = i + 1;").unwrap())
+            .unwrap();
+        fa.daig().check_well_formed().unwrap();
+        let after = exit_state(&mut fa);
+        // i now increases by 2 per iteration: still converges, exit i >= 10.
+        assert!(after.interval_of("i").contains(10) || after.interval_of("i").contains(11));
+    }
+
+    #[test]
+    fn splice_while_into_straightline() {
+        let mut fa = analysis("function f() { var x = 0; return x; }");
+        let _ = exit_state(&mut fa);
+        let ret_edge = fa
+            .cfg()
+            .edges()
+            .find(|e| e.stmt.to_string().contains("__ret"))
+            .unwrap()
+            .id;
+        fa.splice(
+            ret_edge,
+            &parse_block("while (x < 5) { x = x + 1; }").unwrap(),
+        )
+        .unwrap();
+        fa.daig().check_well_formed().unwrap();
+        let s = exit_state(&mut fa);
+        assert!(s.interval_of("x").contains(5));
+        assert!(!s.interval_of("x").contains(4));
+    }
+
+    #[test]
+    fn incremental_reuse_preserves_upstream_results() {
+        let mut fa =
+            analysis("function f() { var a = 1; var b = 2; var c = 3; return a + b + c; }");
+        let _ = exit_state(&mut fa);
+        let filled_before = fa.daig().filled_count();
+        // Edit the *last* assignment: upstream cells must stay filled.
+        let c_edge = fa
+            .cfg()
+            .edges()
+            .find(|e| e.stmt.to_string() == "c = 3")
+            .unwrap()
+            .id;
+        fa.relabel(
+            c_edge,
+            Stmt::Assign("c".into(), dai_lang::parse_expr("4").unwrap()),
+        )
+        .unwrap();
+        let filled_after_edit = fa.daig().filled_count();
+        assert!(filled_after_edit >= filled_before - 3, "over-dirtied");
+        assert!(filled_after_edit < filled_before, "nothing dirtied");
+    }
+
+    #[test]
+    fn set_entry_state_dirties_everything_downstream() {
+        let mut fa = analysis("function f(p) { var x = p; return x; }");
+        let _ = exit_state(&mut fa);
+        fa.set_entry_state(IntervalDomain::from_bindings([(
+            "p".into(),
+            dai_domains::interval::AbsVal::Num(Interval::of(5, 6)),
+        )]));
+        let s = exit_state(&mut fa);
+        assert_eq!(s.interval_of("x"), Interval::of(5, 6));
+    }
+
+    #[test]
+    fn dirty_everything_forces_recomputation_but_same_result() {
+        let mut fa =
+            analysis("function f(n) { var i = 0; while (i < 10) { i = i + 1; } return i; }");
+        let before = exit_state(&mut fa);
+        fa.dirty_everything();
+        fa.daig().check_well_formed().unwrap();
+        let after = exit_state(&mut fa);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn query_missing_location_errors() {
+        let mut fa = analysis("function f() { return 0; }");
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        let err = fa
+            .query_loc(&mut memo, Loc(424242), &mut IntraResolver, &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, DaigError::NoSuchCell(_)));
+    }
+}

@@ -1,0 +1,579 @@
+//! DAIG construction: the paper's `Dinit` (Definition A.2) plus the shared
+//! loop-region builder reused by demanded unrolling and rollback.
+//!
+//! The three structural cases of Fig. 7:
+//!
+//! 1. a forward edge to a non-join location becomes one transfer edge;
+//! 2. forward edges into a join location get per-edge pre-join cells and a
+//!    single join edge;
+//! 3. a back edge becomes the loop structure: iterate cells `ℓ⟨0⟩, ℓ⟨1⟩`,
+//!    a pre-widen cell, a widen edge, and a `fix` edge from the two
+//!    greatest iterates to the fixed-point cell `ℓ`.
+//!
+//! The source of a DAIG edge out of location `a` follows the paper's
+//! `src-nm`: the fixed-point cell when `a` is a loop head and the edge
+//! leaves the loop, the current iterate when the edge stays inside, and
+//! the plain state cell otherwise.
+
+use crate::graph::{Daig, Func, Value};
+use crate::name::{IterCtx, Name};
+use dai_domains::AbstractDomain;
+use dai_lang::cfg::{Cfg, Edge};
+use dai_lang::Loc;
+use std::collections::HashMap;
+
+/// Iteration overrides: the current iteration for specific loop heads
+/// (heads not present default to 0).
+pub type Overrides = HashMap<Loc, u32>;
+
+/// The iteration context of the state cell at `loc` (enclosing loops only,
+/// not `loc`'s own loop when it is a head).
+pub fn iter_ctx(cfg: &Cfg, loc: Loc, overrides: &Overrides) -> IterCtx {
+    IterCtx(
+        cfg.enclosing_loops(loc)
+            .into_iter()
+            .map(|h| (h, overrides.get(&h).copied().unwrap_or(0)))
+            .collect(),
+    )
+}
+
+/// The name of the state cell at `loc` *as a destination* of dataflow:
+/// loop heads receive into their 0th iterate (or the override iteration).
+pub fn dest_name(cfg: &Cfg, loc: Loc, overrides: &Overrides) -> Name {
+    let ctx = iter_ctx(cfg, loc, overrides);
+    if cfg.is_loop_head(loc) {
+        let i = overrides.get(&loc).copied().unwrap_or(0);
+        Name::State {
+            loc,
+            ctx: ctx.push(loc, i),
+        }
+    } else {
+        Name::State { loc, ctx }
+    }
+}
+
+/// The name of the fixed-point cell of head `loc` (its state as read by
+/// loop-exit edges).
+pub fn fix_name(cfg: &Cfg, loc: Loc, overrides: &Overrides) -> Name {
+    Name::State {
+        loc,
+        ctx: iter_ctx(cfg, loc, overrides),
+    }
+}
+
+/// The paper's `src-nm(a, b)`: the cell an edge `a → b` reads from.
+pub fn src_name(cfg: &Cfg, a: Loc, b: Loc, overrides: &Overrides) -> Name {
+    if cfg.is_loop_head(a) {
+        let ctx = iter_ctx(cfg, a, overrides);
+        if cfg.loops_containing(b).contains(&a) {
+            // Into the loop body (or the self-loop back edge): read the
+            // current iterate.
+            let i = overrides.get(&a).copied().unwrap_or(0);
+            Name::State {
+                loc: a,
+                ctx: ctx.push(a, i),
+            }
+        } else {
+            // Exiting the loop: read the fixed point.
+            Name::State { loc: a, ctx }
+        }
+    } else {
+        Name::State {
+            loc: a,
+            ctx: iter_ctx(cfg, a, overrides),
+        }
+    }
+}
+
+/// Adds the reference cells (and head-local computations) for `loc` under
+/// the given iteration overrides. For loop heads this installs the initial
+/// two-iterate structure of Fig. 7(3).
+pub fn add_loc_cells<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    loc: Loc,
+    overrides: &Overrides,
+) {
+    let ctx = iter_ctx(cfg, loc, overrides);
+    if cfg.is_loop_head(loc) {
+        let fix_cell = Name::State {
+            loc,
+            ctx: ctx.clone(),
+        };
+        let it0 = Name::State {
+            loc,
+            ctx: ctx.push(loc, 0),
+        };
+        let it1 = Name::State {
+            loc,
+            ctx: ctx.push(loc, 1),
+        };
+        let pw0 = Name::PreWiden {
+            head: loc,
+            ctx: ctx.push(loc, 0),
+        };
+        daig.add_cell(fix_cell.clone(), None);
+        daig.add_cell(it0.clone(), None);
+        daig.add_cell(it1.clone(), None);
+        daig.add_cell(pw0.clone(), None);
+        daig.add_comp(it1.clone(), Func::Widen, vec![it0.clone(), pw0]);
+        daig.add_comp(fix_cell, Func::Fix, vec![it0, it1]);
+    } else {
+        daig.add_cell(Name::State { loc, ctx }, None);
+    }
+}
+
+/// Adds the statement cell and transfer computation for edge `e` under the
+/// given iteration overrides. Statement cells are shared across loop
+/// unrollings ("cells containing program syntax are not duplicated").
+pub fn add_edge_structure<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    e: &Edge,
+    overrides: &Overrides,
+) {
+    let stmt_cell = Name::Stmt(e.id);
+    if !daig.contains(&stmt_cell) {
+        daig.add_cell(stmt_cell.clone(), Some(Value::Stmt(e.stmt.clone())));
+    }
+    let src = src_name(cfg, e.src, e.dst, overrides);
+    if cfg.is_back_edge(e.id) {
+        // Back edge: transfer into the pre-widen cell of the head's
+        // current iteration.
+        let head_ctx = iter_ctx(cfg, e.dst, overrides);
+        let i = overrides.get(&e.dst).copied().unwrap_or(0);
+        let pw = Name::PreWiden {
+            head: e.dst,
+            ctx: head_ctx.push(e.dst, i),
+        };
+        if !daig.contains(&pw) {
+            daig.add_cell(pw.clone(), None);
+        }
+        daig.add_comp(pw, Func::Transfer, vec![stmt_cell, src]);
+    } else if cfg.is_join(e.dst) {
+        let dest_ctx = match dest_name(cfg, e.dst, overrides) {
+            Name::State { ctx, .. } => ctx,
+            _ => unreachable!("dest_name returns a state name"),
+        };
+        let pj = Name::PreJoin {
+            edge: e.id,
+            ctx: dest_ctx,
+        };
+        if !daig.contains(&pj) {
+            daig.add_cell(pj.clone(), None);
+        }
+        daig.add_comp(pj, Func::Transfer, vec![stmt_cell, src]);
+    } else {
+        let dest = dest_name(cfg, e.dst, overrides);
+        daig.add_comp(dest, Func::Transfer, vec![stmt_cell, src]);
+    }
+}
+
+/// Adds the join computation for join location `loc` (one `⊔` edge over
+/// the per-in-edge pre-join cells, in edge-id order).
+pub fn add_join_comp<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    loc: Loc,
+    overrides: &Overrides,
+) {
+    if !cfg.is_join(loc) {
+        return;
+    }
+    let dest = dest_name(cfg, loc, overrides);
+    let dest_ctx = match &dest {
+        Name::State { ctx, .. } => ctx.clone(),
+        _ => unreachable!("dest_name returns a state name"),
+    };
+    let srcs: Vec<Name> = cfg
+        .fwd_in_edges(loc)
+        .into_iter()
+        .map(|e| Name::PreJoin {
+            edge: e,
+            ctx: dest_ctx.clone(),
+        })
+        .collect();
+    daig.add_comp(dest, Func::Join, srcs);
+}
+
+/// The paper's `Dinit`: constructs the initial DAIG for a CFG, seeding the
+/// entry cell with `φ₀`.
+pub fn initial_daig<D: AbstractDomain>(cfg: &Cfg, phi0: D) -> Daig<D> {
+    let mut daig = Daig::new();
+    let overrides = Overrides::new();
+    for loc in cfg.locs() {
+        add_loc_cells(&mut daig, cfg, loc, &overrides);
+    }
+    for e in cfg.edges() {
+        add_edge_structure(&mut daig, cfg, e, &overrides);
+    }
+    for loc in cfg.locs() {
+        add_join_comp(&mut daig, cfg, loc, &overrides);
+    }
+    // Seed φ₀ at the entry (the 0th iterate when the entry is a loop head).
+    let entry_cell = dest_name(cfg, cfg.entry(), &overrides);
+    daig.write(&entry_cell, Value::State(phi0));
+    daig
+}
+
+/// The name of the `φ₀` seed cell (for entry edits by the interprocedural
+/// layer).
+pub fn entry_cell_name(cfg: &Cfg) -> Name {
+    dest_name(cfg, cfg.entry(), &Overrides::new())
+}
+
+/// Builds one more abstract iteration of the loop at `head` whose fix edge
+/// currently reads iterates `k−1` and `k` under enclosing context `sigma`:
+/// fresh body cells at iteration `k`, the `k+1`-th iterate, the pre-widen
+/// cell, the widen edge, and the slid fix edge. Nested loops restart at
+/// their initial two-iterate structure.
+///
+/// This realizes the paper's `unroll` (§5.2): it is the `incr`-duplication
+/// of the region between the two greatest iterates, with stale inner-loop
+/// unrollings normalized to their initial form (a strictly smaller,
+/// name-equivalent graph; see DESIGN.md).
+pub fn unroll_loop<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    head: Loc,
+    sigma: &IterCtx,
+    k: u32,
+) {
+    let mut overrides = Overrides::new();
+    for (h, i) in &sigma.0 {
+        overrides.insert(*h, *i);
+    }
+    overrides.insert(head, k);
+
+    // New iterate and pre-widen cells; widen edge.
+    let it_k = Name::State {
+        loc: head,
+        ctx: sigma.push(head, k),
+    };
+    let it_k1 = Name::State {
+        loc: head,
+        ctx: sigma.push(head, k + 1),
+    };
+    let pw_k = Name::PreWiden {
+        head,
+        ctx: sigma.push(head, k),
+    };
+    daig.add_cell(it_k1.clone(), None);
+    daig.add_cell(pw_k, None);
+    {
+        let pw_k = Name::PreWiden {
+            head,
+            ctx: sigma.push(head, k),
+        };
+        daig.add_comp(it_k1.clone(), Func::Widen, vec![it_k.clone(), pw_k]);
+    }
+
+    // Fresh body cells at iteration k (nested heads get their initial
+    // structure back).
+    let body: Vec<Loc> = cfg
+        .natural_loop(head)
+        .into_iter()
+        .filter(|&x| x != head)
+        .collect();
+    for &x in &body {
+        add_loc_cells(daig, cfg, x, &overrides);
+    }
+    // Body edges (including the back edge into the new pre-widen cell and
+    // inner-loop edges).
+    for e in cfg.edges() {
+        let into_body = body.contains(&e.dst);
+        let is_this_back = e.dst == head && cfg.is_back_edge(e.id);
+        if into_body || is_this_back {
+            add_edge_structure(daig, cfg, e, &overrides);
+        }
+    }
+    for &x in &body {
+        add_join_comp(daig, cfg, x, &overrides);
+    }
+
+    // Slide the fix edge forward.
+    let fix_cell = Name::State {
+        loc: head,
+        ctx: sigma.clone(),
+    };
+    daig.add_comp(fix_cell, Func::Fix, vec![it_k, it_k1]);
+}
+
+/// Rolls the loop at `head` (instance `sigma`) back to its initial
+/// two-iterate structure (the E-Loop rule): removes every cell and
+/// computation whose context extends `sigma` with `(head, j ≥ 1)` — except
+/// the first iterate itself — and resets the fix edge to read iterates 0
+/// and 1.
+pub fn rollback_loop<D: AbstractDomain>(daig: &mut Daig<D>, head: Loc, sigma: &IterCtx) {
+    let it1 = Name::State {
+        loc: head,
+        ctx: sigma.push(head, 1),
+    };
+    let victims: Vec<Name> = daig
+        .names()
+        .filter(|n| {
+            if **n == it1 {
+                return false;
+            }
+            let Some(ctx) = n.ctx() else { return false };
+            if ctx.0.len() <= sigma.0.len() {
+                return false;
+            }
+            if ctx.0[..sigma.0.len()] != sigma.0[..] {
+                return false;
+            }
+            matches!(ctx.0[sigma.0.len()], (h, j) if h == head && j >= 1)
+        })
+        .cloned()
+        .collect();
+    for v in &victims {
+        daig.remove_cell(v);
+    }
+    let fix_cell = Name::State {
+        loc: head,
+        ctx: sigma.clone(),
+    };
+    let it0 = Name::State {
+        loc: head,
+        ctx: sigma.push(head, 0),
+    };
+    daig.add_comp(fix_cell, Func::Fix, vec![it0, it1]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dai_domains::IntervalDomain;
+    use dai_lang::cfg::lower_program;
+    use dai_lang::parser::parse_program;
+
+    type D = IntervalDomain;
+
+    fn cfg_of(src: &str, name: &str) -> Cfg {
+        lower_program(&parse_program(src).unwrap())
+            .unwrap()
+            .by_name(name)
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn straightline_daig_shape() {
+        let cfg = cfg_of("function f() { var x = 1; x = x + 1; return x; }", "f");
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        daig.check_well_formed().unwrap();
+        // One state cell per location + one stmt cell per edge.
+        assert_eq!(daig.cell_count(), cfg.loc_count() + cfg.edge_count());
+        // Entry holds φ₀.
+        let entry = entry_cell_name(&cfg);
+        assert!(daig.value(&entry).is_some());
+    }
+
+    #[test]
+    fn join_gets_prejoin_cells() {
+        let cfg = cfg_of(
+            "function f(x) { if (x > 0) { x = 1; } else { x = 2; } return x; }",
+            "f",
+        );
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        daig.check_well_formed().unwrap();
+        let join = cfg.locs().into_iter().find(|&l| cfg.is_join(l)).unwrap();
+        let jn = dest_name(&cfg, join, &Overrides::new());
+        let comp = daig.comp(&jn).unwrap();
+        assert_eq!(comp.func, Func::Join);
+        assert_eq!(comp.srcs.len(), 2);
+    }
+
+    #[test]
+    fn loop_daig_matches_fig7_case3() {
+        let cfg = cfg_of(
+            "function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        daig.check_well_formed().unwrap();
+        let head = cfg.loop_heads()[0];
+        let ov = Overrides::new();
+        let fix_cell = fix_name(&cfg, head, &ov);
+        let comp = daig.comp(&fix_cell).unwrap();
+        assert_eq!(comp.func, Func::Fix);
+        // Fix reads iterates 0 and 1 initially.
+        assert_eq!(
+            comp.srcs[0],
+            Name::State {
+                loc: head,
+                ctx: IterCtx::root().push(head, 0)
+            }
+        );
+        assert_eq!(
+            comp.srcs[1],
+            Name::State {
+                loc: head,
+                ctx: IterCtx::root().push(head, 1)
+            }
+        );
+        // The widen edge produces iterate 1.
+        let it1 = Name::State {
+            loc: head,
+            ctx: IterCtx::root().push(head, 1),
+        };
+        assert_eq!(daig.comp(&it1).unwrap().func, Func::Widen);
+        // Loop-exit edges read the fixed point.
+        let exit_src = src_name(&cfg, head, cfg.exit(), &ov);
+        assert_eq!(exit_src, fix_cell);
+    }
+
+    #[test]
+    fn unroll_slides_fix_edge_like_fig4c() {
+        let cfg = cfg_of(
+            "function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let head = cfg.loop_heads()[0];
+        let sigma = IterCtx::root();
+        let before = daig.cell_count();
+        unroll_loop(&mut daig, &cfg, head, &sigma, 1);
+        daig.check_well_formed().unwrap();
+        assert!(daig.cell_count() > before);
+        let comp = daig
+            .comp(&Name::State {
+                loc: head,
+                ctx: sigma.clone(),
+            })
+            .unwrap();
+        assert_eq!(
+            comp.srcs[0],
+            Name::State {
+                loc: head,
+                ctx: sigma.push(head, 1)
+            }
+        );
+        assert_eq!(
+            comp.srcs[1],
+            Name::State {
+                loc: head,
+                ctx: sigma.push(head, 2)
+            }
+        );
+        // Statement cells were not duplicated.
+        let stmt_cells = daig.names().filter(|n| n.is_stmt()).count();
+        assert_eq!(stmt_cells, cfg.edge_count());
+    }
+
+    #[test]
+    fn rollback_restores_initial_loop_structure() {
+        let cfg = cfg_of(
+            "function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let reference = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let head = cfg.loop_heads()[0];
+        let sigma = IterCtx::root();
+        unroll_loop(&mut daig, &cfg, head, &sigma, 1);
+        unroll_loop(&mut daig, &cfg, head, &sigma, 2);
+        rollback_loop(&mut daig, head, &sigma);
+        daig.check_well_formed().unwrap();
+        assert_eq!(daig.cell_count(), reference.cell_count());
+        let comp = daig
+            .comp(&Name::State {
+                loc: head,
+                ctx: sigma.clone(),
+            })
+            .unwrap();
+        assert_eq!(
+            comp.srcs[0],
+            Name::State {
+                loc: head,
+                ctx: sigma.push(head, 0)
+            }
+        );
+        assert_eq!(
+            comp.srcs[1],
+            Name::State {
+                loc: head,
+                ctx: sigma.push(head, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn nested_loop_initial_structure() {
+        let cfg = cfg_of(
+            "function f(n) { var i = 0; while (i < n) { var j = 0; while (j < i) { j = j + 1; } i = i + 1; } return i; }",
+            "f",
+        );
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        daig.check_well_formed().unwrap();
+        let heads = cfg.loop_heads();
+        let (outer, inner) = (heads[0], heads[1]);
+        // The inner fix cell lives inside the outer iteration-0 context.
+        let inner_fix = Name::State {
+            loc: inner,
+            ctx: IterCtx::root().push(outer, 0),
+        };
+        assert_eq!(daig.comp(&inner_fix).unwrap().func, Func::Fix);
+    }
+
+    #[test]
+    fn unrolling_outer_rebuilds_inner_at_new_iteration() {
+        let cfg = cfg_of(
+            "function f(n) { var i = 0; while (i < n) { var j = 0; while (j < i) { j = j + 1; } i = i + 1; } return i; }",
+            "f",
+        );
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let heads = cfg.loop_heads();
+        let (outer, inner) = (heads[0], heads[1]);
+        unroll_loop(&mut daig, &cfg, outer, &IterCtx::root(), 1);
+        daig.check_well_formed().unwrap();
+        // Inner loop structure exists at outer iteration 1.
+        let inner_fix1 = Name::State {
+            loc: inner,
+            ctx: IterCtx::root().push(outer, 1),
+        };
+        assert_eq!(daig.comp(&inner_fix1).unwrap().func, Func::Fix);
+        // And rolling back the outer loop removes it again.
+        rollback_loop(&mut daig, outer, &IterCtx::root());
+        daig.check_well_formed().unwrap();
+        assert!(!daig.contains(&inner_fix1));
+    }
+
+    #[test]
+    fn self_loop_back_edge_reads_iterate() {
+        let cfg = cfg_of("function f(b) { while (b == 0) { } return b; }", "f");
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        daig.check_well_formed().unwrap();
+        let head = cfg.loop_heads()[0];
+        let pw = Name::PreWiden {
+            head,
+            ctx: IterCtx::root().push(head, 0),
+        };
+        let comp = daig.comp(&pw).unwrap();
+        assert_eq!(comp.func, Func::Transfer);
+        assert_eq!(
+            comp.srcs[1],
+            Name::State {
+                loc: head,
+                ctx: IterCtx::root().push(head, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn entry_as_loop_head_seeds_iterate_zero() {
+        let cfg = cfg_of(
+            "function f(n) { while (n > 0) { n = n - 1; } return n; }",
+            "f",
+        );
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        daig.check_well_formed().unwrap();
+        let entry = cfg.entry();
+        assert!(cfg.is_loop_head(entry));
+        let it0 = Name::State {
+            loc: entry,
+            ctx: IterCtx::root().push(entry, 0),
+        };
+        assert!(daig.value(&it0).is_some());
+    }
+}

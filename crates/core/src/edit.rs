@@ -1,0 +1,219 @@
+//! Incremental edit semantics (paper Fig. 9): eager forward dirtying with
+//! fix-edge rollback.
+//!
+//! * `E-Commit` — a value may be written once everything downstream is
+//!   empty; the functions here establish that premise by dirtying first.
+//! * `E-Propagate` — dirtying clears a cell and recursively empties its
+//!   (transitive) dependents. Because AI-consistency guarantees non-empty
+//!   cells have non-empty inputs, propagation can prune at cells that are
+//!   already empty.
+//! * `E-Loop` — when the destination of a `fix` edge is dirtied, the
+//!   loop's unrolled iterations are discarded and the fix edge rolls back
+//!   to the 0th and 1st iterates ([`crate::build::rollback_loop`]).
+
+use crate::build::rollback_loop;
+use crate::graph::{Daig, Func, Value};
+use crate::name::Name;
+use dai_domains::AbstractDomain;
+
+/// Dirties (empties) the cells named in `seeds` and everything forward-
+/// reachable from them, rolling back loops whose fixed points are
+/// invalidated. Cells that are already empty stop propagation.
+pub fn dirty_from<D: AbstractDomain>(daig: &mut Daig<D>, seeds: Vec<Name>) {
+    let mut work = seeds;
+    while let Some(x) = work.pop() {
+        if !daig.contains(&x) {
+            continue; // removed by a rollback
+        }
+        if daig.clear(&x).is_none() {
+            continue; // already empty: dependents are empty too
+        }
+        // E-Loop: clearing a fixed-point cell rolls its loop back.
+        if let Some(comp) = daig.comp(&x) {
+            if comp.func == Func::Fix {
+                if let Name::State { loc, ctx } = &x {
+                    let (head, sigma) = (*loc, ctx.clone());
+                    rollback_loop(daig, head, &sigma);
+                }
+            }
+        }
+        work.extend(daig.dependents(&x).cloned());
+    }
+}
+
+/// Dirties everything that depends on `n` without clearing `n` itself
+/// (used when `n` is about to receive a new value, e.g. a statement edit).
+pub fn dirty_dependents<D: AbstractDomain>(daig: &mut Daig<D>, n: &Name) {
+    let deps: Vec<Name> = daig.dependents(n).cloned().collect();
+    dirty_from(daig, deps);
+}
+
+/// Writes `v` into `n` after dirtying its dependents — the combination of
+/// `E-Propagate` and `E-Commit` for an external edit.
+pub fn write_with_invalidation<D: AbstractDomain>(daig: &mut Daig<D>, n: &Name, v: Value<D>) {
+    dirty_dependents(daig, n);
+    daig.write(n, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{dest_name, initial_daig, Overrides};
+    use crate::name::IterCtx;
+    use crate::query::{query, IntraResolver, QueryStats};
+    use dai_domains::{AbstractDomain, IntervalDomain};
+    use dai_lang::cfg::{lower_program, Cfg};
+    use dai_lang::parser::parse_program;
+    use dai_lang::{Loc, Stmt};
+    use dai_memo::MemoTable;
+
+    type D = IntervalDomain;
+
+    fn cfg_of(src: &str) -> Cfg {
+        lower_program(&parse_program(src).unwrap()).unwrap().cfgs()[0].clone()
+    }
+
+    fn fully_evaluate(cfg: &Cfg, daig: &mut crate::graph::Daig<D>) {
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        crate::query::evaluate_all(daig, cfg, &mut memo, &mut IntraResolver, &mut stats).unwrap();
+    }
+
+    #[test]
+    fn dirty_propagates_forward_only() {
+        let cfg = cfg_of("function f() { var x = 1; x = x + 1; return x; }");
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        fully_evaluate(&cfg, &mut daig);
+        // Dirty the middle state: downstream cells empty, upstream intact.
+        let locs = cfg.locs();
+        let mid = dest_name(&cfg, locs[2], &Overrides::new());
+        dirty_from(&mut daig, vec![mid.clone()]);
+        assert!(daig.value(&mid).is_none());
+        let entry = dest_name(&cfg, cfg.entry(), &Overrides::new());
+        assert!(daig.value(&entry).is_some());
+        let exit = dest_name(&cfg, cfg.exit(), &Overrides::new());
+        assert!(daig.value(&exit).is_none());
+    }
+
+    #[test]
+    fn dirty_fix_dest_rolls_back_loop() {
+        let cfg = cfg_of("function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }");
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        fully_evaluate(&cfg, &mut daig);
+        let head = cfg.loop_heads()[0];
+        let fix_cell = Name::State {
+            loc: head,
+            ctx: IterCtx::root(),
+        };
+        // The interval loop needs > 1 unrolling, so iterate 2 exists.
+        let it2 = Name::State {
+            loc: head,
+            ctx: IterCtx::root().push(head, 2),
+        };
+        assert!(daig.contains(&it2));
+        dirty_from(&mut daig, vec![fix_cell.clone()]);
+        assert!(
+            !daig.contains(&it2),
+            "rollback must remove unrolled iterates"
+        );
+        let comp = daig.comp(&fix_cell).unwrap();
+        assert_eq!(
+            comp.srcs[1],
+            Name::State {
+                loc: head,
+                ctx: IterCtx::root().push(head, 1)
+            }
+        );
+        daig.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn statement_edit_dirties_all_iterations() {
+        let cfg = cfg_of("function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }");
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        fully_evaluate(&cfg, &mut daig);
+        let head = cfg.loop_heads()[0];
+        let back = cfg.back_edge(head).unwrap();
+        write_with_invalidation(
+            &mut daig,
+            &Name::Stmt(back),
+            Value::Stmt(Stmt::Assign(
+                "i".into(),
+                dai_lang::parse_expr("i + 2").unwrap(),
+            )),
+        );
+        daig.check_well_formed().unwrap();
+        // The exit is dirty; the entry is not.
+        let exit = dest_name(&cfg, cfg.exit(), &Overrides::new());
+        assert!(daig.value(&exit).is_none());
+        let entry = dest_name(&cfg, cfg.entry(), &Overrides::new());
+        assert!(daig.value(&entry).is_some());
+        // Re-evaluation succeeds and reflects the new statement.
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        let v = query(
+            &mut daig,
+            &cfg,
+            &mut memo,
+            &exit,
+            &mut IntraResolver,
+            &mut stats,
+        )
+        .unwrap();
+        let state = v.as_state().unwrap().clone();
+        assert!(!state.is_bottom());
+    }
+
+    #[test]
+    fn dirtying_preserves_unaffected_loop() {
+        // Two sequential loops; editing after the first must not disturb it.
+        let cfg = cfg_of(
+            "function f(n) { var i = 0; while (i < n) { i = i + 1; } var j = 0; while (j < n) { j = j + 1; } return j; }",
+        );
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        fully_evaluate(&cfg, &mut daig);
+        let heads = cfg.loop_heads();
+        let (first, second) = (heads[0], heads[1]);
+        // Find the `var j = 0` edge (between the loops).
+        let j_edge = cfg
+            .edges()
+            .find(|e| e.stmt.to_string() == "j = 0")
+            .unwrap()
+            .id;
+        write_with_invalidation(
+            &mut daig,
+            &Name::Stmt(j_edge),
+            Value::Stmt(Stmt::Assign("j".into(), dai_lang::parse_expr("5").unwrap())),
+        );
+        // First loop fixed point survives; second is dirtied and rolled
+        // back.
+        let fix1 = Name::State {
+            loc: first,
+            ctx: IterCtx::root(),
+        };
+        assert!(daig.value(&fix1).is_some());
+        let fix2 = Name::State {
+            loc: second,
+            ctx: IterCtx::root(),
+        };
+        assert!(daig.value(&fix2).is_none());
+        daig.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn dirty_missing_or_empty_is_noop() {
+        let cfg = cfg_of("function f() { var x = 1; return x; }");
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        // Nothing evaluated: dirtying is harmless.
+        dirty_from(
+            &mut daig,
+            vec![Name::State {
+                loc: Loc(999),
+                ctx: IterCtx::root(),
+            }],
+        );
+        let exit = dest_name(&cfg, cfg.exit(), &Overrides::new());
+        dirty_from(&mut daig, vec![exit]);
+        daig.check_well_formed().unwrap();
+    }
+}

@@ -1,0 +1,456 @@
+//! The DAIG data structure: reference cells and computation hyperedges
+//! (paper §4), with the Definition 4.1 well-formedness checks.
+
+use crate::name::Name;
+use crate::strategy::FixStrategy;
+use dai_domains::AbstractDomain;
+use dai_lang::Stmt;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// A value stored in a reference cell: program syntax or an abstract state
+/// (paper Fig. 6's `v ::= s | φ`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value<D> {
+    /// A statement.
+    Stmt(Stmt),
+    /// An abstract state.
+    State(D),
+}
+
+impl<D: AbstractDomain> Value<D> {
+    /// The abstract state, if this value is one.
+    pub fn as_state(&self) -> Option<&D> {
+        match self {
+            Value::State(d) => Some(d),
+            Value::Stmt(_) => None,
+        }
+    }
+
+    /// The statement, if this value is one.
+    pub fn as_stmt(&self) -> Option<&Stmt> {
+        match self {
+            Value::Stmt(s) => Some(s),
+            Value::State(_) => None,
+        }
+    }
+}
+
+impl<D: fmt::Display> fmt::Display for Value<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Stmt(s) => write!(f, "{s}"),
+            Value::State(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// The analysis functions labelling DAIG edges (paper Fig. 6's
+/// `f ::= ⟦·⟧♯ | ⊔ | ∇ | fix`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Func {
+    /// Abstract transfer `⟦·⟧♯(stmt, pre-state)`.
+    Transfer,
+    /// Join `⊔(pre-join states...)`.
+    Join,
+    /// Widening `∇(previous iterate, pre-widen state)`.
+    Widen,
+    /// The distinguished fixed-point marker (paper §5.2): not a function
+    /// but a demand for convergence of its two iterate sources.
+    Fix,
+}
+
+impl Func {
+    /// The symbol used in memo keys. `Fix` is never memoized (paper's
+    /// `Q-Miss` requires `f ≠ fix`).
+    pub fn memo_symbol(self) -> &'static str {
+        match self {
+            Func::Transfer => "transfer",
+            Func::Join => "join",
+            Func::Widen => "widen",
+            Func::Fix => "fix",
+        }
+    }
+}
+
+/// A computation hyperedge `n ← f(n₁, …, n_k)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comp {
+    /// The labelling function.
+    pub func: Func,
+    /// Source cell names, in argument order.
+    pub srcs: Vec<Name>,
+}
+
+/// Errors reported by DAIG operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaigError {
+    /// A queried name does not exist in the DAIG's namespace.
+    NoSuchCell(String),
+    /// An internal invariant was violated (a bug; reported rather than
+    /// panicking so harnesses can surface it).
+    Invariant(String),
+}
+
+impl fmt::Display for DaigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaigError::NoSuchCell(n) => write!(f, "no such cell `{n}`"),
+            DaigError::Invariant(m) => write!(f, "DAIG invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaigError {}
+
+/// A demanded abstract interpretation graph: named reference cells plus
+/// computation hyperedges keyed by destination (well-formedness (2):
+/// destinations are unique).
+#[derive(Debug, Clone)]
+pub struct Daig<D: AbstractDomain> {
+    cells: HashMap<Name, Option<Value<D>>>,
+    comps: HashMap<Name, Comp>,
+    /// Reverse adjacency: source name → destinations of computations that
+    /// read it. Maintained by [`Daig::add_comp`]/[`Daig::remove_comp`].
+    dependents: HashMap<Name, BTreeSet<Name>>,
+    /// The loop-head iteration strategy this DAIG's `∇` and `fix` edges
+    /// realize. Carried by the graph so query evaluation and the
+    /// Definition 4.3 consistency checker always agree on the abstract
+    /// interpretation being encoded (see [`crate::strategy`]).
+    strategy: FixStrategy,
+}
+
+impl<D: AbstractDomain> Default for Daig<D> {
+    fn default() -> Self {
+        Daig::new()
+    }
+}
+
+impl<D: AbstractDomain> Daig<D> {
+    /// An empty DAIG with the paper's default strategy.
+    pub fn new() -> Daig<D> {
+        Daig {
+            cells: HashMap::new(),
+            comps: HashMap::new(),
+            dependents: HashMap::new(),
+            strategy: FixStrategy::PAPER,
+        }
+    }
+
+    /// The loop-head iteration strategy in effect.
+    pub fn strategy(&self) -> FixStrategy {
+        self.strategy
+    }
+
+    /// Replaces the iteration strategy.
+    ///
+    /// Changing the strategy of a DAIG that already holds loop-head results
+    /// would make those results inconsistent with the new semantics, so
+    /// this should only be called on freshly built (or fully dirtied)
+    /// graphs; [`crate::analysis::FuncAnalysis::with_strategy`] does so.
+    pub fn set_strategy(&mut self, strategy: FixStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Number of reference cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of computation edges.
+    pub fn comp_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Does the namespace contain `n`?
+    pub fn contains(&self, n: &Name) -> bool {
+        self.cells.contains_key(n)
+    }
+
+    /// The value of cell `n`, if the cell exists and is non-empty.
+    pub fn value(&self, n: &Name) -> Option<&Value<D>> {
+        self.cells.get(n).and_then(|v| v.as_ref())
+    }
+
+    /// The computation producing `n`, if any.
+    pub fn comp(&self, n: &Name) -> Option<&Comp> {
+        self.comps.get(n)
+    }
+
+    /// The destinations that read `n`.
+    pub fn dependents(&self, n: &Name) -> impl Iterator<Item = &Name> {
+        self.dependents.get(n).into_iter().flatten()
+    }
+
+    /// All cell names (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.cells.keys()
+    }
+
+    /// Number of non-empty cells.
+    pub fn filled_count(&self) -> usize {
+        self.cells.values().filter(|v| v.is_some()).count()
+    }
+
+    /// Adds (or resets) a cell with an initial value.
+    pub fn add_cell(&mut self, n: Name, v: Option<Value<D>>) {
+        self.cells.insert(n, v);
+    }
+
+    /// Writes a value into an existing cell (the low-level mutation
+    /// `D[n ↦ v]` of the paper — no invalidation; see `edit` for the
+    /// dirtying judgment).
+    pub fn write(&mut self, n: &Name, v: Value<D>) {
+        if let Some(slot) = self.cells.get_mut(n) {
+            *slot = Some(v);
+        }
+    }
+
+    /// Empties a cell, returning its previous value.
+    pub fn clear(&mut self, n: &Name) -> Option<Value<D>> {
+        self.cells.get_mut(n).and_then(|slot| slot.take())
+    }
+
+    /// Installs a computation `dest ← f(srcs)`, replacing any previous
+    /// computation for `dest` and maintaining reverse adjacency.
+    pub fn add_comp(&mut self, dest: Name, func: Func, srcs: Vec<Name>) {
+        self.remove_comp(&dest);
+        for s in &srcs {
+            self.dependents
+                .entry(s.clone())
+                .or_default()
+                .insert(dest.clone());
+        }
+        self.comps.insert(dest, Comp { func, srcs });
+    }
+
+    /// Removes the computation for `dest`, if any.
+    pub fn remove_comp(&mut self, dest: &Name) {
+        if let Some(old) = self.comps.remove(dest) {
+            for s in &old.srcs {
+                if let Some(ds) = self.dependents.get_mut(s) {
+                    ds.remove(dest);
+                    if ds.is_empty() {
+                        self.dependents.remove(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a cell and its computation. The caller is responsible for
+    /// not leaving dangling sources (checked by [`Daig::check_well_formed`]).
+    pub fn remove_cell(&mut self, n: &Name) {
+        self.remove_comp(n);
+        self.cells.remove(n);
+    }
+
+    /// Definition 4.1 well-formedness: unique names and destinations hold
+    /// structurally (maps); checks (3) acyclicity, (4) well-typedness, and
+    /// (5) empty cells have dependencies, plus adjacency coherence and the
+    /// AI-consistency condition that non-empty cells have non-empty
+    /// sources.
+    pub fn check_well_formed(&self) -> Result<(), DaigError> {
+        // (4) Typing: transfers take (stmt, state); others take states;
+        // all destinations are state-typed.
+        for (dest, comp) in &self.comps {
+            if dest.is_stmt() {
+                return Err(DaigError::Invariant(format!(
+                    "statement cell {dest} is a computation destination"
+                )));
+            }
+            if !self.cells.contains_key(dest) {
+                return Err(DaigError::Invariant(format!(
+                    "comp dest {dest} has no cell"
+                )));
+            }
+            for (i, s) in comp.srcs.iter().enumerate() {
+                if !self.cells.contains_key(s) {
+                    return Err(DaigError::Invariant(format!(
+                        "comp for {dest} reads missing cell {s}"
+                    )));
+                }
+                let should_be_stmt = comp.func == Func::Transfer && i == 0;
+                if s.is_stmt() != should_be_stmt {
+                    return Err(DaigError::Invariant(format!(
+                        "comp for {dest} arg {i} has wrong type ({s})"
+                    )));
+                }
+            }
+            match comp.func {
+                Func::Transfer if comp.srcs.len() != 2 => {
+                    return Err(DaigError::Invariant(format!("transfer arity at {dest}")));
+                }
+                Func::Widen | Func::Fix if comp.srcs.len() != 2 => {
+                    return Err(DaigError::Invariant(format!("binary arity at {dest}")));
+                }
+                Func::Join if comp.srcs.len() < 2 => {
+                    return Err(DaigError::Invariant(format!("join arity at {dest}")));
+                }
+                _ => {}
+            }
+        }
+        // (5) Empty references have dependencies; statement cells must be
+        // full; AI-consistency: non-empty cells have non-empty sources.
+        for (n, v) in &self.cells {
+            match v {
+                None => {
+                    if !self.comps.contains_key(n) {
+                        return Err(DaigError::Invariant(format!(
+                            "empty cell {n} has no computation"
+                        )));
+                    }
+                    if n.is_stmt() {
+                        return Err(DaigError::Invariant(format!("statement cell {n} empty")));
+                    }
+                }
+                Some(_) => {
+                    if let Some(c) = self.comps.get(n) {
+                        for s in &c.srcs {
+                            if self.value(s).is_none() {
+                                return Err(DaigError::Invariant(format!(
+                                    "non-empty {n} depends on empty {s}"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Adjacency coherence.
+        for (src, dests) in &self.dependents {
+            for d in dests {
+                let Some(c) = self.comps.get(d) else {
+                    return Err(DaigError::Invariant(format!(
+                        "dependents lists {d} for {src} without comp"
+                    )));
+                };
+                if !c.srcs.contains(src) {
+                    return Err(DaigError::Invariant(format!(
+                        "dependents lists {d} for {src} but comp does not read it"
+                    )));
+                }
+            }
+        }
+        // (3) Acyclicity via iterative DFS over comps (src → dest edges).
+        let mut state: HashMap<&Name, u8> = HashMap::new(); // 1 = in progress, 2 = done
+        for start in self.comps.keys() {
+            if state.get(start).copied().unwrap_or(0) == 2 {
+                continue;
+            }
+            let mut stack: Vec<(&Name, usize)> = vec![(start, 0)];
+            state.insert(start, 1);
+            while let Some(&(n, i)) = stack.last() {
+                // Children of n: the sources of its computation (walking
+                // backwards keeps the traversal within comps).
+                let srcs = self.comps.get(n).map(|c| c.srcs.as_slice()).unwrap_or(&[]);
+                if i < srcs.len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    let child = &srcs[i];
+                    match state.get(child).copied().unwrap_or(0) {
+                        0 => {
+                            state.insert(child, 1);
+                            stack.push((child, 0));
+                        }
+                        1 => {
+                            return Err(DaigError::Invariant(format!(
+                                "dependency cycle through {child}"
+                            )));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    state.insert(n, 2);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{IterCtx, Name};
+    use dai_domains::IntervalDomain;
+    use dai_lang::{EdgeId, Loc};
+
+    type D = IntervalDomain;
+
+    fn state(l: u32) -> Name {
+        Name::State {
+            loc: Loc(l),
+            ctx: IterCtx::root(),
+        }
+    }
+
+    fn simple_daig() -> Daig<D> {
+        let mut d: Daig<D> = Daig::new();
+        d.add_cell(state(0), Some(Value::State(IntervalDomain::top())));
+        d.add_cell(Name::Stmt(EdgeId(0)), Some(Value::Stmt(Stmt::Skip)));
+        d.add_cell(state(1), None);
+        d.add_comp(
+            state(1),
+            Func::Transfer,
+            vec![Name::Stmt(EdgeId(0)), state(0)],
+        );
+        d
+    }
+
+    #[test]
+    fn well_formed_simple_chain() {
+        simple_daig().check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn empty_cell_without_comp_rejected() {
+        let mut d = simple_daig();
+        d.add_cell(state(9), None);
+        assert!(d.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut d = simple_daig();
+        d.add_cell(state(2), None);
+        d.add_comp(state(2), Func::Widen, vec![state(1), state(2)]);
+        let err = d.check_well_formed().unwrap_err();
+        assert!(matches!(err, DaigError::Invariant(m) if m.contains("cycle")));
+    }
+
+    #[test]
+    fn nonempty_cell_with_empty_source_rejected() {
+        let mut d = simple_daig();
+        d.write(&state(1), Value::State(IntervalDomain::top()));
+        d.clear(&state(0));
+        assert!(d.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn transfer_type_checked() {
+        let mut d = simple_daig();
+        // Wrong: transfer with a state in statement position.
+        d.add_cell(state(3), None);
+        d.add_comp(state(3), Func::Transfer, vec![state(0), state(1)]);
+        assert!(d.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn dependents_maintained_on_add_remove() {
+        let mut d = simple_daig();
+        assert_eq!(d.dependents(&state(0)).count(), 1);
+        d.remove_comp(&state(1));
+        assert_eq!(d.dependents(&state(0)).count(), 0);
+    }
+
+    #[test]
+    fn clear_and_write_roundtrip() {
+        let mut d = simple_daig();
+        let v = d.clear(&state(0)).unwrap();
+        assert!(d.value(&state(0)).is_none());
+        d.write(&state(0), v);
+        assert!(d.value(&state(0)).is_some());
+    }
+}

@@ -1,0 +1,376 @@
+//! Demand-driven query evaluation (paper Fig. 8) with demanded unrolling
+//! of fixed points (§5.2).
+//!
+//! The judgment `D, M ⊢ n ⇒ v ; D', M'` is realized by an explicit-stack
+//! evaluator (so deep straight-line programs from the §7.3 generator cannot
+//! overflow the call stack). Each step applies exactly one of the paper's
+//! rules:
+//!
+//! * `Q-Reuse` — the cell already holds a value;
+//! * `Q-Match` — all inputs evaluated and `f·(v₁⋯v_k)` is in the memo
+//!   table: copy the memoized result into the cell;
+//! * `Q-Miss` — compute `f(v₁, …, v_k)`, store it in the cell *and* the
+//!   memo table;
+//! * `Q-Loop-Converge` — a `fix` edge whose two iterate inputs are equal:
+//!   the fixed point is reached and written;
+//! * `Q-Loop-Unroll` — the iterates differ: unroll the loop one abstract
+//!   iteration ([`crate::build::unroll_loop`]) and re-demand.
+//!
+//! Call statements are resolved through a [`CallResolver`] so the
+//! interprocedural layer (paper §7.1) can evaluate callee DAIGs on demand;
+//! call results are deliberately **not** memoized in `M`, because their
+//! value depends on the callee's current program text, not only on the
+//! argument values.
+
+use crate::build::unroll_loop;
+use crate::graph::{Daig, DaigError, Func, Value};
+use crate::name::Name;
+use dai_domains::AbstractDomain;
+use dai_lang::cfg::Cfg;
+use dai_lang::{EdgeId, Stmt};
+use dai_memo::{KeyBuilder, MemoTable};
+
+/// Resolves the abstract post-state of a call statement from the caller's
+/// pre-state. The interprocedural layer implements this by demanding the
+/// callee's exit; the intraprocedural default havocs via
+/// [`AbstractDomain::transfer`]. The shared memo table and statistics are
+/// threaded through so nested cross-DAIG queries reuse them.
+pub trait CallResolver<D: AbstractDomain> {
+    /// Computes the post-state of `stmt` (a call) on edge `edge` from
+    /// `pre`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DaigError`] if demanding the callee fails.
+    fn resolve(
+        &mut self,
+        pre: &D,
+        stmt: &Stmt,
+        edge: EdgeId,
+        memo: &mut MemoTable<Value<D>>,
+        stats: &mut QueryStats,
+    ) -> Result<D, DaigError>;
+}
+
+/// The intraprocedural resolver: treats calls with the domain's own
+/// (conservative) transfer function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntraResolver;
+
+impl<D: AbstractDomain> CallResolver<D> for IntraResolver {
+    fn resolve(
+        &mut self,
+        pre: &D,
+        stmt: &Stmt,
+        _edge: EdgeId,
+        _memo: &mut MemoTable<Value<D>>,
+        _stats: &mut QueryStats,
+    ) -> Result<D, DaigError> {
+        Ok(pre.transfer(stmt))
+    }
+}
+
+/// Counters describing the work a query performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Cells whose values were computed by applying an analysis function
+    /// (`Q-Miss`).
+    pub computed: u64,
+    /// Cells filled from the memo table (`Q-Match`).
+    pub memo_matched: u64,
+    /// Cells that already held values when first demanded (`Q-Reuse`),
+    /// counted per distinct demanded cell.
+    pub reused: u64,
+    /// Demanded loop unrollings (`Q-Loop-Unroll`).
+    pub unrolls: u64,
+    /// Fixed points written (`Q-Loop-Converge`).
+    pub fix_converged: u64,
+}
+
+impl QueryStats {
+    /// Merges another stats record into this one.
+    pub fn absorb(&mut self, other: QueryStats) {
+        self.computed += other.computed;
+        self.memo_matched += other.memo_matched;
+        self.reused += other.reused;
+        self.unrolls += other.unrolls;
+        self.fix_converged += other.fix_converged;
+    }
+}
+
+/// Upper bound on unrollings of a single loop instance, as a guard against
+/// domains with broken widening; hitting it is reported as an invariant
+/// violation rather than diverging.
+const MAX_UNROLLS_PER_QUERY: u64 = 1_000_000;
+
+/// The iterate index `k ≥ 1` a widen edge produces, read off its
+/// destination name `ℓ⟨k⟩` (the strategy uses it to schedule `⊔` vs `∇`).
+pub(crate) fn widen_dest_iterate(dest: &Name) -> Result<u32, DaigError> {
+    match dest {
+        Name::State { loc, ctx } => match ctx.last() {
+            Some((head, k)) if head == *loc && k >= 1 => Ok(k),
+            _ => Err(DaigError::Invariant(format!(
+                "widen destination {dest} is not an iterate of its own head"
+            ))),
+        },
+        other => Err(DaigError::Invariant(format!(
+            "widen destination {other} is not a state cell"
+        ))),
+    }
+}
+
+/// Evaluates the cell named `n`, demanding its transitive dependencies and
+/// unrolling loops as needed.
+///
+/// # Errors
+///
+/// * [`DaigError::NoSuchCell`] if `n` is not in the DAIG's namespace;
+/// * [`DaigError::Invariant`] on internal inconsistency (a bug) or
+///   divergence-guard trip.
+pub fn query<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    memo: &mut MemoTable<Value<D>>,
+    n: &Name,
+    resolver: &mut dyn CallResolver<D>,
+    stats: &mut QueryStats,
+) -> Result<Value<D>, DaigError> {
+    if !daig.contains(n) {
+        return Err(DaigError::NoSuchCell(n.to_string()));
+    }
+    if daig.value(n).is_some() {
+        stats.reused += 1;
+        return Ok(daig.value(n).expect("just checked").clone());
+    }
+
+    let mut stack: Vec<Name> = vec![n.clone()];
+    let mut unroll_guard: u64 = 0;
+    while let Some(top) = stack.last().cloned() {
+        if daig.value(&top).is_some() {
+            stack.pop();
+            continue;
+        }
+        let comp = daig
+            .comp(&top)
+            .ok_or_else(|| DaigError::Invariant(format!("empty cell {top} has no computation")))?
+            .clone();
+        // Demand unevaluated inputs first. A cell may appear several times
+        // on the stack (it is a DAG, not a tree); the topmost occurrence
+        // evaluates it and deeper duplicates pop as already-filled. A true
+        // dependency cycle would instead grow the stack beyond any bound
+        // proportional to the graph, which the depth guard below converts
+        // into an invariant error.
+        let missing: Vec<Name> = comp
+            .srcs
+            .iter()
+            .filter(|s| daig.value(s).is_none())
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            for m in missing {
+                if !daig.contains(&m) {
+                    return Err(DaigError::Invariant(format!(
+                        "computation for {top} reads missing cell {m}"
+                    )));
+                }
+                stack.push(m);
+            }
+            if stack.len() > 4 * daig.cell_count() + 1024 {
+                return Err(DaigError::Invariant(format!(
+                    "demand stack exploded at {top}: dependency cycle (acyclicity violated)"
+                )));
+            }
+            continue;
+        }
+        // All inputs ready: apply the matching rule.
+        match comp.func {
+            Func::Fix => {
+                let v0 = daig.value(&comp.srcs[0]).expect("ready").clone();
+                let v1 = daig.value(&comp.srcs[1]).expect("ready").clone();
+                let converged = match (v0.as_state(), v1.as_state()) {
+                    (Some(older), Some(newer)) => daig.strategy().converged(older, newer),
+                    _ => {
+                        return Err(DaigError::Invariant(format!(
+                            "fix at {top} reads non-state iterates"
+                        )));
+                    }
+                };
+                if converged {
+                    // Q-Loop-Converge: the older iterate is the (post-)
+                    // fixed point; under `=` convergence the two coincide.
+                    daig.write(&top, v0);
+                    stats.fix_converged += 1;
+                    stack.pop();
+                } else {
+                    // Q-Loop-Unroll.
+                    unroll_guard += 1;
+                    if unroll_guard > MAX_UNROLLS_PER_QUERY {
+                        return Err(DaigError::Invariant(format!(
+                            "loop at {top} exceeded {MAX_UNROLLS_PER_QUERY} unrollings: \
+                             widening does not converge"
+                        )));
+                    }
+                    let (head, sigma) = match &top {
+                        Name::State { loc, ctx } => (*loc, ctx.clone()),
+                        other => {
+                            return Err(DaigError::Invariant(format!(
+                                "fix destination {other} is not a state cell"
+                            )));
+                        }
+                    };
+                    let k = match comp.srcs[1].ctx().and_then(|c| c.last()) {
+                        Some((h, k)) if h == head => k,
+                        _ => {
+                            return Err(DaigError::Invariant(format!(
+                                "fix source {} is not an iterate of {head}",
+                                comp.srcs[1]
+                            )));
+                        }
+                    };
+                    unroll_loop(daig, cfg, head, &sigma, k);
+                    stats.unrolls += 1;
+                    // Leave `top` on the stack: the fix edge now demands
+                    // the next iterate.
+                }
+            }
+            Func::Transfer => {
+                let stmt = daig
+                    .value(&comp.srcs[0])
+                    .and_then(|v| v.as_stmt())
+                    .ok_or_else(|| {
+                        DaigError::Invariant(format!("transfer for {top} has no statement"))
+                    })?
+                    .clone();
+                let pre = daig
+                    .value(&comp.srcs[1])
+                    .and_then(|v| v.as_state())
+                    .ok_or_else(|| {
+                        DaigError::Invariant(format!("transfer for {top} has no pre-state"))
+                    })?
+                    .clone();
+                let value = if let Stmt::Call { .. } = &stmt {
+                    // Calls: resolve through the interprocedural layer and
+                    // do not memoize (the result depends on the callee's
+                    // current body).
+                    let edge = match &comp.srcs[0] {
+                        Name::Stmt(e) => *e,
+                        other => {
+                            return Err(DaigError::Invariant(format!(
+                                "transfer stmt source {other} is not a statement cell"
+                            )));
+                        }
+                    };
+                    stats.computed += 1;
+                    Value::State(resolver.resolve(&pre, &stmt, edge, memo, stats)?)
+                } else {
+                    let key = KeyBuilder::new(Func::Transfer.memo_symbol())
+                        .push(&stmt)
+                        .push(&pre)
+                        .finish();
+                    match memo.get(key) {
+                        Some(v) => {
+                            stats.memo_matched += 1;
+                            v.clone()
+                        }
+                        None => {
+                            let v = Value::State(pre.transfer(&stmt));
+                            memo.insert(key, v.clone());
+                            stats.computed += 1;
+                            v
+                        }
+                    }
+                };
+                daig.write(&top, value);
+                stack.pop();
+            }
+            Func::Join | Func::Widen => {
+                let states: Vec<D> = comp
+                    .srcs
+                    .iter()
+                    .map(|s| {
+                        daig.value(s)
+                            .and_then(|v| v.as_state())
+                            .cloned()
+                            .ok_or_else(|| {
+                                DaigError::Invariant(format!("{top} input {s} is not a state"))
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                // The operator a widen edge applies depends on the
+                // strategy and on which iterate it produces (delayed
+                // widening joins early iterations); the memo key uses the
+                // symbol of the operator actually applied, so a delayed
+                // widen shares entries with genuine joins.
+                let iterate = if comp.func == Func::Widen {
+                    Some(widen_dest_iterate(&top)?)
+                } else {
+                    None
+                };
+                let symbol = match iterate {
+                    Some(k) => daig.strategy().combine_symbol(k),
+                    None => Func::Join.memo_symbol(),
+                };
+                let mut kb = KeyBuilder::new(symbol);
+                for s in &states {
+                    kb = kb.push(s);
+                }
+                let key = kb.finish();
+                let value = match memo.get(key) {
+                    Some(v) => {
+                        stats.memo_matched += 1;
+                        v.clone()
+                    }
+                    None => {
+                        let out = match iterate {
+                            None => {
+                                let mut it = states.iter();
+                                let first = it.next().expect("join arity >= 2").clone();
+                                it.fold(first, |acc, s| acc.join(s))
+                            }
+                            Some(k) => daig.strategy().combine(k, &states[0], &states[1]),
+                        };
+                        let v = Value::State(out);
+                        memo.insert(key, v.clone());
+                        stats.computed += 1;
+                        v
+                    }
+                };
+                daig.write(&top, value);
+                stack.pop();
+            }
+        }
+    }
+    Ok(daig.value(n).expect("query completed").clone())
+}
+
+/// Evaluates every cell in the DAIG (used by the exhaustive analysis
+/// configurations).
+///
+/// # Errors
+///
+/// Propagates the first [`DaigError`] encountered.
+pub fn evaluate_all<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    memo: &mut MemoTable<Value<D>>,
+    resolver: &mut dyn CallResolver<D>,
+    stats: &mut QueryStats,
+) -> Result<(), DaigError> {
+    // Demanding all fix cells (and the exit) forces the whole graph; the
+    // set of names grows during unrolling, so iterate to quiescence.
+    loop {
+        let pending: Vec<Name> = daig
+            .names()
+            .filter(|n| daig.value(n).is_none())
+            .cloned()
+            .collect();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        for n in pending {
+            if daig.contains(&n) && daig.value(&n).is_none() {
+                query(daig, cfg, memo, &n, resolver, stats)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Loop-head iteration strategies (paper §2.3, footnote 4).
+//!
+//! The paper's presentation fixes one strategy — "applying ∇ every
+//! iteration until a fixed-point is reached" and checking convergence with
+//! `=` — and notes that "the same general idea applies for other widening
+//! strategies or checking convergence with ⊑ instead of =". This module
+//! makes that remark concrete: a [`FixStrategy`] chooses
+//!
+//! * **which operator each widen edge applies** — classical *delayed
+//!   widening* joins for the first `widen_delay` abstract iterations of
+//!   every loop instance before switching to `∇`, trading extra iterations
+//!   for precision (a widen edge that joins cannot overshoot); and
+//! * **how `fix` edges detect convergence** — [`Convergence::Equal`] is the
+//!   paper's default; [`Convergence::Leq`] declares convergence as soon as
+//!   the newer iterate is `⊑` the older one, which matters for domains
+//!   whose operators stabilize semantically before their *representations*
+//!   stabilize syntactically (e.g. widening that tags states with
+//!   bookkeeping that `⊑` ignores).
+//!
+//! The strategy is a property of a [`crate::graph::Daig`]: demanded query
+//! evaluation ([`crate::query`]), the batch oracle ([`crate::batch`]), and
+//! the Definition 4.3 consistency checker ([`crate::consistency`]) all read
+//! it from there, so a DAIG and its meta-theory checks can never disagree
+//! about which abstract interpretation they encode.
+//!
+//! # Termination
+//!
+//! Both knobs preserve Theorem 6.3 (query termination): `widen_delay` is
+//! finite, so every unrolling sequence eventually applies `∇`, whose
+//! convergence property bounds the remaining iterations; and
+//! `Convergence::Leq` only converges *earlier* than `Equal` (iterates
+//! produced by upper-bound operators are increasing, so `newer ⊑ older`
+//! whenever `newer = older`).
+
+use dai_domains::AbstractDomain;
+use std::fmt;
+
+/// How a `fix` edge decides that its two greatest iterates have converged
+/// (paper footnote 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Convergence {
+    /// The paper's default: the iterates are equal (`=` on canonical
+    /// forms).
+    #[default]
+    Equal,
+    /// Post-fixpoint detection: the newer iterate is `⊑` the older one.
+    /// Converges no later than [`Convergence::Equal`], and strictly earlier
+    /// for domains whose representations keep changing after their meaning
+    /// stabilizes.
+    Leq,
+}
+
+impl fmt::Display for Convergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Convergence::Equal => write!(f, "="),
+            Convergence::Leq => write!(f, "⊑"),
+        }
+    }
+}
+
+/// A loop-head iteration strategy: the operator schedule for widen edges
+/// plus the convergence test for `fix` edges.
+///
+/// The default ([`FixStrategy::PAPER`]) reproduces the paper exactly:
+/// widen on every iteration, converge on equality.
+///
+/// ```
+/// use dai_core::strategy::{Convergence, FixStrategy};
+///
+/// let paper = FixStrategy::default();
+/// assert_eq!(paper, FixStrategy::PAPER);
+/// let precise = FixStrategy::delayed(8).with_convergence(Convergence::Leq);
+/// assert_eq!(precise.widen_delay, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FixStrategy {
+    /// Widen edges producing iterates `1 ..= widen_delay` apply `⊔`
+    /// instead of `∇` (classical delayed widening). `0` widens always.
+    pub widen_delay: u32,
+    /// The convergence test applied by `fix` edges.
+    pub convergence: Convergence,
+}
+
+impl FixStrategy {
+    /// The paper's strategy: `∇` every iteration, convergence by `=`.
+    pub const PAPER: FixStrategy = FixStrategy {
+        widen_delay: 0,
+        convergence: Convergence::Equal,
+    };
+
+    /// Delays widening for the first `k` iterations of every loop.
+    pub fn delayed(k: u32) -> FixStrategy {
+        FixStrategy {
+            widen_delay: k,
+            ..FixStrategy::PAPER
+        }
+    }
+
+    /// Replaces the convergence test.
+    #[must_use]
+    pub fn with_convergence(self, convergence: Convergence) -> FixStrategy {
+        FixStrategy {
+            convergence,
+            ..self
+        }
+    }
+
+    /// Applies the widen edge producing iterate `k` (`k ≥ 1`):
+    /// `⊔` while delayed, `∇` afterwards.
+    pub fn combine<D: AbstractDomain>(&self, k: u32, prev: &D, next: &D) -> D {
+        if k <= self.widen_delay {
+            prev.join(next)
+        } else {
+            prev.widen(next)
+        }
+    }
+
+    /// The memo-key symbol for the operator [`FixStrategy::combine`]
+    /// actually applies at iterate `k` — a delayed widen *is* a join and
+    /// shares join's memo entries.
+    pub fn combine_symbol(&self, k: u32) -> &'static str {
+        if k <= self.widen_delay {
+            crate::graph::Func::Join.memo_symbol()
+        } else {
+            crate::graph::Func::Widen.memo_symbol()
+        }
+    }
+
+    /// The `fix` convergence test over the two greatest iterates
+    /// (`older` = `ℓ⟨k−1⟩`, `newer` = `ℓ⟨k⟩`).
+    pub fn converged<D: AbstractDomain>(&self, older: &D, newer: &D) -> bool {
+        match self.convergence {
+            Convergence::Equal => older == newer,
+            Convergence::Leq => newer.leq(older),
+        }
+    }
+}
+
+impl fmt::Display for FixStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delay={} conv={}", self.widen_delay, self.convergence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dai_domains::interval::Interval;
+    use dai_domains::IntervalDomain;
+
+    #[test]
+    fn paper_strategy_is_default() {
+        assert_eq!(FixStrategy::default(), FixStrategy::PAPER);
+        assert_eq!(FixStrategy::PAPER.widen_delay, 0);
+        assert_eq!(FixStrategy::PAPER.convergence, Convergence::Equal);
+    }
+
+    #[test]
+    fn combine_joins_during_delay_then_widens() {
+        let s = FixStrategy::delayed(2);
+        let a = IntervalDomain::from_bindings([(
+            "x".into(),
+            dai_domains::interval::AbsVal::Num(Interval::of(0, 0)),
+        )]);
+        let b = IntervalDomain::from_bindings([(
+            "x".into(),
+            dai_domains::interval::AbsVal::Num(Interval::of(0, 1)),
+        )]);
+        // k = 1, 2: join keeps the finite bound.
+        assert_eq!(s.combine(1, &a, &b).interval_of("x"), Interval::of(0, 1));
+        assert_eq!(s.combine(2, &a, &b).interval_of("x"), Interval::of(0, 1));
+        // k = 3: widening blows the unstable upper bound to +∞.
+        let w = s.combine(3, &a, &b).interval_of("x");
+        assert!(w.contains(1_000_000), "expected widened interval, got {w}");
+    }
+
+    #[test]
+    fn combine_symbol_matches_operator() {
+        let s = FixStrategy::delayed(1);
+        assert_eq!(s.combine_symbol(1), "join");
+        assert_eq!(s.combine_symbol(2), "widen");
+        assert_eq!(FixStrategy::PAPER.combine_symbol(1), "widen");
+    }
+
+    #[test]
+    fn equal_convergence_requires_equality() {
+        let s = FixStrategy::PAPER;
+        let a = IntervalDomain::top();
+        assert!(s.converged(&a, &a.clone()));
+        let b = IntervalDomain::bottom();
+        assert!(!s.converged(&a, &b) || a == b);
+    }
+
+    #[test]
+    fn leq_convergence_accepts_smaller_newer_iterate() {
+        let s = FixStrategy::PAPER.with_convergence(Convergence::Leq);
+        let top = IntervalDomain::top();
+        let bot = IntervalDomain::bottom();
+        // newer ⊑ older converges even though they differ.
+        assert!(s.converged(&top, &bot));
+        assert!(!s.converged(&bot, &top));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FixStrategy::PAPER.to_string(), "delay=0 conv==");
+        assert_eq!(
+            FixStrategy::delayed(3)
+                .with_convergence(Convergence::Leq)
+                .to_string(),
+            "delay=3 conv=⊑"
+        );
+    }
+}

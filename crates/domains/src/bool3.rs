@@ -1,0 +1,161 @@
+//! A four-point abstraction of booleans: `⊥ ⊑ {true, false} ⊑ ⊤`.
+
+use std::fmt;
+
+/// Abstraction of a boolean value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Bool3 {
+    /// No value (unreachable).
+    Bot,
+    /// Definitely `true`.
+    True,
+    /// Definitely `false`.
+    False,
+    /// Either.
+    Top,
+}
+
+// `not` is three-valued negation; naming it after the boolean operation
+// (rather than implementing `std::ops::Not`) matches the domain-method
+// convention used across this crate.
+#[allow(clippy::should_implement_trait)]
+impl Bool3 {
+    /// Abstracts a concrete boolean.
+    pub fn of(b: bool) -> Bool3 {
+        if b {
+            Bool3::True
+        } else {
+            Bool3::False
+        }
+    }
+
+    /// May this abstract boolean be `true`?
+    pub fn may_true(self) -> bool {
+        matches!(self, Bool3::True | Bool3::Top)
+    }
+
+    /// May this abstract boolean be `false`?
+    pub fn may_false(self) -> bool {
+        matches!(self, Bool3::False | Bool3::Top)
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: Bool3) -> Bool3 {
+        use Bool3::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (True, True) => True,
+            (False, False) => False,
+            _ => Top,
+        }
+    }
+
+    /// Partial order.
+    pub fn leq(self, other: Bool3) -> bool {
+        use Bool3::*;
+        matches!(
+            (self, other),
+            (Bot, _) | (_, Top) | (True, True) | (False, False)
+        )
+    }
+
+    /// Abstract logical negation.
+    pub fn not(self) -> Bool3 {
+        use Bool3::*;
+        match self {
+            Bot => Bot,
+            True => False,
+            False => True,
+            Top => Top,
+        }
+    }
+
+    /// Abstract conjunction.
+    pub fn and(self, other: Bool3) -> Bool3 {
+        use Bool3::*;
+        match (self, other) {
+            (Bot, _) | (_, Bot) => Bot,
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Top,
+        }
+    }
+
+    /// Abstract disjunction.
+    pub fn or(self, other: Bool3) -> Bool3 {
+        use Bool3::*;
+        match (self, other) {
+            (Bot, _) | (_, Bot) => Bot,
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Top,
+        }
+    }
+}
+
+impl fmt::Display for Bool3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bool3::Bot => write!(f, "⊥b"),
+            Bool3::True => write!(f, "true"),
+            Bool3::False => write!(f, "false"),
+            Bool3::Top => write!(f, "⊤b"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Bool3::*;
+
+    const ALL: [Bool3; 4] = [Bot, True, False, Top];
+
+    #[test]
+    fn join_is_lub() {
+        for a in ALL {
+            for b in ALL {
+                let j = a.join(b);
+                assert!(a.leq(j) && b.leq(j), "{a} ⊔ {b} = {j} not an upper bound");
+            }
+        }
+    }
+
+    #[test]
+    fn leq_is_partial_order() {
+        for a in ALL {
+            assert!(a.leq(a));
+            for b in ALL {
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_is_sound_and_involutive_on_precise() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Top.not(), Top);
+        assert_eq!(Bot.not(), Bot);
+    }
+
+    #[test]
+    fn and_or_truth_tables() {
+        assert_eq!(True.and(False), False);
+        assert_eq!(Top.and(False), False);
+        assert_eq!(Top.and(True), Top);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Top.or(True), True);
+        assert_eq!(Top.or(False), Top);
+    }
+
+    #[test]
+    fn of_and_may() {
+        assert!(Bool3::of(true).may_true());
+        assert!(!Bool3::of(true).may_false());
+        assert!(Top.may_true() && Top.may_false());
+        assert!(!Bot.may_true() && !Bot.may_false());
+    }
+}

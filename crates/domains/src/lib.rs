@@ -1,0 +1,145 @@
+//! # dai-domains — abstract domains for demanded abstract interpretation
+//!
+//! The paper's framework is parametric in an abstract interpreter
+//! `⟨Σ♯, φ₀, ⟦·⟧♯, ⊑, ⊔, ∇⟩` (§3). This crate defines that interface as the
+//! [`AbstractDomain`] trait and provides the three instantiations evaluated
+//! in §7, each implemented from scratch:
+//!
+//! * [`interval`] — the textbook infinite-height interval domain over an
+//!   environment of abstract values (numbers, booleans, arrays, references),
+//!   with an array-bounds-checking client (the paper used APRON intervals);
+//! * [`octagon`] — Miné's relational octagon domain (`±x ±y ≤ c`) via
+//!   difference-bound matrices with strong closure (the paper used APRON
+//!   octagons);
+//! * [`shape`] — a separation-logic shape domain for singly-linked lists
+//!   with `points-to` and `lseg` predicates, materialization, and
+//!   canonicalization-based widening (after Chang–Rival–Necula, specialized
+//!   to list segments as in the paper).
+//!
+//! All three are infinite-height lattices requiring genuine widening, which
+//! is precisely what rules them out of prior incremental/demand-driven
+//! frameworks and motivates DAIGs.
+//!
+//! To exercise the opposite corner of the design space — the finite-height
+//! domains the paper's §2.3 notes would admit eager `k`-fold inlining and
+//! that prior frameworks (IFDS/IDE, Datalog) *can* express — the crate also
+//! provides:
+//!
+//! * [`sign`] — the eight-element sign lattice (widening degenerates to
+//!   join);
+//! * [`constprop`] — flat constant propagation à la Sagiv–Reps–Horwitz;
+//! * [`product`] — the direct-product combinator `Prod<A, B>`, building new
+//!   domain instances compositionally (e.g. intervals × signs).
+
+pub mod bool3;
+pub mod constprop;
+pub mod interval;
+pub mod octagon;
+pub mod product;
+pub mod shape;
+pub mod sign;
+
+pub use bool3::Bool3;
+pub use constprop::ConstDomain;
+pub use interval::IntervalDomain;
+pub use octagon::OctagonDomain;
+pub use product::Prod;
+pub use shape::ShapeDomain;
+pub use sign::SignDomain;
+
+use dai_lang::interp::ConcreteState;
+use dai_lang::{Expr, Stmt, Symbol};
+use std::fmt;
+use std::hash::Hash;
+
+/// Static description of a call site, passed to interprocedural transfer
+/// functions.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite<'a> {
+    /// Variable receiving the return value, if any.
+    pub lhs: Option<&'a Symbol>,
+    /// Callee name.
+    pub callee: &'a Symbol,
+    /// Actual argument expressions, evaluated in the caller's state.
+    pub args: &'a [Expr],
+    /// A stable, unique key for this call site (function name + edge id),
+    /// used by heap domains to frame caller-local bindings across the call.
+    pub site_key: &'a str,
+}
+
+/// The abstract interpreter interface `⟨Σ♯, φ₀, ⟦·⟧♯, ⊑, ⊔, ∇⟩` of paper §3,
+/// extended with the interprocedural hooks of §7.1 and a concretization
+/// test used to validate soundness.
+///
+/// # Lattice laws
+///
+/// Implementations must provide a join semi-lattice with bottom:
+/// `join` is an upper bound for `leq`, `bottom()` is least, and `widen` is
+/// an upper-bound operator enforcing convergence — every sequence
+/// `w₀, w₀ ∇ φ₁, (w₀ ∇ φ₁) ∇ φ₂, …` with increasing `φᵢ` stabilizes after
+/// finitely many steps (paper §3). Additionally `widen(a, a) == a` must
+/// hold so converged loops stay converged when re-unrolled.
+///
+/// `Eq`/`Hash` must agree with semantic equality on *canonical forms*: the
+/// DAIG convergence check (`Q-Loop-Converge`) and the memo table both
+/// compare states with `==`.
+pub trait AbstractDomain:
+    Clone + Eq + Hash + fmt::Debug + fmt::Display + Send + Sync + 'static
+{
+    /// The least element `⊥` (unreachable).
+    fn bottom() -> Self;
+
+    /// Is this state `⊥`?
+    fn is_bottom(&self) -> bool;
+
+    /// A default initial state `φ₀` for an entry function with the given
+    /// parameters (parameters unconstrained). Analyses needing a richer
+    /// precondition (e.g. shape analysis assuming well-formed input lists)
+    /// construct `φ₀` explicitly instead.
+    fn entry_default(params: &[Symbol]) -> Self;
+
+    /// Least upper bound `⊔`.
+    fn join(&self, other: &Self) -> Self;
+
+    /// Widening `∇`; `self` is the previous iterate, `next` the new value.
+    fn widen(&self, next: &Self) -> Self;
+
+    /// Partial order `⊑`.
+    fn leq(&self, other: &Self) -> bool;
+
+    /// Abstract transfer `⟦s⟧♯` for non-call statements. Call statements
+    /// are handled by the interprocedural layer; an implementation should
+    /// treat a call conservatively (havoc the left-hand side) so that a
+    /// purely intraprocedural analysis remains sound.
+    fn transfer(&self, stmt: &Stmt) -> Self;
+
+    /// Abstract entry state of a callee: bind `callee_params` to the actual
+    /// arguments evaluated in the caller state `self` at the call site.
+    fn call_entry(&self, site: CallSite<'_>, callee_params: &[Symbol]) -> Self;
+
+    /// Abstract post-call state: combine the caller state at the call
+    /// (`self`) with the callee's exit state.
+    fn call_return(&self, site: CallSite<'_>, callee_exit: &Self) -> Self;
+
+    /// Concretization membership test `σ ⊨ φ` (i.e. `σ ∈ γ(φ)`), used by
+    /// the test suites to validate soundness against the concrete
+    /// interpreter. Must never return `false` for a state the abstract
+    /// semantics claims to cover.
+    fn models(&self, concrete: &ConcreteState) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The trait must be object-safe enough for generic use and its
+    // implementors must be Send + Sync (checked here once for all).
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn domains_are_send_sync() {
+        assert_send_sync::<IntervalDomain>();
+        assert_send_sync::<OctagonDomain>();
+        assert_send_sync::<ShapeDomain>();
+    }
+}

@@ -1,0 +1,1294 @@
+//! The octagon abstract domain (Miné), from scratch.
+//!
+//! Octagons represent conjunctions of constraints of the form
+//! `±x ± y ≤ c` — "a relational numerical domain … widely used in practice
+//! due to its balance of expressivity and efficiency" (paper §7.3, where it
+//! backs the scalability experiments). The paper uses APRON's octagons;
+//! this is a self-contained implementation of the same domain:
+//!
+//! * each tracked variable `x` gets two signed forms `x⁺ = x` and
+//!   `x⁻ = −x`; a difference-bound matrix (DBM) entry `m[i][j]` bounds
+//!   `vᵢ − vⱼ ≤ m[i][j]` over signed forms;
+//! * **strong closure** (Floyd–Warshall plus the octagonal strengthening
+//!   step) computes the canonical tightest matrix and decides emptiness;
+//! * assignment supports exact transfer for (anti-)linear right-hand sides
+//!   `±y + c` and falls back to interval bounds for anything else;
+//! * `assume` extracts octagon constraints from comparisons (including
+//!   two-variable forms like `i < j`), handles `&&`/`||`/`!` structurally;
+//! * join is the pointwise max of *closed* operands; widening is pointwise
+//!   bound-dropping and — as required for convergence — its result is
+//!   **not** closed;
+//! * non-numeric variables are simply untracked (`⊤`), which keeps the
+//!   domain sound on the full language (arrays, booleans, heap refs).
+
+use crate::interval::{Bound, Interval};
+use crate::{AbstractDomain, CallSite};
+use dai_lang::interp::{ConcreteState, Value};
+use dai_lang::{BinOp, Expr, Stmt, Symbol, UnOp, RETURN_VAR};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// `+∞` sentinel for DBM entries.
+const INF: i64 = i64::MAX;
+
+/// Saturating bound addition: `∞ + x = ∞`; finite overflow saturates
+/// soundly (positive overflow to `∞`, negative to `i64::MIN`, which is a
+/// *weaker* bound than the true sum and therefore sound).
+fn badd(a: i64, b: i64) -> i64 {
+    if a == INF || b == INF {
+        INF
+    } else {
+        a.saturating_add(b)
+    }
+}
+
+/// Floor division by 2 that respects the `∞` sentinel.
+fn bhalf(a: i64) -> i64 {
+    if a == INF {
+        INF
+    } else {
+        a.div_euclid(2)
+    }
+}
+
+/// A non-bottom octagon: tracked variables (sorted) plus the DBM over their
+/// signed forms.
+#[derive(Debug, Clone)]
+pub struct Oct {
+    vars: Vec<Symbol>,
+    /// Row-major `(2n)²` matrix; `dbm[i * 2n + j]` bounds `vᵢ − vⱼ`.
+    dbm: Vec<i64>,
+    /// Whether `dbm` is strongly closed. Ignored by `Eq`/`Hash`.
+    closed: bool,
+}
+
+impl PartialEq for Oct {
+    fn eq(&self, other: &Oct) -> bool {
+        self.vars == other.vars && self.dbm == other.dbm
+    }
+}
+
+impl Eq for Oct {}
+
+impl Hash for Oct {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.vars.hash(state);
+        self.dbm.hash(state);
+    }
+}
+
+impl Oct {
+    fn n(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn dim(&self) -> usize {
+        2 * self.vars.len()
+    }
+
+    fn at(&self, i: usize, j: usize) -> i64 {
+        self.dbm[i * self.dim() + j]
+    }
+
+    fn set(&mut self, i: usize, j: usize, v: i64) {
+        let d = self.dim();
+        self.dbm[i * d + j] = v;
+    }
+
+    fn tighten(&mut self, i: usize, j: usize, c: i64) {
+        if c < self.at(i, j) {
+            self.set(i, j, c);
+            // Coherence: v_i − v_j and v_j̄ − v_ī are the same constraint.
+            self.set(j ^ 1, i ^ 1, c);
+            self.closed = false;
+        }
+    }
+
+    fn index_of(&self, var: &Symbol) -> Option<usize> {
+        self.vars.binary_search(var).ok()
+    }
+
+    /// Adds `var` as an unconstrained tracked variable, rebuilding the
+    /// matrix. Returns its index.
+    fn track(&mut self, var: &Symbol) -> usize {
+        if let Some(i) = self.index_of(var) {
+            return i;
+        }
+        let pos = self.vars.binary_search(var).unwrap_err();
+        let old_vars: Vec<Symbol> = self.vars.clone();
+        let mut new_vars = old_vars.clone();
+        new_vars.insert(pos, var.clone());
+        let old = std::mem::replace(self, Oct::unconstrained(new_vars));
+        // Copy surviving entries.
+        for (oi, v1) in old.vars.iter().enumerate() {
+            let ni = self.index_of(v1).expect("kept");
+            for (oj, v2) in old.vars.iter().enumerate() {
+                let nj = self.index_of(v2).expect("kept");
+                for s1 in 0..2 {
+                    for s2 in 0..2 {
+                        let val = old.at(2 * oi + s1, 2 * oj + s2);
+                        self.set(2 * ni + s1, 2 * nj + s2, val);
+                    }
+                }
+            }
+        }
+        self.closed = old.closed;
+        pos
+    }
+
+    fn unconstrained(vars: Vec<Symbol>) -> Oct {
+        let d = 2 * vars.len();
+        let mut dbm = vec![INF; d * d];
+        for i in 0..d {
+            dbm[i * d + i] = 0;
+        }
+        Oct {
+            vars,
+            dbm,
+            closed: true,
+        }
+    }
+
+    /// Strong closure: all-pairs shortest paths followed by octagonal
+    /// strengthening. Returns `false` if a negative cycle (⊥) is found.
+    fn close(&mut self) -> bool {
+        if self.closed {
+            return !self.has_negative_diagonal();
+        }
+        let d = self.dim();
+        for k in 0..d {
+            for i in 0..d {
+                let ik = self.at(i, k);
+                if ik == INF {
+                    continue;
+                }
+                for j in 0..d {
+                    let kj = self.at(k, j);
+                    if kj == INF {
+                        continue;
+                    }
+                    let via = badd(ik, kj);
+                    if via < self.at(i, j) {
+                        self.set(i, j, via);
+                    }
+                }
+            }
+            // Strengthening: vᵢ − vⱼ ≤ (vᵢ − vī)/2 + (vj̄ − vⱼ)/2.
+            for i in 0..d {
+                let half_i = bhalf(self.at(i, i ^ 1));
+                if half_i == INF {
+                    continue;
+                }
+                for j in 0..d {
+                    let half_j = bhalf(self.at(j ^ 1, j));
+                    if half_j == INF {
+                        continue;
+                    }
+                    let s = badd(half_i, half_j);
+                    if s < self.at(i, j) {
+                        self.set(i, j, s);
+                    }
+                }
+            }
+        }
+        self.closed = true;
+        !self.has_negative_diagonal()
+    }
+
+    fn has_negative_diagonal(&self) -> bool {
+        (0..self.dim()).any(|i| self.at(i, i) < 0)
+    }
+
+    /// Removes all constraints mentioning `var` (projection; exact on a
+    /// closed matrix), keeping it tracked.
+    fn forget(&mut self, var: &Symbol) {
+        let Some(x) = self.index_of(var) else { return };
+        self.close();
+        let d = self.dim();
+        for s in 0..2 {
+            let row = 2 * x + s;
+            for j in 0..d {
+                if j != row {
+                    self.set(row, j, INF);
+                    self.set(j, row, INF);
+                }
+            }
+            self.set(row, row ^ 1, INF);
+            self.set(row ^ 1, row, INF);
+        }
+        // Closure is preserved by exact projection of a closed matrix.
+        self.closed = true;
+    }
+
+    /// Stops tracking `var` entirely.
+    fn untrack(&mut self, var: &Symbol) {
+        let Some(pos) = self.index_of(var) else {
+            return;
+        };
+        self.close();
+        let old = self.clone();
+        let mut vars = old.vars.clone();
+        vars.remove(pos);
+        *self = Oct::unconstrained(vars);
+        for (oi, v1) in old.vars.iter().enumerate() {
+            let Some(ni) = self.index_of(v1) else {
+                continue;
+            };
+            for (oj, v2) in old.vars.iter().enumerate() {
+                let Some(nj) = self.index_of(v2) else {
+                    continue;
+                };
+                for s1 in 0..2 {
+                    for s2 in 0..2 {
+                        self.set(2 * ni + s1, 2 * nj + s2, old.at(2 * oi + s1, 2 * oj + s2));
+                    }
+                }
+            }
+        }
+        self.closed = true;
+    }
+
+    /// Variable bounds `[lo, hi]` from the (closed) matrix:
+    /// `x ≤ m[x⁺][x⁻]/2`, `−x ≤ m[x⁻][x⁺]/2`.
+    fn var_interval(&self, var: &Symbol) -> Interval {
+        let Some(x) = self.index_of(var) else {
+            return Interval::TOP;
+        };
+        let up = self.at(2 * x, 2 * x + 1);
+        let down = self.at(2 * x + 1, 2 * x);
+        let hi = if up == INF {
+            Bound::PosInf
+        } else {
+            Bound::Fin(up.div_euclid(2))
+        };
+        let lo = if down == INF {
+            Bound::NegInf
+        } else {
+            Bound::Fin(-down.div_euclid(2))
+        };
+        Interval::new(lo, hi)
+    }
+
+    /// Constrains `var ∈ iv`.
+    fn constrain_interval(&mut self, var: &Symbol, iv: Interval) -> bool {
+        if iv.is_empty() {
+            return false;
+        }
+        let x = self.track(var);
+        if let Bound::Fin(hi) = iv.hi() {
+            self.tighten(2 * x, 2 * x + 1, hi.saturating_mul(2));
+        }
+        if let Bound::Fin(lo) = iv.lo() {
+            self.tighten(2 * x + 1, 2 * x, (-lo).saturating_mul(2));
+        }
+        true
+    }
+}
+
+/// A ±1-coefficient linear term `sign·var + offset` or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Linear1 {
+    Const(i64),
+    /// `sign * var + offset` with `sign ∈ {+1, −1}`.
+    Term {
+        sign: i64,
+        var: Symbol,
+        offset: i64,
+    },
+}
+
+/// Tries to view `e` as `±x + c`.
+fn linear1(e: &Expr) -> Option<Linear1> {
+    match e {
+        Expr::Int(n) => Some(Linear1::Const(*n)),
+        Expr::Var(x) => Some(Linear1::Term {
+            sign: 1,
+            var: x.clone(),
+            offset: 0,
+        }),
+        Expr::Unary(UnOp::Neg, inner) => match linear1(inner)? {
+            Linear1::Const(c) => Some(Linear1::Const(c.checked_neg()?)),
+            Linear1::Term { sign, var, offset } => Some(Linear1::Term {
+                sign: -sign,
+                var,
+                offset: offset.checked_neg()?,
+            }),
+        },
+        Expr::Binary(BinOp::Add, l, r) => combine(linear1(l)?, linear1(r)?, 1),
+        Expr::Binary(BinOp::Sub, l, r) => combine(linear1(l)?, linear1(r)?, -1),
+        _ => None,
+    }
+}
+
+fn combine(l: Linear1, r: Linear1, rsign: i64) -> Option<Linear1> {
+    match (l, r) {
+        (Linear1::Const(a), Linear1::Const(b)) => {
+            Some(Linear1::Const(a.checked_add(rsign.checked_mul(b)?)?))
+        }
+        (Linear1::Term { sign, var, offset }, Linear1::Const(b)) => Some(Linear1::Term {
+            sign,
+            var,
+            offset: offset.checked_add(rsign.checked_mul(b)?)?,
+        }),
+        (Linear1::Const(a), Linear1::Term { sign, var, offset }) => Some(Linear1::Term {
+            sign: sign.checked_mul(rsign)?,
+            var,
+            offset: a.checked_add(rsign.checked_mul(offset)?)?,
+        }),
+        // x ± y is octagonal as a *constraint* but not as a Linear1 value.
+        _ => None,
+    }
+}
+
+/// The octagon abstract domain state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OctagonDomain {
+    /// Unreachable.
+    Bottom,
+    /// A (possibly unclosed) octagon.
+    Oct(Oct),
+}
+
+impl OctagonDomain {
+    /// The unconstrained state.
+    pub fn top() -> OctagonDomain {
+        OctagonDomain::Oct(Oct::unconstrained(Vec::new()))
+    }
+
+    /// The interval of `var` implied by this octagon (`⊤` if untracked,
+    /// empty if ⊥). Closes a copy if needed.
+    pub fn interval_of(&self, var: &str) -> Interval {
+        match self {
+            OctagonDomain::Bottom => Interval::EMPTY,
+            OctagonDomain::Oct(o) => {
+                let sym = Symbol::new(var);
+                if o.index_of(&sym).is_none() {
+                    return Interval::TOP;
+                }
+                let mut c = o.clone();
+                if !c.close() {
+                    return Interval::EMPTY;
+                }
+                c.var_interval(&sym)
+            }
+        }
+    }
+
+    /// Does this state entail `x − y ≤ c`?
+    pub fn entails_diff_le(&self, x: &str, y: &str, c: i64) -> bool {
+        match self {
+            OctagonDomain::Bottom => true,
+            OctagonDomain::Oct(o) => {
+                let mut o = o.clone();
+                if !o.close() {
+                    return true;
+                }
+                let (Some(xi), Some(yi)) =
+                    (o.index_of(&Symbol::new(x)), o.index_of(&Symbol::new(y)))
+                else {
+                    return false;
+                };
+                o.at(2 * xi, 2 * yi) <= c
+            }
+        }
+    }
+
+    /// Interval evaluation of an expression using the octagon's per-variable
+    /// bounds (used for non-octagonal right-hand sides and by clients).
+    pub fn eval_interval(&self, e: &Expr) -> Interval {
+        match self {
+            OctagonDomain::Bottom => Interval::EMPTY,
+            OctagonDomain::Oct(o) => {
+                let mut c = o.clone();
+                if !c.close() {
+                    return Interval::EMPTY;
+                }
+                eval_iv(&c, e)
+            }
+        }
+    }
+
+    fn map(&self, f: impl FnOnce(&mut Oct) -> bool) -> OctagonDomain {
+        match self {
+            OctagonDomain::Bottom => OctagonDomain::Bottom,
+            OctagonDomain::Oct(o) => {
+                let mut o = o.clone();
+                if f(&mut o) && o.close() {
+                    OctagonDomain::Oct(o)
+                } else {
+                    OctagonDomain::Bottom
+                }
+            }
+        }
+    }
+
+    /// Exact transfer for `x := ±y + c` / `x := c`, via a temporary.
+    fn assign_linear(&self, x: &Symbol, lin: &Linear1) -> OctagonDomain {
+        self.map(|o| {
+            match lin {
+                Linear1::Const(c) => {
+                    o.forget(x);
+                    let xi = o.track(x);
+                    o.tighten(2 * xi, 2 * xi + 1, c.saturating_mul(2));
+                    o.tighten(2 * xi + 1, 2 * xi, (-c).saturating_mul(2));
+                }
+                Linear1::Term {
+                    sign,
+                    var: y,
+                    offset,
+                } => {
+                    // Route through a reserved temporary so `x := ±x + c`
+                    // works uniformly.
+                    let tmp = Symbol::new("$oct$tmp");
+                    o.forget(&tmp);
+                    let t = o.track(&tmp);
+                    let yi = o.track(y);
+                    if *sign > 0 {
+                        // t − y ≤ offset and y − t ≤ −offset
+                        o.tighten(2 * t, 2 * yi, *offset);
+                        o.tighten(2 * yi, 2 * t, offset.saturating_neg());
+                    } else {
+                        // t + y ≤ offset and −t − y ≤ −offset
+                        o.tighten(2 * t, 2 * yi + 1, *offset);
+                        o.tighten(2 * yi + 1, 2 * t, offset.saturating_neg());
+                    }
+                    if !o.close() {
+                        return false;
+                    }
+                    o.forget(x);
+                    // Copy t's row/column onto x, then drop t.
+                    let xi = o.track(x);
+                    let t = o.index_of(&tmp).expect("tracked");
+                    let d = o.dim();
+                    for s1 in 0..2 {
+                        for j in 0..d {
+                            let v = o.at(2 * t + s1, j);
+                            if j / 2 != t && j / 2 != xi {
+                                o.tighten(2 * xi + s1, j, v);
+                            }
+                            let v2 = o.at(j, 2 * t + s1);
+                            if j / 2 != t && j / 2 != xi {
+                                o.tighten(j, 2 * xi + s1, v2);
+                            }
+                        }
+                        // x's own range: from t's unary bounds.
+                        let up = o.at(2 * t, 2 * t + 1);
+                        let down = o.at(2 * t + 1, 2 * t);
+                        o.tighten(2 * xi, 2 * xi + 1, up);
+                        o.tighten(2 * xi + 1, 2 * xi, down);
+                    }
+                    o.untrack(&tmp);
+                }
+            }
+            true
+        })
+    }
+
+    /// Adds the octagonal constraints implied by `l op r` (when any),
+    /// returning `None` if nothing can be extracted.
+    fn assume_cmp(&self, op: BinOp, l: &Expr, r: &Expr) -> Option<OctagonDomain> {
+        // Normalize `l op r` to `Σ sᵢ·xᵢ ≤ c` over the difference l − r.
+        let (lt, lc) = linear_terms(l)?;
+        let (rt, rc) = linear_terms(r)?;
+        let mut terms = lt;
+        for (s, v) in rt {
+            terms.push((-s, v));
+        }
+        let (terms, k) = merge_terms(terms)?;
+        // l − r + (lc − rc) relates to 0 by `op`; move constants right:
+        // Σ terms ≤ rhs_const − (lc − rc) [+ slack for strictness].
+        let base = rc.checked_sub(lc)?;
+        let mut out = match self {
+            OctagonDomain::Bottom => return Some(OctagonDomain::Bottom),
+            OctagonDomain::Oct(o) => o.clone(),
+        };
+        let ok = match op {
+            BinOp::Lt => add_sum_le(&mut out, &terms, k, base.checked_sub(1)?),
+            BinOp::Le => add_sum_le(&mut out, &terms, k, base),
+            BinOp::Gt => {
+                let neg: Vec<(i64, Symbol)> = terms.iter().map(|(s, v)| (-s, v.clone())).collect();
+                add_sum_le(&mut out, &neg, k, base.checked_neg()?.checked_sub(1)?)
+            }
+            BinOp::Ge => {
+                let neg: Vec<(i64, Symbol)> = terms.iter().map(|(s, v)| (-s, v.clone())).collect();
+                add_sum_le(&mut out, &neg, k, base.checked_neg()?)
+            }
+            BinOp::Eq => {
+                let neg: Vec<(i64, Symbol)> = terms.iter().map(|(s, v)| (-s, v.clone())).collect();
+                add_sum_le(&mut out, &terms, k, base)
+                    && add_sum_le(&mut out, &neg, k, base.checked_neg()?)
+            }
+            BinOp::Ne => true, // disjunctive; sound to skip
+            _ => return None,
+        };
+        if !ok || !out.close() {
+            return Some(OctagonDomain::Bottom);
+        }
+        Some(OctagonDomain::Oct(out))
+    }
+
+    /// Refines this state by assuming `cond` has truth value `expected`.
+    fn refine(&self, cond: &Expr, expected: bool) -> OctagonDomain {
+        if self.is_bottom() {
+            return OctagonDomain::Bottom;
+        }
+        match cond {
+            Expr::Bool(b) => {
+                if *b == expected {
+                    self.clone()
+                } else {
+                    OctagonDomain::Bottom
+                }
+            }
+            Expr::Unary(UnOp::Not, inner) => self.refine(inner, !expected),
+            Expr::Binary(BinOp::And, l, r) if expected => self.refine(l, true).refine(r, true),
+            Expr::Binary(BinOp::And, l, r) => self.refine(l, false).join(&self.refine(r, false)),
+            Expr::Binary(BinOp::Or, l, r) if expected => {
+                self.refine(l, true).join(&self.refine(r, true))
+            }
+            Expr::Binary(BinOp::Or, l, r) => self.refine(l, false).refine(r, false),
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                let op = if expected {
+                    *op
+                } else {
+                    op.negate_comparison().expect("comparison")
+                };
+                match self.assume_cmp(op, l, r) {
+                    Some(s) => s,
+                    None => self.clone(), // not octagonal; no refinement
+                }
+            }
+            _ => self.clone(),
+        }
+    }
+}
+
+/// Flattens an expression into `Σ sᵢ·xᵢ + c` with `sᵢ ∈ {+1, −1}` (before
+/// merging). Returns `None` for non-linear expressions.
+fn linear_terms(e: &Expr) -> Option<(Vec<(i64, Symbol)>, i64)> {
+    match e {
+        Expr::Int(n) => Some((Vec::new(), *n)),
+        Expr::Var(x) => Some((vec![(1, x.clone())], 0)),
+        Expr::Unary(UnOp::Neg, inner) => {
+            let (ts, c) = linear_terms(inner)?;
+            Some((
+                ts.into_iter().map(|(s, v)| (-s, v)).collect(),
+                c.checked_neg()?,
+            ))
+        }
+        Expr::Binary(BinOp::Add, l, r) => {
+            let (mut lt, lc) = linear_terms(l)?;
+            let (rt, rc) = linear_terms(r)?;
+            lt.extend(rt);
+            Some((lt, lc.checked_add(rc)?))
+        }
+        Expr::Binary(BinOp::Sub, l, r) => {
+            let (mut lt, lc) = linear_terms(l)?;
+            let (rt, rc) = linear_terms(r)?;
+            lt.extend(rt.into_iter().map(|(s, v)| (-s, v)));
+            Some((lt, lc.checked_sub(rc)?))
+        }
+        _ => None,
+    }
+}
+
+/// Merges duplicate variables; the result is octagonal iff it is one
+/// variable with coefficient ±1/±2 or two variables with coefficients ±1.
+/// Returns the merged terms and a "scale" `k`: `k = 2` means the single
+/// term carries coefficient ±2 (so bounds must not be doubled again).
+fn merge_terms(terms: Vec<(i64, Symbol)>) -> Option<(Vec<(i64, Symbol)>, i64)> {
+    let mut coefs: std::collections::BTreeMap<Symbol, i64> = std::collections::BTreeMap::new();
+    for (s, v) in terms {
+        *coefs.entry(v).or_insert(0) += s;
+    }
+    coefs.retain(|_, c| *c != 0);
+    let merged: Vec<(i64, Symbol)> = coefs.into_iter().map(|(v, c)| (c, v)).collect();
+    match merged.as_slice() {
+        [] => Some((Vec::new(), 1)),
+        [(c, _)] if c.abs() == 1 => Some((merged, 1)),
+        [(c, _)] if c.abs() == 2 => Some((merged, 2)),
+        [(c1, _), (c2, _)] if c1.abs() == 1 && c2.abs() == 1 => Some((merged, 1)),
+        _ => None,
+    }
+}
+
+/// Adds `Σ terms ≤ bound` to `o` (terms as produced by [`merge_terms`];
+/// `k = 2` marks a doubled single-variable constraint `±2x ≤ bound`).
+/// Returns `false` on an immediately contradictory constant constraint.
+fn add_sum_le(o: &mut Oct, terms: &[(i64, Symbol)], k: i64, bound: i64) -> bool {
+    match terms {
+        [] => 0 <= bound,
+        [(c, x)] => {
+            let xi = o.track(x);
+            let doubled = if k == 2 {
+                bound
+            } else {
+                bound.saturating_mul(2)
+            };
+            if *c > 0 {
+                o.tighten(2 * xi, 2 * xi + 1, doubled); // 2x ≤ …
+            } else {
+                o.tighten(2 * xi + 1, 2 * xi, doubled); // −2x ≤ …
+            }
+            true
+        }
+        [(c1, x), (c2, y)] => {
+            let xi = o.track(x);
+            let yi = o.track(y);
+            let (i, j) = match (*c1 > 0, *c2 > 0) {
+                (true, true) => (2 * xi, 2 * yi + 1), // x + y ≤ c ⟺ x − (−y) ≤ c
+                (true, false) => (2 * xi, 2 * yi),    // x − y ≤ c
+                (false, true) => (2 * yi, 2 * xi),    // y − x ≤ c
+                (false, false) => (2 * xi + 1, 2 * yi), // −x − y ≤ c
+            };
+            o.tighten(i, j, bound);
+            true
+        }
+        _ => true,
+    }
+}
+
+/// Interval evaluation over a closed octagon. Two-variable sums and
+/// differences read the relational DBM entries directly (e.g. the bound on
+/// `j − i` comes from `m[j⁺][i⁺]`), which is strictly tighter than interval
+/// arithmetic on the per-variable ranges.
+fn eval_iv(o: &Oct, e: &Expr) -> Interval {
+    match e {
+        Expr::Int(n) => Interval::constant(*n),
+        Expr::Var(x) => {
+            if o.index_of(x).is_some() {
+                o.var_interval(x)
+            } else {
+                Interval::TOP
+            }
+        }
+        Expr::Unary(UnOp::Neg, inner) => eval_iv(o, inner).neg(),
+        Expr::Binary(op, l, r) => {
+            let fallback = {
+                let (a, b) = (eval_iv(o, l), eval_iv(o, r));
+                match op {
+                    BinOp::Add => a.add(&b),
+                    BinOp::Sub => a.sub(&b),
+                    BinOp::Mul => a.mul(&b),
+                    BinOp::Div => a.div(&b),
+                    BinOp::Mod => a.rem(&b),
+                    _ => Interval::TOP, // non-numeric result
+                }
+            };
+            match (op, &**l, &**r) {
+                (BinOp::Sub | BinOp::Add, Expr::Var(x), Expr::Var(y)) => {
+                    let (Some(xi), Some(yi)) = (o.index_of(x), o.index_of(y)) else {
+                        return fallback;
+                    };
+                    // x − y ≤ m[x⁺][y⁺]; −(x − y) ≤ m[y⁺][x⁺]
+                    // x + y ≤ m[x⁺][y⁻]; −(x + y) ≤ m[x⁻][y⁺]
+                    let (up, down) = if *op == BinOp::Sub {
+                        (o.at(2 * xi, 2 * yi), o.at(2 * yi, 2 * xi))
+                    } else {
+                        (o.at(2 * xi, 2 * yi + 1), o.at(2 * xi + 1, 2 * yi))
+                    };
+                    let hi = if up == INF {
+                        Bound::PosInf
+                    } else {
+                        Bound::Fin(up)
+                    };
+                    let lo = if down == INF {
+                        Bound::NegInf
+                    } else {
+                        Bound::Fin(down.saturating_neg())
+                    };
+                    Interval::new(lo, hi).meet(&fallback)
+                }
+                _ => fallback,
+            }
+        }
+        _ => Interval::TOP,
+    }
+}
+
+impl fmt::Display for OctagonDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OctagonDomain::Bottom => write!(f, "⊥"),
+            OctagonDomain::Oct(o) => {
+                let mut c = o.clone();
+                if !c.close() {
+                    return write!(f, "⊥");
+                }
+                write!(f, "{{")?;
+                let mut first = true;
+                for (i, x) in c.vars.iter().enumerate() {
+                    let iv = c.var_interval(x);
+                    if iv != Interval::TOP {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{x} ∈ {iv}")?;
+                        first = false;
+                    }
+                    for (j, y) in c.vars.iter().enumerate().skip(i + 1) {
+                        let d1 = c.at(2 * i, 2 * j);
+                        if d1 != INF {
+                            if !first {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{x} - {y} ≤ {d1}")?;
+                            first = false;
+                        }
+                        let d2 = c.at(2 * i, 2 * j + 1);
+                        if d2 != INF {
+                            if !first {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{x} + {y} ≤ {d2}")?;
+                            first = false;
+                        }
+                    }
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl AbstractDomain for OctagonDomain {
+    fn bottom() -> Self {
+        OctagonDomain::Bottom
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self, OctagonDomain::Bottom)
+    }
+
+    fn entry_default(_params: &[Symbol]) -> Self {
+        OctagonDomain::top()
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (OctagonDomain::Bottom, x) | (x, OctagonDomain::Bottom) => x.clone(),
+            (OctagonDomain::Oct(a), OctagonDomain::Oct(b)) => {
+                let mut a = a.clone();
+                let mut b = b.clone();
+                if !a.close() {
+                    return OctagonDomain::Oct(b);
+                }
+                if !b.close() {
+                    return OctagonDomain::Oct(a);
+                }
+                // Tracked set: intersection (a variable missing on one side
+                // is unconstrained there, so its join is ⊤).
+                let common: Vec<Symbol> = a
+                    .vars
+                    .iter()
+                    .filter(|v| b.index_of(v).is_some())
+                    .cloned()
+                    .collect();
+                for v in a.vars.clone() {
+                    if !common.contains(&v) {
+                        a.untrack(&v);
+                    }
+                }
+                for v in b.vars.clone() {
+                    if !common.contains(&v) {
+                        b.untrack(&v);
+                    }
+                }
+                debug_assert_eq!(a.vars, b.vars);
+                let mut out = a.clone();
+                for i in 0..out.dbm.len() {
+                    out.dbm[i] = a.dbm[i].max(b.dbm[i]);
+                }
+                // Pointwise max of closed matrices is closed.
+                out.closed = true;
+                OctagonDomain::Oct(out)
+            }
+        }
+    }
+
+    fn widen(&self, next: &Self) -> Self {
+        match (self, next) {
+            (OctagonDomain::Bottom, x) => x.clone(),
+            (x, OctagonDomain::Bottom) => x.clone(),
+            (OctagonDomain::Oct(a), OctagonDomain::Oct(b)) => {
+                // Close the new iterate (right), NOT the accumulator (left):
+                // closing the widening output would defeat convergence.
+                let mut b = b.clone();
+                if !b.close() {
+                    return self.clone();
+                }
+                let mut a = a.clone();
+                // Align variables: intersection.
+                let common: Vec<Symbol> = a
+                    .vars
+                    .iter()
+                    .filter(|v| b.index_of(v).is_some())
+                    .cloned()
+                    .collect();
+                for v in a.vars.clone() {
+                    if !common.contains(&v) {
+                        a.untrack(&v);
+                    }
+                }
+                for v in b.vars.clone() {
+                    if !common.contains(&v) {
+                        b.untrack(&v);
+                    }
+                }
+                let mut out = a.clone();
+                for i in 0..out.dbm.len() {
+                    out.dbm[i] = if b.dbm[i] <= a.dbm[i] { a.dbm[i] } else { INF };
+                }
+                out.closed = false;
+                OctagonDomain::Oct(out)
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (OctagonDomain::Bottom, _) => true,
+            (OctagonDomain::Oct(a), OctagonDomain::Bottom) => {
+                let mut a = a.clone();
+                !a.close()
+            }
+            (OctagonDomain::Oct(a), OctagonDomain::Oct(b)) => {
+                let mut a = a.clone();
+                if !a.close() {
+                    return true;
+                }
+                let mut b = b.clone();
+                if !b.close() {
+                    return false;
+                }
+                // Every constraint of b must be implied by a; variables a
+                // does not track are unconstrained (∞) on a's side.
+                for (j1, v1) in b.vars.iter().enumerate() {
+                    let a1 = a.index_of(v1);
+                    for (j2, v2) in b.vars.iter().enumerate() {
+                        let a2 = a.index_of(v2);
+                        for s1 in 0..2 {
+                            for s2 in 0..2 {
+                                if j1 == j2 && s1 == s2 {
+                                    continue; // diagonal is always 0
+                                }
+                                let bb = b.at(2 * j1 + s1, 2 * j2 + s2);
+                                if bb == INF {
+                                    continue;
+                                }
+                                let av = match (a1, a2) {
+                                    (Some(i1), Some(i2)) => a.at(2 * i1 + s1, 2 * i2 + s2),
+                                    _ => INF,
+                                };
+                                if av > bb {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn transfer(&self, stmt: &Stmt) -> Self {
+        if self.is_bottom() {
+            return OctagonDomain::Bottom;
+        }
+        match stmt {
+            Stmt::Skip | Stmt::Print(_) | Stmt::FieldWrite(..) | Stmt::ArrayWrite(..) => {
+                // Arrays and heap are untracked; an array write cannot
+                // change any tracked integer variable (arrays are values
+                // and array-valued variables are never tracked).
+                self.clone()
+            }
+            Stmt::Assign(x, e) => {
+                if let Some(lin) = linear1(e) {
+                    self.assign_linear(x, &lin)
+                } else {
+                    let iv = self.eval_interval(e);
+                    if iv.is_empty() {
+                        return OctagonDomain::Bottom;
+                    }
+                    let numeric = expr_definitely_numeric(e);
+                    self.map(|o| {
+                        o.forget(x);
+                        if numeric {
+                            o.constrain_interval(x, iv)
+                        } else {
+                            o.untrack(x);
+                            true
+                        }
+                    })
+                }
+            }
+            Stmt::Assume(e) => self.refine(e, true),
+            Stmt::Call { lhs, .. } => match lhs {
+                Some(x) => self.map(|o| {
+                    o.untrack(x);
+                    true
+                }),
+                None => self.clone(),
+            },
+        }
+    }
+
+    fn call_entry(&self, site: CallSite<'_>, callee_params: &[Symbol]) -> Self {
+        if self.is_bottom() {
+            return OctagonDomain::Bottom;
+        }
+        // Assign temporaries $argᵢ := actualᵢ in the caller state (keeping
+        // relations between arguments), project onto them, then rename.
+        let mut cur = self.clone();
+        let temps: Vec<Symbol> = (0..callee_params.len())
+            .map(|i| Symbol::new(format!("$arg{i}")))
+            .collect();
+        for (t, a) in temps.iter().zip(site.args) {
+            cur = cur.transfer(&Stmt::Assign(t.clone(), a.clone()));
+        }
+        let OctagonDomain::Oct(mut o) = cur else {
+            return OctagonDomain::Bottom;
+        };
+        if !o.close() {
+            return OctagonDomain::Bottom;
+        }
+        for v in o.vars.clone() {
+            if !temps.contains(&v) {
+                o.untrack(&v);
+            }
+        }
+        // Rename $argᵢ → paramᵢ by rebuilding.
+        let mut out = Oct::unconstrained(Vec::new());
+        for p in callee_params {
+            out.track(p);
+        }
+        for (i, t1) in temps.iter().enumerate() {
+            let Some(o1) = o.index_of(t1) else { continue };
+            let n1 = out.index_of(&callee_params[i]).expect("tracked");
+            for (j, t2) in temps.iter().enumerate() {
+                let Some(o2) = o.index_of(t2) else { continue };
+                let n2 = out.index_of(&callee_params[j]).expect("tracked");
+                for s1 in 0..2 {
+                    for s2 in 0..2 {
+                        out.set(2 * n1 + s1, 2 * n2 + s2, o.at(2 * o1 + s1, 2 * o2 + s2));
+                    }
+                }
+            }
+        }
+        out.closed = false;
+        OctagonDomain::Oct(out).map(|_| true)
+    }
+
+    fn call_return(&self, site: CallSite<'_>, callee_exit: &Self) -> Self {
+        if self.is_bottom() || callee_exit.is_bottom() {
+            return OctagonDomain::Bottom;
+        }
+        match site.lhs {
+            Some(x) => {
+                let ret = callee_exit.interval_of(RETURN_VAR);
+                self.map(|o| {
+                    o.forget(x);
+                    if ret == Interval::TOP {
+                        // The callee may return a non-numeric value.
+                        o.untrack(x);
+                        true
+                    } else {
+                        o.constrain_interval(x, ret)
+                    }
+                })
+            }
+            None => self.clone(),
+        }
+    }
+
+    fn models(&self, concrete: &ConcreteState) -> bool {
+        match self {
+            OctagonDomain::Bottom => false,
+            OctagonDomain::Oct(o) => {
+                // Every tracked variable present in the concrete state must
+                // be an integer satisfying all raw constraints (raw entries
+                // are valid constraints whether or not the matrix is
+                // closed). Tracked-but-absent variables are unconstrained
+                // in the concrete state, so rows mentioning them cannot be
+                // checked (and need not be: γ only constrains defined vars).
+                let mut vals: Vec<Option<i64>> = Vec::with_capacity(o.n());
+                for v in &o.vars {
+                    match concrete.env.get(v) {
+                        Some(Value::Int(n)) => vals.push(Some(*n)),
+                        Some(_) => return false, // tracked var must be numeric
+                        None => vals.push(None),
+                    }
+                }
+                let signed = |i: usize| -> Option<i128> {
+                    let v = vals[i / 2]?;
+                    Some(if i.is_multiple_of(2) {
+                        v as i128
+                    } else {
+                        -(v as i128)
+                    })
+                };
+                let d = o.dim();
+                for i in 0..d {
+                    for j in 0..d {
+                        let c = o.at(i, j);
+                        if c == INF {
+                            continue;
+                        }
+                        if let (Some(vi), Some(vj)) = (signed(i), signed(j)) {
+                            if vi - vj > c as i128 {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Conservative check that an expression always evaluates to an integer
+/// (when it evaluates at all).
+fn expr_definitely_numeric(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::ArrayLen(_) => true,
+        Expr::Unary(UnOp::Neg, i) => expr_definitely_numeric(i),
+        Expr::Binary(op, _, _) => {
+            matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+            )
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dai_lang::parse_expr;
+
+    fn assume(s: &OctagonDomain, cond: &str) -> OctagonDomain {
+        s.transfer(&Stmt::Assume(parse_expr(cond).unwrap()))
+    }
+
+    fn assign(s: &OctagonDomain, x: &str, e: &str) -> OctagonDomain {
+        s.transfer(&Stmt::Assign(x.into(), parse_expr(e).unwrap()))
+    }
+
+    #[test]
+    fn constant_assignment_bounds() {
+        let s = assign(&OctagonDomain::top(), "x", "5");
+        assert_eq!(s.interval_of("x"), Interval::constant(5));
+    }
+
+    #[test]
+    fn linear_assignment_tracks_relation() {
+        let s = assign(&assign(&OctagonDomain::top(), "x", "3"), "y", "x + 2");
+        assert_eq!(s.interval_of("y"), Interval::constant(5));
+        assert!(s.entails_diff_le("y", "x", 2));
+        assert!(s.entails_diff_le("x", "y", -2));
+    }
+
+    #[test]
+    fn self_increment() {
+        let mut s = assign(&OctagonDomain::top(), "i", "0");
+        s = assign(&s, "i", "i + 1");
+        assert_eq!(s.interval_of("i"), Interval::constant(1));
+        s = assign(&s, "i", "i + 1");
+        assert_eq!(s.interval_of("i"), Interval::constant(2));
+    }
+
+    #[test]
+    fn negation_assignment() {
+        let s = assign(&assign(&OctagonDomain::top(), "x", "4"), "y", "-x + 1");
+        assert_eq!(s.interval_of("y"), Interval::constant(-3));
+    }
+
+    #[test]
+    fn assume_relational_constraint() {
+        let s = assume(&OctagonDomain::top(), "i < j");
+        assert!(s.entails_diff_le("i", "j", -1));
+        assert!(!s.is_bottom());
+    }
+
+    #[test]
+    fn assume_contradiction_is_bottom() {
+        let s = assign(&OctagonDomain::top(), "x", "5");
+        assert!(assume(&s, "x > 9").is_bottom());
+        let s2 = assume(&assume(&OctagonDomain::top(), "a < b"), "b < a");
+        assert!(s2.is_bottom());
+    }
+
+    #[test]
+    fn assume_transitive_via_closure() {
+        let s = assume(&assume(&OctagonDomain::top(), "a <= b"), "b <= c");
+        assert!(s.entails_diff_le("a", "c", 0));
+    }
+
+    #[test]
+    fn assume_sum_constraint() {
+        let s = assume(&OctagonDomain::top(), "x + y <= 4");
+        // x + y ≤ 4 is representable exactly.
+        let s2 = assume(&s, "x >= 3");
+        let s3 = assume(&s2, "y >= 3");
+        assert!(s3.is_bottom());
+    }
+
+    #[test]
+    fn join_is_upper_bound() {
+        let a = assign(&OctagonDomain::top(), "x", "1");
+        let b = assign(&OctagonDomain::top(), "x", "5");
+        let j = a.join(&b);
+        assert_eq!(j.interval_of("x"), Interval::of(1, 5));
+        assert!(a.leq(&j) && b.leq(&j));
+    }
+
+    #[test]
+    fn join_preserves_shared_relations() {
+        let a = assume(&OctagonDomain::top(), "x < y");
+        let b = assume(&OctagonDomain::top(), "x < y - 2");
+        let j = a.join(&b);
+        assert!(j.entails_diff_le("x", "y", -1));
+    }
+
+    #[test]
+    fn join_drops_one_sided_vars() {
+        let a = assign(&OctagonDomain::top(), "x", "1");
+        let b = OctagonDomain::top();
+        let j = a.join(&b);
+        assert_eq!(j.interval_of("x"), Interval::TOP);
+    }
+
+    #[test]
+    fn widen_drops_unstable_bounds() {
+        let a = assign(&OctagonDomain::top(), "i", "0");
+        let b = assume(&assume(&OctagonDomain::top(), "i >= 0"), "i <= 1");
+        let w = a.widen(&b);
+        let iv = w.interval_of("i");
+        assert_eq!(iv.lo(), Bound::Fin(0));
+        assert_eq!(iv.hi(), Bound::PosInf);
+    }
+
+    #[test]
+    fn widen_is_idempotent_at_fixpoint() {
+        let a = assume(&OctagonDomain::top(), "i >= 0");
+        let w = a.widen(&a);
+        assert_eq!(w, a.widen(&w));
+    }
+
+    #[test]
+    fn widening_loop_converges() {
+        // Simulate i = 0; while (...) { i = i + 1 }.
+        let mut iterate = assign(&OctagonDomain::top(), "i", "0");
+        for step in 0..10 {
+            let body = assign(&iterate, "i", "i + 1");
+            let next = iterate.widen(&iterate.join(&body));
+            if next == iterate {
+                assert!(step <= 3, "converged late");
+                return;
+            }
+            iterate = next;
+        }
+        panic!("widening failed to converge");
+    }
+
+    #[test]
+    fn leq_with_untracked_vars() {
+        let a = assign(&OctagonDomain::top(), "x", "1");
+        let top = OctagonDomain::top();
+        assert!(a.leq(&top));
+        assert!(!top.leq(&a));
+        assert!(OctagonDomain::Bottom.leq(&a));
+    }
+
+    #[test]
+    fn nonlinear_rhs_falls_back_to_interval() {
+        let s = assign(&assign(&OctagonDomain::top(), "x", "3"), "y", "x * x");
+        assert_eq!(s.interval_of("y"), Interval::constant(9));
+    }
+
+    #[test]
+    fn non_numeric_rhs_untracks() {
+        let s = assign(&assign(&OctagonDomain::top(), "x", "1"), "x", "[1, 2]");
+        assert_eq!(s.interval_of("x"), Interval::TOP);
+        // And models() accepts an array there now.
+        let mut c = ConcreteState::new();
+        c.env
+            .insert("x".into(), Value::Arr(vec![Value::Int(1), Value::Int(2)]));
+        assert!(s.models(&c));
+    }
+
+    #[test]
+    fn models_checks_relations() {
+        let s = assume(&OctagonDomain::top(), "x < y");
+        let mut c = ConcreteState::new();
+        c.env.insert("x".into(), Value::Int(1));
+        c.env.insert("y".into(), Value::Int(2));
+        assert!(s.models(&c));
+        c.env.insert("y".into(), Value::Int(0));
+        assert!(!s.models(&c));
+    }
+
+    #[test]
+    fn models_rejects_non_int_for_tracked() {
+        let s = assign(&OctagonDomain::top(), "x", "1");
+        let mut c = ConcreteState::new();
+        c.env.insert("x".into(), Value::Bool(true));
+        assert!(!s.models(&c));
+    }
+
+    #[test]
+    fn call_entry_preserves_arg_relations() {
+        let caller = assume(&OctagonDomain::top(), "i < j");
+        let args = [parse_expr("i").unwrap(), parse_expr("j").unwrap()];
+        let site = CallSite {
+            lhs: None,
+            callee: &Symbol::new("f"),
+            args: &args,
+            site_key: "main:e0",
+        };
+        let entry = caller.call_entry(site, &[Symbol::new("p"), Symbol::new("q")]);
+        assert!(entry.entails_diff_le("p", "q", -1));
+    }
+
+    #[test]
+    fn call_return_binds_result_interval() {
+        let caller = assign(&OctagonDomain::top(), "v", "1");
+        let callee_exit = assign(&OctagonDomain::top(), RETURN_VAR, "7");
+        let args = [];
+        let site = CallSite {
+            lhs: Some(&Symbol::new("out")),
+            callee: &Symbol::new("f"),
+            args: &args,
+            site_key: "main:e1",
+        };
+        let after = caller.call_return(site, &callee_exit);
+        assert_eq!(after.interval_of("out"), Interval::constant(7));
+        assert_eq!(after.interval_of("v"), Interval::constant(1));
+    }
+
+    #[test]
+    fn equality_ignores_closedness_flag() {
+        let a = assume(&OctagonDomain::top(), "x <= 5");
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_shows_constraints() {
+        let s = assume(&assign(&OctagonDomain::top(), "x", "1"), "x <= y");
+        let txt = s.to_string();
+        assert!(txt.contains("x"), "{txt}");
+    }
+
+    #[test]
+    fn bottom_propagates_through_transfer() {
+        let b = OctagonDomain::Bottom;
+        assert!(b
+            .transfer(&Stmt::Assign("x".into(), Expr::Int(1)))
+            .is_bottom());
+        assert!(assume(&b, "x < 1").is_bottom());
+    }
+}

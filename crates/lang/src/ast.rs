@@ -1,0 +1,555 @@
+//! Abstract syntax for the subject language.
+//!
+//! The language is the JavaScript-like imperative subset used by the paper's
+//! evaluation (§7.3): assignment, arrays, conditional branching, `while`
+//! loops, and non-recursive first-order function calls of the form
+//! `x = f(y, ...)`. To support the shape-analysis experiments (§7.2) it also
+//! has heap nodes with `next`/`data` fields (`new Node()`, `x.next = y`,
+//! `x = y.next`).
+//!
+//! Structured statements ([`AstStmt`]) are lowered to edge-labelled
+//! control-flow graphs over *atomic* statements ([`Stmt`]) by
+//! [`crate::cfg`]; branch conditions become [`Stmt::Assume`] edge labels as
+//! in the paper's Fig. 2.
+
+use crate::Symbol;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `!e`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division; division by zero halts the concrete semantics)
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (non-short-circuit at the atomic-statement level)
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// The comparison with negated truth value (`==` ↔ `!=`, `<` ↔ `>=`, ...).
+    ///
+    /// Returns `None` for non-comparison operators.
+    pub fn negate_comparison(self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Eq => BinOp::Ne,
+            BinOp::Ne => BinOp::Eq,
+            BinOp::Lt => BinOp::Ge,
+            BinOp::Le => BinOp::Gt,
+            BinOp::Gt => BinOp::Le,
+            BinOp::Ge => BinOp::Lt,
+            _ => return None,
+        })
+    }
+
+    /// The comparison with operands swapped (`<` ↔ `>`, `==` ↔ `==`, ...).
+    pub fn flip_comparison(self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Eq => BinOp::Eq,
+            BinOp::Ne => BinOp::Ne,
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Expressions.
+///
+/// Expressions are side-effect free except [`Expr::AllocNode`], which the
+/// parser only accepts as the entire right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The `null` reference.
+    Null,
+    /// Variable read.
+    Var(Symbol),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Array literal `[e1, ..., ek]`.
+    ArrayLit(Vec<Expr>),
+    /// Array read `a[i]`.
+    ArrayRead(Box<Expr>, Box<Expr>),
+    /// Array length `len(a)`.
+    ArrayLen(Box<Expr>),
+    /// Field read `e.f` (heap nodes; `f` is `next` or `data`).
+    Field(Box<Expr>, Symbol),
+    /// Heap allocation `new Node()`.
+    AllocNode,
+}
+
+impl Expr {
+    /// Convenience constructor for a variable read.
+    pub fn var(name: impl Into<Symbol>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Logical negation with comparisons pushed inward, so that
+    /// `assume`-labelled CFG edges read naturally (`p == null` negates to
+    /// `p != null` rather than `!(p == null)`), matching the paper's Fig. 2.
+    pub fn negate(&self) -> Expr {
+        match self {
+            Expr::Bool(b) => Expr::Bool(!b),
+            Expr::Unary(UnOp::Not, inner) => (**inner).clone(),
+            Expr::Binary(op, l, r) => match op.negate_comparison() {
+                Some(neg) => Expr::Binary(neg, l.clone(), r.clone()),
+                None => Expr::Unary(UnOp::Not, Box::new(self.clone())),
+            },
+            other => Expr::Unary(UnOp::Not, Box::new(other.clone())),
+        }
+    }
+
+    /// All variables read by this expression, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Null | Expr::AllocNode => {}
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Unary(_, e) | Expr::ArrayLen(e) | Expr::Field(e, _) => e.collect_vars(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::ArrayLit(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+            Expr::ArrayRead(a, i) => {
+                a.collect_vars(out);
+                i.collect_vars(out);
+            }
+        }
+    }
+
+    /// Returns every array-read subexpression `(array, index)` in
+    /// left-to-right order. Used by the array-bounds-checking client (§7.2).
+    pub fn array_reads(&self) -> Vec<(&Expr, &Expr)> {
+        let mut out = Vec::new();
+        self.collect_array_reads(&mut out);
+        out
+    }
+
+    fn collect_array_reads<'a>(&'a self, out: &mut Vec<(&'a Expr, &'a Expr)>) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Null | Expr::Var(_) | Expr::AllocNode => {}
+            Expr::Unary(_, e) | Expr::ArrayLen(e) | Expr::Field(e, _) => e.collect_array_reads(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_array_reads(out);
+                r.collect_array_reads(out);
+            }
+            Expr::ArrayLit(es) => {
+                for e in es {
+                    e.collect_array_reads(out);
+                }
+            }
+            Expr::ArrayRead(a, i) => {
+                a.collect_array_reads(out);
+                i.collect_array_reads(out);
+                out.push((a, i));
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(n) => write!(f, "{n}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Null => write!(f, "null"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Unary(op, e) => write!(f, "{op}({e})"),
+            Expr::Binary(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::ArrayLit(es) => {
+                write!(f, "[")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::ArrayRead(a, i) => write!(f, "{a}[{i}]"),
+            Expr::ArrayLen(a) => write!(f, "len({a})"),
+            Expr::Field(e, fld) => write!(f, "{e}.{fld}"),
+            Expr::AllocNode => write!(f, "new Node()"),
+        }
+    }
+}
+
+/// Atomic statements: the edge labels of control-flow graphs (paper Fig. 5's
+/// unspecified statement language, instantiated).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// No-op. Deleted statements become `skip` (paper §B, Lemma B.2).
+    Skip,
+    /// `x = e`
+    Assign(Symbol, Expr),
+    /// `a[i] = e`
+    ArrayWrite(Symbol, Expr, Expr),
+    /// `x.f = e`
+    FieldWrite(Symbol, Symbol, Expr),
+    /// Branch-condition guard `assume e` (introduced by CFG lowering).
+    Assume(Expr),
+    /// `print(e)` — observationally a no-op for the analyses.
+    Print(Expr),
+    /// `x = f(a1, ..., ak)` or bare `f(a1, ..., ak)`.
+    Call {
+        /// Variable receiving the return value, if any.
+        lhs: Option<Symbol>,
+        /// Name of the (statically resolved) callee.
+        callee: Symbol,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Stmt {
+    /// Returns `true` if this statement is a call.
+    pub fn is_call(&self) -> bool {
+        matches!(self, Stmt::Call { .. })
+    }
+
+    /// The callee name, if this statement is a call.
+    pub fn callee(&self) -> Option<&Symbol> {
+        match self {
+            Stmt::Call { callee, .. } => Some(callee),
+            _ => None,
+        }
+    }
+
+    /// Every array-read `(array, index)` pair evaluated by this statement,
+    /// plus the write target of an `ArrayWrite` (also a bounds obligation).
+    pub fn array_accesses(&self) -> Vec<(Expr, Expr)> {
+        let mut out: Vec<(Expr, Expr)> = Vec::new();
+        let push_expr = |e: &Expr, out: &mut Vec<(Expr, Expr)>| {
+            for (a, i) in e.array_reads() {
+                out.push((a.clone(), i.clone()));
+            }
+        };
+        match self {
+            Stmt::Skip => {}
+            Stmt::Assign(_, e) | Stmt::Assume(e) | Stmt::Print(e) => push_expr(e, &mut out),
+            Stmt::ArrayWrite(a, i, e) => {
+                push_expr(i, &mut out);
+                push_expr(e, &mut out);
+                out.push((Expr::Var(a.clone()), i.clone()));
+            }
+            Stmt::FieldWrite(_, _, e) => push_expr(e, &mut out),
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    push_expr(a, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Skip => write!(f, "skip"),
+            Stmt::Assign(x, e) => write!(f, "{x} = {e}"),
+            Stmt::ArrayWrite(a, i, e) => write!(f, "{a}[{i}] = {e}"),
+            Stmt::FieldWrite(x, fld, e) => write!(f, "{x}.{fld} = {e}"),
+            Stmt::Assume(e) => write!(f, "assume {e}"),
+            Stmt::Print(e) => write!(f, "print({e})"),
+            Stmt::Call { lhs, callee, args } => {
+                if let Some(lhs) = lhs {
+                    write!(f, "{lhs} = ")?;
+                }
+                write!(f, "{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Structured (tree-shaped) statements, prior to CFG lowering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AstStmt {
+    /// An atomic statement.
+    Simple(Stmt),
+    /// `if (cond) { then_ } else { else_ }`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then_: Block,
+        /// Fallthrough branch (possibly empty).
+        else_: Block,
+    },
+    /// `while (cond) { body }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// A lexical block `{ … }`, lowered by splicing its statements inline
+    /// (no CFG structure of its own). Also the desugaring target of the
+    /// `for` and `do`-`while` surface forms.
+    Nested(Block),
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+}
+
+/// A sequence of structured statements.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Block(pub Vec<AstStmt>);
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Block {
+        Block(Vec::new())
+    }
+
+    /// Number of structured statements directly in this block.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the block contains no statements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl FromIterator<AstStmt> for Block {
+    fn from_iter<T: IntoIterator<Item = AstStmt>>(iter: T) -> Block {
+        Block(iter.into_iter().collect())
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Function {
+    /// Function name.
+    pub name: Symbol,
+    /// Formal parameter names.
+    pub params: Vec<Symbol>,
+    /// Function body.
+    pub body: Block,
+}
+
+/// A whole program: an ordered collection of functions.
+///
+/// Analysis starts from the function named `main` when present, otherwise
+/// from the first function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name.as_str() == name)
+    }
+
+    /// The entry function: `main` if present, otherwise the first function.
+    pub fn entry_function(&self) -> Option<&Function> {
+        self.function("main").or_else(|| self.functions.first())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negate_pushes_into_comparisons() {
+        let e = Expr::binary(BinOp::Eq, Expr::var("p"), Expr::Null);
+        assert_eq!(
+            e.negate(),
+            Expr::binary(BinOp::Ne, Expr::var("p"), Expr::Null)
+        );
+        let lt = Expr::binary(BinOp::Lt, Expr::var("i"), Expr::var("n"));
+        assert_eq!(
+            lt.negate(),
+            Expr::binary(BinOp::Ge, Expr::var("i"), Expr::var("n"))
+        );
+    }
+
+    #[test]
+    fn negate_is_involutive_on_comparisons() {
+        let e = Expr::binary(BinOp::Le, Expr::var("x"), Expr::Int(3));
+        assert_eq!(e.negate().negate(), e);
+    }
+
+    #[test]
+    fn negate_bool_literals() {
+        assert_eq!(Expr::Bool(true).negate(), Expr::Bool(false));
+        assert_eq!(Expr::Bool(false).negate(), Expr::Bool(true));
+    }
+
+    #[test]
+    fn negate_falls_back_to_not() {
+        let v = Expr::var("b");
+        assert_eq!(v.negate(), Expr::Unary(UnOp::Not, Box::new(v.clone())));
+        // double negation cancels
+        assert_eq!(v.negate().negate(), v);
+    }
+
+    #[test]
+    fn free_vars_dedup_and_order() {
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::binary(BinOp::Mul, Expr::var("x"), Expr::var("y")),
+            Expr::var("x"),
+        );
+        let vars = e.free_vars();
+        assert_eq!(
+            vars.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            vec!["x", "y"]
+        );
+    }
+
+    #[test]
+    fn array_accesses_include_write_target() {
+        let s = Stmt::ArrayWrite(
+            "a".into(),
+            Expr::var("i"),
+            Expr::ArrayRead(Box::new(Expr::var("b")), Box::new(Expr::Int(0))),
+        );
+        let acc = s.array_accesses();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[1].0, Expr::var("a"));
+    }
+
+    #[test]
+    fn display_roundtrips_reasonably() {
+        let s = Stmt::Assign(
+            "r".into(),
+            Expr::Field(Box::new(Expr::var("r")), "next".into()),
+        );
+        assert_eq!(s.to_string(), "r = r.next");
+    }
+
+    #[test]
+    fn comparison_flip_and_negate_tables_are_total_on_comparisons() {
+        for op in [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ] {
+            assert!(op.is_comparison());
+            assert!(op.negate_comparison().is_some());
+            assert!(op.flip_comparison().is_some());
+            // negation and flipping are involutions
+            assert_eq!(
+                op.negate_comparison().unwrap().negate_comparison(),
+                Some(op)
+            );
+            assert_eq!(op.flip_comparison().unwrap().flip_comparison(), Some(op));
+        }
+        assert!(BinOp::Add.negate_comparison().is_none());
+    }
+}

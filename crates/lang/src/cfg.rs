@@ -1,0 +1,969 @@
+//! Edge-labelled control-flow graphs (paper Fig. 5) and lowering from
+//! structured ASTs.
+//!
+//! A program `⟨L, E, ℓ0⟩` is a set of locations, a set of directed
+//! statement-labelled edges, and an initial location. Lowering structured
+//! `if`/`while` syntax guarantees the well-formedness conditions the paper
+//! assumes:
+//!
+//! * the CFG is **reducible** (every back edge's destination dominates its
+//!   source) — guaranteed by construction from structured syntax;
+//! * every loop head has **exactly one back edge** (paper Appendix A,
+//!   footnote 7) — lowering funnels multi-predecessor loop-body exits
+//!   through a fresh `skip` edge;
+//! * loops are exited **only at their head** (no `break`/`goto`), so a
+//!   DAIG edge out of a loop always reads the head's fixed-point cell;
+//! * all locations are reachable from the entry: statements after a
+//!   `return` are dropped during lowering, and a `while` whose body never
+//!   falls through is lowered as a non-loop.
+//!
+//! The CFG also tracks each location's chain of enclosing loop heads
+//! (outermost first). `dai-core` uses this to assign iteration contexts to
+//! DAIG names, and [`crate::loops`] re-derives the same structure from
+//! dominators to cross-check it in tests.
+
+use crate::ast::{AstStmt, Block, Function, Program, Stmt};
+use crate::{Symbol, RETURN_VAR};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A control-flow location `ℓ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub u32);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A stable identifier for a CFG edge.
+///
+/// Edge identities survive program edits (a [`crate::edit`] splice moves an
+/// edge's source but keeps its identity), which is what lets DAIG statement
+/// cells be reused across program versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A statement-labelled control-flow edge `ℓ —[s]→ ℓ'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Stable identity.
+    pub id: EdgeId,
+    /// Source location.
+    pub src: Loc,
+    /// Destination location.
+    pub dst: Loc,
+    /// Statement label.
+    pub stmt: Stmt,
+}
+
+/// Errors arising while building or editing CFGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// The program calls an undefined function.
+    UndefinedFunction(Symbol),
+    /// The (static) call graph contains a cycle; the framework supports
+    /// non-recursive programs only (paper §7.1).
+    RecursiveCall(Symbol),
+    /// A function was defined twice.
+    DuplicateFunction(Symbol),
+    /// An edit referred to an edge that does not exist.
+    NoSuchEdge(EdgeId),
+    /// An edit tried to splice a block that never falls through (e.g. it
+    /// unconditionally returns), which would orphan the insertion point.
+    BlockNeverFallsThrough,
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::UndefinedFunction(s) => write!(f, "call to undefined function `{s}`"),
+            CfgError::RecursiveCall(s) => {
+                write!(f, "recursive call cycle through `{s}` (unsupported)")
+            }
+            CfgError::DuplicateFunction(s) => write!(f, "duplicate function `{s}`"),
+            CfgError::NoSuchEdge(e) => write!(f, "no such edge `{e}`"),
+            CfgError::BlockNeverFallsThrough => {
+                write!(
+                    f,
+                    "spliced block never falls through to the insertion point"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// The control-flow graph of a single function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    name: Symbol,
+    params: Vec<Symbol>,
+    entry: Loc,
+    exit: Loc,
+    next_loc: u32,
+    next_edge: u32,
+    edges: BTreeMap<EdgeId, Edge>,
+    out_edges: HashMap<Loc, Vec<EdgeId>>,
+    in_edges: HashMap<Loc, Vec<EdgeId>>,
+    /// Innermost enclosing loop head of each live location (a lexical
+    /// parent chain; only members of `loop_heads` count as real loops).
+    loop_parent: HashMap<Loc, Option<Loc>>,
+    /// Locations that are the destination of a back edge.
+    loop_heads: HashSet<Loc>,
+}
+
+impl Cfg {
+    /// Creates an empty CFG (entry and exit only, no edges) for a function.
+    pub fn empty(name: Symbol, params: Vec<Symbol>) -> Cfg {
+        let mut cfg = Cfg {
+            name,
+            params,
+            entry: Loc(0),
+            exit: Loc(1),
+            next_loc: 2,
+            next_edge: 0,
+            edges: BTreeMap::new(),
+            out_edges: HashMap::new(),
+            in_edges: HashMap::new(),
+            loop_parent: HashMap::new(),
+            loop_heads: HashSet::new(),
+        };
+        cfg.loop_parent.insert(cfg.entry, None);
+        cfg.loop_parent.insert(cfg.exit, None);
+        cfg
+    }
+
+    /// Lowers a function's structured body into a CFG.
+    pub fn from_function(func: &Function) -> Cfg {
+        let mut cfg = Cfg::empty(func.name.clone(), func.params.clone());
+        let mut lowerer = Lowerer { cfg: &mut cfg };
+        let entry = lowerer.cfg.entry;
+        if let Some(end) = lowerer.lower_block(&func.body, entry, &[]) {
+            lowerer.finish_at_exit(end);
+        }
+        cfg.prune_dead_exit();
+        cfg
+    }
+
+    /// Function name.
+    pub fn name(&self) -> &Symbol {
+        &self.name
+    }
+
+    /// Formal parameters.
+    pub fn params(&self) -> &[Symbol] {
+        &self.params
+    }
+
+    /// Entry location `ℓ0`.
+    pub fn entry(&self) -> Loc {
+        self.entry
+    }
+
+    /// Exit location `ℓ_ret`.
+    pub fn exit(&self) -> Loc {
+        self.exit
+    }
+
+    /// Number of live locations.
+    pub fn loc_count(&self) -> usize {
+        self.loop_parent.len()
+    }
+
+    /// Number of edges (= atomic statements).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All live locations, in ascending id order.
+    pub fn locs(&self) -> Vec<Loc> {
+        let mut v: Vec<Loc> = self.loop_parent.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// All edges in ascending id order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.values()
+    }
+
+    /// Looks up an edge by id.
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.edges.get(&id)
+    }
+
+    /// Outgoing edge ids of `loc`, ascending.
+    pub fn out_edges(&self, loc: Loc) -> &[EdgeId] {
+        self.out_edges.get(&loc).map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming edge ids of `loc`, ascending.
+    pub fn in_edges(&self, loc: Loc) -> &[EdgeId] {
+        self.in_edges.get(&loc).map_or(&[], Vec::as_slice)
+    }
+
+    /// Is `loc` a loop head (the destination of a back edge)?
+    pub fn is_loop_head(&self, loc: Loc) -> bool {
+        self.loop_heads.contains(&loc)
+    }
+
+    /// All loop heads, ascending.
+    pub fn loop_heads(&self) -> Vec<Loc> {
+        let mut v: Vec<Loc> = self.loop_heads.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Is edge `id` a back edge (its destination is a loop head whose
+    /// natural loop contains the source)?
+    pub fn is_back_edge(&self, id: EdgeId) -> bool {
+        let Some(e) = self.edges.get(&id) else {
+            return false;
+        };
+        self.loop_heads.contains(&e.dst)
+            && (e.src == e.dst || self.loops_containing(e.src).contains(&e.dst))
+    }
+
+    /// The unique back edge of loop head `head`, if `head` is a loop head.
+    pub fn back_edge(&self, head: Loc) -> Option<EdgeId> {
+        if !self.loop_heads.contains(&head) {
+            return None;
+        }
+        self.in_edges(head)
+            .iter()
+            .copied()
+            .find(|&e| self.is_back_edge(e))
+    }
+
+    /// Incoming *forward* (non-back) edges of `loc`, ascending.
+    ///
+    /// The paper's `fwd-edges-to`: join points are locations where this has
+    /// length ≥ 2.
+    pub fn fwd_in_edges(&self, loc: Loc) -> Vec<EdgeId> {
+        self.in_edges(loc)
+            .iter()
+            .copied()
+            .filter(|&e| !self.is_back_edge(e))
+            .collect()
+    }
+
+    /// Is `loc` a join point (forward in-degree ≥ 2)?
+    pub fn is_join(&self, loc: Loc) -> bool {
+        self.fwd_in_edges(loc).len() >= 2
+    }
+
+    /// The chain of loop heads whose natural loops contain `loc`, outermost
+    /// first. A loop head is *not* a member of its own chain (matching the
+    /// paper's naming convention where the head's fixed-point cell lives
+    /// outside its own loop).
+    pub fn enclosing_loops(&self, loc: Loc) -> Vec<Loc> {
+        let mut chain = Vec::new();
+        let mut cur = self.loop_parent.get(&loc).copied().flatten();
+        while let Some(h) = cur {
+            if self.loop_heads.contains(&h) {
+                chain.push(h);
+            }
+            cur = self.loop_parent.get(&h).copied().flatten();
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Like [`Cfg::enclosing_loops`] but including `loc` itself when it is a
+    /// loop head (i.e. the loops whose bodies contain `loc`).
+    pub fn loops_containing(&self, loc: Loc) -> Vec<Loc> {
+        let mut chain = self.enclosing_loops(loc);
+        if self.loop_heads.contains(&loc) {
+            chain.push(loc);
+        }
+        chain
+    }
+
+    /// All locations in the natural loop of `head` (including `head`).
+    pub fn natural_loop(&self, head: Loc) -> Vec<Loc> {
+        let mut v: Vec<Loc> = self
+            .locs()
+            .into_iter()
+            .filter(|&l| self.loops_containing(l).contains(&head))
+            .collect();
+        if !v.contains(&head) {
+            v.push(head);
+        }
+        v.sort();
+        v
+    }
+
+    fn fresh_loc(&mut self, parent: Option<Loc>) -> Loc {
+        let l = Loc(self.next_loc);
+        self.next_loc += 1;
+        self.loop_parent.insert(l, parent);
+        l
+    }
+
+    fn add_edge(&mut self, src: Loc, dst: Loc, stmt: Stmt) -> EdgeId {
+        let id = EdgeId(self.next_edge);
+        self.next_edge += 1;
+        self.edges.insert(id, Edge { id, src, dst, stmt });
+        self.out_edges.entry(src).or_default().push(id);
+        self.out_edges.entry(src).or_default().sort();
+        self.in_edges.entry(dst).or_default().push(id);
+        self.in_edges.entry(dst).or_default().sort();
+        id
+    }
+
+    /// Replaces the statement on an edge (used by [`crate::edit`]).
+    pub(crate) fn replace_edge_stmt_internal(&mut self, id: EdgeId, stmt: Stmt) {
+        if let Some(e) = self.edges.get_mut(&id) {
+            e.stmt = stmt;
+        }
+    }
+
+    /// Moves an edge's source to `new_src`, updating adjacency
+    /// (used by [`crate::edit`] splices).
+    pub(crate) fn move_edge_src_internal(&mut self, id: EdgeId, new_src: Loc) {
+        let Some(e) = self.edges.get_mut(&id) else {
+            return;
+        };
+        let old_src = e.src;
+        e.src = new_src;
+        if let Some(v) = self.out_edges.get_mut(&old_src) {
+            v.retain(|x| *x != id);
+        }
+        let outs = self.out_edges.entry(new_src).or_default();
+        outs.push(id);
+        outs.sort();
+    }
+
+    /// Redirects all in-edges of `from` to `into` and deletes `from`.
+    /// `from` must have no out-edges.
+    fn merge_locs(&mut self, from: Loc, into: Loc) {
+        debug_assert!(from != into);
+        debug_assert!(self.out_edges(from).is_empty());
+        let incoming: Vec<EdgeId> = self.in_edges(from).to_vec();
+        for id in incoming {
+            if let Some(e) = self.edges.get_mut(&id) {
+                e.dst = into;
+            }
+            self.in_edges.entry(into).or_default().push(id);
+        }
+        self.in_edges.entry(into).or_default().sort();
+        self.in_edges.remove(&from);
+        self.out_edges.remove(&from);
+        self.loop_parent.remove(&from);
+    }
+
+    /// Drops the exit location if nothing reaches it (a function whose body
+    /// cannot fall through and has no `return` would otherwise leave an
+    /// isolated exit violating "all locations reachable").
+    fn prune_dead_exit(&mut self) {
+        if self.exit != self.entry && self.in_edges(self.exit).is_empty() {
+            // Keep a reachable exit: collapse it onto the entry's last
+            // reachable location is not meaningful; instead retain the exit
+            // only if reachable. An unreachable exit can only arise from an
+            // infinite loop covering all paths; the exit is then vestigial.
+            self.loop_parent.remove(&self.exit);
+        }
+    }
+
+    /// Checks internal adjacency/loop-structure invariants, returning a
+    /// description of the first violation. Used by tests and debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        // Adjacency agrees with the edge map.
+        for (id, e) in &self.edges {
+            if e.id != *id {
+                return Err(format!("edge {id} has mismatched id {}", e.id));
+            }
+            if !self.out_edges(e.src).contains(id) {
+                return Err(format!("edge {id} missing from out_edges of {}", e.src));
+            }
+            if !self.in_edges(e.dst).contains(id) {
+                return Err(format!("edge {id} missing from in_edges of {}", e.dst));
+            }
+            if !self.loop_parent.contains_key(&e.src) || !self.loop_parent.contains_key(&e.dst) {
+                return Err(format!("edge {id} touches a dead location"));
+            }
+        }
+        for (loc, ids) in &self.out_edges {
+            for id in ids {
+                let e = self
+                    .edges
+                    .get(id)
+                    .ok_or(format!("dangling out edge {id}"))?;
+                if e.src != *loc {
+                    return Err(format!("out_edges of {loc} lists {id} with src {}", e.src));
+                }
+            }
+        }
+        for (loc, ids) in &self.in_edges {
+            for id in ids {
+                let e = self.edges.get(id).ok_or(format!("dangling in edge {id}"))?;
+                if e.dst != *loc {
+                    return Err(format!("in_edges of {loc} lists {id} with dst {}", e.dst));
+                }
+            }
+        }
+        // Every live non-entry location is reachable from the entry.
+        let mut seen = HashSet::new();
+        let mut stack = vec![self.entry];
+        while let Some(l) = stack.pop() {
+            if !seen.insert(l) {
+                continue;
+            }
+            for id in self.out_edges(l) {
+                stack.push(self.edges[id].dst);
+            }
+        }
+        for l in self.loop_parent.keys() {
+            if !seen.contains(l) {
+                return Err(format!("location {l} unreachable from entry"));
+            }
+        }
+        // Loop heads have exactly one back edge; non-heads have none.
+        for l in self.loop_parent.keys() {
+            let back: Vec<EdgeId> = self
+                .in_edges(*l)
+                .iter()
+                .copied()
+                .filter(|&e| self.is_back_edge(e))
+                .collect();
+            if self.loop_heads.contains(l) {
+                if back.len() != 1 {
+                    return Err(format!("loop head {l} has {} back edges", back.len()));
+                }
+            } else if !back.is_empty() {
+                return Err(format!("non-head {l} has a back edge"));
+            }
+        }
+        // Exit has no out-edges.
+        if self.loop_parent.contains_key(&self.exit) && !self.out_edges(self.exit).is_empty() {
+            return Err("exit has outgoing edges".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Shared lowering machinery, also used by [`crate::edit`] to splice blocks
+/// into an existing CFG.
+pub(crate) struct Lowerer<'a> {
+    pub(crate) cfg: &'a mut Cfg,
+}
+
+impl Lowerer<'_> {
+    /// Lowers `block` starting at `cur` under enclosing-loop context `ctx`
+    /// (innermost last). Returns the fall-through location, or `None` if
+    /// every path returns.
+    pub(crate) fn lower_block(&mut self, block: &Block, cur: Loc, ctx: &[Loc]) -> Option<Loc> {
+        let mut cur = cur;
+        for stmt in &block.0 {
+            match self.lower_stmt(stmt, cur, ctx) {
+                Some(next) => cur = next,
+                None => return None, // paths all return; drop unreachable rest
+            }
+        }
+        Some(cur)
+    }
+
+    fn lower_stmt(&mut self, stmt: &AstStmt, cur: Loc, ctx: &[Loc]) -> Option<Loc> {
+        let parent = ctx.last().copied();
+        match stmt {
+            AstStmt::Simple(s) => {
+                let next = self.cfg.fresh_loc(parent);
+                self.cfg.add_edge(cur, next, s.clone());
+                Some(next)
+            }
+            AstStmt::Nested(block) => self.lower_block(block, cur, ctx),
+            AstStmt::Return(value) => {
+                let s = match value {
+                    Some(e) => Stmt::Assign(Symbol::new(RETURN_VAR), e.clone()),
+                    None => Stmt::Skip,
+                };
+                let exit = self.cfg.exit;
+                self.cfg.add_edge(cur, exit, s);
+                None
+            }
+            AstStmt::If { cond, then_, else_ } => {
+                let t0 = self.cfg.fresh_loc(parent);
+                self.cfg.add_edge(cur, t0, Stmt::Assume(cond.clone()));
+                let e0 = self.cfg.fresh_loc(parent);
+                self.cfg.add_edge(cur, e0, Stmt::Assume(cond.negate()));
+                let t_end = self.lower_block(then_, t0, ctx);
+                let e_end = self.lower_block(else_, e0, ctx);
+                match (t_end, e_end) {
+                    (None, None) => None,
+                    (Some(t), None) => Some(t),
+                    (None, Some(e)) => Some(e),
+                    (Some(t), Some(e)) => {
+                        let join = self.cfg.fresh_loc(parent);
+                        self.cfg.merge_locs(t, join);
+                        self.cfg.merge_locs(e, join);
+                        Some(join)
+                    }
+                }
+            }
+            AstStmt::While { cond, body } => {
+                let head = cur;
+                let mut body_ctx = ctx.to_vec();
+                body_ctx.push(head);
+                let first_body_loc = self.cfg.next_loc;
+                let b0 = self.cfg.fresh_loc(Some(head));
+                self.cfg.add_edge(head, b0, Stmt::Assume(cond.clone()));
+                match self.lower_block(body, b0, &body_ctx) {
+                    Some(b_end) => {
+                        // Exactly one back edge per head (paper fn. 7): fuse
+                        // a unique predecessor, otherwise funnel via `skip`.
+                        if self.cfg.in_edges(b_end).len() == 1 && b_end != head {
+                            self.cfg.merge_locs(b_end, head);
+                        } else {
+                            self.cfg.add_edge(b_end, head, Stmt::Skip);
+                        }
+                        self.cfg.loop_heads.insert(head);
+                    }
+                    None => {
+                        // The body always returns: `head` is not a loop head.
+                        // Re-parent locations that optimistically claimed it.
+                        let created: Vec<Loc> = self
+                            .cfg
+                            .loop_parent
+                            .keys()
+                            .copied()
+                            .filter(|l| l.0 >= first_body_loc)
+                            .collect();
+                        for l in created {
+                            if self.cfg.loop_parent[&l] == Some(head) {
+                                self.cfg.loop_parent.insert(l, parent);
+                            }
+                        }
+                    }
+                }
+                let x0 = self.cfg.fresh_loc(parent);
+                self.cfg.add_edge(head, x0, Stmt::Assume(cond.negate()));
+                Some(x0)
+            }
+        }
+    }
+
+    /// Routes the fall-through location `end` into the function exit
+    /// (the implicit `return`).
+    pub(crate) fn finish_at_exit(&mut self, end: Loc) {
+        let exit = self.cfg.exit;
+        if end == exit {
+            return;
+        }
+        if end == self.cfg.entry || !self.cfg.out_edges(end).is_empty() {
+            // Cannot merge the entry (or a loop head that already has
+            // out-edges) into the exit; add an explicit skip edge.
+            self.cfg.add_edge(end, exit, Stmt::Skip);
+        } else {
+            self.cfg.merge_locs(end, exit);
+        }
+    }
+}
+
+/// The CFGs of a whole program, plus its call graph in topological order.
+#[derive(Debug, Clone)]
+pub struct LoweredProgram {
+    cfgs: Vec<Cfg>,
+    index: HashMap<Symbol, usize>,
+    /// Function names in reverse topological (callees-first) order.
+    topo_order: Vec<Symbol>,
+}
+
+impl LoweredProgram {
+    /// Looks up a function's CFG by name.
+    pub fn by_name(&self, name: &str) -> Option<&Cfg> {
+        self.index.get(name).map(|&i| &self.cfgs[i])
+    }
+
+    /// Mutable access to a function's CFG by name.
+    pub fn by_name_mut(&mut self, name: &str) -> Option<&mut Cfg> {
+        self.index
+            .get(name)
+            .copied()
+            .map(move |i| &mut self.cfgs[i])
+    }
+
+    /// All CFGs in definition order.
+    pub fn cfgs(&self) -> &[Cfg] {
+        &self.cfgs
+    }
+
+    /// Function names, callees before callers.
+    pub fn topo_order(&self) -> &[Symbol] {
+        &self.topo_order
+    }
+
+    /// Direct callees of `name` (deduplicated, in edge order).
+    pub fn callees(&self, name: &str) -> Vec<Symbol> {
+        let Some(cfg) = self.by_name(name) else {
+            return Vec::new();
+        };
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for e in cfg.edges() {
+            if let Some(c) = e.stmt.callee() {
+                if seen.insert(c.clone()) {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// All call sites `(caller, edge)` whose callee is `name`.
+    pub fn call_sites_of(&self, name: &str) -> Vec<(Symbol, EdgeId)> {
+        let mut out = Vec::new();
+        for cfg in &self.cfgs {
+            for e in cfg.edges() {
+                if e.stmt.callee().map(Symbol::as_str) == Some(name) {
+                    out.push((cfg.name().clone(), e.id));
+                }
+            }
+        }
+        out
+    }
+
+    /// Recomputes the call graph after an edit, re-validating that the
+    /// program is call-closed and non-recursive.
+    ///
+    /// # Errors
+    ///
+    /// See [`check_call_graph`].
+    pub fn refresh_call_graph(&mut self) -> Result<(), CfgError> {
+        self.topo_order = check_call_graph(&self.cfgs)?;
+        Ok(())
+    }
+}
+
+/// Lowers every function of `program` and validates the call graph.
+///
+/// # Errors
+///
+/// Returns [`CfgError::DuplicateFunction`], [`CfgError::UndefinedFunction`],
+/// or [`CfgError::RecursiveCall`] for ill-formed programs.
+pub fn lower_program(program: &Program) -> Result<LoweredProgram, CfgError> {
+    let mut cfgs = Vec::new();
+    let mut index = HashMap::new();
+    for func in &program.functions {
+        if index.contains_key(&func.name) {
+            return Err(CfgError::DuplicateFunction(func.name.clone()));
+        }
+        index.insert(func.name.clone(), cfgs.len());
+        cfgs.push(Cfg::from_function(func));
+    }
+    let topo_order = check_call_graph(&cfgs)?;
+    Ok(LoweredProgram {
+        cfgs,
+        index,
+        topo_order,
+    })
+}
+
+/// Validates that all calls resolve and the call graph is acyclic; returns
+/// function names callees-first.
+///
+/// # Errors
+///
+/// Returns [`CfgError::UndefinedFunction`] or [`CfgError::RecursiveCall`].
+pub fn check_call_graph(cfgs: &[Cfg]) -> Result<Vec<Symbol>, CfgError> {
+    let names: HashSet<&str> = cfgs.iter().map(|c| c.name().as_str()).collect();
+    let mut callees: HashMap<&str, Vec<Symbol>> = HashMap::new();
+    for cfg in cfgs {
+        let mut cs = Vec::new();
+        for e in cfg.edges() {
+            if let Some(c) = e.stmt.callee() {
+                if !names.contains(c.as_str()) {
+                    return Err(CfgError::UndefinedFunction(c.clone()));
+                }
+                cs.push(c.clone());
+            }
+        }
+        callees.insert(cfg.name().as_str(), cs);
+    }
+    // Iterative DFS three-color cycle detection + postorder.
+    let mut color: HashMap<&str, u8> = HashMap::new(); // 0 white, 1 grey, 2 black
+    let mut order: Vec<Symbol> = Vec::new();
+    for cfg in cfgs {
+        let root = cfg.name().as_str();
+        if color.get(root).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(root, 0)];
+        color.insert(root, 1);
+        while let Some(&(node, next)) = stack.last() {
+            let cs = &callees[node];
+            if next < cs.len() {
+                stack.last_mut().expect("stack nonempty").1 += 1;
+                let child = cs[next].as_str();
+                match color.get(child).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(child, 1);
+                        stack.push((child, 0));
+                    }
+                    1 => return Err(CfgError::RecursiveCall(Symbol::new(child))),
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                order.push(Symbol::new(node));
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn lower(src: &str) -> LoweredProgram {
+        lower_program(&parse_program(src).unwrap()).unwrap()
+    }
+
+    const APPEND: &str = r#"
+        function append(p, q) {
+            if (p == null) { return q; }
+            var r = p;
+            while (r.next != null) { r = r.next; }
+            r.next = q;
+            return p;
+        }
+    "#;
+
+    #[test]
+    fn append_cfg_matches_paper_fig2() {
+        let prog = lower(APPEND);
+        let cfg = prog.by_name("append").unwrap();
+        cfg.validate().unwrap();
+        // Fig. 2 has 8 locations (ℓ0..ℓ6, ℓret) and 9 edges.
+        assert_eq!(cfg.loc_count(), 8);
+        assert_eq!(cfg.edge_count(), 9);
+        assert_eq!(cfg.loop_heads().len(), 1);
+        let head = cfg.loop_heads()[0];
+        // The loop body is the single-statement `r = r.next` back edge.
+        let back = cfg.back_edge(head).unwrap();
+        assert_eq!(cfg.edge(back).unwrap().stmt.to_string(), "r = r.next");
+        // The exit location joins the two returns.
+        assert_eq!(cfg.fwd_in_edges(cfg.exit()).len(), 2);
+    }
+
+    #[test]
+    fn straightline_chain() {
+        let prog = lower("function f() { var x = 1; x = x + 1; return x; }");
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.edge_count(), 3);
+        assert_eq!(cfg.loc_count(), 4);
+        assert!(cfg.loop_heads().is_empty());
+    }
+
+    #[test]
+    fn if_produces_join() {
+        let prog = lower("function f(x) { if (x > 0) { x = 1; } else { x = 2; } return x; }");
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        let joins: Vec<Loc> = cfg.locs().into_iter().filter(|&l| cfg.is_join(l)).collect();
+        assert_eq!(joins.len(), 1);
+    }
+
+    #[test]
+    fn while_produces_single_back_edge_even_with_if_body() {
+        let prog = lower(
+            "function f(n) { var i = 0; while (i < n) { if (i % 2 == 0) { i = i + 1; } else { i = i + 3; } } return i; }",
+        );
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        let head = cfg.loop_heads()[0];
+        let backs: Vec<EdgeId> = cfg
+            .in_edges(head)
+            .iter()
+            .copied()
+            .filter(|&e| cfg.is_back_edge(e))
+            .collect();
+        assert_eq!(backs.len(), 1);
+        // The funnel edge is a skip.
+        assert_eq!(cfg.edge(backs[0]).unwrap().stmt, Stmt::Skip);
+    }
+
+    #[test]
+    fn empty_while_body_self_loop() {
+        let prog = lower("function f(b) { while (b == 0) { } return b; }");
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        let head = cfg.loop_heads()[0];
+        let back = cfg.back_edge(head).unwrap();
+        let e = cfg.edge(back).unwrap();
+        assert_eq!(e.src, e.dst);
+    }
+
+    #[test]
+    fn nested_loops_have_nested_contexts() {
+        let prog = lower(
+            "function f(n) { var i = 0; while (i < n) { var j = 0; while (j < i) { j = j + 1; } i = i + 1; } return i; }",
+        );
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        let heads = cfg.loop_heads();
+        assert_eq!(heads.len(), 2);
+        let (outer, inner) = (heads[0], heads[1]);
+        assert_eq!(cfg.enclosing_loops(outer), Vec::<Loc>::new());
+        assert_eq!(cfg.enclosing_loops(inner), vec![outer]);
+        assert!(cfg.natural_loop(outer).contains(&inner));
+    }
+
+    #[test]
+    fn while_whose_body_always_returns_is_not_a_loop() {
+        let prog = lower("function f(n) { while (n > 0) { return 1; } return 0; }");
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        assert!(cfg.loop_heads().is_empty());
+        for l in cfg.locs() {
+            assert!(cfg.enclosing_loops(l).is_empty());
+        }
+    }
+
+    #[test]
+    fn statements_after_return_are_dropped() {
+        let prog = lower("function f() { return 1; var x = 2; }");
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.edge_count(), 1);
+    }
+
+    #[test]
+    fn loop_as_first_statement_makes_entry_a_head() {
+        let prog = lower("function f(n) { while (n > 0) { n = n - 1; } return n; }");
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        assert!(cfg.is_loop_head(cfg.entry()));
+    }
+
+    #[test]
+    fn call_graph_topological_order() {
+        let prog = lower(
+            "function h() { return 1; } function g() { var x = h(); return x; } function main() { var y = g(); return y; }",
+        );
+        let order = prog.topo_order();
+        let pos = |n: &str| order.iter().position(|s| s.as_str() == n).unwrap();
+        assert!(pos("h") < pos("g"));
+        assert!(pos("g") < pos("main"));
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let err =
+            lower_program(&parse_program("function f(n) { var x = f(n); return x; }").unwrap())
+                .unwrap_err();
+        assert!(matches!(err, CfgError::RecursiveCall(_)));
+    }
+
+    #[test]
+    fn mutual_recursion_rejected() {
+        let err = lower_program(
+            &parse_program(
+                "function f(n) { var x = g(n); return x; } function g(n) { var y = f(n); return y; }",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CfgError::RecursiveCall(_)));
+    }
+
+    #[test]
+    fn undefined_callee_rejected() {
+        let err =
+            lower_program(&parse_program("function main() { var x = nope(); return x; }").unwrap())
+                .unwrap_err();
+        assert!(matches!(err, CfgError::UndefinedFunction(_)));
+    }
+
+    #[test]
+    fn call_sites_found() {
+        let prog = lower(
+            "function g(x) { return x; } function main() { var a = g(1); var b = g(2); return a + b; }",
+        );
+        assert_eq!(prog.call_sites_of("g").len(), 2);
+        assert_eq!(prog.callees("main"), vec![Symbol::new("g")]);
+    }
+
+    #[test]
+    fn empty_function_body() {
+        let prog = lower("function f() { }");
+        let cfg = prog.by_name("f").unwrap();
+        // Entry falls straight to exit via a skip edge.
+        cfg.validate().unwrap();
+        assert_eq!(cfg.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_ids_are_stable_and_ordered() {
+        let prog = lower("function f() { var a = 1; var b = 2; return a; }");
+        let cfg = prog.by_name("f").unwrap();
+        let ids: Vec<u32> = cfg.edges().map(|e| e.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+    #[test]
+    fn for_loop_lowers_to_while_core() {
+        let prog = lower(
+            "function f(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+        );
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.loop_heads().len(), 1, "for produces exactly one loop");
+        let head = cfg.loop_heads()[0];
+        // The update statement is inside the loop body (last before the
+        // back edge).
+        let back = cfg.back_edge(head).unwrap();
+        assert_eq!(cfg.edge(back).unwrap().stmt.to_string(), "i = (i + 1)");
+    }
+
+    #[test]
+    fn do_while_lowers_to_unrolled_body_plus_loop() {
+        let prog = lower("function f() { var x = 0; do { x = x + 1; } while (x < 5); return x; }");
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.loop_heads().len(), 1);
+        // The body statement appears twice: the unrolled first run and the
+        // loop copy (distinct CFG edges).
+        let copies = cfg
+            .edges()
+            .filter(|e| e.stmt.to_string() == "x = (x + 1)")
+            .count();
+        assert_eq!(copies, 2);
+    }
+
+    #[test]
+    fn nested_bare_blocks_add_no_structure() {
+        let flat = lower("function f() { var x = 1; x = x + 1; return x; }");
+        let nested = lower("function f() { { var x = 1; { x = x + 1; } } return x; }");
+        let (a, b) = (flat.by_name("f").unwrap(), nested.by_name("f").unwrap());
+        assert_eq!(a.loc_count(), b.loc_count(), "lexical blocks are free");
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn nested_for_loops_have_nested_contexts() {
+        let prog = lower(
+            "function f() { var t = 0; for (var i = 0; i < 3; i = i + 1) { for (var j = 0; j < 2; j = j + 1) { t = t + 1; } } return t; }",
+        );
+        let cfg = prog.by_name("f").unwrap();
+        cfg.validate().unwrap();
+        let heads = cfg.loop_heads();
+        assert_eq!(heads.len(), 2);
+        // One head encloses the other.
+        let nested = heads.iter().any(|&h| cfg.enclosing_loops(h).len() == 1);
+        assert!(nested, "inner for must sit inside the outer one");
+    }
+}

@@ -1,0 +1,690 @@
+//! Concrete semantics: a definitional interpreter over CFGs, plus a bounded
+//! collecting semantics.
+//!
+//! The paper (Fig. 5) assumes a denotational statement semantics
+//! `⟦·⟧ : Stmt → Σ → Σ⊥` and its transitive closure, the collecting
+//! semantics `⟦ℓ⟧*` — the set of concrete states witnessed at each
+//! location. That collecting semantics is uncomputable in general; here we
+//! compute a *bounded under-approximation* by exhaustive exploration with a
+//! step budget, which is exactly what is needed to **test** analysis
+//! soundness: every concrete state we witness at `ℓ` must be modelled by
+//! the abstract state a DAIG query returns for `ℓ`.
+//!
+//! Semantics notes:
+//!
+//! * Arrays are **values** (copied on assignment); heap `Node`s are
+//!   **references** into an explicit heap. The abstract domains make the
+//!   matching choices.
+//! * `assume e` blocks (yields no successor state) unless `e` evaluates to
+//!   `true`; both branch edges are explored, so exploration covers all
+//!   executions.
+//! * Runtime errors (null dereference, out-of-bounds access, division by
+//!   zero, type confusion) halt that execution path — they are `⊥` in the
+//!   paper's partial concrete semantics.
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::cfg::{Cfg, Loc, LoweredProgram};
+use crate::{Symbol, RETURN_VAR};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A concrete runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Null reference.
+    Null,
+    /// Array of values (value semantics).
+    Arr(Vec<Value>),
+    /// Reference to a heap node.
+    Node(NodeId),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "null"),
+            Value::Arr(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Node(id) => write!(f, "node#{}", id.0),
+        }
+    }
+}
+
+/// Identity of a heap node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A concrete program state: environment plus heap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ConcreteState {
+    /// Variable environment (sorted for deterministic comparison).
+    pub env: BTreeMap<Symbol, Value>,
+    /// Heap: node id → field map.
+    pub heap: BTreeMap<NodeId, BTreeMap<Symbol, Value>>,
+    /// Next fresh node id.
+    next_node: u32,
+}
+
+impl ConcreteState {
+    /// Creates an empty state.
+    pub fn new() -> ConcreteState {
+        ConcreteState::default()
+    }
+
+    /// Allocates a fresh node with all fields `null`-defaulted (reads of
+    /// unset fields yield `null`).
+    pub fn alloc_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.heap.insert(id, BTreeMap::new());
+        id
+    }
+
+    /// Reads field `f` of node `id`.
+    pub fn read_field(&self, id: NodeId, f: &Symbol) -> Option<Value> {
+        self.heap
+            .get(&id)
+            .map(|fields| fields.get(f).cloned().unwrap_or(Value::Null))
+    }
+}
+
+/// Why a concrete execution path halted abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Read of an undefined variable.
+    UndefinedVariable(Symbol),
+    /// Dereference (`.f` or `.f =`) of a non-node value.
+    NullDereference,
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// Attempted index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// Arithmetic overflow (the language traps rather than wrapping).
+    ArithmeticOverflow,
+    /// Operand of the wrong runtime type.
+    TypeError(String),
+    /// Call to a function not present in the program.
+    UnknownFunction(Symbol),
+    /// The step budget was exhausted (possibly diverging program).
+    OutOfFuel,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UndefinedVariable(v) => write!(f, "undefined variable `{v}`"),
+            RuntimeError::NullDereference => write!(f, "null dereference"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::ArithmeticOverflow => write!(f, "arithmetic overflow"),
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::UnknownFunction(s) => write!(f, "unknown function `{s}`"),
+            RuntimeError::OutOfFuel => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Evaluates a pure expression in a state.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for undefined variables, bad indexing, null
+/// dereference, division by zero, or operand type confusion.
+pub fn eval(state: &ConcreteState, expr: &Expr) -> Result<Value, RuntimeError> {
+    match expr {
+        Expr::Int(n) => Ok(Value::Int(*n)),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Null => Ok(Value::Null),
+        Expr::Var(v) => state
+            .env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UndefinedVariable(v.clone())),
+        Expr::Unary(UnOp::Neg, e) => match eval(state, e)? {
+            Value::Int(n) => n
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or(RuntimeError::ArithmeticOverflow),
+            other => Err(RuntimeError::TypeError(format!("cannot negate {other}"))),
+        },
+        Expr::Unary(UnOp::Not, e) => match eval(state, e)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(RuntimeError::TypeError(format!(
+                "cannot logically negate {other}"
+            ))),
+        },
+        Expr::Binary(op, l, r) => {
+            let lv = eval(state, l)?;
+            let rv = eval(state, r)?;
+            eval_binop(*op, lv, rv)
+        }
+        Expr::ArrayLit(es) => {
+            let mut vs = Vec::with_capacity(es.len());
+            for e in es {
+                vs.push(eval(state, e)?);
+            }
+            Ok(Value::Arr(vs))
+        }
+        Expr::ArrayRead(a, i) => {
+            let arr = eval(state, a)?;
+            let idx = eval(state, i)?;
+            match (arr, idx) {
+                (Value::Arr(vs), Value::Int(n)) => {
+                    if n < 0 || n as usize >= vs.len() {
+                        Err(RuntimeError::IndexOutOfBounds {
+                            index: n,
+                            len: vs.len(),
+                        })
+                    } else {
+                        Ok(vs[n as usize].clone())
+                    }
+                }
+                (a, i) => Err(RuntimeError::TypeError(format!(
+                    "cannot index {a} with {i}"
+                ))),
+            }
+        }
+        Expr::ArrayLen(a) => match eval(state, a)? {
+            Value::Arr(vs) => Ok(Value::Int(vs.len() as i64)),
+            other => Err(RuntimeError::TypeError(format!("len of non-array {other}"))),
+        },
+        Expr::Field(e, f) => match eval(state, e)? {
+            Value::Node(id) => state.read_field(id, f).ok_or(RuntimeError::NullDereference),
+            Value::Null => Err(RuntimeError::NullDereference),
+            other => Err(RuntimeError::TypeError(format!("field read on {other}"))),
+        },
+        Expr::AllocNode => Err(RuntimeError::TypeError(
+            "allocation outside assignment".to_string(),
+        )),
+    }
+}
+
+fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                let out = match op {
+                    Add => a.checked_add(b),
+                    Sub => a.checked_sub(b),
+                    Mul => a.checked_mul(b),
+                    Div => {
+                        if b == 0 {
+                            return Err(RuntimeError::DivisionByZero);
+                        }
+                        a.checked_div(b)
+                    }
+                    Mod => {
+                        if b == 0 {
+                            return Err(RuntimeError::DivisionByZero);
+                        }
+                        a.checked_rem(b)
+                    }
+                    _ => unreachable!(),
+                };
+                out.map(Value::Int).ok_or(RuntimeError::ArithmeticOverflow)
+            }
+            (l, r) => Err(RuntimeError::TypeError(format!(
+                "arithmetic on {l} and {r}"
+            ))),
+        },
+        Lt | Le | Gt | Ge => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Bool(match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            })),
+            (l, r) => Err(RuntimeError::TypeError(format!(
+                "comparison of {l} and {r}"
+            ))),
+        },
+        Eq | Ne => {
+            let eq = values_equal(&l, &r)?;
+            Ok(Value::Bool(if op == Eq { eq } else { !eq }))
+        }
+        And | Or => match (l, r) {
+            (Value::Bool(a), Value::Bool(b)) => {
+                Ok(Value::Bool(if op == And { a && b } else { a || b }))
+            }
+            (l, r) => Err(RuntimeError::TypeError(format!(
+                "boolean op on {l} and {r}"
+            ))),
+        },
+    }
+}
+
+fn values_equal(l: &Value, r: &Value) -> Result<bool, RuntimeError> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(a == b),
+        (Value::Bool(a), Value::Bool(b)) => Ok(a == b),
+        (Value::Null, Value::Null) => Ok(true),
+        (Value::Null, Value::Node(_)) | (Value::Node(_), Value::Null) => Ok(false),
+        (Value::Node(a), Value::Node(b)) => Ok(a == b),
+        (Value::Arr(a), Value::Arr(b)) => {
+            if a.len() != b.len() {
+                return Ok(false);
+            }
+            for (x, y) in a.iter().zip(b) {
+                if !values_equal(x, y)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        (l, r) => Err(RuntimeError::TypeError(format!(
+            "cannot compare {l} and {r}"
+        ))),
+    }
+}
+
+/// Outcome of applying a statement to a state.
+pub enum StepOutcome {
+    /// The statement produced a successor state.
+    Next(ConcreteState),
+    /// An `assume` was false: the path is infeasible.
+    Blocked,
+}
+
+/// Applies a non-call atomic statement to a state.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] on runtime failure; calls must be handled by
+/// the caller (see [`collect`]).
+///
+/// # Panics
+///
+/// Panics if given a [`Stmt::Call`]; the interprocedural driver handles
+/// calls before reaching this function.
+pub fn step(state: &ConcreteState, stmt: &Stmt) -> Result<StepOutcome, RuntimeError> {
+    let mut next = state.clone();
+    match stmt {
+        Stmt::Skip | Stmt::Print(_) => {}
+        Stmt::Assign(x, Expr::AllocNode) => {
+            let id = next.alloc_node();
+            next.env.insert(x.clone(), Value::Node(id));
+        }
+        Stmt::Assign(x, e) => {
+            let v = eval(state, e)?;
+            next.env.insert(x.clone(), v);
+        }
+        Stmt::ArrayWrite(a, i, e) => {
+            let idx = match eval(state, i)? {
+                Value::Int(n) => n,
+                other => {
+                    return Err(RuntimeError::TypeError(format!("index {other}")));
+                }
+            };
+            let v = eval(state, e)?;
+            match next.env.get_mut(a) {
+                Some(Value::Arr(vs)) => {
+                    if idx < 0 || idx as usize >= vs.len() {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            index: idx,
+                            len: vs.len(),
+                        });
+                    }
+                    vs[idx as usize] = v;
+                }
+                Some(other) => {
+                    return Err(RuntimeError::TypeError(format!("array write to {other}")));
+                }
+                None => return Err(RuntimeError::UndefinedVariable(a.clone())),
+            }
+        }
+        Stmt::FieldWrite(x, f, e) => {
+            let v = eval(state, e)?;
+            match state.env.get(x) {
+                Some(Value::Node(id)) => {
+                    let id = *id;
+                    next.heap
+                        .get_mut(&id)
+                        .expect("live node")
+                        .insert(f.clone(), v);
+                }
+                Some(Value::Null) | None => return Err(RuntimeError::NullDereference),
+                Some(other) => {
+                    return Err(RuntimeError::TypeError(format!("field write on {other}")));
+                }
+            }
+        }
+        Stmt::Assume(e) => match eval(state, e)? {
+            Value::Bool(true) => {}
+            Value::Bool(false) => return Ok(StepOutcome::Blocked),
+            other => {
+                return Err(RuntimeError::TypeError(format!("assume on {other}")));
+            }
+        },
+        Stmt::Call { .. } => panic!("step: calls are handled by the collector"),
+    }
+    Ok(StepOutcome::Next(next))
+}
+
+/// Result of running a whole program concretely.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Value of [`RETURN_VAR`] in the entry function's exit state, if the
+    /// function returned a value.
+    pub return_value: Option<Value>,
+    /// All states witnessed, per `(function, location)` — the bounded
+    /// collecting semantics `⟦ℓ⟧*`.
+    pub collected: HashMap<(Symbol, Loc), Vec<ConcreteState>>,
+    /// Runtime errors encountered on some explored path.
+    pub errors: Vec<(Symbol, Loc, RuntimeError)>,
+    /// Membership mirror of `collected` (hashed, for O(1) dedup while the
+    /// `Vec` keeps witness order).
+    seen: HashMap<(Symbol, Loc), HashSet<ConcreteState>>,
+}
+
+impl RunResult {
+    /// States witnessed at `(function, loc)`.
+    pub fn states_at(&self, function: &str, loc: Loc) -> &[ConcreteState] {
+        self.collected
+            .get(&(Symbol::new(function), loc))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Exhaustively explores the executions of `program` starting at `function`
+/// with arguments `args`, up to `fuel` statement applications in total.
+///
+/// Exploration is a worklist over `(loc, state)` pairs within each function
+/// activation; calls are evaluated by recursively collecting the callee.
+/// Duplicate states at a location are explored once.
+pub fn collect(program: &LoweredProgram, function: &str, args: Vec<Value>, fuel: u64) -> RunResult {
+    let mut result = RunResult {
+        return_value: None,
+        collected: HashMap::new(),
+        errors: Vec::new(),
+        seen: HashMap::new(),
+    };
+    let mut fuel = fuel;
+    let Some(cfg) = program.by_name(function) else {
+        result.errors.push((
+            Symbol::new(function),
+            Loc(0),
+            RuntimeError::UnknownFunction(Symbol::new(function)),
+        ));
+        return result;
+    };
+    let mut init = ConcreteState::new();
+    for (p, v) in cfg.params().iter().zip(args) {
+        init.env.insert(p.clone(), v);
+    }
+    let exits = run_function(program, cfg, init, &mut fuel, &mut result);
+    if let Some(final_state) = exits.first() {
+        result.return_value = final_state.env.get(RETURN_VAR).cloned();
+    }
+    result
+}
+
+/// Runs one function activation; returns the states reaching the exit.
+fn run_function(
+    program: &LoweredProgram,
+    cfg: &Cfg,
+    init: ConcreteState,
+    fuel: &mut u64,
+    result: &mut RunResult,
+) -> Vec<ConcreteState> {
+    let fname = cfg.name().clone();
+    let mut exits: Vec<ConcreteState> = Vec::new();
+    let mut worklist: Vec<(Loc, ConcreteState)> = vec![(cfg.entry(), init)];
+    while let Some((loc, state)) = worklist.pop() {
+        let seen = result.seen.entry((fname.clone(), loc)).or_default();
+        if !seen.insert(state.clone()) {
+            continue;
+        }
+        result
+            .collected
+            .entry((fname.clone(), loc))
+            .or_default()
+            .push(state.clone());
+        if loc == cfg.exit() {
+            exits.push(state.clone());
+            continue;
+        }
+        for &eid in cfg.out_edges(loc) {
+            if *fuel == 0 {
+                result
+                    .errors
+                    .push((fname.clone(), loc, RuntimeError::OutOfFuel));
+                return exits;
+            }
+            *fuel -= 1;
+            let edge = cfg.edge(eid).expect("edge exists");
+            match &edge.stmt {
+                Stmt::Call { lhs, callee, args } => {
+                    let Some(callee_cfg) = program.by_name(callee.as_str()) else {
+                        result.errors.push((
+                            fname.clone(),
+                            loc,
+                            RuntimeError::UnknownFunction(callee.clone()),
+                        ));
+                        continue;
+                    };
+                    let mut callee_init = ConcreteState::new();
+                    callee_init.heap = state.heap.clone();
+                    callee_init.next_node = state.next_node;
+                    let mut arg_err = None;
+                    for (p, a) in callee_cfg.params().iter().zip(args) {
+                        match eval(&state, a) {
+                            Ok(v) => {
+                                callee_init.env.insert(p.clone(), v);
+                            }
+                            Err(e) => {
+                                arg_err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(e) = arg_err {
+                        result.errors.push((fname.clone(), loc, e));
+                        continue;
+                    }
+                    let callee_exits = run_function(program, callee_cfg, callee_init, fuel, result);
+                    for cs in callee_exits {
+                        let mut next = state.clone();
+                        next.heap = cs.heap.clone();
+                        next.next_node = cs.next_node;
+                        if let Some(lhs) = lhs {
+                            let rv = cs.env.get(RETURN_VAR).cloned().unwrap_or(Value::Null);
+                            next.env.insert(lhs.clone(), rv);
+                        }
+                        worklist.push((edge.dst, next));
+                    }
+                }
+                stmt => match step(&state, stmt) {
+                    Ok(StepOutcome::Next(next)) => worklist.push((edge.dst, next)),
+                    Ok(StepOutcome::Blocked) => {}
+                    Err(e) => result.errors.push((fname.clone(), loc, e)),
+                },
+            }
+        }
+    }
+    exits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, args: Vec<Value>) -> RunResult {
+        let prog = lower_program(&parse_program(src).unwrap()).unwrap();
+        let entry = prog.cfgs().last().expect("nonempty").name().clone();
+        // By convention the entry function is `main` if present.
+        let entry = if prog.by_name("main").is_some() {
+            Symbol::new("main")
+        } else {
+            entry
+        };
+        collect(&prog, entry.as_str(), args, 100_000)
+    }
+
+    #[test]
+    fn straightline_arithmetic() {
+        let r = run(
+            "function main() { var x = 2; var y = x * 21; return y; }",
+            vec![],
+        );
+        assert_eq!(r.return_value, Some(Value::Int(42)));
+        assert!(r.errors.is_empty());
+    }
+
+    #[test]
+    fn loop_computes_sum() {
+        let r = run(
+            "function main() { var i = 0; var s = 0; while (i < 5) { s = s + i; i = i + 1; } return s; }",
+            vec![],
+        );
+        assert_eq!(r.return_value, Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn branches_both_explored_only_feasible_taken() {
+        let r = run(
+            "function main() { var x = 3; if (x > 0) { x = 1; } else { x = 2; } return x; }",
+            vec![],
+        );
+        assert_eq!(r.return_value, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn call_passes_arguments_and_returns() {
+        let r = run(
+            "function double(x) { return x + x; } function main() { var y = double(21); return y; }",
+            vec![],
+        );
+        assert_eq!(r.return_value, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn arrays_are_values() {
+        let r = run(
+            "function main() { var a = [1, 2, 3]; var b = a; b[0] = 9; return a[0]; }",
+            vec![],
+        );
+        assert_eq!(r.return_value, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn array_out_of_bounds_is_error() {
+        let r = run("function main() { var a = [1]; return a[3]; }", vec![]);
+        assert!(r
+            .errors
+            .iter()
+            .any(|(_, _, e)| matches!(e, RuntimeError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn nodes_are_references() {
+        let r = run(
+            "function main() { var n = new Node(); var m = n; m.data = 7; return n.data; }",
+            vec![],
+        );
+        assert_eq!(r.return_value, Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn append_concretely_links_lists() {
+        let src = r#"
+            function append(p, q) {
+                if (p == null) { return q; }
+                var r = p;
+                while (r.next != null) { r = r.next; }
+                r.next = q;
+                return p;
+            }
+            function main() {
+                var a = new Node();
+                var b = new Node();
+                a.next = null;
+                b.next = null;
+                var c = append(a, b);
+                return c.next == b;
+            }
+        "#;
+        let r = run(src, vec![]);
+        assert_eq!(r.return_value, Some(Value::Bool(true)));
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn null_dereference_reported() {
+        let r = run("function main() { var n = null; return n.next; }", vec![]);
+        assert!(r
+            .errors
+            .iter()
+            .any(|(_, _, e)| matches!(e, RuntimeError::NullDereference)));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let r = run("function main() { var x = 1 / 0; return x; }", vec![]);
+        assert!(r
+            .errors
+            .iter()
+            .any(|(_, _, e)| matches!(e, RuntimeError::DivisionByZero)));
+    }
+
+    #[test]
+    fn fuel_limits_divergence() {
+        let r = run(
+            "function main() { var i = 0; while (i >= 0) { i = i + 1; } return i; }",
+            vec![],
+        );
+        assert!(r
+            .errors
+            .iter()
+            .any(|(_, _, e)| matches!(e, RuntimeError::OutOfFuel)));
+    }
+
+    #[test]
+    fn collecting_semantics_witnesses_loop_states() {
+        let r = run(
+            "function main() { var i = 0; while (i < 3) { i = i + 1; } return i; }",
+            vec![],
+        );
+        // The loop head sees i = 0, 1, 2, 3.
+        let prog = lower_program(
+            &parse_program("function main() { var i = 0; while (i < 3) { i = i + 1; } return i; }")
+                .unwrap(),
+        )
+        .unwrap();
+        let head = prog.by_name("main").unwrap().loop_heads()[0];
+        let states = r.states_at("main", head);
+        assert_eq!(states.len(), 4);
+    }
+
+    #[test]
+    fn print_is_noop() {
+        let r = run("function main() { var x = 1; print(x); return x; }", vec![]);
+        assert_eq!(r.return_value, Some(Value::Int(1)));
+    }
+}

@@ -1,0 +1,508 @@
+//! Lexer for the subject language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier (also carries keywords' spellings before classification).
+    Ident(String),
+    /// `function`
+    Function,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `do`
+    Do,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `new`
+    New,
+    /// `print`
+    Print,
+    /// `len`
+    Len,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Function => write!(f, "function"),
+            Token::Var => write!(f, "var"),
+            Token::If => write!(f, "if"),
+            Token::Else => write!(f, "else"),
+            Token::While => write!(f, "while"),
+            Token::For => write!(f, "for"),
+            Token::Do => write!(f, "do"),
+            Token::Return => write!(f, "return"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Null => write!(f, "null"),
+            Token::New => write!(f, "new"),
+            Token::Print => write!(f, "print"),
+            Token::Len => write!(f, "len"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+        }
+    }
+}
+
+/// A token paired with its byte offset in the source, for error messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// An error produced during lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset at which the error occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, skipping whitespace and `//` line comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters, bare `&`/`|`, or integer
+/// literals that do not fit in `i64`.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &src[i..j];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    offset: start,
+                })?;
+                tokens.push(SpannedToken {
+                    token: Token::Int(value),
+                    offset: start,
+                });
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                let token = match word {
+                    "function" => Token::Function,
+                    "var" => Token::Var,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "for" => Token::For,
+                    "do" => Token::Do,
+                    "return" => Token::Return,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "null" => Token::Null,
+                    "new" => Token::New,
+                    "print" => Token::Print,
+                    "len" => Token::Len,
+                    _ => Token::Ident(word.to_string()),
+                };
+                tokens.push(SpannedToken {
+                    token,
+                    offset: start,
+                });
+                i = j;
+            }
+            '(' => {
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(SpannedToken {
+                    token: Token::LBrace,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(SpannedToken {
+                    token: Token::RBrace,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(SpannedToken {
+                    token: Token::LBracket,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(SpannedToken {
+                    token: Token::RBracket,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(SpannedToken {
+                    token: Token::Semi,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(SpannedToken {
+                    token: Token::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(SpannedToken {
+                    token: Token::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(SpannedToken {
+                    token: Token::Minus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(SpannedToken {
+                    token: Token::Star,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(SpannedToken {
+                    token: Token::Slash,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(SpannedToken {
+                    token: Token::Percent,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(SpannedToken {
+                        token: Token::EqEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Assign,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(SpannedToken {
+                        token: Token::NotEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Bang,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(SpannedToken {
+                        token: Token::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(SpannedToken {
+                        token: Token::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken {
+                        token: Token::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    tokens.push(SpannedToken {
+                        token: Token::AndAnd,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `&&`".to_string(),
+                        offset: start,
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    tokens.push(SpannedToken {
+                        token: Token::OrOr,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `||`".to_string(),
+                        offset: start,
+                    });
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: start,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        assert_eq!(
+            kinds("x = x + 1;"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Ident("x".into()),
+                Token::Plus,
+                Token::Int(1),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("while whilex if iffy"),
+            vec![
+                Token::While,
+                Token::Ident("whilex".into()),
+                Token::If,
+                Token::Ident("iffy".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || < > = !"),
+            vec![
+                Token::EqEq,
+                Token::NotEq,
+                Token::Le,
+                Token::Ge,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Lt,
+                Token::Gt,
+                Token::Assign,
+                Token::Bang
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        assert_eq!(
+            kinds("x // comment to end of line\n  = 2"),
+            vec![Token::Ident("x".into()), Token::Assign, Token::Int(2)]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        let err = lex("a & b").unwrap_err();
+        assert!(err.message.contains("&&"));
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_integer() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let toks = lex("ab   ==").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 5);
+    }
+}

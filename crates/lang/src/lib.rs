@@ -1,0 +1,131 @@
+//! # dai-lang — the subject language for demanded abstract interpretation
+//!
+//! This crate provides everything the DAIG framework (crate `dai-core`)
+//! needs from a "program under analysis", mirroring the generic language of
+//! the paper's Fig. 5:
+//!
+//! * an [`ast`] for a JavaScript-like imperative subset (assignments,
+//!   arrays, conditionals, `while` loops — with `for`, `do`-`while`, and
+//!   lexical blocks as parse-time sugar — non-recursive first-order calls,
+//!   and heap list nodes),
+//! * a hand-written [`lexer`] and recursive-descent [`parser`],
+//! * edge-labelled control-flow graphs ([`cfg`](mod@cfg)) with the standard
+//!   structural analyses (dominators, back edges, natural loops) in
+//!   [`loops`],
+//! * a concrete interpreter and location-indexed collecting semantics
+//!   ([`interp`]) used to *test* analysis soundness, and
+//! * structured program-edit primitives ([`edit`]) that keep CFGs and their
+//!   loop structure consistent under the random edit workload of §7.3.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dai_lang::parse_program;
+//!
+//! let program = parse_program(
+//!     "function main() { var i = 0; while (i < 10) { i = i + 1; } return i; }",
+//! )?;
+//! let cfgs = dai_lang::cfg::lower_program(&program)?;
+//! let main = &cfgs.by_name("main").unwrap();
+//! assert!(main.edge_count() >= 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod cfg;
+pub mod edit;
+pub mod interp;
+pub mod lexer;
+pub mod loops;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::{AstStmt, BinOp, Block, Expr, Function, Program, Stmt, UnOp};
+pub use cfg::{Cfg, CfgError, EdgeId, Loc, LoweredProgram};
+pub use parser::{parse_block, parse_expr, parse_program, ParseError};
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned-ish string: cheap to clone, hash, and compare.
+///
+/// Variable, field, and function names are `Symbol`s. Backed by an
+/// `Arc<str>` so cloning a symbol is a reference-count bump; abstract
+/// domain states clone names heavily during joins and widenings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from a string.
+    pub fn new(s: impl AsRef<str>) -> Symbol {
+        Symbol(Arc::from(s.as_ref()))
+    }
+
+    /// Views the symbol as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol(Arc::from(s.as_str()))
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// The distinguished variable receiving a function's return value.
+///
+/// Lowering turns `return e;` into the atomic assignment `__ret = e` on an
+/// edge into the function's exit location, exactly as `ret = p;` in the
+/// paper's Fig. 2.
+pub const RETURN_VAR: &str = "__ret";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_equality_and_borrow() {
+        let a = Symbol::new("foo");
+        let b: Symbol = "foo".into();
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<Symbol> = [a.clone()].into_iter().collect();
+        assert!(set.contains("foo"));
+        assert_eq!(a.to_string(), "foo");
+    }
+
+    #[test]
+    fn symbol_ordering_is_lexicographic() {
+        let mut v = [Symbol::new("b"), Symbol::new("a"), Symbol::new("c")];
+        v.sort();
+        assert_eq!(
+            v.iter().map(Symbol::as_str).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+    }
+}

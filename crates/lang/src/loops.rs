@@ -1,0 +1,312 @@
+//! Dominators, back edges, natural loops, and reducibility.
+//!
+//! [`crate::cfg`] maintains loop structure incrementally (it knows the
+//! lexical nesting because programs are structured), but the paper's
+//! definitions (Appendix A) are stated in terms of dominators over arbitrary
+//! reducible flow graphs. This module implements those textbook definitions
+//! from scratch — iterative dominator analysis, back-edge partitioning,
+//! natural-loop computation, and a reducibility check — so that tests can
+//! assert the incremental structure always agrees with the from-scratch one.
+
+use crate::cfg::{Cfg, EdgeId, Loc};
+use std::collections::{HashMap, HashSet};
+
+/// The result of from-scratch loop analysis of a CFG.
+#[derive(Debug, Clone)]
+pub struct LoopAnalysis {
+    /// Immediate dominator of each reachable location (entry maps to itself).
+    pub idom: HashMap<Loc, Loc>,
+    /// Edges whose destination dominates their source.
+    pub back_edges: Vec<EdgeId>,
+    /// Natural loop of each back-edge target: all locations that reach the
+    /// back edge's source without passing through the head, plus the head.
+    pub natural_loops: HashMap<Loc, HashSet<Loc>>,
+    /// Locations in reverse postorder of the forward-edge DAG.
+    pub rpo: Vec<Loc>,
+}
+
+impl LoopAnalysis {
+    /// Runs the analysis. Only locations reachable from the entry are
+    /// considered (the CFG keeps all locations reachable by construction).
+    pub fn of(cfg: &Cfg) -> LoopAnalysis {
+        let rpo = reverse_postorder(cfg);
+        let idom = dominators(cfg, &rpo);
+        let mut back_edges = Vec::new();
+        for e in cfg.edges() {
+            if dominates(&idom, e.dst, e.src) {
+                back_edges.push(e.id);
+            }
+        }
+        back_edges.sort();
+        let mut natural_loops: HashMap<Loc, HashSet<Loc>> = HashMap::new();
+        for &be in &back_edges {
+            let e = cfg.edge(be).expect("edge exists");
+            let set = natural_loops.entry(e.dst).or_default();
+            set.insert(e.dst);
+            // Walk predecessors from the back edge's source, not crossing
+            // the head.
+            let mut stack = vec![e.src];
+            while let Some(l) = stack.pop() {
+                if l == e.dst || !set.insert(l) {
+                    continue;
+                }
+                for &in_e in cfg.in_edges(l) {
+                    stack.push(cfg.edge(in_e).expect("edge exists").src);
+                }
+            }
+        }
+        LoopAnalysis {
+            idom,
+            back_edges,
+            natural_loops,
+            rpo,
+        }
+    }
+
+    /// The loop heads found by the from-scratch analysis, ascending.
+    pub fn heads(&self) -> Vec<Loc> {
+        let mut v: Vec<Loc> = self.natural_loops.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Is the CFG reducible? True iff removing all back edges leaves an
+    /// acyclic graph and every back edge's target dominates its source
+    /// (the second condition holds by construction of `back_edges`; this
+    /// checks the first).
+    pub fn is_reducible(&self, cfg: &Cfg) -> bool {
+        // Kahn's algorithm on forward edges only.
+        let back: HashSet<EdgeId> = self.back_edges.iter().copied().collect();
+        let locs = cfg.locs();
+        let mut indeg: HashMap<Loc, usize> = locs.iter().map(|&l| (l, 0)).collect();
+        for e in cfg.edges() {
+            if !back.contains(&e.id) {
+                *indeg.get_mut(&e.dst).expect("live loc") += 1;
+            }
+        }
+        let mut queue: Vec<Loc> = locs.iter().copied().filter(|l| indeg[l] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(l) = queue.pop() {
+            seen += 1;
+            for &eid in cfg.out_edges(l) {
+                let e = cfg.edge(eid).expect("edge exists");
+                if back.contains(&eid) {
+                    continue;
+                }
+                let d = indeg.get_mut(&e.dst).expect("live loc");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(e.dst);
+                }
+            }
+        }
+        seen == locs.len()
+    }
+
+    /// The innermost loop head whose natural loop contains `loc`, computed
+    /// from scratch (excluding `loc`'s own loop when `loc` is a head).
+    pub fn innermost_enclosing(&self, loc: Loc) -> Option<Loc> {
+        // Innermost = the containing loop with the smallest natural loop.
+        self.natural_loops
+            .iter()
+            .filter(|(&h, set)| h != loc && set.contains(&loc))
+            .min_by_key(|(_, set)| set.len())
+            .map(|(&h, _)| h)
+    }
+
+    /// All heads whose natural loops contain `loc`, outermost (largest loop)
+    /// first, excluding `loc` itself.
+    pub fn enclosing_chain(&self, loc: Loc) -> Vec<Loc> {
+        let mut chain: Vec<(&Loc, &HashSet<Loc>)> = self
+            .natural_loops
+            .iter()
+            .filter(|(&h, set)| h != loc && set.contains(&loc))
+            .collect();
+        chain.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+        chain.into_iter().map(|(&h, _)| h).collect()
+    }
+}
+
+/// Locations in reverse postorder of the CFG's depth-first forest
+/// (deterministic: out-edges visited in ascending edge-id order).
+pub fn reverse_postorder(cfg: &Cfg) -> Vec<Loc> {
+    let mut post = Vec::new();
+    let mut seen: HashSet<Loc> = HashSet::new();
+    // Iterative DFS with an explicit (loc, next-out-edge-index) stack.
+    let mut stack: Vec<(Loc, usize)> = vec![(cfg.entry(), 0)];
+    seen.insert(cfg.entry());
+    while let Some(&(loc, idx)) = stack.last() {
+        let outs = cfg.out_edges(loc);
+        if idx < outs.len() {
+            stack.last_mut().expect("stack nonempty").1 += 1;
+            let dst = cfg.edge(outs[idx]).expect("edge exists").dst;
+            if seen.insert(dst) {
+                stack.push((dst, 0));
+            }
+        } else {
+            post.push(loc);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy style fixed point
+/// over reverse postorder).
+fn dominators(cfg: &Cfg, rpo: &[Loc]) -> HashMap<Loc, Loc> {
+    let rpo_index: HashMap<Loc, usize> = rpo.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let mut idom: HashMap<Loc, Loc> = HashMap::new();
+    idom.insert(cfg.entry(), cfg.entry());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &l in rpo.iter().skip(1) {
+            let mut new_idom: Option<Loc> = None;
+            for &eid in cfg.in_edges(l) {
+                let p = cfg.edge(eid).expect("edge exists").src;
+                if !idom.contains_key(&p) {
+                    continue; // predecessor not yet processed
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                });
+            }
+            if let Some(n) = new_idom {
+                if idom.get(&l) != Some(&n) {
+                    idom.insert(l, n);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    idom: &HashMap<Loc, Loc>,
+    rpo_index: &HashMap<Loc, usize>,
+    mut a: Loc,
+    mut b: Loc,
+) -> Loc {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Does `a` dominate `b` (reflexively)?
+pub fn dominates(idom: &HashMap<Loc, Loc>, a: Loc, b: Loc) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom.get(&cur) {
+            Some(&d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use crate::parser::parse_program;
+
+    fn analyze(src: &str, name: &str) -> (Cfg, LoopAnalysis) {
+        let prog = lower_program(&parse_program(src).unwrap()).unwrap();
+        let cfg = prog.by_name(name).unwrap().clone();
+        let la = LoopAnalysis::of(&cfg);
+        (cfg, la)
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let (cfg, la) = analyze("function f() { var x = 1; return x; }", "f");
+        assert!(la.back_edges.is_empty());
+        assert!(la.is_reducible(&cfg));
+        assert_eq!(la.rpo[0], cfg.entry());
+    }
+
+    #[test]
+    fn single_loop_identified() {
+        let (cfg, la) = analyze(
+            "function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        assert_eq!(la.back_edges.len(), 1);
+        assert_eq!(la.heads(), cfg.loop_heads());
+        assert!(la.is_reducible(&cfg));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let (cfg, la) = analyze(
+            "function f(x) { if (x > 0) { x = 1; } else { x = 2; } return x; }",
+            "f",
+        );
+        // The join is dominated by the entry, not by either branch arm.
+        let join = cfg.locs().into_iter().find(|&l| cfg.is_join(l)).unwrap();
+        assert_eq!(la.idom[&join], cfg.entry());
+    }
+
+    #[test]
+    fn nested_loops_chain_matches_cfg_bookkeeping() {
+        let (cfg, la) = analyze(
+            "function f(n) { var i = 0; while (i < n) { var j = 0; while (j < i) { j = j + 1; } i = i + 1; } return i; }",
+            "f",
+        );
+        assert_eq!(la.heads(), cfg.loop_heads());
+        for l in cfg.locs() {
+            assert_eq!(
+                la.enclosing_chain(l),
+                cfg.enclosing_loops(l),
+                "enclosing chain mismatch at {l}"
+            );
+        }
+        assert!(la.is_reducible(&cfg));
+    }
+
+    #[test]
+    fn sequential_loops_do_not_nest() {
+        let (cfg, la) = analyze(
+            "function f(n) { var i = 0; while (i < n) { i = i + 1; } var j = 0; while (j < n) { j = j + 1; } return j; }",
+            "f",
+        );
+        assert_eq!(la.heads().len(), 2);
+        for h in la.heads() {
+            assert!(la.enclosing_chain(h).is_empty());
+        }
+        for l in cfg.locs() {
+            assert_eq!(la.enclosing_chain(l), cfg.enclosing_loops(l));
+        }
+    }
+
+    #[test]
+    fn natural_loop_matches_cfg() {
+        let (cfg, la) = analyze(
+            "function f(n) { var i = 0; while (i < n) { if (i > 2) { i = i + 1; } else { i = i + 2; } } return i; }",
+            "f",
+        );
+        let head = cfg.loop_heads()[0];
+        let mut expected: Vec<Loc> = la.natural_loops[&head].iter().copied().collect();
+        expected.sort();
+        assert_eq!(cfg.natural_loop(head), expected);
+    }
+
+    #[test]
+    fn self_loop_natural_loop_is_singleton() {
+        let (cfg, la) = analyze("function f(b) { while (b == 0) { } return b; }", "f");
+        let head = cfg.loop_heads()[0];
+        assert_eq!(la.natural_loops[&head].len(), 1);
+        assert!(la.natural_loops[&head].contains(&head));
+    }
+}

@@ -1,0 +1,759 @@
+//! Recursive-descent parser for the subject language.
+//!
+//! Grammar (simplified):
+//!
+//! ```text
+//! program   := function*
+//! function  := "function" ident "(" params? ")" block
+//! block     := "{" stmt* "}"
+//! stmt      := ["var"] ident "=" rhs ";"
+//!            | ident "[" expr "]" "=" expr ";"
+//!            | ident "." ident "=" expr ";"
+//!            | ident "(" args? ")" ";"
+//!            | "print" "(" expr ")" ";"
+//!            | "if" "(" expr ")" block ["else" block]
+//!            | "while" "(" expr ")" block
+//!            | "for" "(" simple ";" expr ";" simple ")" block
+//!            | "do" block "while" "(" expr ")" ";"
+//!            | "return" [expr] ";"
+//!            | ";"
+//! rhs       := "new" ident "(" ")" | ident "(" args? ")" | expr
+//! simple    := ["var"] ident "=" rhs | ident "[" expr "]" "=" expr | …
+//! ```
+//!
+//! Calls appear only as whole statements (`x = f(y);` or `f(y);`), matching
+//! the paper's "function calls of the form `x = f(y)`" (§7.3); expressions
+//! are otherwise pure.
+//!
+//! `for` and `do`-`while` are **surface sugar**, desugared at parse time to
+//! the `while` core the formalism (and the CFG lowering) knows:
+//! `for (init; c; upd) B` becomes `init; while (c) { B; upd; }`, and
+//! `do B while (c);` becomes `B; while (c) B` (body duplicated — the
+//! standard desugaring; both copies get distinct CFG edges). Every
+//! construct therefore still lowers to a reducible flow graph.
+
+use crate::ast::{AstStmt, BinOp, Block, Expr, Function, Program, Stmt, UnOp};
+use crate::lexer::{lex, LexError, SpannedToken, Token};
+use crate::Symbol;
+use std::fmt;
+
+/// An error produced while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending token (source length at end-of-input).
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+/// Parses a whole program (a sequence of `function` definitions).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        eof_offset: src.len(),
+    };
+    let mut functions = Vec::new();
+    while !p.at_end() {
+        functions.push(p.function()?);
+    }
+    Ok(Program { functions })
+}
+
+/// Parses a brace-less sequence of statements (e.g. a snippet to splice into
+/// a program during an edit).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_block(src: &str) -> Result<Block, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        eof_offset: src.len(),
+    };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(Block(stmts))
+}
+
+/// Parses a single expression, requiring all input to be consumed.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        eof_offset: src.len(),
+    };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.error_here("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    eof_offset: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|t| &t.token)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.eof_offset, |t| t.offset)
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.here(),
+        }
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error_here(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.error_here(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn eat_if(&mut self, want: &Token) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<Symbol, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let sym = Symbol::new(s);
+                self.pos += 1;
+                Ok(sym)
+            }
+            Some(t) => Err(self.error_here(format!("expected identifier, found `{t}`"))),
+            None => Err(self.error_here("expected identifier, found end of input")),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.eat(&Token::Function)?;
+        let name = self.ident()?;
+        self.eat(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.eat(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.at_end() {
+                return Err(self.error_here("unterminated block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Token::RBrace)?;
+        Ok(Block(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<AstStmt, ParseError> {
+        match self.peek() {
+            Some(Token::Semi) => {
+                self.pos += 1;
+                Ok(AstStmt::Simple(Stmt::Skip))
+            }
+            Some(Token::If) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let then_ = self.block()?;
+                let else_ = if self.eat_if(&Token::Else) {
+                    self.block()?
+                } else {
+                    Block::new()
+                };
+                Ok(AstStmt::If { cond, then_, else_ })
+            }
+            Some(Token::While) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(AstStmt::While { cond, body })
+            }
+            Some(Token::For) => {
+                // Sugar: `for (init; cond; update) B` desugars to
+                // `{ init; while (cond) { B; update; } }`.
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let init = self.simple_stmt()?;
+                self.eat(&Token::Semi)?;
+                let cond = self.expr()?;
+                self.eat(&Token::Semi)?;
+                let update = self.simple_stmt()?;
+                self.eat(&Token::RParen)?;
+                let mut body = self.block()?;
+                body.0.push(AstStmt::Simple(update));
+                Ok(AstStmt::Nested(Block(vec![
+                    AstStmt::Simple(init),
+                    AstStmt::While { cond, body },
+                ])))
+            }
+            Some(Token::Do) => {
+                // Sugar: `do B while (c);` desugars to `{ B; while (c) B }`
+                // — the body runs once, then re-runs while `c` holds (the
+                // standard body-duplicating desugaring; each copy gets its
+                // own CFG edges).
+                self.pos += 1;
+                let body = self.block()?;
+                self.eat(&Token::While)?;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                self.eat(&Token::Semi)?;
+                let mut once = body.clone();
+                once.0.push(AstStmt::While { cond, body });
+                Ok(AstStmt::Nested(once))
+            }
+            Some(Token::LBrace) => Ok(AstStmt::Nested(self.block()?)),
+            Some(Token::Return) => {
+                self.pos += 1;
+                let value = if self.peek() == Some(&Token::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&Token::Semi)?;
+                Ok(AstStmt::Return(value))
+            }
+            Some(Token::Print) | Some(Token::Var) | Some(Token::Ident(_)) => {
+                let stmt = self.simple_stmt()?;
+                self.eat(&Token::Semi)?;
+                Ok(AstStmt::Simple(stmt))
+            }
+            Some(t) => Err(self.error_here(format!("expected statement, found `{t}`"))),
+            None => Err(self.error_here("expected statement, found end of input")),
+        }
+    }
+
+    /// Parses a semicolon-less atomic statement: assignments (with optional
+    /// `var`), array/field writes, calls, and `print`. Used both for
+    /// ordinary statements (the caller eats the `;`) and for `for`-loop
+    /// initializers/updates (which have none).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::Print) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(Stmt::Print(e))
+            }
+            Some(Token::Var) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.eat(&Token::Assign)?;
+                self.assignment_rhs(name)
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident()?;
+                match self.peek() {
+                    Some(Token::Assign) => {
+                        self.pos += 1;
+                        self.assignment_rhs(name)
+                    }
+                    Some(Token::LBracket) => {
+                        self.pos += 1;
+                        let index = self.expr()?;
+                        self.eat(&Token::RBracket)?;
+                        self.eat(&Token::Assign)?;
+                        let value = self.expr()?;
+                        Ok(Stmt::ArrayWrite(name, index, value))
+                    }
+                    Some(Token::Dot) => {
+                        self.pos += 1;
+                        let field = self.ident()?;
+                        self.eat(&Token::Assign)?;
+                        let value = self.expr()?;
+                        Ok(Stmt::FieldWrite(name, field, value))
+                    }
+                    Some(Token::LParen) => {
+                        let args = self.call_args()?;
+                        Ok(Stmt::Call {
+                            lhs: None,
+                            callee: name,
+                            args,
+                        })
+                    }
+                    _ => Err(self.error_here("expected `=`, `[`, `.`, or `(` after identifier")),
+                }
+            }
+            Some(t) => Err(self.error_here(format!("expected a simple statement, found `{t}`"))),
+            None => Err(self.error_here("expected a simple statement, found end of input")),
+        }
+    }
+
+    /// Parses the right-hand side of `x = ...`, which may be a call,
+    /// an allocation, or a pure expression.
+    fn assignment_rhs(&mut self, lhs: Symbol) -> Result<Stmt, ParseError> {
+        match (self.peek(), self.peek2()) {
+            (Some(Token::New), _) => {
+                self.pos += 1;
+                let _class = self.ident()?;
+                self.eat(&Token::LParen)?;
+                self.eat(&Token::RParen)?;
+                Ok(Stmt::Assign(lhs, Expr::AllocNode))
+            }
+            (Some(Token::Ident(_)), Some(Token::LParen)) => {
+                let callee = self.ident()?;
+                let args = self.call_args()?;
+                Ok(Stmt::Call {
+                    lhs: Some(lhs),
+                    callee,
+                    args,
+                })
+            }
+            _ => Ok(Stmt::Assign(lhs, self.expr()?)),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.eat(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(args)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_if(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_if(&Token::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::EqEq) => BinOp::Eq,
+            Some(Token::NotEq) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(Expr::binary(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.pos += 1;
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let e = self.unary_expr()?;
+                // Fold negated literals so printing `-5` round-trips.
+                match e {
+                    Expr::Int(n) => Ok(Expr::Int(-n)),
+                    e => Ok(Expr::Unary(UnOp::Neg, Box::new(e))),
+                }
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::LBracket) => {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.eat(&Token::RBracket)?;
+                    e = Expr::ArrayRead(Box::new(e), Box::new(index));
+                }
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                    let field = self.ident()?;
+                    e = Expr::Field(Box::new(e), field);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Some(Token::Int(n)) => Ok(Expr::Int(n)),
+            Some(Token::True) => Ok(Expr::Bool(true)),
+            Some(Token::False) => Ok(Expr::Bool(false)),
+            Some(Token::Null) => Ok(Expr::Null),
+            Some(Token::Ident(s)) => Ok(Expr::Var(Symbol::new(&s))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::LBracket) => {
+                let mut elems = Vec::new();
+                if self.peek() != Some(&Token::RBracket) {
+                    loop {
+                        elems.push(self.expr()?);
+                        if !self.eat_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.eat(&Token::RBracket)?;
+                Ok(Expr::ArrayLit(elems))
+            }
+            Some(Token::Len) => {
+                self.eat(&Token::LParen)?;
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(Expr::ArrayLen(Box::new(e)))
+            }
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error_here(format!("expected expression, found `{t}`")))
+            }
+            None => Err(self.error_here("expected expression, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_append_from_paper_fig1() {
+        let src = r#"
+            function append(p, q) {
+                if (p == null) { return q; }
+                var r = p;
+                while (r.next != null) { r = r.next; }
+                r.next = q;
+                return p;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.functions.len(), 1);
+        let f = &prog.functions[0];
+        assert_eq!(f.name.as_str(), "append");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.len(), 5);
+        assert!(matches!(f.body.0[0], AstStmt::If { .. }));
+        assert!(matches!(f.body.0[2], AstStmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_calls_only_at_statement_level() {
+        let prog = parse_program("function main() { var x = f(1, 2); g(); }").unwrap();
+        let body = &prog.functions[0].body.0;
+        assert!(matches!(
+            &body[0],
+            AstStmt::Simple(Stmt::Call { lhs: Some(_), args, .. }) if args.len() == 2
+        ));
+        assert!(matches!(
+            &body[1],
+            AstStmt::Simple(Stmt::Call { lhs: None, args, .. }) if args.is_empty()
+        ));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn precedence_cmp_below_arith_above_bool() {
+        let e = parse_expr("a + 1 < b && c == d").unwrap();
+        assert_eq!(e.to_string(), "(((a + 1) < b) && (c == d))");
+    }
+
+    #[test]
+    fn parses_array_forms() {
+        let prog =
+            parse_program("function main() { var a = [1, 2, 3]; a[0] = a[1] + len(a); }").unwrap();
+        let body = &prog.functions[0].body.0;
+        assert!(
+            matches!(&body[0], AstStmt::Simple(Stmt::Assign(_, Expr::ArrayLit(v))) if v.len() == 3)
+        );
+        assert!(matches!(&body[1], AstStmt::Simple(Stmt::ArrayWrite(..))));
+    }
+
+    #[test]
+    fn parses_heap_forms() {
+        let prog =
+            parse_program("function main() { var n = new Node(); n.next = null; var m = n.next; }")
+                .unwrap();
+        let body = &prog.functions[0].body.0;
+        assert!(matches!(
+            &body[0],
+            AstStmt::Simple(Stmt::Assign(_, Expr::AllocNode))
+        ));
+        assert!(matches!(&body[1], AstStmt::Simple(Stmt::FieldWrite(..))));
+        assert!(matches!(
+            &body[2],
+            AstStmt::Simple(Stmt::Assign(_, Expr::Field(..)))
+        ));
+    }
+
+    #[test]
+    fn parses_nested_control_flow() {
+        let prog = parse_program(
+            "function f(n) { var i = 0; while (i < n) { if (i % 2 == 0) { i = i + 1; } else { i = i + 2; } } return i; }",
+        )
+        .unwrap();
+        match &prog.functions[0].body.0[1] {
+            AstStmt::While { body, .. } => {
+                assert!(matches!(body.0[0], AstStmt::If { .. }));
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_statement_is_skip() {
+        let b = parse_block(";;").unwrap();
+        assert_eq!(
+            b.0,
+            vec![AstStmt::Simple(Stmt::Skip), AstStmt::Simple(Stmt::Skip)]
+        );
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse_program("function f() { x = 1 }").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_expr("1 + ").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn parse_expr_rejects_trailing_tokens() {
+        assert!(parse_expr("1 + 2 3").is_err());
+    }
+
+    #[test]
+    fn unary_chains() {
+        let e = parse_expr("!!b").unwrap();
+        assert_eq!(e.to_string(), "!(!(b))");
+        let e = parse_expr("--x").unwrap();
+        assert_eq!(e.to_string(), "-(-(x))");
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let e = parse_expr("m[i][j].next").unwrap();
+        assert!(matches!(e, Expr::Field(..)));
+    }
+
+    #[test]
+    fn for_loop_desugars_to_init_plus_while() {
+        let b = parse_block("for (var i = 0; i < 10; i = i + 1) { s = s + i; }").unwrap();
+        let AstStmt::Nested(inner) = &b.0[0] else {
+            panic!("expected nested block")
+        };
+        assert_eq!(inner.0.len(), 2);
+        assert!(matches!(&inner.0[0], AstStmt::Simple(Stmt::Assign(x, _)) if x.as_str() == "i"));
+        let AstStmt::While { cond, body } = &inner.0[1] else {
+            panic!("expected while")
+        };
+        assert_eq!(cond.to_string(), "(i < 10)");
+        // Body carries the update as its last statement.
+        assert_eq!(body.0.len(), 2);
+        assert!(matches!(&body.0[1], AstStmt::Simple(Stmt::Assign(x, _)) if x.as_str() == "i"));
+    }
+
+    #[test]
+    fn for_loop_update_may_be_array_or_field_write() {
+        let b = parse_block("for (i = 0; i < 3; a[i] = 1) { ; }").unwrap();
+        let AstStmt::Nested(inner) = &b.0[0] else {
+            panic!()
+        };
+        let AstStmt::While { body, .. } = &inner.0[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            body.0.last(),
+            Some(AstStmt::Simple(Stmt::ArrayWrite(..)))
+        ));
+    }
+
+    #[test]
+    fn do_while_desugars_to_body_then_while() {
+        let b = parse_block("do { x = x + 1; } while (x < 5);").unwrap();
+        let AstStmt::Nested(inner) = &b.0[0] else {
+            panic!("expected nested block")
+        };
+        assert_eq!(inner.0.len(), 2, "one unrolled body statement + the while");
+        assert!(matches!(&inner.0[0], AstStmt::Simple(Stmt::Assign(..))));
+        let AstStmt::While { body, .. } = &inner.0[1] else {
+            panic!("expected while")
+        };
+        assert_eq!(body.0.len(), 1);
+    }
+
+    #[test]
+    fn bare_blocks_parse_as_nested() {
+        let b = parse_block("{ var x = 1; { x = 2; } }").unwrap();
+        let AstStmt::Nested(outer) = &b.0[0] else {
+            panic!()
+        };
+        assert!(matches!(&outer.0[1], AstStmt::Nested(_)));
+    }
+
+    #[test]
+    fn for_loop_errors_are_reported() {
+        assert!(
+            parse_block("for (var i = 0; i < 10) { }").is_err(),
+            "missing update"
+        );
+        assert!(
+            parse_block("for (; i < 10; i = i + 1) { }").is_err(),
+            "missing init"
+        );
+        assert!(parse_block("do { } while (x);").is_ok());
+        assert!(
+            parse_block("do { } while (x)").is_err(),
+            "missing semicolon"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Pretty-printers: AST back to parseable source, and CFG to a readable
+//! edge listing.
+//!
+//! `parse ∘ pretty` is the identity on ASTs (checked by a property test in
+//! the workspace integration suite), which the workload generator relies on
+//! when persisting randomly generated programs for debugging.
+
+use crate::ast::{AstStmt, Block, Expr, Function, Program, Stmt};
+use crate::cfg::Cfg;
+use std::fmt::Write as _;
+
+/// Renders a whole program as parseable source text.
+pub fn program_to_source(program: &Program) -> String {
+    let mut out = String::new();
+    for f in &program.functions {
+        function_to_source(f, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn function_to_source(f: &Function, out: &mut String) {
+    let params: Vec<&str> = f.params.iter().map(|p| p.as_str()).collect();
+    let _ = writeln!(out, "function {}({}) {{", f.name, params.join(", "));
+    block_to_source(&f.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Renders a block's statements at the given indentation depth.
+pub fn block_to_source(block: &Block, depth: usize, out: &mut String) {
+    for stmt in &block.0 {
+        stmt_to_source(stmt, depth, out);
+    }
+}
+
+fn stmt_to_source(stmt: &AstStmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match stmt {
+        AstStmt::Simple(s) => {
+            let _ = writeln!(out, "{};", simple_to_source(s));
+        }
+        AstStmt::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "if ({cond}) {{");
+            block_to_source(then_, depth + 1, out);
+            if else_.is_empty() {
+                indent(depth, out);
+                out.push_str("}\n");
+            } else {
+                indent(depth, out);
+                out.push_str("} else {\n");
+                block_to_source(else_, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+        AstStmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({cond}) {{");
+            block_to_source(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        AstStmt::Nested(block) => {
+            out.push_str("{\n");
+            block_to_source(block, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        AstStmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {e};");
+        }
+        AstStmt::Return(None) => {
+            out.push_str("return;\n");
+        }
+    }
+}
+
+fn simple_to_source(s: &Stmt) -> String {
+    match s {
+        // `skip` is not surface syntax; an empty statement parses to it.
+        Stmt::Skip => String::new(),
+        Stmt::Assign(x, Expr::AllocNode) => format!("{x} = new Node()"),
+        other => other.to_string(),
+    }
+}
+
+/// Renders a CFG as one `src -[stmt]-> dst` line per edge, in edge order,
+/// annotating loop heads.
+pub fn cfg_to_string(cfg: &Cfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "function {}({}) entry={} exit={}",
+        cfg.name(),
+        cfg.params()
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        cfg.entry(),
+        cfg.exit()
+    );
+    for e in cfg.edges() {
+        let mark = if cfg.is_back_edge(e.id) {
+            " (back)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {}: {} -[{}]-> {}{}",
+            e.id, e.src, e.stmt, e.dst, mark
+        );
+    }
+    for head in cfg.loop_heads() {
+        let _ = writeln!(out, "  loop head: {head}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_simple_program() {
+        let src = "function main() { var x = 1; if (x > 0) { x = 2; } else { x = 3; } while (x < 9) { x = x + 1; } return x; }";
+        let prog = parse_program(src).unwrap();
+        let printed = program_to_source(&prog);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_heap_and_arrays() {
+        let src = "function f(p) { var n = new Node(); n.next = p; var a = [1, 2]; a[0] = len(a); var x = g(a[1], n.next); return x; } function g(i, q) { return i; }";
+        let prog = parse_program(src).unwrap();
+        let reparsed = parse_program(&program_to_source(&prog)).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn cfg_listing_mentions_back_edges() {
+        let prog =
+            parse_program("function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }")
+                .unwrap();
+        let lowered = lower_program(&prog).unwrap();
+        let s = cfg_to_string(lowered.by_name("f").unwrap());
+        assert!(s.contains("(back)"));
+        assert!(s.contains("loop head"));
+    }
+}

@@ -1,0 +1,324 @@
+//! # dai-memo — the auxiliary memoization table `M`
+//!
+//! The DAIG operational semantics (paper Fig. 8) thread an auxiliary memo
+//! table `M` mapping names of the form `f·(v₁⋯v_k)` — a function symbol
+//! paired with the (hashes of the) argument values — to previously computed
+//! results. `Q-Match` reuses an entry when the same function has already
+//! been applied to the same inputs *anywhere* in the program, independent
+//! of program location; `Q-Miss` computes and records a new entry.
+//!
+//! The paper's prototype obtains this table from `adapton.ocaml`; the
+//! semantics only require a sound finite map, so this crate provides
+//! exactly that:
+//!
+//! * [`MemoKey`] — a 128-bit content hash of `f·(v₁⋯v_k)`, built with
+//!   [`KeyBuilder`]. The paper's names are "hashes, essentially" (§2.1);
+//!   we make that literal.
+//! * [`MemoTable`] — the map itself, with hit/miss/eviction statistics and
+//!   an optional capacity bound. Dropping entries is always sound
+//!   (paper §2.2: "it is sound to drop cached results from the DAIG and/or
+//!   memo table"), so eviction uses a cheap two-generation scheme.
+//!
+//! ```
+//! use dai_memo::{KeyBuilder, MemoTable};
+//!
+//! let mut m: MemoTable<i64> = MemoTable::new();
+//! let key = KeyBuilder::new("transfer").push(&"x = x + 1").push(&41).finish();
+//! assert!(m.get(key).is_none());
+//! m.insert(key, 42);
+//! assert_eq!(m.get(key), Some(&42));
+//! assert_eq!(m.stats().hits, 1);
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A 128-bit content hash identifying a memoized application `f·(v₁⋯v_k)`.
+///
+/// Two independently seeded 64-bit SipHash streams are concatenated; keys
+/// are equal only if both streams agree, making accidental collisions
+/// vanishingly unlikely at analysis scales (billions of entries would be
+/// needed for a 2⁻⁶⁴ birthday bound to matter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemoKey(pub u128);
+
+impl fmt::Display for MemoKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incrementally hashes a function symbol and its argument values into a
+/// [`MemoKey`].
+///
+/// The builder is order-sensitive: `push(a).push(b)` and `push(b).push(a)`
+/// produce different keys, as required for non-commutative functions like
+/// widening.
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    h1: DefaultHasher,
+    h2: DefaultHasher,
+}
+
+impl KeyBuilder {
+    /// Starts a key for an application of the function named `func`.
+    pub fn new(func: &str) -> KeyBuilder {
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        // Distinct stream seeds.
+        0xD41Au16.hash(&mut h1);
+        0x1E57u16.hash(&mut h2);
+        func.hash(&mut h1);
+        func.hash(&mut h2);
+        KeyBuilder { h1, h2 }
+    }
+
+    /// Feeds one argument value into the key.
+    pub fn push<T: Hash + ?Sized>(mut self, value: &T) -> KeyBuilder {
+        value.hash(&mut self.h1);
+        value.hash(&mut self.h2);
+        self
+    }
+
+    /// Finalizes the key.
+    pub fn finish(&self) -> MemoKey {
+        MemoKey(((self.h1.clone().finish() as u128) << 64) | self.h2.clone().finish() as u128)
+    }
+}
+
+/// Hit/miss/eviction counters for a [`MemoTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups that found an entry (`Q-Match`).
+    pub hits: u64,
+    /// Lookups that found nothing (`Q-Miss`).
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries dropped by capacity rotation.
+    pub evictions: u64,
+}
+
+impl MemoStats {
+    /// `hits / (hits + misses)`, or 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The auxiliary memo table `M` of the DAIG semantics.
+///
+/// When constructed with a capacity bound, the table keeps at most roughly
+/// `capacity` entries using two generations: lookups promote entries from
+/// the old generation into the current one, and filling the current
+/// generation retires the old one wholesale. Recently used entries
+/// therefore survive; stale ones age out in O(1) amortized time.
+#[derive(Debug, Clone)]
+pub struct MemoTable<V> {
+    current: HashMap<MemoKey, V>,
+    previous: HashMap<MemoKey, V>,
+    capacity: Option<usize>,
+    stats: MemoStats,
+}
+
+impl<V> Default for MemoTable<V> {
+    fn default() -> Self {
+        MemoTable::new()
+    }
+}
+
+impl<V> MemoTable<V> {
+    /// Creates an unbounded table.
+    pub fn new() -> MemoTable<V> {
+        MemoTable {
+            current: HashMap::new(),
+            previous: HashMap::new(),
+            capacity: None,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Creates a table that keeps roughly `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity_limit(capacity: usize) -> MemoTable<V> {
+        assert!(capacity > 0, "memo table capacity must be positive");
+        MemoTable {
+            capacity: Some(capacity),
+            ..MemoTable::new()
+        }
+    }
+
+    /// Looks up `key`, recording a hit or miss.
+    pub fn get(&mut self, key: MemoKey) -> Option<&V> {
+        // Promote from the previous generation on hit so hot entries
+        // survive rotations.
+        if !self.current.contains_key(&key) {
+            if let Some(v) = self.previous.remove(&key) {
+                self.current.insert(key, v);
+            }
+        }
+        match self.current.get(&key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks for `key` without touching statistics or generations.
+    pub fn contains(&self, key: MemoKey) -> bool {
+        self.current.contains_key(&key) || self.previous.contains_key(&key)
+    }
+
+    /// Inserts an entry, rotating generations if over capacity.
+    pub fn insert(&mut self, key: MemoKey, value: V) {
+        self.stats.insertions += 1;
+        self.current.insert(key, value);
+        if let Some(cap) = self.capacity {
+            let half = cap.div_ceil(2);
+            if self.current.len() >= half {
+                self.stats.evictions += self.previous.len() as u64;
+                self.previous = std::mem::take(&mut self.current);
+            }
+        }
+    }
+
+    /// Number of live entries (both generations).
+    pub fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    /// Returns `true` if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (sound: see crate docs), keeping statistics.
+    pub fn clear(&mut self) {
+        self.current.clear();
+        self.previous.clear();
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &MemoStats {
+        &self.stats
+    }
+
+    /// Resets statistics to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(f: &str, args: &[i64]) -> MemoKey {
+        let mut b = KeyBuilder::new(f);
+        for a in args {
+            b = b.push(a);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn insert_then_get_hits() {
+        let mut m = MemoTable::new();
+        let k = key("join", &[1, 2]);
+        m.insert(k, "v");
+        assert_eq!(m.get(k), Some(&"v"));
+        assert_eq!(m.stats().hits, 1);
+        assert_eq!(m.stats().misses, 0);
+    }
+
+    #[test]
+    fn miss_recorded() {
+        let mut m: MemoTable<()> = MemoTable::new();
+        assert!(m.get(key("f", &[0])).is_none());
+        assert_eq!(m.stats().misses, 1);
+    }
+
+    #[test]
+    fn keys_differ_by_function_symbol() {
+        assert_ne!(key("join", &[1, 2]), key("widen", &[1, 2]));
+    }
+
+    #[test]
+    fn keys_are_order_sensitive() {
+        assert_ne!(key("widen", &[1, 2]), key("widen", &[2, 1]));
+    }
+
+    #[test]
+    fn keys_are_deterministic() {
+        assert_eq!(key("f", &[7, 8, 9]), key("f", &[7, 8, 9]));
+    }
+
+    #[test]
+    fn keys_distinguish_argument_boundaries() {
+        // push("ab"), push("c") vs push("a"), push("bc")
+        let k1 = KeyBuilder::new("f").push("ab").push("c").finish();
+        let k2 = KeyBuilder::new("f").push("a").push("bc").finish();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn capacity_rotation_evicts_cold_entries() {
+        let mut m = MemoTable::with_capacity_limit(8);
+        for i in 0..100 {
+            m.insert(key("f", &[i]), i);
+        }
+        assert!(m.len() <= 8, "len = {}", m.len());
+        assert!(m.stats().evictions > 0);
+    }
+
+    #[test]
+    fn hot_entries_survive_rotation() {
+        let mut m = MemoTable::with_capacity_limit(8);
+        let hot = key("f", &[-1]);
+        m.insert(hot, -1);
+        for i in 0..3 {
+            m.insert(key("f", &[i]), i);
+            // Keep touching the hot key so it is promoted before each
+            // rotation can retire it.
+            assert_eq!(m.get(hot), Some(&-1), "hot entry lost at i={i}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut m = MemoTable::new();
+        m.insert(key("f", &[1]), 1);
+        let _ = m.get(key("f", &[1]));
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.stats().hits, 1);
+        m.reset_stats();
+        assert_eq!(m.stats(), &MemoStats::default());
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut m = MemoTable::new();
+        assert_eq!(m.stats().hit_rate(), 0.0);
+        let k = key("f", &[1]);
+        m.insert(k, 1);
+        let _ = m.get(k);
+        let _ = m.get(key("f", &[2]));
+        assert!((m.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's running example (Fig. 1): verify that `append` is
+//! memory-safe and returns a well-formed list, using the separation-logic
+//! shape domain — and watch the loop converge in one demanded unrolling.
+//!
+//! Run with `cargo run --example shape_append`.
+
+use dai_core::analysis::FuncAnalysis;
+use dai_core::query::{IntraResolver, QueryStats};
+use dai_domains::ShapeDomain;
+use dai_lang::cfg::lower_program;
+use dai_lang::parser::parse_program;
+use dai_lang::RETURN_VAR;
+use dai_memo::MemoTable;
+
+const APPEND: &str = "
+function append(p, q) {
+    if (p == null) { return q; }
+    var r = p;
+    while (r.next != null) { r = r.next; }
+    r.next = q;
+    return p;
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(APPEND)?;
+    let cfg = lower_program(&program)?
+        .by_name("append")
+        .expect("append")
+        .clone();
+    println!(
+        "Fig. 1 / Fig. 2 CFG:\n{}",
+        dai_lang::pretty::cfg_to_string(&cfg)
+    );
+
+    // φ₀: both parameters are well-formed, disjoint lists —
+    // lseg(p, null) * lseg(q, null), the paper's precondition.
+    let phi0 = ShapeDomain::with_lists(&["p", "q"]);
+    println!("φ₀ = {phi0}\n");
+
+    let mut analysis = FuncAnalysis::new(cfg, phi0);
+    let mut memo = MemoTable::new();
+    let mut stats = QueryStats::default();
+    let exit = analysis.query_exit(&mut memo, &mut IntraResolver, &mut stats)?;
+
+    println!("exit state: {exit}\n");
+    println!(
+        "demanded unrollings of the ℓ3–ℓ4–ℓ3 loop: {}",
+        stats.unrolls
+    );
+    println!(
+        "memory-safe (no possible null dereference): {}",
+        !exit.may_error()
+    );
+    println!(
+        "returned value is a well-formed list:       {}",
+        exit.proves_list(RETURN_VAR)
+    );
+
+    assert_eq!(
+        stats.unrolls, 1,
+        "the paper: converges in one demanded unrolling"
+    );
+    assert!(!exit.may_error());
+    assert!(exit.proves_list(RETURN_VAR));
+    println!("\nappend verified, matching §7.2 of the paper.");
+    Ok(())
+}

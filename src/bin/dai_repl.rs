@@ -1,0 +1,321 @@
+//! `dai-repl` — an interactive front end for demanded abstract
+//! interpretation, driving the paper's IDE scenario by hand: load a
+//! program, demand abstract states at locations, edit statements, and
+//! re-query with incremental reuse, watching the work counters.
+//!
+//! ```text
+//! $ cargo run --bin dai-repl -- program.js            # interval domain
+//! $ cargo run --bin dai-repl -- --domain octagon p.js
+//! dai> help
+//! dai> list
+//! dai> cfg main
+//! dai> query main l3
+//! dai> relabel main e2 x = x + 10
+//! dai> splice main e4 if (x > 0) { y = 1; }
+//! dai> stats
+//! dai> dot main
+//! dai> quit
+//! ```
+//!
+//! Commands read from stdin, one per line; results go to stdout (errors to
+//! stderr, which keeps piped sessions scriptable — the integration tests
+//! drive the binary exactly that way).
+
+use dai_core::dot::{to_dot, DotOptions};
+use dai_core::interproc::{ContextPolicy, InterAnalyzer};
+use dai_core::Context;
+use dai_domains::{
+    AbstractDomain, ConstDomain, IntervalDomain, OctagonDomain, ShapeDomain, SignDomain,
+};
+use dai_lang::cfg::lower_program;
+use dai_lang::{EdgeId, Loc};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut domain = "interval".to_string();
+    let mut policy = ContextPolicy::CallString(1);
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--domain" => {
+                i += 1;
+                domain = args.get(i).cloned().unwrap_or_default();
+            }
+            "--insensitive" => policy = ContextPolicy::Insensitive,
+            "--call-strings" => {
+                i += 1;
+                let k: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--call-strings needs a number"));
+                policy = ContextPolicy::CallString(k);
+            }
+            "--help" | "-h" => {
+                println!("usage: dai-repl [--domain interval|octagon|sign|const|shape] [--insensitive | --call-strings K] FILE");
+                return;
+            }
+            other => path = Some(other.to_string()),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        die("missing program file (try --help)")
+    };
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    match domain.as_str() {
+        "interval" => repl(&src, policy, IntervalDomain::top()),
+        "octagon" => repl(&src, policy, OctagonDomain::top()),
+        "sign" => repl(&src, policy, SignDomain::top()),
+        "const" => repl(&src, policy, ConstDomain::top()),
+        "shape" => repl(&src, policy, ShapeDomain::top_state()),
+        other => die(&format!(
+            "unknown domain `{other}` (interval|octagon|sign|const|shape)"
+        )),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dai-repl: {msg}");
+    std::process::exit(2)
+}
+
+/// Parses `lNN` / `eNN` style identifiers.
+fn parse_loc(s: &str) -> Option<Loc> {
+    s.strip_prefix('l').and_then(|n| n.parse().ok()).map(Loc)
+}
+
+fn parse_edge(s: &str) -> Option<EdgeId> {
+    s.strip_prefix('e').and_then(|n| n.parse().ok()).map(EdgeId)
+}
+
+fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, phi0: D) {
+    let program = match dai_lang::parse_program(src)
+        .map_err(|e| e.to_string())
+        .and_then(|p| lower_program(&p).map_err(|e| e.to_string()))
+    {
+        Ok(p) => p,
+        Err(e) => die(&e),
+    };
+    let entry = if program.by_name("main").is_some() {
+        "main".to_string()
+    } else {
+        program.cfgs()[0].name().to_string()
+    };
+    let mut analyzer = InterAnalyzer::new(program, policy, &entry, phi0);
+    println!(
+        "loaded {} function(s); entry `{entry}`; type `help`",
+        analyzer.program().cfgs().len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("dai> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => die(&format!("stdin: {e}")),
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "quit" | "exit" => break,
+            "help" => print_help(),
+            "list" => {
+                for cfg in analyzer.program().cfgs() {
+                    println!(
+                        "{}({}) — {} locations, {} edges{}",
+                        cfg.name(),
+                        cfg.params()
+                            .iter()
+                            .map(|p| p.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        cfg.loc_count(),
+                        cfg.edge_count(),
+                        if cfg.loop_heads().is_empty() {
+                            String::new()
+                        } else {
+                            format!(", loop heads {:?}", cfg.loop_heads())
+                        }
+                    );
+                }
+            }
+            "cfg" => match analyzer.program().by_name(rest.trim()) {
+                Some(cfg) => print!("{}", dai_lang::pretty::cfg_to_string(cfg)),
+                None => eprintln!("no function `{}`", rest.trim()),
+            },
+            "query" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(f), Some(l)) = (parts.next(), parts.next()) else {
+                    eprintln!("usage: query FN lNN");
+                    continue;
+                };
+                let Some(loc) = parse_loc(l) else {
+                    eprintln!("bad location `{l}` (use lNN)");
+                    continue;
+                };
+                match analyzer.query_at(f, loc) {
+                    Ok(results) if results.is_empty() => {
+                        println!("{f} unreachable from `{entry}`: ⊥ at {loc}");
+                    }
+                    Ok(results) => {
+                        for (ctx, state) in results {
+                            println!("[{ctx}] {state}");
+                        }
+                    }
+                    Err(e) => eprintln!("query failed: {e}"),
+                }
+            }
+            "queryall" => {
+                let f = rest.trim();
+                let Some(cfg) = analyzer.program().by_name(f).cloned() else {
+                    eprintln!("no function `{f}`");
+                    continue;
+                };
+                for loc in cfg.locs() {
+                    match analyzer.query_joined(f, loc) {
+                        Ok(state) => println!("{loc}: {state}"),
+                        Err(e) => eprintln!("{loc}: query failed: {e}"),
+                    }
+                }
+            }
+            "deadcode" => {
+                // A small analysis client: locations whose invariant is ⊥
+                // in every calling context are unreachable.
+                let f = rest.trim();
+                let Some(cfg) = analyzer.program().by_name(f).cloned() else {
+                    eprintln!("no function `{f}`");
+                    continue;
+                };
+                let mut dead = Vec::new();
+                for loc in cfg.locs() {
+                    match analyzer.query_joined(f, loc) {
+                        Ok(state) if state.is_bottom() => dead.push(loc),
+                        Ok(_) => {}
+                        Err(e) => eprintln!("{loc}: query failed: {e}"),
+                    }
+                }
+                if dead.is_empty() {
+                    println!("no unreachable locations in {f}");
+                } else {
+                    println!(
+                        "unreachable: {}",
+                        dead.iter()
+                            .map(|l| l.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                }
+            }
+            "relabel" => {
+                let mut parts = rest.splitn(3, ' ');
+                let (Some(f), Some(e), Some(stmt_src)) = (parts.next(), parts.next(), parts.next())
+                else {
+                    eprintln!("usage: relabel FN eNN STMT");
+                    continue;
+                };
+                let Some(edge) = parse_edge(e) else {
+                    eprintln!("bad edge `{e}` (use eNN)");
+                    continue;
+                };
+                let block_src = format!("{};", stmt_src.trim_end_matches(';'));
+                match dai_lang::parse_block(&block_src) {
+                    Ok(block) if block.0.len() == 1 => {
+                        let stmt = match &block.0[0] {
+                            dai_lang::AstStmt::Simple(s) => s.clone(),
+                            _ => {
+                                eprintln!("relabel takes an atomic statement; use `splice` for control flow");
+                                continue;
+                            }
+                        };
+                        match analyzer.relabel(f, edge, stmt) {
+                            Ok(()) => println!("ok"),
+                            Err(e) => eprintln!("relabel failed: {e}"),
+                        }
+                    }
+                    Ok(_) => eprintln!("relabel takes exactly one statement"),
+                    Err(e) => eprintln!("parse error: {e}"),
+                }
+            }
+            "splice" => {
+                let mut parts = rest.splitn(3, ' ');
+                let (Some(f), Some(e), Some(block_src)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    eprintln!("usage: splice FN eNN BLOCK");
+                    continue;
+                };
+                let Some(edge) = parse_edge(e) else {
+                    eprintln!("bad edge `{e}` (use eNN)");
+                    continue;
+                };
+                match dai_lang::parse_block(block_src) {
+                    Ok(block) => match analyzer.splice(f, edge, &block) {
+                        Ok(info) => println!(
+                            "ok: +{} locations, +{} edges",
+                            info.new_locs.len(),
+                            info.new_edges.len()
+                        ),
+                        Err(e) => eprintln!("splice failed: {e}"),
+                    },
+                    Err(e) => eprintln!("parse error: {e}"),
+                }
+            }
+            "stats" => {
+                let q = analyzer.stats();
+                let m = analyzer.memo_stats();
+                println!(
+                    "queries: {} computed, {} memo-matched, {} reused, {} unrollings, {} fixed points",
+                    q.computed, q.memo_matched, q.reused, q.unrolls, q.fix_converged
+                );
+                println!(
+                    "memo: {} hits / {} misses ({:.0}% hit rate), {} insertions",
+                    m.hits,
+                    m.misses,
+                    m.hit_rate() * 100.0,
+                    m.insertions
+                );
+                println!("units: {} (function, context) DAIGs", analyzer.unit_count());
+            }
+            "dot" => {
+                let f = rest.trim();
+                match analyzer.unit(f, &Context::root()) {
+                    Some(unit) => {
+                        let opts = DotOptions {
+                            title: Some(format!("{f} under ε")),
+                            ..DotOptions::default()
+                        };
+                        print!("{}", to_dot(unit.daig(), &opts));
+                    }
+                    None => eprintln!("no DAIG for `{f}` in the root context yet (query it first)"),
+                }
+            }
+            other => eprintln!("unknown command `{other}` (try `help`)"),
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "commands:
+  list                      functions, sizes, loop heads
+  cfg FN                    print FN's control-flow graph
+  query FN lNN              abstract state at a location, per context
+  queryall FN               abstract states at every location (joined)
+  deadcode FN               locations proven unreachable (⊥ invariant)
+  relabel FN eNN STMT       replace the statement on an edge
+  splice FN eNN BLOCK       insert a block before an edge's statement
+  stats                     query/memo work counters
+  dot FN                    Graphviz export of FN's DAIG (root context)
+  help | quit"
+    );
+}

@@ -1,0 +1,27 @@
+//! # dai — Demanded Abstract Interpretation, in Rust
+//!
+//! Umbrella crate for the reproduction of *Demanded Abstract
+//! Interpretation* (Stein, Chang, Sridharan — PLDI 2021). Re-exports the
+//! workspace crates:
+//!
+//! * [`lang`] (`dai-lang`) — the subject language: AST, parser,
+//!   control-flow graphs, concrete semantics, program edits;
+//! * [`domains`] (`dai-domains`) — interval, octagon, and separation-logic
+//!   shape abstract domains;
+//! * [`memo`] (`dai-memo`) — the auxiliary memoization table `M`;
+//! * [`core`] (`dai-core`) — demanded abstract interpretation graphs:
+//!   construction, query/edit semantics, demanded unrolling,
+//!   interprocedural contexts, and the four analysis configurations;
+//! * [`bench`](mod@bench) (`dai-bench`) — the paper's evaluation workloads and
+//!   harnesses.
+//!
+//! See the repository README for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results. The
+//! `examples/` directory contains nine runnable walkthroughs, starting
+//! with `cargo run --example quickstart`.
+
+pub use dai_bench as bench;
+pub use dai_core as core;
+pub use dai_domains as domains;
+pub use dai_lang as lang;
+pub use dai_memo as memo;

@@ -1,0 +1,202 @@
+//! Failure injection around result caching (paper §2.2):
+//!
+//! > "it is sound to drop cached results from the DAIG and/or memo table
+//! > and later recompute those results if needed, trading efficiency of
+//! > reuse for a lower memory footprint."
+//!
+//! These tests adversarially drop cached state at random points of an
+//! edit/query stream — clearing the memo table, bounding its capacity so
+//! it continually evicts, dirtying whole DAIGs, and purging the summary
+//! analyzer — and assert that query answers never change relative to an
+//! unperturbed twin run over the same stream.
+
+use dai_bench::workload::Workload;
+use dai_core::analysis::FuncAnalysis;
+use dai_core::consistency::{check_ai_consistency, check_cfg_consistency};
+use dai_core::query::{IntraResolver, QueryStats};
+use dai_core::summaries::SummaryAnalyzer;
+use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain};
+use dai_lang::cfg::lower_program;
+use dai_lang::parser::parse_program;
+use dai_memo::MemoTable;
+
+const SEED_PROGRAM: &str = "function main() { var x0 = 1; return x0; }";
+
+/// Runs the same random edit/query stream twice — once with a pristine
+/// memo table, once with `perturb` applied after every step — and checks
+/// that all query answers agree.
+fn check_against_unperturbed<D, F>(phi0: D, seed: u64, steps: usize, mut perturb: F)
+where
+    D: AbstractDomain,
+    F: FnMut(usize, &mut FuncAnalysis<D>, &mut MemoTable<dai_core::Value<D>>),
+{
+    let cfg = lower_program(&parse_program(SEED_PROGRAM).unwrap())
+        .unwrap()
+        .cfgs()[0]
+        .clone();
+    let mut clean = FuncAnalysis::new(cfg.clone(), phi0.clone());
+    let mut dirty = FuncAnalysis::new(cfg, phi0);
+    let mut clean_memo = MemoTable::new();
+    let mut dirty_memo = MemoTable::new();
+    // Identical streams: one generator drives both runs.
+    let mut gen = Workload::new(seed);
+    for step in 0..steps {
+        let edges: Vec<_> = clean.cfg().edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        let block = gen.random_block_no_calls();
+        clean.splice(edge, &block).unwrap();
+        dirty.splice(edge, &block).unwrap();
+
+        perturb(step, &mut dirty, &mut dirty_memo);
+
+        let locs = clean.cfg().locs();
+        let loc = locs[gen.pick_index(locs.len())];
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        let a = clean
+            .query_loc(&mut clean_memo, loc, &mut IntraResolver, &mut s1)
+            .unwrap();
+        let b = dirty
+            .query_loc(&mut dirty_memo, loc, &mut IntraResolver, &mut s2)
+            .unwrap();
+        assert_eq!(
+            a, b,
+            "seed {seed} step {step}: perturbed run diverged at {loc}"
+        );
+        dirty.daig().check_well_formed().unwrap();
+    }
+    check_cfg_consistency(dirty.daig(), dirty.cfg()).unwrap();
+    check_ai_consistency(dirty.daig()).unwrap();
+}
+
+#[test]
+fn clearing_memo_table_every_step_is_sound() {
+    check_against_unperturbed(
+        IntervalDomain::top(),
+        101,
+        30,
+        |_, _, memo: &mut MemoTable<_>| memo.clear(),
+    );
+}
+
+#[test]
+fn clearing_memo_at_random_steps_is_sound() {
+    let mut chaos = Workload::new(0xC4A05);
+    check_against_unperturbed(IntervalDomain::top(), 202, 30, move |_, _, memo| {
+        if chaos.pick_index(3) == 0 {
+            memo.clear();
+        }
+    });
+}
+
+#[test]
+fn tiny_memo_capacity_is_sound() {
+    // A 4-entry table evicts constantly: reuse rates collapse, answers
+    // must not.
+    let cfg = lower_program(&parse_program(SEED_PROGRAM).unwrap())
+        .unwrap()
+        .cfgs()[0]
+        .clone();
+    let mut clean = FuncAnalysis::new(cfg.clone(), IntervalDomain::top());
+    let mut bounded = FuncAnalysis::new(cfg, IntervalDomain::top());
+    let mut clean_memo = MemoTable::new();
+    let mut bounded_memo = MemoTable::with_capacity_limit(4);
+    let mut gen = Workload::new(303);
+    for step in 0..30 {
+        let edges: Vec<_> = clean.cfg().edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        let block = gen.random_block_no_calls();
+        clean.splice(edge, &block).unwrap();
+        bounded.splice(edge, &block).unwrap();
+        let locs = clean.cfg().locs();
+        let loc = locs[gen.pick_index(locs.len())];
+        let mut s = QueryStats::default();
+        let a = clean
+            .query_loc(&mut clean_memo, loc, &mut IntraResolver, &mut s)
+            .unwrap();
+        let b = bounded
+            .query_loc(&mut bounded_memo, loc, &mut IntraResolver, &mut s)
+            .unwrap();
+        assert_eq!(a, b, "step {step}: bounded-memo run diverged");
+        assert!(bounded_memo.len() <= 4, "capacity bound violated");
+    }
+    assert!(
+        bounded_memo.stats().evictions > 0,
+        "the bounded table must actually have evicted"
+    );
+}
+
+#[test]
+fn dirtying_everything_at_random_steps_is_sound() {
+    let mut chaos = Workload::new(0xD117);
+    check_against_unperturbed(IntervalDomain::top(), 404, 25, move |_, fa, memo| {
+        if chaos.pick_index(4) == 0 {
+            fa.dirty_everything();
+            memo.clear();
+        }
+    });
+}
+
+#[test]
+fn octagon_survives_combined_perturbations() {
+    let mut chaos = Workload::new(0x0C7A);
+    check_against_unperturbed(
+        OctagonDomain::top(),
+        505,
+        15,
+        move |_, fa, memo| match chaos.pick_index(4) {
+            0 => memo.clear(),
+            1 => fa.dirty_everything(),
+            _ => {}
+        },
+    );
+}
+
+#[test]
+fn summary_analyzer_purge_is_sound() {
+    const SRC: &str = r#"
+        function dbl(x) { return x * 2; }
+        function addsq(y) { var t = dbl(y); return t + y; }
+        function main() {
+            var a = addsq(3);
+            var b = dbl(a);
+            return a + b;
+        }
+    "#;
+    let program = lower_program(&parse_program(SRC).unwrap()).unwrap();
+    let mut an = SummaryAnalyzer::<IntervalDomain>::new(program, "main", IntervalDomain::top());
+    let exit = an.program().by_name("main").unwrap().exit();
+    let reference = an.query_joined("main", exit).unwrap();
+    // Purge between every re-query: answers must be stable.
+    for _ in 0..3 {
+        an.purge();
+        assert_eq!(an.summary_count(), 0);
+        let again = an.query_joined("main", exit).unwrap();
+        assert_eq!(again, reference);
+    }
+}
+
+#[test]
+fn memo_reuse_actually_happens_when_not_perturbed() {
+    // Guard against the trivial pass: the clean runs above must be
+    // genuinely exercising memoization, otherwise "sound under eviction"
+    // is vacuous.
+    let cfg = lower_program(&parse_program(SEED_PROGRAM).unwrap())
+        .unwrap()
+        .cfgs()[0]
+        .clone();
+    let mut fa = FuncAnalysis::new(cfg, IntervalDomain::top());
+    let mut memo = MemoTable::new();
+    let mut gen = Workload::new(606);
+    for _ in 0..20 {
+        let edges: Vec<_> = fa.cfg().edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        fa.splice(edge, &gen.random_block_no_calls()).unwrap();
+        let mut s = QueryStats::default();
+        let locs = fa.cfg().locs();
+        let loc = locs[gen.pick_index(locs.len())];
+        fa.query_loc(&mut memo, loc, &mut IntraResolver, &mut s)
+            .unwrap();
+    }
+    assert!(memo.stats().hits > 0, "no memo reuse in the clean run");
+}

@@ -1,0 +1,155 @@
+//! Theorem 6.1 (From-Scratch Consistency), as an executable property:
+//! after an arbitrary interleaving of program edits and demand queries,
+//! every query answer equals the result a *from-scratch batch* abstract
+//! interpretation of the current program computes at that location.
+//!
+//! Two independent oracles are used:
+//! * the Bourdoncle-style reference engine in `dai_core::batch`
+//!   (a structurally different implementation of the same operator
+//!   schedule), and
+//! * a freshly constructed DAIG evaluated from scratch.
+
+use dai_bench::workload::Workload;
+use dai_core::analysis::FuncAnalysis;
+use dai_core::batch::batch_analyze;
+use dai_core::driver::{Config, Driver, ProgramEdit};
+use dai_core::interproc::ContextPolicy;
+use dai_core::query::{IntraResolver, QueryStats};
+use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain, ShapeDomain};
+use dai_lang::cfg::{lower_program, Cfg};
+use dai_lang::parser::parse_program;
+use dai_memo::MemoTable;
+
+/// Grows a single-function analysis by random (call-free) splices,
+/// interleaving queries, then checks every location against both oracles.
+fn check_intraprocedural<D: AbstractDomain>(phi0: D, seed: u64, edits: usize) {
+    let cfg = lower_program(&parse_program("function main() { var x0 = 0; return x0; }").unwrap())
+        .unwrap()
+        .cfgs()[0]
+        .clone();
+    let mut gen = Workload::new(seed);
+    let mut fa = FuncAnalysis::new(cfg, phi0.clone());
+    let mut memo = MemoTable::new();
+    for step in 0..edits {
+        let edges: Vec<_> = fa.cfg().edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        let block = gen.random_block_no_calls();
+        fa.splice(edge, &block)
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+        // Interleave a query at a random location.
+        let locs = fa.cfg().locs();
+        let loc = locs[gen.pick_index(locs.len())];
+        let mut stats = QueryStats::default();
+        fa.query_loc(&mut memo, loc, &mut IntraResolver, &mut stats)
+            .unwrap_or_else(|e| panic!("seed {seed} step {step} query: {e}"));
+    }
+    assert_all_locations_consistent(&mut fa, &mut memo, phi0, seed);
+}
+
+fn assert_all_locations_consistent<D: AbstractDomain>(
+    fa: &mut FuncAnalysis<D>,
+    memo: &mut MemoTable<dai_core::Value<D>>,
+    phi0: D,
+    seed: u64,
+) {
+    let cfg: Cfg = fa.cfg().clone();
+    // Oracle 1: the independent batch engine.
+    let batch = batch_analyze(&cfg, phi0.clone(), &mut IntraResolver).unwrap();
+    // Oracle 2: a fresh DAIG evaluated from scratch with a fresh memo.
+    let mut fresh = FuncAnalysis::new(cfg.clone(), phi0);
+    let mut fresh_memo = MemoTable::new();
+    for loc in cfg.locs() {
+        let mut stats = QueryStats::default();
+        let incremental = fa
+            .query_loc(memo, loc, &mut IntraResolver, &mut stats)
+            .unwrap_or_else(|e| panic!("seed {seed}: query {loc}: {e}"));
+        let expected = &batch[&loc];
+        assert_eq!(
+            &incremental, expected,
+            "seed {seed}: DAIG result at {loc} differs from batch oracle"
+        );
+        let from_scratch = fresh
+            .query_loc(&mut fresh_memo, loc, &mut IntraResolver, &mut stats)
+            .unwrap();
+        assert_eq!(
+            incremental, from_scratch,
+            "seed {seed}: incremental result at {loc} differs from fresh DAIG"
+        );
+    }
+}
+
+#[test]
+fn interval_from_scratch_consistency_over_random_edits() {
+    for seed in 0..12 {
+        check_intraprocedural(IntervalDomain::top(), 1000 + seed, 25);
+    }
+}
+
+#[test]
+fn octagon_from_scratch_consistency_over_random_edits() {
+    for seed in 0..8 {
+        check_intraprocedural(OctagonDomain::top(), 2000 + seed, 18);
+    }
+}
+
+#[test]
+fn shape_from_scratch_consistency_on_list_programs() {
+    // The random generator does not produce list programs; check the list
+    // suite explicitly, with edits.
+    let program = lower_program(&parse_program(dai_bench::lists::LISTS_SRC).unwrap()).unwrap();
+    for name in ["append", "foreach", "indexof", "tail"] {
+        let cfg = program.by_name(name).unwrap().clone();
+        let params: Vec<&str> = cfg.params().iter().map(|p| p.as_str()).collect();
+        let phi0 = ShapeDomain::with_lists(&params);
+        let mut fa = FuncAnalysis::new(cfg.clone(), phi0.clone());
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        // Query, edit (insert a skip-ish statement), re-query, compare.
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap();
+        let edge = cfg.edges().next().unwrap().id;
+        fa.splice(edge, &dai_lang::parser::parse_block("print(0);").unwrap())
+            .unwrap();
+        assert_all_locations_consistent(&mut fa, &mut memo, phi0, 0xAAAA);
+    }
+}
+
+#[test]
+fn driver_configs_agree_on_workload_streams() {
+    // All four configurations answer the same queries identically at every
+    // step of an interprocedural workload (octagon, context-insensitive).
+    for seed in [7u64, 21u64] {
+        let mut drivers: Vec<Driver<OctagonDomain>> = Config::ALL
+            .iter()
+            .map(|&c| {
+                Driver::new(
+                    c,
+                    Workload::initial_program(),
+                    ContextPolicy::Insensitive,
+                    "main",
+                    OctagonDomain::top(),
+                )
+            })
+            .collect();
+        let mut gens: Vec<Workload> = (0..4).map(|_| Workload::new(seed)).collect();
+        for step in 0..25 {
+            let mut answers: Vec<Vec<OctagonDomain>> = Vec::new();
+            for (driver, gen) in drivers.iter_mut().zip(&mut gens) {
+                let edit: ProgramEdit = gen.next_edit(driver.analyzer().program());
+                driver.apply_edit(&edit).unwrap();
+                let queries = gen.next_queries(driver.analyzer().program(), 3);
+                let mut results = Vec::new();
+                for (f, loc) in queries {
+                    results.push(driver.query(f.as_str(), loc).unwrap());
+                }
+                answers.push(results);
+            }
+            for other in &answers[1..] {
+                assert_eq!(
+                    *other, answers[0],
+                    "seed {seed} step {step}: configurations disagree"
+                );
+            }
+        }
+    }
+}

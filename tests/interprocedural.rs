@@ -1,0 +1,338 @@
+//! Interprocedural demanded analysis (paper §7.1): demand-driven callee
+//! DAIG construction, context policies, entry joins as `φ₀` edits, and
+//! cross-function dirtying.
+
+use dai_core::driver::{Config, Driver, ProgramEdit};
+use dai_core::interproc::{Context, ContextPolicy, InterAnalyzer};
+use dai_domains::interval::Interval;
+use dai_domains::{AbstractDomain, IntervalDomain};
+use dai_lang::cfg::lower_program;
+use dai_lang::parser::{parse_block, parse_program};
+use dai_lang::Symbol;
+
+const SRC: &str = r#"
+    function id(v) { return v; }
+    function addOne(v) { var w = id(v); return w + 1; }
+    function main() {
+        var a = id(10);
+        var b = id(20);
+        var c = addOne(a);
+        return a + b + c;
+    }
+"#;
+
+fn analyzer(policy: ContextPolicy) -> InterAnalyzer<IntervalDomain> {
+    let program = lower_program(&parse_program(SRC).unwrap()).unwrap();
+    InterAnalyzer::new(program, policy, "main", IntervalDomain::top())
+}
+
+#[test]
+fn callee_daigs_are_constructed_on_demand() {
+    let mut an = analyzer(ContextPolicy::Insensitive);
+    assert_eq!(an.unit_count(), 0, "no DAIG before the first query");
+    let exit = an.program().by_name("main").unwrap().exit();
+    an.query_joined("main", exit).unwrap();
+    // main + id + addOne, one context each under k=0.
+    assert_eq!(an.unit_count(), 3);
+}
+
+#[test]
+fn context_counts_follow_the_policy() {
+    // id is called from main (×2) and from addOne (×1).
+    let an = analyzer(ContextPolicy::Insensitive);
+    assert_eq!(an.contexts_of("id").len(), 1);
+    let an = analyzer(ContextPolicy::CallString(1));
+    assert_eq!(an.contexts_of("id").len(), 3);
+    // With k=2 the id-in-addOne context splits per addOne's own caller.
+    let an = analyzer(ContextPolicy::CallString(2));
+    assert_eq!(an.contexts_of("id").len(), 3);
+    assert_eq!(an.contexts_of("addOne").len(), 1);
+}
+
+#[test]
+fn insensitive_joins_while_call_strings_separate() {
+    // Under k=0, id's entry joins 10, 20, and a; under k=1 each call site
+    // sees its own argument exactly.
+    let mut k0 = analyzer(ContextPolicy::Insensitive);
+    let exit = k0.program().by_name("id").unwrap().exit();
+    let joined = k0.query_joined("id", exit).unwrap();
+    let v0 = joined.interval_of("v");
+    assert!(v0.contains(10) && v0.contains(20), "{v0}");
+
+    let mut k1 = analyzer(ContextPolicy::CallString(1));
+    let per_ctx = k1.query_at("id", exit).unwrap();
+    assert_eq!(per_ctx.len(), 3);
+    let singletons = per_ctx
+        .iter()
+        .filter(|(_, s)| {
+            let iv = s.interval_of("v");
+            iv == Interval::constant(10) || iv == Interval::constant(20)
+        })
+        .count();
+    assert!(singletons >= 2, "k=1 must keep main's two arguments apart");
+}
+
+#[test]
+fn whole_program_result_is_precise_with_contexts() {
+    let mut k1 = analyzer(ContextPolicy::CallString(2));
+    let exit = k1.program().by_name("main").unwrap().exit();
+    let v = k1.query_joined("main", exit).unwrap();
+    // a = 10, b = 20, c = 11, total 41.
+    assert_eq!(v.interval_of(dai_lang::RETURN_VAR), Interval::constant(41));
+}
+
+#[test]
+fn editing_a_leaf_callee_propagates_to_all_callers() {
+    let program = lower_program(&parse_program(SRC).unwrap()).unwrap();
+    let mut d: Driver<IntervalDomain> = Driver::new(
+        Config::IncrementalDemandDriven,
+        program,
+        ContextPolicy::CallString(2),
+        "main",
+        IntervalDomain::top(),
+    );
+    let exit = d.analyzer().program().by_name("main").unwrap().exit();
+    assert_eq!(
+        d.query("main", exit)
+            .unwrap()
+            .interval_of(dai_lang::RETURN_VAR),
+        Interval::constant(41)
+    );
+    // id now returns v + 1: a = 11, b = 21, w = 12, c = 13, total 45.
+    let id_ret = d
+        .analyzer()
+        .program()
+        .by_name("id")
+        .unwrap()
+        .edges()
+        .find(|e| e.stmt.to_string().contains("__ret"))
+        .unwrap()
+        .id;
+    d.apply_edit(&ProgramEdit::Relabel {
+        func: Symbol::new("id"),
+        edge: id_ret,
+        stmt: dai_lang::Stmt::Assign(
+            dai_lang::RETURN_VAR.into(),
+            dai_lang::parse_expr("v + 1").unwrap(),
+        ),
+    })
+    .unwrap();
+    assert_eq!(
+        d.query("main", exit)
+            .unwrap()
+            .interval_of(dai_lang::RETURN_VAR),
+        Interval::constant(45)
+    );
+}
+
+#[test]
+fn editing_a_caller_reaches_callee_entries() {
+    let program = lower_program(&parse_program(SRC).unwrap()).unwrap();
+    let mut d: Driver<IntervalDomain> = Driver::new(
+        Config::IncrementalDemandDriven,
+        program,
+        ContextPolicy::CallString(1),
+        "main",
+        IntervalDomain::top(),
+    );
+    let id_exit = d.analyzer().program().by_name("id").unwrap().exit();
+    let before = d.query("id", id_exit).unwrap();
+    assert!(before.interval_of("v").contains(10));
+    // Change main's first argument to 99.
+    let a_edge = d
+        .analyzer()
+        .program()
+        .by_name("main")
+        .unwrap()
+        .edges()
+        .find(|e| e.stmt.to_string().contains("id(10)"))
+        .unwrap()
+        .id;
+    d.apply_edit(&ProgramEdit::Relabel {
+        func: Symbol::new("main"),
+        edge: a_edge,
+        stmt: dai_lang::Stmt::Call {
+            lhs: Some("a".into()),
+            callee: "id".into(),
+            args: vec![dai_lang::parse_expr("99").unwrap()],
+        },
+    })
+    .unwrap();
+    let after = d.query("id", id_exit).unwrap();
+    assert!(after.interval_of("v").contains(99), "{after}");
+    assert!(
+        !after.interval_of("v").contains(10),
+        "stale entry survived: {after}"
+    );
+}
+
+#[test]
+fn unreachable_function_queries_are_bottom() {
+    let src = "function dead(x) { return x; } function main() { return 1; }";
+    let program = lower_program(&parse_program(src).unwrap()).unwrap();
+    let mut an: InterAnalyzer<IntervalDomain> = InterAnalyzer::new(
+        program,
+        ContextPolicy::Insensitive,
+        "main",
+        IntervalDomain::top(),
+    );
+    let dead_exit = an.program().by_name("dead").unwrap().exit();
+    let v = an.query_joined("dead", dead_exit).unwrap();
+    assert!(v.is_bottom());
+}
+
+#[test]
+fn inserting_a_call_extends_the_call_graph() {
+    let src = "function helper(x) { return x * 2; } function main() { var a = 1; return a; }";
+    let program = lower_program(&parse_program(src).unwrap()).unwrap();
+    let mut d: Driver<IntervalDomain> = Driver::new(
+        Config::IncrementalDemandDriven,
+        program,
+        ContextPolicy::CallString(1),
+        "main",
+        IntervalDomain::top(),
+    );
+    let exit = d.analyzer().program().by_name("main").unwrap().exit();
+    let _ = d.query("main", exit).unwrap();
+    let ret = d
+        .analyzer()
+        .program()
+        .by_name("main")
+        .unwrap()
+        .edges()
+        .find(|e| e.stmt.to_string().contains("__ret"))
+        .unwrap()
+        .id;
+    d.apply_edit(&ProgramEdit::Insert {
+        func: Symbol::new("main"),
+        edge: ret,
+        block: parse_block("var b = helper(a);").unwrap(),
+    })
+    .unwrap();
+    let helper_exit = d.analyzer().program().by_name("helper").unwrap().exit();
+    let v = d.query("helper", helper_exit).unwrap();
+    assert_eq!(v.interval_of(dai_lang::RETURN_VAR), Interval::constant(2));
+}
+
+#[test]
+fn context_display_and_ordering() {
+    let root = Context::root();
+    assert_eq!(root.to_string(), "ε");
+    let c = ContextPolicy::CallString(2).extend(&root, &Symbol::new("main"), dai_lang::EdgeId(3));
+    assert_eq!(c.to_string(), "main:e3");
+    let c2 = ContextPolicy::CallString(2).extend(&c, &Symbol::new("f"), dai_lang::EdgeId(1));
+    assert_eq!(c2.0.len(), 2);
+    // Truncation at k.
+    let c3 = ContextPolicy::CallString(1).extend(&c, &Symbol::new("f"), dai_lang::EdgeId(1));
+    assert_eq!(c3.0.len(), 1);
+    assert_eq!(
+        ContextPolicy::Insensitive.extend(&c, &Symbol::new("f"), dai_lang::EdgeId(1)),
+        root
+    );
+}
+
+// ---------------------------------------------------------------------
+// The functional approach (paper §2.3's Sharir–Pnueli sketch), exercised
+// against the call-string layer and the concrete semantics.
+// ---------------------------------------------------------------------
+
+use dai_bench::workload::Workload;
+use dai_core::summaries::SummaryAnalyzer;
+use dai_lang::interp::collect;
+
+fn functional(src: &str) -> SummaryAnalyzer<IntervalDomain> {
+    let program = lower_program(&parse_program(src).unwrap()).unwrap();
+    SummaryAnalyzer::new(program, "main", IntervalDomain::top())
+}
+
+#[test]
+fn functional_matches_call_strings_on_the_shared_fixture() {
+    let mut fa = functional(SRC);
+    let exit = fa.program().by_name("main").unwrap().exit();
+    let v = fa.query_joined("main", exit).unwrap();
+    // Same exact result the 2-call-string test establishes: 41.
+    assert_eq!(v.interval_of(dai_lang::RETURN_VAR), Interval::constant(41));
+    // `id` is called from three sites — main(10), main(20), addOne(10) —
+    // but the first and third induce the *same* entry state, so the
+    // functional approach shares one summary between them: two distinct
+    // entries, versus three 1-call-string contexts.
+    assert_eq!(fa.entries_of("id").unwrap().len(), 2);
+}
+
+#[test]
+fn functional_is_sound_on_random_interprocedural_programs() {
+    // Grow a multi-function program with the §7.3 workload generator
+    // (whose edits include `x = f(y)` calls), analyze with both the
+    // functional analyzer and a 1-call-string analyzer, and check every
+    // concrete state the interpreter witnesses in `main` is modelled by
+    // both analyzers' answers.
+    // Seeds chosen so the 40-edit streams insert several calls into main
+    // (the generator's call probability is ~10% per edit).
+    let mut total_summary_misses = 0;
+    for seed in [1u64, 13u64] {
+        let mut program = Workload::initial_program();
+        let mut gen = Workload::new(seed);
+        let mut fun: SummaryAnalyzer<IntervalDomain> =
+            SummaryAnalyzer::new(program.clone(), "main", IntervalDomain::top());
+        let mut cs: InterAnalyzer<IntervalDomain> = InterAnalyzer::new(
+            program.clone(),
+            ContextPolicy::CallString(1),
+            "main",
+            IntervalDomain::top(),
+        );
+        for step in 0..40 {
+            let edit = gen.next_edit(&program);
+            let dai_core::driver::ProgramEdit::Insert { func, edge, block } = &edit else {
+                panic!("workload only inserts");
+            };
+            // Mirror the edit on all three program copies.
+            dai_lang::edit::splice_block_on_edge(
+                program.by_name_mut(func.as_str()).unwrap(),
+                *edge,
+                block,
+            )
+            .unwrap();
+            program.refresh_call_graph().unwrap();
+            fun.splice(func.as_str(), *edge, block).unwrap();
+            cs.splice(func.as_str(), *edge, block).unwrap();
+
+            // Concrete oracle over the current program. Querying main's
+            // exit crosses every call site in main, so summaries get
+            // demanded whenever calls exist.
+            let run = collect(&program, "main", vec![], 30_000);
+            let main_cfg = program.by_name("main").unwrap();
+            let mut targets = vec![main_cfg.exit()];
+            let locs = main_cfg.locs();
+            targets.extend(locs.iter().take(4).copied());
+            for loc in targets {
+                let a = fun.query_joined("main", loc).unwrap();
+                let b = cs.query_joined("main", loc).unwrap();
+                for concrete in run.states_at("main", loc) {
+                    assert!(
+                        a.models(concrete),
+                        "seed {seed} step {step}: functional UNSOUND at {loc}\n  {concrete:?}\n  {a}"
+                    );
+                    assert!(
+                        b.models(concrete),
+                        "seed {seed} step {step}: call-string UNSOUND at {loc}\n  {concrete:?}\n  {b}"
+                    );
+                }
+            }
+        }
+        total_summary_misses += fun.summary_stats().misses;
+    }
+    assert!(
+        total_summary_misses > 0,
+        "no summaries were ever computed across seeds"
+    );
+}
+
+#[test]
+fn functional_unreachable_function_has_no_entries() {
+    let src = "function dead(x) { return x; } function main() { return 1; }";
+    let mut fa = functional(src);
+    assert!(fa.entries_of("dead").unwrap().is_empty());
+    let dead_exit = fa.program().by_name("dead").unwrap().exit();
+    let v = fa.query_joined("dead", dead_exit).unwrap();
+    assert!(v.is_bottom());
+}

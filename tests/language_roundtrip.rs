@@ -1,0 +1,212 @@
+//! Language-substrate properties: pretty-print/parse round-trips on
+//! randomly generated programs, CFG lowering invariants, and concrete
+//! interpreter determinism.
+
+use dai_bench::workload::Workload;
+use dai_lang::ast::{Block, Function, Program};
+use dai_lang::cfg::lower_program;
+use dai_lang::interp::collect;
+use dai_lang::loops::LoopAnalysis;
+use dai_lang::pretty::program_to_source;
+use dai_lang::{parse_program, Symbol};
+use proptest::prelude::*;
+
+/// Builds a random single-function program from workload blocks.
+fn random_program(seed: u64, blocks: usize) -> Program {
+    let mut gen = Workload::new(seed);
+    let mut stmts = Vec::new();
+    for _ in 0..blocks {
+        stmts.extend(gen.random_block_no_calls().0);
+    }
+    stmts.push(dai_lang::ast::AstStmt::Return(Some(dai_lang::Expr::var(
+        "x0",
+    ))));
+    Program {
+        functions: vec![Function {
+            name: Symbol::new("main"),
+            params: vec![],
+            body: Block(stmts),
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn pretty_parse_roundtrip(seed in 0u64..100_000, blocks in 1usize..8) {
+        let program = random_program(seed, blocks);
+        let printed = program_to_source(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn lowering_produces_valid_reducible_cfgs(seed in 0u64..100_000, blocks in 1usize..8) {
+        let program = random_program(seed, blocks);
+        let lowered = lower_program(&program).unwrap();
+        for cfg in lowered.cfgs() {
+            cfg.validate().unwrap();
+            let la = LoopAnalysis::of(cfg);
+            prop_assert!(la.is_reducible(cfg));
+            // Incremental loop bookkeeping agrees with dominators.
+            prop_assert_eq!(la.heads(), cfg.loop_heads());
+            for l in cfg.locs() {
+                prop_assert_eq!(la.enclosing_chain(l), cfg.enclosing_loops(l));
+            }
+        }
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(seed in 0u64..100_000, blocks in 1usize..6) {
+        let program = random_program(seed, blocks);
+        let lowered = lower_program(&program).unwrap();
+        let r1 = collect(&lowered, "main", vec![], 5_000);
+        let r2 = collect(&lowered, "main", vec![], 5_000);
+        prop_assert_eq!(r1.return_value, r2.return_value);
+        prop_assert_eq!(r1.errors.len(), r2.errors.len());
+    }
+}
+
+#[test]
+fn lowering_the_buckets_and_lists_suites() {
+    for src in [dai_bench::buckets::BUCKETS_SRC, dai_bench::lists::LISTS_SRC] {
+        let program = parse_program(src).unwrap();
+        let printed = program_to_source(&program);
+        assert_eq!(parse_program(&printed).unwrap(), program, "roundtrip");
+        let lowered = lower_program(&program).unwrap();
+        for cfg in lowered.cfgs() {
+            cfg.validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn concrete_runs_of_the_buckets_suite_have_no_errors() {
+    // The §7.2 verification targets really are safe: the concrete
+    // interpreter agrees (no bounds violations at runtime).
+    let lowered = lower_program(&parse_program(dai_bench::buckets::BUCKETS_SRC).unwrap()).unwrap();
+    let run = collect(&lowered, "main", vec![], 500_000);
+    assert!(
+        run.errors.is_empty(),
+        "the array suite must execute cleanly: {:?}",
+        run.errors
+    );
+}
+
+#[test]
+fn concrete_append_matches_shape_verification() {
+    // Build two concrete lists, append them, and confirm the result is a
+    // well-formed list — the runtime counterpart of the E5 verification.
+    let src = format!(
+        "{}\nfunction main() {{
+            var a = new Node(); var b = new Node(); var c = new Node();
+            a.next = b; b.next = null; c.next = null;
+            var r = append(a, c);
+            var n = 0;
+            while (r != null) {{ n = n + 1; r = r.next; }}
+            return n;
+        }}",
+        dai_bench::lists::LISTS_SRC
+    );
+    let lowered = lower_program(&parse_program(&src).unwrap()).unwrap();
+    let run = collect(&lowered, "main", vec![], 100_000);
+    assert!(run.errors.is_empty(), "{:?}", run.errors);
+    assert_eq!(run.return_value, Some(dai_lang::interp::Value::Int(3)));
+}
+
+// ---------------------------------------------------------------------
+// Parser robustness: arbitrary byte soup must produce a ParseError, never
+// a panic; and the `for`/`do`-`while` sugar round-trips through its
+// desugared form.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,120}") {
+        // Any outcome is fine; panics are not.
+        let _ = parse_program(&s);
+        let _ = dai_lang::parse_block(&s);
+        let _ = dai_lang::parse_expr(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "function", "var", "if", "else", "while", "for", "do",
+                "return", "true", "false", "null", "new", "print", "len",
+                "(", ")", "{", "}", "[", "]", ";", ",", ".", "=", "==",
+                "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "&&",
+                "||", "!", "x", "y", "f", "0", "1", "42",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse_program(&src);
+        let _ = dai_lang::parse_block(&src);
+    }
+}
+
+#[test]
+fn sugar_roundtrips_through_desugared_source() {
+    // `for`/`do` have no printer form (they desugar at parse time); the
+    // *desugared* program must round-trip exactly.
+    let sugared = "function main() {
+        var s = 0;
+        for (var i = 0; i < 4; i = i + 1) { s = s + i; }
+        do { s = s - 1; } while (s > 3);
+        return s;
+    }";
+    let once = parse_program(sugared).unwrap();
+    let printed = program_to_source(&once);
+    let twice = parse_program(&printed).unwrap();
+    assert_eq!(once, twice, "printed:\n{printed}");
+    // And the concrete semantics agree before/after the round-trip.
+    let r1 = collect(&lower_program(&once).unwrap(), "main", vec![], 10_000);
+    let r2 = collect(&lower_program(&twice).unwrap(), "main", vec![], 10_000);
+    assert_eq!(r1.return_value, r2.return_value);
+    // s = 0+1+2+3 = 6, then do-while: 6→5→4→3 (stops at 3).
+    assert_eq!(r1.return_value, Some(dai_lang::interp::Value::Int(3)));
+}
+
+#[test]
+fn sugar_and_manual_desugaring_agree_concretely_and_abstractly() {
+    let sugared = "function main() {
+        var s = 0;
+        for (var i = 0; i < 6; i = i + 1) { s = s + 2; }
+        return s;
+    }";
+    let manual = "function main() {
+        var s = 0;
+        var i = 0;
+        while (i < 6) { s = s + 2; i = i + 1; }
+        return s;
+    }";
+    let (ps, pm) = (
+        lower_program(&parse_program(sugared).unwrap()).unwrap(),
+        lower_program(&parse_program(manual).unwrap()).unwrap(),
+    );
+    let rs = collect(&ps, "main", vec![], 10_000);
+    let rm = collect(&pm, "main", vec![], 10_000);
+    assert_eq!(rs.return_value, rm.return_value);
+    assert_eq!(rs.return_value, Some(dai_lang::interp::Value::Int(12)));
+    // Same abstract result at the exit, too.
+    use dai_core::analysis::FuncAnalysis;
+    use dai_core::query::{IntraResolver, QueryStats};
+    use dai_domains::IntervalDomain;
+    use dai_memo::MemoTable;
+    let exit_of = |prog: &dai_lang::cfg::LoweredProgram| {
+        let cfg = prog.by_name("main").unwrap().clone();
+        let mut fa = FuncAnalysis::new(cfg, IntervalDomain::top());
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap()
+    };
+    assert_eq!(exit_of(&ps).interval_of("s"), exit_of(&pm).interval_of("s"));
+}

@@ -1,0 +1,276 @@
+//! The preservation lemmas of §6 as executable checks over random edit and
+//! query scripts:
+//!
+//! * Lemma 6.1 — DAIG well-formedness (Definition 4.1) is preserved by
+//!   queries and edits;
+//! * Lemma 6.2 — DAIG–CFG consistency (Definition 4.2) is preserved;
+//! * Lemma 6.3 — DAIG–AI consistency (Definition 4.3) is preserved;
+//! * Theorem 6.3 — queries terminate (every property run is bounded).
+
+use dai_bench::workload::Workload;
+use dai_core::analysis::FuncAnalysis;
+use dai_core::consistency::{check_ai_consistency, check_cfg_consistency};
+use dai_core::query::{IntraResolver, QueryStats};
+use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain};
+use dai_lang::cfg::lower_program;
+use dai_lang::parser::parse_program;
+use dai_memo::MemoTable;
+use proptest::prelude::*;
+
+fn assert_invariants<D: AbstractDomain>(fa: &FuncAnalysis<D>, context: &str) {
+    fa.daig()
+        .check_well_formed()
+        .unwrap_or_else(|e| panic!("{context}: well-formedness: {e}"));
+    check_cfg_consistency(fa.daig(), fa.cfg())
+        .unwrap_or_else(|e| panic!("{context}: CFG consistency: {e}"));
+    check_ai_consistency(fa.daig()).unwrap_or_else(|e| panic!("{context}: AI consistency: {e}"));
+    fa.cfg()
+        .validate()
+        .unwrap_or_else(|e| panic!("{context}: CFG validity: {e}"));
+    // Reducibility (paper §3 assumes it; lowering must maintain it).
+    let la = dai_lang::loops::LoopAnalysis::of(fa.cfg());
+    assert!(
+        la.is_reducible(fa.cfg()),
+        "{context}: CFG became irreducible"
+    );
+    // The incremental loop bookkeeping agrees with the from-scratch one.
+    for l in fa.cfg().locs() {
+        assert_eq!(
+            la.enclosing_chain(l),
+            fa.cfg().enclosing_loops(l),
+            "{context}: loop nesting mismatch at {l}"
+        );
+    }
+}
+
+fn run_script<D: AbstractDomain>(phi0: D, seed: u64, steps: usize, check_every: bool) {
+    let cfg = lower_program(&parse_program("function main() { var x0 = 0; return x0; }").unwrap())
+        .unwrap()
+        .cfgs()[0]
+        .clone();
+    let mut gen = Workload::new(seed);
+    let mut fa = FuncAnalysis::new(cfg, phi0);
+    let mut memo = MemoTable::new();
+    assert_invariants(&fa, &format!("seed {seed} initial"));
+    for step in 0..steps {
+        // Random edit.
+        let edges: Vec<_> = fa.cfg().edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        let block = gen.random_block_no_calls();
+        fa.splice(edge, &block).unwrap();
+        if check_every {
+            assert_invariants(&fa, &format!("seed {seed} step {step} post-edit"));
+        }
+        // Random query (also exercises demanded unrolling).
+        let locs = fa.cfg().locs();
+        let loc = locs[gen.pick_index(locs.len())];
+        let mut stats = QueryStats::default();
+        fa.query_loc(&mut memo, loc, &mut IntraResolver, &mut stats)
+            .unwrap();
+        if check_every {
+            assert_invariants(&fa, &format!("seed {seed} step {step} post-query"));
+        }
+    }
+    assert_invariants(&fa, &format!("seed {seed} final"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn invariants_preserved_interval(seed in 0u64..10_000) {
+        run_script(IntervalDomain::top(), seed, 10, true);
+    }
+
+    #[test]
+    fn invariants_preserved_octagon(seed in 0u64..10_000) {
+        run_script(OctagonDomain::top(), seed, 8, true);
+    }
+}
+
+#[test]
+fn long_edit_script_stays_consistent() {
+    // One long run with final (cheaper) checking to push structural depth:
+    // nested loops, promoted heads, joins.
+    run_script(IntervalDomain::top(), 0xC0FFEE, 60, false);
+}
+
+#[test]
+fn relabel_and_delete_preserve_invariants() {
+    let cfg = lower_program(
+        &parse_program(
+            "function main() { var a = 1; var i = 0; while (i < 9) { a = a + i; i = i + 1; } return a; }",
+        )
+        .unwrap(),
+    )
+    .unwrap()
+    .cfgs()[0]
+        .clone();
+    let mut fa = FuncAnalysis::new(cfg, IntervalDomain::top());
+    let mut memo = MemoTable::new();
+    let mut stats = QueryStats::default();
+    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+        .unwrap();
+    assert_invariants(&fa, "pre-edit");
+    let edges: Vec<_> = fa.cfg().edges().map(|e| e.id).collect();
+    for (i, &edge) in edges.iter().enumerate() {
+        if i % 2 == 0 {
+            // Relabel assignments in place; skip assume edges (they encode
+            // branch structure).
+            let is_assign = matches!(
+                fa.cfg().edge(edge).unwrap().stmt,
+                dai_lang::Stmt::Assign(..)
+            );
+            if is_assign {
+                fa.relabel(
+                    edge,
+                    dai_lang::Stmt::Assign("a".into(), dai_lang::parse_expr("a + 2").unwrap()),
+                )
+                .unwrap();
+            }
+        } else if matches!(fa.cfg().edge(edge).unwrap().stmt, dai_lang::Stmt::Print(_)) {
+            fa.delete(edge).unwrap();
+        }
+        assert_invariants(&fa, &format!("after edit {i}"));
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap();
+        assert_invariants(&fa, &format!("after re-query {i}"));
+    }
+}
+
+#[test]
+fn queries_terminate_on_widening_hungry_loops() {
+    // Nested loops with interacting counters: several demanded unrollings
+    // needed; Theorem 6.3 says the query terminates regardless.
+    let cfg = lower_program(
+        &parse_program(
+            "function main() {
+                var i = 0; var t = 0;
+                while (i < 100) {
+                    var j = 0;
+                    while (j < i) { t = t + 1; j = j + 1; }
+                    i = i + 1;
+                }
+                return t;
+             }",
+        )
+        .unwrap(),
+    )
+    .unwrap()
+    .cfgs()[0]
+        .clone();
+    let mut fa = FuncAnalysis::new(cfg, OctagonDomain::top());
+    let mut memo = MemoTable::new();
+    let mut stats = QueryStats::default();
+    let exit = fa
+        .query_exit(&mut memo, &mut IntraResolver, &mut stats)
+        .unwrap();
+    assert!(!exit.is_bottom());
+    assert!(
+        stats.unrolls >= 2,
+        "nested widening should demand unrollings"
+    );
+    assert_invariants(&fa, "nested loops");
+}
+
+// ---------------------------------------------------------------------
+// Query-order independence: a corollary of from-scratch consistency
+// (Theorem 6.1) worth checking directly — the *final* value of every cell
+// cannot depend on the order in which locations were demanded, even
+// though the intermediate DAIG evolution (unrolling order, memo traffic)
+// differs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn query_order_does_not_change_answers() {
+    let src = "function main() {
+        var a = 0; var b = 0;
+        while (a < 7) { a = a + 1; }
+        if (b < a) { b = a; } else { b = 0 - a; }
+        while (b > 0) { b = b - 2; }
+        return a + b;
+    }";
+    let cfg = lower_program(&parse_program(src).unwrap()).unwrap().cfgs()[0].clone();
+    let locs = cfg.locs();
+
+    // Reference: ascending order.
+    let mut reference: Vec<(dai_lang::Loc, IntervalDomain)> = Vec::new();
+    {
+        let mut fa = FuncAnalysis::new(cfg.clone(), IntervalDomain::top());
+        let mut memo = MemoTable::new();
+        for &l in &locs {
+            let mut stats = QueryStats::default();
+            let v = fa
+                .query_loc(&mut memo, l, &mut IntraResolver, &mut stats)
+                .unwrap();
+            reference.push((l, v));
+        }
+    }
+
+    // Several permutations, each on a fresh DAIG + memo.
+    let mut gen = Workload::new(0x0BDE);
+    for round in 0..6 {
+        let mut order = locs.clone();
+        // Fisher–Yates with the deterministic workload RNG.
+        for i in (1..order.len()).rev() {
+            order.swap(i, gen.pick_index(i + 1));
+        }
+        let mut fa = FuncAnalysis::new(cfg.clone(), IntervalDomain::top());
+        let mut memo = MemoTable::new();
+        let mut got: Vec<(dai_lang::Loc, IntervalDomain)> = Vec::new();
+        for &l in &order {
+            let mut stats = QueryStats::default();
+            let v = fa
+                .query_loc(&mut memo, l, &mut IntraResolver, &mut stats)
+                .unwrap();
+            got.push((l, v));
+        }
+        got.sort_by_key(|(l, _)| *l);
+        assert_eq!(
+            got, reference,
+            "round {round}: order {order:?} changed answers"
+        );
+        assert_invariants(&fa, &format!("permutation round {round}"));
+    }
+}
+
+#[test]
+fn interleaved_queries_match_upfront_queries_across_edits() {
+    // Demand-as-you-go vs demand-everything-at-the-end over the same edit
+    // stream: final per-location answers must agree.
+    let seed = 0x1EAF;
+    let base = "function main() { var x0 = 0; return x0; }";
+    let build = || lower_program(&parse_program(base).unwrap()).unwrap().cfgs()[0].clone();
+    let mut eager = FuncAnalysis::new(build(), IntervalDomain::top());
+    let mut lazy = FuncAnalysis::new(build(), IntervalDomain::top());
+    let mut eager_memo = MemoTable::new();
+    let mut lazy_memo = MemoTable::new();
+    let mut gen = Workload::new(seed);
+    for _ in 0..25 {
+        let edges: Vec<_> = eager.cfg().edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        let block = gen.random_block_no_calls();
+        eager.splice(edge, &block).unwrap();
+        lazy.splice(edge, &block).unwrap();
+        // The eager twin queries a random location at every step.
+        let locs = eager.cfg().locs();
+        let l = locs[gen.pick_index(locs.len())];
+        let mut stats = QueryStats::default();
+        eager
+            .query_loc(&mut eager_memo, l, &mut IntraResolver, &mut stats)
+            .unwrap();
+    }
+    for l in eager.cfg().locs() {
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        let a = eager
+            .query_loc(&mut eager_memo, l, &mut IntraResolver, &mut s1)
+            .unwrap();
+        let b = lazy
+            .query_loc(&mut lazy_memo, l, &mut IntraResolver, &mut s2)
+            .unwrap();
+        assert_eq!(a, b, "eager/lazy divergence at {l}");
+    }
+    assert_invariants(&eager, "eager twin");
+    assert_invariants(&lazy, "lazy twin");
+}

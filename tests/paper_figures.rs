@@ -1,0 +1,291 @@
+//! Replays of the paper's §2 worked examples, as executable tests:
+//!
+//! * Fig. 3 / Fig. 4a — demand-driven query evaluation on `append`'s DAIG:
+//!   a query for the early-return state computes only its dependency cone;
+//! * Fig. 4b — the incremental edit (inserting a `print` before
+//!   `ret = q`): the statement cell is reused, only forward-reachable
+//!   cells are dirtied, and the re-query executes just the red/green
+//!   edges;
+//! * Fig. 4c — demanded fixed points: the loop is unrolled one abstract
+//!   iteration at a time, the fix edge slides forward, and an edit to the
+//!   loop body rolls it back;
+//! * §2.2's auxiliary memo table — `⟦s₀⟧♯(φ₀)` computed at one location is
+//!   reused (`Q-Match`) at structurally identical computations elsewhere.
+
+use dai_core::analysis::FuncAnalysis;
+use dai_core::build::Overrides;
+use dai_core::name::{IterCtx, Name};
+use dai_core::query::{IntraResolver, QueryStats};
+use dai_core::Func;
+use dai_domains::{AbstractDomain, IntervalDomain, ShapeDomain};
+use dai_lang::cfg::{lower_program, Cfg};
+use dai_lang::parser::{parse_block, parse_program};
+use dai_lang::RETURN_VAR;
+use dai_memo::MemoTable;
+
+const APPEND: &str = r#"
+    function append(p, q) {
+        if (p == null) { return q; }
+        var r = p;
+        while (r.next != null) { r = r.next; }
+        r.next = q;
+        return p;
+    }
+"#;
+
+fn append_cfg() -> Cfg {
+    lower_program(&parse_program(APPEND).unwrap())
+        .unwrap()
+        .by_name("append")
+        .unwrap()
+        .clone()
+}
+
+/// Fig. 4a: querying the pre-join cell for the `p == null` branch
+/// evaluates only that branch — the loop is never unrolled.
+#[test]
+fn fig4a_demand_query_computes_only_dependency_cone() {
+    let cfg = append_cfg();
+    let mut fa = FuncAnalysis::new(cfg.clone(), ShapeDomain::with_lists(&["p", "q"]));
+    let mut memo = MemoTable::new();
+    // The `return q` edge's destination is the exit join: find its
+    // pre-join cell (the paper's 1·ℓret).
+    let ret_q = cfg
+        .edges()
+        .find(|e| e.stmt.to_string() == "__ret = q")
+        .expect("return q edge");
+    let pre_join = Name::PreJoin {
+        edge: ret_q.id,
+        ctx: IterCtx::root(),
+    };
+    let mut stats = QueryStats::default();
+    let v = fa
+        .query_name(&mut memo, &pre_join, &mut IntraResolver, &mut stats)
+        .unwrap();
+    let state = v.as_state().unwrap();
+    // The returned state knows p = null and ret is a list.
+    assert!(state.proves_list(RETURN_VAR), "{state}");
+    // Crucially: no demanded unrolling happened — the loop was not needed.
+    assert_eq!(stats.unrolls, 0, "query must not evaluate the loop");
+    // And the loop's fixed-point cell is still empty.
+    let head = cfg.loop_heads()[0];
+    let fix_cell = Name::State {
+        loc: head,
+        ctx: IterCtx::root(),
+    };
+    assert!(fa.daig().value(&fix_cell).is_none());
+}
+
+/// Fig. 4b: inserting `print(...)` before `ret = q` reuses the statement
+/// cell, dirties only the forward-reachable cells, and the re-query
+/// executes only two transfers and one join.
+#[test]
+fn fig4b_incremental_edit_dirties_only_downstream() {
+    let cfg = append_cfg();
+    let mut fa = FuncAnalysis::new(cfg, IntervalDomain::top());
+    let mut memo = MemoTable::new();
+    let mut stats = QueryStats::default();
+    // Fully evaluate first (so reuse is observable).
+    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+        .unwrap();
+    let filled_before = fa.daig().filled_count();
+
+    let ret_q = fa
+        .cfg()
+        .edges()
+        .find(|e| e.stmt.to_string() == "__ret = q")
+        .expect("return q edge")
+        .id;
+    fa.splice(ret_q, &parse_block("print(0);").unwrap())
+        .unwrap();
+
+    // Only the pre-join for this branch and the exit join were dirtied
+    // (two state cells), while new empty cells were added.
+    let filled_after = fa.daig().filled_count();
+    assert!(
+        filled_after >= filled_before - 2,
+        "over-dirtied: {filled_before} -> {filled_after}"
+    );
+
+    // Re-query: exactly the paper's "two transfers and one join" — the
+    // new print transfer, the relocated return transfer, and the join.
+    let mut stats2 = QueryStats::default();
+    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats2)
+        .unwrap();
+    assert!(
+        stats2.computed + stats2.memo_matched <= 3,
+        "expected at most 2 transfers + 1 join, did {} computations and {} matches",
+        stats2.computed,
+        stats2.memo_matched
+    );
+    assert_eq!(stats2.unrolls, 0, "the loop fixed point must be reused");
+}
+
+/// Fig. 4c: the fix edge initially reads iterates 0 and 1; demanded
+/// unrolling slides it forward; an edit to the loop-body statement rolls
+/// it back to (0, 1).
+#[test]
+fn fig4c_demanded_unrolling_slides_and_rolls_back() {
+    let cfg = append_cfg();
+    let mut fa = FuncAnalysis::new(cfg.clone(), ShapeDomain::with_lists(&["p", "q"]));
+    let head = cfg.loop_heads()[0];
+    let fix_cell = Name::State {
+        loc: head,
+        ctx: IterCtx::root(),
+    };
+    let it = |i: u32| Name::State {
+        loc: head,
+        ctx: IterCtx::root().push(head, i),
+    };
+
+    // Initial: fix(ℓ⟨0⟩, ℓ⟨1⟩).
+    let comp = fa.daig().comp(&fix_cell).unwrap();
+    assert_eq!(comp.func, Func::Fix);
+    assert_eq!(comp.srcs, vec![it(0), it(1)]);
+
+    // Demand the fixed point: one unrolling (§7.2), fix slides to (1, 2).
+    let mut memo = MemoTable::new();
+    let mut stats = QueryStats::default();
+    fa.query_name(&mut memo, &fix_cell, &mut IntraResolver, &mut stats)
+        .unwrap();
+    assert_eq!(stats.unrolls, 1);
+    let comp = fa.daig().comp(&fix_cell).unwrap();
+    assert_eq!(comp.srcs, vec![it(1), it(2)]);
+    assert!(fa.daig().contains(&it(2)));
+
+    // Edit the loop body statement (`r = r.next`): E-Loop rolls the fix
+    // edge back to (0, 1) and removes the unrolled copies.
+    let back = cfg.back_edge(head).unwrap();
+    fa.relabel(
+        back,
+        dai_lang::Stmt::Assign("r".into(), dai_lang::parse_expr("r.next").unwrap()),
+    )
+    .unwrap();
+    let comp = fa.daig().comp(&fix_cell).unwrap();
+    assert_eq!(comp.srcs, vec![it(0), it(1)], "fix edge must roll back");
+    assert!(
+        !fa.daig().contains(&it(2)),
+        "unrolled iterate must be removed"
+    );
+    fa.daig().check_well_formed().unwrap();
+
+    // Statement cells are never duplicated by unrolling (Fig. 4c caption).
+    let stmt_cells = fa.daig().names().filter(|n| n.is_stmt()).count();
+    assert_eq!(stmt_cells, cfg.edge_count());
+}
+
+/// §2.2: the auxiliary memo table reuses `⟦s⟧♯(φ)` across *different* DAIG
+/// cells with identical inputs.
+#[test]
+fn auxiliary_memo_table_matches_across_locations() {
+    // Two identical branches: the same statement applied to the same
+    // abstract state in two different cells. The branch condition is an
+    // opaque boolean, so the two `assume` refinements leave the state
+    // unchanged and the pre-states are *equal* — the memo key
+    // `⟦·⟧♯·(x = x + 1)·φ` matches across the two DAIG cells.
+    let src = "function f(c) { var x = 1; if (c) { x = x + 1; } else { x = x + 1; } return x; }";
+    let cfg = lower_program(&parse_program(src).unwrap()).unwrap().cfgs()[0].clone();
+    let mut fa = FuncAnalysis::new(cfg, IntervalDomain::top());
+    let mut memo = MemoTable::new();
+    let mut stats = QueryStats::default();
+    fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+        .unwrap();
+    assert!(
+        memo.stats().hits >= 1,
+        "identical branch transfers must memo-match: {:?}",
+        memo.stats()
+    );
+    assert!(stats.memo_matched >= 1, "{stats:?}");
+}
+
+/// §2.2 (end): "it is sound to drop cached results from the DAIG and/or
+/// memo table and later recompute those results" — clearing the memo
+/// table between queries changes nothing observable.
+#[test]
+fn dropping_memo_entries_is_sound() {
+    let cfg = append_cfg();
+    let mut fa = FuncAnalysis::new(cfg, IntervalDomain::top());
+    let mut memo = MemoTable::new();
+    let mut stats = QueryStats::default();
+    let before = fa
+        .query_exit(&mut memo, &mut IntraResolver, &mut stats)
+        .unwrap();
+    memo.clear();
+    fa.dirty_everything();
+    let after = fa
+        .query_exit(&mut memo, &mut IntraResolver, &mut stats)
+        .unwrap();
+    assert_eq!(before, after);
+    // A capacity-bounded memo table gives the same results too.
+    let mut small: MemoTable<dai_core::Value<IntervalDomain>> = MemoTable::with_capacity_limit(4);
+    fa.dirty_everything();
+    let mut stats2 = QueryStats::default();
+    let bounded = fa
+        .query_exit(&mut small, &mut IntraResolver, &mut stats2)
+        .unwrap();
+    assert_eq!(before, bounded);
+}
+
+/// The interval instantiation of the paper's Fig. 1 program: array-bounds
+/// clients and the shape clients agree that `append` has no *numeric*
+/// obligations; this exercises the domain-agnosticity claim (§7.2) — the
+/// same DAIG machinery runs three different domains over one CFG.
+#[test]
+fn same_cfg_three_domains() {
+    let cfg = append_cfg();
+    let mut i = FuncAnalysis::new(cfg.clone(), IntervalDomain::top());
+    let mut o = FuncAnalysis::new(cfg.clone(), dai_domains::OctagonDomain::top());
+    let mut s = FuncAnalysis::new(cfg, ShapeDomain::with_lists(&["p", "q"]));
+    let mut stats = QueryStats::default();
+    let mut m1 = MemoTable::new();
+    let mut m2 = MemoTable::new();
+    let mut m3 = MemoTable::new();
+    assert!(!i
+        .query_exit(&mut m1, &mut IntraResolver, &mut stats)
+        .unwrap()
+        .is_bottom());
+    assert!(!o
+        .query_exit(&mut m2, &mut IntraResolver, &mut stats)
+        .unwrap()
+        .is_bottom());
+    let shape_exit = s
+        .query_exit(&mut m3, &mut IntraResolver, &mut stats)
+        .unwrap();
+    assert!(!shape_exit.may_error());
+}
+
+/// Footnote 5 / Definition A.2: a loop-exit edge reads the head's
+/// fixed-point cell, so a query *after* the loop forces convergence, while
+/// body cells read the iterate cells.
+#[test]
+fn loop_exit_reads_fix_cell() {
+    let cfg = append_cfg();
+    let head = cfg.loop_heads()[0];
+    let ov = Overrides::new();
+    // Exit edge: assume r.next == null leaves the loop.
+    let exit_edge = cfg
+        .edges()
+        .find(|e| e.src == head && !cfg.loops_containing(e.dst).contains(&head))
+        .expect("loop exit edge");
+    let src = dai_core::build::src_name(&cfg, exit_edge.src, exit_edge.dst, &ov);
+    assert_eq!(
+        src,
+        Name::State {
+            loc: head,
+            ctx: IterCtx::root()
+        }
+    );
+    // Body edge: assume r.next != null stays inside.
+    let body_edge = cfg
+        .edges()
+        .find(|e| e.src == head && cfg.loops_containing(e.dst).contains(&head))
+        .expect("loop body edge");
+    let src = dai_core::build::src_name(&cfg, body_edge.src, body_edge.dst, &ov);
+    assert_eq!(
+        src,
+        Name::State {
+            loc: head,
+            ctx: IterCtx::root().push(head, 0)
+        }
+    );
+}

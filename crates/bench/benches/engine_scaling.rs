@@ -1,0 +1,14 @@
+//! Bench target: `dai-engine` throughput at 1/2/4/8 workers on the §7.3
+//! workload. Handwritten harness (criterion's per-closure timing model
+//! does not fit a whole-engine sweep): each worker count is measured once
+//! over the identical query load and reported as queries/second with the
+//! speedup relative to one worker. Use the `engine_scaling` *binary* to
+//! record a `BENCH_engine.json` baseline.
+
+use dai_bench::engine_scaling::{format_points, run_scaling, ScalingParams};
+
+fn main() {
+    let params = ScalingParams::default();
+    let points = run_scaling(&params);
+    print!("{}", format_points(&points));
+}

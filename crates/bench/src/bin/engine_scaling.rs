@@ -1,0 +1,96 @@
+//! Records an engine-scaling baseline: runs the worker-count sweep of
+//! [`dai_bench::engine_scaling`] and writes the points (plus hardware
+//! context, without which scaling numbers are meaningless) as JSON.
+//!
+//! ```text
+//! $ cargo run --release --bin engine_scaling -- --out BENCH_engine.json
+//! $ cargo run --release --bin engine_scaling -- --sessions 16 --grow 80
+//! ```
+
+use dai_bench::engine_scaling::{format_points, run_scaling, speedup_base, ScalingParams};
+use std::fmt::Write as _;
+
+fn main() {
+    let mut params = ScalingParams::default();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => params.sessions = num(args.next(), "--sessions"),
+            "--grow" => params.grow_edits = num(args.next(), "--grow"),
+            "--seed" => params.seed = num(args.next(), "--seed") as u64,
+            "--workers" => {
+                params.worker_counts = args
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die("--workers takes N,N,N"))
+                    })
+                    .collect();
+            }
+            "--out" => out_path = args.next(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: engine_scaling [--sessions N] [--grow N] [--seed N] \
+                     [--workers 1,2,4,8] [--out FILE.json]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    let points = run_scaling(&params);
+    print!("{}", format_points(&points));
+
+    if let Some(path) = out_path {
+        let json = to_json(&params, &points);
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("baseline written to {path}");
+    }
+}
+
+fn num(v: Option<String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("engine_scaling: {msg}");
+    std::process::exit(2)
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde): stable field
+/// order, one point object per worker count.
+fn to_json(params: &ScalingParams, points: &[dai_bench::engine_scaling::ScalingPoint]) -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let base = speedup_base(points);
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"engine_scaling\",");
+    let _ = writeln!(s, "  \"workload\": \"fig10_synthetic_octagon\",");
+    let _ = writeln!(s, "  \"host_cpus\": {cpus},");
+    let _ = writeln!(s, "  \"sessions\": {},", params.sessions);
+    let _ = writeln!(s, "  \"grow_edits\": {},", params.grow_edits);
+    let _ = writeln!(s, "  \"seed\": {},", params.seed);
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workers\": {}, \"queries\": {}, \"elapsed_ms\": {:.3}, \
+             \"qps\": {:.1}, \"speedup_vs_1\": {:.3}}}",
+            p.workers,
+            p.queries,
+            p.elapsed.as_secs_f64() * 1e3,
+            p.qps,
+            p.qps / base.max(1e-9),
+        );
+        s.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -1,0 +1,204 @@
+//! Engine worker-pool scaling on the §7.3 workload.
+//!
+//! Measures end-to-end query throughput (queries/second) of
+//! [`dai_engine::Engine`] at several worker counts over the Fig. 10
+//! synthetic workload: a fleet of sessions, each holding the workload
+//! program grown by a stream of random edits, is swept with a full
+//! (function × location) query load submitted through the concurrent
+//! request stream. Sessions are independent, so the engine can serve them
+//! in parallel; per-query cell batches additionally fan out within each
+//! session.
+//!
+//! Interpreting the numbers: scaling is bounded by the hardware — on a
+//! single-CPU host every worker count measures the same serial machine
+//! (speedup ≈ 1.0×), so baselines recorded by the `engine_scaling` binary
+//! embed `available_parallelism` alongside the throughput points.
+
+use dai_core::driver::ProgramEdit;
+use dai_domains::OctagonDomain;
+use dai_engine::{Engine, Request, SessionId, Ticket};
+use dai_lang::Loc;
+use std::time::{Duration, Instant};
+
+use crate::workload::Workload;
+
+/// Parameters of a scaling run.
+#[derive(Debug, Clone)]
+pub struct ScalingParams {
+    /// Independent sessions to open (the cross-session parallelism axis).
+    pub sessions: usize,
+    /// Random edits growing each session's program before measurement.
+    pub grow_edits: usize,
+    /// Worker counts to measure.
+    pub worker_counts: Vec<usize>,
+    /// Base seed; session `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ScalingParams {
+    fn default() -> ScalingParams {
+        ScalingParams {
+            sessions: 8,
+            grow_edits: 40,
+            worker_counts: vec![1, 2, 4, 8],
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Queries served.
+    pub queries: usize,
+    /// Wall-clock time for the whole sweep.
+    pub elapsed: Duration,
+    /// Queries per second.
+    pub qps: f64,
+}
+
+/// Runs the sweep at every requested worker count and returns one point
+/// per count, in the order given.
+pub fn run_scaling(params: &ScalingParams) -> Vec<ScalingPoint> {
+    params
+        .worker_counts
+        .iter()
+        .map(|&workers| run_at(workers, params))
+        .collect()
+}
+
+fn run_at(workers: usize, params: &ScalingParams) -> ScalingPoint {
+    let engine: Engine<OctagonDomain> = Engine::new(workers);
+    let sessions: Vec<SessionId> = (0..params.sessions)
+        .map(|i| {
+            let id = engine.open_session(format!("bench-{i}"), Workload::initial_program());
+            grow(&engine, id, params.seed + i as u64, params.grow_edits);
+            id
+        })
+        .collect();
+    // The measured load: every (function, location) of every session,
+    // interleaved round-robin across sessions so independent work is
+    // available from the first request on.
+    let mut per_session: Vec<Vec<(String, Loc)>> = sessions
+        .iter()
+        .map(|&s| {
+            let program = engine.program_of(s).expect("session open");
+            let mut targets = Vec::new();
+            for cfg in program.cfgs() {
+                for loc in cfg.locs() {
+                    targets.push((cfg.name().to_string(), loc));
+                }
+            }
+            targets
+        })
+        .collect();
+    let mut load: Vec<(SessionId, String, Loc)> = Vec::new();
+    loop {
+        let mut emitted = false;
+        for (i, targets) in per_session.iter_mut().enumerate() {
+            if let Some((f, loc)) = targets.pop() {
+                load.push((sessions[i], f, loc));
+                emitted = true;
+            }
+        }
+        if !emitted {
+            break;
+        }
+    }
+
+    let t0 = Instant::now();
+    let tickets: Vec<Ticket<OctagonDomain>> = load
+        .iter()
+        .map(|(s, f, loc)| {
+            engine.submit(Request::Query {
+                session: *s,
+                func: f.clone(),
+                loc: *loc,
+            })
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("bench query succeeds");
+    }
+    let elapsed = t0.elapsed();
+    ScalingPoint {
+        workers,
+        queries: load.len(),
+        elapsed,
+        qps: load.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Grows a session's program with the §7.3 edit mix (applied through the
+/// engine so the DAIGs are edited incrementally, not rebuilt).
+fn grow(engine: &Engine<OctagonDomain>, session: SessionId, seed: u64, edits: usize) {
+    let mut gen = Workload::new(seed);
+    for _ in 0..edits {
+        let program = engine.program_of(session).expect("session open");
+        let edit: ProgramEdit = gen.next_edit(&program);
+        engine
+            .request(Request::Edit { session, edit })
+            .expect("bench edit applies");
+    }
+}
+
+/// Renders points as an aligned table with speedups relative to the
+/// 1-worker point (first point if the sweep has no 1-worker entry).
+pub fn format_points(points: &[ScalingPoint]) -> String {
+    let base = speedup_base(points);
+    let mut out = String::from("engine_scaling (Fig. 10 workload, octagon)\n");
+    out.push_str(&format!(
+        "{:>8} {:>9} {:>12} {:>12} {:>9}\n",
+        "workers", "queries", "elapsed", "queries/s", "speedup"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>8} {:>9} {:>12.3?} {:>12.1} {:>8.2}x\n",
+            p.workers,
+            p.queries,
+            p.elapsed,
+            p.qps,
+            p.qps / base.max(1e-9),
+        ));
+    }
+    out
+}
+
+/// The qps denominator for speedup columns: the 1-worker point when the
+/// sweep contains one (regardless of its position in the list), else the
+/// first point.
+pub fn speedup_base(points: &[ScalingPoint]) -> f64 {
+    points
+        .iter()
+        .find(|p| p.workers == 1)
+        .or(points.first())
+        .map(|p| p.qps)
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_points_and_serves_all_queries() {
+        let params = ScalingParams {
+            sessions: 2,
+            grow_edits: 4,
+            worker_counts: vec![1, 2],
+            seed: 7,
+        };
+        let points = run_scaling(&params);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].workers, 1);
+        assert_eq!(points[1].workers, 2);
+        // Both counts answer the identical query load.
+        assert_eq!(points[0].queries, points[1].queries);
+        assert!(points[0].queries > 10);
+        assert!(points[0].qps > 0.0);
+        let table = format_points(&points);
+        assert!(table.contains("speedup"));
+    }
+}

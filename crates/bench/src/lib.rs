@@ -12,9 +12,13 @@
 //! * [`buckets`] — the §7.2 interval / context-sensitivity experiment on
 //!   ports of the Buckets.js array functions;
 //! * [`lists`] — the §7.2 shape-analysis experiment (Fig. 1 `append` and
-//!   linked-list utilities).
+//!   linked-list utilities);
+//! * [`engine_scaling`] — worker-pool throughput of the concurrent
+//!   `dai-engine` on the Fig. 10 workload (the `engine_scaling` binary
+//!   records `BENCH_engine.json` baselines).
 
 pub mod buckets;
+pub mod engine_scaling;
 pub mod harness;
 pub mod lists;
 pub mod workload;

@@ -13,7 +13,7 @@ use dai_domains::AbstractDomain;
 use dai_lang::cfg::{Cfg, CfgError};
 use dai_lang::edit::{relabel_edge, splice_block_on_edge, SpliceInfo};
 use dai_lang::{Block, EdgeId, Loc, Stmt};
-use dai_memo::MemoTable;
+use dai_memo::MemoStore;
 
 /// A function's CFG, its DAIG, and the entry state `φ₀`.
 ///
@@ -60,8 +60,13 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
         &self.daig
     }
 
-    /// Mutable access to the DAIG for cross-DAIG dirtying (crate-internal).
-    pub(crate) fn daig_mut(&mut self) -> &mut Daig<D> {
+    /// Mutable access to the DAIG, for cross-DAIG dirtying and for
+    /// external schedulers (`dai-engine` writes [`Value`]s computed on
+    /// worker threads back through this). Callers must preserve
+    /// Definition 4.1 well-formedness; writing anything other than the
+    /// result of the cell's own computation breaks from-scratch
+    /// consistency.
+    pub fn daig_mut(&mut self) -> &mut Daig<D> {
         &mut self.daig
     }
 
@@ -241,7 +246,7 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
     /// See [`crate::query::query`].
     pub fn query_name(
         &mut self,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         n: &Name,
         resolver: &mut dyn CallResolver<D>,
         stats: &mut QueryStats,
@@ -261,7 +266,7 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
     /// see [`crate::query::query`].
     pub fn query_loc(
         &mut self,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         loc: Loc,
         resolver: &mut dyn CallResolver<D>,
         stats: &mut QueryStats,
@@ -277,34 +282,14 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
     /// fixed-point-consistent cell at `loc`.
     fn resolve_loc_name(
         &mut self,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         loc: Loc,
         resolver: &mut dyn CallResolver<D>,
         stats: &mut QueryStats,
     ) -> Result<Name, DaigError> {
-        let chain = self.cfg.enclosing_loops(loc);
-        let mut sigma = IterCtx::root();
-        for h in chain {
-            let fix_cell = Name::State {
-                loc: h,
-                ctx: sigma.clone(),
-            };
-            query(&mut self.daig, &self.cfg, memo, &fix_cell, resolver, stats)?;
-            let comp = self.daig.comp(&fix_cell).ok_or_else(|| {
-                DaigError::Invariant(format!("loop head {h} has no fix computation"))
-            })?;
-            let (hd, k_prev) = comp.srcs[0]
-                .ctx()
-                .and_then(|c| c.last())
-                .ok_or_else(|| DaigError::Invariant(format!("bad fix source at {h}")))?;
-            debug_assert_eq!(hd, h);
-            sigma = sigma.push(h, k_prev);
-        }
-        let name = Name::State { loc, ctx: sigma };
-        if !self.daig.contains(&name) {
-            return Err(DaigError::NoSuchCell(name.to_string()));
-        }
-        Ok(name)
+        resolve_loc_cell(self, loc, |fa, cell| {
+            query(&mut fa.daig, &fa.cfg, memo, cell, resolver, stats).map(|_| ())
+        })
     }
 
     /// Queries the abstract state at the function's exit.
@@ -314,7 +299,7 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
     /// See [`FuncAnalysis::query_loc`].
     pub fn query_exit(
         &mut self,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         resolver: &mut dyn CallResolver<D>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
@@ -328,12 +313,62 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
     /// See [`crate::query::evaluate_all`].
     pub fn evaluate_all(
         &mut self,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         resolver: &mut dyn CallResolver<D>,
         stats: &mut QueryStats,
     ) -> Result<(), DaigError> {
         crate::query::evaluate_all(&mut self.daig, &self.cfg, memo, resolver, stats)
     }
+}
+
+/// Resolves the name of the fixed-point-consistent cell at `loc`,
+/// demanding each enclosing loop's fixed point (outermost first) through
+/// `demand` — the one place the fix-chain walk is encoded, shared by the
+/// sequential evaluator ([`FuncAnalysis::query_loc`]) and `dai-engine`'s
+/// parallel scheduler, so the two can never disagree about which cell a
+/// location query reads.
+///
+/// `demand(fa, cell)` must leave `cell` filled on success; how it gets
+/// there (sequential [`crate::query::query`], parallel frontier
+/// evaluation, …) is the caller's choice.
+///
+/// # Errors
+///
+/// [`DaigError::NoSuchCell`] if `loc` has no cell in the resolved
+/// iteration context; otherwise whatever `demand` reports.
+pub fn resolve_loc_cell<D, F>(
+    fa: &mut FuncAnalysis<D>,
+    loc: Loc,
+    mut demand: F,
+) -> Result<Name, DaigError>
+where
+    D: AbstractDomain,
+    F: FnMut(&mut FuncAnalysis<D>, &Name) -> Result<(), DaigError>,
+{
+    let chain = fa.cfg.enclosing_loops(loc);
+    let mut sigma = IterCtx::root();
+    for h in chain {
+        let fix_cell = Name::State {
+            loc: h,
+            ctx: sigma.clone(),
+        };
+        demand(fa, &fix_cell)?;
+        let comp = fa
+            .daig
+            .comp(&fix_cell)
+            .ok_or_else(|| DaigError::Invariant(format!("loop head {h} has no fix computation")))?;
+        let (hd, k_prev) = comp.srcs[0]
+            .ctx()
+            .and_then(|c| c.last())
+            .ok_or_else(|| DaigError::Invariant(format!("bad fix source at {h}")))?;
+        debug_assert_eq!(hd, h);
+        sigma = sigma.push(h, k_prev);
+    }
+    let name = Name::State { loc, ctx: sigma };
+    if !fa.daig.contains(&name) {
+        return Err(DaigError::NoSuchCell(name.to_string()));
+    }
+    Ok(name)
 }
 
 #[cfg(test)]
@@ -344,6 +379,7 @@ mod tests {
     use dai_domains::IntervalDomain;
     use dai_lang::cfg::lower_program;
     use dai_lang::parser::{parse_block, parse_program};
+    use dai_memo::MemoTable;
 
     type D = IntervalDomain;
 

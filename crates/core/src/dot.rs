@@ -201,6 +201,40 @@ mod tests {
     }
 
     #[test]
+    fn dot_is_deterministic_across_independent_constructions() {
+        // Exports must be byte-identical for *independently built* (and
+        // independently evaluated) DAIGs of the same program — cells and
+        // computations are emitted in sorted-`Name` order, never in
+        // hash-map order. This is what makes snapshots usable as golden
+        // values in tests and as engine `Snapshot` responses.
+        let src = "function f(n) { var i = 0; var s = 0; \
+                   while (i < n) { s = s + i; i = i + 1; } return s; }";
+        let export = || {
+            let mut fa = analysis(src);
+            let mut memo = MemoTable::new();
+            let mut stats = QueryStats::default();
+            fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                .unwrap();
+            to_dot(fa.daig(), &DotOptions::default())
+        };
+        let runs: Vec<String> = (0..3).map(|_| export()).collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+        // And the edit path stays deterministic too.
+        let export_after_edit = || {
+            let mut fa = analysis(src);
+            let mut memo = MemoTable::new();
+            let mut stats = QueryStats::default();
+            fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+                .unwrap();
+            let e0 = fa.cfg().edges().next().unwrap().id;
+            fa.relabel(e0, dai_lang::Stmt::Skip).unwrap();
+            to_dot(fa.daig(), &DotOptions::default())
+        };
+        assert_eq!(export_after_edit(), export_after_edit());
+    }
+
+    #[test]
     fn loop_daig_shows_fix_and_widen() {
         let fa = analysis("function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }");
         let dot = to_dot(fa.daig(), &DotOptions::default());

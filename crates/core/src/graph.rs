@@ -193,6 +193,33 @@ impl<D: AbstractDomain> Daig<D> {
         self.cells.values().filter(|v| v.is_some()).count()
     }
 
+    /// The *ready frontier*: empty cells whose computation has every input
+    /// filled — the cells a topological scheduler may evaluate right now.
+    /// Because the DAIG is acyclic, distinct frontier cells never read
+    /// each other, so they can be computed **in any order or in
+    /// parallel** with identical results. Non-consuming: the iterator
+    /// borrows the graph and the caller decides what to evaluate.
+    ///
+    /// This is the whole-graph frontier, the reference model for
+    /// schedulers (and what exhaustive evaluate-everything consumers
+    /// drain). `dai-engine`'s scheduler computes the same notion
+    /// restricted to a query's demanded cone, maintained incrementally
+    /// via missing-input counts rather than by re-scanning — see
+    /// `dai_engine::scheduler::evaluate_targets`.
+    ///
+    /// `fix` destinations appear in the frontier once both their iterate
+    /// inputs are filled; callers must route those through
+    /// [`crate::query::fix_step`] (they mutate the graph) rather than
+    /// [`crate::query::apply_ready`].
+    pub fn ready_frontier(&self) -> impl Iterator<Item = &Name> {
+        self.comps
+            .iter()
+            .filter(|(dest, comp)| {
+                self.value(dest).is_none() && comp.srcs.iter().all(|s| self.value(s).is_some())
+            })
+            .map(|(dest, _)| dest)
+    }
+
     /// Adds (or resets) a cell with an initial value.
     pub fn add_cell(&mut self, n: Name, v: Option<Value<D>>) {
         self.cells.insert(n, v);
@@ -443,6 +470,25 @@ mod tests {
         assert_eq!(d.dependents(&state(0)).count(), 1);
         d.remove_comp(&state(1));
         assert_eq!(d.dependents(&state(0)).count(), 0);
+    }
+
+    #[test]
+    fn ready_frontier_tracks_fill_state() {
+        let mut d = simple_daig();
+        // state(1) is empty with filled inputs: exactly the frontier.
+        let frontier: Vec<Name> = d.ready_frontier().cloned().collect();
+        assert_eq!(frontier, vec![state(1)]);
+        // Chain another empty cell behind it: not ready until state(1)
+        // fills.
+        d.add_cell(state(2), None);
+        d.add_comp(state(2), Func::Widen, vec![state(0), state(1)]);
+        let frontier: Vec<Name> = d.ready_frontier().cloned().collect();
+        assert_eq!(frontier, vec![state(1)]);
+        d.write(&state(1), Value::State(IntervalDomain::top()));
+        let frontier: Vec<Name> = d.ready_frontier().cloned().collect();
+        assert_eq!(frontier, vec![state(2)]);
+        d.write(&state(2), Value::State(IntervalDomain::top()));
+        assert_eq!(d.ready_frontier().count(), 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use dai_domains::{AbstractDomain, CallSite};
 use dai_lang::cfg::LoweredProgram;
 use dai_lang::edit::SpliceInfo;
 use dai_lang::{Block, CfgError, EdgeId, Loc, Stmt, Symbol};
-use dai_memo::MemoTable;
+use dai_memo::{MemoStore, MemoTable};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -103,7 +103,7 @@ impl<D: AbstractDomain> CallResolver<D> for InterResolver<'_, D> {
         pre: &D,
         stmt: &Stmt,
         edge: EdgeId,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         self.analyzer
@@ -232,7 +232,7 @@ impl<D: AbstractDomain> InterAnalyzer<D> {
         &mut self,
         f: &Symbol,
         ctx: &Context,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         self.ensure_unit(f, ctx)?;
@@ -254,7 +254,7 @@ impl<D: AbstractDomain> InterAnalyzer<D> {
         f: &Symbol,
         ctx: &Context,
         loc: Loc,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         self.ensure_unit(f, ctx)?;
@@ -280,7 +280,7 @@ impl<D: AbstractDomain> InterAnalyzer<D> {
         pre: &D,
         stmt: &Stmt,
         edge: EdgeId,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         let Stmt::Call { lhs, callee, args } = stmt else {
@@ -324,7 +324,7 @@ impl<D: AbstractDomain> InterAnalyzer<D> {
         &mut self,
         f: &Symbol,
         ctx: &Context,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<(), DaigError> {
         if *f == self.entry_fn && ctx.0.is_empty() {

@@ -68,11 +68,13 @@ pub mod query;
 pub mod strategy;
 pub mod summaries;
 
-pub use analysis::FuncAnalysis;
+pub use analysis::{resolve_loc_cell, FuncAnalysis};
 pub use driver::{Config, Driver, ProgramEdit};
 pub use graph::{Daig, DaigError, Func, Value};
 pub use interproc::{Context, ContextPolicy, InterAnalyzer};
 pub use name::{IterCtx, Name};
-pub use query::{CallResolver, IntraResolver, QueryStats};
+pub use query::{
+    apply_ready, collect_ready, fix_step, CallResolver, IntraResolver, QueryStats, ReadyComp,
+};
 pub use strategy::{Convergence, FixStrategy};
 pub use summaries::SummaryAnalyzer;

@@ -25,15 +25,16 @@
 use crate::build::unroll_loop;
 use crate::graph::{Daig, DaigError, Func, Value};
 use crate::name::Name;
+use crate::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
 use dai_lang::cfg::Cfg;
 use dai_lang::{EdgeId, Stmt};
-use dai_memo::{KeyBuilder, MemoTable};
+use dai_memo::{KeyBuilder, MemoStore};
 
 /// Resolves the abstract post-state of a call statement from the caller's
 /// pre-state. The interprocedural layer implements this by demanding the
 /// callee's exit; the intraprocedural default havocs via
-/// [`AbstractDomain::transfer`]. The shared memo table and statistics are
+/// [`AbstractDomain::transfer`]. The shared memo store and statistics are
 /// threaded through so nested cross-DAIG queries reuse them.
 pub trait CallResolver<D: AbstractDomain> {
     /// Computes the post-state of `stmt` (a call) on edge `edge` from
@@ -47,7 +48,7 @@ pub trait CallResolver<D: AbstractDomain> {
         pre: &D,
         stmt: &Stmt,
         edge: EdgeId,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError>;
 }
@@ -63,7 +64,7 @@ impl<D: AbstractDomain> CallResolver<D> for IntraResolver {
         pre: &D,
         stmt: &Stmt,
         _edge: EdgeId,
-        _memo: &mut MemoTable<Value<D>>,
+        _memo: &mut dyn MemoStore<Value<D>>,
         _stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         Ok(pre.transfer(stmt))
@@ -119,6 +120,254 @@ pub(crate) fn widen_dest_iterate(dest: &Name) -> Result<u32, DaigError> {
     }
 }
 
+/// A ready computation `n ← f(v₁, …, v_k)` with its input values cloned
+/// out of the DAIG, so applying it borrows neither the graph nor the
+/// analysis — which is what lets `dai-engine` apply many of these on
+/// worker threads while the scheduler thread keeps ownership of the DAIG.
+///
+/// `Fix` edges are never `ReadyComp`s: they are not functions but demands
+/// for convergence, and resolving them mutates the graph (unrolling);
+/// see [`fix_step`].
+#[derive(Debug, Clone)]
+pub struct ReadyComp<D: AbstractDomain> {
+    /// The destination cell.
+    pub dest: Name,
+    /// The analysis function (`Transfer`, `Join`, or `Widen`).
+    pub func: Func,
+    /// Input values in argument order.
+    pub inputs: Vec<Value<D>>,
+    /// For transfers: the edge whose statement cell feeds input 0 (needed
+    /// to resolve calls).
+    pub stmt_edge: Option<EdgeId>,
+    /// The iteration strategy of the owning DAIG (drives `⊔` vs `∇` on
+    /// widen edges).
+    pub strategy: FixStrategy,
+}
+
+/// Clones the ready computation for `dest` out of `daig`.
+///
+/// # Errors
+///
+/// [`DaigError::Invariant`] if `dest` has no computation, the computation
+/// is a `fix` edge, or any input is still empty — callers are expected to
+/// pick `dest` from [`Daig::ready_frontier`].
+pub fn collect_ready<D: AbstractDomain>(
+    daig: &Daig<D>,
+    dest: &Name,
+) -> Result<ReadyComp<D>, DaigError> {
+    let comp = daig
+        .comp(dest)
+        .ok_or_else(|| DaigError::Invariant(format!("cell {dest} has no computation")))?;
+    if comp.func == Func::Fix {
+        return Err(DaigError::Invariant(format!(
+            "fix edge at {dest} is not a ready computation (use fix_step)"
+        )));
+    }
+    let inputs = comp
+        .srcs
+        .iter()
+        .map(|s| {
+            daig.value(s)
+                .cloned()
+                .ok_or_else(|| DaigError::Invariant(format!("{dest} input {s} is empty")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let stmt_edge = match (comp.func, comp.srcs.first()) {
+        (Func::Transfer, Some(Name::Stmt(e))) => Some(*e),
+        (Func::Transfer, other) => {
+            return Err(DaigError::Invariant(format!(
+                "transfer stmt source {other:?} is not a statement cell"
+            )));
+        }
+        _ => None,
+    };
+    Ok(ReadyComp {
+        dest: dest.clone(),
+        func: comp.func,
+        inputs,
+        stmt_edge,
+        strategy: daig.strategy(),
+    })
+}
+
+/// Applies a ready computation: exactly the `Q-Match`/`Q-Miss` step of
+/// Fig. 8, without touching the DAIG. The sequential [`query`] loop and
+/// `dai-engine`'s parallel scheduler both call this, which is what makes
+/// concurrent evaluation bit-identical to sequential evaluation: every
+/// cell value is produced by this one function from the same inputs.
+///
+/// # Errors
+///
+/// Propagates resolver failures and input-typing violations.
+pub fn apply_ready<D: AbstractDomain>(
+    rc: &ReadyComp<D>,
+    memo: &mut dyn MemoStore<Value<D>>,
+    resolver: &mut dyn CallResolver<D>,
+    stats: &mut QueryStats,
+) -> Result<Value<D>, DaigError> {
+    match rc.func {
+        Func::Fix => Err(DaigError::Invariant(format!(
+            "fix edge at {} cannot be applied as a ready computation",
+            rc.dest
+        ))),
+        Func::Transfer => {
+            let stmt = rc.inputs[0].as_stmt().ok_or_else(|| {
+                DaigError::Invariant(format!("transfer for {} has no statement", rc.dest))
+            })?;
+            let pre = rc.inputs[1].as_state().ok_or_else(|| {
+                DaigError::Invariant(format!("transfer for {} has no pre-state", rc.dest))
+            })?;
+            if let Stmt::Call { .. } = stmt {
+                // Calls: resolve through the interprocedural layer and do
+                // not memoize (the result depends on the callee's current
+                // body).
+                let edge = rc.stmt_edge.ok_or_else(|| {
+                    DaigError::Invariant(format!("call transfer for {} lost its edge", rc.dest))
+                })?;
+                stats.computed += 1;
+                Ok(Value::State(
+                    resolver.resolve(pre, stmt, edge, memo, stats)?,
+                ))
+            } else {
+                let key = KeyBuilder::new(Func::Transfer.memo_symbol())
+                    .push(stmt)
+                    .push(pre)
+                    .finish();
+                match memo.fetch(key) {
+                    Some(v) => {
+                        stats.memo_matched += 1;
+                        Ok(v)
+                    }
+                    None => {
+                        let v = Value::State(pre.transfer(stmt));
+                        memo.record(key, v.clone());
+                        stats.computed += 1;
+                        Ok(v)
+                    }
+                }
+            }
+        }
+        Func::Join | Func::Widen => {
+            let states: Vec<&D> = rc
+                .inputs
+                .iter()
+                .map(|v| {
+                    v.as_state().ok_or_else(|| {
+                        DaigError::Invariant(format!("{} input is not a state", rc.dest))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            // The operator a widen edge applies depends on the strategy
+            // and on which iterate it produces (delayed widening joins
+            // early iterations); the memo key uses the symbol of the
+            // operator actually applied, so a delayed widen shares
+            // entries with genuine joins.
+            let iterate = if rc.func == Func::Widen {
+                Some(widen_dest_iterate(&rc.dest)?)
+            } else {
+                None
+            };
+            let symbol = match iterate {
+                Some(k) => rc.strategy.combine_symbol(k),
+                None => Func::Join.memo_symbol(),
+            };
+            let mut kb = KeyBuilder::new(symbol);
+            for s in &states {
+                kb = kb.push(*s);
+            }
+            let key = kb.finish();
+            match memo.fetch(key) {
+                Some(v) => {
+                    stats.memo_matched += 1;
+                    Ok(v)
+                }
+                None => {
+                    let out = match iterate {
+                        None => {
+                            let mut it = states.iter();
+                            let first = (*it.next().expect("join arity >= 2")).clone();
+                            it.fold(first, |acc, s| acc.join(s))
+                        }
+                        Some(k) => rc.strategy.combine(k, states[0], states[1]),
+                    };
+                    let v = Value::State(out);
+                    memo.record(key, v.clone());
+                    stats.computed += 1;
+                    Ok(v)
+                }
+            }
+        }
+    }
+}
+
+/// Resolves one `fix` edge whose two iterate inputs are filled: either the
+/// iterates agree under the strategy's convergence test and the fixed
+/// point is written (`Q-Loop-Converge`, returns `true`), or the loop is
+/// unrolled one more abstract iteration (`Q-Loop-Unroll`, returns `false`)
+/// and the caller must re-demand the (new) inputs.
+///
+/// # Errors
+///
+/// [`DaigError::Invariant`] if `dest` is not a fix destination with filled
+/// state inputs.
+pub fn fix_step<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    dest: &Name,
+    stats: &mut QueryStats,
+) -> Result<bool, DaigError> {
+    let comp = daig
+        .comp(dest)
+        .ok_or_else(|| DaigError::Invariant(format!("cell {dest} has no computation")))?
+        .clone();
+    if comp.func != Func::Fix {
+        return Err(DaigError::Invariant(format!("{dest} is not a fix cell")));
+    }
+    let v0 = daig
+        .value(&comp.srcs[0])
+        .ok_or_else(|| DaigError::Invariant(format!("fix at {dest} input 0 empty")))?
+        .clone();
+    let v1 = daig
+        .value(&comp.srcs[1])
+        .ok_or_else(|| DaigError::Invariant(format!("fix at {dest} input 1 empty")))?;
+    let converged = match (v0.as_state(), v1.as_state()) {
+        (Some(older), Some(newer)) => daig.strategy().converged(older, newer),
+        _ => {
+            return Err(DaigError::Invariant(format!(
+                "fix at {dest} reads non-state iterates"
+            )));
+        }
+    };
+    if converged {
+        // Q-Loop-Converge: the older iterate is the (post-) fixed point;
+        // under `=` convergence the two coincide.
+        daig.write(dest, v0);
+        stats.fix_converged += 1;
+        return Ok(true);
+    }
+    // Q-Loop-Unroll.
+    let (head, sigma) = match dest {
+        Name::State { loc, ctx } => (*loc, ctx.clone()),
+        other => {
+            return Err(DaigError::Invariant(format!(
+                "fix destination {other} is not a state cell"
+            )));
+        }
+    };
+    let k = match comp.srcs[1].ctx().and_then(|c| c.last()) {
+        Some((h, k)) if h == head => k,
+        _ => {
+            return Err(DaigError::Invariant(format!(
+                "fix source {} is not an iterate of {head}",
+                comp.srcs[1]
+            )));
+        }
+    };
+    unroll_loop(daig, cfg, head, &sigma, k);
+    stats.unrolls += 1;
+    Ok(false)
+}
+
 /// Evaluates the cell named `n`, demanding its transitive dependencies and
 /// unrolling loops as needed.
 ///
@@ -130,7 +379,7 @@ pub(crate) fn widen_dest_iterate(dest: &Name) -> Result<u32, DaigError> {
 pub fn query<D: AbstractDomain>(
     daig: &mut Daig<D>,
     cfg: &Cfg,
-    memo: &mut MemoTable<Value<D>>,
+    memo: &mut dyn MemoStore<Value<D>>,
     n: &Name,
     resolver: &mut dyn CallResolver<D>,
     stats: &mut QueryStats,
@@ -183,161 +432,25 @@ pub fn query<D: AbstractDomain>(
             continue;
         }
         // All inputs ready: apply the matching rule.
-        match comp.func {
-            Func::Fix => {
-                let v0 = daig.value(&comp.srcs[0]).expect("ready").clone();
-                let v1 = daig.value(&comp.srcs[1]).expect("ready").clone();
-                let converged = match (v0.as_state(), v1.as_state()) {
-                    (Some(older), Some(newer)) => daig.strategy().converged(older, newer),
-                    _ => {
-                        return Err(DaigError::Invariant(format!(
-                            "fix at {top} reads non-state iterates"
-                        )));
-                    }
-                };
-                if converged {
-                    // Q-Loop-Converge: the older iterate is the (post-)
-                    // fixed point; under `=` convergence the two coincide.
-                    daig.write(&top, v0);
-                    stats.fix_converged += 1;
-                    stack.pop();
-                } else {
-                    // Q-Loop-Unroll.
-                    unroll_guard += 1;
-                    if unroll_guard > MAX_UNROLLS_PER_QUERY {
-                        return Err(DaigError::Invariant(format!(
-                            "loop at {top} exceeded {MAX_UNROLLS_PER_QUERY} unrollings: \
-                             widening does not converge"
-                        )));
-                    }
-                    let (head, sigma) = match &top {
-                        Name::State { loc, ctx } => (*loc, ctx.clone()),
-                        other => {
-                            return Err(DaigError::Invariant(format!(
-                                "fix destination {other} is not a state cell"
-                            )));
-                        }
-                    };
-                    let k = match comp.srcs[1].ctx().and_then(|c| c.last()) {
-                        Some((h, k)) if h == head => k,
-                        _ => {
-                            return Err(DaigError::Invariant(format!(
-                                "fix source {} is not an iterate of {head}",
-                                comp.srcs[1]
-                            )));
-                        }
-                    };
-                    unroll_loop(daig, cfg, head, &sigma, k);
-                    stats.unrolls += 1;
-                    // Leave `top` on the stack: the fix edge now demands
-                    // the next iterate.
+        if comp.func == Func::Fix {
+            if fix_step(daig, cfg, &top, stats)? {
+                stack.pop();
+            } else {
+                // Leave `top` on the stack: the fix edge now demands the
+                // next iterate.
+                unroll_guard += 1;
+                if unroll_guard > MAX_UNROLLS_PER_QUERY {
+                    return Err(DaigError::Invariant(format!(
+                        "loop at {top} exceeded {MAX_UNROLLS_PER_QUERY} unrollings: \
+                         widening does not converge"
+                    )));
                 }
             }
-            Func::Transfer => {
-                let stmt = daig
-                    .value(&comp.srcs[0])
-                    .and_then(|v| v.as_stmt())
-                    .ok_or_else(|| {
-                        DaigError::Invariant(format!("transfer for {top} has no statement"))
-                    })?
-                    .clone();
-                let pre = daig
-                    .value(&comp.srcs[1])
-                    .and_then(|v| v.as_state())
-                    .ok_or_else(|| {
-                        DaigError::Invariant(format!("transfer for {top} has no pre-state"))
-                    })?
-                    .clone();
-                let value = if let Stmt::Call { .. } = &stmt {
-                    // Calls: resolve through the interprocedural layer and
-                    // do not memoize (the result depends on the callee's
-                    // current body).
-                    let edge = match &comp.srcs[0] {
-                        Name::Stmt(e) => *e,
-                        other => {
-                            return Err(DaigError::Invariant(format!(
-                                "transfer stmt source {other} is not a statement cell"
-                            )));
-                        }
-                    };
-                    stats.computed += 1;
-                    Value::State(resolver.resolve(&pre, &stmt, edge, memo, stats)?)
-                } else {
-                    let key = KeyBuilder::new(Func::Transfer.memo_symbol())
-                        .push(&stmt)
-                        .push(&pre)
-                        .finish();
-                    match memo.get(key) {
-                        Some(v) => {
-                            stats.memo_matched += 1;
-                            v.clone()
-                        }
-                        None => {
-                            let v = Value::State(pre.transfer(&stmt));
-                            memo.insert(key, v.clone());
-                            stats.computed += 1;
-                            v
-                        }
-                    }
-                };
-                daig.write(&top, value);
-                stack.pop();
-            }
-            Func::Join | Func::Widen => {
-                let states: Vec<D> = comp
-                    .srcs
-                    .iter()
-                    .map(|s| {
-                        daig.value(s)
-                            .and_then(|v| v.as_state())
-                            .cloned()
-                            .ok_or_else(|| {
-                                DaigError::Invariant(format!("{top} input {s} is not a state"))
-                            })
-                    })
-                    .collect::<Result<_, _>>()?;
-                // The operator a widen edge applies depends on the
-                // strategy and on which iterate it produces (delayed
-                // widening joins early iterations); the memo key uses the
-                // symbol of the operator actually applied, so a delayed
-                // widen shares entries with genuine joins.
-                let iterate = if comp.func == Func::Widen {
-                    Some(widen_dest_iterate(&top)?)
-                } else {
-                    None
-                };
-                let symbol = match iterate {
-                    Some(k) => daig.strategy().combine_symbol(k),
-                    None => Func::Join.memo_symbol(),
-                };
-                let mut kb = KeyBuilder::new(symbol);
-                for s in &states {
-                    kb = kb.push(s);
-                }
-                let key = kb.finish();
-                let value = match memo.get(key) {
-                    Some(v) => {
-                        stats.memo_matched += 1;
-                        v.clone()
-                    }
-                    None => {
-                        let out = match iterate {
-                            None => {
-                                let mut it = states.iter();
-                                let first = it.next().expect("join arity >= 2").clone();
-                                it.fold(first, |acc, s| acc.join(s))
-                            }
-                            Some(k) => daig.strategy().combine(k, &states[0], &states[1]),
-                        };
-                        let v = Value::State(out);
-                        memo.insert(key, v.clone());
-                        stats.computed += 1;
-                        v
-                    }
-                };
-                daig.write(&top, value);
-                stack.pop();
-            }
+        } else {
+            let rc = collect_ready(daig, &top)?;
+            let value = apply_ready(&rc, memo, resolver, stats)?;
+            daig.write(&top, value);
+            stack.pop();
         }
     }
     Ok(daig.value(n).expect("query completed").clone())
@@ -352,7 +465,7 @@ pub fn query<D: AbstractDomain>(
 pub fn evaluate_all<D: AbstractDomain>(
     daig: &mut Daig<D>,
     cfg: &Cfg,
-    memo: &mut MemoTable<Value<D>>,
+    memo: &mut dyn MemoStore<Value<D>>,
     resolver: &mut dyn CallResolver<D>,
     stats: &mut QueryStats,
 ) -> Result<(), DaigError> {
@@ -372,5 +485,144 @@ pub fn evaluate_all<D: AbstractDomain>(
                 query(daig, cfg, memo, &n, resolver, stats)?;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::initial_daig;
+    use dai_domains::IntervalDomain;
+    use dai_lang::cfg::lower_program;
+    use dai_lang::parser::parse_program;
+    use dai_memo::{MemoTable, SharedMemoTable};
+
+    type D = IntervalDomain;
+
+    fn cfg_of(src: &str) -> Cfg {
+        lower_program(&parse_program(src).unwrap()).unwrap().cfgs()[0].clone()
+    }
+
+    /// Drains the ready frontier to quiescence — a single-threaded model
+    /// of the dai-engine scheduler: pure computations via
+    /// `collect_ready`/`apply_ready`, fix edges via `fix_step`.
+    fn frontier_schedule(daig: &mut Daig<D>, cfg: &Cfg, memo: &mut dyn MemoStore<Value<D>>) {
+        let mut stats = QueryStats::default();
+        loop {
+            let mut ready: Vec<Name> = daig.ready_frontier().cloned().collect();
+            if ready.is_empty() {
+                break;
+            }
+            ready.sort();
+            let mut progressed = false;
+            for n in ready {
+                if daig.value(&n).is_some() || !daig.contains(&n) {
+                    continue; // filled or removed by an unroll this round
+                }
+                let comp = daig.comp(&n).expect("frontier cells have comps");
+                if comp.srcs.iter().any(|s| daig.value(s).is_none()) {
+                    continue; // inputs dirtied by an unroll this round
+                }
+                if comp.func == Func::Fix {
+                    let _ = fix_step(daig, cfg, &n, &mut stats).unwrap();
+                } else {
+                    let rc = collect_ready(daig, &n).unwrap();
+                    let v = apply_ready(&rc, memo, &mut IntraResolver, &mut stats).unwrap();
+                    daig.write(&n, v);
+                }
+                progressed = true;
+            }
+            assert!(progressed, "frontier stalled");
+        }
+    }
+
+    const LOOPY: &str =
+        "function f(n) { var i = 0; var s = 0; while (i < 8) { s = s + i; i = i + 1; } return s; }";
+
+    #[test]
+    fn frontier_schedule_matches_sequential_query() {
+        // Evaluate one copy by demanded sequential query, another by
+        // draining the ready frontier; every shared cell must agree.
+        let cfg = cfg_of(LOOPY);
+        let mut seq = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let mut seq_memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        evaluate_all(
+            &mut seq,
+            &cfg,
+            &mut seq_memo,
+            &mut IntraResolver,
+            &mut stats,
+        )
+        .unwrap();
+
+        let mut par = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let mut shared = SharedMemoTable::new(4);
+        frontier_schedule(&mut par, &cfg, &mut shared);
+
+        let mut names: Vec<Name> = seq.names().cloned().collect();
+        names.sort();
+        let mut par_names: Vec<Name> = par.names().cloned().collect();
+        par_names.sort();
+        assert_eq!(names, par_names, "same namespace after unrolling");
+        for n in &names {
+            assert_eq!(seq.value(n), par.value(n), "cell {n} differs");
+        }
+    }
+
+    #[test]
+    fn apply_ready_rejects_fix_and_unready_cells() {
+        let cfg = cfg_of(LOOPY);
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        // Some cell is empty with empty inputs initially; collect_ready
+        // must refuse it.
+        let unready = daig
+            .names()
+            .find(|n| {
+                daig.value(n).is_none()
+                    && daig
+                        .comp(n)
+                        .is_some_and(|c| c.srcs.iter().any(|s| daig.value(s).is_none()))
+            })
+            .expect("fresh loop DAIG has unready cells")
+            .clone();
+        assert!(collect_ready(&daig, &unready).is_err());
+    }
+
+    #[test]
+    fn fix_step_unrolls_then_converges() {
+        let cfg = cfg_of(LOOPY);
+        let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        let head = cfg.loop_heads()[0];
+        let fix_cell = Name::State {
+            loc: head,
+            ctx: crate::name::IterCtx::root(),
+        };
+        // Demand everything below the fix cell, then step it by hand.
+        let mut unrolled = 0;
+        loop {
+            let comp = daig.comp(&fix_cell).unwrap().clone();
+            for s in &comp.srcs {
+                query(
+                    &mut daig,
+                    &cfg,
+                    &mut memo,
+                    s,
+                    &mut IntraResolver,
+                    &mut stats,
+                )
+                .unwrap();
+            }
+            if fix_step(&mut daig, &cfg, &fix_cell, &mut stats).unwrap() {
+                break;
+            }
+            unrolled += 1;
+            assert!(unrolled < 100, "diverged");
+        }
+        assert!(unrolled >= 1, "interval loop needs at least one unroll");
+        assert!(daig.value(&fix_cell).is_some());
+        daig.check_well_formed().unwrap();
     }
 }

@@ -44,7 +44,7 @@ use dai_domains::{AbstractDomain, CallSite};
 use dai_lang::cfg::LoweredProgram;
 use dai_lang::edit::SpliceInfo;
 use dai_lang::{Block, CfgError, EdgeId, Loc, Stmt, Symbol};
-use dai_memo::MemoTable;
+use dai_memo::{MemoStore, MemoTable};
 use std::collections::{HashMap, HashSet};
 
 /// Counters for summary-table reuse (the phase-2 → phase-1 dependency
@@ -101,7 +101,7 @@ impl<D: AbstractDomain> CallResolver<D> for FunctionalResolver<'_, D> {
         pre: &D,
         stmt: &Stmt,
         edge: EdgeId,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         self.analyzer
@@ -183,7 +183,7 @@ impl<D: AbstractDomain> SummaryAnalyzer<D> {
         pre: &D,
         stmt: &Stmt,
         edge: EdgeId,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         let Stmt::Call { lhs, callee, args } = stmt else {
@@ -215,7 +215,7 @@ impl<D: AbstractDomain> SummaryAnalyzer<D> {
         &mut self,
         f: &Symbol,
         entry: D,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         let key = (f.clone(), entry);
@@ -259,7 +259,7 @@ impl<D: AbstractDomain> SummaryAnalyzer<D> {
         f: &Symbol,
         entry: &D,
         loc: Loc,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<D, DaigError> {
         let key = (f.clone(), entry.clone());
@@ -280,7 +280,7 @@ impl<D: AbstractDomain> SummaryAnalyzer<D> {
     /// subsequent queries are cheap.
     fn discover_entries(
         &mut self,
-        memo: &mut MemoTable<Value<D>>,
+        memo: &mut dyn MemoStore<Value<D>>,
         stats: &mut QueryStats,
     ) -> Result<HashMap<Symbol, Vec<D>>, DaigError> {
         if let Some(cached) = &self.entries_cache {

@@ -1,0 +1,417 @@
+//! The long-lived analysis engine: sessions, a request stream, and the
+//! worker pool that serves both requests and intra-query cell batches.
+//!
+//! Concurrency structure:
+//!
+//! * the **session map** is behind an `RwLock`; opening/closing sessions
+//!   takes the write lock, serving requests only reads it;
+//! * each **session** is behind its own `Mutex`, so requests against the
+//!   same program serialize (edits and queries interleave safely) while
+//!   different sessions run in parallel across workers;
+//! * the **memo table** is the sharded [`SharedMemoTable`], shared by all
+//!   sessions and workers — cross-session reuse is sound because entries
+//!   are keyed by content hashes of the computation's inputs;
+//! * **requests** are submitted with [`Engine::submit`] (returning a
+//!   [`Ticket`]) or synchronously with [`Engine::request`]; workers pull
+//!   them FIFO and run them to completion, fanning per-frontier cell
+//!   batches back onto the pool (see [`crate::scheduler`]).
+
+use dai_core::driver::ProgramEdit;
+use dai_core::graph::{DaigError, Value};
+use dai_core::query::QueryStats;
+use dai_core::strategy::FixStrategy;
+use dai_domains::AbstractDomain;
+use dai_lang::cfg::LoweredProgram;
+use dai_lang::{CfgError, Loc};
+use dai_memo::{MemoStats, SharedMemoTable};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+
+use crate::pool::{PoolHandle, WorkerPool};
+use crate::session::{EditOutcome, Session, SessionSnapshot};
+
+/// Identifies a session within one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Shards of the shared memo table.
+    pub memo_shards: usize,
+    /// Optional total memo capacity (entries) across shards.
+    pub memo_capacity: Option<usize>,
+    /// Loop-head iteration strategy applied to every session.
+    pub strategy: FixStrategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 1,
+            memo_shards: SharedMemoTable::<()>::DEFAULT_SHARDS,
+            memo_capacity: None,
+            strategy: FixStrategy::PAPER,
+        }
+    }
+}
+
+/// One request in the engine's stream.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Demand the abstract state at `loc` of `func`.
+    Query {
+        /// Target session.
+        session: SessionId,
+        /// Function name.
+        func: String,
+        /// Program location.
+        loc: Loc,
+    },
+    /// Apply a program edit.
+    Edit {
+        /// Target session.
+        session: SessionId,
+        /// The edit.
+        edit: ProgramEdit,
+    },
+    /// Export a deterministic DOT snapshot of the session's DAIGs.
+    Snapshot {
+        /// Target session.
+        session: SessionId,
+    },
+    /// Read engine-wide statistics.
+    Stats,
+}
+
+/// A successful response.
+#[derive(Clone)]
+pub enum Response<D> {
+    /// The queried abstract state.
+    State(D),
+    /// Structural outcome of an edit.
+    Edited(EditOutcome),
+    /// The session snapshot.
+    Snapshot(SessionSnapshot),
+    /// Engine statistics.
+    Stats(EngineStats),
+}
+
+impl<D> Response<D> {
+    /// The state, if this response carries one.
+    pub fn into_state(self) -> Option<D> {
+        match self {
+            Response::State(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Failures surfaced to requesters.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Unknown session id.
+    NoSuchSession(SessionId),
+    /// Unknown function within a session.
+    NoSuchFunction(String),
+    /// A DAIG-level failure.
+    Daig(DaigError),
+    /// A CFG-level edit failure.
+    Cfg(CfgError),
+    /// The responder was dropped (worker panicked or engine shut down).
+    Disconnected,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoSuchSession(id) => write!(f, "no such session {id}"),
+            EngineError::NoSuchFunction(name) => write!(f, "no such function `{name}`"),
+            EngineError::Daig(e) => write!(f, "{e}"),
+            EngineError::Cfg(e) => write!(f, "{e}"),
+            EngineError::Disconnected => write!(f, "engine request dropped (worker failure)"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DaigError> for EngineError {
+    fn from(e: DaigError) -> EngineError {
+        EngineError::Daig(e)
+    }
+}
+
+impl From<CfgError> for EngineError {
+    fn from(e: CfgError) -> EngineError {
+        EngineError::Cfg(e)
+    }
+}
+
+/// A pending response; [`Ticket::wait`] blocks until the worker finishes.
+pub struct Ticket<D> {
+    rx: mpsc::Receiver<Result<Response<D>, EngineError>>,
+}
+
+impl<D> Ticket<D> {
+    /// Blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// The request's own failure, or [`EngineError::Disconnected`] if the
+    /// worker died.
+    pub fn wait(self) -> Result<Response<D>, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::Disconnected))
+    }
+}
+
+/// Engine-wide counters plus the shared memo statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Worker threads serving the engine.
+    pub workers: usize,
+    /// Open sessions.
+    pub sessions: usize,
+    /// Queries served.
+    pub queries: u64,
+    /// Edits applied.
+    pub edits: u64,
+    /// Snapshots exported.
+    pub snapshots: u64,
+    /// Aggregated evaluation work (computed/memo-matched/reused cells,
+    /// unrollings, fixed points) across all requests.
+    pub query_stats: QueryStats,
+    /// Shared memo table counters.
+    pub memo: MemoStats,
+}
+
+struct EngineShared<D: AbstractDomain> {
+    sessions: RwLock<HashMap<SessionId, Arc<Mutex<Session<D>>>>>,
+    memo: SharedMemoTable<Value<D>>,
+    strategy: FixStrategy,
+    next_session: AtomicU64,
+    queries: AtomicU64,
+    edits: AtomicU64,
+    snapshots: AtomicU64,
+    query_stats: Mutex<QueryStats>,
+}
+
+/// The concurrent, multi-session demanded-analysis engine.
+pub struct Engine<D: AbstractDomain> {
+    pool: WorkerPool,
+    shared: Arc<EngineShared<D>>,
+}
+
+impl<D: AbstractDomain> Engine<D> {
+    /// An engine with `workers` threads and default memo sharding.
+    pub fn new(workers: usize) -> Engine<D> {
+        Engine::with_config(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Engine<D> {
+        let memo = match config.memo_capacity {
+            Some(cap) => SharedMemoTable::with_capacity_limit(config.memo_shards, cap),
+            None => SharedMemoTable::new(config.memo_shards),
+        };
+        Engine {
+            pool: WorkerPool::new(config.workers),
+            shared: Arc::new(EngineShared {
+                sessions: RwLock::new(HashMap::new()),
+                memo,
+                strategy: config.strategy,
+                next_session: AtomicU64::new(1),
+                queries: AtomicU64::new(0),
+                edits: AtomicU64::new(0),
+                snapshots: AtomicU64::new(0),
+                query_stats: Mutex::new(QueryStats::default()),
+            }),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Opens a session over `program`; the returned id addresses it in
+    /// requests.
+    pub fn open_session(&self, name: impl Into<String>, program: LoweredProgram) -> SessionId {
+        let id = SessionId(self.shared.next_session.fetch_add(1, Ordering::Relaxed));
+        let session = Session::new(name, program, self.shared.strategy);
+        self.shared
+            .sessions
+            .write()
+            .expect("session map poisoned")
+            .insert(id, Arc::new(Mutex::new(session)));
+        id
+    }
+
+    /// Closes a session, returning `false` if the id was unknown.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.shared
+            .sessions
+            .write()
+            .expect("session map poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// The current program of a session (cloned), for inspection and
+    /// oracle comparison in tests.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoSuchSession`] for unknown ids.
+    pub fn program_of(&self, id: SessionId) -> Result<LoweredProgram, EngineError> {
+        let session = self.session(id)?;
+        let guard = session.lock().expect("session poisoned");
+        Ok(guard.program().clone())
+    }
+
+    fn session(&self, id: SessionId) -> Result<Arc<Mutex<Session<D>>>, EngineError> {
+        session_of(&self.shared, id)
+    }
+
+    /// Submits a request to the worker pool, returning a [`Ticket`] for
+    /// the response.
+    pub fn submit(&self, request: Request) -> Ticket<D> {
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::clone(&self.shared);
+        let pool = self.pool.handle();
+        self.pool.handle().spawn(move || {
+            let result = process(&shared, &pool, request);
+            let _ = tx.send(result);
+        });
+        Ticket { rx }
+    }
+
+    /// Submits a request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ticket::wait`].
+    pub fn request(&self, request: Request) -> Result<Response<D>, EngineError> {
+        self.submit(request).wait()
+    }
+
+    /// Convenience: a synchronous query returning the abstract state.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::request`].
+    pub fn query(&self, session: SessionId, func: &str, loc: Loc) -> Result<D, EngineError> {
+        match self.request(Request::Query {
+            session,
+            func: func.to_string(),
+            loc,
+        })? {
+            Response::State(d) => Ok(d),
+            other => Err(EngineError::Daig(DaigError::Invariant(format!(
+                "query answered with a non-state response {other:?}",
+            )))),
+        }
+    }
+
+    /// Current engine-wide statistics (read without blocking workers).
+    pub fn stats(&self) -> EngineStats {
+        snapshot_stats(&self.shared, self.pool.workers())
+    }
+}
+
+/// Resolves a session id against the shared map (used by both the
+/// `Engine` methods and the in-stream request handler).
+fn session_of<D: AbstractDomain>(
+    shared: &EngineShared<D>,
+    id: SessionId,
+) -> Result<Arc<Mutex<Session<D>>>, EngineError> {
+    shared
+        .sessions
+        .read()
+        .expect("session map poisoned")
+        .get(&id)
+        .cloned()
+        .ok_or(EngineError::NoSuchSession(id))
+}
+
+/// One place that assembles [`EngineStats`], used by both
+/// [`Engine::stats`] and the in-stream [`Request::Stats`] handler.
+fn snapshot_stats<D: AbstractDomain>(shared: &EngineShared<D>, workers: usize) -> EngineStats {
+    EngineStats {
+        workers,
+        sessions: shared.sessions.read().expect("session map poisoned").len(),
+        queries: shared.queries.load(Ordering::Relaxed),
+        edits: shared.edits.load(Ordering::Relaxed),
+        snapshots: shared.snapshots.load(Ordering::Relaxed),
+        query_stats: *shared.query_stats.lock().expect("stats poisoned"),
+        memo: shared.memo.stats(),
+    }
+}
+
+impl<D: AbstractDomain> fmt::Debug for Response<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::State(_) => write!(f, "Response::State(..)"),
+            Response::Edited(o) => write!(f, "Response::Edited({o:?})"),
+            Response::Snapshot(_) => write!(f, "Response::Snapshot(..)"),
+            Response::Stats(s) => write!(f, "Response::Stats({s:?})"),
+        }
+    }
+}
+
+fn process<D: AbstractDomain>(
+    shared: &Arc<EngineShared<D>>,
+    pool: &PoolHandle,
+    request: Request,
+) -> Result<Response<D>, EngineError> {
+    match request {
+        Request::Query { session, func, loc } => {
+            let session = session_of(shared, session)?;
+            let mut guard = session.lock().expect("session poisoned");
+            let mut stats = QueryStats::default();
+            let out = guard.query_loc(&func, loc, &shared.memo, pool, &mut stats);
+            drop(guard);
+            if out.is_ok() {
+                shared.queries.fetch_add(1, Ordering::Relaxed);
+            }
+            shared
+                .query_stats
+                .lock()
+                .expect("stats poisoned")
+                .absorb(stats);
+            out.map(Response::State)
+        }
+        Request::Edit { session, edit } => {
+            let session = session_of(shared, session)?;
+            let mut guard = session.lock().expect("session poisoned");
+            let out = guard.apply_edit(&edit);
+            drop(guard);
+            if out.is_ok() {
+                shared.edits.fetch_add(1, Ordering::Relaxed);
+            }
+            out.map(Response::Edited)
+        }
+        Request::Snapshot { session } => {
+            let session = session_of(shared, session)?;
+            let guard = session.lock().expect("session poisoned");
+            let snap = guard.snapshot();
+            drop(guard);
+            shared.snapshots.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Snapshot(snap))
+        }
+        Request::Stats => Ok(Response::Stats(snapshot_stats(shared, pool.workers()))),
+    }
+}

@@ -1,0 +1,279 @@
+//! # dai-engine — a concurrent, multi-session demanded-analysis engine
+//!
+//! The paper's DAIGs are acyclic by construction (Definition 4.1), and its
+//! §8 observes that this acyclicity is a *parallelism* license: cells on
+//! the ready frontier never read each other, so independent branches of
+//! the dependency hypergraph can be evaluated concurrently with no
+//! soundness risk. This crate turns that observation into a long-lived
+//! service:
+//!
+//! * [`pool`] — a fixed worker pool whose `parallel_map` lets the thread
+//!   serving a request fan cell batches out to idle workers while always
+//!   participating itself (deadlock-free under full load);
+//! * [`scheduler`] — topological parallel evaluation of the demanded cone:
+//!   pure computations (`⟦·⟧♯`, `⊔`, `∇`) are applied on workers through
+//!   the *same* `dai_core::apply_ready` function the sequential evaluator
+//!   uses, while `fix` edges (which mutate the graph by unrolling) are
+//!   resolved on the scheduling thread;
+//! * [`session`] — one loaded program with per-function `FuncAnalysis`
+//!   units, created on demand, edited incrementally;
+//! * [`engine`] — the request stream: `Query { func, loc }`,
+//!   `Edit(ProgramEdit)`, `Snapshot`, and `Stats` against many sessions,
+//!   served concurrently over a sharded
+//!   [`dai_memo::SharedMemoTable`] that all sessions share.
+//!
+//! ## The consistency contract
+//!
+//! Every value the engine returns is **bit-identical** to what the
+//! sequential evaluator — and therefore the from-scratch batch oracle
+//! (`dai_core::batch`, Theorem 6.1) — produces for the same program and
+//! location, at every worker count. The scheduler preserves this by
+//! construction: a cell's value is computed by `apply_ready` from the
+//! cell's own inputs, memo entries are keyed by content hashes of those
+//! inputs (so cross-thread and cross-session reuse can only substitute
+//! equal values), and graph mutation stays on one thread. The
+//! `engine_consistency` integration suite enforces the contract against
+//! randomized edit/query interleavings for 1..=8 workers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dai_engine::{Engine, Request, Response};
+//! use dai_domains::IntervalDomain;
+//!
+//! let program = dai_lang::cfg::lower_program(&dai_lang::parse_program(
+//!     "function main() { var x = 1; while (x < 5) { x = x + 1; } return x; }",
+//! )?)?;
+//! let engine: Engine<IntervalDomain> = Engine::new(2);
+//! let session = engine.open_session("demo", program);
+//! let exit = engine.program_of(session)?.by_name("main").unwrap().exit();
+//! let state = engine.query(session, "main", exit)?;
+//! assert!(state.interval_of("x").contains(5));
+//! assert_eq!(engine.stats().queries, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod engine;
+pub mod pool;
+pub mod scheduler;
+pub mod session;
+
+pub use engine::{
+    Engine, EngineConfig, EngineError, EngineStats, Request, Response, SessionId, Ticket,
+};
+pub use pool::{PoolHandle, WorkerPool};
+pub use scheduler::evaluate_targets;
+pub use session::{EditOutcome, Session, SessionSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dai_core::driver::ProgramEdit;
+    use dai_domains::interval::Interval;
+    use dai_domains::IntervalDomain;
+    use dai_lang::cfg::lower_program;
+    use dai_lang::{parse_program, Symbol};
+
+    const SRC: &str = "function main() { var a = 1; var b = a + 2; return b; }
+                       function aux(p) { var q = p * 2; return q; }";
+
+    fn program() -> dai_lang::cfg::LoweredProgram {
+        lower_program(&parse_program(SRC).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn query_edit_requery_through_the_request_stream() {
+        let engine: Engine<IntervalDomain> = Engine::new(2);
+        let session = engine.open_session("t", program());
+        let exit = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .exit();
+        let before = engine.query(session, "main", exit).unwrap();
+        assert_eq!(before.interval_of("b"), Interval::constant(3));
+        // Edit a = 1 → a = 10 and re-query.
+        let edge = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .edges()
+            .find(|e| e.stmt.to_string() == "a = 1")
+            .unwrap()
+            .id;
+        let response = engine
+            .request(Request::Edit {
+                session,
+                edit: ProgramEdit::Relabel {
+                    func: Symbol::new("main"),
+                    edge,
+                    stmt: dai_lang::Stmt::Assign("a".into(), dai_lang::parse_expr("10").unwrap()),
+                },
+            })
+            .unwrap();
+        assert!(matches!(response, Response::Edited(_)));
+        let after = engine.query(session, "main", exit).unwrap();
+        assert_eq!(after.interval_of("b"), Interval::constant(12));
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.edits, 1);
+        assert_eq!(stats.sessions, 1);
+    }
+
+    #[test]
+    fn sessions_are_independent_and_concurrent() {
+        let engine: Engine<IntervalDomain> = Engine::new(4);
+        let ids: Vec<SessionId> = (0..8)
+            .map(|i| engine.open_session(format!("s{i}"), program()))
+            .collect();
+        let exit = engine
+            .program_of(ids[0])
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .exit();
+        // Fire all queries asynchronously, then collect.
+        let tickets: Vec<Ticket<IntervalDomain>> = ids
+            .iter()
+            .map(|&s| {
+                engine.submit(Request::Query {
+                    session: s,
+                    func: "main".to_string(),
+                    loc: exit,
+                })
+            })
+            .collect();
+        for t in tickets {
+            let state = t.wait().unwrap().into_state().unwrap();
+            assert_eq!(state.interval_of("b"), Interval::constant(3));
+        }
+        assert_eq!(engine.stats().queries, 8);
+        // Memo sharing across sessions: 8 identical programs mean the
+        // transfer/join entries recur, so hits must be strictly positive.
+        assert!(engine.stats().memo.hits > 0, "{:?}", engine.stats().memo);
+    }
+
+    #[test]
+    fn unknown_targets_error_cleanly() {
+        let engine: Engine<IntervalDomain> = Engine::new(1);
+        let session = engine.open_session("t", program());
+        assert!(matches!(
+            engine.query(SessionId(999), "main", dai_lang::Loc(0)),
+            Err(EngineError::NoSuchSession(_))
+        ));
+        assert!(matches!(
+            engine.query(session, "nope", dai_lang::Loc(0)),
+            Err(EngineError::NoSuchFunction(_))
+        ));
+        assert!(matches!(
+            engine.query(session, "main", dai_lang::Loc(424242)),
+            Err(EngineError::Daig(dai_core::DaigError::NoSuchCell(_)))
+        ));
+        assert!(engine.close_session(session));
+        assert!(!engine.close_session(session));
+    }
+
+    fn exit_of(engine: &Engine<IntervalDomain>, s: SessionId, f: &str) -> dai_lang::Loc {
+        engine.program_of(s).unwrap().by_name(f).unwrap().exit()
+    }
+
+    #[test]
+    fn rejected_edit_leaves_the_session_untouched() {
+        let engine: Engine<IntervalDomain> = Engine::new(2);
+        let session = engine.open_session("t", program());
+        let exit = exit_of(&engine, session, "main");
+        let before = engine.query(session, "main", exit).unwrap();
+        let edge = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .edges()
+            .find(|e| e.stmt.to_string() == "a = 1")
+            .unwrap()
+            .id;
+        // A self-recursive call violates the call-graph invariant; the
+        // edit must be rejected during staging, not half-applied.
+        let err = engine
+            .request(Request::Edit {
+                session,
+                edit: ProgramEdit::Relabel {
+                    func: Symbol::new("main"),
+                    edge,
+                    stmt: dai_lang::Stmt::Call {
+                        lhs: Some("a".into()),
+                        callee: Symbol::new("main"),
+                        args: vec![],
+                    },
+                },
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cfg(_)), "{err}");
+        // Program text is unchanged and further requests still work.
+        let still_there = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .edges()
+            .any(|e| e.stmt.to_string() == "a = 1");
+        assert!(still_there, "rejected edit mutated the program");
+        assert_eq!(engine.query(session, "main", exit).unwrap(), before);
+        // A valid edit afterwards still applies (the session is not
+        // poisoned).
+        let ok = engine.request(Request::Edit {
+            session,
+            edit: ProgramEdit::Relabel {
+                func: Symbol::new("main"),
+                edge,
+                stmt: dai_lang::Stmt::Assign("a".into(), dai_lang::parse_expr("7").unwrap()),
+            },
+        });
+        assert!(ok.is_ok());
+        let after = engine.query(session, "main", exit).unwrap();
+        assert_eq!(after.interval_of("b"), Interval::constant(9));
+        assert_eq!(engine.stats().edits, 1, "failed edits are not counted");
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_across_identical_sessions() {
+        let engine: Engine<IntervalDomain> = Engine::new(2);
+        let a = engine.open_session("snap", program());
+        let b = engine.open_session("snap", program());
+        for &s in &[a, b] {
+            let _ = engine
+                .query(s, "main", exit_of(&engine, s, "main"))
+                .unwrap();
+            let _ = engine.query(s, "aux", exit_of(&engine, s, "aux")).unwrap();
+        }
+        let snap_a = match engine.request(Request::Snapshot { session: a }).unwrap() {
+            Response::Snapshot(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        let snap_b = match engine.request(Request::Snapshot { session: b }).unwrap() {
+            Response::Snapshot(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(
+            snap_a, snap_b,
+            "structurally identical sessions must snapshot identically"
+        );
+        assert_eq!(snap_a.functions.len(), 2);
+        assert!(snap_a.functions[0].1.starts_with("digraph daig {"));
+    }
+
+    #[test]
+    fn stats_request_reports_through_the_stream() {
+        let engine: Engine<IntervalDomain> = Engine::new(3);
+        let _ = engine.open_session("t", program());
+        match engine.request(Request::Stats).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.workers, 3);
+                assert_eq!(s.sessions, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Topological, parallel evaluation of demanded DAIG cells.
+//!
+//! The paper's Definition 4.1 makes DAIGs acyclic, and §8 observes the
+//! consequence this module exploits: cells on the ready frontier never
+//! read each other, so they can be evaluated **concurrently** with results
+//! identical to any sequential order. The scheduler alternates two moves
+//! until the demanded targets are filled:
+//!
+//! 1. **fan-out** — clone every ready pure computation
+//!    ([`dai_core::collect_ready`]) in the demanded cone and apply them on
+//!    the worker pool ([`dai_core::apply_ready`] — the *same* function the
+//!    sequential `query` loop uses, which is what makes concurrent results
+//!    bit-identical), then write the values back;
+//! 2. **fix resolution** — when no pure computation is ready, step one
+//!    `fix` edge ([`dai_core::fix_step`]): either its fixed point is
+//!    written or the loop unrolls and the new iterate's cone joins the
+//!    demand.
+//!
+//! Graph mutation (write-back, unrolling) happens only on the scheduling
+//! thread; workers see cloned inputs and the sharded memo table. Memo
+//! races are benign: entries are keyed by content hashes of their inputs,
+//! so whichever worker wins the race records the same value any loser
+//! would have.
+
+use dai_core::analysis::FuncAnalysis;
+use dai_core::graph::{DaigError, Func, Value};
+use dai_core::name::Name;
+use dai_core::query::{apply_ready, collect_ready, fix_step, IntraResolver, QueryStats, ReadyComp};
+use dai_domains::AbstractDomain;
+use dai_memo::SharedMemoTable;
+use std::collections::{HashMap, HashSet};
+
+use crate::pool::PoolHandle;
+
+/// Guard against non-converging widenings, mirroring the sequential
+/// evaluator's bound.
+const MAX_UNROLLS: u64 = 1_000_000;
+
+/// Smallest frontier worth fanning out to the pool; below this the
+/// cross-thread hand-off costs more than the computations.
+const MIN_PARALLEL_BATCH: usize = 4;
+
+/// Evaluates `targets` (and their transitive demands) in `fa`, fanning
+/// ready computations out over `pool` and threading the shared memo table
+/// through every application.
+///
+/// On success every target cell holds a value — the same value the
+/// sequential [`dai_core::query`] evaluator produces, regardless of worker
+/// count or interleaving.
+///
+/// # Errors
+///
+/// * [`DaigError::NoSuchCell`] if a target is not in the DAIG's namespace;
+/// * [`DaigError::Invariant`] on internal inconsistency or divergence.
+pub fn evaluate_targets<D: AbstractDomain>(
+    fa: &mut FuncAnalysis<D>,
+    targets: &[Name],
+    memo: &SharedMemoTable<Value<D>>,
+    pool: &PoolHandle,
+    stats: &mut QueryStats,
+) -> Result<(), DaigError> {
+    for t in targets {
+        if !fa.daig().contains(t) {
+            return Err(DaigError::NoSuchCell(t.to_string()));
+        }
+        if fa.daig().value(t).is_some() {
+            stats.reused += 1;
+        }
+    }
+    let mut unroll_guard: u64 = 0;
+    // Epochs: within one epoch the graph's structure is fixed, so the
+    // demanded cone is traversed ONCE and then maintained incrementally —
+    // each cell carries its count of distinct unfilled inputs, write-backs
+    // decrement their dependents, and cells reaching zero join the ready
+    // queue. Only a loop unroll (which rewrites part of the graph) ends
+    // the epoch and forces a re-traversal; converging fixed points do not.
+    'epoch: loop {
+        // Traverse the demanded cone: unfilled cells backward-reachable
+        // from the unfilled targets, each with its missing-input count.
+        let daig = fa.daig();
+        let mut missing: HashMap<Name, usize> = HashMap::new();
+        let mut stack: Vec<Name> = targets
+            .iter()
+            .filter(|t| daig.value(t).is_none())
+            .cloned()
+            .collect();
+        if stack.is_empty() {
+            return Ok(());
+        }
+        while let Some(n) = stack.pop() {
+            if missing.contains_key(&n) {
+                continue;
+            }
+            let comp = daig.comp(&n).ok_or_else(|| {
+                DaigError::Invariant(format!("empty cell {n} has no computation"))
+            })?;
+            let mut distinct_unfilled: HashSet<&Name> = HashSet::new();
+            for s in &comp.srcs {
+                if !daig.contains(s) {
+                    return Err(DaigError::Invariant(format!(
+                        "computation for {n} reads missing cell {s}"
+                    )));
+                }
+                if daig.value(s).is_none() && distinct_unfilled.insert(s) {
+                    stack.push(s.clone());
+                }
+            }
+            missing.insert(n, distinct_unfilled.len());
+        }
+        let mut ready: Vec<Name> = missing
+            .iter()
+            .filter(|(_, count)| **count == 0)
+            .map(|(n, _)| n.clone())
+            .collect();
+
+        // Drain the cone. Writing a cell decrements its cone-dependents'
+        // counts; a cell's count reaches zero exactly once, so every cell
+        // enters `ready` at most once per epoch.
+        loop {
+            let mut pure: Vec<Name> = Vec::new();
+            let mut fixes: Vec<Name> = Vec::new();
+            for n in ready.drain(..) {
+                match fa.daig().comp(&n).map(|c| c.func) {
+                    Some(Func::Fix) => fixes.push(n),
+                    Some(_) => pure.push(n),
+                    None => {
+                        return Err(DaigError::Invariant(format!(
+                            "ready cell {n} lost its computation"
+                        )));
+                    }
+                }
+            }
+            if !pure.is_empty() {
+                // Sorting makes the batch composition (and with it the
+                // worker-visible order) deterministic; cell *values* do
+                // not depend on it, but reproducible schedules make
+                // debugging and statistics saner.
+                pure.sort();
+                let batch: Vec<ReadyComp<D>> = pure
+                    .iter()
+                    .map(|n| collect_ready(fa.daig(), n))
+                    .collect::<Result<_, _>>()?;
+                if batch.len() < MIN_PARALLEL_BATCH || pool.workers() <= 1 {
+                    for rc in &batch {
+                        let mut memo = memo.clone();
+                        let v = apply_ready(rc, &mut memo, &mut IntraResolver, stats)?;
+                        fa.daig_mut().write(&rc.dest, v);
+                        settle_write(fa, &rc.dest, &mut missing, &mut ready);
+                    }
+                } else {
+                    let shared = memo.clone();
+                    let results = pool.parallel_map(batch, move |rc| {
+                        let mut local = QueryStats::default();
+                        let mut memo = shared.clone();
+                        let value = apply_ready(rc, &mut memo, &mut IntraResolver, &mut local);
+                        (rc.dest.clone(), value, local)
+                    });
+                    for (dest, value, local) in results {
+                        stats.absorb(local);
+                        fa.daig_mut().write(&dest, value?);
+                        settle_write(fa, &dest, &mut missing, &mut ready);
+                    }
+                }
+                // Fix cells seen this round stay ready for the next one.
+                ready.extend(fixes);
+                continue;
+            }
+            if let Some(n) = fixes.pop() {
+                // Resolve one fix edge at a time: convergence is an
+                // ordinary write (the epoch continues); an unroll rewrites
+                // graph structure and ends the epoch.
+                ready.extend(fixes);
+                let cfg = fa.cfg().clone();
+                if fix_step(fa.daig_mut(), &cfg, &n, stats)? {
+                    settle_write(fa, &n, &mut missing, &mut ready);
+                    continue;
+                }
+                unroll_guard += 1;
+                if unroll_guard > MAX_UNROLLS {
+                    return Err(DaigError::Invariant(format!(
+                        "loop at {n} exceeded {MAX_UNROLLS} unrollings: \
+                         widening does not converge"
+                    )));
+                }
+                continue 'epoch;
+            }
+            // Nothing ready at all: done if the targets are filled;
+            // otherwise the cone is wedged, which acyclicity rules out.
+            if targets.iter().all(|t| fa.daig().value(t).is_some()) {
+                return Ok(());
+            }
+            return Err(DaigError::Invariant(
+                "scheduler stalled: no ready computation in the demanded cone \
+                 (dependency cycle?)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// After `dest` was written: drop it from the pending-count map and
+/// decrement each cone-dependent's missing-input count, promoting cells
+/// that reach zero onto the ready queue.
+fn settle_write<D: AbstractDomain>(
+    fa: &FuncAnalysis<D>,
+    dest: &Name,
+    missing: &mut HashMap<Name, usize>,
+    ready: &mut Vec<Name>,
+) {
+    missing.remove(dest);
+    for dep in fa.daig().dependents(dest) {
+        if let Some(count) = missing.get_mut(dep) {
+            if *count > 0 {
+                *count -= 1;
+                if *count == 0 {
+                    ready.push(dep.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+    use dai_core::query::query;
+    use dai_domains::IntervalDomain;
+    use dai_lang::cfg::lower_program;
+    use dai_lang::parser::parse_program;
+    use dai_memo::MemoTable;
+
+    type D = IntervalDomain;
+
+    const SRC: &str = "function f(n) { var i = 0; var s = 0; \
+                       while (i < 9) { var j = 0; while (j < 4) { s = s + j; j = j + 1; } i = i + 1; } \
+                       return s; }";
+
+    fn fresh() -> FuncAnalysis<D> {
+        let cfg = lower_program(&parse_program(SRC).unwrap()).unwrap().cfgs()[0].clone();
+        FuncAnalysis::new(cfg, IntervalDomain::top())
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let mut par = fresh();
+            let memo = SharedMemoTable::new(8);
+            let mut stats = QueryStats::default();
+            let exit = par.cfg().exit();
+            let target = Name::State {
+                loc: exit,
+                ctx: dai_core::name::IterCtx::root(),
+            };
+            evaluate_targets(
+                &mut par,
+                std::slice::from_ref(&target),
+                &memo,
+                &pool.handle(),
+                &mut stats,
+            )
+            .unwrap();
+
+            let mut seq = fresh();
+            let mut seq_memo = MemoTable::new();
+            let mut seq_stats = QueryStats::default();
+            let seq_cfg = seq.cfg().clone();
+            let expected = query(
+                seq.daig_mut(),
+                &seq_cfg,
+                &mut seq_memo,
+                &target,
+                &mut IntraResolver,
+                &mut seq_stats,
+            )
+            .unwrap();
+            assert_eq!(
+                par.daig().value(&target),
+                Some(&expected),
+                "workers = {workers}"
+            );
+            par.daig().check_well_formed().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_target_is_reported() {
+        let pool = WorkerPool::new(2);
+        let mut fa = fresh();
+        let memo = SharedMemoTable::new(2);
+        let mut stats = QueryStats::default();
+        let bogus = Name::State {
+            loc: dai_lang::Loc(4242),
+            ctx: dai_core::name::IterCtx::root(),
+        };
+        let err =
+            evaluate_targets(&mut fa, &[bogus], &memo, &pool.handle(), &mut stats).unwrap_err();
+        assert!(matches!(err, DaigError::NoSuchCell(_)));
+    }
+
+    #[test]
+    fn already_filled_targets_count_as_reuse() {
+        let pool = WorkerPool::new(2);
+        let mut fa = fresh();
+        let memo = SharedMemoTable::new(2);
+        let mut stats = QueryStats::default();
+        let entry = Name::State {
+            loc: fa.cfg().entry(),
+            ctx: dai_core::name::IterCtx::root(),
+        };
+        evaluate_targets(
+            &mut fa,
+            std::slice::from_ref(&entry),
+            &memo,
+            &pool.handle(),
+            &mut stats,
+        )
+        .unwrap();
+        let computed_before = stats.computed;
+        evaluate_targets(&mut fa, &[entry], &memo, &pool.handle(), &mut stats).unwrap();
+        assert_eq!(stats.computed, computed_before, "no recomputation");
+        assert!(stats.reused >= 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Analysis sessions: one loaded program, one `FuncAnalysis` per function.
+//!
+//! A session is the engine's unit of isolation and serialization: requests
+//! against the same session are serialized behind its lock, while requests
+//! against different sessions proceed concurrently on the worker pool.
+//! Function units are created on demand (first query against a function
+//! builds its DAIG), entry states come from
+//! [`AbstractDomain::entry_default`], and calls are resolved
+//! intraprocedurally (the domain's conservative call transfer) — which
+//! keeps every per-function result exactly equal to the sequential batch
+//! oracle `dai_core::batch::batch_analyze` on the same CFG, the
+//! from-scratch-consistency gate the engine's test suite enforces.
+
+use dai_core::analysis::{resolve_loc_cell, FuncAnalysis};
+use dai_core::dot::{to_dot, DotOptions};
+use dai_core::driver::ProgramEdit;
+use dai_core::graph::Value;
+use dai_core::query::QueryStats;
+use dai_core::strategy::FixStrategy;
+use dai_domains::AbstractDomain;
+use dai_lang::cfg::LoweredProgram;
+use dai_lang::{Loc, Symbol};
+use dai_memo::SharedMemoTable;
+use std::collections::HashMap;
+
+use crate::engine::EngineError;
+use crate::pool::PoolHandle;
+use crate::scheduler::evaluate_targets;
+
+/// Structural outcome of an edit request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EditOutcome {
+    /// Locations added by a splice (0 for relabels).
+    pub new_locs: usize,
+    /// Edges added by a splice (0 for relabels).
+    pub new_edges: usize,
+}
+
+/// A deterministic picture of a session's DAIGs: per-function Graphviz
+/// exports, sorted by function name (and internally sorted by cell name —
+/// see `dai_core::dot`), so two snapshots of structurally identical
+/// sessions are byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// The session's name.
+    pub session: String,
+    /// `(function name, DOT source)` pairs, sorted by function name; only
+    /// functions whose DAIG has been demanded appear.
+    pub functions: Vec<(String, String)>,
+}
+
+/// One loaded program and its per-function analyses.
+pub struct Session<D: AbstractDomain> {
+    name: String,
+    program: LoweredProgram,
+    strategy: FixStrategy,
+    units: HashMap<Symbol, FuncAnalysis<D>>,
+    queries: u64,
+    edits: u64,
+}
+
+impl<D: AbstractDomain> Session<D> {
+    /// Creates a session over `program` under the given iteration
+    /// strategy.
+    pub fn new(name: impl Into<String>, program: LoweredProgram, strategy: FixStrategy) -> Self {
+        Session {
+            name: name.into(),
+            program,
+            strategy,
+            units: HashMap::new(),
+            queries: 0,
+            edits: 0,
+        }
+    }
+
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &LoweredProgram {
+        &self.program
+    }
+
+    /// Queries served and edits applied so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.queries, self.edits)
+    }
+
+    fn unit_mut(&mut self, func: &str) -> Result<&mut FuncAnalysis<D>, EngineError> {
+        let sym = Symbol::new(func);
+        if !self.units.contains_key(&sym) {
+            let cfg = self
+                .program
+                .by_name(func)
+                .ok_or_else(|| EngineError::NoSuchFunction(func.to_string()))?
+                .clone();
+            let phi0 = D::entry_default(cfg.params());
+            self.units.insert(
+                sym.clone(),
+                FuncAnalysis::with_strategy(cfg, phi0, self.strategy),
+            );
+        }
+        Ok(self.units.get_mut(&sym).expect("just ensured"))
+    }
+
+    /// Demands the fixed-point-consistent abstract state at `loc` of
+    /// `func`, evaluating the demanded cone on the worker pool. This is
+    /// the parallel counterpart of `FuncAnalysis::query_loc`: the
+    /// enclosing fixed points are demanded outermost-first, then the body
+    /// cell of the converged iteration is read — so the returned state is
+    /// the one the sequential evaluator (and the batch oracle) produces.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoSuchFunction`] / `NoSuchCell` for unknown targets;
+    /// otherwise scheduler failures.
+    pub fn query_loc(
+        &mut self,
+        func: &str,
+        loc: Loc,
+        memo: &SharedMemoTable<Value<D>>,
+        pool: &PoolHandle,
+        stats: &mut QueryStats,
+    ) -> Result<D, EngineError> {
+        self.queries += 1;
+        let unit = self.unit_mut(func)?;
+        // The fix-chain walk lives in dai-core (`resolve_loc_cell`); the
+        // engine only substitutes *how* each demanded cell gets filled —
+        // parallel frontier evaluation instead of the sequential query.
+        let cell = resolve_loc_cell(unit, loc, |fa, cell| {
+            evaluate_targets(fa, std::slice::from_ref(cell), memo, pool, stats)
+        })?;
+        evaluate_targets(unit, std::slice::from_ref(&cell), memo, pool, stats)?;
+        unit.daig()
+            .value(&cell)
+            .and_then(Value::as_state)
+            .cloned()
+            .ok_or_else(|| {
+                EngineError::Daig(dai_core::DaigError::Invariant(format!(
+                    "location cell {cell} holds a statement"
+                )))
+            })
+    }
+
+    /// Applies a program edit: the CFG is updated, and the function's DAIG
+    /// (if demanded already) is edited in place with minimal dirtying —
+    /// exactly the incremental + demand-driven configuration.
+    ///
+    /// Validation happens on a scratch copy of the program first, so a
+    /// rejected edit (unknown edge, call-graph violation, malformed
+    /// block) leaves the session exactly as it was: program, call graph,
+    /// and DAIGs untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cfg`] for malformed edits; the session is unchanged
+    /// on error.
+    pub fn apply_edit(&mut self, edit: &ProgramEdit) -> Result<EditOutcome, EngineError> {
+        // Stage the edit on a clone; only an edit that fully validates
+        // (including the call-graph refresh) is committed.
+        let mut staged = self.program.clone();
+        let (func, outcome) = match edit {
+            ProgramEdit::Relabel { func, edge, stmt } => {
+                let cfg = staged
+                    .by_name_mut(func.as_str())
+                    .ok_or_else(|| EngineError::NoSuchFunction(func.to_string()))?;
+                dai_lang::edit::relabel_edge(cfg, *edge, stmt.clone())?;
+                (func, EditOutcome::default())
+            }
+            ProgramEdit::Insert { func, edge, block } => {
+                let cfg = staged
+                    .by_name_mut(func.as_str())
+                    .ok_or_else(|| EngineError::NoSuchFunction(func.to_string()))?;
+                let info = dai_lang::edit::splice_block_on_edge(cfg, *edge, block)?;
+                (
+                    func,
+                    EditOutcome {
+                        new_locs: info.new_locs.len(),
+                        new_edges: info.new_edges.len(),
+                    },
+                )
+            }
+        };
+        staged.refresh_call_graph()?;
+        // Commit: install the validated program, then replay the edit on
+        // the function's DAIG (edits are deterministic, so the unit's CFG
+        // clone ends up identical to the staged one).
+        self.program = staged;
+        if let Some(unit) = self.units.get_mut(func) {
+            match edit {
+                ProgramEdit::Relabel { edge, stmt, .. } => {
+                    unit.relabel(*edge, stmt.clone())?;
+                }
+                ProgramEdit::Insert { edge, block, .. } => {
+                    unit.splice(*edge, block)?;
+                }
+            }
+        }
+        self.edits += 1;
+        Ok(outcome)
+    }
+
+    /// A deterministic DOT snapshot of every demanded DAIG.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut functions: Vec<(String, String)> = self
+            .units
+            .iter()
+            .map(|(f, unit)| {
+                let opts = DotOptions {
+                    title: Some(format!("{f} — session {}", self.name)),
+                    ..DotOptions::default()
+                };
+                (f.to_string(), to_dot(unit.daig(), &opts))
+            })
+            .collect();
+        functions.sort();
+        SessionSnapshot {
+            session: self.name.clone(),
+            functions,
+        }
+    }
+}

@@ -18,6 +18,15 @@
 //!   an optional capacity bound. Dropping entries is always sound
 //!   (paper §2.2: "it is sound to drop cached results from the DAIG and/or
 //!   memo table"), so eviction uses a cheap two-generation scheme.
+//! * [`MemoStore`] — the lookup/record interface DAIG evaluation is
+//!   written against, so single-threaded tables and the concurrent one
+//!   are interchangeable.
+//! * [`SharedMemoTable`] — a sharded, thread-safe table (per-shard locks,
+//!   global hit/miss/eviction counters) shared across analysis sessions
+//!   by `dai-engine`'s worker pool. Sharing is sound for the same reason
+//!   dropping is: entries are keyed by content hashes of their inputs, so
+//!   any entry another session wrote is one this session could have
+//!   computed itself.
 //!
 //! ```
 //! use dai_memo::{KeyBuilder, MemoTable};
@@ -34,6 +43,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A 128-bit content hash identifying a memoized application `f·(v₁⋯v_k)`.
 ///
@@ -224,6 +235,189 @@ impl<V> MemoTable<V> {
     }
 }
 
+/// The lookup/record interface the DAIG query semantics thread `M`
+/// through. Writing evaluation against this trait (rather than
+/// [`MemoTable`] concretely) lets a scheduler substitute the concurrent
+/// [`SharedMemoTable`] without touching the semantics: both report
+/// `Q-Match`-able entries and both accept `Q-Miss` recordings.
+///
+/// `fetch` returns an owned value because a shared table cannot hand out
+/// references across its shard locks; evaluation cloned every memo hit
+/// anyway (the value is written into a DAIG cell).
+pub trait MemoStore<V: Clone> {
+    /// Looks up `key`, recording a hit or miss in the statistics.
+    fn fetch(&mut self, key: MemoKey) -> Option<V>;
+    /// Records a computed entry for `key`.
+    fn record(&mut self, key: MemoKey, value: V);
+}
+
+impl<V: Clone> MemoStore<V> for MemoTable<V> {
+    fn fetch(&mut self, key: MemoKey) -> Option<V> {
+        self.get(key).cloned()
+    }
+
+    fn record(&mut self, key: MemoKey, value: V) {
+        self.insert(key, value);
+    }
+}
+
+/// A sharded, thread-safe memo table: `Q-Match`/`Q-Miss` traffic from many
+/// concurrent sessions lands on per-shard [`MemoTable`]s behind their own
+/// locks, while hit/miss/insertion/eviction totals are kept in global
+/// atomic counters so [`SharedMemoTable::stats`] never has to stop the
+/// world.
+///
+/// Cloning is shallow (an [`Arc`] bump): clones share the same shards and
+/// counters, which is how `dai-engine` hands one table to every worker and
+/// session.
+#[derive(Debug, Clone)]
+pub struct SharedMemoTable<V> {
+    inner: Arc<SharedInner<V>>,
+}
+
+#[derive(Debug)]
+struct SharedInner<V> {
+    /// Power-of-two shard array; a key's shard is chosen by its mixed
+    /// high/low hash bits.
+    shards: Vec<Mutex<MemoTable<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> SharedMemoTable<V> {
+    /// Default shard count: enough to keep a handful of workers from
+    /// contending, small enough that per-shard tables stay dense.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates an unbounded table with `shards` shards (rounded up to a
+    /// power of two, minimum 1).
+    pub fn new(shards: usize) -> SharedMemoTable<V> {
+        Self::build(shards, None)
+    }
+
+    /// Creates a table keeping roughly `capacity` entries in total,
+    /// spread over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity_limit(shards: usize, capacity: usize) -> SharedMemoTable<V> {
+        assert!(capacity > 0, "memo table capacity must be positive");
+        Self::build(shards, Some(capacity))
+    }
+
+    fn build(shards: usize, capacity: Option<usize>) -> SharedMemoTable<V> {
+        let n = shards.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| {
+                Mutex::new(match capacity {
+                    Some(c) => MemoTable::with_capacity_limit(c.div_ceil(n).max(1)),
+                    None => MemoTable::new(),
+                })
+            })
+            .collect();
+        SharedMemoTable {
+            inner: Arc::new(SharedInner {
+                shards,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                insertions: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    fn shard(&self, key: MemoKey) -> &Mutex<MemoTable<V>> {
+        // Fold both 64-bit halves so either hash stream alone suffices to
+        // spread keys.
+        let h = (key.0 >> 64) as u64 ^ key.0 as u64;
+        &self.inner.shards[(h as usize) & (self.inner.shards.len() - 1)]
+    }
+
+    /// Looks up `key`, recording a global hit or miss.
+    pub fn get(&self, key: MemoKey) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut shard = self.shard(key).lock().expect("memo shard poisoned");
+        let out = shard.get(key).cloned();
+        match out {
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Inserts an entry, attributing any capacity eviction to the global
+    /// counter.
+    pub fn insert(&self, key: MemoKey, value: V) {
+        let mut shard = self.shard(key).lock().expect("memo shard poisoned");
+        let evicted_before = shard.stats().evictions;
+        shard.insert(key, value);
+        let delta = shard.stats().evictions - evicted_before;
+        drop(shard);
+        self.inner.insertions.fetch_add(1, Ordering::Relaxed);
+        if delta > 0 {
+            self.inner.evictions.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Total live entries across shards.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` if no shard holds entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (sound; see crate docs), keeping the global
+    /// counters.
+    pub fn clear(&self) {
+        for s in &self.inner.shards {
+            s.lock().expect("memo shard poisoned").clear();
+        }
+    }
+
+    /// Global statistics, read without touching the shard locks.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            insertions: self.inner.insertions.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<V> Default for SharedMemoTable<V> {
+    fn default() -> Self {
+        SharedMemoTable::new(Self::DEFAULT_SHARDS)
+    }
+}
+
+impl<V: Clone> MemoStore<V> for SharedMemoTable<V> {
+    fn fetch(&mut self, key: MemoKey) -> Option<V> {
+        self.get(key)
+    }
+
+    fn record(&mut self, key: MemoKey, value: V) {
+        self.insert(key, value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +503,80 @@ mod tests {
         assert_eq!(m.stats().hits, 1);
         m.reset_stats();
         assert_eq!(m.stats(), &MemoStats::default());
+    }
+
+    #[test]
+    fn memo_store_is_object_safe_and_interchangeable() {
+        fn exercise(store: &mut dyn MemoStore<i64>) {
+            let k = key("transfer", &[1, 2]);
+            assert!(store.fetch(k).is_none());
+            store.record(k, 7);
+            assert_eq!(store.fetch(k), Some(7));
+        }
+        exercise(&mut MemoTable::new());
+        exercise(&mut SharedMemoTable::new(4));
+    }
+
+    #[test]
+    fn shared_table_counts_globally_across_clones() {
+        let shared: SharedMemoTable<i64> = SharedMemoTable::new(8);
+        let other = shared.clone();
+        for i in 0..50 {
+            shared.insert(key("f", &[i]), i);
+        }
+        for i in 0..50 {
+            assert_eq!(other.get(key("f", &[i])), Some(i));
+        }
+        assert!(other.get(key("f", &[999])).is_none());
+        let stats = shared.stats();
+        assert_eq!(stats.hits, 50);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 50);
+        assert_eq!(shared.len(), 50);
+        shared.clear();
+        assert!(other.is_empty());
+        assert_eq!(other.stats().hits, 50, "clear keeps counters");
+    }
+
+    #[test]
+    fn shared_table_rounds_shards_to_power_of_two() {
+        let t: SharedMemoTable<()> = SharedMemoTable::new(5);
+        assert_eq!(t.shard_count(), 8);
+        let t1: SharedMemoTable<()> = SharedMemoTable::new(0);
+        assert_eq!(t1.shard_count(), 1);
+    }
+
+    #[test]
+    fn shared_table_capacity_evicts_and_counts() {
+        let t: SharedMemoTable<i64> = SharedMemoTable::with_capacity_limit(2, 16);
+        for i in 0..500 {
+            t.insert(key("f", &[i]), i);
+        }
+        assert!(t.len() <= 32, "len = {}", t.len());
+        assert!(t.stats().evictions > 0);
+    }
+
+    #[test]
+    fn shared_table_is_send_sync_and_concurrent() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedMemoTable<i64>>();
+        let t: SharedMemoTable<i64> = SharedMemoTable::new(8);
+        std::thread::scope(|scope| {
+            for w in 0..4i64 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let k = key("f", &[i % 50]);
+                        if let Some(v) = t.get(k) {
+                            assert_eq!(v, i % 50, "worker {w} read a clobbered value");
+                        } else {
+                            t.insert(k, i % 50);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(t.len() <= 50);
     }
 
     #[test]

@@ -6,16 +6,25 @@
 //! ```text
 //! $ cargo run --bin dai-repl -- program.js            # interval domain
 //! $ cargo run --bin dai-repl -- --domain octagon p.js
+//! $ cargo run --bin dai-repl -- --threads 4 p.js      # engine worker pool
 //! dai> help
 //! dai> list
 //! dai> cfg main
 //! dai> query main l3
 //! dai> relabel main e2 x = x + 10
 //! dai> splice main e4 if (x > 0) { y = 1; }
+//! dai> serve
 //! dai> stats
 //! dai> dot main
 //! dai> quit
 //! ```
+//!
+//! `serve` routes the current program through the concurrent `dai-engine`:
+//! a session is opened over the program, every (function, location) query
+//! is submitted to the engine's request stream, answers are drained and
+//! printed (sorted), and the engine's own statistics follow. Analysis is
+//! intraprocedural per function (entry states from the domain's
+//! `entry_default`), which is the engine's session semantics.
 //!
 //! Commands read from stdin, one per line; results go to stdout (errors to
 //! stderr, which keeps piped sessions scriptable — the integration tests
@@ -27,6 +36,7 @@ use dai_core::Context;
 use dai_domains::{
     AbstractDomain, ConstDomain, IntervalDomain, OctagonDomain, ShapeDomain, SignDomain,
 };
+use dai_engine::{Engine, Request, Response, Ticket};
 use dai_lang::cfg::lower_program;
 use dai_lang::{EdgeId, Loc};
 use std::io::{BufRead, Write};
@@ -35,6 +45,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut domain = "interval".to_string();
     let mut policy = ContextPolicy::CallString(1);
+    let mut threads: usize = 1;
     let mut path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -52,8 +63,16 @@ fn main() {
                     .unwrap_or_else(|| die("--call-strings needs a number"));
                 policy = ContextPolicy::CallString(k);
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--threads needs a positive number"));
+            }
             "--help" | "-h" => {
-                println!("usage: dai-repl [--domain interval|octagon|sign|const|shape] [--insensitive | --call-strings K] FILE");
+                println!("usage: dai-repl [--domain interval|octagon|sign|const|shape] [--insensitive | --call-strings K] [--threads N] FILE");
                 return;
             }
             other => path = Some(other.to_string()),
@@ -66,11 +85,11 @@ fn main() {
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     match domain.as_str() {
-        "interval" => repl(&src, policy, IntervalDomain::top()),
-        "octagon" => repl(&src, policy, OctagonDomain::top()),
-        "sign" => repl(&src, policy, SignDomain::top()),
-        "const" => repl(&src, policy, ConstDomain::top()),
-        "shape" => repl(&src, policy, ShapeDomain::top_state()),
+        "interval" => repl(&src, policy, threads, IntervalDomain::top()),
+        "octagon" => repl(&src, policy, threads, OctagonDomain::top()),
+        "sign" => repl(&src, policy, threads, SignDomain::top()),
+        "const" => repl(&src, policy, threads, ConstDomain::top()),
+        "shape" => repl(&src, policy, threads, ShapeDomain::top_state()),
         other => die(&format!(
             "unknown domain `{other}` (interval|octagon|sign|const|shape)"
         )),
@@ -91,7 +110,58 @@ fn parse_edge(s: &str) -> Option<EdgeId> {
     s.strip_prefix('e').and_then(|n| n.parse().ok()).map(EdgeId)
 }
 
-fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, phi0: D) {
+/// `serve`: route every (function, location) query of the current program
+/// through a fresh `dai-engine` session, draining the answers from the
+/// concurrent request stream.
+fn serve_via_engine<D: AbstractDomain>(program: &dai_lang::cfg::LoweredProgram, threads: usize) {
+    // Make the semantic difference from `query`/`queryall` visible in the
+    // output itself: engine sessions analyze each function in isolation
+    // (calls havoc conservatively), so values can be wider than the
+    // interprocedural answers of the other commands.
+    println!(
+        "serve: intraprocedural per-function analysis (calls havoc; \
+         entry states are the domain's defaults)"
+    );
+    let engine: Engine<D> = Engine::new(threads);
+    let session = engine.open_session("repl", program.clone());
+    let mut targets: Vec<(String, Loc)> = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    let tickets: Vec<Ticket<D>> = targets
+        .iter()
+        .map(|(f, loc)| {
+            engine.submit(Request::Query {
+                session,
+                func: f.clone(),
+                loc: *loc,
+            })
+        })
+        .collect();
+    for ((f, loc), ticket) in targets.iter().zip(tickets) {
+        match ticket.wait() {
+            Ok(Response::State(state)) => println!("{f} {loc}: {state}"),
+            Ok(_) => eprintln!("{f} {loc}: unexpected response"),
+            Err(e) => eprintln!("{f} {loc}: serve failed: {e}"),
+        }
+    }
+    let s = engine.stats();
+    println!(
+        "engine: {} workers, {} queries; {} computed, {} memo-matched, {} reused; memo {} hits / {} misses",
+        s.workers,
+        s.queries,
+        s.query_stats.computed,
+        s.query_stats.memo_matched,
+        s.query_stats.reused,
+        s.memo.hits,
+        s.memo.misses,
+    );
+}
+
+fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, threads: usize, phi0: D) {
     let program = match dai_lang::parse_program(src)
         .map_err(|e| e.to_string())
         .and_then(|p| lower_program(&p).map_err(|e| e.to_string()))
@@ -129,6 +199,7 @@ fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, phi0: D) {
         match cmd {
             "quit" | "exit" => break,
             "help" => print_help(),
+            "serve" => serve_via_engine::<D>(analyzer.program(), threads),
             "list" => {
                 for cfg in analyzer.program().cfgs() {
                     println!(
@@ -314,6 +385,8 @@ fn print_help() {
   deadcode FN               locations proven unreachable (⊥ invariant)
   relabel FN eNN STMT       replace the statement on an edge
   splice FN eNN BLOCK       insert a block before an edge's statement
+  serve                     answer every (function, location) query through
+                            the concurrent engine (--threads N workers)
   stats                     query/memo work counters
   dot FN                    Graphviz export of FN's DAIG (root context)
   help | quit"

@@ -12,16 +12,68 @@
 //! * [`core`] (`dai-core`) — demanded abstract interpretation graphs:
 //!   construction, query/edit semantics, demanded unrolling,
 //!   interprocedural contexts, and the four analysis configurations;
+//! * [`engine`] (`dai-engine`) — the concurrent, multi-session analysis
+//!   engine (see below);
 //! * [`bench`](mod@bench) (`dai-bench`) — the paper's evaluation workloads and
 //!   harnesses.
 //!
 //! See the repository README for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results. The
-//! `examples/` directory contains nine runnable walkthroughs, starting
-//! with `cargo run --example quickstart`.
+//! `examples/` directory contains runnable walkthroughs, starting with
+//! `cargo run --example quickstart` (and `engine_concurrent` for the
+//! engine).
+//!
+//! # Architecture: the engine
+//!
+//! `dai-engine` grows the single-threaded library into a long-lived
+//! service. Its layering, bottom to top:
+//!
+//! ```text
+//!   requests:  Query{func,loc} · Edit(ProgramEdit) · Snapshot · Stats
+//!      │                (engine::Engine — request stream, tickets)
+//!      ▼
+//!   sessions:  Mutex<Session> per client — a LoweredProgram plus one
+//!              FuncAnalysis (CFG + DAIG) per function, built on demand
+//!      │                (session::Session — serialize per session,
+//!      ▼                 parallel across sessions)
+//!   scheduler: the demanded cone of a query, evaluated topologically:
+//!              ready cells (all inputs filled) fan out to the worker
+//!              pool; fix edges unroll on the scheduling thread
+//!      │                (scheduler::evaluate_targets)
+//!      ▼
+//!   substrate: collect_ready / apply_ready / fix_step and the
+//!              ready-frontier notion (dai-core)  +  SharedMemoTable
+//!              (dai-memo): sharded, lock-per-shard, shared by all
+//!              sessions
+//! ```
+//!
+//! Three properties make this a faithful extension of the paper rather
+//! than a bolt-on:
+//!
+//! 1. **Acyclicity ⇒ parallelism.** Cells on the ready frontier never
+//!    read each other (Definition 4.1), so evaluating them concurrently
+//!    is sound and *confluent*: every schedule produces the same cell
+//!    values.
+//! 2. **One evaluation function.** Workers apply the exact
+//!    `dai_core::apply_ready` the sequential evaluator uses, so engine
+//!    answers are bit-identical to sequential answers — and therefore to
+//!    the from-scratch batch oracle (Theorem 6.1). The
+//!    `engine_consistency` suite enforces this for 1..=8 workers over
+//!    randomized edit/query interleavings.
+//! 3. **Content-addressed sharing.** The shared memo table is keyed by
+//!    hashes of computation inputs (paper §2.1, "names are hashes,
+//!    essentially"), so cross-session and cross-thread reuse can only
+//!    ever substitute equal values, and dropping entries under capacity
+//!    pressure is always sound (§2.2).
+//!
+//! Throughput baselines live in `BENCH_engine.json` (recorded by
+//! `cargo run --release --bin engine_scaling -- --out BENCH_engine.json`);
+//! each baseline embeds `host_cpus`, since worker scaling is bounded by
+//! the hardware the baseline was taken on.
 
 pub use dai_bench as bench;
 pub use dai_core as core;
 pub use dai_domains as domains;
+pub use dai_engine as engine;
 pub use dai_lang as lang;
 pub use dai_memo as memo;

@@ -1,0 +1,207 @@
+//! From-scratch consistency of the concurrent engine (extends
+//! `from_scratch_consistency.rs` to `dai-engine`): after an arbitrary
+//! interleaving of edits and queries served through the engine's request
+//! stream, every answer — at **every worker count 1..=8** — equals the
+//! result of the sequential batch oracle (`dai_core::batch`,
+//! Theorem 6.1) on the current program. Answers are additionally compared
+//! *across* worker counts, which must be bit-identical: parallel frontier
+//! evaluation applies the same `apply_ready` computations to the same
+//! inputs, only in a different order.
+
+use dai_bench::workload::Workload;
+use dai_core::batch::batch_analyze;
+use dai_core::driver::ProgramEdit;
+use dai_core::query::IntraResolver;
+use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain};
+use dai_engine::{Engine, Request, Response, SessionId, Ticket};
+use dai_lang::cfg::lower_program;
+use dai_lang::{parse_program, Symbol};
+
+const SEED_PROGRAM: &str = "function main() { var x0 = 0; return x0; }";
+
+fn initial_program() -> dai_lang::cfg::LoweredProgram {
+    lower_program(&parse_program(SEED_PROGRAM).unwrap()).unwrap()
+}
+
+/// Runs one randomized edit/query script through an engine with `workers`
+/// workers, asserting every answer against the batch oracle; returns the
+/// full answer trace for cross-worker-count comparison.
+fn run_script<D: AbstractDomain>(workers: usize, seed: u64, steps: usize) -> Vec<D> {
+    let engine: Engine<D> = Engine::new(workers);
+    let session = engine.open_session(format!("seed-{seed}"), initial_program());
+    let mut gen = Workload::new(seed);
+    let mut trace = Vec::new();
+    for step in 0..steps {
+        // Random call-free structured edit at a random edge.
+        let cfg = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .clone();
+        let edges: Vec<_> = cfg.edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        let block = gen.random_block_no_calls();
+        engine
+            .request(Request::Edit {
+                session,
+                edit: ProgramEdit::Insert {
+                    func: Symbol::new("main"),
+                    edge,
+                    block,
+                },
+            })
+            .unwrap_or_else(|e| panic!("workers {workers} seed {seed} step {step}: edit: {e}"));
+        // Random query, checked against a from-scratch batch run of the
+        // *current* program.
+        let cfg = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .clone();
+        let locs = cfg.locs();
+        let loc = locs[gen.pick_index(locs.len())];
+        let answer = engine
+            .query(session, "main", loc)
+            .unwrap_or_else(|e| panic!("workers {workers} seed {seed} step {step}: query: {e}"));
+        let oracle = batch_analyze(&cfg, D::entry_default(cfg.params()), &mut IntraResolver)
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: oracle: {e}"));
+        assert_eq!(
+            answer, oracle[&loc],
+            "workers {workers} seed {seed} step {step}: engine answer at {loc} \
+             differs from the batch oracle"
+        );
+        trace.push(answer);
+    }
+    // Final sweep: every location of the final program.
+    let cfg = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .clone();
+    let oracle = batch_analyze(&cfg, D::entry_default(cfg.params()), &mut IntraResolver).unwrap();
+    for loc in cfg.locs() {
+        let answer = engine.query(session, "main", loc).unwrap();
+        assert_eq!(
+            answer, oracle[&loc],
+            "workers {workers} seed {seed}: final sweep at {loc}"
+        );
+        trace.push(answer);
+    }
+    trace
+}
+
+#[test]
+fn interval_engine_matches_batch_oracle_at_every_worker_count() {
+    for seed in [0xE11, 0xE12] {
+        let reference = run_script::<IntervalDomain>(1, seed, 12);
+        for workers in 2..=8 {
+            let trace = run_script::<IntervalDomain>(workers, seed, 12);
+            assert_eq!(
+                trace, reference,
+                "seed {seed}: {workers}-worker trace differs from 1-worker trace"
+            );
+        }
+    }
+}
+
+#[test]
+fn octagon_engine_matches_batch_oracle_at_every_worker_count() {
+    for seed in [0xE21] {
+        let reference = run_script::<OctagonDomain>(1, seed, 8);
+        for workers in [2, 4, 8] {
+            let trace = run_script::<OctagonDomain>(workers, seed, 8);
+            assert_eq!(
+                trace, reference,
+                "seed {seed}: {workers}-worker trace differs from 1-worker trace"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_sessions_all_match_the_oracle() {
+    // Eight sessions evolve independently (distinct seeds); their queries
+    // are fired concurrently through the async request stream and every
+    // in-flight answer must match each session's own oracle.
+    let engine: Engine<IntervalDomain> = Engine::new(4);
+    let mut sessions: Vec<(SessionId, Workload)> = (0..8u64)
+        .map(|i| {
+            (
+                engine.open_session(format!("c{i}"), initial_program()),
+                Workload::new(0xC0 + i),
+            )
+        })
+        .collect();
+    for _round in 0..6 {
+        // Apply one random edit per session (serialized per session by the
+        // engine; concurrent across sessions).
+        let edit_tickets: Vec<Ticket<IntervalDomain>> = sessions
+            .iter_mut()
+            .map(|(s, gen)| {
+                let cfg = engine
+                    .program_of(*s)
+                    .unwrap()
+                    .by_name("main")
+                    .unwrap()
+                    .clone();
+                let edges: Vec<_> = cfg.edges().map(|e| e.id).collect();
+                let edge = edges[gen.pick_index(edges.len())];
+                let block = gen.random_block_no_calls();
+                engine.submit(Request::Edit {
+                    session: *s,
+                    edit: ProgramEdit::Insert {
+                        func: Symbol::new("main"),
+                        edge,
+                        block,
+                    },
+                })
+            })
+            .collect();
+        for t in edit_tickets {
+            assert!(matches!(t.wait().unwrap(), Response::Edited(_)));
+        }
+        // Fire one query per session concurrently, then check each against
+        // its own batch oracle.
+        let targets: Vec<(SessionId, dai_lang::Cfg, dai_lang::Loc)> = sessions
+            .iter_mut()
+            .map(|(s, gen)| {
+                let cfg = engine
+                    .program_of(*s)
+                    .unwrap()
+                    .by_name("main")
+                    .unwrap()
+                    .clone();
+                let locs = cfg.locs();
+                let loc = locs[gen.pick_index(locs.len())];
+                (*s, cfg, loc)
+            })
+            .collect();
+        let query_tickets: Vec<Ticket<IntervalDomain>> = targets
+            .iter()
+            .map(|(s, _, loc)| {
+                engine.submit(Request::Query {
+                    session: *s,
+                    func: "main".to_string(),
+                    loc: *loc,
+                })
+            })
+            .collect();
+        for ((s, cfg, loc), t) in targets.iter().zip(query_tickets) {
+            let answer = t.wait().unwrap().into_state().unwrap();
+            let oracle = batch_analyze(
+                cfg,
+                IntervalDomain::entry_default(cfg.params()),
+                &mut IntraResolver,
+            )
+            .unwrap();
+            assert_eq!(answer, oracle[loc], "session {s} at {loc}");
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.sessions, 8);
+    assert_eq!(stats.queries, 48);
+    assert_eq!(stats.edits, 48);
+}

@@ -162,6 +162,41 @@ fn stats_track_incremental_reuse() {
 }
 
 #[test]
+fn serve_routes_queries_through_the_engine() {
+    for threads in ["1", "4"] {
+        let (stdout, stderr) = run_repl(PROGRAM, &["--threads", threads], "serve\nquit\n");
+        assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+        // Every location of both functions is answered...
+        assert!(stdout.contains("main l1:"), "{stdout}");
+        assert!(stdout.contains("inc l"), "{stdout}");
+        // ...and the engine reports its configuration and work.
+        assert!(
+            stdout.contains(&format!("engine: {threads} workers")),
+            "{stdout}"
+        );
+        assert!(stdout.contains("memo"), "{stdout}");
+    }
+}
+
+#[test]
+fn serve_results_are_identical_across_thread_counts() {
+    let serve_lines = |threads: &str| -> Vec<String> {
+        let (stdout, _) = run_repl(PROGRAM, &["--threads", threads], "serve\nquit\n");
+        stdout
+            .lines()
+            .filter(|l| l.contains("l") && l.contains(':') && !l.starts_with("engine:"))
+            .map(|l| l.trim_start_matches("dai> ").to_string())
+            .filter(|l| l.starts_with("main ") || l.starts_with("inc "))
+            .collect()
+    };
+    let one = serve_lines("1");
+    assert!(!one.is_empty());
+    for threads in ["2", "8"] {
+        assert_eq!(serve_lines(threads), one, "threads = {threads}");
+    }
+}
+
+#[test]
 fn deadcode_reports_unreachable_branch() {
     let program = r#"
 function main() {

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the benchmarking surface the workspace uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, `BenchmarkId`, and the `criterion_group!`
+//! / `criterion_main!` macros — as a plain wall-clock harness: each
+//! benchmark is warmed up once, then timed over an adaptive number of
+//! iterations, and mean/min latency is printed as
+//! `bench <name> ... <mean> per iter (<n> iters)`. There are no reports,
+//! no statistics beyond mean/min, and no regression tracking.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement budget per benchmark. Overridable with the
+/// `CRITERION_BUDGET_MS` environment variable (useful to keep `cargo bench`
+/// fast in CI).
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// How batched inputs are grouped (accepted for source compatibility; the
+/// harness always materializes one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark identifier, printable as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from just a parameter (grouped benches prepend the group
+    /// name when printing).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    name: String,
+}
+
+impl Bencher {
+    fn report(&self, iters: u64, total: Duration, min: Duration) {
+        let mean = total / (iters.max(1) as u32);
+        println!(
+            "bench {:<56} {:>12.3?} per iter, {:>12.3?} min ({iters} iters)",
+            self.name, mean, min
+        );
+    }
+
+    /// Times `routine` over an adaptive number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup (also primes caches the way criterion's warmup phase does).
+        let _ = routine();
+        let budget = budget();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        while total < budget && iters < 100_000 {
+            let t0 = Instant::now();
+            let _ = routine();
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        self.report(iters, total, min);
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let _ = routine(setup());
+        let budget = budget();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        while total < budget && iters < 100_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            let _ = routine(input);
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        self.report(iters, total, min);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the adaptive budget governs the
+    /// sample count instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            name: format!("{}/{id}", self.name),
+        };
+        f(&mut b);
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher {
+            name: format!("{}/{id}", self.name),
+        };
+        f(&mut b, input);
+    }
+
+    /// Ends the group (no-op; criterion requires it, so we accept it).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh harness.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            name: id.to_string(),
+        };
+        f(&mut b);
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each target with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching upstream's `criterion::black_box` (pre-1.66 path);
+/// the workspace imports `std::hint::black_box` directly, but keep this for
+/// compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::new();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &k| {
+            b.iter_batched(|| k, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render_like_paths() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,137 @@
+//! Records (or checks) the interned-DAIG bench artifact `BENCH_daig.json`.
+//!
+//! ```text
+//! # Record the full artifact (PR 1 workload/seed, medians of 7 sweeps):
+//! $ cargo run --release --bin daig_bench -- --out BENCH_daig.json \
+//!       --before-remeasured 45991
+//!
+//! # CI smoke: validate the committed artifact and fail on a >30%
+//! # single-worker throughput regression against its smoke point:
+//! $ cargo run --release --bin daig_bench -- --check BENCH_daig.json
+//! ```
+
+use dai_bench::daig_bench::{
+    measure_micro, measure_throughput, to_json, validate_artifact, DaigBenchParams,
+};
+
+/// The single-worker qps recorded in PR 1's `BENCH_engine.json`
+/// (workers=1 point; sessions 8, grow 40, seed 379422).
+const PR1_FILE_QPS: f64 = 55697.9;
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut profile = "full".to_string();
+    let mut before_remeasured: Option<f64> = None;
+    let mut max_regress = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--profile" => profile = args.next().unwrap_or_default(),
+            "--before-remeasured" => {
+                before_remeasured = args.next().and_then(|s| s.parse().ok());
+            }
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--max-regress takes a fraction"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: daig_bench [--out FILE.json] [--check FILE.json] \
+                     [--profile full|smoke] [--before-remeasured QPS] [--max-regress 0.30]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        let committed_smoke =
+            validate_artifact(&committed).unwrap_or_else(|e| die(&format!("invalid {path}: {e}")));
+        println!(
+            "{path}: all required fields present; committed smoke median {committed_smoke:.1} qps"
+        );
+        let smoke = measure_throughput(&DaigBenchParams::smoke());
+        let measured = smoke.median();
+        println!(
+            "measured smoke median: {measured:.1} qps ({} queries/sweep)",
+            smoke.queries
+        );
+        let floor = committed_smoke * (1.0 - max_regress);
+        if measured < floor {
+            die(&format!(
+                "single-worker qps regressed: measured {measured:.1} < floor {floor:.1} \
+                 (committed {committed_smoke:.1}, tolerance {max_regress})"
+            ));
+        }
+        println!("throughput within {max_regress} of the committed smoke point — OK");
+        return;
+    }
+
+    let params = match profile.as_str() {
+        "full" => DaigBenchParams::full(),
+        "smoke" => DaigBenchParams::smoke(),
+        other => die(&format!("unknown profile `{other}`")),
+    };
+    println!("measuring {profile} profile ({} repeats)…", params.repeats);
+    let full = measure_throughput(&params);
+    println!(
+        "after: {} queries/sweep, median {:.1} qps, best {:.1} qps",
+        full.queries,
+        full.median(),
+        full.best()
+    );
+    println!("measuring smoke profile…");
+    let smoke = measure_throughput(&DaigBenchParams::smoke());
+    println!("smoke: median {:.1} qps", smoke.median());
+    println!("measuring representation micro-costs…");
+    let micro = measure_micro();
+    println!(
+        "micro: initial_daig {:.0} ns, cold exit query {:.0} ns, edit+requery {:.0} ns, \
+         cone_walks {} (unrolls {})",
+        micro.initial_daig_ns,
+        micro.cold_exit_query_ns,
+        micro.edit_requery_ns,
+        micro.cone_walks,
+        micro.unrolls
+    );
+    println!(
+        "speedup vs PR 1 file ({PR1_FILE_QPS:.1}): {:.2}x",
+        full.median() / PR1_FILE_QPS
+    );
+    if let Some(q) = before_remeasured {
+        println!(
+            "speedup vs remeasured baseline ({q:.1}): {:.2}x",
+            full.median() / q
+        );
+    }
+
+    let json = to_json(
+        &profile,
+        &params,
+        &full,
+        &smoke,
+        &micro,
+        PR1_FILE_QPS,
+        before_remeasured,
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            println!("artifact written to {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("daig_bench: {msg}");
+    std::process::exit(2);
+}

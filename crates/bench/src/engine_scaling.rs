@@ -119,9 +119,7 @@ fn run_at(workers: usize, params: &ScalingParams) -> ScalingPoint {
             })
         })
         .collect();
-    for t in tickets {
-        t.wait().expect("bench query succeeds");
-    }
+    Ticket::wait_all(tickets).expect("bench queries succeed");
     let elapsed = t0.elapsed();
     ScalingPoint {
         workers,

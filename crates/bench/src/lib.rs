@@ -18,6 +18,7 @@
 //!   records `BENCH_engine.json` baselines).
 
 pub mod buckets;
+pub mod daig_bench;
 pub mod engine_scaling;
 pub mod harness;
 pub mod lists;

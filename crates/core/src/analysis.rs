@@ -70,6 +70,14 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
         &mut self.daig
     }
 
+    /// Split borrow: the CFG (shared) alongside the DAIG (mutable). This
+    /// is what lets fix-resolution loops call
+    /// [`crate::query::fix_step`]`(daig, cfg, …)` without cloning the CFG
+    /// per step — the two live in disjoint fields.
+    pub fn parts_mut(&mut self) -> (&Cfg, &mut Daig<D>) {
+        (&self.cfg, &mut self.daig)
+    }
+
     /// The current entry state `φ₀`.
     pub fn entry_state(&self) -> &D {
         &self.entry_state

@@ -20,19 +20,94 @@ use crate::name::{IterCtx, Name};
 use dai_domains::AbstractDomain;
 use dai_lang::cfg::{Cfg, Edge};
 use dai_lang::Loc;
+use dai_memo::FxBuild;
 use std::collections::HashMap;
 
 /// Iteration overrides: the current iteration for specific loop heads
 /// (heads not present default to 0).
 pub type Overrides = HashMap<Loc, u32>;
 
+/// A per-region memo of iteration contexts: building a DAIG region (the
+/// whole graph in `Dinit`, one iterate's body in `unroll`) asks for the
+/// same location's context once per incident edge, so the region passes
+/// share one computed [`IterCtx`] per location instead of re-deriving it.
+struct CtxCache<'a> {
+    cfg: &'a Cfg,
+    overrides: &'a Overrides,
+    ctxs: HashMap<Loc, IterCtx, FxBuild>,
+}
+
+impl<'a> CtxCache<'a> {
+    fn new(cfg: &'a Cfg, overrides: &'a Overrides) -> CtxCache<'a> {
+        CtxCache {
+            cfg,
+            overrides,
+            ctxs: HashMap::default(),
+        }
+    }
+
+    fn ctx(&mut self, loc: Loc) -> &IterCtx {
+        self.ctxs
+            .entry(loc)
+            .or_insert_with(|| iter_ctx(self.cfg, loc, self.overrides))
+    }
+
+    fn iteration(&self, head: Loc) -> u32 {
+        self.overrides.get(&head).copied().unwrap_or(0)
+    }
+
+    /// [`dest_name`] via the cache.
+    fn dest(&mut self, loc: Loc) -> Name {
+        let i = self.iteration(loc);
+        let is_head = self.cfg.is_loop_head(loc);
+        let ctx = self.ctx(loc);
+        if is_head {
+            Name::State {
+                loc,
+                ctx: ctx.push(loc, i),
+            }
+        } else {
+            Name::State {
+                loc,
+                ctx: ctx.clone(),
+            }
+        }
+    }
+
+    /// [`src_name`] via the cache.
+    fn src(&mut self, a: Loc, b: Loc) -> Name {
+        if self.cfg.is_loop_head(a) {
+            let into_loop = a == b || self.cfg.enclosing_chain(b).contains(&a);
+            let i = self.iteration(a);
+            let ctx = self.ctx(a);
+            if into_loop {
+                Name::State {
+                    loc: a,
+                    ctx: ctx.push(a, i),
+                }
+            } else {
+                Name::State {
+                    loc: a,
+                    ctx: ctx.clone(),
+                }
+            }
+        } else {
+            let ctx = self.ctx(a);
+            Name::State {
+                loc: a,
+                ctx: ctx.clone(),
+            }
+        }
+    }
+}
+
 /// The iteration context of the state cell at `loc` (enclosing loops only,
 /// not `loc`'s own loop when it is a head).
 pub fn iter_ctx(cfg: &Cfg, loc: Loc, overrides: &Overrides) -> IterCtx {
     IterCtx(
-        cfg.enclosing_loops(loc)
-            .into_iter()
-            .map(|h| (h, overrides.get(&h).copied().unwrap_or(0)))
+        cfg.enclosing_chain(loc)
+            .iter()
+            .map(|&h| (h, overrides.get(&h).copied().unwrap_or(0)))
             .collect(),
     )
 }
@@ -65,7 +140,7 @@ pub fn fix_name(cfg: &Cfg, loc: Loc, overrides: &Overrides) -> Name {
 pub fn src_name(cfg: &Cfg, a: Loc, b: Loc, overrides: &Overrides) -> Name {
     if cfg.is_loop_head(a) {
         let ctx = iter_ctx(cfg, a, overrides);
-        if cfg.loops_containing(b).contains(&a) {
+        if a == b || cfg.enclosing_chain(b).contains(&a) {
             // Into the loop body (or the self-loop back edge): read the
             // current iterate.
             let i = overrides.get(&a).copied().unwrap_or(0);
@@ -94,7 +169,13 @@ pub fn add_loc_cells<D: AbstractDomain>(
     loc: Loc,
     overrides: &Overrides,
 ) {
-    let ctx = iter_ctx(cfg, loc, overrides);
+    let mut ctxs = CtxCache::new(cfg, overrides);
+    add_loc_cells_cached(daig, &mut ctxs, loc);
+}
+
+fn add_loc_cells_cached<D: AbstractDomain>(daig: &mut Daig<D>, ctxs: &mut CtxCache<'_>, loc: Loc) {
+    let cfg = ctxs.cfg;
+    let ctx = ctxs.ctx(loc).clone();
     if cfg.is_loop_head(loc) {
         let fix_cell = Name::State {
             loc,
@@ -132,28 +213,37 @@ pub fn add_edge_structure<D: AbstractDomain>(
     e: &Edge,
     overrides: &Overrides,
 ) {
+    let mut ctxs = CtxCache::new(cfg, overrides);
+    add_edge_structure_cached(daig, &mut ctxs, e);
+}
+
+fn add_edge_structure_cached<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    ctxs: &mut CtxCache<'_>,
+    e: &Edge,
+) {
+    let cfg = ctxs.cfg;
     let stmt_cell = Name::Stmt(e.id);
     if !daig.contains(&stmt_cell) {
         daig.add_cell(stmt_cell.clone(), Some(Value::Stmt(e.stmt.clone())));
     }
-    let src = src_name(cfg, e.src, e.dst, overrides);
+    let src = ctxs.src(e.src, e.dst);
     if cfg.is_back_edge(e.id) {
         // Back edge: transfer into the pre-widen cell of the head's
         // current iteration.
-        let head_ctx = iter_ctx(cfg, e.dst, overrides);
-        let i = overrides.get(&e.dst).copied().unwrap_or(0);
+        let i = ctxs.iteration(e.dst);
         let pw = Name::PreWiden {
             head: e.dst,
-            ctx: head_ctx.push(e.dst, i),
+            ctx: ctxs.ctx(e.dst).push(e.dst, i),
         };
         if !daig.contains(&pw) {
             daig.add_cell(pw.clone(), None);
         }
         daig.add_comp(pw, Func::Transfer, vec![stmt_cell, src]);
     } else if cfg.is_join(e.dst) {
-        let dest_ctx = match dest_name(cfg, e.dst, overrides) {
+        let dest_ctx = match ctxs.dest(e.dst) {
             Name::State { ctx, .. } => ctx,
-            _ => unreachable!("dest_name returns a state name"),
+            _ => unreachable!("dest returns a state name"),
         };
         let pj = Name::PreJoin {
             edge: e.id,
@@ -164,7 +254,7 @@ pub fn add_edge_structure<D: AbstractDomain>(
         }
         daig.add_comp(pj, Func::Transfer, vec![stmt_cell, src]);
     } else {
-        let dest = dest_name(cfg, e.dst, overrides);
+        let dest = ctxs.dest(e.dst);
         daig.add_comp(dest, Func::Transfer, vec![stmt_cell, src]);
     }
 }
@@ -177,18 +267,24 @@ pub fn add_join_comp<D: AbstractDomain>(
     loc: Loc,
     overrides: &Overrides,
 ) {
+    let mut ctxs = CtxCache::new(cfg, overrides);
+    add_join_comp_cached(daig, &mut ctxs, loc);
+}
+
+fn add_join_comp_cached<D: AbstractDomain>(daig: &mut Daig<D>, ctxs: &mut CtxCache<'_>, loc: Loc) {
+    let cfg = ctxs.cfg;
     if !cfg.is_join(loc) {
         return;
     }
-    let dest = dest_name(cfg, loc, overrides);
+    let dest = ctxs.dest(loc);
     let dest_ctx = match &dest {
         Name::State { ctx, .. } => ctx.clone(),
-        _ => unreachable!("dest_name returns a state name"),
+        _ => unreachable!("dest returns a state name"),
     };
     let srcs: Vec<Name> = cfg
-        .fwd_in_edges(loc)
-        .into_iter()
-        .map(|e| Name::PreJoin {
+        .fwd_in(loc)
+        .iter()
+        .map(|&e| Name::PreJoin {
             edge: e,
             ctx: dest_ctx.clone(),
         })
@@ -201,18 +297,119 @@ pub fn add_join_comp<D: AbstractDomain>(
 pub fn initial_daig<D: AbstractDomain>(cfg: &Cfg, phi0: D) -> Daig<D> {
     let mut daig = Daig::new();
     let overrides = Overrides::new();
-    for loc in cfg.locs() {
-        add_loc_cells(&mut daig, cfg, loc, &overrides);
+    let mut ctxs = CtxCache::new(cfg, &overrides);
+    let locs = cfg.locs();
+    // Id-level `Dinit`: every cell name is constructed and interned
+    // exactly once, and computations are wired by [`CellId`] — an edge
+    // whose source location feeds several destinations re-uses the
+    // interned id instead of re-hashing the name per reference.
+    use dai_memo::FxBuild as Fx;
+    let mut dest_ids: HashMap<Loc, crate::intern::CellId, Fx> = HashMap::default();
+    let mut fix_ids: HashMap<Loc, crate::intern::CellId, Fx> = HashMap::default();
+    for &loc in &locs {
+        if cfg.is_loop_head(loc) {
+            let ctx = ctxs.ctx(loc).clone();
+            let fix_cell = Name::State {
+                loc,
+                ctx: ctx.clone(),
+            };
+            let it0 = Name::State {
+                loc,
+                ctx: ctx.push(loc, 0),
+            };
+            let it1 = Name::State {
+                loc,
+                ctx: ctx.push(loc, 1),
+            };
+            let pw0 = Name::PreWiden {
+                head: loc,
+                ctx: ctx.push(loc, 0),
+            };
+            let fix_id = daig.add_cell_id(fix_cell, None);
+            let it0_id = daig.add_cell_id(it0, None);
+            let it1_id = daig.add_cell_id(it1, None);
+            let pw0_id = daig.add_cell_id(pw0, None);
+            daig.add_comp_ids(it1_id, Func::Widen, vec![it0_id, pw0_id]);
+            daig.add_comp_ids(fix_id, Func::Fix, vec![it0_id, it1_id]);
+            dest_ids.insert(loc, it0_id);
+            fix_ids.insert(loc, fix_id);
+        } else {
+            let id = daig.add_cell_id(
+                Name::State {
+                    loc,
+                    ctx: ctxs.ctx(loc).clone(),
+                },
+                None,
+            );
+            dest_ids.insert(loc, id);
+        }
     }
     for e in cfg.edges() {
-        add_edge_structure(&mut daig, cfg, e, &overrides);
+        let stmt_id = daig.add_cell_id(Name::Stmt(e.id), Some(Value::Stmt(e.stmt.clone())));
+        // src-nm: the fixed point when leaving a loop, the iterate inside.
+        // This id-level shortcut must agree with the Name-level rule in
+        // [`src_name`]/`CtxCache::src` (the unroll path still goes through
+        // those); the debug assertion pins the two together.
+        let src_id = if cfg.is_loop_head(e.src)
+            && !(e.src == e.dst || cfg.enclosing_chain(e.dst).contains(&e.src))
+        {
+            fix_ids[&e.src]
+        } else {
+            dest_ids[&e.src]
+        };
+        debug_assert_eq!(
+            daig.name_of(src_id),
+            &src_name(cfg, e.src, e.dst, &overrides),
+            "id-level Dinit disagrees with src-nm for edge {}",
+            e.id
+        );
+        if cfg.is_back_edge(e.id) {
+            let pw = Name::PreWiden {
+                head: e.dst,
+                ctx: ctxs.ctx(e.dst).push(e.dst, 0),
+            };
+            let pw_id = daig.id_of(&pw).expect("head installed its pre-widen cell");
+            daig.add_comp_ids(pw_id, Func::Transfer, vec![stmt_id, src_id]);
+        } else if cfg.is_join(e.dst) {
+            // The pre-join context is the *destination* context of the
+            // join — for a join that is also a loop head, that includes
+            // its own 0th-iterate component.
+            let mut pj_ctx = ctxs.ctx(e.dst).clone();
+            if cfg.is_loop_head(e.dst) {
+                pj_ctx = pj_ctx.push(e.dst, 0);
+            }
+            let pj = Name::PreJoin {
+                edge: e.id,
+                ctx: pj_ctx,
+            };
+            let pj_id = daig.add_cell_id(pj, None);
+            daig.add_comp_ids(pj_id, Func::Transfer, vec![stmt_id, src_id]);
+        } else {
+            daig.add_comp_ids(dest_ids[&e.dst], Func::Transfer, vec![stmt_id, src_id]);
+        }
     }
-    for loc in cfg.locs() {
-        add_join_comp(&mut daig, cfg, loc, &overrides);
+    for &loc in &locs {
+        if cfg.is_join(loc) {
+            let mut ctx = ctxs.ctx(loc).clone();
+            if cfg.is_loop_head(loc) {
+                ctx = ctx.push(loc, 0);
+            }
+            let srcs: Vec<crate::intern::CellId> = cfg
+                .fwd_in(loc)
+                .iter()
+                .map(|&e| {
+                    daig.id_of(&Name::PreJoin {
+                        edge: e,
+                        ctx: ctx.clone(),
+                    })
+                    .expect("pre-join cells installed")
+                })
+                .collect();
+            daig.add_comp_ids(dest_ids[&loc], Func::Join, srcs);
+        }
     }
     // Seed φ₀ at the entry (the 0th iterate when the entry is a loop head).
-    let entry_cell = dest_name(cfg, cfg.entry(), &overrides);
-    daig.write(&entry_cell, Value::State(phi0));
+    daig.write_id(dest_ids[&cfg.entry()], Value::State(phi0));
     daig
 }
 
@@ -228,6 +425,11 @@ pub fn entry_cell_name(cfg: &Cfg) -> Name {
 /// cell, the widen edge, and the slid fix edge. Nested loops restart at
 /// their initial two-iterate structure.
 ///
+/// Returns the ids of every structurally changed cell — the new iterate
+/// subgraph plus the re-pointed fix cell — so demanded-cone schedulers can
+/// patch their ready-counts for exactly this set instead of re-walking the
+/// cone (`dai_engine::scheduler::evaluate_targets`).
+///
 /// This realizes the paper's `unroll` (§5.2): it is the `incr`-duplication
 /// of the region between the two greatest iterates, with stale inner-loop
 /// unrollings normalized to their initial form (a strictly smaller,
@@ -238,12 +440,14 @@ pub fn unroll_loop<D: AbstractDomain>(
     head: Loc,
     sigma: &IterCtx,
     k: u32,
-) {
+) -> Vec<crate::intern::CellId> {
+    daig.begin_delta();
     let mut overrides = Overrides::new();
     for (h, i) in &sigma.0 {
         overrides.insert(*h, *i);
     }
     overrides.insert(head, k);
+    let mut ctxs = CtxCache::new(cfg, &overrides);
 
     // New iterate and pre-widen cells; widen edge.
     let it_k = Name::State {
@@ -271,24 +475,31 @@ pub fn unroll_loop<D: AbstractDomain>(
     // Fresh body cells at iteration k (nested heads get their initial
     // structure back).
     let body: Vec<Loc> = cfg
-        .natural_loop(head)
-        .into_iter()
+        .natural_loop_ref(head)
+        .iter()
+        .copied()
         .filter(|&x| x != head)
         .collect();
     for &x in &body {
-        add_loc_cells(daig, cfg, x, &overrides);
+        add_loc_cells_cached(daig, &mut ctxs, x);
     }
     // Body edges (including the back edge into the new pre-widen cell and
-    // inner-loop edges).
-    for e in cfg.edges() {
-        let into_body = body.contains(&e.dst);
-        let is_this_back = e.dst == head && cfg.is_back_edge(e.id);
-        if into_body || is_this_back {
-            add_edge_structure(daig, cfg, e, &overrides);
-        }
+    // inner-loop edges): exactly the in-edges of body locations plus this
+    // head's own back edge — processed in ascending id order so the build
+    // sequence is deterministic and id-independent.
+    let mut region: Vec<dai_lang::EdgeId> = body
+        .iter()
+        .flat_map(|&x| cfg.in_edges(x).iter().copied())
+        .chain(cfg.back_edge(head))
+        .collect();
+    region.sort_unstable();
+    region.dedup();
+    for id in region {
+        let e = cfg.edge(id).expect("region edges exist").clone();
+        add_edge_structure_cached(daig, &mut ctxs, &e);
     }
     for &x in &body {
-        add_join_comp(daig, cfg, x, &overrides);
+        add_join_comp_cached(daig, &mut ctxs, x);
     }
 
     // Slide the fix edge forward.
@@ -297,6 +508,7 @@ pub fn unroll_loop<D: AbstractDomain>(
         ctx: sigma.clone(),
     };
     daig.add_comp(fix_cell, Func::Fix, vec![it_k, it_k1]);
+    daig.take_delta()
 }
 
 /// Rolls the loop at `head` (instance `sigma`) back to its initial

@@ -13,6 +13,7 @@
 
 use crate::build::rollback_loop;
 use crate::graph::{Daig, Func, Value};
+use crate::intern::CellId;
 use crate::name::Name;
 use dai_domains::AbstractDomain;
 
@@ -20,32 +21,37 @@ use dai_domains::AbstractDomain;
 /// reachable from them, rolling back loops whose fixed points are
 /// invalidated. Cells that are already empty stop propagation.
 pub fn dirty_from<D: AbstractDomain>(daig: &mut Daig<D>, seeds: Vec<Name>) {
-    let mut work = seeds;
+    let work: Vec<CellId> = seeds.iter().filter_map(|n| daig.id_of(n)).collect();
+    dirty_from_ids(daig, work);
+}
+
+/// Id-level [`dirty_from`]: the E-Propagate wave as an integer traversal
+/// over the graph's flat reverse adjacency.
+pub fn dirty_from_ids<D: AbstractDomain>(daig: &mut Daig<D>, mut work: Vec<CellId>) {
     while let Some(x) = work.pop() {
-        if !daig.contains(&x) {
+        if !daig.contains_id(x) {
             continue; // removed by a rollback
         }
-        if daig.clear(&x).is_none() {
+        if daig.clear_id(x).is_none() {
             continue; // already empty: dependents are empty too
         }
         // E-Loop: clearing a fixed-point cell rolls its loop back.
-        if let Some(comp) = daig.comp(&x) {
-            if comp.func == Func::Fix {
-                if let Name::State { loc, ctx } = &x {
-                    let (head, sigma) = (*loc, ctx.clone());
-                    rollback_loop(daig, head, &sigma);
-                }
+        if daig.comp_func(x) == Some(Func::Fix) {
+            if let Name::State { loc, ctx } = daig.name_of(x) {
+                let (head, sigma) = (*loc, ctx.clone());
+                rollback_loop(daig, head, &sigma);
             }
         }
-        work.extend(daig.dependents(&x).cloned());
+        work.extend_from_slice(daig.dependents_ids(x));
     }
 }
 
 /// Dirties everything that depends on `n` without clearing `n` itself
 /// (used when `n` is about to receive a new value, e.g. a statement edit).
 pub fn dirty_dependents<D: AbstractDomain>(daig: &mut Daig<D>, n: &Name) {
-    let deps: Vec<Name> = daig.dependents(n).cloned().collect();
-    dirty_from(daig, deps);
+    let Some(id) = daig.id_of(n) else { return };
+    let deps = daig.dependents_ids(id).to_vec();
+    dirty_from_ids(daig, deps);
 }
 
 /// Writes `v` into `n` after dirtying its dependents — the combination of

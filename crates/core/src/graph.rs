@@ -1,11 +1,56 @@
 //! The DAIG data structure: reference cells and computation hyperedges
 //! (paper §4), with the Definition 4.1 well-formedness checks.
+//!
+//! # Representation: interned ids over symbolic names
+//!
+//! Externally, cells are addressed by [`Name`] — symbolic, self-describing,
+//! stable across program edits. Internally, every name is interned to a
+//! dense [`CellId`] by a [`NameInterner`] the first time the graph sees it,
+//! and **all** graph state is `CellId`-indexed:
+//!
+//! * cells live in a slot arena (`Vec<Slot>`): value, cached content
+//!   digest, producing computation, and reverse adjacency are read by
+//!   `u32` index, never by hashing a name;
+//! * computation sources ([`CompSlot::srcs`]) and reverse adjacency
+//!   (`Slot::deps`, the flat list of destinations reading a cell) are
+//!   `CellId` lists, so the scheduler's cone bookkeeping and the edit
+//!   layer's dirtying wave are integer traversals.
+//!
+//! ## Name ↔ CellId lifecycle
+//!
+//! Interning is append-only: a `CellId` denotes the same `Name` forever.
+//! Removing a cell (loop rollback, superseded pre-join) only clears its
+//! slot's *live* flag; re-creating the name later (a re-unroll) resurrects
+//! the same id. Id-keyed state held outside the graph therefore never
+//! dangles — it can only refer to a dead slot, which readers observe via
+//! [`Daig::contains_id`]. Ids are graph-local: never mix ids from two
+//! DAIGs.
+//!
+//! ## Structural epochs and deltas
+//!
+//! Every mutation of graph *structure* (cell added/removed, computation
+//! installed/removed — not value writes) bumps [`Daig::struct_epoch`].
+//! External caches keyed by ids (CSR snapshots, demanded-cone counts) are
+//! valid for exactly one epoch; [`Daig::begin_delta`]/[`Daig::take_delta`]
+//! additionally record *which* cells changed structurally, which is how
+//! [`crate::build::unroll_loop`] reports the spliced subgraph so
+//! `dai-engine`'s scheduler can patch its cone state instead of
+//! re-traversing (see `dai_engine::scheduler`).
+//!
+//! ## Value digests
+//!
+//! Each filled slot caches a 128-bit content digest of its value, computed
+//! once at write time. Memo keys (`f·(v₁⋯v_k)`, see [`dai_memo`]) are
+//! built from these cached digests, so evaluating a computation never
+//! re-hashes a (potentially large) abstract state that the graph already
+//! hashed when it was produced.
 
+use crate::intern::{CellId, NameInterner};
 use crate::name::Name;
 use crate::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
 use dai_lang::Stmt;
-use std::collections::{BTreeSet, HashMap};
+use dai_memo::content_digest;
 use std::fmt;
 use std::hash::Hash;
 
@@ -74,13 +119,24 @@ impl Func {
     }
 }
 
-/// A computation hyperedge `n ← f(n₁, …, n_k)`.
+/// A computation hyperedge `n ← f(n₁, …, n_k)`, materialized with symbolic
+/// names (the id-indexed form is [`Daig::comp_srcs`]/[`Daig::comp_func`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Comp {
     /// The labelling function.
     pub func: Func,
     /// Source cell names, in argument order.
     pub srcs: Vec<Name>,
+}
+
+/// The id-indexed form of a computation: function plus source ids in
+/// argument order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompSlot {
+    /// The labelling function.
+    pub func: Func,
+    /// Source cell ids, in argument order.
+    pub srcs: Vec<CellId>,
 }
 
 /// Errors reported by DAIG operations.
@@ -104,16 +160,51 @@ impl fmt::Display for DaigError {
 
 impl std::error::Error for DaigError {}
 
+/// One arena slot: the cell state behind a [`CellId`].
+#[derive(Debug, Clone)]
+struct Slot<D> {
+    /// Is the cell currently part of the graph's namespace? Dead slots
+    /// keep their id reserved for resurrection (see module docs).
+    live: bool,
+    /// The cell's value, if filled.
+    value: Option<Value<D>>,
+    /// Content digest of `value`, valid iff `value.is_some()`.
+    digest: u128,
+    /// The computation producing this cell, if any.
+    comp: Option<CompSlot>,
+    /// Reverse adjacency: destinations whose computations read this cell
+    /// (one entry per *distinct* source occurrence).
+    deps: Vec<CellId>,
+}
+
+impl<D> Default for Slot<D> {
+    fn default() -> Self {
+        Slot {
+            live: false,
+            value: None,
+            digest: 0,
+            comp: None,
+            deps: Vec::new(),
+        }
+    }
+}
+
 /// A demanded abstract interpretation graph: named reference cells plus
 /// computation hyperedges keyed by destination (well-formedness (2):
-/// destinations are unique).
+/// destinations are unique). See the module docs for the id-based
+/// representation.
 #[derive(Debug, Clone)]
 pub struct Daig<D: AbstractDomain> {
-    cells: HashMap<Name, Option<Value<D>>>,
-    comps: HashMap<Name, Comp>,
-    /// Reverse adjacency: source name → destinations of computations that
-    /// read it. Maintained by [`Daig::add_comp`]/[`Daig::remove_comp`].
-    dependents: HashMap<Name, BTreeSet<Name>>,
+    interner: NameInterner,
+    slots: Vec<Slot<D>>,
+    /// Live cells (slots with `live`).
+    live_cells: usize,
+    /// Installed computations.
+    comps: usize,
+    /// Bumped on every structural mutation.
+    epoch: u64,
+    /// When recording, ids of cells whose structure changed.
+    delta: Option<Vec<CellId>>,
     /// The loop-head iteration strategy this DAIG's `∇` and `fix` edges
     /// realize. Carried by the graph so query evaluation and the
     /// Definition 4.3 consistency checker always agree on the abstract
@@ -131,9 +222,12 @@ impl<D: AbstractDomain> Daig<D> {
     /// An empty DAIG with the paper's default strategy.
     pub fn new() -> Daig<D> {
         Daig {
-            cells: HashMap::new(),
-            comps: HashMap::new(),
-            dependents: HashMap::new(),
+            interner: NameInterner::new(),
+            slots: Vec::new(),
+            live_cells: 0,
+            comps: 0,
+            epoch: 0,
+            delta: None,
             strategy: FixStrategy::PAPER,
         }
     }
@@ -153,44 +247,230 @@ impl<D: AbstractDomain> Daig<D> {
         self.strategy = strategy;
     }
 
+    // ------------------------------------------------------------------
+    // Id resolution.
+    // ------------------------------------------------------------------
+
+    /// The id of `n`, if `n` currently names a cell.
+    #[inline]
+    pub fn id_of(&self, n: &Name) -> Option<CellId> {
+        self.interner.get(n).filter(|id| self.slots[id.idx()].live)
+    }
+
+    /// The name behind `id` (alive or dead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    #[inline]
+    pub fn name_of(&self, id: CellId) -> &Name {
+        self.interner.name(id)
+    }
+
+    /// Number of ids ever assigned — the length dense id-indexed side
+    /// tables must have. Grows monotonically (unrolls intern new iterate
+    /// names); never shrinks on removal.
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The structural epoch: bumped whenever a cell or computation is
+    /// added or removed. Id-keyed caches built against one epoch must be
+    /// refreshed (or patched via [`Daig::take_delta`]) when it changes.
+    #[inline]
+    pub fn struct_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn intern_slot_owned(&mut self, n: Name) -> CellId {
+        let id = self.interner.intern_owned(n);
+        if id.idx() >= self.slots.len() {
+            self.slots.resize_with(id.idx() + 1, Slot::default);
+        }
+        id
+    }
+
+    fn record(&mut self, id: CellId) {
+        if let Some(d) = &mut self.delta {
+            d.push(id);
+        }
+    }
+
+    /// Starts recording structural changes (cells added/removed,
+    /// computations installed/removed). Nested recording is not supported:
+    /// a second call resets the log.
+    pub fn begin_delta(&mut self) {
+        self.delta = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the ids of structurally changed cells,
+    /// deduplicated (ascending id order). The work is O(|delta| log
+    /// |delta|) — deliberately independent of the arena size, so per-unroll
+    /// delta collection cannot re-introduce an O(arena × unrolls) term.
+    pub fn take_delta(&mut self) -> Vec<CellId> {
+        let mut d = self.delta.take().unwrap_or_default();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+
+    // ------------------------------------------------------------------
+    // Counts.
+    // ------------------------------------------------------------------
+
     /// Number of reference cells.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        self.live_cells
     }
 
     /// Number of computation edges.
     pub fn comp_count(&self) -> usize {
-        self.comps.len()
-    }
-
-    /// Does the namespace contain `n`?
-    pub fn contains(&self, n: &Name) -> bool {
-        self.cells.contains_key(n)
-    }
-
-    /// The value of cell `n`, if the cell exists and is non-empty.
-    pub fn value(&self, n: &Name) -> Option<&Value<D>> {
-        self.cells.get(n).and_then(|v| v.as_ref())
-    }
-
-    /// The computation producing `n`, if any.
-    pub fn comp(&self, n: &Name) -> Option<&Comp> {
-        self.comps.get(n)
-    }
-
-    /// The destinations that read `n`.
-    pub fn dependents(&self, n: &Name) -> impl Iterator<Item = &Name> {
-        self.dependents.get(n).into_iter().flatten()
-    }
-
-    /// All cell names (unordered).
-    pub fn names(&self) -> impl Iterator<Item = &Name> {
-        self.cells.keys()
+        self.comps
     }
 
     /// Number of non-empty cells.
     pub fn filled_count(&self) -> usize {
-        self.cells.values().filter(|v| v.is_some()).count()
+        self.slots
+            .iter()
+            .filter(|s| s.live && s.value.is_some())
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Id-indexed accessors (the hot path).
+    // ------------------------------------------------------------------
+
+    /// Is the slot behind `id` a live cell?
+    #[inline]
+    pub fn contains_id(&self, id: CellId) -> bool {
+        self.slots[id.idx()].live
+    }
+
+    /// The value of cell `id`, if live and filled.
+    #[inline]
+    pub fn value_id(&self, id: CellId) -> Option<&Value<D>> {
+        let s = &self.slots[id.idx()];
+        if s.live {
+            s.value.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The cached content digest of cell `id`'s value (`None` when empty).
+    #[inline]
+    pub fn digest_id(&self, id: CellId) -> Option<u128> {
+        let s = &self.slots[id.idx()];
+        if s.live && s.value.is_some() {
+            Some(s.digest)
+        } else {
+            None
+        }
+    }
+
+    /// The function of the computation producing `id`, if any.
+    #[inline]
+    pub fn comp_func(&self, id: CellId) -> Option<Func> {
+        self.slots[id.idx()].comp.as_ref().map(|c| c.func)
+    }
+
+    /// The source ids of the computation producing `id` (argument order).
+    #[inline]
+    pub fn comp_srcs(&self, id: CellId) -> Option<&[CellId]> {
+        self.slots[id.idx()]
+            .comp
+            .as_ref()
+            .map(|c| c.srcs.as_slice())
+    }
+
+    /// The id-indexed computation producing `id`, if any.
+    #[inline]
+    pub fn comp_slot(&self, id: CellId) -> Option<&CompSlot> {
+        self.slots[id.idx()].comp.as_ref()
+    }
+
+    /// The destinations reading cell `id` (flat id adjacency; unordered).
+    #[inline]
+    pub fn dependents_ids(&self, id: CellId) -> &[CellId] {
+        &self.slots[id.idx()].deps
+    }
+
+    /// Writes a value into the live cell `id`, caching its content digest.
+    pub fn write_id(&mut self, id: CellId, v: Value<D>) {
+        let s = &mut self.slots[id.idx()];
+        if s.live {
+            s.digest = content_digest(&v);
+            s.value = Some(v);
+        }
+    }
+
+    /// Empties cell `id`, returning its previous value.
+    pub fn clear_id(&mut self, id: CellId) -> Option<Value<D>> {
+        let s = &mut self.slots[id.idx()];
+        if s.live {
+            s.value.take()
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Name-level API (resolution layer over the arena).
+    // ------------------------------------------------------------------
+
+    /// Does the namespace contain `n`?
+    pub fn contains(&self, n: &Name) -> bool {
+        self.id_of(n).is_some()
+    }
+
+    /// The value of cell `n`, if the cell exists and is non-empty.
+    pub fn value(&self, n: &Name) -> Option<&Value<D>> {
+        self.id_of(n)
+            .and_then(|id| self.slots[id.idx()].value.as_ref())
+    }
+
+    /// The computation producing `n`, if any, with sources materialized as
+    /// names. Hot paths should prefer [`Daig::comp_srcs`]/
+    /// [`Daig::comp_func`], which do not clone names.
+    pub fn comp(&self, n: &Name) -> Option<Comp> {
+        let id = self.id_of(n)?;
+        let c = self.slots[id.idx()].comp.as_ref()?;
+        Some(Comp {
+            func: c.func,
+            srcs: c
+                .srcs
+                .iter()
+                .map(|&s| self.interner.name(s).clone())
+                .collect(),
+        })
+    }
+
+    /// The destinations that read `n`.
+    pub fn dependents(&self, n: &Name) -> impl Iterator<Item = &Name> {
+        let ids: &[CellId] = match self.id_of(n) {
+            Some(id) => &self.slots[id.idx()].deps,
+            None => &[],
+        };
+        ids.iter().map(move |&d| self.interner.name(d))
+    }
+
+    /// All cell names (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live)
+            .map(|(i, _)| self.interner.name(CellId(i as u32)))
+    }
+
+    /// All live cell ids.
+    pub fn ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live)
+            .map(|(i, _)| CellId(i as u32))
     }
 
     /// The *ready frontier*: empty cells whose computation has every input
@@ -212,118 +492,203 @@ impl<D: AbstractDomain> Daig<D> {
     /// [`crate::query::fix_step`] (they mutate the graph) rather than
     /// [`crate::query::apply_ready`].
     pub fn ready_frontier(&self) -> impl Iterator<Item = &Name> {
-        self.comps
+        self.slots
             .iter()
-            .filter(|(dest, comp)| {
-                self.value(dest).is_none() && comp.srcs.iter().all(|s| self.value(s).is_some())
+            .enumerate()
+            .filter(move |(_, s)| {
+                s.live
+                    && s.value.is_none()
+                    && s.comp
+                        .as_ref()
+                        .is_some_and(|c| c.srcs.iter().all(|&src| self.value_id(src).is_some()))
             })
-            .map(|(dest, _)| dest)
+            .map(|(i, _)| self.interner.name(CellId(i as u32)))
     }
 
-    /// Adds (or resets) a cell with an initial value.
+    /// Adds (or resets) a cell with an initial value. Re-adding a removed
+    /// name resurrects its original id.
     pub fn add_cell(&mut self, n: Name, v: Option<Value<D>>) {
-        self.cells.insert(n, v);
+        let _ = self.add_cell_id(n, v);
+    }
+
+    /// [`Daig::add_cell`], returning the cell's id for id-level wiring.
+    pub fn add_cell_id(&mut self, n: Name, v: Option<Value<D>>) -> CellId {
+        let id = self.intern_slot_owned(n);
+        let s = &mut self.slots[id.idx()];
+        if !s.live {
+            s.live = true;
+            self.live_cells += 1;
+        }
+        match v {
+            Some(v) => {
+                let digest = content_digest(&v);
+                let s = &mut self.slots[id.idx()];
+                s.digest = digest;
+                s.value = Some(v);
+            }
+            None => self.slots[id.idx()].value = None,
+        }
+        self.epoch += 1;
+        self.record(id);
+        id
     }
 
     /// Writes a value into an existing cell (the low-level mutation
     /// `D[n ↦ v]` of the paper — no invalidation; see `edit` for the
     /// dirtying judgment).
     pub fn write(&mut self, n: &Name, v: Value<D>) {
-        if let Some(slot) = self.cells.get_mut(n) {
-            *slot = Some(v);
+        if let Some(id) = self.id_of(n) {
+            self.write_id(id, v);
         }
     }
 
     /// Empties a cell, returning its previous value.
     pub fn clear(&mut self, n: &Name) -> Option<Value<D>> {
-        self.cells.get_mut(n).and_then(|slot| slot.take())
+        self.id_of(n).and_then(|id| self.clear_id(id))
     }
 
     /// Installs a computation `dest ← f(srcs)`, replacing any previous
     /// computation for `dest` and maintaining reverse adjacency.
     pub fn add_comp(&mut self, dest: Name, func: Func, srcs: Vec<Name>) {
-        self.remove_comp(&dest);
-        for s in &srcs {
-            self.dependents
-                .entry(s.clone())
-                .or_default()
-                .insert(dest.clone());
+        let dest_id = self.intern_slot_owned(dest);
+        let src_ids: Vec<CellId> = srcs
+            .into_iter()
+            .map(|s| self.intern_slot_owned(s))
+            .collect();
+        self.add_comp_ids(dest_id, func, src_ids);
+    }
+
+    /// Id-level [`Daig::add_comp`].
+    pub fn add_comp_ids(&mut self, dest: CellId, func: Func, srcs: Vec<CellId>) {
+        self.remove_comp_id(dest);
+        // One reverse-adjacency entry per *distinct* source, so a
+        // dependent is counted (and later decremented) once even if the
+        // computation reads the same cell in several argument positions.
+        for (i, &s) in srcs.iter().enumerate() {
+            if srcs[..i].contains(&s) {
+                continue;
+            }
+            self.slots[s.idx()].deps.push(dest);
         }
-        self.comps.insert(dest, Comp { func, srcs });
+        self.slots[dest.idx()].comp = Some(CompSlot { func, srcs });
+        self.comps += 1;
+        self.epoch += 1;
+        self.record(dest);
     }
 
     /// Removes the computation for `dest`, if any.
     pub fn remove_comp(&mut self, dest: &Name) {
-        if let Some(old) = self.comps.remove(dest) {
-            for s in &old.srcs {
-                if let Some(ds) = self.dependents.get_mut(s) {
-                    ds.remove(dest);
-                    if ds.is_empty() {
-                        self.dependents.remove(s);
-                    }
+        if let Some(id) = self.interner.get(dest) {
+            self.remove_comp_id(id);
+        }
+    }
+
+    /// Id-level [`Daig::remove_comp`].
+    pub fn remove_comp_id(&mut self, dest: CellId) {
+        if let Some(old) = self.slots[dest.idx()].comp.take() {
+            for (i, &s) in old.srcs.iter().enumerate() {
+                if old.srcs[..i].contains(&s) {
+                    continue;
+                }
+                let deps = &mut self.slots[s.idx()].deps;
+                if let Some(pos) = deps.iter().position(|&d| d == dest) {
+                    deps.swap_remove(pos);
                 }
             }
+            self.comps -= 1;
+            self.epoch += 1;
+            self.record(dest);
         }
     }
 
     /// Removes a cell and its computation. The caller is responsible for
     /// not leaving dangling sources (checked by [`Daig::check_well_formed`]).
     pub fn remove_cell(&mut self, n: &Name) {
-        self.remove_comp(n);
-        self.cells.remove(n);
+        if let Some(id) = self.interner.get(n) {
+            self.remove_cell_id(id);
+        }
+    }
+
+    /// Id-level [`Daig::remove_cell`]. The id stays reserved for the name
+    /// and is resurrected by a later [`Daig::add_cell`].
+    pub fn remove_cell_id(&mut self, id: CellId) {
+        self.remove_comp_id(id);
+        let s = &mut self.slots[id.idx()];
+        if s.live {
+            s.live = false;
+            s.value = None;
+            self.live_cells -= 1;
+            self.epoch += 1;
+            self.record(id);
+        }
     }
 
     /// Definition 4.1 well-formedness: unique names and destinations hold
-    /// structurally (maps); checks (3) acyclicity, (4) well-typedness, and
-    /// (5) empty cells have dependencies, plus adjacency coherence and the
-    /// AI-consistency condition that non-empty cells have non-empty
-    /// sources.
+    /// structurally (interner + slot arena); checks (3) acyclicity, (4)
+    /// well-typedness, and (5) empty cells have dependencies, plus
+    /// adjacency coherence and the AI-consistency condition that non-empty
+    /// cells have non-empty sources.
     pub fn check_well_formed(&self) -> Result<(), DaigError> {
+        let name = |id: CellId| self.interner.name(id);
+        // (2)/(1) namespace: a computation's destination must be a live
+        // cell (a comp parked on a dead slot is a builder bug — cells are
+        // always installed before their computations).
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !slot.live && slot.comp.is_some() {
+                return Err(DaigError::Invariant(format!(
+                    "comp dest {} has no cell",
+                    name(CellId(i as u32))
+                )));
+            }
+        }
         // (4) Typing: transfers take (stmt, state); others take states;
         // all destinations are state-typed.
-        for (dest, comp) in &self.comps {
-            if dest.is_stmt() {
+        for dest in self.ids() {
+            let Some(comp) = self.comp_slot(dest) else {
+                continue;
+            };
+            let dn = name(dest);
+            if dn.is_stmt() {
                 return Err(DaigError::Invariant(format!(
-                    "statement cell {dest} is a computation destination"
+                    "statement cell {dn} is a computation destination"
                 )));
             }
-            if !self.cells.contains_key(dest) {
-                return Err(DaigError::Invariant(format!(
-                    "comp dest {dest} has no cell"
-                )));
-            }
-            for (i, s) in comp.srcs.iter().enumerate() {
-                if !self.cells.contains_key(s) {
+            for (i, &s) in comp.srcs.iter().enumerate() {
+                if !self.contains_id(s) {
                     return Err(DaigError::Invariant(format!(
-                        "comp for {dest} reads missing cell {s}"
+                        "comp for {dn} reads missing cell {}",
+                        name(s)
                     )));
                 }
                 let should_be_stmt = comp.func == Func::Transfer && i == 0;
-                if s.is_stmt() != should_be_stmt {
+                if name(s).is_stmt() != should_be_stmt {
                     return Err(DaigError::Invariant(format!(
-                        "comp for {dest} arg {i} has wrong type ({s})"
+                        "comp for {dn} arg {i} has wrong type ({})",
+                        name(s)
                     )));
                 }
             }
             match comp.func {
                 Func::Transfer if comp.srcs.len() != 2 => {
-                    return Err(DaigError::Invariant(format!("transfer arity at {dest}")));
+                    return Err(DaigError::Invariant(format!("transfer arity at {dn}")));
                 }
                 Func::Widen | Func::Fix if comp.srcs.len() != 2 => {
-                    return Err(DaigError::Invariant(format!("binary arity at {dest}")));
+                    return Err(DaigError::Invariant(format!("binary arity at {dn}")));
                 }
                 Func::Join if comp.srcs.len() < 2 => {
-                    return Err(DaigError::Invariant(format!("join arity at {dest}")));
+                    return Err(DaigError::Invariant(format!("join arity at {dn}")));
                 }
                 _ => {}
             }
         }
         // (5) Empty references have dependencies; statement cells must be
         // full; AI-consistency: non-empty cells have non-empty sources.
-        for (n, v) in &self.cells {
-            match v {
+        for id in self.ids() {
+            let s = &self.slots[id.idx()];
+            let n = name(id);
+            match &s.value {
                 None => {
-                    if !self.comps.contains_key(n) {
+                    if s.comp.is_none() {
                         return Err(DaigError::Invariant(format!(
                             "empty cell {n} has no computation"
                         )));
@@ -333,11 +698,12 @@ impl<D: AbstractDomain> Daig<D> {
                     }
                 }
                 Some(_) => {
-                    if let Some(c) = self.comps.get(n) {
-                        for s in &c.srcs {
-                            if self.value(s).is_none() {
+                    if let Some(c) = &s.comp {
+                        for &src in &c.srcs {
+                            if self.value_id(src).is_none() {
                                 return Err(DaigError::Invariant(format!(
-                                    "non-empty {n} depends on empty {s}"
+                                    "non-empty {n} depends on empty {}",
+                                    name(src)
                                 )));
                             }
                         }
@@ -345,50 +711,72 @@ impl<D: AbstractDomain> Daig<D> {
                 }
             }
         }
-        // Adjacency coherence.
-        for (src, dests) in &self.dependents {
-            for d in dests {
-                let Some(c) = self.comps.get(d) else {
+        // Adjacency coherence: every reverse-adjacency entry is backed by
+        // a computation that reads the source, and every computation
+        // source is registered.
+        for (i, slot) in self.slots.iter().enumerate() {
+            let src = CellId(i as u32);
+            for &d in &slot.deps {
+                let Some(c) = self.comp_slot(d) else {
                     return Err(DaigError::Invariant(format!(
-                        "dependents lists {d} for {src} without comp"
+                        "dependents lists {} for {} without comp",
+                        name(d),
+                        name(src)
                     )));
                 };
-                if !c.srcs.contains(src) {
+                if !c.srcs.contains(&src) {
                     return Err(DaigError::Invariant(format!(
-                        "dependents lists {d} for {src} but comp does not read it"
+                        "dependents lists {} for {} but comp does not read it",
+                        name(d),
+                        name(src)
                     )));
+                }
+            }
+            if let Some(c) = &slot.comp {
+                for &s in &c.srcs {
+                    if !self.slots[s.idx()].deps.contains(&CellId(i as u32)) {
+                        return Err(DaigError::Invariant(format!(
+                            "comp for {} reads {} without a dependents entry",
+                            name(CellId(i as u32)),
+                            name(s)
+                        )));
+                    }
                 }
             }
         }
         // (3) Acyclicity via iterative DFS over comps (src → dest edges).
-        let mut state: HashMap<&Name, u8> = HashMap::new(); // 1 = in progress, 2 = done
-        for start in self.comps.keys() {
-            if state.get(start).copied().unwrap_or(0) == 2 {
+        const FRESH: u8 = 0;
+        const OPEN: u8 = 1;
+        const DONE: u8 = 2;
+        let mut state = vec![FRESH; self.slots.len()];
+        for start in self.ids() {
+            if self.comp_slot(start).is_none() || state[start.idx()] == DONE {
                 continue;
             }
-            let mut stack: Vec<(&Name, usize)> = vec![(start, 0)];
-            state.insert(start, 1);
+            let mut stack: Vec<(CellId, usize)> = vec![(start, 0)];
+            state[start.idx()] = OPEN;
             while let Some(&(n, i)) = stack.last() {
                 // Children of n: the sources of its computation (walking
                 // backwards keeps the traversal within comps).
-                let srcs = self.comps.get(n).map(|c| c.srcs.as_slice()).unwrap_or(&[]);
+                let srcs = self.comp_srcs(n).unwrap_or(&[]);
                 if i < srcs.len() {
                     stack.last_mut().expect("nonempty").1 += 1;
-                    let child = &srcs[i];
-                    match state.get(child).copied().unwrap_or(0) {
-                        0 => {
-                            state.insert(child, 1);
+                    let child = srcs[i];
+                    match state[child.idx()] {
+                        FRESH => {
+                            state[child.idx()] = OPEN;
                             stack.push((child, 0));
                         }
-                        1 => {
+                        OPEN => {
                             return Err(DaigError::Invariant(format!(
-                                "dependency cycle through {child}"
+                                "dependency cycle through {}",
+                                name(child)
                             )));
                         }
                         _ => {}
                     }
                 } else {
-                    state.insert(n, 2);
+                    state[n.idx()] = DONE;
                     stack.pop();
                 }
             }
@@ -498,5 +886,88 @@ mod tests {
         assert!(d.value(&state(0)).is_none());
         d.write(&state(0), v);
         assert!(d.value(&state(0)).is_some());
+    }
+
+    #[test]
+    fn removed_cell_resurrects_with_same_id() {
+        let mut d = simple_daig();
+        let id = d.id_of(&state(1)).unwrap();
+        d.remove_cell(&state(1));
+        assert!(!d.contains(&state(1)));
+        assert!(!d.contains_id(id));
+        assert_eq!(d.id_of(&state(1)), None);
+        d.add_cell(state(1), None);
+        assert_eq!(d.id_of(&state(1)), Some(id), "id survives removal");
+        assert!(d.value_id(id).is_none());
+    }
+
+    #[test]
+    fn struct_epoch_tracks_structure_not_values() {
+        let mut d = simple_daig();
+        let e0 = d.struct_epoch();
+        d.write(&state(1), Value::State(IntervalDomain::top()));
+        assert_eq!(d.struct_epoch(), e0, "value writes are not structural");
+        d.clear(&state(1));
+        assert_eq!(d.struct_epoch(), e0);
+        d.add_cell(state(7), Some(Value::State(IntervalDomain::top())));
+        assert!(d.struct_epoch() > e0);
+        let e1 = d.struct_epoch();
+        d.remove_cell(&state(7));
+        assert!(d.struct_epoch() > e1);
+    }
+
+    #[test]
+    fn delta_records_structural_changes_deduplicated() {
+        let mut d = simple_daig();
+        d.begin_delta();
+        d.add_cell(state(5), None);
+        d.add_cell(state(6), None);
+        d.add_comp(state(5), Func::Widen, vec![state(0), state(6)]);
+        d.add_comp(state(6), Func::Widen, vec![state(0), state(1)]);
+        // Re-pointing state(5)'s comp must not duplicate its delta entry.
+        d.add_comp(state(5), Func::Widen, vec![state(1), state(6)]);
+        let delta = d.take_delta();
+        let id5 = d.id_of(&state(5)).unwrap();
+        let id6 = d.id_of(&state(6)).unwrap();
+        assert!(delta.contains(&id5));
+        assert!(delta.contains(&id6));
+        let occurrences = delta.iter().filter(|&&i| i == id5).count();
+        assert_eq!(occurrences, 1, "delta is deduplicated");
+        // Writes outside a recording window are not tracked.
+        d.write(&state(5), Value::State(IntervalDomain::top()));
+        assert!(d.take_delta().is_empty());
+    }
+
+    #[test]
+    fn digests_cached_per_write() {
+        let d = simple_daig();
+        let id = d.id_of(&state(0)).unwrap();
+        let dig = d.digest_id(id).unwrap();
+        assert_eq!(
+            dig,
+            content_digest(&Value::<D>::State(IntervalDomain::top())),
+            "digest matches the stored value's content hash"
+        );
+        let empty = d.id_of(&state(1)).unwrap();
+        assert_eq!(d.digest_id(empty), None);
+    }
+
+    #[test]
+    fn duplicate_sources_register_one_dependent_entry() {
+        let mut d = simple_daig();
+        d.add_cell(state(4), None);
+        d.add_comp(state(4), Func::Widen, vec![state(0), state(0)]);
+        let id0 = d.id_of(&state(0)).unwrap();
+        let entries = d
+            .dependents_ids(id0)
+            .iter()
+            .filter(|&&x| Some(x) == d.id_of(&state(4)))
+            .count();
+        assert_eq!(entries, 1);
+        d.remove_comp(&state(4));
+        assert!(d
+            .dependents_ids(id0)
+            .iter()
+            .all(|&x| Some(x) != d.id_of(&state(4))));
     }
 }

@@ -11,7 +11,13 @@
 //!
 //! * [`name`] — the cell naming scheme (paper Fig. 6), generalized with
 //!   per-loop iteration contexts for nested loops;
-//! * [`graph`] — cells, computations, and Definition 4.1 well-formedness;
+//! * [`intern`] — dense [`CellId`]s for names: every name is interned
+//!   once, and all graph state is id-indexed (ids survive removal and
+//!   resurrect on re-unroll, so external id-keyed state never dangles);
+//! * [`graph`] — cells, computations, and Definition 4.1 well-formedness,
+//!   over a `CellId` slot arena with flat adjacency, structural epochs,
+//!   and per-cell content digests (see the module docs for the
+//!   Name ↔ CellId lifecycle);
 //! * [`build`] — `Dinit` (Appendix A) and the loop-region builder shared
 //!   by demanded unrolling and rollback;
 //! * [`query`] — the Fig. 8 operational semantics (`Q-Reuse`, `Q-Match`,
@@ -62,6 +68,7 @@ pub mod dot;
 pub mod driver;
 pub mod edit;
 pub mod graph;
+pub mod intern;
 pub mod interproc;
 pub mod name;
 pub mod query;
@@ -71,10 +78,12 @@ pub mod summaries;
 pub use analysis::{resolve_loc_cell, FuncAnalysis};
 pub use driver::{Config, Driver, ProgramEdit};
 pub use graph::{Daig, DaigError, Func, Value};
+pub use intern::{CellId, NameInterner};
 pub use interproc::{Context, ContextPolicy, InterAnalyzer};
 pub use name::{IterCtx, Name};
 pub use query::{
-    apply_ready, collect_ready, fix_step, CallResolver, IntraResolver, QueryStats, ReadyComp,
+    apply_ready, collect_ready, collect_ready_id, fix_step, CallResolver, FixOutcome,
+    IntraResolver, QueryStats, ReadyComp,
 };
 pub use strategy::{Convergence, FixStrategy};
 pub use summaries::SummaryAnalyzer;

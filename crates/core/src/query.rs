@@ -16,6 +16,12 @@
 //! * `Q-Loop-Unroll` — the iterates differ: unroll the loop one abstract
 //!   iteration ([`crate::build::unroll_loop`]) and re-demand.
 //!
+//! Internally the evaluator walks interned [`CellId`]s (see
+//! [`crate::intern`]); names only appear at the API boundary and in error
+//! messages. Memo keys are built from the per-cell content digests the
+//! graph caches at write time, so no abstract state is hashed more than
+//! once after it is produced.
+//!
 //! Call statements are resolved through a [`CallResolver`] so the
 //! interprocedural layer (paper §7.1) can evaluate callee DAIGs on demand;
 //! call results are deliberately **not** memoized in `M`, because their
@@ -24,6 +30,7 @@
 
 use crate::build::unroll_loop;
 use crate::graph::{Daig, DaigError, Func, Value};
+use crate::intern::CellId;
 use crate::name::Name;
 use crate::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
@@ -86,6 +93,12 @@ pub struct QueryStats {
     pub unrolls: u64,
     /// Fixed points written (`Q-Loop-Converge`).
     pub fix_converged: u64,
+    /// Full demanded-cone traversals performed by a cone-maintaining
+    /// scheduler (`dai_engine::scheduler::evaluate_targets`). With
+    /// incremental cone maintenance this stays at one per evaluation call
+    /// no matter how many times loops unroll; the sequential stack
+    /// evaluator never counts it.
+    pub cone_walks: u64,
 }
 
 impl QueryStats {
@@ -96,6 +109,7 @@ impl QueryStats {
         self.reused += other.reused;
         self.unrolls += other.unrolls;
         self.fix_converged += other.fix_converged;
+        self.cone_walks += other.cone_walks;
     }
 }
 
@@ -124,6 +138,8 @@ pub(crate) fn widen_dest_iterate(dest: &Name) -> Result<u32, DaigError> {
 /// out of the DAIG, so applying it borrows neither the graph nor the
 /// analysis — which is what lets `dai-engine` apply many of these on
 /// worker threads while the scheduler thread keeps ownership of the DAIG.
+/// Input digests are carried along, so workers build memo keys without
+/// hashing the values again.
 ///
 /// `Fix` edges are never `ReadyComp`s: they are not functions but demands
 /// for convergence, and resolving them mutates the graph (unrolling);
@@ -132,10 +148,14 @@ pub(crate) fn widen_dest_iterate(dest: &Name) -> Result<u32, DaigError> {
 pub struct ReadyComp<D: AbstractDomain> {
     /// The destination cell.
     pub dest: Name,
+    /// The destination's interned id in the owning DAIG.
+    pub dest_id: CellId,
     /// The analysis function (`Transfer`, `Join`, or `Widen`).
     pub func: Func,
     /// Input values in argument order.
     pub inputs: Vec<Value<D>>,
+    /// Cached content digests of `inputs`, in the same order.
+    pub digests: Vec<u128>,
     /// For transfers: the edge whose statement cell feeds input 0 (needed
     /// to resolve calls).
     pub stmt_edge: Option<EdgeId>,
@@ -155,39 +175,70 @@ pub fn collect_ready<D: AbstractDomain>(
     daig: &Daig<D>,
     dest: &Name,
 ) -> Result<ReadyComp<D>, DaigError> {
-    let comp = daig
-        .comp(dest)
+    let id = daig
+        .id_of(dest)
         .ok_or_else(|| DaigError::Invariant(format!("cell {dest} has no computation")))?;
+    collect_ready_id(daig, id)
+}
+
+/// Id-level [`collect_ready`].
+///
+/// # Errors
+///
+/// As [`collect_ready`].
+pub fn collect_ready_id<D: AbstractDomain>(
+    daig: &Daig<D>,
+    dest: CellId,
+) -> Result<ReadyComp<D>, DaigError> {
+    let comp = daig.comp_slot(dest).ok_or_else(|| {
+        DaigError::Invariant(format!("cell {} has no computation", daig.name_of(dest)))
+    })?;
     if comp.func == Func::Fix {
         return Err(DaigError::Invariant(format!(
-            "fix edge at {dest} is not a ready computation (use fix_step)"
+            "fix edge at {} is not a ready computation (use fix_step)",
+            daig.name_of(dest)
         )));
     }
-    let inputs = comp
-        .srcs
-        .iter()
-        .map(|s| {
-            daig.value(s)
-                .cloned()
-                .ok_or_else(|| DaigError::Invariant(format!("{dest} input {s} is empty")))
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    let stmt_edge = match (comp.func, comp.srcs.first()) {
-        (Func::Transfer, Some(Name::Stmt(e))) => Some(*e),
-        (Func::Transfer, other) => {
-            return Err(DaigError::Invariant(format!(
-                "transfer stmt source {other:?} is not a statement cell"
-            )));
-        }
-        _ => None,
-    };
+    let mut inputs = Vec::with_capacity(comp.srcs.len());
+    let mut digests = Vec::with_capacity(comp.srcs.len());
+    for &s in &comp.srcs {
+        let v = daig.value_id(s).ok_or_else(|| {
+            DaigError::Invariant(format!(
+                "{} input {} is empty",
+                daig.name_of(dest),
+                daig.name_of(s)
+            ))
+        })?;
+        inputs.push(v.clone());
+        digests.push(daig.digest_id(s).expect("filled cells have digests"));
+    }
+    let stmt_edge = stmt_edge_of(daig, comp.func, &comp.srcs)?;
     Ok(ReadyComp {
-        dest: dest.clone(),
+        dest: daig.name_of(dest).clone(),
+        dest_id: dest,
         func: comp.func,
         inputs,
+        digests,
         stmt_edge,
         strategy: daig.strategy(),
     })
+}
+
+/// For transfers: the CFG edge whose statement cell is argument 0.
+fn stmt_edge_of<D: AbstractDomain>(
+    daig: &Daig<D>,
+    func: Func,
+    srcs: &[CellId],
+) -> Result<Option<EdgeId>, DaigError> {
+    if func != Func::Transfer {
+        return Ok(None);
+    }
+    match srcs.first().map(|&s| daig.name_of(s)) {
+        Some(Name::Stmt(e)) => Ok(Some(*e)),
+        other => Err(DaigError::Invariant(format!(
+            "transfer stmt source {other:?} is not a statement cell"
+        ))),
+    }
 }
 
 /// Applies a ready computation: exactly the `Q-Match`/`Q-Miss` step of
@@ -205,24 +256,102 @@ pub fn apply_ready<D: AbstractDomain>(
     resolver: &mut dyn CallResolver<D>,
     stats: &mut QueryStats,
 ) -> Result<Value<D>, DaigError> {
-    match rc.func {
-        Func::Fix => Err(DaigError::Invariant(format!(
+    let inputs: Vec<&Value<D>> = rc.inputs.iter().collect();
+    apply_inputs(
+        &rc.dest,
+        rc.func,
+        &inputs,
+        &rc.digests,
+        rc.stmt_edge,
+        rc.strategy,
+        memo,
+        resolver,
+        stats,
+    )
+}
+
+/// Applies the ready computation for `dest` by borrowing its inputs
+/// directly from the graph — no input values are cloned. This is the
+/// single-threaded fast path shared by the sequential [`query`] loop and
+/// the scheduler's small-batch/single-worker mode; the caller writes the
+/// returned value into `dest`.
+///
+/// # Errors
+///
+/// As [`collect_ready`] plus whatever the application reports.
+pub fn apply_ready_at<D: AbstractDomain>(
+    daig: &Daig<D>,
+    dest: CellId,
+    memo: &mut dyn MemoStore<Value<D>>,
+    resolver: &mut dyn CallResolver<D>,
+    stats: &mut QueryStats,
+) -> Result<Value<D>, DaigError> {
+    let comp = daig.comp_slot(dest).ok_or_else(|| {
+        DaigError::Invariant(format!("cell {} has no computation", daig.name_of(dest)))
+    })?;
+    if comp.func == Func::Fix {
+        return Err(DaigError::Invariant(format!(
             "fix edge at {} cannot be applied as a ready computation",
-            rc.dest
+            daig.name_of(dest)
+        )));
+    }
+    let mut inputs = Vec::with_capacity(comp.srcs.len());
+    let mut digests = Vec::with_capacity(comp.srcs.len());
+    for &s in &comp.srcs {
+        let v = daig.value_id(s).ok_or_else(|| {
+            DaigError::Invariant(format!(
+                "{} input {} is empty",
+                daig.name_of(dest),
+                daig.name_of(s)
+            ))
+        })?;
+        inputs.push(v);
+        digests.push(daig.digest_id(s).expect("filled cells have digests"));
+    }
+    let stmt_edge = stmt_edge_of(daig, comp.func, &comp.srcs)?;
+    apply_inputs(
+        daig.name_of(dest),
+        comp.func,
+        &inputs,
+        &digests,
+        stmt_edge,
+        daig.strategy(),
+        memo,
+        resolver,
+        stats,
+    )
+}
+
+/// The one place `Q-Match`/`Q-Miss` is implemented, over borrowed inputs.
+#[allow(clippy::too_many_arguments)]
+fn apply_inputs<D: AbstractDomain>(
+    dest: &Name,
+    func: Func,
+    inputs: &[&Value<D>],
+    digests: &[u128],
+    stmt_edge: Option<EdgeId>,
+    strategy: FixStrategy,
+    memo: &mut dyn MemoStore<Value<D>>,
+    resolver: &mut dyn CallResolver<D>,
+    stats: &mut QueryStats,
+) -> Result<Value<D>, DaigError> {
+    match func {
+        Func::Fix => Err(DaigError::Invariant(format!(
+            "fix edge at {dest} cannot be applied as a ready computation"
         ))),
         Func::Transfer => {
-            let stmt = rc.inputs[0].as_stmt().ok_or_else(|| {
-                DaigError::Invariant(format!("transfer for {} has no statement", rc.dest))
+            let stmt = inputs[0].as_stmt().ok_or_else(|| {
+                DaigError::Invariant(format!("transfer for {dest} has no statement"))
             })?;
-            let pre = rc.inputs[1].as_state().ok_or_else(|| {
-                DaigError::Invariant(format!("transfer for {} has no pre-state", rc.dest))
+            let pre = inputs[1].as_state().ok_or_else(|| {
+                DaigError::Invariant(format!("transfer for {dest} has no pre-state"))
             })?;
             if let Stmt::Call { .. } = stmt {
                 // Calls: resolve through the interprocedural layer and do
                 // not memoize (the result depends on the callee's current
                 // body).
-                let edge = rc.stmt_edge.ok_or_else(|| {
-                    DaigError::Invariant(format!("call transfer for {} lost its edge", rc.dest))
+                let edge = stmt_edge.ok_or_else(|| {
+                    DaigError::Invariant(format!("call transfer for {dest} lost its edge"))
                 })?;
                 stats.computed += 1;
                 Ok(Value::State(
@@ -230,8 +359,8 @@ pub fn apply_ready<D: AbstractDomain>(
                 ))
             } else {
                 let key = KeyBuilder::new(Func::Transfer.memo_symbol())
-                    .push(stmt)
-                    .push(pre)
+                    .push_digest(digests[0])
+                    .push_digest(digests[1])
                     .finish();
                 match memo.fetch(key) {
                     Some(v) => {
@@ -248,13 +377,11 @@ pub fn apply_ready<D: AbstractDomain>(
             }
         }
         Func::Join | Func::Widen => {
-            let states: Vec<&D> = rc
-                .inputs
+            let states: Vec<&D> = inputs
                 .iter()
                 .map(|v| {
-                    v.as_state().ok_or_else(|| {
-                        DaigError::Invariant(format!("{} input is not a state", rc.dest))
-                    })
+                    v.as_state()
+                        .ok_or_else(|| DaigError::Invariant(format!("{dest} input is not a state")))
                 })
                 .collect::<Result<_, _>>()?;
             // The operator a widen edge applies depends on the strategy
@@ -262,18 +389,18 @@ pub fn apply_ready<D: AbstractDomain>(
             // early iterations); the memo key uses the symbol of the
             // operator actually applied, so a delayed widen shares
             // entries with genuine joins.
-            let iterate = if rc.func == Func::Widen {
-                Some(widen_dest_iterate(&rc.dest)?)
+            let iterate = if func == Func::Widen {
+                Some(widen_dest_iterate(dest)?)
             } else {
                 None
             };
             let symbol = match iterate {
-                Some(k) => rc.strategy.combine_symbol(k),
+                Some(k) => strategy.combine_symbol(k),
                 None => Func::Join.memo_symbol(),
             };
             let mut kb = KeyBuilder::new(symbol);
-            for s in &states {
-                kb = kb.push(*s);
+            for &d in digests {
+                kb = kb.push_digest(d);
             }
             let key = kb.finish();
             match memo.fetch(key) {
@@ -288,7 +415,7 @@ pub fn apply_ready<D: AbstractDomain>(
                             let first = (*it.next().expect("join arity >= 2")).clone();
                             it.fold(first, |acc, s| acc.join(s))
                         }
-                        Some(k) => rc.strategy.combine(k, states[0], states[1]),
+                        Some(k) => strategy.combine(k, states[0], states[1]),
                     };
                     let v = Value::State(out);
                     memo.record(key, v.clone());
@@ -300,11 +427,35 @@ pub fn apply_ready<D: AbstractDomain>(
     }
 }
 
+/// The outcome of resolving one `fix` edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixOutcome {
+    /// The iterates agreed: the fixed point was written
+    /// (`Q-Loop-Converge`).
+    Converged,
+    /// The loop was unrolled one abstract iteration (`Q-Loop-Unroll`).
+    /// `spliced` lists every cell the unroll added or re-pointed —
+    /// including the fix cell itself — so cone-maintaining schedulers can
+    /// patch their ready-counts for exactly this subgraph instead of
+    /// re-traversing the demanded cone.
+    Unrolled {
+        /// Structurally changed cells, deduplicated.
+        spliced: Vec<CellId>,
+    },
+}
+
+impl FixOutcome {
+    /// Did the fixed point converge?
+    pub fn converged(&self) -> bool {
+        matches!(self, FixOutcome::Converged)
+    }
+}
+
 /// Resolves one `fix` edge whose two iterate inputs are filled: either the
 /// iterates agree under the strategy's convergence test and the fixed
-/// point is written (`Q-Loop-Converge`, returns `true`), or the loop is
-/// unrolled one more abstract iteration (`Q-Loop-Unroll`, returns `false`)
-/// and the caller must re-demand the (new) inputs.
+/// point is written (`Q-Loop-Converge`), or the loop is unrolled one more
+/// abstract iteration (`Q-Loop-Unroll`, reporting the spliced cells) and
+/// the caller must re-demand the (new) inputs.
 ///
 /// # Errors
 ///
@@ -315,38 +466,61 @@ pub fn fix_step<D: AbstractDomain>(
     cfg: &Cfg,
     dest: &Name,
     stats: &mut QueryStats,
-) -> Result<bool, DaigError> {
-    let comp = daig
-        .comp(dest)
-        .ok_or_else(|| DaigError::Invariant(format!("cell {dest} has no computation")))?
-        .clone();
-    if comp.func != Func::Fix {
-        return Err(DaigError::Invariant(format!("{dest} is not a fix cell")));
-    }
-    let v0 = daig
-        .value(&comp.srcs[0])
-        .ok_or_else(|| DaigError::Invariant(format!("fix at {dest} input 0 empty")))?
-        .clone();
-    let v1 = daig
-        .value(&comp.srcs[1])
-        .ok_or_else(|| DaigError::Invariant(format!("fix at {dest} input 1 empty")))?;
+) -> Result<FixOutcome, DaigError> {
+    let id = daig
+        .id_of(dest)
+        .ok_or_else(|| DaigError::Invariant(format!("cell {dest} has no computation")))?;
+    fix_step_id(daig, cfg, id, stats)
+}
+
+/// Id-level [`fix_step`].
+///
+/// # Errors
+///
+/// As [`fix_step`].
+pub fn fix_step_id<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    dest: CellId,
+    stats: &mut QueryStats,
+) -> Result<FixOutcome, DaigError> {
+    let (src0, src1) = {
+        let comp = daig.comp_slot(dest).ok_or_else(|| {
+            DaigError::Invariant(format!("cell {} has no computation", daig.name_of(dest)))
+        })?;
+        if comp.func != Func::Fix {
+            return Err(DaigError::Invariant(format!(
+                "{} is not a fix cell",
+                daig.name_of(dest)
+            )));
+        }
+        (comp.srcs[0], comp.srcs[1])
+    };
+    let v0 = daig.value_id(src0).ok_or_else(|| {
+        DaigError::Invariant(format!("fix at {} input 0 empty", daig.name_of(dest)))
+    })?;
+    let v1 = daig.value_id(src1).ok_or_else(|| {
+        DaigError::Invariant(format!("fix at {} input 1 empty", daig.name_of(dest)))
+    })?;
     let converged = match (v0.as_state(), v1.as_state()) {
         (Some(older), Some(newer)) => daig.strategy().converged(older, newer),
         _ => {
             return Err(DaigError::Invariant(format!(
-                "fix at {dest} reads non-state iterates"
+                "fix at {} reads non-state iterates",
+                daig.name_of(dest)
             )));
         }
     };
     if converged {
         // Q-Loop-Converge: the older iterate is the (post-) fixed point;
         // under `=` convergence the two coincide.
-        daig.write(dest, v0);
+        let v0 = v0.clone();
+        daig.write_id(dest, v0);
         stats.fix_converged += 1;
-        return Ok(true);
+        return Ok(FixOutcome::Converged);
     }
     // Q-Loop-Unroll.
-    let (head, sigma) = match dest {
+    let (head, sigma) = match daig.name_of(dest) {
         Name::State { loc, ctx } => (*loc, ctx.clone()),
         other => {
             return Err(DaigError::Invariant(format!(
@@ -354,18 +528,18 @@ pub fn fix_step<D: AbstractDomain>(
             )));
         }
     };
-    let k = match comp.srcs[1].ctx().and_then(|c| c.last()) {
+    let k = match daig.name_of(src1).ctx().and_then(|c| c.last()) {
         Some((h, k)) if h == head => k,
         _ => {
             return Err(DaigError::Invariant(format!(
                 "fix source {} is not an iterate of {head}",
-                comp.srcs[1]
+                daig.name_of(src1)
             )));
         }
     };
-    unroll_loop(daig, cfg, head, &sigma, k);
+    let spliced = unroll_loop(daig, cfg, head, &sigma, k);
     stats.unrolls += 1;
-    Ok(false)
+    Ok(FixOutcome::Unrolled { spliced })
 }
 
 /// Evaluates the cell named `n`, demanding its transitive dependencies and
@@ -384,56 +558,85 @@ pub fn query<D: AbstractDomain>(
     resolver: &mut dyn CallResolver<D>,
     stats: &mut QueryStats,
 ) -> Result<Value<D>, DaigError> {
-    if !daig.contains(n) {
+    let Some(id) = daig.id_of(n) else {
         return Err(DaigError::NoSuchCell(n.to_string()));
+    };
+    query_id(daig, cfg, memo, id, resolver, stats)
+}
+
+/// Id-level [`query`]: the explicit-stack Fig. 8 evaluator over interned
+/// cells.
+///
+/// # Errors
+///
+/// As [`query`] (the id must be live).
+pub fn query_id<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    memo: &mut dyn MemoStore<Value<D>>,
+    target: CellId,
+    resolver: &mut dyn CallResolver<D>,
+    stats: &mut QueryStats,
+) -> Result<Value<D>, DaigError> {
+    if !daig.contains_id(target) {
+        return Err(DaigError::NoSuchCell(daig.name_of(target).to_string()));
     }
-    if daig.value(n).is_some() {
+    if let Some(v) = daig.value_id(target) {
         stats.reused += 1;
-        return Ok(daig.value(n).expect("just checked").clone());
+        return Ok(v.clone());
     }
 
-    let mut stack: Vec<Name> = vec![n.clone()];
+    let mut stack: Vec<CellId> = vec![target];
+    let mut missing: Vec<CellId> = Vec::new();
     let mut unroll_guard: u64 = 0;
-    while let Some(top) = stack.last().cloned() {
-        if daig.value(&top).is_some() {
+    while let Some(&top) = stack.last() {
+        if daig.value_id(top).is_some() {
             stack.pop();
             continue;
         }
-        let comp = daig
-            .comp(&top)
-            .ok_or_else(|| DaigError::Invariant(format!("empty cell {top} has no computation")))?
-            .clone();
         // Demand unevaluated inputs first. A cell may appear several times
         // on the stack (it is a DAG, not a tree); the topmost occurrence
         // evaluates it and deeper duplicates pop as already-filled. A true
         // dependency cycle would instead grow the stack beyond any bound
         // proportional to the graph, which the depth guard below converts
         // into an invariant error.
-        let missing: Vec<Name> = comp
-            .srcs
-            .iter()
-            .filter(|s| daig.value(s).is_none())
-            .cloned()
-            .collect();
+        let func = {
+            let comp = daig.comp_slot(top).ok_or_else(|| {
+                DaigError::Invariant(format!(
+                    "empty cell {} has no computation",
+                    daig.name_of(top)
+                ))
+            })?;
+            missing.clear();
+            for &s in &comp.srcs {
+                if daig.value_id(s).is_none() && !missing.contains(&s) {
+                    missing.push(s);
+                }
+            }
+            comp.func
+        };
         if !missing.is_empty() {
-            for m in missing {
-                if !daig.contains(&m) {
+            for &m in &missing {
+                if !daig.contains_id(m) {
                     return Err(DaigError::Invariant(format!(
-                        "computation for {top} reads missing cell {m}"
+                        "computation for {} reads missing cell {}",
+                        daig.name_of(top),
+                        daig.name_of(m)
                     )));
                 }
-                stack.push(m);
             }
+            stack.extend_from_slice(&missing);
             if stack.len() > 4 * daig.cell_count() + 1024 {
                 return Err(DaigError::Invariant(format!(
-                    "demand stack exploded at {top}: dependency cycle (acyclicity violated)"
+                    "demand stack exploded at {}: dependency cycle (acyclicity violated)",
+                    daig.name_of(top)
                 )));
             }
             continue;
         }
         // All inputs ready: apply the matching rule.
-        if comp.func == Func::Fix {
-            if fix_step(daig, cfg, &top, stats)? {
+        if func == Func::Fix {
+            if fix_step_id(daig, cfg, top, stats)?.converged() {
                 stack.pop();
             } else {
                 // Leave `top` on the stack: the fix edge now demands the
@@ -441,19 +644,19 @@ pub fn query<D: AbstractDomain>(
                 unroll_guard += 1;
                 if unroll_guard > MAX_UNROLLS_PER_QUERY {
                     return Err(DaigError::Invariant(format!(
-                        "loop at {top} exceeded {MAX_UNROLLS_PER_QUERY} unrollings: \
-                         widening does not converge"
+                        "loop at {} exceeded {MAX_UNROLLS_PER_QUERY} unrollings: \
+                         widening does not converge",
+                        daig.name_of(top)
                     )));
                 }
             }
         } else {
-            let rc = collect_ready(daig, &top)?;
-            let value = apply_ready(&rc, memo, resolver, stats)?;
-            daig.write(&top, value);
+            let value = apply_ready_at(daig, top, memo, resolver, stats)?;
+            daig.write_id(top, value);
             stack.pop();
         }
     }
-    Ok(daig.value(n).expect("query completed").clone())
+    Ok(daig.value_id(target).expect("query completed").clone())
 }
 
 /// Evaluates every cell in the DAIG (used by the exhaustive analysis
@@ -472,17 +675,16 @@ pub fn evaluate_all<D: AbstractDomain>(
     // Demanding all fix cells (and the exit) forces the whole graph; the
     // set of names grows during unrolling, so iterate to quiescence.
     loop {
-        let pending: Vec<Name> = daig
-            .names()
-            .filter(|n| daig.value(n).is_none())
-            .cloned()
+        let pending: Vec<CellId> = daig
+            .ids()
+            .filter(|&id| daig.value_id(id).is_none())
             .collect();
         if pending.is_empty() {
             return Ok(());
         }
-        for n in pending {
-            if daig.contains(&n) && daig.value(&n).is_none() {
-                query(daig, cfg, memo, &n, resolver, stats)?;
+        for id in pending {
+            if daig.contains_id(id) && daig.value_id(id).is_none() {
+                query_id(daig, cfg, memo, id, resolver, stats)?;
             }
         }
     }
@@ -590,6 +792,33 @@ mod tests {
     }
 
     #[test]
+    fn cloned_and_in_place_application_agree() {
+        // `apply_ready` (cloned inputs, worker path) and `apply_ready_at`
+        // (borrowed inputs, single-threaded path) must produce identical
+        // values *and* identical memo keys — evaluating via one must hit
+        // the memo when re-evaluating via the other.
+        let cfg = cfg_of(LOOPY);
+        let daig = initial_daig::<D>(&cfg, IntervalDomain::top());
+        let ready: Vec<Name> = daig.ready_frontier().cloned().collect();
+        assert!(!ready.is_empty());
+        for n in &ready {
+            if daig.comp(n).unwrap().func == Func::Fix {
+                continue;
+            }
+            let id = daig.id_of(n).unwrap();
+            let mut memo = MemoTable::new();
+            let mut stats = QueryStats::default();
+            let rc = collect_ready(&daig, n).unwrap();
+            let cloned = apply_ready(&rc, &mut memo, &mut IntraResolver, &mut stats).unwrap();
+            let in_place =
+                apply_ready_at(&daig, id, &mut memo, &mut IntraResolver, &mut stats).unwrap();
+            assert_eq!(cloned, in_place, "value at {n}");
+            assert_eq!(stats.computed, 1, "{n}: first application computes");
+            assert_eq!(stats.memo_matched, 1, "{n}: second application memo-hits");
+        }
+    }
+
+    #[test]
     fn fix_step_unrolls_then_converges() {
         let cfg = cfg_of(LOOPY);
         let mut daig = initial_daig::<D>(&cfg, IntervalDomain::top());
@@ -603,7 +832,7 @@ mod tests {
         // Demand everything below the fix cell, then step it by hand.
         let mut unrolled = 0;
         loop {
-            let comp = daig.comp(&fix_cell).unwrap().clone();
+            let comp = daig.comp(&fix_cell).unwrap();
             for s in &comp.srcs {
                 query(
                     &mut daig,
@@ -615,8 +844,19 @@ mod tests {
                 )
                 .unwrap();
             }
-            if fix_step(&mut daig, &cfg, &fix_cell, &mut stats).unwrap() {
-                break;
+            match fix_step(&mut daig, &cfg, &fix_cell, &mut stats).unwrap() {
+                FixOutcome::Converged => break,
+                FixOutcome::Unrolled { spliced } => {
+                    assert!(!spliced.is_empty(), "unroll reports spliced cells");
+                    // The fix cell itself is re-pointed, so it is in the
+                    // spliced set; every spliced id resolves to a live
+                    // cell.
+                    let fix_id = daig.id_of(&fix_cell).unwrap();
+                    assert!(spliced.contains(&fix_id));
+                    for &id in &spliced {
+                        assert!(daig.contains_id(id), "spliced cell is live");
+                    }
+                }
             }
             unrolled += 1;
             assert!(unrolled < 100, "diverged");

@@ -226,23 +226,27 @@ impl Oct {
             return;
         };
         self.close();
-        let old = self.clone();
+        let old = std::mem::replace(self, Oct::unconstrained(Vec::new()));
         let mut vars = old.vars.clone();
         vars.remove(pos);
         *self = Oct::unconstrained(vars);
-        for (oi, v1) in old.vars.iter().enumerate() {
-            let Some(ni) = self.index_of(v1) else {
-                continue;
-            };
-            for (oj, v2) in old.vars.iter().enumerate() {
-                let Some(nj) = self.index_of(v2) else {
-                    continue;
-                };
-                for s1 in 0..2 {
-                    for s2 in 0..2 {
-                        self.set(2 * ni + s1, 2 * nj + s2, old.at(2 * oi + s1, 2 * oj + s2));
-                    }
-                }
+        // Dropping variable `pos` shifts every later index down by one
+        // signed pair; copy surviving rows with plain index arithmetic
+        // (projection of a closed matrix stays closed).
+        let od = old.dim();
+        let skip = |i: usize| -> Option<usize> {
+            match i.cmp(&(2 * pos)) {
+                std::cmp::Ordering::Less => Some(i),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater if i == 2 * pos + 1 => None,
+                std::cmp::Ordering::Greater => Some(i - 2),
+            }
+        };
+        for i in 0..od {
+            let Some(ni) = skip(i) else { continue };
+            for j in 0..od {
+                let Some(nj) = skip(j) else { continue };
+                self.set(ni, nj, old.dbm[i * od + j]);
             }
         }
         self.closed = true;
@@ -282,6 +286,131 @@ impl Oct {
             self.tighten(2 * x + 1, 2 * x, (-lo).saturating_mul(2));
         }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Exact O(d) assignments on a strongly closed matrix (Miné §4.4.1).
+    //
+    // These substitute the assigned relation directly instead of routing
+    // through a temporary and re-running the O(d³) strong closure, and
+    // they *preserve* strong closure — which is what keeps the DAIG's
+    // transfer edges (the most frequent computation in every demanded
+    // cone) cheap. `assign_linear_ref` below is the closure-based
+    // reference implementation the tests compare against.
+    // ------------------------------------------------------------------
+
+    /// `x := [lo, hi]` (a havoc into an interval) on a strongly closed
+    /// matrix. Exact for interval-valued right-hand sides; preserves
+    /// closure. The caller guarantees `iv` is non-empty.
+    fn assign_interval_closed(&mut self, x: &Symbol, iv: Interval) {
+        debug_assert!(self.closed);
+        self.forget(x);
+        let xi = self.track(x);
+        let (xp, xn) = (2 * xi, 2 * xi + 1);
+        // Upper bounds on x and −x in the ∞-sentinel encoding.
+        let ub = match iv.hi() {
+            Bound::Fin(h) => h,
+            _ => INF,
+        };
+        let nb = match iv.lo() {
+            Bound::Fin(l) => l.saturating_neg(),
+            _ => INF,
+        };
+        let two = |b: i64| if b == INF { INF } else { b.saturating_mul(2) };
+        self.set(xp, xn, two(ub));
+        self.set(xn, xp, two(nb));
+        let d = self.dim();
+        for k in 0..d {
+            if k == xp || k == xn {
+                continue;
+            }
+            let neg_k = bhalf(self.at(k ^ 1, k));
+            let pos_k = bhalf(self.at(k, k ^ 1));
+            self.set(xp, k, badd(ub, neg_k));
+            self.set(k, xp, badd(pos_k, nb));
+            self.set(xn, k, badd(nb, neg_k));
+            self.set(k, xn, badd(pos_k, ub));
+        }
+        self.closed = true;
+    }
+
+    /// `x := c` on a strongly closed matrix: the singleton-interval case
+    /// of [`Oct::assign_interval_closed`]. Exact; preserves closure.
+    fn assign_const_closed(&mut self, x: &Symbol, c: i64) {
+        self.assign_interval_closed(x, Interval::constant(c));
+    }
+
+    /// `x := sign·y + c` with `x ≠ y` on a strongly closed matrix: copy
+    /// `y`'s (possibly negated) rows shifted by `c`. Exact; preserves
+    /// closure.
+    fn assign_copy_closed(&mut self, x: &Symbol, sign: i64, y: &Symbol, c: i64) {
+        debug_assert!(self.closed);
+        debug_assert!(x != y);
+        self.track(y);
+        self.forget(x);
+        let xi = self.index_of(x).unwrap_or_else(|| self.track(x));
+        let yi = self.index_of(y).expect("tracked");
+        let (xp, xn) = (2 * xi, 2 * xi + 1);
+        // q is the row expressing `sign·y`.
+        let (q, qn) = if sign > 0 {
+            (2 * yi, 2 * yi + 1)
+        } else {
+            (2 * yi + 1, 2 * yi)
+        };
+        let d = self.dim();
+        let neg_c = c.saturating_neg();
+        for k in 0..d {
+            if k == xp || k == xn {
+                continue;
+            }
+            self.set(xp, k, badd(self.at(q, k), c));
+            self.set(k, xp, badd(self.at(k, q), neg_c));
+            self.set(xn, k, badd(self.at(qn, k), neg_c));
+            self.set(k, xn, badd(self.at(k, qn), c));
+        }
+        let two_c = c.saturating_mul(2);
+        self.set(xp, xn, badd(self.at(q, qn), two_c));
+        self.set(xn, xp, badd(self.at(qn, q), two_c.saturating_neg()));
+        self.closed = true;
+    }
+
+    /// `x := sign·x + c` in place on a strongly closed matrix: shift (and
+    /// for `sign < 0` swap) `x`'s row and column. Exact; preserves
+    /// closure.
+    fn assign_shift_closed(&mut self, x: &Symbol, sign: i64, c: i64) {
+        debug_assert!(self.closed);
+        let xi = self.track(x);
+        let (xp, xn) = (2 * xi, 2 * xi + 1);
+        let d = self.dim();
+        let neg_c = c.saturating_neg();
+        for k in 0..d {
+            if k == xp || k == xn {
+                continue;
+            }
+            let (row_p, row_n) = if sign > 0 {
+                (self.at(xp, k), self.at(xn, k))
+            } else {
+                (self.at(xn, k), self.at(xp, k))
+            };
+            let (col_p, col_n) = if sign > 0 {
+                (self.at(k, xp), self.at(k, xn))
+            } else {
+                (self.at(k, xn), self.at(k, xp))
+            };
+            self.set(xp, k, badd(row_p, c));
+            self.set(xn, k, badd(row_n, neg_c));
+            self.set(k, xp, badd(col_p, neg_c));
+            self.set(k, xn, badd(col_n, c));
+        }
+        let (up, down) = if sign > 0 {
+            (self.at(xp, xn), self.at(xn, xp))
+        } else {
+            (self.at(xn, xp), self.at(xp, xn))
+        };
+        let two_c = c.saturating_mul(2);
+        self.set(xp, xn, badd(up, two_c));
+        self.set(xn, xp, badd(down, two_c.saturating_neg()));
+        self.closed = true;
     }
 }
 
@@ -398,6 +527,13 @@ impl OctagonDomain {
     pub fn eval_interval(&self, e: &Expr) -> Interval {
         match self {
             OctagonDomain::Bottom => Interval::EMPTY,
+            OctagonDomain::Oct(o) if o.closed => {
+                if o.has_negative_diagonal() {
+                    Interval::EMPTY
+                } else {
+                    eval_iv(o, e)
+                }
+            }
             OctagonDomain::Oct(o) => {
                 let mut c = o.clone();
                 if !c.close() {
@@ -422,8 +558,40 @@ impl OctagonDomain {
         }
     }
 
-    /// Exact transfer for `x := ±y + c` / `x := c`, via a temporary.
+    /// Exact transfer for `x := ±y + c` / `x := c`: O(d) substitution on
+    /// the strongly closed matrix (see the `*_closed` primitives on
+    /// [`Oct`]).
     fn assign_linear(&self, x: &Symbol, lin: &Linear1) -> OctagonDomain {
+        self.map(|o| {
+            if !o.close() {
+                return false;
+            }
+            match lin {
+                Linear1::Const(c) => o.assign_const_closed(x, *c),
+                Linear1::Term {
+                    sign,
+                    var: y,
+                    offset,
+                } if y == x => {
+                    o.assign_shift_closed(x, *sign, *offset);
+                }
+                Linear1::Term {
+                    sign,
+                    var: y,
+                    offset,
+                } => {
+                    o.assign_copy_closed(x, *sign, y, *offset);
+                }
+            }
+            true
+        })
+    }
+
+    /// Closure-based reference implementation of [`Self::assign_linear`]
+    /// (the temporary-variable route); kept as the oracle the fast-path
+    /// tests compare against.
+    #[cfg(test)]
+    fn assign_linear_ref(&self, x: &Symbol, lin: &Linear1) -> OctagonDomain {
         self.map(|o| {
             match lin {
                 Linear1::Const(c) => {
@@ -768,6 +936,27 @@ impl AbstractDomain for OctagonDomain {
         match (self, other) {
             (OctagonDomain::Bottom, x) | (x, OctagonDomain::Bottom) => x.clone(),
             (OctagonDomain::Oct(a), OctagonDomain::Oct(b)) => {
+                // Fast path: identical tracked sets and both already
+                // strongly closed (the common case at join points, since
+                // cell values are stored closed) — one clone, one
+                // pointwise max.
+                if a.vars == b.vars && a.closed && b.closed {
+                    if a.has_negative_diagonal() {
+                        return OctagonDomain::Oct(b.clone());
+                    }
+                    if b.has_negative_diagonal() {
+                        return OctagonDomain::Oct(a.clone());
+                    }
+                    let mut out = a.clone();
+                    for (o, &bv) in out.dbm.iter_mut().zip(&b.dbm) {
+                        if bv > *o {
+                            *o = bv;
+                        }
+                    }
+                    // Pointwise max of closed matrices is closed.
+                    out.closed = true;
+                    return OctagonDomain::Oct(out);
+                }
                 let mut a = a.clone();
                 let mut b = b.clone();
                 if !a.close() {
@@ -795,9 +984,11 @@ impl AbstractDomain for OctagonDomain {
                     }
                 }
                 debug_assert_eq!(a.vars, b.vars);
-                let mut out = a.clone();
-                for i in 0..out.dbm.len() {
-                    out.dbm[i] = a.dbm[i].max(b.dbm[i]);
+                let mut out = a;
+                for (o, &bv) in out.dbm.iter_mut().zip(&b.dbm) {
+                    if bv > *o {
+                        *o = bv;
+                    }
                 }
                 // Pointwise max of closed matrices is closed.
                 out.closed = true;
@@ -913,13 +1104,16 @@ impl AbstractDomain for OctagonDomain {
                     }
                     let numeric = expr_definitely_numeric(e);
                     self.map(|o| {
-                        o.forget(x);
-                        if numeric {
-                            o.constrain_interval(x, iv)
-                        } else {
-                            o.untrack(x);
-                            true
+                        if !o.close() {
+                            return false;
                         }
+                        if numeric {
+                            o.assign_interval_closed(x, iv);
+                        } else {
+                            o.forget(x);
+                            o.untrack(x);
+                        }
+                        true
                     })
                 }
             }
@@ -1075,6 +1269,69 @@ mod tests {
 
     fn assign(s: &OctagonDomain, x: &str, e: &str) -> OctagonDomain {
         s.transfer(&Stmt::Assign(x.into(), parse_expr(e).unwrap()))
+    }
+
+    /// The O(d) closed-matrix assignments must agree with the
+    /// closure-based reference (`assign_linear_ref`) on randomized
+    /// constraint states: same tracked intervals and same matrix up to
+    /// strong closure (compared via every pairwise difference bound the
+    /// public API exposes).
+    #[test]
+    fn fast_assignments_match_closure_reference() {
+        // Deterministic LCG so the sequence is reproducible without a
+        // rand dependency.
+        let mut seed: u64 = 0x5EED_CAFE;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as i64
+        };
+        let vars = ["a", "b", "c", "d"];
+        for round in 0..200 {
+            // Grow a random state with assumes and assignments.
+            let mut st = OctagonDomain::top();
+            for _ in 0..(round % 5) {
+                let v = vars[(next() % 4).unsigned_abs() as usize];
+                let w = vars[(next() % 4).unsigned_abs() as usize];
+                let c = next() % 20;
+                st = assume(&st, &format!("{v} < {w} + {c}"));
+                let k = next() % 9;
+                st = assign(&st, w, &format!("{k}"));
+            }
+            // Random linear assignment, applied both ways.
+            let x = Symbol::new(vars[(next() % 4).unsigned_abs() as usize]);
+            let lin = match next() % 3 {
+                0 => Linear1::Const(next() % 100),
+                _ => Linear1::Term {
+                    sign: if next() % 2 == 0 { 1 } else { -1 },
+                    var: Symbol::new(vars[(next() % 4).unsigned_abs() as usize]),
+                    offset: next() % 50,
+                },
+            };
+            let fast = st.assign_linear(&x, &lin);
+            let slow = st.assign_linear_ref(&x, &lin);
+            assert_eq!(fast.is_bottom(), slow.is_bottom(), "round {round}");
+            for v in vars {
+                assert_eq!(
+                    fast.interval_of(v),
+                    slow.interval_of(v),
+                    "round {round}: interval of {v} after {x} := {lin:?}"
+                );
+            }
+            // Pairwise difference bounds agree too (octagonal relations,
+            // not just intervals).
+            for v in vars {
+                for w in vars {
+                    let e = parse_expr(&format!("{v} - {w}")).unwrap();
+                    assert_eq!(
+                        fast.eval_interval(&e),
+                        slow.eval_interval(&e),
+                        "round {round}: {v} - {w} after {x} := {lin:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

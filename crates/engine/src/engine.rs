@@ -27,7 +27,7 @@ use dai_memo::{MemoStats, SharedMemoTable};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::pool::{PoolHandle, WorkerPool};
 use crate::session::{EditOutcome, Session, SessionSnapshot};
@@ -158,9 +158,42 @@ impl From<CfgError> for EngineError {
     }
 }
 
+/// A single-use reply slot: one allocation per request instead of an
+/// mpsc channel, with `Condvar` wakeup for the waiter.
+struct Oneshot<D> {
+    slot: Mutex<Option<Result<Response<D>, EngineError>>>,
+    ready: Condvar,
+}
+
+/// The producing side of a [`Ticket`]'s reply slot. Dropping it without
+/// replying (worker panic) delivers [`EngineError::Disconnected`], so a
+/// waiter can never hang.
+struct Responder<D> {
+    cell: Arc<Oneshot<D>>,
+    sent: bool,
+}
+
+impl<D> Responder<D> {
+    fn send(mut self, value: Result<Response<D>, EngineError>) {
+        *self.cell.slot.lock().expect("ticket slot poisoned") = Some(value);
+        self.sent = true;
+        self.cell.ready.notify_one();
+    }
+}
+
+impl<D> Drop for Responder<D> {
+    fn drop(&mut self) {
+        if !self.sent {
+            *self.cell.slot.lock().expect("ticket slot poisoned") =
+                Some(Err(EngineError::Disconnected));
+            self.cell.ready.notify_one();
+        }
+    }
+}
+
 /// A pending response; [`Ticket::wait`] blocks until the worker finishes.
 pub struct Ticket<D> {
-    rx: mpsc::Receiver<Result<Response<D>, EngineError>>,
+    cell: Arc<Oneshot<D>>,
 }
 
 impl<D> Ticket<D> {
@@ -171,7 +204,39 @@ impl<D> Ticket<D> {
     /// The request's own failure, or [`EngineError::Disconnected`] if the
     /// worker died.
     pub fn wait(self) -> Result<Response<D>, EngineError> {
-        self.rx.recv().unwrap_or(Err(EngineError::Disconnected))
+        let mut guard = self.cell.slot.lock().expect("ticket slot poisoned");
+        loop {
+            if let Some(v) = guard.take() {
+                return v;
+            }
+            guard = self.cell.ready.wait(guard).expect("ticket slot poisoned");
+        }
+    }
+
+    /// Waits for a whole batch, returning responses in submission order.
+    ///
+    /// Internally the batch is drained in *reverse* submission order:
+    /// workers serve the queue roughly FIFO, so the last ticket completes
+    /// around the time the whole batch does, and by the time it resolves
+    /// the earlier tickets are already filled and return without
+    /// blocking. Waiting in submission order instead would put the caller
+    /// to sleep once per ticket — on a single-CPU host that is two
+    /// context switches per request, which dominates a dense request
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// The first failing response (by submission order), as
+    /// [`Ticket::wait`].
+    pub fn wait_all(tickets: Vec<Ticket<D>>) -> Result<Vec<Response<D>>, EngineError> {
+        let mut out: Vec<Option<Result<Response<D>, EngineError>>> =
+            tickets.iter().map(|_| None).collect();
+        for (i, t) in tickets.into_iter().enumerate().rev() {
+            out[i] = Some(t.wait());
+        }
+        out.into_iter()
+            .map(|r| r.expect("every ticket waited"))
+            .collect()
     }
 }
 
@@ -289,14 +354,20 @@ impl<D: AbstractDomain> Engine<D> {
     /// Submits a request to the worker pool, returning a [`Ticket`] for
     /// the response.
     pub fn submit(&self, request: Request) -> Ticket<D> {
-        let (tx, rx) = mpsc::channel();
+        let cell = Arc::new(Oneshot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let responder = Responder {
+            cell: Arc::clone(&cell),
+            sent: false,
+        };
         let shared = Arc::clone(&self.shared);
         let pool = self.pool.handle();
-        self.pool.handle().spawn(move || {
-            let result = process(&shared, &pool, request);
-            let _ = tx.send(result);
+        pool.clone().spawn(move || {
+            responder.send(process(&shared, &pool, request));
         });
-        Ticket { rx }
+        Ticket { cell }
     }
 
     /// Submits a request and blocks for its response.

@@ -9,18 +9,30 @@
 //!
 //! * [`pool`] — a fixed worker pool whose `parallel_map` lets the thread
 //!   serving a request fan cell batches out to idle workers while always
-//!   participating itself (deadlock-free under full load);
-//! * [`scheduler`] — topological parallel evaluation of the demanded cone:
-//!   pure computations (`⟦·⟧♯`, `⊔`, `∇`) are applied on workers through
-//!   the *same* `dai_core::apply_ready` function the sequential evaluator
-//!   uses, while `fix` edges (which mutate the graph by unrolling) are
-//!   resolved on the scheduling thread;
+//!   participating itself (deadlock-free under full load); workers claim
+//!   queued jobs in small batches so a dense request stream does not
+//!   ping-pong the queue lock;
+//! * [`scheduler`] — topological parallel evaluation of the demanded cone
+//!   over interned [`dai_core::CellId`]s: the cone is traversed **once**
+//!   per evaluation into a dense missing-input-count table, writes
+//!   decrement dependents through the graph's flat id adjacency, and a
+//!   loop unroll patches just the spliced subgraph reported by
+//!   `dai_core::FixOutcome` — per-query cost is O(cone + spliced), not
+//!   O(cone × unrolls). Pure computations (`⟦·⟧♯`, `⊔`, `∇`) are applied
+//!   in place on the scheduling thread (small batches / one worker) or
+//!   cloned out to workers through the *same* `dai_core::apply_ready`
+//!   code path the sequential evaluator uses, while `fix` edges (which
+//!   mutate the graph by unrolling) stay on the scheduling thread;
 //! * [`session`] — one loaded program with per-function `FuncAnalysis`
-//!   units, created on demand, edited incrementally;
+//!   units, created on demand, edited incrementally; each unit caches its
+//!   `(location → cell)` query resolutions per structural epoch, so a
+//!   steady-state query is a hash lookup plus a value clone;
 //! * [`engine`] — the request stream: `Query { func, loc }`,
 //!   `Edit(ProgramEdit)`, `Snapshot`, and `Stats` against many sessions,
 //!   served concurrently over a sharded
-//!   [`dai_memo::SharedMemoTable`] that all sessions share.
+//!   [`dai_memo::SharedMemoTable`] that all sessions share. Responses
+//!   travel through one-allocation reply slots; `Ticket::wait_all` drains
+//!   a batch without a per-request sleep/wake cycle.
 //!
 //! ## The consistency contract
 //!

@@ -24,9 +24,20 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// What a queued job is, which decides how workers may claim it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    /// A whole engine request; amenable to batch claiming under backlog.
+    Request,
+    /// A `parallel_map` helper: exactly one per worker is enqueued, so a
+    /// worker must never claim more than one (batching them onto a single
+    /// worker would collapse the fan-out the helpers exist to provide).
+    Helper,
+}
+
 #[derive(Default)]
 struct Injector {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<(JobKind, Job)>>,
     available: Condvar,
     shutdown: AtomicBool,
 }
@@ -49,7 +60,7 @@ impl PoolHandle {
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
         {
             let mut q = self.injector.queue.lock().expect("pool queue poisoned");
-            q.push_back(Box::new(job));
+            q.push_back((JobKind::Request, Box::new(job)));
         }
         self.injector.available.notify_one();
     }
@@ -63,7 +74,7 @@ impl PoolHandle {
     fn spawn_helper(&self, job: impl FnOnce() + Send + 'static) {
         {
             let mut q = self.injector.queue.lock().expect("pool queue poisoned");
-            q.push_front(Box::new(job));
+            q.push_front((JobKind::Helper, Box::new(job)));
         }
         self.injector.available.notify_one();
     }
@@ -215,24 +226,62 @@ impl Drop for WorkerPool {
     }
 }
 
+/// How many queued jobs a worker claims per queue-lock acquisition when
+/// the backlog is deep. Under a dense request stream (e.g. a benchmark
+/// submitting its whole load up front) this turns per-job lock ping-pong
+/// between submitter and worker into one lock round per batch. Shallow
+/// queues are claimed one job at a time so a `parallel_map` helper
+/// fan-out (at most one job per worker) spreads across workers instead
+/// of being swallowed into a single worker's local batch.
+const WORKER_BATCH: usize = 8;
+
+/// A queue at or beyond this depth is a backlog worth batch-claiming;
+/// below it, fairness (one job per worker) matters more than lock
+/// amortization.
+const DEEP_QUEUE: usize = 2 * WORKER_BATCH;
+
 fn worker_loop(injector: &Injector) {
+    let mut local: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
     loop {
-        let job = {
+        {
             let mut q = injector.queue.lock().expect("pool queue poisoned");
             loop {
-                if let Some(job) = q.pop_front() {
-                    break job;
+                // Helpers are always claimed singly (see [`JobKind`]);
+                // requests are batch-claimed only under a deep backlog,
+                // and a batch never reaches past a helper.
+                let claim = if q.len() >= DEEP_QUEUE {
+                    WORKER_BATCH
+                } else {
+                    1
+                };
+                while local.len() < claim {
+                    match q.pop_front() {
+                        Some((kind, job)) => {
+                            local.push(job);
+                            if kind == JobKind::Helper
+                                || q.front().is_some_and(|(k, _)| *k == JobKind::Helper)
+                            {
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                if !local.is_empty() {
+                    break;
                 }
                 if injector.shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 q = injector.available.wait(q).expect("pool queue poisoned");
             }
-        };
-        // A panicking request must not take the worker down with it; the
-        // requester observes the failure through its dropped reply channel
-        // (or the missing parallel_map slot).
-        let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+        for job in local.drain(..) {
+            // A panicking request must not take the worker down with it;
+            // the requester observes the failure through its dropped reply
+            // channel (or the missing parallel_map slot).
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
     }
 }
 

@@ -6,15 +6,31 @@
 //! identical to any sequential order. The scheduler alternates two moves
 //! until the demanded targets are filled:
 //!
-//! 1. **fan-out** — clone every ready pure computation
-//!    ([`dai_core::collect_ready`]) in the demanded cone and apply them on
-//!    the worker pool ([`dai_core::apply_ready`] — the *same* function the
-//!    sequential `query` loop uses, which is what makes concurrent results
-//!    bit-identical), then write the values back;
+//! 1. **fan-out** — apply every ready pure computation in the demanded
+//!    cone: in place ([`dai_core::query::apply_ready_at`], borrowing
+//!    inputs straight from the graph) when the batch is small or the pool
+//!    has one worker, or cloned out ([`dai_core::collect_ready`]) and
+//!    applied on the worker pool otherwise. Both paths run the *same*
+//!    `Q-Match`/`Q-Miss` code the sequential `query` loop uses, which is
+//!    what makes concurrent results bit-identical;
 //! 2. **fix resolution** — when no pure computation is ready, step one
 //!    `fix` edge ([`dai_core::fix_step`]): either its fixed point is
-//!    written or the loop unrolls and the new iterate's cone joins the
+//!    written or the loop unrolls and the new iterate's subgraph joins the
 //!    demand.
+//!
+//! # Incremental cone maintenance
+//!
+//! The demanded cone — unfilled cells backward-reachable from the targets
+//! — is traversed **once** per evaluation ([`QueryStats::cone_walks`]
+//! counts these), loading a dense [`CellId`]-indexed table of
+//! missing-input counts. From then on the counts are maintained
+//! incrementally: every write decrements its cone-dependents, cells
+//! reaching zero join the ready queue, and when a loop *unrolls* the
+//! spliced subgraph reported by [`dai_core::query::FixOutcome::Unrolled`]
+//! is patched into the table — the new iterate's cells are counted and
+//! the re-pointed fix cell's count is refreshed. Per-query cost is thus
+//! O(cone + spliced) rather than O(cone × unrolls); convergence of a
+//! fixed point was already an ordinary write.
 //!
 //! Graph mutation (write-back, unrolling) happens only on the scheduling
 //! thread; workers see cloned inputs and the sharded memo table. Memo
@@ -23,12 +39,16 @@
 //! would have.
 
 use dai_core::analysis::FuncAnalysis;
-use dai_core::graph::{DaigError, Func, Value};
+use dai_core::graph::{Daig, DaigError, Func, Value};
+use dai_core::intern::CellId;
 use dai_core::name::Name;
-use dai_core::query::{apply_ready, collect_ready, fix_step, IntraResolver, QueryStats, ReadyComp};
+use dai_core::query::{
+    apply_ready, apply_ready_at, collect_ready_id, fix_step_id, FixOutcome, IntraResolver,
+    QueryStats, ReadyComp,
+};
 use dai_domains::AbstractDomain;
+use dai_lang::cfg::Cfg;
 use dai_memo::SharedMemoTable;
-use std::collections::{HashMap, HashSet};
 
 use crate::pool::PoolHandle;
 
@@ -39,6 +59,97 @@ const MAX_UNROLLS: u64 = 1_000_000;
 /// Smallest frontier worth fanning out to the pool; below this the
 /// cross-thread hand-off costs more than the computations.
 const MIN_PARALLEL_BATCH: usize = 4;
+
+/// Sentinel for cells outside the demanded cone.
+const NOT_IN_CONE: u32 = u32::MAX;
+
+/// Dense per-[`CellId`] missing-input counts for the demanded cone.
+///
+/// Loaded by one traversal, then patched: writes decrement, unroll splices
+/// insert. Ids are stable across unrolls (the arena only grows), so the
+/// table survives structural change — it just grows with the arena.
+struct Cone {
+    counts: Vec<u32>,
+}
+
+impl Cone {
+    fn new(arena_len: usize) -> Cone {
+        Cone {
+            counts: vec![NOT_IN_CONE; arena_len],
+        }
+    }
+
+    /// Tracks arena growth (new ids spliced in by unrolls).
+    fn grow(&mut self, arena_len: usize) {
+        if arena_len > self.counts.len() {
+            self.counts.resize(arena_len, NOT_IN_CONE);
+        }
+    }
+
+    #[inline]
+    fn contains(&self, id: CellId) -> bool {
+        self.counts.get(id.idx()).copied().unwrap_or(NOT_IN_CONE) != NOT_IN_CONE
+    }
+
+    #[inline]
+    fn set(&mut self, id: CellId, count: u32) {
+        self.counts[id.idx()] = count;
+    }
+
+    #[inline]
+    fn remove(&mut self, id: CellId) {
+        if let Some(c) = self.counts.get_mut(id.idx()) {
+            *c = NOT_IN_CONE;
+        }
+    }
+
+    /// Decrements `id`'s count if it is in the cone with a positive count;
+    /// returns `true` when the count reaches zero (the cell became ready).
+    #[inline]
+    fn decrement(&mut self, id: CellId) -> bool {
+        match self.counts.get_mut(id.idx()) {
+            Some(c) if *c != NOT_IN_CONE && *c > 0 => {
+                *c -= 1;
+                *c == 0
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Computes the number of *distinct* unfilled sources of `id` (dead
+/// sources are reported as an invariant error), optionally pushing each
+/// first-seen unfilled source onto `stack`.
+fn missing_inputs<D: AbstractDomain>(
+    daig: &Daig<D>,
+    id: CellId,
+    mut stack: Option<&mut Vec<CellId>>,
+) -> Result<u32, DaigError> {
+    let comp = daig.comp_slot(id).ok_or_else(|| {
+        DaigError::Invariant(format!(
+            "empty cell {} has no computation",
+            daig.name_of(id)
+        ))
+    })?;
+    let mut count: u32 = 0;
+    for (i, &s) in comp.srcs.iter().enumerate() {
+        if !daig.contains_id(s) {
+            return Err(DaigError::Invariant(format!(
+                "computation for {} reads missing cell {}",
+                daig.name_of(id),
+                daig.name_of(s)
+            )));
+        }
+        if daig.value_id(s).is_some() || comp.srcs[..i].contains(&s) {
+            continue;
+        }
+        count += 1;
+        if let Some(stack) = stack.as_deref_mut() {
+            stack.push(s);
+        }
+    }
+    Ok(count)
+}
 
 /// Evaluates `targets` (and their transitive demands) in `fa`, fanning
 /// ready computations out over `pool` and threading the shared memo table
@@ -59,163 +170,179 @@ pub fn evaluate_targets<D: AbstractDomain>(
     pool: &PoolHandle,
     stats: &mut QueryStats,
 ) -> Result<(), DaigError> {
+    // Split borrow: the CFG is read-only for the whole evaluation, so fix
+    // resolution never clones it.
+    let (cfg, daig) = fa.parts_mut();
+    let mut pending: Vec<CellId> = Vec::new();
     for t in targets {
-        if !fa.daig().contains(t) {
-            return Err(DaigError::NoSuchCell(t.to_string()));
-        }
-        if fa.daig().value(t).is_some() {
-            stats.reused += 1;
+        match daig.id_of(t) {
+            None => return Err(DaigError::NoSuchCell(t.to_string())),
+            Some(id) => {
+                if daig.value_id(id).is_some() {
+                    stats.reused += 1;
+                } else {
+                    pending.push(id);
+                }
+            }
         }
     }
-    let mut unroll_guard: u64 = 0;
-    // Epochs: within one epoch the graph's structure is fixed, so the
-    // demanded cone is traversed ONCE and then maintained incrementally —
-    // each cell carries its count of distinct unfilled inputs, write-backs
-    // decrement their dependents, and cells reaching zero join the ready
-    // queue. Only a loop unroll (which rewrites part of the graph) ends
-    // the epoch and forces a re-traversal; converging fixed points do not.
-    'epoch: loop {
-        // Traverse the demanded cone: unfilled cells backward-reachable
-        // from the unfilled targets, each with its missing-input count.
-        let daig = fa.daig();
-        let mut missing: HashMap<Name, usize> = HashMap::new();
-        let mut stack: Vec<Name> = targets
-            .iter()
-            .filter(|t| daig.value(t).is_none())
-            .cloned()
-            .collect();
-        if stack.is_empty() {
-            return Ok(());
+    if pending.is_empty() {
+        return Ok(());
+    }
+    evaluate_pending(daig, cfg, &pending, memo, pool, stats)
+}
+
+/// The drain loop over resolved, unfilled target ids.
+fn evaluate_pending<D: AbstractDomain>(
+    daig: &mut Daig<D>,
+    cfg: &Cfg,
+    pending: &[CellId],
+    memo: &SharedMemoTable<Value<D>>,
+    pool: &PoolHandle,
+    stats: &mut QueryStats,
+) -> Result<(), DaigError> {
+    // The one full traversal: load the demanded cone — unfilled cells
+    // backward-reachable from the unfilled targets — with each cell's
+    // count of distinct unfilled inputs.
+    stats.cone_walks += 1;
+    let mut cone = Cone::new(daig.arena_len());
+    let mut ready: Vec<CellId> = Vec::new();
+    let mut stack: Vec<CellId> = pending.to_vec();
+    while let Some(n) = stack.pop() {
+        if cone.contains(n) {
+            continue;
         }
-        while let Some(n) = stack.pop() {
-            if missing.contains_key(&n) {
-                continue;
-            }
-            let comp = daig.comp(&n).ok_or_else(|| {
-                DaigError::Invariant(format!("empty cell {n} has no computation"))
-            })?;
-            let mut distinct_unfilled: HashSet<&Name> = HashSet::new();
-            for s in &comp.srcs {
-                if !daig.contains(s) {
+        let count = missing_inputs(daig, n, Some(&mut stack))?;
+        cone.set(n, count);
+        if count == 0 {
+            ready.push(n);
+        }
+    }
+
+    // Drain the cone. Writing a cell decrements its cone-dependents'
+    // counts; cells reaching zero join the ready queue. Loop unrolls patch
+    // the spliced subgraph in; they do not end the traversal's validity.
+    let mut unroll_guard: u64 = 0;
+    let mut pure: Vec<CellId> = Vec::new();
+    let mut fixes: Vec<CellId> = Vec::new();
+    loop {
+        for n in ready.drain(..) {
+            match daig.comp_func(n) {
+                Some(Func::Fix) => fixes.push(n),
+                Some(_) => pure.push(n),
+                None => {
                     return Err(DaigError::Invariant(format!(
-                        "computation for {n} reads missing cell {s}"
+                        "ready cell {} lost its computation",
+                        daig.name_of(n)
                     )));
                 }
-                if daig.value(s).is_none() && distinct_unfilled.insert(s) {
-                    stack.push(s.clone());
-                }
             }
-            missing.insert(n, distinct_unfilled.len());
         }
-        let mut ready: Vec<Name> = missing
-            .iter()
-            .filter(|(_, count)| **count == 0)
-            .map(|(n, _)| n.clone())
-            .collect();
-
-        // Drain the cone. Writing a cell decrements its cone-dependents'
-        // counts; a cell's count reaches zero exactly once, so every cell
-        // enters `ready` at most once per epoch.
-        loop {
-            let mut pure: Vec<Name> = Vec::new();
-            let mut fixes: Vec<Name> = Vec::new();
-            for n in ready.drain(..) {
-                match fa.daig().comp(&n).map(|c| c.func) {
-                    Some(Func::Fix) => fixes.push(n),
-                    Some(_) => pure.push(n),
-                    None => {
-                        return Err(DaigError::Invariant(format!(
-                            "ready cell {n} lost its computation"
-                        )));
-                    }
+        if !pure.is_empty() {
+            // Sorting makes the batch composition (and with it the
+            // worker-visible order) deterministic; cell *values* do not
+            // depend on it, but reproducible schedules make debugging and
+            // statistics saner.
+            pure.sort_unstable();
+            if pure.len() < MIN_PARALLEL_BATCH || pool.workers() <= 1 {
+                // In-place fast path: inputs are borrowed from the graph,
+                // not cloned.
+                let mut memo = memo.clone();
+                for &id in &pure {
+                    let v = apply_ready_at(daig, id, &mut memo, &mut IntraResolver, stats)?;
+                    daig.write_id(id, v);
+                    settle_write(daig, id, &mut cone, &mut ready);
                 }
-            }
-            if !pure.is_empty() {
-                // Sorting makes the batch composition (and with it the
-                // worker-visible order) deterministic; cell *values* do
-                // not depend on it, but reproducible schedules make
-                // debugging and statistics saner.
-                pure.sort();
+            } else {
                 let batch: Vec<ReadyComp<D>> = pure
                     .iter()
-                    .map(|n| collect_ready(fa.daig(), n))
+                    .map(|&id| collect_ready_id(daig, id))
                     .collect::<Result<_, _>>()?;
-                if batch.len() < MIN_PARALLEL_BATCH || pool.workers() <= 1 {
-                    for rc in &batch {
-                        let mut memo = memo.clone();
-                        let v = apply_ready(rc, &mut memo, &mut IntraResolver, stats)?;
-                        fa.daig_mut().write(&rc.dest, v);
-                        settle_write(fa, &rc.dest, &mut missing, &mut ready);
-                    }
-                } else {
-                    let shared = memo.clone();
-                    let results = pool.parallel_map(batch, move |rc| {
-                        let mut local = QueryStats::default();
-                        let mut memo = shared.clone();
-                        let value = apply_ready(rc, &mut memo, &mut IntraResolver, &mut local);
-                        (rc.dest.clone(), value, local)
-                    });
-                    for (dest, value, local) in results {
-                        stats.absorb(local);
-                        fa.daig_mut().write(&dest, value?);
-                        settle_write(fa, &dest, &mut missing, &mut ready);
-                    }
+                let shared = memo.clone();
+                let results = pool.parallel_map(batch, move |rc| {
+                    let mut local = QueryStats::default();
+                    let mut memo = shared.clone();
+                    let value = apply_ready(rc, &mut memo, &mut IntraResolver, &mut local);
+                    (rc.dest_id, value, local)
+                });
+                for (dest, value, local) in results {
+                    stats.absorb(local);
+                    daig.write_id(dest, value?);
+                    settle_write(daig, dest, &mut cone, &mut ready);
                 }
-                // Fix cells seen this round stay ready for the next one.
-                ready.extend(fixes);
-                continue;
             }
-            if let Some(n) = fixes.pop() {
-                // Resolve one fix edge at a time: convergence is an
-                // ordinary write (the epoch continues); an unroll rewrites
-                // graph structure and ends the epoch.
-                ready.extend(fixes);
-                let cfg = fa.cfg().clone();
-                if fix_step(fa.daig_mut(), &cfg, &n, stats)? {
-                    settle_write(fa, &n, &mut missing, &mut ready);
-                    continue;
-                }
-                unroll_guard += 1;
-                if unroll_guard > MAX_UNROLLS {
-                    return Err(DaigError::Invariant(format!(
-                        "loop at {n} exceeded {MAX_UNROLLS} unrollings: \
-                         widening does not converge"
-                    )));
-                }
-                continue 'epoch;
-            }
-            // Nothing ready at all: done if the targets are filled;
-            // otherwise the cone is wedged, which acyclicity rules out.
-            if targets.iter().all(|t| fa.daig().value(t).is_some()) {
-                return Ok(());
-            }
-            return Err(DaigError::Invariant(
-                "scheduler stalled: no ready computation in the demanded cone \
-                 (dependency cycle?)"
-                    .to_string(),
-            ));
+            pure.clear();
+            // Fix cells seen this round stay ready for the next one.
+            ready.append(&mut fixes);
+            continue;
         }
+        if let Some(n) = fixes.pop() {
+            // Resolve one fix edge at a time: convergence is an ordinary
+            // write; an unroll splices a fresh iterate subgraph whose
+            // counts are patched into the cone.
+            ready.append(&mut fixes);
+            match fix_step_id(daig, cfg, n, stats)? {
+                FixOutcome::Converged => {
+                    settle_write(daig, n, &mut cone, &mut ready);
+                }
+                FixOutcome::Unrolled { spliced } => {
+                    unroll_guard += 1;
+                    if unroll_guard > MAX_UNROLLS {
+                        return Err(DaigError::Invariant(format!(
+                            "loop at {} exceeded {MAX_UNROLLS} unrollings: \
+                             widening does not converge",
+                            daig.name_of(n)
+                        )));
+                    }
+                    // Patch the spliced subgraph: every structurally
+                    // changed, still-unfilled cell (re-pointed fix cell
+                    // included) gets a fresh missing-input count. All of
+                    // it is demanded — the new iterate feeds the fix cell
+                    // that demanded the unroll — and its inputs are either
+                    // filled (statement cells, the previous iterate) or
+                    // themselves spliced, so no wider re-traversal is
+                    // needed.
+                    cone.grow(daig.arena_len());
+                    for &id in &spliced {
+                        if !daig.contains_id(id) || daig.value_id(id).is_some() {
+                            continue;
+                        }
+                        let count = missing_inputs(daig, id, None)?;
+                        cone.set(id, count);
+                        if count == 0 {
+                            ready.push(id);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        // Nothing ready at all: done if the targets are filled; otherwise
+        // the cone is wedged, which acyclicity rules out.
+        if pending.iter().all(|&t| daig.value_id(t).is_some()) {
+            return Ok(());
+        }
+        return Err(DaigError::Invariant(
+            "scheduler stalled: no ready computation in the demanded cone \
+             (dependency cycle?)"
+                .to_string(),
+        ));
     }
 }
 
-/// After `dest` was written: drop it from the pending-count map and
-/// decrement each cone-dependent's missing-input count, promoting cells
-/// that reach zero onto the ready queue.
+/// After `dest` was written: drop it from the cone and decrement each
+/// cone-dependent's missing-input count, promoting cells that reach zero
+/// onto the ready queue.
 fn settle_write<D: AbstractDomain>(
-    fa: &FuncAnalysis<D>,
-    dest: &Name,
-    missing: &mut HashMap<Name, usize>,
-    ready: &mut Vec<Name>,
+    daig: &Daig<D>,
+    dest: CellId,
+    cone: &mut Cone,
+    ready: &mut Vec<CellId>,
 ) {
-    missing.remove(dest);
-    for dep in fa.daig().dependents(dest) {
-        if let Some(count) = missing.get_mut(dep) {
-            if *count > 0 {
-                *count -= 1;
-                if *count == 0 {
-                    ready.push(dep.clone());
-                }
-            }
+    cone.remove(dest);
+    for &dep in daig.dependents_ids(dest) {
+        if cone.decrement(dep) {
+            ready.push(dep);
         }
     }
 }
@@ -321,5 +448,44 @@ mod tests {
         evaluate_targets(&mut fa, &[entry], &memo, &pool.handle(), &mut stats).unwrap();
         assert_eq!(stats.computed, computed_before, "no recomputation");
         assert!(stats.reused >= 1);
+    }
+
+    #[test]
+    fn demanded_cone_is_traversed_once_despite_unrolls() {
+        // The nested-loop workload needs several unrollings to converge;
+        // incremental cone maintenance must keep the traversal count at
+        // one — the whole point of patching spliced subgraphs instead of
+        // ending the epoch.
+        let pool = WorkerPool::new(1);
+        let mut fa = fresh();
+        let memo = SharedMemoTable::new(2);
+        let mut stats = QueryStats::default();
+        let exit = Name::State {
+            loc: fa.cfg().exit(),
+            ctx: dai_core::name::IterCtx::root(),
+        };
+        evaluate_targets(
+            &mut fa,
+            std::slice::from_ref(&exit),
+            &memo,
+            &pool.handle(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(
+            stats.unrolls >= 2,
+            "workload must unroll several times (got {})",
+            stats.unrolls
+        );
+        assert_eq!(
+            stats.cone_walks, 1,
+            "one traversal regardless of {} unrolls",
+            stats.unrolls
+        );
+        // A repeated evaluation reuses the filled target without walking
+        // anything.
+        evaluate_targets(&mut fa, &[exit], &memo, &pool.handle(), &mut stats).unwrap();
+        assert_eq!(stats.cone_walks, 1, "filled targets walk nothing");
+        fa.daig().check_well_formed().unwrap();
     }
 }

@@ -15,6 +15,7 @@ use dai_core::analysis::{resolve_loc_cell, FuncAnalysis};
 use dai_core::dot::{to_dot, DotOptions};
 use dai_core::driver::ProgramEdit;
 use dai_core::graph::Value;
+use dai_core::intern::CellId;
 use dai_core::query::QueryStats;
 use dai_core::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
@@ -49,12 +50,25 @@ pub struct SessionSnapshot {
     pub functions: Vec<(String, String)>,
 }
 
+/// One per-function analysis unit plus its query-resolution cache.
+///
+/// `resolve_loc_cell` is a function of the DAIG's *structure* only (it
+/// reads which iterates each converged fix edge points at), so a resolved
+/// `(location → cell)` entry stays valid for exactly one structural epoch
+/// ([`dai_core::Daig::struct_epoch`]). Caching it turns the steady-state
+/// query path — everything already evaluated — into a hash lookup plus a
+/// value clone.
+struct Unit<D: AbstractDomain> {
+    fa: FuncAnalysis<D>,
+    resolved: HashMap<Loc, (u64, CellId)>,
+}
+
 /// One loaded program and its per-function analyses.
 pub struct Session<D: AbstractDomain> {
     name: String,
     program: LoweredProgram,
     strategy: FixStrategy,
-    units: HashMap<Symbol, FuncAnalysis<D>>,
+    units: HashMap<Symbol, Unit<D>>,
     queries: u64,
     edits: u64,
 }
@@ -88,7 +102,7 @@ impl<D: AbstractDomain> Session<D> {
         (self.queries, self.edits)
     }
 
-    fn unit_mut(&mut self, func: &str) -> Result<&mut FuncAnalysis<D>, EngineError> {
+    fn unit_mut(&mut self, func: &str) -> Result<&mut Unit<D>, EngineError> {
         let sym = Symbol::new(func);
         if !self.units.contains_key(&sym) {
             let cfg = self
@@ -99,7 +113,10 @@ impl<D: AbstractDomain> Session<D> {
             let phi0 = D::entry_default(cfg.params());
             self.units.insert(
                 sym.clone(),
-                FuncAnalysis::with_strategy(cfg, phi0, self.strategy),
+                Unit {
+                    fa: FuncAnalysis::with_strategy(cfg, phi0, self.strategy),
+                    resolved: HashMap::new(),
+                },
             );
         }
         Ok(self.units.get_mut(&sym).expect("just ensured"))
@@ -126,14 +143,33 @@ impl<D: AbstractDomain> Session<D> {
     ) -> Result<D, EngineError> {
         self.queries += 1;
         let unit = self.unit_mut(func)?;
+        // Steady-state fast path: the resolved cell is cached per
+        // structural epoch; if it is still filled, the query is a lookup.
+        let epoch = unit.fa.daig().struct_epoch();
+        if let Some(&(cached_epoch, id)) = unit.resolved.get(&loc) {
+            if cached_epoch == epoch {
+                if let Some(d) = unit.fa.daig().value_id(id).and_then(Value::as_state) {
+                    stats.reused += 1;
+                    return Ok(d.clone());
+                }
+            }
+        }
         // The fix-chain walk lives in dai-core (`resolve_loc_cell`); the
         // engine only substitutes *how* each demanded cell gets filled —
         // parallel frontier evaluation instead of the sequential query.
-        let cell = resolve_loc_cell(unit, loc, |fa, cell| {
+        let cell = resolve_loc_cell(&mut unit.fa, loc, |fa, cell| {
             evaluate_targets(fa, std::slice::from_ref(cell), memo, pool, stats)
         })?;
-        evaluate_targets(unit, std::slice::from_ref(&cell), memo, pool, stats)?;
-        unit.daig()
+        evaluate_targets(&mut unit.fa, std::slice::from_ref(&cell), memo, pool, stats)?;
+        // Record the resolution against the *post*-evaluation epoch:
+        // demanded unrolls during evaluation changed the structure, and
+        // the resolved cell belongs to the final one.
+        if let Some(id) = unit.fa.daig().id_of(&cell) {
+            unit.resolved
+                .insert(loc, (unit.fa.daig().struct_epoch(), id));
+        }
+        unit.fa
+            .daig()
             .value(&cell)
             .and_then(Value::as_state)
             .cloned()
@@ -191,12 +227,15 @@ impl<D: AbstractDomain> Session<D> {
         if let Some(unit) = self.units.get_mut(func) {
             match edit {
                 ProgramEdit::Relabel { edge, stmt, .. } => {
-                    unit.relabel(*edge, stmt.clone())?;
+                    unit.fa.relabel(*edge, stmt.clone())?;
                 }
                 ProgramEdit::Insert { edge, block, .. } => {
-                    unit.splice(*edge, block)?;
+                    unit.fa.splice(*edge, block)?;
                 }
             }
+            // A relabel leaves the structure (and epoch) intact but
+            // empties downstream cells; cached resolutions stay valid and
+            // simply miss on the emptied value. A splice bumps the epoch.
         }
         self.edits += 1;
         Ok(outcome)
@@ -212,7 +251,7 @@ impl<D: AbstractDomain> Session<D> {
                     title: Some(format!("{f} — session {}", self.name)),
                     ..DotOptions::default()
                 };
-                (f.to_string(), to_dot(unit.daig(), &opts))
+                (f.to_string(), to_dot(unit.fa.daig(), &opts))
             })
             .collect();
         functions.sort();

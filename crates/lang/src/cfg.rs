@@ -102,6 +102,27 @@ impl fmt::Display for CfgError {
 
 impl std::error::Error for CfgError {}
 
+/// Loop/join structure derived from a CFG's adjacency — computed once per
+/// structural version of the graph and shared by clones
+/// ([`std::sync::OnceLock`]`<`[`std::sync::Arc`]`>`): DAIG construction and
+/// demanded unrolling query these relations per edge, so deriving them on
+/// every call (the previous implementation) made graph building the
+/// dominant cost of cold queries.
+#[derive(Debug, Default)]
+struct Derived {
+    /// Edges whose destination is a loop head dominating their source.
+    back_edges: HashSet<EdgeId>,
+    /// Incoming non-back edges per live location, ascending.
+    fwd_in: HashMap<Loc, Vec<EdgeId>>,
+    /// Locations with forward in-degree ≥ 2.
+    joins: HashSet<Loc>,
+    /// Chain of enclosing loop heads per live location, outermost first
+    /// (the location itself excluded even when it is a head).
+    enclosing: HashMap<Loc, Vec<Loc>>,
+    /// Natural-loop membership per head (head included), ascending.
+    natural: HashMap<Loc, Vec<Loc>>,
+}
+
 /// The control-flow graph of a single function.
 #[derive(Debug, Clone)]
 pub struct Cfg {
@@ -119,6 +140,9 @@ pub struct Cfg {
     loop_parent: HashMap<Loc, Option<Loc>>,
     /// Locations that are the destination of a back edge.
     loop_heads: HashSet<Loc>,
+    /// Lazily derived loop/join structure; reset by structural mutation.
+    /// Clones share the cache (the `Arc`) until either side mutates.
+    derived: std::sync::OnceLock<std::sync::Arc<Derived>>,
 }
 
 impl Cfg {
@@ -136,6 +160,7 @@ impl Cfg {
             in_edges: HashMap::new(),
             loop_parent: HashMap::new(),
             loop_heads: HashSet::new(),
+            derived: std::sync::OnceLock::new(),
         };
         cfg.loop_parent.insert(cfg.entry, None);
         cfg.loop_parent.insert(cfg.exit, None);
@@ -226,11 +251,7 @@ impl Cfg {
     /// Is edge `id` a back edge (its destination is a loop head whose
     /// natural loop contains the source)?
     pub fn is_back_edge(&self, id: EdgeId) -> bool {
-        let Some(e) = self.edges.get(&id) else {
-            return false;
-        };
-        self.loop_heads.contains(&e.dst)
-            && (e.src == e.dst || self.loops_containing(e.src).contains(&e.dst))
+        self.derived().back_edges.contains(&id)
     }
 
     /// The unique back edge of loop head `head`, if `head` is a loop head.
@@ -247,35 +268,37 @@ impl Cfg {
     /// Incoming *forward* (non-back) edges of `loc`, ascending.
     ///
     /// The paper's `fwd-edges-to`: join points are locations where this has
-    /// length ≥ 2.
+    /// length ≥ 2. Borrowing variant of [`Cfg::fwd_in_edges`].
+    pub fn fwd_in(&self, loc: Loc) -> &[EdgeId] {
+        self.derived().fwd_in.get(&loc).map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming *forward* (non-back) edges of `loc`, ascending (owned).
     pub fn fwd_in_edges(&self, loc: Loc) -> Vec<EdgeId> {
-        self.in_edges(loc)
-            .iter()
-            .copied()
-            .filter(|&e| !self.is_back_edge(e))
-            .collect()
+        self.fwd_in(loc).to_vec()
     }
 
     /// Is `loc` a join point (forward in-degree ≥ 2)?
     pub fn is_join(&self, loc: Loc) -> bool {
-        self.fwd_in_edges(loc).len() >= 2
+        self.derived().joins.contains(&loc)
     }
 
     /// The chain of loop heads whose natural loops contain `loc`, outermost
     /// first. A loop head is *not* a member of its own chain (matching the
     /// paper's naming convention where the head's fixed-point cell lives
-    /// outside its own loop).
+    /// outside its own loop). Borrowing variant of
+    /// [`Cfg::enclosing_loops`].
+    pub fn enclosing_chain(&self, loc: Loc) -> &[Loc] {
+        self.derived()
+            .enclosing
+            .get(&loc)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The chain of enclosing loop heads (owned; see
+    /// [`Cfg::enclosing_chain`]).
     pub fn enclosing_loops(&self, loc: Loc) -> Vec<Loc> {
-        let mut chain = Vec::new();
-        let mut cur = self.loop_parent.get(&loc).copied().flatten();
-        while let Some(h) = cur {
-            if self.loop_heads.contains(&h) {
-                chain.push(h);
-            }
-            cur = self.loop_parent.get(&h).copied().flatten();
-        }
-        chain.reverse();
-        chain
+        self.enclosing_chain(loc).to_vec()
     }
 
     /// Like [`Cfg::enclosing_loops`] but including `loc` itself when it is a
@@ -288,21 +311,92 @@ impl Cfg {
         chain
     }
 
-    /// All locations in the natural loop of `head` (including `head`).
+    /// All locations in the natural loop of `head` (including `head`),
+    /// ascending. Borrowing variant of [`Cfg::natural_loop`].
+    pub fn natural_loop_ref(&self, head: Loc) -> &[Loc] {
+        self.derived().natural.get(&head).map_or(&[], Vec::as_slice)
+    }
+
+    /// All locations in the natural loop of `head` (owned; see
+    /// [`Cfg::natural_loop_ref`]).
     pub fn natural_loop(&self, head: Loc) -> Vec<Loc> {
-        let mut v: Vec<Loc> = self
-            .locs()
-            .into_iter()
-            .filter(|&l| self.loops_containing(l).contains(&head))
-            .collect();
-        if !v.contains(&head) {
-            v.push(head);
+        self.natural_loop_ref(head).to_vec()
+    }
+
+    /// The derived loop/join structure, computed on first use after a
+    /// structural change.
+    fn derived(&self) -> &Derived {
+        self.derived
+            .get_or_init(|| std::sync::Arc::new(self.compute_derived()))
+    }
+
+    /// Drops the derived cache; every structural mutation calls this.
+    fn invalidate_derived(&mut self) {
+        self.derived = std::sync::OnceLock::new();
+    }
+
+    /// One pass over the graph computing every derived relation the DAIG
+    /// builder queries per edge.
+    fn compute_derived(&self) -> Derived {
+        let mut d = Derived::default();
+        for &l in self.loop_parent.keys() {
+            let mut chain = Vec::new();
+            let mut cur = self.loop_parent.get(&l).copied().flatten();
+            while let Some(h) = cur {
+                if self.loop_heads.contains(&h) {
+                    chain.push(h);
+                }
+                cur = self.loop_parent.get(&h).copied().flatten();
+            }
+            chain.reverse();
+            d.enclosing.insert(l, chain);
         }
-        v.sort();
-        v
+        let containing = |l: Loc| -> Vec<Loc> {
+            let mut c = d.enclosing.get(&l).cloned().unwrap_or_default();
+            if self.loop_heads.contains(&l) {
+                c.push(l);
+            }
+            c
+        };
+        for (id, e) in &self.edges {
+            if self.loop_heads.contains(&e.dst)
+                && (e.src == e.dst || containing(e.src).contains(&e.dst))
+            {
+                d.back_edges.insert(*id);
+            }
+        }
+        for &l in self.loop_parent.keys() {
+            let fwd: Vec<EdgeId> = self
+                .in_edges(l)
+                .iter()
+                .copied()
+                .filter(|e| !d.back_edges.contains(e))
+                .collect();
+            if fwd.len() >= 2 {
+                d.joins.insert(l);
+            }
+            d.fwd_in.insert(l, fwd);
+        }
+        d.natural = self.loop_heads.iter().map(|&h| (h, Vec::new())).collect();
+        for &l in self.loop_parent.keys() {
+            for h in containing(l) {
+                d.natural
+                    .get_mut(&h)
+                    .expect("containing heads exist")
+                    .push(l);
+            }
+        }
+        for (&h, body) in d.natural.iter_mut() {
+            if !body.contains(&h) {
+                body.push(h);
+            }
+            body.sort();
+        }
+        d
     }
 
     fn fresh_loc(&mut self, parent: Option<Loc>) -> Loc {
+        self.invalidate_derived();
         let l = Loc(self.next_loc);
         self.next_loc += 1;
         self.loop_parent.insert(l, parent);
@@ -310,6 +404,7 @@ impl Cfg {
     }
 
     fn add_edge(&mut self, src: Loc, dst: Loc, stmt: Stmt) -> EdgeId {
+        self.invalidate_derived();
         let id = EdgeId(self.next_edge);
         self.next_edge += 1;
         self.edges.insert(id, Edge { id, src, dst, stmt });
@@ -330,6 +425,7 @@ impl Cfg {
     /// Moves an edge's source to `new_src`, updating adjacency
     /// (used by [`crate::edit`] splices).
     pub(crate) fn move_edge_src_internal(&mut self, id: EdgeId, new_src: Loc) {
+        self.invalidate_derived();
         let Some(e) = self.edges.get_mut(&id) else {
             return;
         };
@@ -346,6 +442,7 @@ impl Cfg {
     /// Redirects all in-edges of `from` to `into` and deletes `from`.
     /// `from` must have no out-edges.
     fn merge_locs(&mut self, from: Loc, into: Loc) {
+        self.invalidate_derived();
         debug_assert!(from != into);
         debug_assert!(self.out_edges(from).is_empty());
         let incoming: Vec<EdgeId> = self.in_edges(from).to_vec();
@@ -365,6 +462,7 @@ impl Cfg {
     /// cannot fall through and has no `return` would otherwise leave an
     /// isolated exit violating "all locations reachable").
     fn prune_dead_exit(&mut self) {
+        self.invalidate_derived();
         if self.exit != self.entry && self.in_edges(self.exit).is_empty() {
             // Keep a reachable exit: collapse it onto the entry's last
             // reachable location is not meaningful; instead retain the exit
@@ -526,6 +624,7 @@ impl Lowerer<'_> {
                             self.cfg.add_edge(b_end, head, Stmt::Skip);
                         }
                         self.cfg.loop_heads.insert(head);
+                        self.cfg.invalidate_derived();
                     }
                     None => {
                         // The body always returns: `head` is not a loop head.
@@ -540,6 +639,7 @@ impl Lowerer<'_> {
                         for l in created {
                             if self.cfg.loop_parent[&l] == Some(head) {
                                 self.cfg.loop_parent.insert(l, parent);
+                                self.cfg.invalidate_derived();
                             }
                         }
                     }

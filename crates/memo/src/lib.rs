@@ -28,6 +28,19 @@
 //!   any entry another session wrote is one this session could have
 //!   computed itself.
 //!
+//! ## Throughput notes
+//!
+//! Key construction is on the analysis hot path — every `Q-Match` lookup
+//! hashes the function's inputs — so the builder is engineered to do no
+//! redundant work: [`KeyBuilder::finish`] consumes the builder and
+//! finalizes its two hash streams in place (no hasher cloning), and
+//! [`KeyBuilder::push_digest`] feeds a **pre-computed** [`content_digest`]
+//! (16 bytes) instead of re-hashing a full value. `dai-core` caches a
+//! digest per filled DAIG cell at write time, which turns the per-lookup
+//! cost for large abstract states (octagon matrices, shape graphs) from
+//! O(|state|) into O(1); on the Fig. 10 octagon workload this is a large
+//! fraction of the end-to-end query cost (see `BENCH_daig.json`).
+//!
 //! ```
 //! use dai_memo::{KeyBuilder, MemoTable};
 //!
@@ -42,9 +55,110 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// A fast, non-cryptographic hasher (the rustc-hash / FxHash algorithm)
+/// for *map-internal* use, where a collision costs a probe rather than a
+/// wrong answer. [`MemoKey`] identity and [`content_digest`]s stay on the
+/// two-stream SipHash construction; this type exists so hot id- and
+/// name-keyed tables (the DAIG interner, the memo shards) do not pay
+/// SipHash per lookup.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_ne_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type FxBuild = BuildHasherDefault<FxHasher64>;
+
+/// Pass-through hasher for keys that are already uniform hashes
+/// ([`MemoKey`]): uses the key's low 64 bits directly instead of
+/// re-hashing 16 bytes through SipHash on every table operation.
+#[derive(Debug, Default, Clone)]
+pub struct PrehashedKeyHasher {
+    hash: u64,
+}
+
+impl Hasher for PrehashedKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (not used by MemoKey's u128 hash, but kept total).
+        for &b in bytes {
+            self.hash = self.hash.rotate_left(8) ^ b as u64;
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // u128::hash writes the value as two u64s (or one u128 write
+        // depending on platform); fold everything in.
+        self.hash ^= n;
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.hash ^= (n >> 64) as u64 ^ n as u64;
+    }
+}
+
+/// `BuildHasher` for [`PrehashedKeyHasher`].
+pub type PrehashedBuild = BuildHasherDefault<PrehashedKeyHasher>;
 
 /// A 128-bit content hash identifying a memoized application `f·(v₁⋯v_k)`.
 ///
@@ -61,6 +175,71 @@ impl fmt::Display for MemoKey {
     }
 }
 
+/// A 128-bit-output hasher pairing one SipHash stream (collision
+/// resistance) with one FxHash stream (independence), fed by a **single**
+/// traversal of the value — `Hash::hash` walks the structure once, not
+/// once per stream. A [`MemoKey`] collision requires both streams to
+/// collide simultaneously, which for non-adversarial analysis values is
+/// as unlikely as the previous dual-SipHash construction in practice,
+/// at roughly half the hashing cost.
+#[derive(Debug, Clone)]
+struct TwinHasher {
+    sip: DefaultHasher,
+    fx: FxHasher64,
+}
+
+impl TwinHasher {
+    fn seeded(seed: u64) -> TwinHasher {
+        let mut t = TwinHasher {
+            sip: DefaultHasher::new(),
+            fx: FxHasher64::default(),
+        };
+        seed.hash(&mut t);
+        t
+    }
+
+    fn finish128(&self) -> u128 {
+        ((self.sip.finish() as u128) << 64) | self.fx.finish() as u128
+    }
+}
+
+impl Hasher for TwinHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.sip.finish() ^ self.fx.finish()
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.sip.write(bytes);
+        self.fx.write(bytes);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.sip.write_u8(n);
+        self.fx.write_u8(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.sip.write_u32(n);
+        self.fx.write_u32(n);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.sip.write_u64(n);
+        self.fx.write_u64(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.sip.write_usize(n);
+        self.fx.write_usize(n);
+    }
+}
+
 /// Incrementally hashes a function symbol and its argument values into a
 /// [`MemoKey`].
 ///
@@ -69,34 +248,48 @@ impl fmt::Display for MemoKey {
 /// widening.
 #[derive(Debug, Clone)]
 pub struct KeyBuilder {
-    h1: DefaultHasher,
-    h2: DefaultHasher,
+    h: TwinHasher,
 }
 
 impl KeyBuilder {
     /// Starts a key for an application of the function named `func`.
     pub fn new(func: &str) -> KeyBuilder {
-        let mut h1 = DefaultHasher::new();
-        let mut h2 = DefaultHasher::new();
-        // Distinct stream seeds.
-        0xD41Au16.hash(&mut h1);
-        0x1E57u16.hash(&mut h2);
-        func.hash(&mut h1);
-        func.hash(&mut h2);
-        KeyBuilder { h1, h2 }
+        let mut h = TwinHasher::seeded(0xD41A_1E57);
+        func.hash(&mut h);
+        KeyBuilder { h }
     }
 
     /// Feeds one argument value into the key.
     pub fn push<T: Hash + ?Sized>(mut self, value: &T) -> KeyBuilder {
-        value.hash(&mut self.h1);
-        value.hash(&mut self.h2);
+        value.hash(&mut self.h);
         self
     }
 
-    /// Finalizes the key.
-    pub fn finish(&self) -> MemoKey {
-        MemoKey(((self.h1.clone().finish() as u128) << 64) | self.h2.clone().finish() as u128)
+    /// Feeds a pre-computed [`content_digest`] into the key — 16 bytes of
+    /// hashing regardless of how large the digested value was.
+    pub fn push_digest(mut self, digest: u128) -> KeyBuilder {
+        digest.hash(&mut self.h);
+        self
     }
+
+    /// Finalizes the key, consuming the builder (the hashers are finished
+    /// in place — no clones).
+    pub fn finish(self) -> MemoKey {
+        MemoKey(self.h.finish128())
+    }
+}
+
+/// The 128-bit content hash of a single value, using the same
+/// twin-stream construction as [`MemoKey`]s (differently seeded, so a
+/// digest is never confused with a one-argument key).
+///
+/// Computed once per produced value (e.g. when a DAIG cell is written) and
+/// thereafter fed to [`KeyBuilder::push_digest`], this amortizes the cost
+/// of hashing large values across every memo lookup that reads them.
+pub fn content_digest<T: Hash + ?Sized>(value: &T) -> u128 {
+    let mut h = TwinHasher::seeded(0xD16E_57A7);
+    value.hash(&mut h);
+    h.finish128()
 }
 
 /// Hit/miss/eviction counters for a [`MemoTable`].
@@ -133,8 +326,8 @@ impl MemoStats {
 /// therefore survive; stale ones age out in O(1) amortized time.
 #[derive(Debug, Clone)]
 pub struct MemoTable<V> {
-    current: HashMap<MemoKey, V>,
-    previous: HashMap<MemoKey, V>,
+    current: HashMap<MemoKey, V, PrehashedBuild>,
+    previous: HashMap<MemoKey, V, PrehashedBuild>,
     capacity: Option<usize>,
     stats: MemoStats,
 }
@@ -149,8 +342,8 @@ impl<V> MemoTable<V> {
     /// Creates an unbounded table.
     pub fn new() -> MemoTable<V> {
         MemoTable {
-            current: HashMap::new(),
-            previous: HashMap::new(),
+            current: HashMap::default(),
+            previous: HashMap::default(),
             capacity: None,
             stats: MemoStats::default(),
         }
@@ -460,6 +653,28 @@ mod tests {
     #[test]
     fn keys_are_deterministic() {
         assert_eq!(key("f", &[7, 8, 9]), key("f", &[7, 8, 9]));
+    }
+
+    #[test]
+    fn digest_keys_match_for_equal_values() {
+        let a = content_digest(&"state-a");
+        let b = content_digest(&"state-b");
+        assert_ne!(a, b);
+        assert_eq!(a, content_digest(&"state-a"));
+        let k1 = KeyBuilder::new("join")
+            .push_digest(a)
+            .push_digest(b)
+            .finish();
+        let k2 = KeyBuilder::new("join")
+            .push_digest(a)
+            .push_digest(b)
+            .finish();
+        let k3 = KeyBuilder::new("join")
+            .push_digest(b)
+            .push_digest(a)
+            .finish();
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3, "digest keys stay order-sensitive");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use dai_bench::engine_scaling::{format_points, run_scaling, ScalingParams};
 
 fn main() {
     let params = ScalingParams::default();
-    let points = run_scaling(&params);
-    print!("{}", format_points(&points));
+    let run = run_scaling(&params);
+    println!("host_cpus: {}", run.host_cpus);
+    print!("{}", format_points(&run.points));
 }

@@ -7,7 +7,9 @@
 //! $ cargo run --release --bin engine_scaling -- --sessions 16 --grow 80
 //! ```
 
-use dai_bench::engine_scaling::{format_points, run_scaling, speedup_base, ScalingParams};
+use dai_bench::engine_scaling::{
+    flat_scaling_check, format_points, run_scaling, speedup_base, ScalingParams, ScalingRun,
+};
 use std::fmt::Write as _;
 
 fn main() {
@@ -43,11 +45,23 @@ fn main() {
         }
     }
 
-    let points = run_scaling(&params);
-    print!("{}", format_points(&points));
+    let run = run_scaling(&params);
+    println!("host_cpus: {}", run.host_cpus);
+    print!("{}", format_points(&run.points));
+
+    // The scaling sanity gate: skipped (with an explanation) on 1-CPU
+    // hosts, where every worker count measures the same serial machine.
+    match flat_scaling_check(&run) {
+        Ok(Some(skipped)) => println!("{skipped}"),
+        Ok(None) => println!(
+            "flat-scaling assertion passed (host_cpus = {})",
+            run.host_cpus
+        ),
+        Err(msg) => die(&msg),
+    }
 
     if let Some(path) = out_path {
-        let json = to_json(&params, &points);
+        let json = to_json(&params, &run);
         std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         println!("baseline written to {path}");
     }
@@ -64,16 +78,20 @@ fn die(msg: &str) -> ! {
 }
 
 /// Hand-rolled JSON (the workspace is offline; no serde): stable field
-/// order, one point object per worker count.
-fn to_json(params: &ScalingParams, points: &[dai_bench::engine_scaling::ScalingPoint]) -> String {
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+/// order, one point object per worker count. `host_cpus` comes from the
+/// [`ScalingRun`] — sampled when the sweep *ran*, so an artifact can
+/// never carry throughput from one machine and a CPU count from another.
+fn to_json(params: &ScalingParams, run: &ScalingRun) -> String {
+    let points = &run.points[..];
     let base = speedup_base(points);
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"bench\": \"engine_scaling\",");
     let _ = writeln!(s, "  \"workload\": \"fig10_synthetic_octagon\",");
-    let _ = writeln!(s, "  \"host_cpus\": {cpus},");
+    let _ = writeln!(s, "  \"host_cpus\": {},", run.host_cpus);
+    let _ = writeln!(
+        s,
+        "  \"host_cpus_provenance\": \"available_parallelism at measurement time\","
+    );
     let _ = writeln!(s, "  \"sessions\": {},", params.sessions);
     let _ = writeln!(s, "  \"grow_edits\": {},", params.grow_edits);
     let _ = writeln!(s, "  \"seed\": {},", params.seed);

@@ -1,0 +1,114 @@
+//! Records the persistence baseline (`BENCH_persist.json`) and serves as
+//! the CI roundtrip gate for `dai-persist`.
+//!
+//! ```text
+//! $ cargo run --release --bin persist_bench -- --out BENCH_persist.json
+//! $ cargo run --release --bin persist_bench -- --profile smoke
+//! $ cargo run --release --bin persist_bench -- --check BENCH_persist.json
+//! ```
+//!
+//! `--check` validates the committed artifact's fields, then re-runs the
+//! smoke profile and asserts the count-based invariants (identical
+//! answers cold vs restored; strictly fewer `Q-Miss` computations warm
+//! than cold) — deterministic counters, so shared-runner timing noise
+//! cannot flake the gate.
+
+use dai_bench::persist_bench::{
+    check_invariants, run_persist_bench, to_json, validate_artifact, PersistBenchParams,
+    PersistBenchResult,
+};
+
+fn main() {
+    let mut profile = "full".to_string();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                profile = args
+                    .next()
+                    .filter(|p| p == "full" || p == "smoke")
+                    .unwrap_or_else(|| die("--profile takes full|smoke"));
+            }
+            "--out" => out_path = args.next(),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| die("--check FILE"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: persist_bench [--profile full|smoke] [--out FILE.json] \
+                     [--check BENCH_persist.json]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        validate_artifact(&committed).unwrap_or_else(|e| die(&e));
+        println!("{path}: all required fields present");
+        // The live gate: a fresh save/load roundtrip on the smoke profile
+        // must answer identically and measurably reduce evaluations.
+        let r = run(&PersistBenchParams::smoke());
+        check_invariants(&r).unwrap_or_else(|e| die(&e));
+        println!(
+            "roundtrip ok: answers identical; computed cold {} / memo-warm {} / full-warm {}",
+            r.cold.computed, r.memo_warm.computed, r.full_warm.computed
+        );
+        return;
+    }
+
+    let params = match profile.as_str() {
+        "smoke" => PersistBenchParams::smoke(),
+        _ => PersistBenchParams::full(),
+    };
+    let r = run(&params);
+    check_invariants(&r).unwrap_or_else(|e| die(&e));
+    print_table(&r);
+    if let Some(path) = out_path {
+        let json = to_json(&profile, &params, &r);
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("baseline written to {path}");
+    }
+}
+
+fn run(params: &PersistBenchParams) -> PersistBenchResult {
+    let dir = std::env::temp_dir().join(format!("dai-persist-bench-{}", std::process::id()));
+    let r = run_persist_bench(params, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    r
+}
+
+fn print_table(r: &PersistBenchResult) {
+    println!(
+        "persist_bench (Fig. 10 workload, octagon) — host_cpus {}, snapshot {} bytes \
+         ({} DAIGs, {} memo entries), save {:.2?}, load {:.2?}",
+        r.host_cpus, r.snapshot_bytes, r.funcs_saved, r.memo_entries, r.save, r.load
+    );
+    println!(
+        "{:>10} {:>9} {:>13} {:>10} {:>13} {:>9}",
+        "variant", "queries", "elapsed(med)", "computed", "memo-matched", "reused"
+    );
+    for (label, v) in [
+        ("cold", &r.cold),
+        ("memo-warm", &r.memo_warm),
+        ("full-warm", &r.full_warm),
+    ] {
+        println!(
+            "{:>10} {:>9} {:>13.3?} {:>10} {:>13} {:>9}",
+            label, v.queries, v.elapsed, v.computed, v.memo_matched, v.reused
+        );
+    }
+    println!(
+        "full-warm computes {:.1}% of cold's cell evaluations; answers identical: {}",
+        100.0 * r.full_warm.computed as f64 / (r.cold.computed as f64).max(1.0),
+        r.answers_identical
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("persist_bench: {msg}");
+    std::process::exit(2)
+}

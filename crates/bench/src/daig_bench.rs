@@ -119,13 +119,13 @@ pub fn measure_throughput(params: &DaigBenchParams) -> Throughput {
     let mut runs = Vec::with_capacity(params.repeats);
     let mut queries = 0;
     for _ in 0..params.repeats {
-        let points = run_scaling(&ScalingParams {
+        let run = run_scaling(&ScalingParams {
             sessions: params.sessions,
             grow_edits: params.grow_edits,
             worker_counts: vec![1],
             seed: params.seed,
         });
-        let p = points.first().expect("one point per sweep");
+        let p = run.points.first().expect("one point per sweep");
         queries = p.queries;
         runs.push(p.qps);
     }
@@ -200,8 +200,15 @@ pub fn measure_micro() -> MicroCosts {
         loc: fa.cfg().exit(),
         ctx: dai_core::IterCtx::root(),
     };
-    dai_engine::evaluate_targets(&mut fa, &[exit], &memo, &pool.handle(), &mut estats)
-        .expect("engine evaluation succeeds");
+    dai_engine::evaluate_targets(
+        &mut fa,
+        &[exit],
+        &memo,
+        &IntraResolver,
+        &pool.handle(),
+        &mut estats,
+    )
+    .expect("engine evaluation succeeds");
 
     MicroCosts {
         initial_daig_ns,

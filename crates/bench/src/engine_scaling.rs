@@ -59,15 +59,78 @@ pub struct ScalingPoint {
     pub qps: f64,
 }
 
-/// Runs the sweep at every requested worker count and returns one point
-/// per count, in the order given.
-pub fn run_scaling(params: &ScalingParams) -> Vec<ScalingPoint> {
-    params
-        .worker_counts
-        .iter()
-        .map(|&workers| run_at(workers, params))
-        .collect()
+/// A whole sweep plus its hardware provenance, captured **at measurement
+/// time** (`available_parallelism` when the sweep ran, not when an
+/// artifact is later serialized) — scaling numbers without the CPU count
+/// that produced them are meaningless, and PR 1's baseline proved it:
+/// recorded on a 1-CPU container, its flat speedup says nothing about the
+/// engine.
+#[derive(Debug, Clone)]
+pub struct ScalingRun {
+    /// `available_parallelism` observed when the sweep started.
+    pub host_cpus: usize,
+    /// One point per requested worker count, in request order.
+    pub points: Vec<ScalingPoint>,
 }
+
+/// Runs the sweep at every requested worker count.
+pub fn run_scaling(params: &ScalingParams) -> ScalingRun {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    ScalingRun {
+        host_cpus,
+        points: params
+            .worker_counts
+            .iter()
+            .map(|&workers| run_at(workers, params))
+            .collect(),
+    }
+}
+
+/// The scaling sanity gate: on a multi-core host, adding workers must not
+/// tank throughput (best multi-worker point ≥ `MIN_MULTI_WORKER_SPEEDUP` ×
+/// the 1-worker point — a regression canary, deliberately lenient for
+/// noisy shared runners, not a parallel-speedup target). On a single-CPU
+/// host every worker count measures the same serial machine, so the
+/// assertion is **skipped** (`Ok(Some(reason))`).
+///
+/// # Errors
+///
+/// A human-readable description of the violated expectation.
+pub fn flat_scaling_check(run: &ScalingRun) -> Result<Option<String>, String> {
+    if run.host_cpus <= 1 {
+        return Ok(Some(format!(
+            "flat-scaling assertion skipped: host_cpus == {} (worker scaling \
+             is necessarily flat on a serial machine)",
+            run.host_cpus
+        )));
+    }
+    let base = speedup_base(&run.points);
+    let best_multi = run
+        .points
+        .iter()
+        .filter(|p| p.workers > 1)
+        .map(|p| p.qps)
+        .fold(f64::NAN, f64::max);
+    if best_multi.is_nan() {
+        return Ok(Some(
+            "flat-scaling assertion skipped: sweep has no multi-worker point".to_string(),
+        ));
+    }
+    let speedup = best_multi / base.max(1e-9);
+    if speedup < MIN_MULTI_WORKER_SPEEDUP {
+        return Err(format!(
+            "multi-worker throughput collapsed on a {}-CPU host: best multi-worker \
+             speedup {speedup:.2}x < {MIN_MULTI_WORKER_SPEEDUP}x floor",
+            run.host_cpus
+        ));
+    }
+    Ok(None)
+}
+
+/// Floor for [`flat_scaling_check`] on multi-core hosts.
+pub const MIN_MULTI_WORKER_SPEEDUP: f64 = 0.8;
 
 fn run_at(workers: usize, params: &ScalingParams) -> ScalingPoint {
     let engine: Engine<OctagonDomain> = Engine::new(workers);
@@ -188,7 +251,12 @@ mod tests {
             worker_counts: vec![1, 2],
             seed: 7,
         };
-        let points = run_scaling(&params);
+        let run = run_scaling(&params);
+        assert!(
+            run.host_cpus >= 1,
+            "provenance captured at measurement time"
+        );
+        let points = &run.points;
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].workers, 1);
         assert_eq!(points[1].workers, 2);
@@ -196,7 +264,42 @@ mod tests {
         assert_eq!(points[0].queries, points[1].queries);
         assert!(points[0].queries > 10);
         assert!(points[0].qps > 0.0);
-        let table = format_points(&points);
+        let table = format_points(points);
         assert!(table.contains("speedup"));
+    }
+
+    #[test]
+    fn flat_scaling_check_skips_on_one_cpu_and_gates_on_many() {
+        let point = |workers, qps| ScalingPoint {
+            workers,
+            queries: 100,
+            elapsed: Duration::from_millis(10),
+            qps,
+        };
+        // 1-CPU host: always skipped, regardless of how flat the points
+        // are.
+        let serial = ScalingRun {
+            host_cpus: 1,
+            points: vec![point(1, 100.0), point(4, 40.0)],
+        };
+        let skip = flat_scaling_check(&serial).unwrap();
+        assert!(skip.is_some_and(|m| m.contains("host_cpus == 1")));
+        // Multi-core host: a collapse fails, healthy scaling passes.
+        let collapsed = ScalingRun {
+            host_cpus: 4,
+            points: vec![point(1, 100.0), point(4, 40.0)],
+        };
+        assert!(flat_scaling_check(&collapsed).is_err());
+        let healthy = ScalingRun {
+            host_cpus: 4,
+            points: vec![point(1, 100.0), point(4, 250.0)],
+        };
+        assert_eq!(flat_scaling_check(&healthy).unwrap(), None);
+        // No multi-worker point: nothing to assert.
+        let single = ScalingRun {
+            host_cpus: 4,
+            points: vec![point(1, 100.0)],
+        };
+        assert!(flat_scaling_check(&single).unwrap().is_some());
     }
 }

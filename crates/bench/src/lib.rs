@@ -15,11 +15,16 @@
 //!   linked-list utilities);
 //! * [`engine_scaling`] — worker-pool throughput of the concurrent
 //!   `dai-engine` on the Fig. 10 workload (the `engine_scaling` binary
-//!   records `BENCH_engine.json` baselines).
+//!   records `BENCH_engine.json` baselines, with `host_cpus` captured at
+//!   measurement time);
+//! * [`persist_bench`] — cold-start vs warm-start restore comparison for
+//!   the `dai-persist` snapshot subsystem (the `persist_bench` binary
+//!   records `BENCH_persist.json` and doubles as the CI roundtrip gate).
 
 pub mod buckets;
 pub mod daig_bench;
 pub mod engine_scaling;
 pub mod harness;
 pub mod lists;
+pub mod persist_bench;
 pub mod workload;

@@ -1,0 +1,422 @@
+//! Cold-start vs warm-start measurement behind `BENCH_persist.json`.
+//!
+//! The snapshot format is lossy by design (dropping cached analysis state
+//! is always sound), so the interesting questions are *quantitative*:
+//! what does a restored session actually save? This harness grows one
+//! Fig. 10 synthetic-workload session through the engine, warms it with a
+//! full `(function × location)` query sweep, saves it, and then measures
+//! the same sweep three ways on fresh engines:
+//!
+//! * **cold** — no snapshot: re-open from source, replay the edit stream,
+//!   answer every query from scratch;
+//! * **memo-warm** — restore the snapshot with its `FUNC` (DAIG) sections
+//!   stripped ([`dai_persist::strip_sections`]): only memo entries
+//!   survive, exercising exactly the degraded path a damaged DAIG section
+//!   takes;
+//! * **full-warm** — restore the complete snapshot: DAIG values answer
+//!   most queries by `Q-Reuse`.
+//!
+//! Alongside wall-clock latency (noisy on shared hosts) the harness
+//! records the **deterministic work counters** (`QueryStats::computed`,
+//! `memo_matched`, `reused`), which is what the CI gate asserts on:
+//! warm restores must perform strictly fewer `Q-Miss` computations than
+//! cold starts, and every variant must produce identical answers.
+
+use dai_core::driver::ProgramEdit;
+use dai_domains::OctagonDomain;
+use dai_engine::{Engine, PersistOutcome, Request, Response, SessionId, Ticket};
+use dai_lang::Loc;
+use dai_persist::{strip_sections, TAG_FUNC};
+use std::time::{Duration, Instant};
+
+use crate::workload::Workload;
+
+type D = OctagonDomain;
+
+/// Parameters of one persistence measurement.
+#[derive(Debug, Clone)]
+pub struct PersistBenchParams {
+    /// Random edits growing the session before the save.
+    pub grow_edits: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Sweep repetitions per variant (medians reported).
+    pub repeats: usize,
+}
+
+impl PersistBenchParams {
+    /// The recording profile (matches the Fig. 10 engine baselines).
+    pub fn full() -> PersistBenchParams {
+        PersistBenchParams {
+            grow_edits: 40,
+            seed: 379422,
+            repeats: 5,
+        }
+    }
+
+    /// A seconds-scale profile for CI smoke runs.
+    pub fn smoke() -> PersistBenchParams {
+        PersistBenchParams {
+            grow_edits: 8,
+            seed: 379422,
+            repeats: 2,
+        }
+    }
+}
+
+/// One variant's sweep measurement.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Queries per sweep.
+    pub queries: usize,
+    /// Median wall-clock per sweep across repeats.
+    pub elapsed: Duration,
+    /// `Q-Miss` computations in one sweep (deterministic).
+    pub computed: u64,
+    /// `Q-Match` memo hits in one sweep.
+    pub memo_matched: u64,
+    /// `Q-Reuse` cell reuses in one sweep.
+    pub reused: u64,
+}
+
+/// A complete cold/memo-warm/full-warm comparison.
+#[derive(Debug, Clone)]
+pub struct PersistBenchResult {
+    /// `available_parallelism` at measurement time.
+    pub host_cpus: usize,
+    /// Snapshot file size.
+    pub snapshot_bytes: usize,
+    /// Function DAIGs in the snapshot.
+    pub funcs_saved: usize,
+    /// Memo entries in the snapshot.
+    pub memo_entries: usize,
+    /// Wall-clock of the save request.
+    pub save: Duration,
+    /// Wall-clock of the full-snapshot load request.
+    pub load: Duration,
+    /// The three sweep variants.
+    pub cold: VariantResult,
+    /// Memo-only restore (DAIG sections stripped).
+    pub memo_warm: VariantResult,
+    /// Complete restore.
+    pub full_warm: VariantResult,
+    /// Every variant answered every query identically.
+    pub answers_identical: bool,
+}
+
+fn grow(engine: &Engine<D>, session: SessionId, seed: u64, edits: usize) {
+    let mut gen = Workload::new(seed);
+    for _ in 0..edits {
+        let program = engine.program_of(session).expect("session open");
+        let edit: ProgramEdit = gen.next_edit(&program);
+        engine
+            .request(Request::Edit { session, edit })
+            .expect("bench edit applies");
+    }
+}
+
+fn targets_of(engine: &Engine<D>, session: SessionId) -> Vec<(String, Loc)> {
+    let program = engine.program_of(session).expect("session open");
+    let mut targets = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    targets
+}
+
+/// One timed sweep; returns the answers in target order.
+fn sweep(engine: &Engine<D>, session: SessionId, targets: &[(String, Loc)]) -> (Duration, Vec<D>) {
+    let t0 = Instant::now();
+    let tickets: Vec<Ticket<D>> = targets
+        .iter()
+        .map(|(f, loc)| {
+            engine.submit(Request::Query {
+                session,
+                func: f.clone(),
+                loc: *loc,
+            })
+        })
+        .collect();
+    let answers = Ticket::wait_all(tickets)
+        .expect("bench queries succeed")
+        .into_iter()
+        .map(|r| r.into_state().expect("query response"))
+        .collect();
+    (t0.elapsed(), answers)
+}
+
+fn median(mut v: Vec<Duration>) -> Duration {
+    v.sort();
+    v[v.len() / 2]
+}
+
+/// A ready-to-measure engine + session, the sweep targets, and the
+/// reference answers.
+type WarmSession = (Engine<D>, SessionId, Vec<(String, Loc)>, Vec<D>);
+
+/// A freshly grown, fully swept (warm) engine + session.
+fn build_warm(params: &PersistBenchParams) -> WarmSession {
+    let engine: Engine<D> = Engine::new(1);
+    let session = engine
+        .open_session_src("persist-bench", &Workload::initial_source())
+        .expect("workload source compiles");
+    grow(&engine, session, params.seed, params.grow_edits);
+    let targets = targets_of(&engine, session);
+    let (_, answers) = sweep(&engine, session, &targets);
+    (engine, session, targets, answers)
+}
+
+fn load_into_fresh(bytes_path: &str) -> (Engine<D>, SessionId, PersistOutcome, Duration) {
+    let engine: Engine<D> = Engine::new(1);
+    let t0 = Instant::now();
+    let (session, outcome) = match engine
+        .request(Request::Load {
+            path: bytes_path.to_string(),
+        })
+        .expect("load succeeds")
+    {
+        Response::Loaded { session, outcome } => (session, outcome),
+        other => panic!("unexpected load response {other:?}"),
+    };
+    (engine, session, outcome, t0.elapsed())
+}
+
+/// Runs the full comparison. `scratch_dir` receives the snapshot files.
+pub fn run_persist_bench(
+    params: &PersistBenchParams,
+    scratch_dir: &std::path::Path,
+) -> PersistBenchResult {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    std::fs::create_dir_all(scratch_dir).expect("scratch dir");
+    let full_path = scratch_dir.join("persist_bench_full.daip");
+    let memo_path = scratch_dir.join("persist_bench_memo_only.daip");
+
+    // Grow + warm the reference session, then save it.
+    let (engine, session, targets, reference) = build_warm(params);
+    let t0 = Instant::now();
+    let saved = match engine
+        .request(Request::Save {
+            session,
+            path: full_path.to_string_lossy().into_owned(),
+        })
+        .expect("save succeeds")
+    {
+        Response::Saved(outcome) => outcome,
+        other => panic!("unexpected save response {other:?}"),
+    };
+    let save = t0.elapsed();
+    drop(engine);
+
+    // The memo-only restore point: the same file minus its DAIG sections —
+    // byte-identical to what a reader sees when every FUNC section is
+    // damaged.
+    let full_bytes = std::fs::read(&full_path).expect("snapshot written");
+    let memo_only = strip_sections(&full_bytes, TAG_FUNC).expect("snapshot parses");
+    std::fs::write(&memo_path, &memo_only).expect("memo-only snapshot written");
+
+    let mut answers_identical = true;
+    let mut measure = |mut make: Box<dyn FnMut() -> (Engine<D>, SessionId)>| -> VariantResult {
+        let mut elapsed = Vec::with_capacity(params.repeats.max(1));
+        let mut counters = None;
+        for _ in 0..params.repeats.max(1) {
+            let (engine, session) = make();
+            let stats_before = engine.stats().query_stats;
+            let (dt, answers) = sweep(&engine, session, &targets);
+            answers_identical &= answers == reference;
+            let stats_after = engine.stats().query_stats;
+            elapsed.push(dt);
+            counters.get_or_insert((
+                stats_after.computed - stats_before.computed,
+                stats_after.memo_matched - stats_before.memo_matched,
+                stats_after.reused - stats_before.reused,
+            ));
+        }
+        let (computed, memo_matched, reused) = counters.expect("at least one repeat");
+        VariantResult {
+            queries: targets.len(),
+            elapsed: median(elapsed),
+            computed,
+            memo_matched,
+            reused,
+        }
+    };
+
+    let (seed, grow_edits) = (params.seed, params.grow_edits);
+    let cold = measure(Box::new(move || {
+        let engine: Engine<D> = Engine::new(1);
+        let session = engine
+            .open_session_src("persist-bench", &Workload::initial_source())
+            .expect("workload source compiles");
+        grow(&engine, session, seed, grow_edits);
+        (engine, session)
+    }));
+    let memo_path_s = memo_path.to_string_lossy().into_owned();
+    let memo_warm = measure(Box::new(move || {
+        let (engine, session, outcome, _) = load_into_fresh(&memo_path_s);
+        assert_eq!(outcome.funcs, 0, "DAIG sections were stripped");
+        assert!(outcome.memo_entries > 0, "memo section survives");
+        (engine, session)
+    }));
+    let full_path_s = full_path.to_string_lossy().into_owned();
+    let mut load_time = Duration::ZERO;
+    let full_warm = {
+        let lt = &mut load_time;
+        let mut make = || {
+            let (engine, session, outcome, dt) = load_into_fresh(&full_path_s);
+            assert!(outcome.funcs > 0, "full snapshot restores DAIGs");
+            *lt = dt;
+            (engine, session)
+        };
+        measure(Box::new(&mut make))
+    };
+
+    PersistBenchResult {
+        host_cpus,
+        snapshot_bytes: saved.bytes,
+        funcs_saved: saved.funcs,
+        memo_entries: saved.memo_entries,
+        save,
+        load: load_time,
+        cold,
+        memo_warm,
+        full_warm,
+        answers_identical,
+    }
+}
+
+/// The invariants the acceptance gate (and CI) assert, independent of
+/// timing noise: identical answers everywhere, and strictly fewer
+/// `Q-Miss` computations for both warm variants than for the cold start.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn check_invariants(r: &PersistBenchResult) -> Result<(), String> {
+    if !r.answers_identical {
+        return Err("restored sessions answered differently from the live session".to_string());
+    }
+    if r.full_warm.computed >= r.cold.computed {
+        return Err(format!(
+            "full warm-start did not reduce cell evaluations: {} >= {}",
+            r.full_warm.computed, r.cold.computed
+        ));
+    }
+    if r.memo_warm.computed >= r.cold.computed {
+        return Err(format!(
+            "memo-only warm-start did not reduce cell evaluations: {} >= {}",
+            r.memo_warm.computed, r.cold.computed
+        ));
+    }
+    Ok(())
+}
+
+fn variant_json(v: &VariantResult) -> String {
+    format!(
+        "{{\"queries\": {}, \"elapsed_ms_median\": {:.3}, \"computed\": {}, \
+         \"memo_matched\": {}, \"reused\": {}}}",
+        v.queries,
+        v.elapsed.as_secs_f64() * 1e3,
+        v.computed,
+        v.memo_matched,
+        v.reused
+    )
+}
+
+/// Renders the JSON artifact (hand-rolled; the workspace is offline).
+pub fn to_json(profile: &str, params: &PersistBenchParams, r: &PersistBenchResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"persist\",\n");
+    s.push_str("  \"workload\": \"fig10_synthetic_octagon\",\n");
+    s.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    s.push_str(&format!("  \"host_cpus\": {},\n", r.host_cpus));
+    s.push_str("  \"host_cpus_provenance\": \"available_parallelism at measurement time\",\n");
+    s.push_str(&format!(
+        "  \"grow_edits\": {}, \"seed\": {}, \"repeats\": {},\n",
+        params.grow_edits, params.seed, params.repeats
+    ));
+    s.push_str(&format!(
+        "  \"snapshot_bytes\": {}, \"funcs_saved\": {}, \"memo_entries\": {},\n",
+        r.snapshot_bytes, r.funcs_saved, r.memo_entries
+    ));
+    s.push_str(&format!(
+        "  \"save_ms\": {:.3}, \"load_ms\": {:.3},\n",
+        r.save.as_secs_f64() * 1e3,
+        r.load.as_secs_f64() * 1e3
+    ));
+    s.push_str(&format!("  \"cold\": {},\n", variant_json(&r.cold)));
+    s.push_str(&format!(
+        "  \"memo_warm\": {},\n",
+        variant_json(&r.memo_warm)
+    ));
+    s.push_str(&format!(
+        "  \"full_warm\": {},\n",
+        variant_json(&r.full_warm)
+    ));
+    s.push_str(&format!(
+        "  \"computed_ratio_full_vs_cold\": {:.4},\n",
+        r.full_warm.computed as f64 / (r.cold.computed as f64).max(1.0)
+    ));
+    s.push_str(&format!(
+        "  \"answers_identical\": {}\n",
+        r.answers_identical
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Validates a committed `BENCH_persist.json` (required fields present
+/// and the recorded invariants hold).
+///
+/// # Errors
+///
+/// A human-readable description of the first problem.
+pub fn validate_artifact(json: &str) -> Result<(), String> {
+    for field in [
+        "\"bench\": \"persist\"",
+        "\"workload\"",
+        "\"host_cpus\"",
+        "\"snapshot_bytes\"",
+        "\"cold\"",
+        "\"memo_warm\"",
+        "\"full_warm\"",
+        "\"computed_ratio_full_vs_cold\"",
+        "\"answers_identical\": true",
+    ] {
+        if !json.contains(field) {
+            return Err(format!("BENCH_persist.json is missing {field}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_roundtrip_warms_and_agrees() {
+        let params = PersistBenchParams {
+            grow_edits: 4,
+            seed: 7,
+            repeats: 1,
+        };
+        let dir = std::env::temp_dir().join(format!("dai-persist-bench-{}", std::process::id()));
+        let r = run_persist_bench(&params, &dir);
+        check_invariants(&r).unwrap();
+        assert!(r.snapshot_bytes > 0);
+        assert!(r.funcs_saved > 0);
+        assert!(r.memo_entries > 0);
+        // Full warm restores serve mostly by reuse.
+        assert!(r.full_warm.reused > 0);
+        // Memo-only warm matches memo entries instead of computing.
+        assert!(r.memo_warm.memo_matched > 0);
+        let json = to_json("smoke", &params, &r);
+        validate_artifact(&json).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

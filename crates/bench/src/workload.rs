@@ -46,6 +46,18 @@ impl Workload {
     /// body (the paper starts from an initially-empty program; ours has
     /// the minimal skeleton required for edits to have insertion points).
     pub fn initial_program() -> LoweredProgram {
+        lower_program(&Self::initial_ast()).expect("skeleton is well-formed")
+    }
+
+    /// The initial program as parseable source text (via the pretty
+    /// printer, whose `parse ∘ pretty` identity the language test suite
+    /// checks). Sessions opened from this source are saveable — the
+    /// persistence benchmark and roundtrip tests start here.
+    pub fn initial_source() -> String {
+        dai_lang::pretty::program_to_source(&Self::initial_ast())
+    }
+
+    fn initial_ast() -> Program {
         let mut functions = Vec::new();
         for i in 0..HELPER_COUNT {
             functions.push(Function {
@@ -65,7 +77,7 @@ impl Workload {
                 AstStmt::Return(Some(Expr::var("x0"))),
             ]),
         });
-        lower_program(&Program { functions }).expect("skeleton is well-formed")
+        Program { functions }
     }
 
     /// Samples a random structured block with the §7.3 mix (85% statement,

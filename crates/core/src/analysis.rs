@@ -50,6 +50,21 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
         }
     }
 
+    /// Reassembles an analysis unit from restored parts (the persistence
+    /// path: `dai-persist` decodes the DAIG, the session layer replays the
+    /// CFG from source + edit history). The caller is responsible for the
+    /// parts belonging together — `daig` must be a DAIG *of* `cfg` (its
+    /// statement cells hold `cfg`'s edge labels) in a Definition 4.1
+    /// well-formed state; `dai-engine` validates both before installing a
+    /// restored unit and falls back to a cold rebuild otherwise.
+    pub fn from_parts(cfg: Cfg, daig: Daig<D>, entry_state: D) -> FuncAnalysis<D> {
+        FuncAnalysis {
+            cfg,
+            daig,
+            entry_state,
+        }
+    }
+
     /// The underlying CFG.
     pub fn cfg(&self) -> &Cfg {
         &self.cfg

@@ -62,7 +62,7 @@ impl fmt::Display for Config {
 }
 
 /// A program edit, uniformly describing the §7.3 workload operations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProgramEdit {
     /// Replace the statement on an edge.
     Relabel {

@@ -171,6 +171,13 @@ impl<D: AbstractDomain> InterAnalyzer<D> {
         self.units.len()
     }
 
+    /// All `(function, context)` units constructed so far, unordered
+    /// (callers sort for deterministic output — see `dai-engine`'s
+    /// session snapshot).
+    pub fn units_iter(&self) -> impl Iterator<Item = (&(Symbol, Context), &FuncAnalysis<D>)> {
+        self.units.iter()
+    }
+
     /// All contexts in which `f` can be analyzed, discovered by walking the
     /// static call graph from the entry function under the policy.
     pub fn contexts_of(&self, f: &str) -> Vec<Context> {

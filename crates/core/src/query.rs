@@ -111,6 +111,30 @@ impl QueryStats {
         self.fix_converged += other.fix_converged;
         self.cone_walks += other.cone_walks;
     }
+
+    /// The work between an `earlier` cumulative reading and this one
+    /// (field-wise subtraction). Lives next to [`QueryStats::absorb`] so a
+    /// new counter cannot be added to one without the other: the
+    /// exhaustive destructuring below fails to compile if a field is
+    /// missed.
+    pub fn delta(&self, earlier: &QueryStats) -> QueryStats {
+        let QueryStats {
+            computed,
+            memo_matched,
+            reused,
+            unrolls,
+            fix_converged,
+            cone_walks,
+        } = *self;
+        QueryStats {
+            computed: computed - earlier.computed,
+            memo_matched: memo_matched - earlier.memo_matched,
+            reused: reused - earlier.reused,
+            unrolls: unrolls - earlier.unrolls,
+            fix_converged: fix_converged - earlier.fix_converged,
+            cone_walks: cone_walks - earlier.cone_walks,
+        }
+    }
 }
 
 /// Upper bound on unrollings of a single loop instance, as a guard against

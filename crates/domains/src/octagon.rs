@@ -108,6 +108,46 @@ impl Oct {
         self.vars.binary_search(var).ok()
     }
 
+    /// The tracked variables, sorted (persistence accessor).
+    pub fn vars(&self) -> &[Symbol] {
+        &self.vars
+    }
+
+    /// The row-major `(2n)²` difference-bound matrix (persistence
+    /// accessor).
+    pub fn dbm(&self) -> &[i64] {
+        &self.dbm
+    }
+
+    /// Whether the matrix is currently strongly closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Rebuilds an octagon from its serialized parts, validating the
+    /// structural invariants (`dbm` is `(2·|vars|)²` and `vars` is sorted
+    /// and duplicate-free). Returns `None` for inconsistent parts, so a
+    /// corrupted snapshot can never materialize a malformed matrix.
+    ///
+    /// The result is always marked **unclosed**: `closed` is a derived
+    /// property the exact-assignment fast paths rely on, and trusting a
+    /// deserialized flag would let a crafted snapshot smuggle in a
+    /// falsely-closed matrix (unsound fast-path answers). Re-deriving
+    /// closure costs one `close()` on first use, which the lossy
+    /// persistence contract happily pays; `Eq`/`Hash` ignore the flag, so
+    /// roundtripped states still compare equal.
+    pub fn from_parts(vars: Vec<Symbol>, dbm: Vec<i64>) -> Option<Oct> {
+        let d = 2 * vars.len();
+        if dbm.len() != d * d || vars.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(Oct {
+            vars,
+            dbm,
+            closed: false,
+        })
+    }
+
     /// Adds `var` as an unconstrained tracked variable, rebuilding the
     /// matrix. Returns its index.
     fn track(&mut self, var: &Symbol) -> usize {

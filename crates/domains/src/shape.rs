@@ -607,6 +607,19 @@ impl ShapeDomain {
         }
     }
 
+    /// Rebuilds a state from persisted parts, re-entering through the
+    /// same normalization as [`ShapeDomain::from_heaps`] (persistence
+    /// accessor): `⊥`/`⊤` collapse, saturation + GC, deduplication, and
+    /// the disjunct cap. A snapshot therefore cannot materialize a state
+    /// unreachable through the domain's own constructors — e.g. an empty
+    /// non-`err` disjunction that should be `Bottom`, or more than
+    /// `MAX_DISJUNCTS` disjuncts. States the domain itself produced are
+    /// already fixed points of this normalization, so honest roundtrips
+    /// are unchanged.
+    pub fn from_parts(heaps: Vec<SymHeap>, err: bool, top: bool) -> ShapeDomain {
+        ShapeDomain::from_heaps(heaps, err, top)
+    }
+
     /// Builds a state from raw disjuncts: saturation and deduplication
     /// only. Transfer functions use this — canonicalization (GC, folding,
     /// renaming) happens **only at widening points**, so that facts

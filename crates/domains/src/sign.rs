@@ -51,6 +51,17 @@ const P: u8 = 0b100;
 // that silently widens would mislead at call sites.
 #[allow(clippy::should_implement_trait)]
 impl Sign {
+    /// The raw `−/0/+` bitset (persistence accessor).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a sign from its bitset; `None` for out-of-range bits (a
+    /// corrupted snapshot must not materialize a ninth lattice element).
+    pub fn from_bits(bits: u8) -> Option<Sign> {
+        (bits <= (N | Z | P)).then_some(Sign(bits))
+    }
+
     /// `⊥` — no integer at all.
     pub const BOT: Sign = Sign(0);
     /// Strictly negative.

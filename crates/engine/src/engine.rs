@@ -21,16 +21,19 @@ use dai_core::graph::{DaigError, Value};
 use dai_core::query::QueryStats;
 use dai_core::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
-use dai_lang::cfg::LoweredProgram;
+use dai_lang::cfg::{lower_program, LoweredProgram};
 use dai_lang::{CfgError, Loc};
 use dai_memo::{MemoStats, SharedMemoTable};
+use dai_persist::{
+    read_snapshot_file, write_snapshot_file, PersistDomain, PersistError, SessionImage,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::pool::{PoolHandle, WorkerPool};
-use crate::session::{EditOutcome, Session, SessionSnapshot};
+use crate::session::{EditOutcome, ResolverChoice, Session, SessionSnapshot};
 
 /// Identifies a session within one engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,6 +56,9 @@ pub struct EngineConfig {
     pub memo_capacity: Option<usize>,
     /// Loop-head iteration strategy applied to every session.
     pub strategy: FixStrategy,
+    /// Call-resolution backend applied to every session (see
+    /// [`ResolverChoice`]).
+    pub resolver: ResolverChoice,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +68,7 @@ impl Default for EngineConfig {
             memo_shards: SharedMemoTable::<()>::DEFAULT_SHARDS,
             memo_capacity: None,
             strategy: FixStrategy::PAPER,
+            resolver: ResolverChoice::Intra,
         }
     }
 }
@@ -90,8 +97,52 @@ pub enum Request {
         /// Target session.
         session: SessionId,
     },
+    /// Persist a session (source + edit history + demanded DAIGs, plus
+    /// the shared memo table) to a snapshot file. Serialized behind the
+    /// session's lock like `Edit`, so the saved image is a consistent
+    /// point in the request stream.
+    Save {
+        /// Target session (must have been opened from source —
+        /// [`crate::Engine::open_session_src`]).
+        session: SessionId,
+        /// Destination file path.
+        path: String,
+    },
+    /// Restore a snapshot file into a **new** session (the saved session
+    /// name is kept; the id is fresh). Damaged or version-skewed DAIG /
+    /// memo sections degrade to a cold start; see `dai-persist`.
+    Load {
+        /// Source file path.
+        path: String,
+    },
     /// Read engine-wide statistics.
     Stats,
+}
+
+/// What a save or load moved, and what a lossy restore dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistOutcome {
+    /// Snapshot file size in bytes.
+    pub bytes: usize,
+    /// Function DAIGs written (save) or installed warm (load).
+    pub funcs: usize,
+    /// Function DAIGs dropped on load (damaged section, failed
+    /// validation, or an interprocedural session that takes no warm
+    /// units) — each one cold-starts, which is sound.
+    pub funcs_dropped: usize,
+    /// Memo entries written (save) or imported (load).
+    pub memo_entries: usize,
+    /// Memo sections dropped on load.
+    pub memo_sections_dropped: usize,
+    /// The file ended mid-section (load only).
+    pub truncated: bool,
+}
+
+impl PersistOutcome {
+    /// `true` when a load brought back any warm state.
+    pub fn is_warm(&self) -> bool {
+        self.funcs > 0 || self.memo_entries > 0
+    }
 }
 
 /// A successful response.
@@ -103,6 +154,15 @@ pub enum Response<D> {
     Edited(EditOutcome),
     /// The session snapshot.
     Snapshot(SessionSnapshot),
+    /// The session was persisted.
+    Saved(PersistOutcome),
+    /// A snapshot file was restored into a fresh session.
+    Loaded {
+        /// The restored session's id.
+        session: SessionId,
+        /// What was restored and what was dropped.
+        outcome: PersistOutcome,
+    },
     /// Engine statistics.
     Stats(EngineStats),
 }
@@ -128,6 +188,13 @@ pub enum EngineError {
     Daig(DaigError),
     /// A CFG-level edit failure.
     Cfg(CfgError),
+    /// A snapshot codec or I/O failure.
+    Persist(PersistError),
+    /// A restored source failed to parse (the snapshot header lied).
+    Parse(String),
+    /// The session cannot be saved: it was opened without source text, so
+    /// there is no replayable description to persist.
+    NotReplayable(String),
     /// The responder was dropped (worker panicked or engine shut down).
     Disconnected,
 }
@@ -139,6 +206,13 @@ impl fmt::Display for EngineError {
             EngineError::NoSuchFunction(name) => write!(f, "no such function `{name}`"),
             EngineError::Daig(e) => write!(f, "{e}"),
             EngineError::Cfg(e) => write!(f, "{e}"),
+            EngineError::Persist(e) => write!(f, "{e}"),
+            EngineError::Parse(m) => write!(f, "snapshot source does not parse: {m}"),
+            EngineError::NotReplayable(name) => write!(
+                f,
+                "session `{name}` was opened without source text and cannot be saved \
+                 (open it with open_session_src)"
+            ),
             EngineError::Disconnected => write!(f, "engine request dropped (worker failure)"),
         }
     }
@@ -155,6 +229,12 @@ impl From<DaigError> for EngineError {
 impl From<CfgError> for EngineError {
     fn from(e: CfgError) -> EngineError {
         EngineError::Cfg(e)
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(e: PersistError) -> EngineError {
+        EngineError::Persist(e)
     }
 }
 
@@ -253,6 +333,10 @@ pub struct EngineStats {
     pub edits: u64,
     /// Snapshots exported.
     pub snapshots: u64,
+    /// Sessions saved to disk.
+    pub saves: u64,
+    /// Sessions restored from disk.
+    pub loads: u64,
     /// Aggregated evaluation work (computed/memo-matched/reused cells,
     /// unrollings, fixed points) across all requests.
     pub query_stats: QueryStats,
@@ -264,20 +348,28 @@ struct EngineShared<D: AbstractDomain> {
     sessions: RwLock<HashMap<SessionId, Arc<Mutex<Session<D>>>>>,
     memo: SharedMemoTable<Value<D>>,
     strategy: FixStrategy,
+    resolver: ResolverChoice,
     next_session: AtomicU64,
     queries: AtomicU64,
     edits: AtomicU64,
     snapshots: AtomicU64,
+    saves: AtomicU64,
+    loads: AtomicU64,
     query_stats: Mutex<QueryStats>,
 }
 
 /// The concurrent, multi-session demanded-analysis engine.
-pub struct Engine<D: AbstractDomain> {
+///
+/// `D` must be a [`PersistDomain`] — an [`AbstractDomain`] whose states
+/// the snapshot codec can encode — because the request stream includes
+/// [`Request::Save`] / [`Request::Load`]. Every domain this workspace
+/// ships (and any product of them) qualifies.
+pub struct Engine<D: PersistDomain> {
     pool: WorkerPool,
     shared: Arc<EngineShared<D>>,
 }
 
-impl<D: AbstractDomain> Engine<D> {
+impl<D: PersistDomain> Engine<D> {
     /// An engine with `workers` threads and default memo sharding.
     pub fn new(workers: usize) -> Engine<D> {
         Engine::with_config(EngineConfig {
@@ -298,10 +390,13 @@ impl<D: AbstractDomain> Engine<D> {
                 sessions: RwLock::new(HashMap::new()),
                 memo,
                 strategy: config.strategy,
+                resolver: config.resolver,
                 next_session: AtomicU64::new(1),
                 queries: AtomicU64::new(0),
                 edits: AtomicU64::new(0),
                 snapshots: AtomicU64::new(0),
+                saves: AtomicU64::new(0),
+                loads: AtomicU64::new(0),
                 query_stats: Mutex::new(QueryStats::default()),
             }),
         }
@@ -313,10 +408,45 @@ impl<D: AbstractDomain> Engine<D> {
     }
 
     /// Opens a session over `program`; the returned id addresses it in
-    /// requests.
+    /// requests. The session has no replayable source, so it cannot be
+    /// saved — prefer [`Engine::open_session_src`] for sessions that
+    /// should survive restarts.
     pub fn open_session(&self, name: impl Into<String>, program: LoweredProgram) -> SessionId {
+        self.install_session(Session::with_config(
+            name,
+            program,
+            self.shared.strategy,
+            self.shared.resolver,
+            None,
+        ))
+    }
+
+    /// Opens a session by parsing and lowering `source`, recording the
+    /// text so the session is saveable ([`Request::Save`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Parse`] / [`EngineError::Cfg`] when the source does
+    /// not compile.
+    pub fn open_session_src(
+        &self,
+        name: impl Into<String>,
+        source: &str,
+    ) -> Result<SessionId, EngineError> {
+        let program = dai_lang::parse_program(source)
+            .map_err(|e| EngineError::Parse(e.to_string()))
+            .and_then(|p| lower_program(&p).map_err(EngineError::Cfg))?;
+        Ok(self.install_session(Session::with_config(
+            name,
+            program,
+            self.shared.strategy,
+            self.shared.resolver,
+            Some(source.to_string()),
+        )))
+    }
+
+    fn install_session(&self, session: Session<D>) -> SessionId {
         let id = SessionId(self.shared.next_session.fetch_add(1, Ordering::Relaxed));
-        let session = Session::new(name, program, self.shared.strategy);
         self.shared
             .sessions
             .write()
@@ -427,6 +557,8 @@ fn snapshot_stats<D: AbstractDomain>(shared: &EngineShared<D>, workers: usize) -
         queries: shared.queries.load(Ordering::Relaxed),
         edits: shared.edits.load(Ordering::Relaxed),
         snapshots: shared.snapshots.load(Ordering::Relaxed),
+        saves: shared.saves.load(Ordering::Relaxed),
+        loads: shared.loads.load(Ordering::Relaxed),
         query_stats: *shared.query_stats.lock().expect("stats poisoned"),
         memo: shared.memo.stats(),
     }
@@ -438,12 +570,16 @@ impl<D: AbstractDomain> fmt::Debug for Response<D> {
             Response::State(_) => write!(f, "Response::State(..)"),
             Response::Edited(o) => write!(f, "Response::Edited({o:?})"),
             Response::Snapshot(_) => write!(f, "Response::Snapshot(..)"),
+            Response::Saved(o) => write!(f, "Response::Saved({o:?})"),
+            Response::Loaded { session, outcome } => {
+                write!(f, "Response::Loaded {{ {session}, {outcome:?} }}")
+            }
             Response::Stats(s) => write!(f, "Response::Stats({s:?})"),
         }
     }
 }
 
-fn process<D: AbstractDomain>(
+fn process<D: PersistDomain>(
     shared: &Arc<EngineShared<D>>,
     pool: &PoolHandle,
     request: Request,
@@ -482,6 +618,87 @@ fn process<D: AbstractDomain>(
             drop(guard);
             shared.snapshots.fetch_add(1, Ordering::Relaxed);
             Ok(Response::Snapshot(snap))
+        }
+        Request::Save { session, path } => {
+            let session = session_of(shared, session)?;
+            // Behind the session lock (like Edit): the image is a
+            // consistent point in this session's request stream. The
+            // shared memo table is deliberately sampled *after* the lock
+            // drops — its entries are input-content-keyed, so any sample
+            // is sound, and a full-table clone must not stall the
+            // session's queries. Note the table is engine-wide (shared
+            // by all sessions — that sharing is what makes it warm), so
+            // its export rides along with whichever session is saved.
+            let guard = session.lock().expect("session poisoned");
+            let mut image = guard.image()?;
+            drop(guard);
+            image.memo = shared.memo.export_entries();
+            let funcs = image.funcs.len();
+            let memo_entries = image.memo.len();
+            let bytes = image.to_bytes();
+            write_snapshot_file(&path, &bytes)?;
+            shared.saves.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Saved(PersistOutcome {
+                bytes: bytes.len(),
+                funcs,
+                memo_entries,
+                ..PersistOutcome::default()
+            }))
+        }
+        Request::Load { path } => {
+            let bytes = read_snapshot_file(&path)?;
+            let (mut image, report) = SessionImage::<D>::from_bytes(&bytes)?;
+            let memo_entries = std::mem::take(&mut image.memo);
+            // A snapshot's semantics travel with it: like the iteration
+            // strategy, the resolver the restored session runs under is
+            // the one it was *saved* under (interprocedural with the
+            // saved policy, intraprocedural otherwise) — not the engine's
+            // configured default, which applies only to newly opened
+            // sessions. Restoring under a different resolver would
+            // silently answer with different invariants than the session
+            // that was persisted.
+            let restore_resolver = match image.policy {
+                Some(policy) => ResolverChoice::Interproc { policy },
+                None => ResolverChoice::Intra,
+            };
+            let (session, installed, dropped) = Session::restore(image, restore_resolver, &report)?;
+            // Import the memo section into the engine-wide shared table.
+            // Entries are keyed by content hashes of their inputs, so
+            // importing them alongside live traffic is exactly as sound
+            // as the cross-session sharing the table already does.
+            // Interprocedural sessions never read the shared table (the
+            // analyzer carries its own memo), so when the restored
+            // session is interprocedural the section is counted as
+            // dropped instead of imported as dead weight — the outcome
+            // must not claim warmth no query can use.
+            let interproc = matches!(restore_resolver, ResolverChoice::Interproc { .. });
+            let (imported, memo_unused) = if interproc {
+                (0, usize::from(!memo_entries.is_empty()))
+            } else {
+                let n = memo_entries.len();
+                for (k, v) in memo_entries {
+                    shared.memo.insert(k, v);
+                }
+                (n, 0)
+            };
+            let id = SessionId(shared.next_session.fetch_add(1, Ordering::Relaxed));
+            shared
+                .sessions
+                .write()
+                .expect("session map poisoned")
+                .insert(id, Arc::new(Mutex::new(session)));
+            shared.loads.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Loaded {
+                session: id,
+                outcome: PersistOutcome {
+                    bytes: bytes.len(),
+                    funcs: installed,
+                    funcs_dropped: dropped,
+                    memo_entries: imported,
+                    memo_sections_dropped: report.memo_sections_dropped + memo_unused,
+                    truncated: report.truncated,
+                },
+            })
         }
         Request::Stats => Ok(Response::Stats(snapshot_stats(shared, pool.workers()))),
     }

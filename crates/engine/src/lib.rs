@@ -23,13 +23,20 @@
 //!   cloned out to workers through the *same* `dai_core::apply_ready`
 //!   code path the sequential evaluator uses, while `fix` edges (which
 //!   mutate the graph by unrolling) stay on the scheduling thread;
-//! * [`session`] — one loaded program with per-function `FuncAnalysis`
-//!   units, created on demand, edited incrementally; each unit caches its
+//! * [`session`] — one loaded program analyzed under a configurable
+//!   call-resolution backend ([`ResolverChoice`]): intraprocedural
+//!   per-function `FuncAnalysis` units (parallel, the default) or an
+//!   interprocedural `InterAnalyzer` matching the REPL's answers. Units
+//!   are created on demand and edited incrementally; each caches its
 //!   `(location → cell)` query resolutions per structural epoch, so a
-//!   steady-state query is a hash lookup plus a value clone;
+//!   steady-state query is a hash lookup plus a value clone. Sessions
+//!   opened from source record their edit history, which is what makes
+//!   them persistable;
 //! * [`engine`] — the request stream: `Query { func, loc }`,
-//!   `Edit(ProgramEdit)`, `Snapshot`, and `Stats` against many sessions,
-//!   served concurrently over a sharded
+//!   `Edit(ProgramEdit)`, `Snapshot`, `Save`/`Load` (snapshot/restore
+//!   through `dai-persist` — sessions survive restarts, with lossy
+//!   warm-start sections that degrade to cold on damage), and `Stats`
+//!   against many sessions, served concurrently over a sharded
 //!   [`dai_memo::SharedMemoTable`] that all sessions share. Responses
 //!   travel through one-allocation reply slots; `Ticket::wait_all` drains
 //!   a batch without a per-request sleep/wake cycle.
@@ -71,11 +78,12 @@ pub mod scheduler;
 pub mod session;
 
 pub use engine::{
-    Engine, EngineConfig, EngineError, EngineStats, Request, Response, SessionId, Ticket,
+    Engine, EngineConfig, EngineError, EngineStats, PersistOutcome, Request, Response, SessionId,
+    Ticket,
 };
 pub use pool::{PoolHandle, WorkerPool};
 pub use scheduler::evaluate_targets;
-pub use session::{EditOutcome, Session, SessionSnapshot};
+pub use session::{EditOutcome, ResolverChoice, Session, SessionSnapshot};
 
 #[cfg(test)]
 mod tests {

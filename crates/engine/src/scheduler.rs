@@ -43,7 +43,7 @@ use dai_core::graph::{Daig, DaigError, Func, Value};
 use dai_core::intern::CellId;
 use dai_core::name::Name;
 use dai_core::query::{
-    apply_ready, apply_ready_at, collect_ready_id, fix_step_id, FixOutcome, IntraResolver,
+    apply_ready, apply_ready_at, collect_ready_id, fix_step_id, CallResolver, FixOutcome,
     QueryStats, ReadyComp,
 };
 use dai_domains::AbstractDomain;
@@ -155,6 +155,18 @@ fn missing_inputs<D: AbstractDomain>(
 /// ready computations out over `pool` and threading the shared memo table
 /// through every application.
 ///
+/// Call statements are resolved through `resolver`, cloned once per
+/// worker-side application — a resolver used here must be cheap to clone
+/// and correct when clones run concurrently. `dai_core::IntraResolver`
+/// (the session default) trivially qualifies; a shared-summary-table
+/// resolver in the style of `dai_core::summaries` (lookups against an
+/// `Arc`-shared map of entry-state-keyed callee summaries) is the
+/// intended future instantiation. Fully demand-driven interprocedural
+/// resolution can NOT plug in here — demanding a callee's DAIG needs
+/// cross-unit mutable access no worker clone can have — which is why
+/// `dai_engine::session::ResolverChoice::Interproc` routes around the
+/// parallel scheduler instead.
+///
 /// On success every target cell holds a value — the same value the
 /// sequential [`dai_core::query`] evaluator produces, regardless of worker
 /// count or interleaving.
@@ -163,13 +175,18 @@ fn missing_inputs<D: AbstractDomain>(
 ///
 /// * [`DaigError::NoSuchCell`] if a target is not in the DAIG's namespace;
 /// * [`DaigError::Invariant`] on internal inconsistency or divergence.
-pub fn evaluate_targets<D: AbstractDomain>(
+pub fn evaluate_targets<D, R>(
     fa: &mut FuncAnalysis<D>,
     targets: &[Name],
     memo: &SharedMemoTable<Value<D>>,
+    resolver: &R,
     pool: &PoolHandle,
     stats: &mut QueryStats,
-) -> Result<(), DaigError> {
+) -> Result<(), DaigError>
+where
+    D: AbstractDomain,
+    R: CallResolver<D> + Clone + Send + Sync + 'static,
+{
     // Split borrow: the CFG is read-only for the whole evaluation, so fix
     // resolution never clones it.
     let (cfg, daig) = fa.parts_mut();
@@ -189,18 +206,23 @@ pub fn evaluate_targets<D: AbstractDomain>(
     if pending.is_empty() {
         return Ok(());
     }
-    evaluate_pending(daig, cfg, &pending, memo, pool, stats)
+    evaluate_pending(daig, cfg, &pending, memo, resolver, pool, stats)
 }
 
 /// The drain loop over resolved, unfilled target ids.
-fn evaluate_pending<D: AbstractDomain>(
+fn evaluate_pending<D, R>(
     daig: &mut Daig<D>,
     cfg: &Cfg,
     pending: &[CellId],
     memo: &SharedMemoTable<Value<D>>,
+    resolver: &R,
     pool: &PoolHandle,
     stats: &mut QueryStats,
-) -> Result<(), DaigError> {
+) -> Result<(), DaigError>
+where
+    D: AbstractDomain,
+    R: CallResolver<D> + Clone + Send + Sync + 'static,
+{
     // The one full traversal: load the demanded cone — unfilled cells
     // backward-reachable from the unfilled targets — with each cell's
     // count of distinct unfilled inputs.
@@ -248,8 +270,9 @@ fn evaluate_pending<D: AbstractDomain>(
                 // In-place fast path: inputs are borrowed from the graph,
                 // not cloned.
                 let mut memo = memo.clone();
+                let mut res = resolver.clone();
                 for &id in &pure {
-                    let v = apply_ready_at(daig, id, &mut memo, &mut IntraResolver, stats)?;
+                    let v = apply_ready_at(daig, id, &mut memo, &mut res, stats)?;
                     daig.write_id(id, v);
                     settle_write(daig, id, &mut cone, &mut ready);
                 }
@@ -259,10 +282,12 @@ fn evaluate_pending<D: AbstractDomain>(
                     .map(|&id| collect_ready_id(daig, id))
                     .collect::<Result<_, _>>()?;
                 let shared = memo.clone();
+                let res0 = resolver.clone();
                 let results = pool.parallel_map(batch, move |rc| {
                     let mut local = QueryStats::default();
                     let mut memo = shared.clone();
-                    let value = apply_ready(rc, &mut memo, &mut IntraResolver, &mut local);
+                    let mut res = res0.clone();
+                    let value = apply_ready(rc, &mut memo, &mut res, &mut local);
                     (rc.dest_id, value, local)
                 });
                 for (dest, value, local) in results {
@@ -351,7 +376,7 @@ fn settle_write<D: AbstractDomain>(
 mod tests {
     use super::*;
     use crate::pool::WorkerPool;
-    use dai_core::query::query;
+    use dai_core::query::{query, IntraResolver};
     use dai_domains::IntervalDomain;
     use dai_lang::cfg::lower_program;
     use dai_lang::parser::parse_program;
@@ -384,6 +409,7 @@ mod tests {
                 &mut par,
                 std::slice::from_ref(&target),
                 &memo,
+                &IntraResolver,
                 &pool.handle(),
                 &mut stats,
             )
@@ -421,8 +447,15 @@ mod tests {
             loc: dai_lang::Loc(4242),
             ctx: dai_core::name::IterCtx::root(),
         };
-        let err =
-            evaluate_targets(&mut fa, &[bogus], &memo, &pool.handle(), &mut stats).unwrap_err();
+        let err = evaluate_targets(
+            &mut fa,
+            &[bogus],
+            &memo,
+            &IntraResolver,
+            &pool.handle(),
+            &mut stats,
+        )
+        .unwrap_err();
         assert!(matches!(err, DaigError::NoSuchCell(_)));
     }
 
@@ -440,12 +473,21 @@ mod tests {
             &mut fa,
             std::slice::from_ref(&entry),
             &memo,
+            &IntraResolver,
             &pool.handle(),
             &mut stats,
         )
         .unwrap();
         let computed_before = stats.computed;
-        evaluate_targets(&mut fa, &[entry], &memo, &pool.handle(), &mut stats).unwrap();
+        evaluate_targets(
+            &mut fa,
+            &[entry],
+            &memo,
+            &IntraResolver,
+            &pool.handle(),
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(stats.computed, computed_before, "no recomputation");
         assert!(stats.reused >= 1);
     }
@@ -468,6 +510,7 @@ mod tests {
             &mut fa,
             std::slice::from_ref(&exit),
             &memo,
+            &IntraResolver,
             &pool.handle(),
             &mut stats,
         )
@@ -484,7 +527,15 @@ mod tests {
         );
         // A repeated evaluation reuses the filled target without walking
         // anything.
-        evaluate_targets(&mut fa, &[exit], &memo, &pool.handle(), &mut stats).unwrap();
+        evaluate_targets(
+            &mut fa,
+            &[exit],
+            &memo,
+            &IntraResolver,
+            &pool.handle(),
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(stats.cone_walks, 1, "filled targets walk nothing");
         fa.daig().check_well_formed().unwrap();
     }

@@ -1,32 +1,75 @@
-//! Analysis sessions: one loaded program, one `FuncAnalysis` per function.
+//! Analysis sessions: one loaded program, analyzed under a configurable
+//! call-resolution backend, with a replayable history for persistence.
 //!
 //! A session is the engine's unit of isolation and serialization: requests
 //! against the same session are serialized behind its lock, while requests
 //! against different sessions proceed concurrently on the worker pool.
-//! Function units are created on demand (first query against a function
-//! builds its DAIG), entry states come from
-//! [`AbstractDomain::entry_default`], and calls are resolved
-//! intraprocedurally (the domain's conservative call transfer) — which
-//! keeps every per-function result exactly equal to the sequential batch
-//! oracle `dai_core::batch::batch_analyze` on the same CFG, the
-//! from-scratch-consistency gate the engine's test suite enforces.
+//!
+//! ## Call resolution backends
+//!
+//! The engine's call handling is a per-engine configuration choice
+//! ([`ResolverChoice`]), not a hard-coded policy:
+//!
+//! * [`ResolverChoice::Intra`] (the default, and the PR 1 behavior) —
+//!   per-function units created on demand, entry states from
+//!   [`AbstractDomain::entry_default`], calls resolved intraprocedurally
+//!   (the domain's conservative transfer), and the demanded cone
+//!   evaluated **in parallel** on the worker pool. Every per-function
+//!   result is exactly equal to the sequential batch oracle
+//!   `dai_core::batch::batch_analyze` on the same CFG — the
+//!   from-scratch-consistency gate the engine's test suite enforces.
+//! * [`ResolverChoice::Interproc`] — the session wraps a
+//!   [`dai_core::InterAnalyzer`] under a [`ContextPolicy`], resolving
+//!   calls by demanding callee DAIG exits, exactly the machinery behind
+//!   the REPL's `query`/`queryall`. Queries answer with the
+//!   context-joined state, so `serve` matches the REPL's
+//!   interprocedural answers. Evaluation is sequential (cross-unit
+//!   demand is recursive), but still behind the session lock, so
+//!   sessions remain concurrent with each other.
+//!
+//! ## Persistence
+//!
+//! Sessions opened from source text ([`Session`]'s `source`) record every
+//! applied edit; `source + history` is the replayable description of the
+//! current program that `dai-persist` snapshots require (see
+//! [`Session::image`] / [`Session::restore`]). DAIG warm-start sections
+//! are produced by the `Intra` backend (per-function units); an
+//! `Interproc` session snapshots cold (source + history only), which is
+//! sound — restore just recomputes on demand.
 
 use dai_core::analysis::{resolve_loc_cell, FuncAnalysis};
 use dai_core::dot::{to_dot, DotOptions};
 use dai_core::driver::ProgramEdit;
 use dai_core::graph::Value;
 use dai_core::intern::CellId;
-use dai_core::query::QueryStats;
+use dai_core::interproc::{ContextPolicy, InterAnalyzer};
+use dai_core::query::{IntraResolver, QueryStats};
 use dai_core::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
-use dai_lang::cfg::LoweredProgram;
+use dai_lang::cfg::{lower_program, LoweredProgram};
 use dai_lang::{Loc, Symbol};
 use dai_memo::SharedMemoTable;
+use dai_persist::{FuncImage, PersistDomain, RestoreReport, SessionImage};
 use std::collections::HashMap;
 
 use crate::engine::EngineError;
 use crate::pool::PoolHandle;
 use crate::scheduler::evaluate_targets;
+
+/// How a session resolves call statements (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolverChoice {
+    /// Intraprocedural per-function analysis; calls havoc conservatively;
+    /// parallel cone evaluation. The engine's original semantics.
+    #[default]
+    Intra,
+    /// Interprocedural analysis demanding callee exits under the given
+    /// context-sensitivity policy; matches the REPL's answers.
+    Interproc {
+        /// Context-sensitivity policy for callee units.
+        policy: ContextPolicy,
+    },
+}
 
 /// Structural outcome of an edit request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,7 +89,9 @@ pub struct SessionSnapshot {
     /// The session's name.
     pub session: String,
     /// `(function name, DOT source)` pairs, sorted by function name; only
-    /// functions whose DAIG has been demanded appear.
+    /// functions whose DAIG has been demanded appear. Interprocedural
+    /// sessions list one entry per `(function, context)` unit, labelled
+    /// `f @ ctx`.
     pub functions: Vec<(String, String)>,
 }
 
@@ -63,25 +108,84 @@ struct Unit<D: AbstractDomain> {
     resolved: HashMap<Loc, (u64, CellId)>,
 }
 
+/// The session's analysis machinery, chosen by [`ResolverChoice`].
+enum Backend<D: AbstractDomain> {
+    Intra {
+        units: HashMap<Symbol, Unit<D>>,
+    },
+    Inter {
+        policy: ContextPolicy,
+        analyzer: Box<InterAnalyzer<D>>,
+    },
+}
+
 /// One loaded program and its per-function analyses.
 pub struct Session<D: AbstractDomain> {
     name: String,
     program: LoweredProgram,
     strategy: FixStrategy,
-    units: HashMap<Symbol, Unit<D>>,
+    /// The program's original source text, when known; with `history`,
+    /// the replayable description persistence saves.
+    source: Option<String>,
+    /// Every successfully applied edit, in order.
+    history: Vec<ProgramEdit>,
+    backend: Backend<D>,
     queries: u64,
     edits: u64,
 }
 
+fn make_backend<D: AbstractDomain>(
+    resolver: ResolverChoice,
+    program: &LoweredProgram,
+    strategy: FixStrategy,
+) -> Backend<D> {
+    match resolver {
+        ResolverChoice::Intra => Backend::Intra {
+            units: HashMap::new(),
+        },
+        ResolverChoice::Interproc { policy } => {
+            let (entry, phi0) = match program.entry_cfg() {
+                Some(cfg) => (cfg.name().to_string(), D::entry_default(cfg.params())),
+                None => ("main".to_string(), D::entry_default(&[])),
+            };
+            Backend::Inter {
+                policy,
+                analyzer: Box::new(InterAnalyzer::with_strategy(
+                    program.clone(),
+                    policy,
+                    &entry,
+                    phi0,
+                    strategy,
+                )),
+            }
+        }
+    }
+}
+
 impl<D: AbstractDomain> Session<D> {
-    /// Creates a session over `program` under the given iteration
-    /// strategy.
+    /// Creates an intraprocedural session over `program` under the given
+    /// iteration strategy, with no replayable source (not saveable).
     pub fn new(name: impl Into<String>, program: LoweredProgram, strategy: FixStrategy) -> Self {
+        Session::with_config(name, program, strategy, ResolverChoice::Intra, None)
+    }
+
+    /// Creates a session with an explicit resolver choice and (optionally)
+    /// the program's source text, which makes the session saveable.
+    pub fn with_config(
+        name: impl Into<String>,
+        program: LoweredProgram,
+        strategy: FixStrategy,
+        resolver: ResolverChoice,
+        source: Option<String>,
+    ) -> Self {
+        let backend = make_backend(resolver, &program, strategy);
         Session {
             name: name.into(),
             program,
             strategy,
-            units: HashMap::new(),
+            source,
+            history: Vec::new(),
+            backend,
             queries: 0,
             edits: 0,
         }
@@ -97,37 +201,62 @@ impl<D: AbstractDomain> Session<D> {
         &self.program
     }
 
+    /// The resolver choice this session runs under.
+    pub fn resolver(&self) -> ResolverChoice {
+        match &self.backend {
+            Backend::Intra { .. } => ResolverChoice::Intra,
+            Backend::Inter { policy, .. } => ResolverChoice::Interproc { policy: *policy },
+        }
+    }
+
+    /// The original source text, if the session was opened from source.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// The edits applied so far, in order.
+    pub fn history(&self) -> &[ProgramEdit] {
+        &self.history
+    }
+
     /// Queries served and edits applied so far.
     pub fn counters(&self) -> (u64, u64) {
         (self.queries, self.edits)
     }
 
-    fn unit_mut(&mut self, func: &str) -> Result<&mut Unit<D>, EngineError> {
+    fn unit_mut<'u>(
+        units: &'u mut HashMap<Symbol, Unit<D>>,
+        program: &LoweredProgram,
+        strategy: FixStrategy,
+        func: &str,
+    ) -> Result<&'u mut Unit<D>, EngineError> {
         let sym = Symbol::new(func);
-        if !self.units.contains_key(&sym) {
-            let cfg = self
-                .program
+        if !units.contains_key(&sym) {
+            let cfg = program
                 .by_name(func)
                 .ok_or_else(|| EngineError::NoSuchFunction(func.to_string()))?
                 .clone();
             let phi0 = D::entry_default(cfg.params());
-            self.units.insert(
+            units.insert(
                 sym.clone(),
                 Unit {
-                    fa: FuncAnalysis::with_strategy(cfg, phi0, self.strategy),
+                    fa: FuncAnalysis::with_strategy(cfg, phi0, strategy),
                     resolved: HashMap::new(),
                 },
             );
         }
-        Ok(self.units.get_mut(&sym).expect("just ensured"))
+        Ok(units.get_mut(&sym).expect("just ensured"))
     }
 
-    /// Demands the fixed-point-consistent abstract state at `loc` of
-    /// `func`, evaluating the demanded cone on the worker pool. This is
-    /// the parallel counterpart of `FuncAnalysis::query_loc`: the
-    /// enclosing fixed points are demanded outermost-first, then the body
-    /// cell of the converged iteration is read — so the returned state is
-    /// the one the sequential evaluator (and the batch oracle) produces.
+    /// Demands the abstract state at `loc` of `func` under the session's
+    /// resolver choice.
+    ///
+    /// `Intra`: the parallel counterpart of `FuncAnalysis::query_loc` —
+    /// enclosing fixed points are demanded outermost-first on the worker
+    /// pool, then the body cell of the converged iteration is read, so
+    /// the returned state is the one the sequential evaluator (and the
+    /// batch oracle) produces. `Interproc`: the context-joined state the
+    /// REPL's `queryall` prints, demanding callee exits as needed.
     ///
     /// # Errors
     ///
@@ -142,47 +271,78 @@ impl<D: AbstractDomain> Session<D> {
         stats: &mut QueryStats,
     ) -> Result<D, EngineError> {
         self.queries += 1;
-        let unit = self.unit_mut(func)?;
-        // Steady-state fast path: the resolved cell is cached per
-        // structural epoch; if it is still filled, the query is a lookup.
-        let epoch = unit.fa.daig().struct_epoch();
-        if let Some(&(cached_epoch, id)) = unit.resolved.get(&loc) {
-            if cached_epoch == epoch {
-                if let Some(d) = unit.fa.daig().value_id(id).and_then(Value::as_state) {
-                    stats.reused += 1;
-                    return Ok(d.clone());
+        match &mut self.backend {
+            Backend::Intra { units } => {
+                let unit = Self::unit_mut(units, &self.program, self.strategy, func)?;
+                // Steady-state fast path: the resolved cell is cached per
+                // structural epoch; if it is still filled, the query is a
+                // lookup.
+                let epoch = unit.fa.daig().struct_epoch();
+                if let Some(&(cached_epoch, id)) = unit.resolved.get(&loc) {
+                    if cached_epoch == epoch {
+                        if let Some(d) = unit.fa.daig().value_id(id).and_then(Value::as_state) {
+                            stats.reused += 1;
+                            return Ok(d.clone());
+                        }
+                    }
                 }
+                // The fix-chain walk lives in dai-core (`resolve_loc_cell`);
+                // the engine only substitutes *how* each demanded cell gets
+                // filled — parallel frontier evaluation instead of the
+                // sequential query.
+                let cell = resolve_loc_cell(&mut unit.fa, loc, |fa, cell| {
+                    evaluate_targets(
+                        fa,
+                        std::slice::from_ref(cell),
+                        memo,
+                        &IntraResolver,
+                        pool,
+                        stats,
+                    )
+                })?;
+                evaluate_targets(
+                    &mut unit.fa,
+                    std::slice::from_ref(&cell),
+                    memo,
+                    &IntraResolver,
+                    pool,
+                    stats,
+                )?;
+                // Record the resolution against the *post*-evaluation
+                // epoch: demanded unrolls during evaluation changed the
+                // structure, and the resolved cell belongs to the final
+                // one.
+                if let Some(id) = unit.fa.daig().id_of(&cell) {
+                    unit.resolved
+                        .insert(loc, (unit.fa.daig().struct_epoch(), id));
+                }
+                unit.fa
+                    .daig()
+                    .value(&cell)
+                    .and_then(Value::as_state)
+                    .cloned()
+                    .ok_or_else(|| {
+                        EngineError::Daig(dai_core::DaigError::Invariant(format!(
+                            "location cell {cell} holds a statement"
+                        )))
+                    })
+            }
+            Backend::Inter { analyzer, .. } => {
+                if self.program.by_name(func).is_none() {
+                    return Err(EngineError::NoSuchFunction(func.to_string()));
+                }
+                let before = analyzer.stats();
+                let out = analyzer.query_joined(func, loc).map_err(EngineError::Daig);
+                stats.absorb(analyzer.stats().delta(&before));
+                out
             }
         }
-        // The fix-chain walk lives in dai-core (`resolve_loc_cell`); the
-        // engine only substitutes *how* each demanded cell gets filled —
-        // parallel frontier evaluation instead of the sequential query.
-        let cell = resolve_loc_cell(&mut unit.fa, loc, |fa, cell| {
-            evaluate_targets(fa, std::slice::from_ref(cell), memo, pool, stats)
-        })?;
-        evaluate_targets(&mut unit.fa, std::slice::from_ref(&cell), memo, pool, stats)?;
-        // Record the resolution against the *post*-evaluation epoch:
-        // demanded unrolls during evaluation changed the structure, and
-        // the resolved cell belongs to the final one.
-        if let Some(id) = unit.fa.daig().id_of(&cell) {
-            unit.resolved
-                .insert(loc, (unit.fa.daig().struct_epoch(), id));
-        }
-        unit.fa
-            .daig()
-            .value(&cell)
-            .and_then(Value::as_state)
-            .cloned()
-            .ok_or_else(|| {
-                EngineError::Daig(dai_core::DaigError::Invariant(format!(
-                    "location cell {cell} holds a statement"
-                )))
-            })
     }
 
-    /// Applies a program edit: the CFG is updated, and the function's DAIG
-    /// (if demanded already) is edited in place with minimal dirtying —
-    /// exactly the incremental + demand-driven configuration.
+    /// Applies a program edit: the CFG is updated, and the affected DAIGs
+    /// (if demanded already) are edited in place with minimal dirtying —
+    /// exactly the incremental + demand-driven configuration. Successful
+    /// edits are appended to the replayable [`Session::history`].
     ///
     /// Validation happens on a scratch copy of the program first, so a
     /// rejected edit (unknown edge, call-graph violation, malformed
@@ -221,43 +381,215 @@ impl<D: AbstractDomain> Session<D> {
         };
         staged.refresh_call_graph()?;
         // Commit: install the validated program, then replay the edit on
-        // the function's DAIG (edits are deterministic, so the unit's CFG
+        // the demanded DAIGs (edits are deterministic, so every unit's CFG
         // clone ends up identical to the staged one).
-        self.program = staged;
-        if let Some(unit) = self.units.get_mut(func) {
-            match edit {
-                ProgramEdit::Relabel { edge, stmt, .. } => {
-                    unit.fa.relabel(*edge, stmt.clone())?;
-                }
-                ProgramEdit::Insert { edge, block, .. } => {
-                    unit.fa.splice(*edge, block)?;
+        match &mut self.backend {
+            Backend::Intra { units } => {
+                self.program = staged;
+                if let Some(unit) = units.get_mut(func) {
+                    match edit {
+                        ProgramEdit::Relabel { edge, stmt, .. } => {
+                            unit.fa.relabel(*edge, stmt.clone())?;
+                        }
+                        ProgramEdit::Insert { edge, block, .. } => {
+                            unit.fa.splice(*edge, block)?;
+                        }
+                    }
+                    // A relabel leaves the structure (and epoch) intact but
+                    // empties downstream cells; cached resolutions stay
+                    // valid and simply miss on the emptied value. A splice
+                    // bumps the epoch.
                 }
             }
-            // A relabel leaves the structure (and epoch) intact but
-            // empties downstream cells; cached resolutions stay valid and
-            // simply miss on the emptied value. A splice bumps the epoch.
+            Backend::Inter { analyzer, .. } => {
+                // The analyzer re-validates and applies to its own program
+                // + units (cross-unit dirtying included); it was given the
+                // same program, so the staged validation above already
+                // guarantees success.
+                match edit {
+                    ProgramEdit::Relabel { func, edge, stmt } => {
+                        analyzer.relabel(func.as_str(), *edge, stmt.clone())?;
+                    }
+                    ProgramEdit::Insert { func, edge, block } => {
+                        analyzer.splice(func.as_str(), *edge, block)?;
+                    }
+                }
+                self.program = staged;
+            }
         }
+        self.history.push(edit.clone());
         self.edits += 1;
         Ok(outcome)
     }
 
     /// A deterministic DOT snapshot of every demanded DAIG.
     pub fn snapshot(&self) -> SessionSnapshot {
-        let mut functions: Vec<(String, String)> = self
-            .units
-            .iter()
-            .map(|(f, unit)| {
-                let opts = DotOptions {
-                    title: Some(format!("{f} — session {}", self.name)),
-                    ..DotOptions::default()
-                };
-                (f.to_string(), to_dot(unit.fa.daig(), &opts))
-            })
-            .collect();
+        let mut functions: Vec<(String, String)> = match &self.backend {
+            Backend::Intra { units } => units
+                .iter()
+                .map(|(f, unit)| {
+                    let opts = DotOptions {
+                        title: Some(format!("{f} — session {}", self.name)),
+                        ..DotOptions::default()
+                    };
+                    (f.to_string(), to_dot(unit.fa.daig(), &opts))
+                })
+                .collect(),
+            Backend::Inter { analyzer, .. } => {
+                // Order comes from the unconditional sort below, shared
+                // with the Intra arm.
+                analyzer
+                    .units_iter()
+                    .map(|(key, unit)| {
+                        let (f, ctx) = key;
+                        let label = format!("{f} @ {ctx}");
+                        let opts = DotOptions {
+                            title: Some(format!("{label} — session {}", self.name)),
+                            ..DotOptions::default()
+                        };
+                        (label, to_dot(unit.daig(), &opts))
+                    })
+                    .collect()
+            }
+        };
         functions.sort();
         SessionSnapshot {
             session: self.name.clone(),
             functions,
         }
+    }
+}
+
+impl<D: PersistDomain> Session<D> {
+    /// Assembles this session's snapshot image: the replayable header
+    /// (source + history + strategy + policy) and the demanded DAIGs
+    /// (`Intra` backend only — an `Interproc` session snapshots cold).
+    /// The image's memo section starts empty; the engine's `Save` handler
+    /// attaches the shared table's export after releasing the session
+    /// lock.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotReplayable`] if the session was opened without
+    /// source text — there is nothing sound to replay on restore.
+    pub fn image(&self) -> Result<SessionImage<D>, EngineError> {
+        let source = self
+            .source
+            .clone()
+            .ok_or_else(|| EngineError::NotReplayable(self.name.clone()))?;
+        let mut funcs: Vec<FuncImage<D>> = match &self.backend {
+            Backend::Intra { units } => units
+                .iter()
+                .map(|(f, unit)| FuncImage {
+                    func: f.clone(),
+                    entry: unit.fa.entry_state().clone(),
+                    daig: unit.fa.daig().clone(),
+                })
+                .collect(),
+            Backend::Inter { .. } => Vec::new(),
+        };
+        funcs.sort_by(|a, b| a.func.cmp(&b.func));
+        let policy = match &self.backend {
+            Backend::Intra { .. } => None,
+            Backend::Inter { policy, .. } => Some(*policy),
+        };
+        Ok(SessionImage {
+            name: self.name.clone(),
+            domain: D::domain_tag(),
+            strategy: self.strategy,
+            policy,
+            source,
+            edits: self.history.clone(),
+            funcs,
+            memo: Vec::new(),
+        })
+    }
+
+    /// Rebuilds a session from a snapshot image under `resolver` —
+    /// normally the choice implied by the snapshot itself
+    /// (`image.policy`), which is how the engine's `Load` handler calls
+    /// it: the source is re-parsed and lowered, the edit
+    /// history replayed (deterministically reproducing the live session's
+    /// CFGs, ids included), and — for the `Intra` backend — each restored
+    /// DAIG is installed *after* cross-checking its statement cells
+    /// against the replayed CFG. A DAIG that fails the cross-check is
+    /// dropped (that function cold-starts), never trusted.
+    ///
+    /// Returns the session plus `(installed, dropped)` DAIG counts.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Parse`] / [`EngineError::Cfg`] if the source or an
+    /// edit fails to replay (the snapshot header lied), in which case no
+    /// session is produced.
+    pub fn restore(
+        image: SessionImage<D>,
+        resolver: ResolverChoice,
+        report: &RestoreReport,
+    ) -> Result<(Session<D>, usize, usize), EngineError> {
+        let program = dai_lang::parse_program(&image.source)
+            .map_err(|e| EngineError::Parse(e.to_string()))
+            .and_then(|p| lower_program(&p).map_err(EngineError::Cfg))?;
+        let mut session = Session::with_config(
+            image.name,
+            program,
+            image.strategy,
+            resolver,
+            Some(image.source),
+        );
+        for edit in &image.edits {
+            session.apply_edit(edit)?;
+        }
+        debug_assert_eq!(session.history.len(), image.edits.len());
+        // Replay counts as history, not as served work.
+        session.edits = 0;
+        let mut installed = 0usize;
+        let mut dropped = report.funcs_dropped;
+        if !matches!(session.backend, Backend::Intra { .. }) {
+            // An interprocedural session has no per-function units to
+            // warm: intact DAIG sections are deliberately (and soundly)
+            // unused — and counted as dropped, so a caller monitoring
+            // warm-start health can see its sections went unused.
+            return Ok((session, 0, dropped + image.funcs.len()));
+        }
+        if let Backend::Intra { units } = &mut session.backend {
+            for f in image.funcs {
+                let Some(cfg) = session.program.by_name(f.func.as_str()) else {
+                    dropped += 1;
+                    continue;
+                };
+                // Intra units are always built with the domain's default
+                // entry state; a snapshot carrying anything else would
+                // answer from a different φ₀ than freshly demanded
+                // functions in the same session — drop it to cold rather
+                // than break batch-oracle equality.
+                if f.entry != D::entry_default(cfg.params()) {
+                    dropped += 1;
+                    continue;
+                }
+                // Cross-check: the DAIG's statement cells must hold
+                // exactly the replayed CFG's edge labels; a mismatch means
+                // the snapshot's DAIG does not describe this program.
+                let consistent = cfg.edges().all(|e| {
+                    f.daig
+                        .value(&dai_core::Name::Stmt(e.id))
+                        .and_then(Value::as_stmt)
+                        == Some(&e.stmt)
+                });
+                if !consistent {
+                    dropped += 1;
+                    continue;
+                }
+                units.insert(
+                    f.func.clone(),
+                    Unit {
+                        fa: FuncAnalysis::from_parts(cfg.clone(), f.daig, f.entry),
+                        resolved: HashMap::new(),
+                    },
+                );
+                installed += 1;
+            }
+        }
+        Ok((session, installed, dropped))
     }
 }

@@ -683,6 +683,14 @@ impl LoweredProgram {
         self.index.get(name).map(|&i| &self.cfgs[i])
     }
 
+    /// The analysis entry CFG: `main` when present, otherwise the first
+    /// function — the same rule as [`crate::ast::Program::entry_function`],
+    /// shared here so every consumer (REPL, engine sessions, drivers)
+    /// resolves the entry identically.
+    pub fn entry_cfg(&self) -> Option<&Cfg> {
+        self.by_name("main").or_else(|| self.cfgs().first())
+    }
+
     /// Mutable access to a function's CFG by name.
     pub fn by_name_mut(&mut self, name: &str) -> Option<&mut Cfg> {
         self.index

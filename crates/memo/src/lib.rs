@@ -417,6 +417,22 @@ impl<V> MemoTable<V> {
         self.previous.clear();
     }
 
+    /// Iterates every live entry (both generations), in no particular
+    /// order and without touching statistics or generations (persistence
+    /// export). A key present in both generations (inserted again after
+    /// aging into `previous`) is yielded once, with its current value —
+    /// exporters must see each key exactly as a lookup would.
+    pub fn entries(&self) -> impl Iterator<Item = (MemoKey, &V)> {
+        self.current
+            .iter()
+            .chain(
+                self.previous
+                    .iter()
+                    .filter(|(k, _)| !self.current.contains_key(k)),
+            )
+            .map(|(k, v)| (*k, v))
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> &MemoStats {
         &self.stats
@@ -582,6 +598,25 @@ impl<V> SharedMemoTable<V> {
         for s in &self.inner.shards {
             s.lock().expect("memo shard poisoned").clear();
         }
+    }
+
+    /// Clones out every live entry across all shards (persistence export).
+    /// The order is shard-internal and unspecified; persistence sorts by
+    /// key before serializing so snapshots are byte-deterministic.
+    /// Dropping or re-importing any subset of the result is sound — memo
+    /// entries are keyed by content hashes of their inputs, so a restored
+    /// entry can only ever substitute a value the analysis would have
+    /// computed itself.
+    pub fn export_entries(&self) -> Vec<(MemoKey, V)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        for s in &self.inner.shards {
+            let shard = s.lock().expect("memo shard poisoned");
+            out.extend(shard.entries().map(|(k, v)| (k, v.clone())));
+        }
+        out
     }
 
     /// Global statistics, read without touching the shard locks.

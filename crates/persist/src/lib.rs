@@ -1,0 +1,79 @@
+//! # dai-persist — versioned snapshot/restore for demanded analysis
+//!
+//! Serializes the three stateful layers of a demanded-abstract-
+//! interpretation session — **session state** (program source + edit
+//! history), **per-function DAIGs** (cell structure + computed values),
+//! and **memo-table shards** — into a self-describing, versioned binary
+//! file, and restores them. Hand-rolled codec: the workspace builds
+//! offline, so there is no serde; see [`codec`] for the exact framing.
+//!
+//! ## Why a *lossy* format is sound (and why that matters here)
+//!
+//! The central soundness result of demanded abstract interpretation
+//! (Stein et al., PLDI 2021, §2.2 and Theorems 6.1–6.3) is that every
+//! value a DAIG cell or memo entry caches is something the analysis can
+//! recompute from the program alone: **dropping any cached result — or
+//! all of them — never changes any query's answer**, only the work needed
+//! to produce it. Persistence inherits that guarantee wholesale:
+//!
+//! * a snapshot's `FUNC` (DAIG) and `MEMO` sections are pure *warm-start
+//!   accelerators*. If one is corrupt on disk, version-skewed, or simply
+//!   cut off, the restore **skips it and degrades to a cold start** for
+//!   exactly that state — same answers, more recomputation;
+//! * only the `SESS` section (source text + edit history + strategy) is
+//!   load-bearing, because it determines *which program* is analyzed.
+//!   It is small, checksummed, and replayed through `dai-lang`'s parser
+//!   and deterministic edit primitives, so a restored session's CFGs are
+//!   identical — location and edge ids included — to the live session's;
+//! * restored values cannot silently lie: each `FUNC` section is
+//!   revalidated against Definition 4.1 well-formedness after decoding
+//!   (and `dai-engine` additionally cross-checks the DAIG's statement
+//!   cells against the replayed CFG), falling back to cold on mismatch.
+//!
+//! This is an unusually friendly persistence problem: most systems must
+//! choose between expensive write-ahead durability and correctness,
+//! whereas here the worst case of *any* partial write, bit rot, or
+//! version skew in the optional sections is a slower first query.
+//!
+//! ## File format (see [`codec`] for byte-level detail)
+//!
+//! ```text
+//! header   "DAIP" + container version
+//! SESS     name, domain tag, strategy, source text, edit history   (required)
+//! FUNC*    one per demanded function: name, φ₀, DAIG cells         (lossy)
+//! MEMO     sorted (key, value) memo entries                        (lossy)
+//! ```
+//!
+//! Every section is length-prefixed and carries its own version and
+//! checksum, so readers can always skip what they cannot use. Snapshots
+//! of equal sessions are byte-identical (cells are written in interning
+//! order, memo entries sorted by key).
+//!
+//! ## Crate map
+//!
+//! * [`codec`] — the container: header, sections, checksums,
+//!   [`codec::strip_sections`] for building partial restore points;
+//! * [`wire`] — the [`wire::Persist`] encode/decode trait and its
+//!   implementations for `dai-lang` syntax, `dai-core` names/values, and
+//!   every shipped abstract domain ([`wire::PersistDomain`]);
+//! * [`snapshot`] — [`snapshot::SessionImage`]: assembling, serializing,
+//!   and lossily parsing whole-session snapshots.
+//!
+//! The engine-facing save/restore logic (sessions, the `Request::Save` /
+//! `Request::Load` stream handlers) lives in `dai-engine`, which composes
+//! these pieces; the REPL's `save`/`load` commands persist its
+//! interprocedural session as source + history (cold restore).
+
+pub mod codec;
+pub mod snapshot;
+pub mod wire;
+
+pub use codec::{
+    read_sections, strip_sections, PersistError, Reader, SnapshotWriter, Writer, FORMAT_VERSION,
+    TAG_FUNC, TAG_MEMO, TAG_SESSION,
+};
+pub use snapshot::{
+    decode_daig, encode_daig, read_snapshot_file, write_snapshot_file, FuncImage, RestoreReport,
+    SessionImage, FUNC_VERSION, MEMO_VERSION, SESSION_VERSION,
+};
+pub use wire::{Persist, PersistDomain, MAX_DECODE_DEPTH};

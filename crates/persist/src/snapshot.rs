@@ -1,0 +1,638 @@
+//! Whole-session snapshot images: what gets saved, and the lossy policy
+//! applied on restore.
+//!
+//! A [`SessionImage`] carries the three stateful layers of a demanded
+//! analysis session, in three kinds of sections:
+//!
+//! * **`SESS` (required)** — the session header: name, domain tag,
+//!   iteration strategy, context-sensitivity policy (for
+//!   interprocedural sessions), the program **source text**, and the
+//!   **edit history** ([`ProgramEdit`]s). This is the only part that must
+//!   survive: source + history replayed through `dai-lang`'s parser,
+//!   lowering, and edit primitives deterministically reconstructs the
+//!   exact current CFGs (edit application assigns location/edge ids by
+//!   deterministic counters).
+//! * **`FUNC` (optional, one per demanded function)** — the function's
+//!   DAIG: every live cell in interning order with its name, optional
+//!   value, and producing computation. Restoring it warm-starts queries;
+//!   dropping it merely means the next query recomputes (paper §2.2:
+//!   dropping cached results is always sound).
+//! * **`MEMO` (optional)** — memo-table entries `f·(v₁⋯v_k) ↦ v`, sorted
+//!   by key for byte-deterministic output. Same lossy contract.
+//!
+//! [`SessionImage::from_bytes`] enforces that policy: a damaged or
+//! version-skewed `FUNC`/`MEMO` section is *counted and skipped* (the
+//! [`RestoreReport`] says what was dropped), while a damaged `SESS`
+//! section fails the whole restore — there is nothing sound to fall back
+//! to without the program.
+
+use crate::codec::{
+    read_sections, PersistError, Reader, SnapshotWriter, Writer, TAG_FUNC, TAG_MEMO, TAG_SESSION,
+};
+use crate::wire::{Persist, PersistDomain};
+use dai_core::driver::ProgramEdit;
+use dai_core::graph::{Daig, Func, Value};
+use dai_core::intern::CellId;
+use dai_core::interproc::ContextPolicy;
+use dai_core::name::Name;
+use dai_core::strategy::FixStrategy;
+use dai_domains::AbstractDomain;
+use dai_lang::Symbol;
+use dai_memo::MemoKey;
+use std::fmt;
+use std::path::Path;
+
+/// Payload version of `SESS` sections.
+pub const SESSION_VERSION: u16 = 1;
+/// Payload version of `FUNC` sections.
+pub const FUNC_VERSION: u16 = 1;
+/// Payload version of `MEMO` sections.
+pub const MEMO_VERSION: u16 = 1;
+
+/// One demanded function's restored analysis state.
+#[derive(Debug, Clone)]
+pub struct FuncImage<D: AbstractDomain> {
+    /// The function's name.
+    pub func: Symbol,
+    /// The entry state `φ₀` the DAIG was built with.
+    pub entry: D,
+    /// The DAIG, structure and values.
+    pub daig: Daig<D>,
+}
+
+/// A complete session snapshot.
+#[derive(Debug, Clone)]
+pub struct SessionImage<D: AbstractDomain> {
+    /// The session's name.
+    pub name: String,
+    /// The domain tag ([`PersistDomain::domain_tag`]) the values were
+    /// encoded under.
+    pub domain: String,
+    /// The loop-head iteration strategy of every unit.
+    pub strategy: FixStrategy,
+    /// The context-sensitivity policy the session analyzed under, when
+    /// it was interprocedural (`None` for intraprocedural sessions).
+    /// Like `strategy`, this is part of the session's *semantics*: a
+    /// restore under a different policy computes different invariants,
+    /// so restorers either honor it or warn.
+    pub policy: Option<ContextPolicy>,
+    /// The original program source text.
+    pub source: String,
+    /// Every edit applied since the source was loaded, in order.
+    pub edits: Vec<ProgramEdit>,
+    /// Demanded functions' DAIGs (possibly empty — a cold snapshot).
+    pub funcs: Vec<FuncImage<D>>,
+    /// Memo entries (possibly empty).
+    pub memo: Vec<(MemoKey, Value<D>)>,
+}
+
+/// What a lossy restore kept and dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// `FUNC` sections restored intact.
+    pub funcs_restored: usize,
+    /// `FUNC` sections dropped (damaged, version-skewed, undecodable, or
+    /// failing DAIG well-formedness) — each degrades that function to a
+    /// cold start.
+    pub funcs_dropped: usize,
+    /// Memo entries restored.
+    pub memo_entries: usize,
+    /// `MEMO` sections dropped.
+    pub memo_sections_dropped: usize,
+    /// The file ended mid-section; everything after the cut was dropped.
+    pub truncated: bool,
+}
+
+impl RestoreReport {
+    /// `true` when anything warm (DAIG values or memo entries) survived.
+    pub fn is_warm(&self) -> bool {
+        self.funcs_restored > 0 || self.memo_entries > 0
+    }
+
+    /// `true` when any optional payload was lost.
+    pub fn is_lossy(&self) -> bool {
+        self.funcs_dropped > 0 || self.memo_sections_dropped > 0 || self.truncated
+    }
+}
+
+impl fmt::Display for RestoreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} function DAIG(s) restored ({} dropped), {} memo entrie(s) ({} section(s) dropped){}",
+            self.funcs_restored,
+            self.funcs_dropped,
+            self.memo_entries,
+            self.memo_sections_dropped,
+            if self.truncated { ", file truncated" } else { "" }
+        )
+    }
+}
+
+fn func_code(f: Func) -> u8 {
+    match f {
+        Func::Transfer => 0,
+        Func::Join => 1,
+        Func::Widen => 2,
+        Func::Fix => 3,
+    }
+}
+
+fn func_from_code(c: u8) -> Result<Func, PersistError> {
+    Ok(match c {
+        0 => Func::Transfer,
+        1 => Func::Join,
+        2 => Func::Widen,
+        3 => Func::Fix,
+        t => return Err(PersistError::Corrupt(format!("unknown func tag {t}"))),
+    })
+}
+
+/// Encodes a DAIG: live cells in interning (id) order, each with its
+/// name, optional value, and producing computation (source cells encoded
+/// as positions into the same cell list).
+pub fn encode_daig<D: AbstractDomain + Persist>(daig: &Daig<D>, w: &mut Writer) {
+    let ids: Vec<CellId> = daig.ids().collect();
+    // Dense position map: arena ids are bounded by `arena_len`.
+    let mut pos = vec![u32::MAX; daig.arena_len()];
+    for (i, &id) in ids.iter().enumerate() {
+        pos[id.idx()] = i as u32;
+    }
+    w.u64(ids.len() as u64);
+    for &id in &ids {
+        daig.name_of(id).put(w);
+        match daig.value_id(id) {
+            Some(v) => {
+                w.u8(1);
+                v.put(w);
+            }
+            None => w.u8(0),
+        }
+        match daig.comp_slot(id) {
+            None => w.u8(0),
+            Some(c) => {
+                w.u8(1);
+                w.u8(func_code(c.func));
+                w.u64(c.srcs.len() as u64);
+                for &s in &c.srcs {
+                    // Live comps only read live cells (well-formedness), so
+                    // every source has a position.
+                    w.u32(pos[s.idx()]);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a DAIG encoded by [`encode_daig`], rebuilding the interner in
+/// the same order (so the graph is structurally identical up to dead-slot
+/// compaction) and re-deriving value digests at write time.
+///
+/// The result is **not** yet validated; callers should run
+/// [`Daig::check_well_formed`] and treat failure as a dropped (cold)
+/// section.
+///
+/// # Errors
+///
+/// [`PersistError`] on truncated or structurally invalid input.
+pub fn decode_daig<D: AbstractDomain + Persist>(
+    r: &mut Reader<'_>,
+    strategy: FixStrategy,
+) -> Result<Daig<D>, PersistError> {
+    let n = r.u64()?;
+    if n > r.remaining() as u64 {
+        return Err(PersistError::Corrupt(
+            "cell count exceeds remaining input".to_string(),
+        ));
+    }
+    struct Decoded<D> {
+        name: Name,
+        value: Option<Value<D>>,
+        comp: Option<(Func, Vec<u32>)>,
+    }
+    let mut cells: Vec<Decoded<D>> = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = Name::get(r)?;
+        let value = match r.u8()? {
+            0 => None,
+            1 => Some(Value::<D>::get(r)?),
+            t => return Err(PersistError::Corrupt(format!("bad value marker {t}"))),
+        };
+        let comp = match r.u8()? {
+            0 => None,
+            1 => {
+                let func = func_from_code(r.u8()?)?;
+                let k = r.u64()?;
+                if k > r.remaining() as u64 {
+                    return Err(PersistError::Corrupt(
+                        "source count exceeds remaining input".to_string(),
+                    ));
+                }
+                let mut srcs = Vec::with_capacity(k as usize);
+                for _ in 0..k {
+                    let p = r.u32()?;
+                    if u64::from(p) >= n {
+                        return Err(PersistError::Corrupt(format!(
+                            "source position {p} out of range (cells: {n})"
+                        )));
+                    }
+                    srcs.push(p);
+                }
+                Some((func, srcs))
+            }
+            t => return Err(PersistError::Corrupt(format!("bad comp marker {t}"))),
+        };
+        cells.push(Decoded { name, value, comp });
+    }
+    let mut daig: Daig<D> = Daig::new();
+    daig.set_strategy(strategy);
+    let ids: Vec<CellId> = cells
+        .iter()
+        .map(|c| daig.add_cell_id(c.name.clone(), c.value.clone()))
+        .collect();
+    // A fresh interner hands out dense ids in insertion order; anything
+    // else means a duplicated name aliased two saved cells onto one id.
+    if ids.iter().enumerate().any(|(i, id)| id.idx() != i) {
+        return Err(PersistError::Corrupt("duplicate cell name".to_string()));
+    }
+    for (i, c) in cells.iter().enumerate() {
+        if let Some((func, srcs)) = &c.comp {
+            let src_ids: Vec<CellId> = srcs.iter().map(|&p| ids[p as usize]).collect();
+            daig.add_comp_ids(ids[i], *func, src_ids);
+        }
+    }
+    Ok(daig)
+}
+
+impl<D: PersistDomain> SessionImage<D> {
+    /// Serializes the image into a complete snapshot file (header plus
+    /// `SESS`/`FUNC`*/`MEMO` sections). Memo entries are sorted by key
+    /// first, so equal images produce byte-identical files.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = SnapshotWriter::new();
+        let mut sess = Writer::new();
+        self.name.put(&mut sess);
+        self.domain.put(&mut sess);
+        self.strategy.put(&mut sess);
+        self.policy.put(&mut sess);
+        self.source.put(&mut sess);
+        self.edits.put(&mut sess);
+        out.section(TAG_SESSION, SESSION_VERSION, &sess.into_bytes());
+        for f in &self.funcs {
+            let mut w = Writer::new();
+            f.func.put(&mut w);
+            f.entry.put(&mut w);
+            encode_daig(&f.daig, &mut w);
+            out.section(TAG_FUNC, FUNC_VERSION, &w.into_bytes());
+        }
+        if !self.memo.is_empty() {
+            // Sort and dedup by reference: cloning the entries (every
+            // memoized abstract state) just to order them would double
+            // the save path's transient memory.
+            let mut entries: Vec<&(MemoKey, Value<D>)> = self.memo.iter().collect();
+            entries.sort_by_key(|(k, _)| *k);
+            entries.dedup_by_key(|(k, _)| *k);
+            let mut w = Writer::new();
+            w.u64(entries.len() as u64);
+            for (k, v) in entries {
+                k.put(&mut w);
+                v.put(&mut w);
+            }
+            out.section(TAG_MEMO, MEMO_VERSION, &w.into_bytes());
+        }
+        out.into_bytes()
+    }
+
+    /// Parses a snapshot file, applying the lossy policy: `FUNC` and
+    /// `MEMO` sections that are damaged, version-skewed, or undecodable
+    /// are dropped (counted in the report); restore then degrades to a
+    /// cold start for exactly that state, which is sound.
+    ///
+    /// # Errors
+    ///
+    /// Header errors, a missing/damaged/undecodable `SESS` section, or a
+    /// `SESS` section recorded under a different domain than `D`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(SessionImage<D>, RestoreReport), PersistError> {
+        let list = read_sections(bytes)?;
+        let mut report = RestoreReport {
+            truncated: list.truncated,
+            ..RestoreReport::default()
+        };
+        // The required session header. Unlike FUNC/MEMO — where version
+        // skew just drops the section — a skewed SESS section is fatal:
+        // decoding it under the wrong layout could silently restore a
+        // wrong session, and there is nothing sound to fall back to.
+        let sess = list
+            .sections
+            .iter()
+            .find(|s| s.tag == TAG_SESSION)
+            .ok_or(PersistError::RequiredSection("SESS"))?;
+        if sess.version != SESSION_VERSION {
+            return Err(PersistError::UnsupportedVersion(sess.version));
+        }
+        let sess_payload = sess.payload.ok_or(PersistError::RequiredSection("SESS"))?;
+        let mut r = Reader::new(sess_payload);
+        let name = String::get(&mut r)?;
+        let domain = String::get(&mut r)?;
+        let strategy = FixStrategy::get(&mut r)?;
+        let policy = Option::<ContextPolicy>::get(&mut r)?;
+        let source = String::get(&mut r)?;
+        let edits = Vec::<ProgramEdit>::get(&mut r)?;
+        if domain != D::domain_tag() {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot was saved under domain `{domain}`, not `{}`",
+                D::domain_tag()
+            )));
+        }
+        let mut image = SessionImage {
+            name,
+            domain,
+            strategy,
+            policy,
+            source,
+            edits,
+            funcs: Vec::new(),
+            memo: Vec::new(),
+        };
+        for s in &list.sections {
+            match s.tag {
+                t if t == TAG_FUNC => {
+                    let decoded = s
+                        .payload
+                        .filter(|_| s.version == FUNC_VERSION)
+                        .and_then(|payload| {
+                            let mut r = Reader::new(payload);
+                            let func = Symbol::get(&mut r).ok()?;
+                            let entry = D::get(&mut r).ok()?;
+                            let daig = decode_daig::<D>(&mut r, strategy).ok()?;
+                            r.is_exhausted().then_some(FuncImage { func, entry, daig })
+                        })
+                        .filter(|f| f.daig.check_well_formed().is_ok());
+                    match decoded {
+                        Some(f) => {
+                            image.funcs.push(f);
+                            report.funcs_restored += 1;
+                        }
+                        None => report.funcs_dropped += 1,
+                    }
+                }
+                t if t == TAG_MEMO => {
+                    let decoded =
+                        s.payload
+                            .filter(|_| s.version == MEMO_VERSION)
+                            .and_then(|payload| {
+                                let mut r = Reader::new(payload);
+                                let entries = Vec::<(MemoKey, Value<D>)>::get(&mut r).ok()?;
+                                r.is_exhausted().then_some(entries)
+                            });
+                    match decoded {
+                        Some(mut entries) => {
+                            report.memo_entries += entries.len();
+                            image.memo.append(&mut entries);
+                        }
+                        None => report.memo_sections_dropped += 1,
+                    }
+                }
+                _ => {} // SESS (already handled) and unknown future tags.
+            }
+        }
+        Ok((image, report))
+    }
+}
+
+/// Writes snapshot bytes to `path` **atomically**: the bytes land in a
+/// temporary file in the same directory, then rename over the
+/// destination. A crash or full disk mid-write therefore never clobbers
+/// an existing good snapshot — the lossy-section story covers damaged
+/// *optional* payloads, but a clipped `SESS` section would lose the
+/// session, so the required section gets the stronger guarantee.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on filesystem failure.
+pub fn write_snapshot_file(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let io_err = |e: std::io::Error| PersistError::Io(format!("{}: {e}", path.display()));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp-{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err(e)
+    })
+}
+
+/// Reads snapshot bytes from `path`.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on filesystem failure.
+pub fn read_snapshot_file(path: impl AsRef<Path>) -> Result<Vec<u8>, PersistError> {
+    std::fs::read(path.as_ref())
+        .map_err(|e| PersistError::Io(format!("{}: {e}", path.as_ref().display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::strip_sections;
+    use dai_core::analysis::FuncAnalysis;
+    use dai_core::query::{IntraResolver, QueryStats};
+    use dai_domains::IntervalDomain;
+    use dai_lang::cfg::lower_program;
+    use dai_lang::parse_program;
+    use dai_memo::{MemoStore, MemoTable};
+
+    type D = IntervalDomain;
+
+    const SRC: &str = "function f(n) { var i = 0; while (i < 9) { i = i + 1; } return i; }";
+
+    fn evaluated_analysis() -> (FuncAnalysis<D>, MemoTable<Value<D>>) {
+        let cfg = lower_program(&parse_program(SRC).unwrap()).unwrap().cfgs()[0].clone();
+        let mut fa = FuncAnalysis::new(cfg, IntervalDomain::top());
+        let mut memo = MemoTable::new();
+        let mut stats = QueryStats::default();
+        fa.query_exit(&mut memo, &mut IntraResolver, &mut stats)
+            .unwrap();
+        (fa, memo)
+    }
+
+    fn image_of(fa: &FuncAnalysis<D>, memo: &MemoTable<Value<D>>) -> SessionImage<D> {
+        SessionImage {
+            name: "test".to_string(),
+            domain: <D as PersistDomain>::domain_tag(),
+            strategy: fa.daig().strategy(),
+            policy: None,
+            source: SRC.to_string(),
+            edits: Vec::new(),
+            funcs: vec![FuncImage {
+                func: Symbol::new("f"),
+                entry: fa.entry_state().clone(),
+                daig: fa.daig().clone(),
+            }],
+            memo: memo.entries().map(|(k, v)| (k, v.clone())).collect(),
+        }
+    }
+
+    #[test]
+    fn daig_roundtrip_preserves_every_cell_and_value() {
+        let (fa, memo) = evaluated_analysis();
+        let (image, report) =
+            SessionImage::<D>::from_bytes(&image_of(&fa, &memo).to_bytes()).unwrap();
+        assert_eq!(report.funcs_restored, 1);
+        assert_eq!(report.funcs_dropped, 0);
+        assert!(report.is_warm());
+        assert!(!report.is_lossy());
+        let restored = &image.funcs[0].daig;
+        restored.check_well_formed().unwrap();
+        assert_eq!(restored.cell_count(), fa.daig().cell_count());
+        assert_eq!(restored.comp_count(), fa.daig().comp_count());
+        for n in fa.daig().names() {
+            assert_eq!(restored.value(n), fa.daig().value(n), "cell {n}");
+            assert_eq!(restored.comp(n), fa.daig().comp(n), "comp of {n}");
+        }
+        assert_eq!(image.memo.len(), memo.len());
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let (fa, memo) = evaluated_analysis();
+        assert_eq!(
+            image_of(&fa, &memo).to_bytes(),
+            image_of(&fa, &memo).to_bytes()
+        );
+    }
+
+    #[test]
+    fn damaged_func_section_degrades_not_errors() {
+        let (fa, memo) = evaluated_analysis();
+        let mut bytes = image_of(&fa, &memo).to_bytes();
+        // Find the FUNC section and corrupt a payload byte: locate the tag.
+        let at = bytes
+            .windows(4)
+            .position(|w| w == TAG_FUNC)
+            .expect("has FUNC section");
+        bytes[at + 20] ^= 0x5A;
+        let (image, report) = SessionImage::<D>::from_bytes(&bytes).unwrap();
+        assert_eq!(report.funcs_restored, 0);
+        assert_eq!(report.funcs_dropped, 1);
+        assert!(report.is_lossy());
+        assert!(image.funcs.is_empty());
+        assert_eq!(image.source, SRC, "session header intact");
+        assert_eq!(image.memo.len(), memo.len(), "memo section intact");
+    }
+
+    #[test]
+    fn truncation_never_panics_and_keeps_prefix_sections() {
+        let (fa, memo) = evaluated_analysis();
+        let bytes = image_of(&fa, &memo).to_bytes();
+        for cut in 0..bytes.len() {
+            // Either a clean error (header/SESS gone) or a lossy success.
+            let _ = SessionImage::<D>::from_bytes(&bytes[..cut]);
+        }
+        // Cutting just the trailing memo checksum keeps everything else.
+        let (image, report) = SessionImage::<D>::from_bytes(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.funcs_restored, 1);
+        assert_eq!(report.memo_sections_dropped, 1);
+        assert!(image.memo.is_empty());
+    }
+
+    #[test]
+    fn stripping_func_sections_leaves_a_memo_only_warm_start() {
+        let (fa, memo) = evaluated_analysis();
+        let bytes = image_of(&fa, &memo).to_bytes();
+        let memo_only = strip_sections(&bytes, TAG_FUNC).unwrap();
+        let (image, report) = SessionImage::<D>::from_bytes(&memo_only).unwrap();
+        assert!(image.funcs.is_empty());
+        assert_eq!(report.funcs_dropped, 0, "stripped, not damaged");
+        assert_eq!(image.memo.len(), memo.len());
+    }
+
+    #[test]
+    fn version_skewed_session_header_is_fatal_not_misdecoded() {
+        // Rewrite the file with the SESS section stamped as a future
+        // payload version: the reader must refuse rather than decode the
+        // payload under v1 field order.
+        let (fa, memo) = evaluated_analysis();
+        let bytes = image_of(&fa, &memo).to_bytes();
+        let list = crate::codec::read_sections(&bytes).unwrap();
+        let mut rewritten = crate::codec::SnapshotWriter::new();
+        for s in list.sections {
+            let version = if s.tag == TAG_SESSION {
+                SESSION_VERSION + 1
+            } else {
+                s.version
+            };
+            rewritten.section(s.tag, version, s.payload.unwrap());
+        }
+        let err = SessionImage::<D>::from_bytes(&rewritten.into_bytes()).unwrap_err();
+        assert!(
+            matches!(err, PersistError::UnsupportedVersion(v) if v == SESSION_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn version_skewed_warm_sections_are_dropped_not_fatal() {
+        let (fa, memo) = evaluated_analysis();
+        let bytes = image_of(&fa, &memo).to_bytes();
+        let list = crate::codec::read_sections(&bytes).unwrap();
+        let mut rewritten = crate::codec::SnapshotWriter::new();
+        for s in list.sections {
+            let version = if s.tag == TAG_SESSION {
+                s.version
+            } else {
+                s.version + 1
+            };
+            rewritten.section(s.tag, version, s.payload.unwrap());
+        }
+        let (image, report) = SessionImage::<D>::from_bytes(&rewritten.into_bytes()).unwrap();
+        assert_eq!(report.funcs_dropped, 1);
+        assert_eq!(report.memo_sections_dropped, 1);
+        assert!(image.funcs.is_empty() && image.memo.is_empty());
+        assert_eq!(image.source, SRC, "header still restores");
+    }
+
+    #[test]
+    fn wrong_domain_is_rejected() {
+        let (fa, memo) = evaluated_analysis();
+        let bytes = image_of(&fa, &memo).to_bytes();
+        let err = SessionImage::<dai_domains::SignDomain>::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(m) if m.contains("domain")));
+    }
+
+    #[test]
+    fn restored_memo_entries_hit_a_fresh_table() {
+        let (fa, memo) = evaluated_analysis();
+        let (image, _) = SessionImage::<D>::from_bytes(&image_of(&fa, &memo).to_bytes()).unwrap();
+        let mut fresh: MemoTable<Value<D>> = MemoTable::new();
+        for (k, v) in image.memo {
+            fresh.record(k, v);
+        }
+        // Re-running the query over a fresh DAIG with the restored memo
+        // table must match memo entries instead of recomputing.
+        let cfg = lower_program(&parse_program(SRC).unwrap()).unwrap().cfgs()[0].clone();
+        let mut fa2 = FuncAnalysis::new(cfg, IntervalDomain::top());
+        let mut stats = QueryStats::default();
+        let out = fa2
+            .query_exit(&mut fresh, &mut IntraResolver, &mut stats)
+            .unwrap();
+        assert!(stats.memo_matched > 0, "warm memo must match: {stats:?}");
+        let mut cold_memo = MemoTable::new();
+        let cfg = lower_program(&parse_program(SRC).unwrap()).unwrap().cfgs()[0].clone();
+        let mut fa3 = FuncAnalysis::new(cfg, IntervalDomain::top());
+        let mut cold_stats = QueryStats::default();
+        let cold = fa3
+            .query_exit(&mut cold_memo, &mut IntraResolver, &mut cold_stats)
+            .unwrap();
+        assert_eq!(out, cold, "warm and cold answers agree");
+        assert!(
+            stats.computed < cold_stats.computed,
+            "warm start computes fewer cells ({} vs {})",
+            stats.computed,
+            cold_stats.computed
+        );
+    }
+}

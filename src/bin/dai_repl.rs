@@ -13,6 +13,8 @@
 //! dai> query main l3
 //! dai> relabel main e2 x = x + 10
 //! dai> splice main e4 if (x > 0) { y = 1; }
+//! dai> save session.daip
+//! dai> load session.daip
 //! dai> serve
 //! dai> stats
 //! dai> dot main
@@ -22,23 +24,34 @@
 //! `serve` routes the current program through the concurrent `dai-engine`:
 //! a session is opened over the program, every (function, location) query
 //! is submitted to the engine's request stream, answers are drained and
-//! printed (sorted), and the engine's own statistics follow. Analysis is
-//! intraprocedural per function (entry states from the domain's
-//! `entry_default`), which is the engine's session semantics.
+//! printed (sorted), and the engine's own statistics follow. By default
+//! the engine analyzes intraprocedurally per function (calls havoc); with
+//! `--resolver interproc` the engine sessions resolve calls by demanding
+//! callee exits under the REPL's context policy, so `serve` answers match
+//! `queryall`.
+//!
+//! `save PATH` persists the session — original source text plus the edit
+//! history — through `dai-persist`; `load PATH` replays such a snapshot
+//! (any snapshot the engine wrote works too: the REPL uses the required
+//! session header and lets the warm sections lapse, which is sound —
+//! caches rebuild on demand).
 //!
 //! Commands read from stdin, one per line; results go to stdout (errors to
 //! stderr, which keeps piped sessions scriptable — the integration tests
 //! drive the binary exactly that way).
 
 use dai_core::dot::{to_dot, DotOptions};
+use dai_core::driver::ProgramEdit;
 use dai_core::interproc::{ContextPolicy, InterAnalyzer};
+use dai_core::strategy::FixStrategy;
 use dai_core::Context;
 use dai_domains::{
     AbstractDomain, ConstDomain, IntervalDomain, OctagonDomain, ShapeDomain, SignDomain,
 };
-use dai_engine::{Engine, Request, Response, Ticket};
+use dai_engine::{Engine, EngineConfig, Request, ResolverChoice, Response, Ticket};
 use dai_lang::cfg::lower_program;
-use dai_lang::{EdgeId, Loc};
+use dai_lang::{EdgeId, Loc, Symbol};
+use dai_persist::{read_snapshot_file, write_snapshot_file, PersistDomain, SessionImage};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -46,6 +59,7 @@ fn main() {
     let mut domain = "interval".to_string();
     let mut policy = ContextPolicy::CallString(1);
     let mut threads: usize = 1;
+    let mut interproc_serve = false;
     let mut path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -71,8 +85,20 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--threads needs a positive number"));
             }
+            "--resolver" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("intra") => interproc_serve = false,
+                    Some("interproc") => interproc_serve = true,
+                    _ => die("--resolver takes intra|interproc"),
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: dai-repl [--domain interval|octagon|sign|const|shape] [--insensitive | --call-strings K] [--threads N] FILE");
+                println!(
+                    "usage: dai-repl [--domain interval|octagon|sign|const|shape] \
+                     [--insensitive | --call-strings K] [--threads N] \
+                     [--resolver intra|interproc] FILE"
+                );
                 return;
             }
             other => path = Some(other.to_string()),
@@ -85,11 +111,23 @@ fn main() {
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     match domain.as_str() {
-        "interval" => repl(&src, policy, threads, IntervalDomain::top()),
-        "octagon" => repl(&src, policy, threads, OctagonDomain::top()),
-        "sign" => repl(&src, policy, threads, SignDomain::top()),
-        "const" => repl(&src, policy, threads, ConstDomain::top()),
-        "shape" => repl(&src, policy, threads, ShapeDomain::top_state()),
+        "interval" => repl(
+            &src,
+            policy,
+            threads,
+            interproc_serve,
+            IntervalDomain::top(),
+        ),
+        "octagon" => repl(&src, policy, threads, interproc_serve, OctagonDomain::top()),
+        "sign" => repl(&src, policy, threads, interproc_serve, SignDomain::top()),
+        "const" => repl(&src, policy, threads, interproc_serve, ConstDomain::top()),
+        "shape" => repl(
+            &src,
+            policy,
+            threads,
+            interproc_serve,
+            ShapeDomain::top_state(),
+        ),
         other => die(&format!(
             "unknown domain `{other}` (interval|octagon|sign|const|shape)"
         )),
@@ -113,16 +151,26 @@ fn parse_edge(s: &str) -> Option<EdgeId> {
 /// `serve`: route every (function, location) query of the current program
 /// through a fresh `dai-engine` session, draining the answers from the
 /// concurrent request stream.
-fn serve_via_engine<D: AbstractDomain>(program: &dai_lang::cfg::LoweredProgram, threads: usize) {
-    // Make the semantic difference from `query`/`queryall` visible in the
-    // output itself: engine sessions analyze each function in isolation
-    // (calls havoc conservatively), so values can be wider than the
-    // interprocedural answers of the other commands.
-    println!(
-        "serve: intraprocedural per-function analysis (calls havoc; \
-         entry states are the domain's defaults)"
-    );
-    let engine: Engine<D> = Engine::new(threads);
+fn serve_via_engine<D: PersistDomain>(
+    program: &dai_lang::cfg::LoweredProgram,
+    threads: usize,
+    resolver: ResolverChoice,
+) {
+    match resolver {
+        ResolverChoice::Intra => println!(
+            "serve: intraprocedural per-function analysis (calls havoc; \
+             entry states are the domain's defaults)"
+        ),
+        ResolverChoice::Interproc { .. } => println!(
+            "serve: interprocedural analysis (calls demand callee exits; \
+             answers match queryall)"
+        ),
+    }
+    let engine: Engine<D> = Engine::with_config(EngineConfig {
+        workers: threads,
+        resolver,
+        ..EngineConfig::default()
+    });
     let session = engine.open_session("repl", program.clone());
     let mut targets: Vec<(String, Loc)> = Vec::new();
     for cfg in program.cfgs() {
@@ -161,25 +209,137 @@ fn serve_via_engine<D: AbstractDomain>(program: &dai_lang::cfg::LoweredProgram, 
     );
 }
 
-fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, threads: usize, phi0: D) {
-    let program = match dai_lang::parse_program(src)
-        .map_err(|e| e.to_string())
-        .and_then(|p| lower_program(&p).map_err(|e| e.to_string()))
+/// The REPL's replayable session state: the analyzer plus what persistence
+/// needs (original source, applied edits, construction parameters).
+struct ReplSession<D: AbstractDomain> {
+    analyzer: InterAnalyzer<D>,
+    source: String,
+    history: Vec<ProgramEdit>,
+    policy: ContextPolicy,
+    strategy: FixStrategy,
+    entry: String,
+    phi0: D,
+}
+
+impl<D: AbstractDomain> ReplSession<D> {
+    fn open(
+        source: &str,
+        policy: ContextPolicy,
+        strategy: FixStrategy,
+        phi0: D,
+    ) -> Result<ReplSession<D>, String> {
+        let program = dai_lang::parse_program(source)
+            .map_err(|e| e.to_string())
+            .and_then(|p| lower_program(&p).map_err(|e| e.to_string()))?;
+        let entry = program
+            .entry_cfg()
+            .ok_or_else(|| "program has no functions".to_string())?
+            .name()
+            .to_string();
+        Ok(ReplSession {
+            analyzer: InterAnalyzer::with_strategy(program, policy, &entry, phi0.clone(), strategy),
+            source: source.to_string(),
+            history: Vec::new(),
+            policy,
+            strategy,
+            entry,
+            phi0,
+        })
+    }
+
+    /// Replays a persisted edit onto the analyzer (used by `load`).
+    fn replay(&mut self, edit: &ProgramEdit) -> Result<(), String> {
+        match edit {
+            ProgramEdit::Relabel { func, edge, stmt } => self
+                .analyzer
+                .relabel(func.as_str(), *edge, stmt.clone())
+                .map_err(|e| e.to_string())?,
+            ProgramEdit::Insert { func, edge, block } => {
+                self.analyzer
+                    .splice(func.as_str(), *edge, block)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        self.history.push(edit.clone());
+        Ok(())
+    }
+}
+
+impl<D: PersistDomain> ReplSession<D> {
+    /// Persists source + edit history (a cold snapshot: the REPL's
+    /// interprocedural units rebuild on demand after a load, which is
+    /// sound — see `dai-persist`'s crate docs).
+    fn save(&self, path: &str) -> Result<usize, String> {
+        let image: SessionImage<D> = SessionImage {
+            name: "repl".to_string(),
+            domain: D::domain_tag(),
+            strategy: self.strategy,
+            policy: Some(self.policy),
+            source: self.source.clone(),
+            edits: self.history.clone(),
+            funcs: Vec::new(),
+            memo: Vec::new(),
+        };
+        let bytes = image.to_bytes();
+        write_snapshot_file(path, &bytes).map_err(|e| e.to_string())?;
+        Ok(bytes.len())
+    }
+
+    /// Restores a snapshot: parse the saved source, replay the saved edit
+    /// history, and swap the rebuilt session in. Returns the replayed
+    /// edit count and a note about dropped warm sections, if any.
+    fn load(&mut self, path: &str) -> Result<(usize, String), String> {
+        let bytes = read_snapshot_file(path).map_err(|e| e.to_string())?;
+        let (image, report) = SessionImage::<D>::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        // The snapshot's semantics travel with it: replaying under a
+        // different widening schedule or context-sensitivity policy would
+        // compute different invariants than the saved session, so both
+        // the saved strategy and the saved policy are honored (snapshots
+        // from intraprocedural engine sessions carry no policy and adopt
+        // the REPL's current one).
+        let policy = image.policy.unwrap_or(self.policy);
+        let mut fresh =
+            ReplSession::open(&image.source, policy, image.strategy, self.phi0.clone())?;
+        for edit in &image.edits {
+            fresh
+                .replay(edit)
+                .map_err(|e| format!("replaying edit: {e}"))?;
+        }
+        let mut note = if report.is_warm() || report.is_lossy() {
+            format!(" (warm sections not used by the repl: {report})")
+        } else {
+            String::new()
+        };
+        if policy != self.policy {
+            note.push_str(&format!(
+                " (session analyzes under its saved policy {policy:?}, \
+                 not this repl's {:?})",
+                self.policy
+            ));
+        }
+        let edits = fresh.history.len();
+        *self = fresh;
+        Ok((edits, note))
+    }
+}
+
+fn repl<D: PersistDomain>(
+    src: &str,
+    policy: ContextPolicy,
+    threads: usize,
+    interproc_serve: bool,
+    phi0: D,
+) {
+    let mut session: ReplSession<D> = match ReplSession::open(src, policy, FixStrategy::PAPER, phi0)
     {
-        Ok(p) => p,
+        Ok(s) => s,
         Err(e) => die(&e),
     };
-    let entry = if program.by_name("main").is_some() {
-        "main".to_string()
-    } else {
-        program.cfgs()[0].name().to_string()
-    };
-    let mut analyzer = InterAnalyzer::new(program, policy, &entry, phi0);
     println!(
-        "loaded {} function(s); entry `{entry}`; type `help`",
-        analyzer.program().cfgs().len()
+        "loaded {} function(s); entry `{}`; type `help`",
+        session.analyzer.program().cfgs().len(),
+        session.entry
     );
-
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -196,10 +356,21 @@ fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, threads: usize, phi
             continue;
         }
         let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        // Derived per command: `load` may have swapped in a session with
+        // a different saved policy, and `serve` must match the *current*
+        // session's queryall answers.
+        let serve_resolver = if interproc_serve {
+            ResolverChoice::Interproc {
+                policy: session.policy,
+            }
+        } else {
+            ResolverChoice::Intra
+        };
+        let analyzer = &mut session.analyzer;
         match cmd {
             "quit" | "exit" => break,
             "help" => print_help(),
-            "serve" => serve_via_engine::<D>(analyzer.program(), threads),
+            "serve" => serve_via_engine::<D>(analyzer.program(), threads, serve_resolver),
             "list" => {
                 for cfg in analyzer.program().cfgs() {
                     println!(
@@ -236,7 +407,7 @@ fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, threads: usize, phi
                 };
                 match analyzer.query_at(f, loc) {
                     Ok(results) if results.is_empty() => {
-                        println!("{f} unreachable from `{entry}`: ⊥ at {loc}");
+                        println!("{f} unreachable from `{}`: ⊥ at {loc}", session.entry);
                     }
                     Ok(results) => {
                         for (ctx, state) in results {
@@ -308,8 +479,15 @@ fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, threads: usize, phi
                                 continue;
                             }
                         };
-                        match analyzer.relabel(f, edge, stmt) {
-                            Ok(()) => println!("ok"),
+                        match analyzer.relabel(f, edge, stmt.clone()) {
+                            Ok(()) => {
+                                session.history.push(ProgramEdit::Relabel {
+                                    func: Symbol::new(f),
+                                    edge,
+                                    stmt,
+                                });
+                                println!("ok");
+                            }
                             Err(e) => eprintln!("relabel failed: {e}"),
                         }
                     }
@@ -331,14 +509,50 @@ fn repl<D: AbstractDomain>(src: &str, policy: ContextPolicy, threads: usize, phi
                 };
                 match dai_lang::parse_block(block_src) {
                     Ok(block) => match analyzer.splice(f, edge, &block) {
-                        Ok(info) => println!(
-                            "ok: +{} locations, +{} edges",
-                            info.new_locs.len(),
-                            info.new_edges.len()
-                        ),
+                        Ok(info) => {
+                            session.history.push(ProgramEdit::Insert {
+                                func: Symbol::new(f),
+                                edge,
+                                block,
+                            });
+                            println!(
+                                "ok: +{} locations, +{} edges",
+                                info.new_locs.len(),
+                                info.new_edges.len()
+                            );
+                        }
                         Err(e) => eprintln!("splice failed: {e}"),
                     },
                     Err(e) => eprintln!("parse error: {e}"),
+                }
+            }
+            "save" => {
+                let path = rest.trim();
+                if path.is_empty() {
+                    eprintln!("usage: save PATH");
+                    continue;
+                }
+                match session.save(path) {
+                    Ok(bytes) => println!(
+                        "saved {bytes} bytes to {path} (source + {} edit(s))",
+                        session.history.len()
+                    ),
+                    Err(e) => eprintln!("save failed: {e}"),
+                }
+            }
+            "load" => {
+                let path = rest.trim();
+                if path.is_empty() {
+                    eprintln!("usage: load PATH");
+                    continue;
+                }
+                match session.load(path) {
+                    Ok((edits, note)) => println!(
+                        "loaded {path}: {} function(s), {edits} edit(s) replayed; \
+                         caches cold (recomputation on demand is sound){note}",
+                        session.analyzer.program().cfgs().len()
+                    ),
+                    Err(e) => eprintln!("load failed: {e}"),
                 }
             }
             "stats" => {
@@ -385,8 +599,11 @@ fn print_help() {
   deadcode FN               locations proven unreachable (⊥ invariant)
   relabel FN eNN STMT       replace the statement on an edge
   splice FN eNN BLOCK       insert a block before an edge's statement
+  save PATH                 persist the session (source + edit history)
+  load PATH                 restore a saved session (replays the history)
   serve                     answer every (function, location) query through
-                            the concurrent engine (--threads N workers)
+                            the concurrent engine (--threads N workers,
+                            --resolver intra|interproc)
   stats                     query/memo work counters
   dot FN                    Graphviz export of FN's DAIG (root context)
   help | quit"

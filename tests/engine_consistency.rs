@@ -16,6 +16,7 @@ use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain};
 use dai_engine::{Engine, Request, Response, SessionId, Ticket};
 use dai_lang::cfg::lower_program;
 use dai_lang::{parse_program, Symbol};
+use dai_persist::PersistDomain;
 
 const SEED_PROGRAM: &str = "function main() { var x0 = 0; return x0; }";
 
@@ -26,7 +27,7 @@ fn initial_program() -> dai_lang::cfg::LoweredProgram {
 /// Runs one randomized edit/query script through an engine with `workers`
 /// workers, asserting every answer against the batch oracle; returns the
 /// full answer trace for cross-worker-count comparison.
-fn run_script<D: AbstractDomain>(workers: usize, seed: u64, steps: usize) -> Vec<D> {
+fn run_script<D: PersistDomain>(workers: usize, seed: u64, steps: usize) -> Vec<D> {
     let engine: Engine<D> = Engine::new(workers);
     let session = engine.open_session(format!("seed-{seed}"), initial_program());
     let mut gen = Workload::new(seed);

@@ -357,6 +357,7 @@ fn converged_query_walks_cone_once_despite_unrolls() {
         &mut fa,
         std::slice::from_ref(&exit),
         &memo,
+        &IntraResolver,
         &pool.handle(),
         &mut stats,
     )
@@ -372,6 +373,14 @@ fn converged_query_walks_cone_once_despite_unrolls() {
         stats.unrolls
     );
     // Re-evaluating the now-filled target walks nothing at all.
-    dai_engine::evaluate_targets(&mut fa, &[exit], &memo, &pool.handle(), &mut stats).unwrap();
+    dai_engine::evaluate_targets(
+        &mut fa,
+        &[exit],
+        &memo,
+        &IntraResolver,
+        &pool.handle(),
+        &mut stats,
+    )
+    .unwrap();
     assert_eq!(stats.cone_walks, 1);
 }

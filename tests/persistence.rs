@@ -1,0 +1,465 @@
+//! End-to-end persistence: save → restore → requery must agree with the
+//! never-persisted session — value-for-value on every query, and
+//! byte-for-byte on the deterministic DOT snapshot — while damaged or
+//! truncated snapshot files degrade to a (sound) cold start instead of
+//! erroring or panicking.
+//!
+//! Three layers of evidence:
+//!
+//! 1. a deterministic fig10-workload roundtrip (grow through the engine's
+//!    request stream, save, load into a fresh engine, full query sweep);
+//! 2. a property test over random edit histories, checking values *and*
+//!    DOT bytes against the live session;
+//! 3. adversarial files: corrupted `FUNC`/`MEMO` sections must load cold
+//!    with identical answers, a corrupted `SESS` section must fail
+//!    cleanly, and every truncation prefix must either fail cleanly or
+//!    restore a session that still answers identically.
+
+use dai_bench::workload::Workload;
+use dai_core::interproc::{ContextPolicy, InterAnalyzer};
+use dai_domains::{IntervalDomain, OctagonDomain};
+use dai_engine::{Engine, EngineConfig, EngineError, Request, ResolverChoice, Response, SessionId};
+use dai_lang::cfg::lower_program;
+use dai_lang::{parse_program, Loc, Symbol};
+use dai_persist::{PersistDomain, TAG_FUNC, TAG_SESSION};
+use proptest::prelude::*;
+
+type D = OctagonDomain;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dai-persistence-tests-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// Every `(function, location)` of the session's program, sorted.
+fn all_targets<P: PersistDomain>(engine: &Engine<P>, session: SessionId) -> Vec<(String, Loc)> {
+    let program = engine.program_of(session).expect("session open");
+    let mut targets = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    targets
+}
+
+fn sweep<P: PersistDomain>(
+    engine: &Engine<P>,
+    session: SessionId,
+    targets: &[(String, Loc)],
+) -> Vec<P> {
+    targets
+        .iter()
+        .map(|(f, loc)| engine.query(session, f, *loc).expect("query succeeds"))
+        .collect()
+}
+
+fn dot_snapshot<P: PersistDomain>(engine: &Engine<P>, session: SessionId) -> Vec<(String, String)> {
+    match engine.request(Request::Snapshot { session }).unwrap() {
+        Response::Snapshot(s) => s.functions,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// An engine + session, the sweep targets, and the live answers.
+type GrownSession = (Engine<D>, SessionId, Vec<(String, Loc)>, Vec<D>);
+
+/// Grows a saveable fig10 session through the request stream and fully
+/// sweeps it; returns the engine, session, targets, and live answers.
+fn grown_session(edits: usize, seed: u64) -> GrownSession {
+    let engine: Engine<D> = Engine::new(1);
+    let session = engine
+        .open_session_src("fig10", &Workload::initial_source())
+        .expect("workload source compiles");
+    let mut gen = Workload::new(seed);
+    for _ in 0..edits {
+        let program = engine.program_of(session).unwrap();
+        let edit = gen.next_edit(&program);
+        engine
+            .request(Request::Edit { session, edit })
+            .expect("edit applies");
+    }
+    let targets = all_targets(&engine, session);
+    let answers = sweep(&engine, session, &targets);
+    (engine, session, targets, answers)
+}
+
+fn save_to<P: PersistDomain>(engine: &Engine<P>, session: SessionId, path: &std::path::Path) {
+    match engine
+        .request(Request::Save {
+            session,
+            path: path.to_string_lossy().into_owned(),
+        })
+        .expect("save succeeds")
+    {
+        Response::Saved(outcome) => {
+            assert!(outcome.bytes > 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn load_from(
+    engine: &Engine<D>,
+    path: &std::path::Path,
+) -> Result<(SessionId, dai_engine::PersistOutcome), EngineError> {
+    match engine.request(Request::Load {
+        path: path.to_string_lossy().into_owned(),
+    })? {
+        Response::Loaded { session, outcome } => Ok((session, outcome)),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn fig10_roundtrip_restores_identical_answers_and_dot() {
+    let (engine, session, targets, live) = grown_session(12, 0xF16);
+    let path = scratch("fig10.daip");
+    save_to(&engine, session, &path);
+    let live_dot = dot_snapshot(&engine, session);
+    drop(engine);
+
+    let fresh: Engine<D> = Engine::new(1);
+    let (restored, outcome) = load_from(&fresh, &path).expect("load succeeds");
+    assert!(outcome.funcs > 0, "warm DAIGs restored: {outcome:?}");
+    assert!(outcome.memo_entries > 0, "memo restored: {outcome:?}");
+    assert_eq!(outcome.funcs_dropped, 0);
+    // The restored session must answer every query with the exact live
+    // value, without recomputing anything (pure Q-Reuse).
+    let before = fresh.stats().query_stats;
+    let answers = sweep(&fresh, restored, &targets);
+    assert_eq!(answers, live, "restored answers differ");
+    let after = fresh.stats().query_stats;
+    assert_eq!(
+        after.computed - before.computed,
+        0,
+        "warm restore recomputed"
+    );
+    // And the DOT export is byte-identical to the live session's.
+    assert_eq!(dot_snapshot(&fresh, restored), live_dot);
+}
+
+#[test]
+fn corrupted_func_and_memo_sections_degrade_to_cold_start() {
+    let (engine, session, targets, live) = grown_session(8, 0xC0);
+    let path = scratch("damaged.daip");
+    save_to(&engine, session, &path);
+    drop(engine);
+
+    // Flip one byte inside every FUNC and MEMO payload.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let positions: Vec<usize> = bytes
+        .windows(4)
+        .enumerate()
+        .filter(|(_, w)| *w == TAG_FUNC || *w == b"MEMO")
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!positions.is_empty());
+    for at in positions {
+        bytes[at + 24] ^= 0xA5;
+    }
+    let damaged = scratch("damaged_flipped.daip");
+    std::fs::write(&damaged, &bytes).unwrap();
+
+    let fresh: Engine<D> = Engine::new(1);
+    let (restored, outcome) = load_from(&fresh, &damaged).expect("lossy load still succeeds");
+    assert_eq!(outcome.funcs, 0, "every warm section dropped: {outcome:?}");
+    assert!(outcome.funcs_dropped > 0);
+    // Cold, but correct: requerying recomputes the identical answers.
+    let before = fresh.stats().query_stats;
+    let answers = sweep(&fresh, restored, &targets);
+    assert_eq!(answers, live, "cold restore answers differ");
+    let after = fresh.stats().query_stats;
+    assert!(
+        after.computed > before.computed,
+        "cold restore must recompute"
+    );
+}
+
+#[test]
+fn corrupted_session_header_fails_cleanly() {
+    let (engine, session, _, _) = grown_session(4, 0x5E55);
+    let path = scratch("badsess.daip");
+    save_to(&engine, session, &path);
+    drop(engine);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = bytes
+        .windows(4)
+        .position(|w| w == TAG_SESSION)
+        .expect("has SESS");
+    bytes[at + 16] ^= 0xFF;
+    let bad = scratch("badsess_flipped.daip");
+    std::fs::write(&bad, &bytes).unwrap();
+    let fresh: Engine<D> = Engine::new(1);
+    let err = load_from(&fresh, &bad).unwrap_err();
+    assert!(matches!(err, EngineError::Persist(_)), "{err}");
+    assert_eq!(fresh.stats().sessions, 0, "no half-restored session");
+}
+
+#[test]
+fn every_truncation_prefix_is_cold_start_or_clean_error() {
+    let (engine, session, targets, live) = grown_session(6, 0x7A);
+    let path = scratch("trunc.daip");
+    save_to(&engine, session, &path);
+    drop(engine);
+    let bytes = std::fs::read(&path).unwrap();
+    // Sample prefixes across the whole file (every byte would be slow with
+    // engine startup per cut; a stride still crosses every section
+    // boundary region).
+    let cuts: Vec<usize> = (0..bytes.len())
+        .step_by((bytes.len() / 97).max(1))
+        .chain([bytes.len() - 1, bytes.len() - 9, bytes.len() / 2])
+        .collect();
+    let trunc = scratch("trunc_cut.daip");
+    for cut in cuts {
+        std::fs::write(&trunc, &bytes[..cut]).unwrap();
+        let fresh: Engine<D> = Engine::new(1);
+        match load_from(&fresh, &trunc) {
+            Err(EngineError::Persist(_)) => {} // header or SESS gone: clean error
+            Err(other) => panic!("cut {cut}: unexpected error {other}"),
+            Ok((restored, _)) => {
+                // Whatever survived must still answer identically.
+                let answers = sweep(&fresh, restored, &targets);
+                assert_eq!(answers, live, "cut {cut}: truncated restore answers differ");
+            }
+        }
+    }
+}
+
+#[test]
+fn saving_a_sourceless_session_reports_not_replayable() {
+    let program =
+        lower_program(&parse_program("function main() { var x = 1; return x; }").unwrap()).unwrap();
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session("no-source", program);
+    let err = engine
+        .request(Request::Save {
+            session,
+            path: scratch("never.daip").to_string_lossy().into_owned(),
+        })
+        .unwrap_err();
+    assert!(matches!(err, EngineError::NotReplayable(_)), "{err}");
+}
+
+#[test]
+fn interproc_sessions_match_the_repl_analyzer() {
+    // The pluggable resolver: an engine configured with
+    // `ResolverChoice::Interproc` must answer exactly like the REPL's
+    // `InterAnalyzer` (same policy) — the ROADMAP's "serve matches the
+    // REPL's interprocedural answers".
+    let src = "function inc(x) { return x + 1; }
+               function main() { var a = 1; var b = inc(a); var i = 0;
+                                 while (i < b) { i = i + 1; } return i; }";
+    let policy = ContextPolicy::CallString(1);
+    let engine: Engine<IntervalDomain> = Engine::with_config(EngineConfig {
+        resolver: ResolverChoice::Interproc { policy },
+        ..EngineConfig::default()
+    });
+    let session = engine.open_session_src("interproc", src).unwrap();
+    let mut analyzer: InterAnalyzer<IntervalDomain> = InterAnalyzer::new(
+        lower_program(&parse_program(src).unwrap()).unwrap(),
+        policy,
+        "main",
+        IntervalDomain::top(),
+    );
+    for (f, loc) in all_targets(&engine, session) {
+        let engine_answer = engine.query(session, &f, loc).unwrap();
+        let repl_answer = analyzer.query_joined(&f, loc).unwrap();
+        assert_eq!(engine_answer, repl_answer, "{f} {loc}");
+    }
+    // Interprocedural effect is visible (not the havoc answer): b = 2.
+    let exit = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .exit();
+    let state = engine.query(session, "main", exit).unwrap();
+    assert_eq!(
+        state.interval_of("b"),
+        dai_domains::interval::Interval::constant(2)
+    );
+    // Edits route through the interprocedural units too.
+    let inc_edge = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("inc")
+        .unwrap()
+        .edges()
+        .find(|e| e.stmt.to_string().contains("__ret"))
+        .unwrap()
+        .id;
+    engine
+        .request(Request::Edit {
+            session,
+            edit: dai_core::ProgramEdit::Relabel {
+                func: Symbol::new("inc"),
+                edge: inc_edge,
+                stmt: dai_lang::Stmt::Assign(
+                    dai_lang::RETURN_VAR.into(),
+                    dai_lang::parse_expr("x + 10").unwrap(),
+                ),
+            },
+        })
+        .unwrap();
+    let after = engine.query(session, "main", exit).unwrap();
+    assert_eq!(
+        after.interval_of("b"),
+        dai_domains::interval::Interval::constant(11),
+        "editing the callee dirties the caller through the resolver"
+    );
+}
+
+#[test]
+fn snapshots_restore_under_their_saved_resolver_not_the_engines() {
+    // A snapshot's semantics travel with it: an Intra-saved warm snapshot
+    // loaded into an Interproc-configured engine restores as an *Intra*
+    // session (that is what was persisted), so its warm DAIGs install,
+    // its memo imports, and it answers exactly like the saved session —
+    // the engine's resolver config applies only to newly opened sessions.
+    let (engine, session, targets, live) = grown_session(4, 0xAB);
+    let path = scratch("cross-config.daip");
+    save_to(&engine, session, &path);
+    drop(engine);
+    let interproc: Engine<D> = Engine::with_config(EngineConfig {
+        resolver: ResolverChoice::Interproc {
+            policy: ContextPolicy::Insensitive,
+        },
+        ..EngineConfig::default()
+    });
+    let (restored, outcome) = match interproc
+        .request(Request::Load {
+            path: path.to_string_lossy().into_owned(),
+        })
+        .expect("load succeeds")
+    {
+        Response::Loaded { session, outcome } => (session, outcome),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(
+        outcome.funcs > 0,
+        "saved-resolver warm units install: {outcome:?}"
+    );
+    assert_eq!(outcome.funcs_dropped, 0, "{outcome:?}");
+    assert!(outcome.memo_entries > 0, "{outcome:?}");
+    assert_eq!(
+        sweep(&interproc, restored, &targets),
+        live,
+        "restored session answers like the session that was saved"
+    );
+    // A *new* session on the same engine still gets the engine's
+    // configured interprocedural resolver.
+    let fresh = interproc
+        .open_session_src("fresh", &Workload::initial_source())
+        .unwrap();
+    let snap = match interproc
+        .request(Request::Save {
+            session: fresh,
+            path: scratch("fresh-ip.daip").to_string_lossy().into_owned(),
+        })
+        .expect("save succeeds")
+    {
+        Response::Saved(outcome) => outcome,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(snap.funcs, 0, "interproc sessions snapshot cold");
+}
+
+#[test]
+fn interproc_save_restores_cold_with_identical_answers() {
+    let src = "function inc(x) { return x + 1; }
+               function main() { var a = 1; var b = inc(a); return b; }";
+    let policy = ContextPolicy::CallString(1);
+    let config = EngineConfig {
+        resolver: ResolverChoice::Interproc { policy },
+        ..EngineConfig::default()
+    };
+    let engine: Engine<IntervalDomain> = Engine::with_config(config);
+    let session = engine.open_session_src("ip", src).unwrap();
+    let targets = all_targets(&engine, session);
+    let live = sweep(&engine, session, &targets);
+    let path = scratch("interproc.daip");
+    save_to(&engine, session, &path);
+    drop(engine);
+    let fresh: Engine<IntervalDomain> = Engine::with_config(config);
+    let (restored, outcome) = load_from_iv(&fresh, &path);
+    assert_eq!(outcome.funcs, 0, "interproc restores cold");
+    assert_eq!(sweep(&fresh, restored, &targets), live);
+}
+
+fn load_from_iv(
+    engine: &Engine<IntervalDomain>,
+    path: &std::path::Path,
+) -> (SessionId, dai_engine::PersistOutcome) {
+    match engine
+        .request(Request::Load {
+            path: path.to_string_lossy().into_owned(),
+        })
+        .expect("load succeeds")
+    {
+        Response::Loaded { session, outcome } => (session, outcome),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property test: random edit histories roundtrip value-for-value and
+// DOT-byte-for-byte.
+// ---------------------------------------------------------------------
+
+fn run_random_roundtrip(seed: u64, edits: usize) {
+    let engine: Engine<D> = Engine::new(1);
+    let session = engine
+        .open_session_src(format!("prop-{seed}"), &Workload::initial_source())
+        .expect("workload source compiles");
+    let mut gen = Workload::new(seed);
+    // Random call-free structured edits at random edges of random
+    // functions (call-free keeps any edge a valid insertion point).
+    for _ in 0..edits {
+        let program = engine.program_of(session).unwrap();
+        let cfgs = program.cfgs();
+        let cfg = &cfgs[gen.pick_index(cfgs.len())];
+        let edges: Vec<_> = cfg.edges().map(|e| e.id).collect();
+        let edge = edges[gen.pick_index(edges.len())];
+        let func = cfg.name().clone();
+        let block = gen.random_block_no_calls();
+        engine
+            .request(Request::Edit {
+                session,
+                edit: dai_core::ProgramEdit::Insert { func, edge, block },
+            })
+            .expect("edit applies");
+    }
+    let targets = all_targets(&engine, session);
+    let live = sweep(&engine, session, &targets);
+    let live_dot = dot_snapshot(&engine, session);
+    let path = scratch(&format!("prop-{seed}.daip"));
+    save_to(&engine, session, &path);
+    drop(engine);
+
+    let fresh: Engine<D> = Engine::new(1);
+    let (restored, outcome) = load_from(&fresh, &path).expect("load succeeds");
+    assert_eq!(outcome.funcs_dropped, 0, "intact file drops nothing");
+    let answers = sweep(&fresh, restored, &targets);
+    assert_eq!(answers, live, "seed {seed}: value mismatch after restore");
+    assert_eq!(
+        dot_snapshot(&fresh, restored),
+        live_dot,
+        "seed {seed}: DOT mismatch after restore"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    #[test]
+    fn save_restore_requery_agrees_with_live_session(seed in 0u64..100_000) {
+        run_random_roundtrip(seed, 6);
+    }
+}

@@ -197,6 +197,78 @@ fn serve_results_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn save_then_load_replays_the_edit_history() {
+    let dir = std::env::temp_dir().join(format!("dai-repl-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("session.daip");
+    let snap_str = snap.to_string_lossy().into_owned();
+    // Find the `a = 1` edge, relabel it, save, load, and requery: the
+    // loaded session must reflect the replayed edit.
+    let (cfg_out, _) = run_repl(PROGRAM, &[], "cfg main\nquit\n");
+    let edge = cfg_out
+        .lines()
+        .find(|l| l.contains("a = 1"))
+        .and_then(|l| l.split(':').next())
+        .map(|s| s.trim().trim_start_matches("dai> ").to_string())
+        .expect("a = 1 edge");
+    let script = format!(
+        "relabel main {edge} a = 40\nsave {snap_str}\nload {snap_str}\nqueryall main\nquit\n"
+    );
+    let (stdout, stderr) = run_repl(PROGRAM, &[], &script);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    assert!(stdout.contains("saved "), "{stdout}");
+    assert!(stdout.contains("1 edit(s) replayed"), "{stdout}");
+    // a = 40 ⇒ b = 41 in the *restored* session.
+    assert!(stdout.contains("b: [41, 41]"), "{stdout}");
+}
+
+#[test]
+fn load_missing_or_garbage_file_reports_cleanly() {
+    let dir = std::env::temp_dir().join(format!("dai-repl-garbage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let garbage = dir.join("garbage.daip");
+    std::fs::write(&garbage, b"this is not a snapshot").unwrap();
+    let script = format!(
+        "load {}\nload {}\nqueryall main\nquit\n",
+        dir.join("missing.daip").to_string_lossy(),
+        garbage.to_string_lossy()
+    );
+    let (stdout, stderr) = run_repl(PROGRAM, &[], &script);
+    assert!(stderr.matches("load failed").count() == 2, "{stderr}");
+    // The live session survives both failed loads.
+    assert!(stdout.contains("b: [2, 2]"), "{stdout}");
+}
+
+#[test]
+fn interproc_serve_matches_queryall() {
+    // `serve --resolver interproc` must print the interprocedural values
+    // (b = inc(1) = 2), not the intraprocedural havoc.
+    let (stdout, stderr) = run_repl(PROGRAM, &["--resolver", "interproc"], "serve\nquit\n");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    assert!(stdout.contains("answers match queryall"), "{stdout}");
+    let serve_states: Vec<String> = stdout
+        .lines()
+        .filter_map(|l| {
+            l.trim_start_matches("dai> ")
+                .strip_prefix("main ")
+                .map(str::to_string)
+        })
+        .collect();
+    assert!(!serve_states.is_empty(), "{stdout}");
+    let (qa_out, _) = run_repl(PROGRAM, &[], "queryall main\nquit\n");
+    for line in qa_out.lines().map(|l| l.trim_start_matches("dai> ")) {
+        if let Some((loc, _)) = line.split_once(": ") {
+            if loc.starts_with('l') {
+                assert!(
+                    serve_states.iter().any(|s| s == line),
+                    "queryall line `{line}` missing from interproc serve:\n{stdout}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn deadcode_reports_unreachable_branch() {
     let program = r#"
 function main() {

@@ -1,0 +1,442 @@
+//! Batched vs sequential query dispatch behind `BENCH_batch.json`.
+//!
+//! The engine's query coalescing answers every concurrently pending query
+//! against one `(session, function)` from a single union demanded-cone
+//! evaluation under a single session-lock acquisition, instead of one
+//! lock round-trip (and one cone) per query. This harness quantifies
+//! that on the Fig. 10 synthetic octagon workload: a session is grown by
+//! random edits, and the full `(function × location)` sweep is then
+//! measured two ways on fresh, identically grown engines:
+//!
+//! * **sequential** — one synchronous `Request::Query` at a time: every
+//!   query is its own drain, so the sweep takes one session-lock
+//!   acquisition *per query* and coalesces nothing (the pre-batching
+//!   dispatch);
+//! * **batched** — one coalesced batch per function through
+//!   `Engine::submit_query_batch`: one session-lock acquisition and (on
+//!   a cold session) exactly one union-cone traversal per function.
+//!
+//! Each variant runs a **cold** sweep (fresh DAIGs — dominated by
+//! analysis work) and `repeats` **warm** sweeps (everything answered from
+//! per-epoch resolved caches — dominated by dispatch overhead, which is
+//! where batching shows up in wall-clock). Wall-clock is noisy on shared
+//! hosts, so the CI gate (`check_invariants`) asserts only the
+//! deterministic counters: identical answers, strictly fewer lock
+//! acquisitions batched than sequential, one union-cone traversal per
+//! cold coalesced batch, and consistent `BatchStats` accounting.
+
+use dai_core::driver::ProgramEdit;
+use dai_domains::OctagonDomain;
+use dai_engine::{BatchStats, Engine, Request, SessionId, Ticket};
+use dai_lang::Loc;
+use std::time::{Duration, Instant};
+
+use crate::workload::Workload;
+
+type D = OctagonDomain;
+
+/// Parameters of one batching measurement.
+#[derive(Debug, Clone)]
+pub struct BatchBenchParams {
+    /// Random edits growing the session before the sweeps.
+    pub grow_edits: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Warm-sweep repetitions per variant (medians reported).
+    pub repeats: usize,
+}
+
+impl BatchBenchParams {
+    /// The recording profile (matches the other Fig. 10 engine baselines).
+    pub fn full() -> BatchBenchParams {
+        BatchBenchParams {
+            grow_edits: 40,
+            seed: 379422,
+            repeats: 7,
+        }
+    }
+
+    /// A seconds-scale profile for CI smoke runs.
+    pub fn smoke() -> BatchBenchParams {
+        BatchBenchParams {
+            grow_edits: 8,
+            seed: 379422,
+            repeats: 3,
+        }
+    }
+}
+
+/// Deterministic dispatch counters of one sweep (deltas of
+/// `EngineStats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepCounters {
+    /// Queries answered.
+    pub queries: u64,
+    /// Session-lock acquisitions taken.
+    pub session_locks: u64,
+    /// Coalescing counters (batches, members, singletons, union cones).
+    pub batch: BatchStats,
+}
+
+/// One variant's measurement.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Queries per sweep.
+    pub queries: usize,
+    /// Wall-clock of the cold sweep.
+    pub cold: Duration,
+    /// Median wall-clock of the warm sweeps.
+    pub warm_median: Duration,
+    /// Counter deltas of the cold sweep.
+    pub cold_counters: SweepCounters,
+    /// Counter deltas summed over all warm sweeps.
+    pub warm_counters: SweepCounters,
+}
+
+impl VariantResult {
+    /// Warm-sweep throughput (queries per second) from the median sweep.
+    pub fn warm_qps(&self) -> f64 {
+        self.queries as f64 / self.warm_median.as_secs_f64().max(1e-12)
+    }
+}
+
+/// A complete sequential-vs-batched comparison.
+#[derive(Debug, Clone)]
+pub struct BatchBenchResult {
+    /// `available_parallelism` at measurement time.
+    pub host_cpus: usize,
+    /// Functions in the sweep (one coalesced batch each).
+    pub functions: usize,
+    /// The sequential (one-lock-per-query) dispatch.
+    pub sequential: VariantResult,
+    /// The coalesced (one-lock-per-function) dispatch.
+    pub batched: VariantResult,
+    /// Every sweep of both variants answered every query identically.
+    pub answers_identical: bool,
+}
+
+fn grow(engine: &Engine<D>, session: SessionId, seed: u64, edits: usize) {
+    let mut gen = Workload::new(seed);
+    for _ in 0..edits {
+        let program = engine.program_of(session).expect("session open");
+        let edit: ProgramEdit = gen.next_edit(&program);
+        engine
+            .request(Request::Edit { session, edit })
+            .expect("bench edit applies");
+    }
+}
+
+fn targets_of(engine: &Engine<D>, session: SessionId) -> Vec<(String, Loc)> {
+    let program = engine.program_of(session).expect("session open");
+    let mut targets = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    targets
+}
+
+/// A freshly grown engine + session plus the sweep targets.
+fn build(params: &BatchBenchParams) -> (Engine<D>, SessionId, Vec<(String, Loc)>) {
+    let engine: Engine<D> = Engine::new(1);
+    let session = engine.open_session("batch-bench", Workload::initial_program());
+    grow(&engine, session, params.seed, params.grow_edits);
+    let targets = targets_of(&engine, session);
+    (engine, session, targets)
+}
+
+fn counters_delta(engine: &Engine<D>, before: &dai_engine::EngineStats) -> SweepCounters {
+    let after = engine.stats();
+    SweepCounters {
+        queries: after.queries - before.queries,
+        session_locks: after.session_locks - before.session_locks,
+        batch: BatchStats {
+            batches: after.batch.batches - before.batch.batches,
+            coalesced_queries: after.batch.coalesced_queries - before.batch.coalesced_queries,
+            singleton_queries: after.batch.singleton_queries - before.batch.singleton_queries,
+            union_cone_cells: after.batch.union_cone_cells - before.batch.union_cone_cells,
+            union_cone_walks: after.batch.union_cone_walks - before.batch.union_cone_walks,
+        },
+    }
+}
+
+/// One sequential sweep: synchronous queries, one at a time, in target
+/// order — every query is its own singleton drain.
+fn sweep_sequential(
+    engine: &Engine<D>,
+    session: SessionId,
+    targets: &[(String, Loc)],
+) -> (Duration, Vec<D>) {
+    let t0 = Instant::now();
+    let answers = targets
+        .iter()
+        .map(|(f, loc)| {
+            engine
+                .query(session, f, *loc)
+                .expect("bench query succeeds")
+        })
+        .collect();
+    (t0.elapsed(), answers)
+}
+
+/// One batched sweep: one deliberate coalesced batch per function
+/// (targets are sorted, so functions are contiguous).
+fn sweep_batched(
+    engine: &Engine<D>,
+    session: SessionId,
+    targets: &[(String, Loc)],
+) -> (Duration, Vec<D>) {
+    let t0 = Instant::now();
+    let tickets = engine.submit_query_sweep(session, targets);
+    let answers = Ticket::wait_all(tickets)
+        .expect("bench queries succeed")
+        .into_iter()
+        .map(|r| r.into_state().expect("query response"))
+        .collect();
+    (t0.elapsed(), answers)
+}
+
+fn median(mut v: Vec<Duration>) -> Duration {
+    v.sort();
+    v[v.len() / 2]
+}
+
+/// Runs the full comparison.
+pub fn run_batch_bench(params: &BatchBenchParams) -> BatchBenchResult {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut answers_identical = true;
+    let mut reference: Option<Vec<D>> = None;
+
+    let mut measure = |batched: bool| -> (VariantResult, usize) {
+        let (engine, session, targets) = build(params);
+        let sweep = |eng: &Engine<D>, s: SessionId, t: &[(String, Loc)]| {
+            if batched {
+                sweep_batched(eng, s, t)
+            } else {
+                sweep_sequential(eng, s, t)
+            }
+        };
+        let functions = {
+            let mut fs: Vec<&String> = targets.iter().map(|(f, _)| f).collect();
+            fs.dedup();
+            fs.len()
+        };
+        let before = engine.stats();
+        let (cold, answers) = sweep(&engine, session, &targets);
+        let cold_counters = counters_delta(&engine, &before);
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => answers_identical &= *r == answers,
+        }
+        let mut warm = Vec::with_capacity(params.repeats.max(1));
+        let before = engine.stats();
+        for _ in 0..params.repeats.max(1) {
+            let (dt, answers) = sweep(&engine, session, &targets);
+            answers_identical &= reference.as_ref() == Some(&answers);
+            warm.push(dt);
+        }
+        let warm_counters = counters_delta(&engine, &before);
+        (
+            VariantResult {
+                queries: targets.len(),
+                cold,
+                warm_median: median(warm),
+                cold_counters,
+                warm_counters,
+            },
+            functions,
+        )
+    };
+
+    let (sequential, functions) = measure(false);
+    let (batched, _) = measure(true);
+    BatchBenchResult {
+        host_cpus,
+        functions,
+        sequential,
+        batched,
+        answers_identical,
+    }
+}
+
+/// The invariants the acceptance gate (and CI) assert, independent of
+/// timing noise.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn check_invariants(r: &BatchBenchResult) -> Result<(), String> {
+    if !r.answers_identical {
+        return Err("batched sweep answered differently from the sequential sweep".to_string());
+    }
+    let seq = &r.sequential.cold_counters;
+    let bat = &r.batched.cold_counters;
+    if bat.session_locks >= seq.session_locks {
+        return Err(format!(
+            "batched sweep did not reduce lock acquisitions: {} >= {}",
+            bat.session_locks, seq.session_locks
+        ));
+    }
+    if seq.batch.coalesced_queries != 0 {
+        return Err(format!(
+            "sequential (synchronous) sweep unexpectedly coalesced {} queries",
+            seq.batch.coalesced_queries
+        ));
+    }
+    if seq.batch.singleton_queries != seq.queries {
+        return Err(format!(
+            "sequential sweep accounting broken: {} singletons for {} queries",
+            seq.batch.singleton_queries, seq.queries
+        ));
+    }
+    if bat.batch.coalesced_queries + bat.batch.singleton_queries != bat.queries {
+        return Err(format!(
+            "batched sweep accounting broken: {} coalesced + {} singleton != {} queries",
+            bat.batch.coalesced_queries, bat.batch.singleton_queries, bat.queries
+        ));
+    }
+    if bat.batch.batches != r.functions as u64 {
+        return Err(format!(
+            "expected one coalesced batch per function: {} batches for {} functions",
+            bat.batch.batches, r.functions
+        ));
+    }
+    if bat.session_locks != bat.batch.batches {
+        return Err(format!(
+            "a coalesced batch must take exactly one session lock: {} locks for {} batches",
+            bat.session_locks, bat.batch.batches
+        ));
+    }
+    if bat.batch.union_cone_walks != bat.batch.batches {
+        return Err(format!(
+            "a cold coalesced batch must traverse exactly one union cone: \
+             {} walks for {} batches",
+            bat.batch.union_cone_walks, bat.batch.batches
+        ));
+    }
+    let warm = &r.batched.warm_counters;
+    if warm.batch.union_cone_walks != 0 {
+        return Err(format!(
+            "warm coalesced sweeps must answer without cone traversals, saw {}",
+            warm.batch.union_cone_walks
+        ));
+    }
+    Ok(())
+}
+
+fn counters_json(c: &SweepCounters) -> String {
+    format!(
+        "{{\"queries\": {}, \"session_locks\": {}, \"batches\": {}, \
+         \"coalesced_queries\": {}, \"singleton_queries\": {}, \
+         \"union_cone_cells\": {}, \"union_cone_walks\": {}}}",
+        c.queries,
+        c.session_locks,
+        c.batch.batches,
+        c.batch.coalesced_queries,
+        c.batch.singleton_queries,
+        c.batch.union_cone_cells,
+        c.batch.union_cone_walks
+    )
+}
+
+fn variant_json(v: &VariantResult) -> String {
+    format!(
+        "{{\n    \"queries\": {}, \"cold_ms\": {:.3}, \"warm_ms_median\": {:.3}, \
+         \"warm_qps_median\": {:.1},\n    \"cold_counters\": {},\n    \"warm_counters\": {}\n  }}",
+        v.queries,
+        v.cold.as_secs_f64() * 1e3,
+        v.warm_median.as_secs_f64() * 1e3,
+        v.warm_qps(),
+        counters_json(&v.cold_counters),
+        counters_json(&v.warm_counters)
+    )
+}
+
+/// Renders the JSON artifact (hand-rolled; the workspace is offline).
+pub fn to_json(profile: &str, params: &BatchBenchParams, r: &BatchBenchResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"batch\",\n");
+    s.push_str("  \"workload\": \"fig10_synthetic_octagon\",\n");
+    s.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    s.push_str(&format!("  \"host_cpus\": {},\n", r.host_cpus));
+    s.push_str("  \"host_cpus_provenance\": \"available_parallelism at measurement time\",\n");
+    s.push_str(&format!(
+        "  \"grow_edits\": {}, \"seed\": {}, \"repeats\": {},\n",
+        params.grow_edits, params.seed, params.repeats
+    ));
+    s.push_str(&format!("  \"functions\": {},\n", r.functions));
+    s.push_str(&format!(
+        "  \"sequential\": {},\n",
+        variant_json(&r.sequential)
+    ));
+    s.push_str(&format!("  \"batched\": {},\n", variant_json(&r.batched)));
+    s.push_str(&format!(
+        "  \"lock_ratio_batched_vs_sequential\": {:.4},\n",
+        r.batched.cold_counters.session_locks as f64
+            / (r.sequential.cold_counters.session_locks as f64).max(1.0)
+    ));
+    s.push_str(&format!(
+        "  \"warm_qps_ratio_batched_vs_sequential\": {:.4},\n",
+        r.batched.warm_qps() / r.sequential.warm_qps().max(1e-12)
+    ));
+    s.push_str(&format!(
+        "  \"answers_identical\": {}\n",
+        r.answers_identical
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Validates a committed `BENCH_batch.json` (required fields present and
+/// the recorded invariants hold).
+///
+/// # Errors
+///
+/// A human-readable description of the first problem.
+pub fn validate_artifact(json: &str) -> Result<(), String> {
+    for field in [
+        "\"bench\": \"batch\"",
+        "\"workload\"",
+        "\"host_cpus\"",
+        "\"functions\"",
+        "\"sequential\"",
+        "\"batched\"",
+        "\"session_locks\"",
+        "\"union_cone_cells\"",
+        "\"union_cone_walks\"",
+        "\"lock_ratio_batched_vs_sequential\"",
+        "\"answers_identical\": true",
+    ] {
+        if !json.contains(field) {
+            return Err(format!("BENCH_batch.json is missing {field}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_batching_beats_sequential_on_locks_and_agrees() {
+        let params = BatchBenchParams {
+            grow_edits: 4,
+            seed: 7,
+            repeats: 1,
+        };
+        let r = run_batch_bench(&params);
+        check_invariants(&r).unwrap();
+        assert!(r.functions >= 2, "fig10 workload has several functions");
+        assert!(
+            r.batched.cold_counters.batch.union_cone_cells > 0,
+            "cold batches load union cones"
+        );
+        let json = to_json("smoke", &params, &r);
+        validate_artifact(&json).unwrap();
+    }
+}

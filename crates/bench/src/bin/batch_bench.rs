@@ -1,0 +1,114 @@
+//! Records the query-batching baseline (`BENCH_batch.json`) and serves as
+//! the CI coalescing gate for `dai-engine`.
+//!
+//! ```text
+//! $ cargo run --release --bin batch_bench -- --out BENCH_batch.json
+//! $ cargo run --release --bin batch_bench -- --profile smoke
+//! $ cargo run --release --bin batch_bench -- --check BENCH_batch.json
+//! ```
+//!
+//! `--check` validates the committed artifact's fields, then re-runs the
+//! smoke profile and asserts the count-based invariants: identical
+//! answers batched vs sequential, strictly fewer session-lock
+//! acquisitions batched, exactly one lock and one union-cone traversal
+//! per cold coalesced batch — deterministic counters, so shared-runner
+//! timing noise cannot flake the gate.
+
+use dai_bench::batch_bench::{
+    check_invariants, run_batch_bench, to_json, validate_artifact, BatchBenchParams,
+    BatchBenchResult,
+};
+
+fn main() {
+    let mut profile = "full".to_string();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                profile = args
+                    .next()
+                    .filter(|p| p == "full" || p == "smoke")
+                    .unwrap_or_else(|| die("--profile takes full|smoke"));
+            }
+            "--out" => out_path = args.next(),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| die("--check FILE"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: batch_bench [--profile full|smoke] [--out FILE.json] \
+                     [--check BENCH_batch.json]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        validate_artifact(&committed).unwrap_or_else(|e| die(&e));
+        println!("{path}: all required fields present");
+        // The live gate: a fresh smoke comparison must answer identically
+        // and take strictly fewer locks batched than sequential.
+        let r = run_batch_bench(&BatchBenchParams::smoke());
+        check_invariants(&r).unwrap_or_else(|e| die(&e));
+        println!(
+            "coalescing ok: answers identical; locks {} batched vs {} sequential \
+             ({} batches, {} union-cone walks)",
+            r.batched.cold_counters.session_locks,
+            r.sequential.cold_counters.session_locks,
+            r.batched.cold_counters.batch.batches,
+            r.batched.cold_counters.batch.union_cone_walks,
+        );
+        return;
+    }
+
+    let params = match profile.as_str() {
+        "smoke" => BatchBenchParams::smoke(),
+        _ => BatchBenchParams::full(),
+    };
+    let r = run_batch_bench(&params);
+    check_invariants(&r).unwrap_or_else(|e| die(&e));
+    print_table(&r);
+    if let Some(path) = out_path {
+        let json = to_json(&profile, &params, &r);
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("baseline written to {path}");
+    }
+}
+
+fn print_table(r: &BatchBenchResult) {
+    println!(
+        "batch_bench (Fig. 10 workload, octagon) — host_cpus {}, {} functions, {} queries/sweep",
+        r.host_cpus, r.functions, r.sequential.queries
+    );
+    println!(
+        "{:>11} {:>12} {:>14} {:>13} {:>8} {:>11} {:>11}",
+        "variant", "cold", "warm(median)", "warm qps", "locks", "batches", "cone walks"
+    );
+    for (label, v) in [("sequential", &r.sequential), ("batched", &r.batched)] {
+        println!(
+            "{:>11} {:>12.3?} {:>14.3?} {:>13.1} {:>8} {:>11} {:>11}",
+            label,
+            v.cold,
+            v.warm_median,
+            v.warm_qps(),
+            v.cold_counters.session_locks,
+            v.cold_counters.batch.batches,
+            v.cold_counters.batch.union_cone_walks,
+        );
+    }
+    println!(
+        "batched takes {:.1}% of sequential's lock acquisitions; answers identical: {}",
+        100.0 * r.batched.cold_counters.session_locks as f64
+            / (r.sequential.cold_counters.session_locks as f64).max(1.0),
+        r.answers_identical
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("batch_bench: {msg}");
+    std::process::exit(2)
+}

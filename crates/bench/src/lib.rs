@@ -19,8 +19,14 @@
 //!   measurement time);
 //! * [`persist_bench`] — cold-start vs warm-start restore comparison for
 //!   the `dai-persist` snapshot subsystem (the `persist_bench` binary
-//!   records `BENCH_persist.json` and doubles as the CI roundtrip gate).
+//!   records `BENCH_persist.json` and doubles as the CI roundtrip gate);
+//! * [`batch_bench`] — batched (coalesced) vs sequential query dispatch
+//!   on the Fig. 10 sweep (the `batch_bench` binary records
+//!   `BENCH_batch.json` and is the CI coalescing gate: identical answers,
+//!   strictly fewer session-lock acquisitions, one union-cone traversal
+//!   per cold coalesced batch).
 
+pub mod batch_bench;
 pub mod buckets;
 pub mod daig_bench;
 pub mod engine_scaling;

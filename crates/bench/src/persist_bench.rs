@@ -127,19 +127,13 @@ fn targets_of(engine: &Engine<D>, session: SessionId) -> Vec<(String, Loc)> {
     targets
 }
 
-/// One timed sweep; returns the answers in target order.
+/// One timed sweep; returns the answers in target order. The sweep goes
+/// out through the engine's batch path — one coalesced query batch (one
+/// session-lock acquisition, one union-cone evaluation) per function —
+/// exactly like the REPL's `serve`.
 fn sweep(engine: &Engine<D>, session: SessionId, targets: &[(String, Loc)]) -> (Duration, Vec<D>) {
     let t0 = Instant::now();
-    let tickets: Vec<Ticket<D>> = targets
-        .iter()
-        .map(|(f, loc)| {
-            engine.submit(Request::Query {
-                session,
-                func: f.clone(),
-                loc: *loc,
-            })
-        })
-        .collect();
+    let tickets = engine.submit_query_sweep(session, targets);
     let answers = Ticket::wait_all(tickets)
         .expect("bench queries succeed")
         .into_iter()

@@ -359,6 +359,65 @@ impl<D: AbstractDomain> FuncAnalysis<D> {
 ///
 /// [`DaigError::NoSuchCell`] if `loc` has no cell in the resolved
 /// iteration context; otherwise whatever `demand` reports.
+/// One non-evaluating step of the fix-chain walk: either `loc`'s
+/// fixed-point-consistent cell is resolvable right now (every enclosing
+/// loop's fixed point is already converged), or the walk is blocked on
+/// the outermost *unconverged* fix cell, which the caller must demand
+/// before retrying.
+///
+/// This is the batching counterpart of [`resolve_loc_cell`]: where the
+/// demanding walk evaluates each enclosing fixed point as it descends,
+/// the frontier form lets a scheduler collect the blocking fix cells of
+/// *many* locations first and demand them in one union-cone evaluation
+/// (`dai_engine`'s coalesced query batches do exactly that).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocResolution {
+    /// The fixed-point-consistent cell at the queried location.
+    Resolved(Name),
+    /// The outermost enclosing fix cell that has not converged yet; the
+    /// caller must demand it (filling it) and retry the walk.
+    NeedsFix(Name),
+}
+
+/// Walks `loc`'s enclosing-loop chain without demanding anything; see
+/// [`LocResolution`].
+///
+/// # Errors
+///
+/// [`DaigError::NoSuchCell`] if the fully resolved location cell is not in
+/// the DAIG; [`DaigError::Invariant`] if the chain structure is broken.
+pub fn resolve_loc_frontier<D: AbstractDomain>(
+    fa: &FuncAnalysis<D>,
+    loc: Loc,
+) -> Result<LocResolution, DaigError> {
+    let chain = fa.cfg.enclosing_loops(loc);
+    let mut sigma = IterCtx::root();
+    for h in chain {
+        let fix_cell = Name::State {
+            loc: h,
+            ctx: sigma.clone(),
+        };
+        let comp = fa
+            .daig
+            .comp(&fix_cell)
+            .ok_or_else(|| DaigError::Invariant(format!("loop head {h} has no fix computation")))?;
+        if fa.daig.value(&fix_cell).is_none() {
+            return Ok(LocResolution::NeedsFix(fix_cell));
+        }
+        let (hd, k_prev) = comp.srcs[0]
+            .ctx()
+            .and_then(|c| c.last())
+            .ok_or_else(|| DaigError::Invariant(format!("bad fix source at {h}")))?;
+        debug_assert_eq!(hd, h);
+        sigma = sigma.push(h, k_prev);
+    }
+    let name = Name::State { loc, ctx: sigma };
+    if !fa.daig.contains(&name) {
+        return Err(DaigError::NoSuchCell(name.to_string()));
+    }
+    Ok(LocResolution::Resolved(name))
+}
+
 pub fn resolve_loc_cell<D, F>(
     fa: &mut FuncAnalysis<D>,
     loc: Loc,

@@ -99,6 +99,13 @@ pub struct QueryStats {
     /// no matter how many times loops unroll; the sequential stack
     /// evaluator never counts it.
     pub cone_walks: u64,
+    /// Cells loaded into a cone-maintaining scheduler's missing-input
+    /// table (initial traversal plus unroll splices). For a multi-target
+    /// evaluation this is the size of the *union* cone, which is what
+    /// makes query coalescing measurable: a batch's union cone is at most
+    /// as large as the sum of its members' solo cones. The sequential
+    /// stack evaluator never counts it.
+    pub cone_cells: u64,
 }
 
 impl QueryStats {
@@ -110,6 +117,7 @@ impl QueryStats {
         self.unrolls += other.unrolls;
         self.fix_converged += other.fix_converged;
         self.cone_walks += other.cone_walks;
+        self.cone_cells += other.cone_cells;
     }
 
     /// The work between an `earlier` cumulative reading and this one
@@ -125,6 +133,7 @@ impl QueryStats {
             unrolls,
             fix_converged,
             cone_walks,
+            cone_cells,
         } = *self;
         QueryStats {
             computed: computed - earlier.computed,
@@ -133,6 +142,7 @@ impl QueryStats {
             unrolls: unrolls - earlier.unrolls,
             fix_converged: fix_converged - earlier.fix_converged,
             cone_walks: cone_walks - earlier.cone_walks,
+            cone_cells: cone_cells - earlier.cone_cells,
         }
     }
 }

@@ -14,7 +14,28 @@
 //! * **requests** are submitted with [`Engine::submit`] (returning a
 //!   [`Ticket`]) or synchronously with [`Engine::request`]; workers pull
 //!   them FIFO and run them to completion, fanning per-frontier cell
-//!   batches back onto the pool (see [`crate::scheduler`]).
+//!   batches back onto the pool (see [`crate::scheduler`]);
+//! * **queries coalesce**: concurrently pending `Request::Query`s against
+//!   the same `(session, function)` are collected in a pending queue and
+//!   answered by one *leader* job, which drains them under a **single**
+//!   session-lock acquisition and evaluates one **union** demanded cone
+//!   for the whole batch ([`crate::session::Session::query_locs`]).
+//!   [`Engine::submit_query_batch`] submits a sweep as one deliberate
+//!   batch; [`BatchStats`] counts what coalescing saved.
+//!
+//! ## Edit fencing
+//!
+//! Coalescing must not reorder a query past a mutation that was submitted
+//! before it: a query enqueued *after* an `Edit` (or a `Load`) was
+//! submitted must never be answered from pre-edit state. Every `Edit`
+//! bumps its session's fence (and every `Load` the engine-global fence)
+//! at **submit** time; queries are stamped with the fence values they
+//! were enqueued under, and a draining leader only takes members whose
+//! stamps are covered by the fences already **applied**. Later-stamped
+//! members stay pending — the batch *splits* at the fence — and the
+//! fencing request re-kicks them once it completes (success or failure;
+//! a failed edit still advances the fence, which is sound because it
+//! changed nothing).
 
 use dai_core::driver::ProgramEdit;
 use dai_core::graph::{DaigError, Value};
@@ -327,7 +348,8 @@ pub struct EngineStats {
     pub workers: usize,
     /// Open sessions.
     pub sessions: usize,
-    /// Queries served.
+    /// Queries served — every member that received an answer, including
+    /// per-member failures (an unknown location still got its error).
     pub queries: u64,
     /// Edits applied.
     pub edits: u64,
@@ -337,6 +359,11 @@ pub struct EngineStats {
     pub saves: u64,
     /// Sessions restored from disk.
     pub loads: u64,
+    /// Session-lock acquisitions taken to serve requests. A coalesced
+    /// query batch takes exactly one; N sequential queries take N.
+    pub session_locks: u64,
+    /// Cross-request query-coalescing counters.
+    pub batch: BatchStats,
     /// Aggregated evaluation work (computed/memo-matched/reused cells,
     /// unrollings, fixed points) across all requests.
     pub query_stats: QueryStats,
@@ -344,8 +371,65 @@ pub struct EngineStats {
     pub memo: MemoStats,
 }
 
+/// What query coalescing did: every served query is either a member of a
+/// coalesced batch or a singleton, so
+/// `coalesced_queries + singleton_queries` equals the total number of
+/// queries the engine answered (successes and per-member failures alike).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Coalesced batches served: drains that answered **two or more**
+    /// queries under one session-lock acquisition.
+    pub batches: u64,
+    /// Queries answered as members of coalesced batches.
+    pub coalesced_queries: u64,
+    /// Queries that were alone in their drain (no coalescing happened).
+    pub singleton_queries: u64,
+    /// Cells loaded into union demanded-cone tables by coalesced batch
+    /// evaluations (`QueryStats::cone_cells` of the shared work). For a
+    /// coalesced pair this is at most the sum of the two solo cone walks
+    /// — the sharing the paper's demanded cones make possible.
+    pub union_cone_cells: u64,
+    /// Union-cone traversals performed by coalesced batch evaluations; a
+    /// cold coalesced batch performs exactly one.
+    pub union_cone_walks: u64,
+}
+
+/// A submitted/applied counter pair ordering queries after mutations (see
+/// the module docs on edit fencing).
+#[derive(Default)]
+struct Fence {
+    submitted: AtomicU64,
+    applied: AtomicU64,
+}
+
+/// One query waiting in the coalescing queue.
+struct PendingQuery<D> {
+    loc: Loc,
+    responder: Responder<D>,
+    /// The target session's fence at enqueue time.
+    fence: u64,
+    /// The engine-global (load) fence at enqueue time.
+    global_fence: u64,
+}
+
+/// The coalescing key: queries against the same session *and* function
+/// share one demanded-cone evaluation (under `ResolverChoice::Interproc`
+/// the session resolves the function's `(function, context)` units behind
+/// the same single lock acquisition).
+type BatchKey = (SessionId, String);
+
 struct EngineShared<D: AbstractDomain> {
     sessions: RwLock<HashMap<SessionId, Arc<Mutex<Session<D>>>>>,
+    /// Per-session fences. Entries are created on first use and kept for
+    /// the engine's lifetime (session ids are never reused, so a stale
+    /// fence is unreachable, and keeping it avoids close/submit races).
+    fences: RwLock<HashMap<SessionId, Arc<Fence>>>,
+    global_fence: Fence,
+    /// The pending-query coalescing queue. Invariant: an entry is present
+    /// iff it is non-empty, and then either a leader job is queued/running
+    /// for its key or every member is deferred behind a fence whose
+    /// completion will re-kick it.
+    pending: Mutex<HashMap<BatchKey, Vec<PendingQuery<D>>>>,
     memo: SharedMemoTable<Value<D>>,
     strategy: FixStrategy,
     resolver: ResolverChoice,
@@ -355,6 +439,12 @@ struct EngineShared<D: AbstractDomain> {
     snapshots: AtomicU64,
     saves: AtomicU64,
     loads: AtomicU64,
+    session_locks: AtomicU64,
+    batches: AtomicU64,
+    coalesced_queries: AtomicU64,
+    singleton_queries: AtomicU64,
+    union_cone_cells: AtomicU64,
+    union_cone_walks: AtomicU64,
     query_stats: Mutex<QueryStats>,
 }
 
@@ -388,6 +478,9 @@ impl<D: PersistDomain> Engine<D> {
             pool: WorkerPool::new(config.workers),
             shared: Arc::new(EngineShared {
                 sessions: RwLock::new(HashMap::new()),
+                fences: RwLock::new(HashMap::new()),
+                global_fence: Fence::default(),
+                pending: Mutex::new(HashMap::new()),
                 memo,
                 strategy: config.strategy,
                 resolver: config.resolver,
@@ -397,6 +490,12 @@ impl<D: PersistDomain> Engine<D> {
                 snapshots: AtomicU64::new(0),
                 saves: AtomicU64::new(0),
                 loads: AtomicU64::new(0),
+                session_locks: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                coalesced_queries: AtomicU64::new(0),
+                singleton_queries: AtomicU64::new(0),
+                union_cone_cells: AtomicU64::new(0),
+                union_cone_walks: AtomicU64::new(0),
                 query_stats: Mutex::new(QueryStats::default()),
             }),
         }
@@ -483,21 +582,125 @@ impl<D: PersistDomain> Engine<D> {
 
     /// Submits a request to the worker pool, returning a [`Ticket`] for
     /// the response.
+    ///
+    /// `Query` requests go through the coalescing queue: while one is
+    /// pending, further queries against the same `(session, function)`
+    /// join its batch and the whole group is answered under a single
+    /// session-lock acquisition. `Edit` and `Load` bump their fences here,
+    /// at submit time, so no later-submitted query can be answered from
+    /// earlier state (see the module docs).
     pub fn submit(&self, request: Request) -> Ticket<D> {
-        let cell = Arc::new(Oneshot {
-            slot: Mutex::new(None),
-            ready: Condvar::new(),
-        });
-        let responder = Responder {
-            cell: Arc::clone(&cell),
-            sent: false,
-        };
-        let shared = Arc::clone(&self.shared);
-        let pool = self.pool.handle();
-        pool.clone().spawn(move || {
-            responder.send(process(&shared, &pool, request));
-        });
-        Ticket { cell }
+        let (ticket, responder) = reply_slot();
+        match request {
+            Request::Query { session, func, loc } => {
+                enqueue_queries(
+                    &self.shared,
+                    &self.pool.handle(),
+                    session,
+                    func,
+                    vec![(loc, responder)],
+                );
+            }
+            request => {
+                match &request {
+                    Request::Edit { session, .. } => {
+                        fence_of(&self.shared, *session)
+                            .submitted
+                            .fetch_add(1, Ordering::SeqCst);
+                    }
+                    Request::Load { .. } => {
+                        self.shared
+                            .global_fence
+                            .submitted
+                            .fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => {}
+                }
+                let shared = Arc::clone(&self.shared);
+                let pool = self.pool.handle();
+                pool.clone().spawn(move || {
+                    responder.send(process(&shared, &pool, request));
+                });
+            }
+        }
+        ticket
+    }
+
+    /// Submits a whole sweep of locations against one function as a
+    /// single deliberate batch — one pending-queue insertion, one leader,
+    /// one session-lock acquisition, one union-cone evaluation — and
+    /// returns one [`Ticket`] per location, in `locs` order. Members
+    /// succeed or fail individually, exactly as if each had been its own
+    /// [`Request::Query`].
+    pub fn submit_query_batch(
+        &self,
+        session: SessionId,
+        func: &str,
+        locs: &[Loc],
+    ) -> Vec<Ticket<D>> {
+        let mut tickets = Vec::with_capacity(locs.len());
+        let mut members = Vec::with_capacity(locs.len());
+        for &loc in locs {
+            let (ticket, responder) = reply_slot();
+            tickets.push(ticket);
+            members.push((loc, responder));
+        }
+        enqueue_queries(
+            &self.shared,
+            &self.pool.handle(),
+            session,
+            func.to_string(),
+            members,
+        );
+        tickets
+    }
+
+    /// Submits a whole `(function, location)` sweep, batching each
+    /// contiguous run of equal function names into one coalesced batch
+    /// (one session-lock acquisition, one union-cone evaluation). Sort
+    /// `targets` first to get exactly one batch per function — unsorted
+    /// targets still answer correctly, just in more batches. Tickets come
+    /// back in `targets` order. This is the sweep the REPL `serve` and
+    /// the benches issue.
+    pub fn submit_query_sweep(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+    ) -> Vec<Ticket<D>> {
+        let mut tickets = Vec::with_capacity(targets.len());
+        let mut i = 0;
+        while i < targets.len() {
+            let func = &targets[i].0;
+            let j = targets[i..]
+                .iter()
+                .position(|(f, _)| f != func)
+                .map_or(targets.len(), |n| i + n);
+            let locs: Vec<Loc> = targets[i..j].iter().map(|(_, l)| *l).collect();
+            tickets.extend(self.submit_query_batch(session, func, &locs));
+            i = j;
+        }
+        tickets
+    }
+
+    /// Synchronous [`Engine::submit_query_batch`]: blocks for every
+    /// member's state, in `locs` order.
+    pub fn query_batch(
+        &self,
+        session: SessionId,
+        func: &str,
+        locs: &[Loc],
+    ) -> Vec<Result<D, EngineError>> {
+        self.submit_query_batch(session, func, locs)
+            .into_iter()
+            .map(|t| {
+                t.wait().and_then(|r| match r {
+                    Response::State(d) => Ok(d),
+                    other => Err(EngineError::Daig(DaigError::Invariant(format!(
+                        "query answered with a non-state response {other:?}",
+                    )))),
+                })
+            })
+            .collect()
     }
 
     /// Submits a request and blocks for its response.
@@ -531,6 +734,40 @@ impl<D: PersistDomain> Engine<D> {
     pub fn stats(&self) -> EngineStats {
         snapshot_stats(&self.shared, self.pool.workers())
     }
+
+    /// The `(submitted, applied)` edit-fence counters of a session: how
+    /// many `Edit`s were submitted against it, and how many of those have
+    /// completed. Pending queries stamped above `applied` are deferred —
+    /// this is the epoch a batch splits at.
+    pub fn session_fence(&self, id: SessionId) -> (u64, u64) {
+        let fence = fence_of(&self.shared, id);
+        (
+            fence.submitted.load(Ordering::SeqCst),
+            fence.applied.load(Ordering::SeqCst),
+        )
+    }
+
+    /// The `(submitted, applied)` engine-global fence counters bumped by
+    /// `Load` requests.
+    pub fn global_fence(&self) -> (u64, u64) {
+        (
+            self.shared.global_fence.submitted.load(Ordering::SeqCst),
+            self.shared.global_fence.applied.load(Ordering::SeqCst),
+        )
+    }
+}
+
+/// Builds one reply slot, returning the waiting and the producing half.
+fn reply_slot<D>() -> (Ticket<D>, Responder<D>) {
+    let cell = Arc::new(Oneshot {
+        slot: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    let responder = Responder {
+        cell: Arc::clone(&cell),
+        sent: false,
+    };
+    (Ticket { cell }, responder)
 }
 
 /// Resolves a session id against the shared map (used by both the
@@ -548,6 +785,280 @@ fn session_of<D: AbstractDomain>(
         .ok_or(EngineError::NoSuchSession(id))
 }
 
+/// The session's fence, created on first use (see `EngineShared::fences`).
+fn fence_of<D: AbstractDomain>(shared: &EngineShared<D>, id: SessionId) -> Arc<Fence> {
+    if let Some(f) = shared
+        .fences
+        .read()
+        .expect("fence map poisoned")
+        .get(&id)
+        .cloned()
+    {
+        return f;
+    }
+    Arc::clone(
+        shared
+            .fences
+            .write()
+            .expect("fence map poisoned")
+            .entry(id)
+            .or_default(),
+    )
+}
+
+/// Locks a session for serving, counting the acquisition.
+fn lock_session<'s, D: AbstractDomain>(
+    shared: &EngineShared<D>,
+    session: &'s Mutex<Session<D>>,
+) -> std::sync::MutexGuard<'s, Session<D>> {
+    let guard = session.lock().expect("session poisoned");
+    shared.session_locks.fetch_add(1, Ordering::Relaxed);
+    guard
+}
+
+/// Adds `members` to the pending queue under `(session, func)`, stamping
+/// each with the current fences, and spawns a leader job iff the key had
+/// no pending members (an existing entry already has a responsible party —
+/// its leader, or the fence whose completion will kick it).
+fn enqueue_queries<D: PersistDomain>(
+    shared: &Arc<EngineShared<D>>,
+    pool: &PoolHandle,
+    session: SessionId,
+    func: String,
+    members: Vec<(Loc, Responder<D>)>,
+) {
+    if members.is_empty() {
+        return;
+    }
+    let fence = fence_of(shared, session).submitted.load(Ordering::SeqCst);
+    let global_fence = shared.global_fence.submitted.load(Ordering::SeqCst);
+    let key = (session, func);
+    let spawn_leader = {
+        let mut pending = shared.pending.lock().expect("pending queue poisoned");
+        let entry = pending.entry(key.clone()).or_default();
+        let was_empty = entry.is_empty();
+        entry.extend(members.into_iter().map(|(loc, responder)| PendingQuery {
+            loc,
+            responder,
+            fence,
+            global_fence,
+        }));
+        was_empty
+    };
+    if spawn_leader {
+        spawn_batch_leader(shared, pool, key);
+    }
+}
+
+/// Queues a leader job that will drain and answer `key`'s pending batch.
+fn spawn_batch_leader<D: PersistDomain>(
+    shared: &Arc<EngineShared<D>>,
+    pool: &PoolHandle,
+    key: BatchKey,
+) {
+    let shared = Arc::clone(shared);
+    let pool2 = pool.clone();
+    pool.spawn(move || serve_batch(&shared, &pool2, key));
+}
+
+/// Re-kicks pending batches after a fence completed: spawns a leader for
+/// every matching non-empty entry (`session == None` matches all — the
+/// global fence). Spurious leaders are harmless: a drain that finds
+/// nothing eligible puts the members back and returns.
+fn kick_pending<D: PersistDomain>(
+    shared: &Arc<EngineShared<D>>,
+    pool: &PoolHandle,
+    session: Option<SessionId>,
+) {
+    let keys: Vec<BatchKey> = shared
+        .pending
+        .lock()
+        .expect("pending queue poisoned")
+        .iter()
+        .filter(|((s, _), members)| !members.is_empty() && session.is_none_or(|id| *s == id))
+        .map(|(k, _)| k.clone())
+        .collect();
+    for key in keys {
+        spawn_batch_leader(shared, pool, key);
+    }
+}
+
+/// Bumps a fence's `applied` counter and re-kicks pending batches when
+/// dropped — attached to every fencing request (`Edit`, `Load`) so the
+/// bump happens on *every* exit path, errors included; a query deferred
+/// behind a fence must never wait forever.
+struct FenceCompletion<'a, D: PersistDomain> {
+    shared: &'a Arc<EngineShared<D>>,
+    pool: &'a PoolHandle,
+    /// `Some` for a session fence (`Edit`), `None` for the global one
+    /// (`Load`).
+    session: Option<SessionId>,
+}
+
+impl<D: PersistDomain> Drop for FenceCompletion<'_, D> {
+    fn drop(&mut self) {
+        match self.session {
+            Some(id) => {
+                fence_of(self.shared.as_ref(), id)
+                    .applied
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+            None => {
+                self.shared
+                    .global_fence
+                    .applied
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        kick_pending(self.shared, self.pool, self.session);
+    }
+}
+
+/// The leader job: drains `key`'s pending batch under one session-lock
+/// acquisition, answers every fence-eligible member from one union-cone
+/// evaluation, and defers later-stamped members back to the queue (their
+/// fence's completion re-kicks them).
+fn serve_batch<D: PersistDomain>(shared: &Arc<EngineShared<D>>, pool: &PoolHandle, key: BatchKey) {
+    let (session_id, ref func) = key;
+    // A kicked leader may race a regular one that already drained the
+    // entry; don't take the session lock just to discover that.
+    if shared
+        .pending
+        .lock()
+        .expect("pending queue poisoned")
+        .get(&key)
+        .is_none_or(|m| m.is_empty())
+    {
+        return;
+    }
+    let session = match session_of(shared, session_id) {
+        Ok(s) => s,
+        Err(_) => {
+            // The session is gone: answer everyone immediately — fences
+            // are moot for a session that no longer exists. The members
+            // were still served (an error each), so the accounting
+            // identity counts them like any other drain.
+            let members = shared
+                .pending
+                .lock()
+                .expect("pending queue poisoned")
+                .remove(&key)
+                .unwrap_or_default();
+            let served = members.len() as u64;
+            if served >= 2 {
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .coalesced_queries
+                    .fetch_add(served, Ordering::Relaxed);
+            } else if served == 1 {
+                shared.singleton_queries.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.queries.fetch_add(served, Ordering::Relaxed);
+            for m in members {
+                m.responder
+                    .send(Err(EngineError::NoSuchSession(session_id)));
+            }
+            return;
+        }
+    };
+    let mut guard = lock_session(shared.as_ref(), &session);
+    let applied = fence_of(shared.as_ref(), session_id)
+        .applied
+        .load(Ordering::SeqCst);
+    let global_applied = shared.global_fence.applied.load(Ordering::SeqCst);
+    let eligible: Vec<PendingQuery<D>> = {
+        let mut pending = shared.pending.lock().expect("pending queue poisoned");
+        let members = pending.remove(&key).unwrap_or_default();
+        let (eligible, deferred): (Vec<_>, Vec<_>) = members
+            .into_iter()
+            .partition(|m| m.fence <= applied && m.global_fence <= global_applied);
+        if !deferred.is_empty() {
+            // The batch splits at the fence: later-stamped members stay
+            // queued for the fence's completion kick (re-inserted *before*
+            // the re-check below, so no kick can slip between).
+            pending.entry(key.clone()).or_default().extend(deferred);
+        }
+        eligible
+    };
+    if eligible.is_empty() {
+        drop(guard);
+        recheck_deferred(shared, pool, &key, applied, global_applied);
+        return;
+    }
+    let locs: Vec<Loc> = eligible.iter().map(|m| m.loc).collect();
+    let mut shared_stats = QueryStats::default();
+    let mut per_query = vec![QueryStats::default(); locs.len()];
+    let results = guard.query_locs(
+        func,
+        &locs,
+        &shared.memo,
+        pool,
+        &mut shared_stats,
+        &mut per_query,
+    );
+    drop(guard);
+    let served = eligible.len() as u64;
+    if served >= 2 {
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .coalesced_queries
+            .fetch_add(served, Ordering::Relaxed);
+        shared
+            .union_cone_cells
+            .fetch_add(shared_stats.cone_cells, Ordering::Relaxed);
+        shared
+            .union_cone_walks
+            .fetch_add(shared_stats.cone_walks, Ordering::Relaxed);
+    } else {
+        shared.singleton_queries.fetch_add(1, Ordering::Relaxed);
+    }
+    // Every member was served an answer — count failures too, so the
+    // `coalesced + singleton == queries` accounting identity holds
+    // unconditionally.
+    shared.queries.fetch_add(served, Ordering::Relaxed);
+    let mut work = shared_stats;
+    for pq in &per_query {
+        work.absorb(*pq);
+    }
+    shared
+        .query_stats
+        .lock()
+        .expect("stats poisoned")
+        .absorb(work);
+    for (m, r) in eligible.into_iter().zip(results) {
+        m.responder.send(r.map(Response::State));
+    }
+    recheck_deferred(shared, pool, &key, applied, global_applied);
+}
+
+/// After a drain deferred members: if the fences moved past the values the
+/// drain used while it held the queue, the completion kick may already
+/// have fired into the drained-out window — re-kick so nothing strands.
+fn recheck_deferred<D: PersistDomain>(
+    shared: &Arc<EngineShared<D>>,
+    pool: &PoolHandle,
+    key: &BatchKey,
+    applied_seen: u64,
+    global_applied_seen: u64,
+) {
+    let still_pending = shared
+        .pending
+        .lock()
+        .expect("pending queue poisoned")
+        .get(key)
+        .is_some_and(|m| !m.is_empty());
+    if !still_pending {
+        return;
+    }
+    let applied_now = fence_of(shared.as_ref(), key.0)
+        .applied
+        .load(Ordering::SeqCst);
+    let global_now = shared.global_fence.applied.load(Ordering::SeqCst);
+    if applied_now > applied_seen || global_now > global_applied_seen {
+        spawn_batch_leader(shared, pool, key.clone());
+    }
+}
+
 /// One place that assembles [`EngineStats`], used by both
 /// [`Engine::stats`] and the in-stream [`Request::Stats`] handler.
 fn snapshot_stats<D: AbstractDomain>(shared: &EngineShared<D>, workers: usize) -> EngineStats {
@@ -559,6 +1070,14 @@ fn snapshot_stats<D: AbstractDomain>(shared: &EngineShared<D>, workers: usize) -
         snapshots: shared.snapshots.load(Ordering::Relaxed),
         saves: shared.saves.load(Ordering::Relaxed),
         loads: shared.loads.load(Ordering::Relaxed),
+        session_locks: shared.session_locks.load(Ordering::Relaxed),
+        batch: BatchStats {
+            batches: shared.batches.load(Ordering::Relaxed),
+            coalesced_queries: shared.coalesced_queries.load(Ordering::Relaxed),
+            singleton_queries: shared.singleton_queries.load(Ordering::Relaxed),
+            union_cone_cells: shared.union_cone_cells.load(Ordering::Relaxed),
+            union_cone_walks: shared.union_cone_walks.load(Ordering::Relaxed),
+        },
         query_stats: *shared.query_stats.lock().expect("stats poisoned"),
         memo: shared.memo.stats(),
     }
@@ -585,25 +1104,25 @@ fn process<D: PersistDomain>(
     request: Request,
 ) -> Result<Response<D>, EngineError> {
     match request {
-        Request::Query { session, func, loc } => {
-            let session = session_of(shared, session)?;
-            let mut guard = session.lock().expect("session poisoned");
-            let mut stats = QueryStats::default();
-            let out = guard.query_loc(&func, loc, &shared.memo, pool, &mut stats);
-            drop(guard);
-            if out.is_ok() {
-                shared.queries.fetch_add(1, Ordering::Relaxed);
-            }
-            shared
-                .query_stats
-                .lock()
-                .expect("stats poisoned")
-                .absorb(stats);
-            out.map(Response::State)
+        Request::Query { .. } => {
+            // Unreachable: `Engine::submit` routes every query through the
+            // coalescing queue (`enqueue_queries`), never through here.
+            Err(EngineError::Daig(DaigError::Invariant(
+                "queries are served through the coalescing queue, not process()".to_string(),
+            )))
         }
         Request::Edit { session, edit } => {
+            // The fence was bumped at submit time; its completion (bump of
+            // `applied` + re-kick of deferred queries) must happen on every
+            // exit path — a failed edit changed nothing, so releasing the
+            // queries it fenced is sound.
+            let _fence = FenceCompletion {
+                shared,
+                pool,
+                session: Some(session),
+            };
             let session = session_of(shared, session)?;
-            let mut guard = session.lock().expect("session poisoned");
+            let mut guard = lock_session(shared.as_ref(), &session);
             let out = guard.apply_edit(&edit);
             drop(guard);
             if out.is_ok() {
@@ -613,7 +1132,7 @@ fn process<D: PersistDomain>(
         }
         Request::Snapshot { session } => {
             let session = session_of(shared, session)?;
-            let guard = session.lock().expect("session poisoned");
+            let guard = lock_session(shared.as_ref(), &session);
             let snap = guard.snapshot();
             drop(guard);
             shared.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -629,7 +1148,7 @@ fn process<D: PersistDomain>(
             // session's queries. Note the table is engine-wide (shared
             // by all sessions — that sharing is what makes it warm), so
             // its export rides along with whichever session is saved.
-            let guard = session.lock().expect("session poisoned");
+            let guard = lock_session(shared.as_ref(), &session);
             let mut image = guard.image()?;
             drop(guard);
             image.memo = shared.memo.export_entries();
@@ -646,6 +1165,15 @@ fn process<D: PersistDomain>(
             }))
         }
         Request::Load { path } => {
+            // A load fences the whole engine (its fence was bumped at
+            // submit): queries submitted after it must not be answered
+            // until the restore — and its engine-wide memo import — has
+            // happened. Completion is on-drop, error paths included.
+            let _fence = FenceCompletion {
+                shared,
+                pool,
+                session: None,
+            };
             let bytes = read_snapshot_file(&path)?;
             let (mut image, report) = SessionImage::<D>::from_bytes(&bytes)?;
             let memo_entries = std::mem::take(&mut image.memo);

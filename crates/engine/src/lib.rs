@@ -39,7 +39,15 @@
 //!   against many sessions, served concurrently over a sharded
 //!   [`dai_memo::SharedMemoTable`] that all sessions share. Responses
 //!   travel through one-allocation reply slots; `Ticket::wait_all` drains
-//!   a batch without a per-request sleep/wake cycle.
+//!   a batch without a per-request sleep/wake cycle. Concurrently pending
+//!   queries against the same `(session, function)` **coalesce**: a
+//!   pending queue keyed by target collects them and one leader job
+//!   answers the whole group from a single union-cone evaluation under a
+//!   single session-lock acquisition ([`BatchStats`] counts the savings;
+//!   `Engine::submit_query_batch` submits a sweep as one deliberate
+//!   batch). Submit-time fences keep coalescing honest: a query enqueued
+//!   after an `Edit` or `Load` was submitted is never answered from
+//!   pre-mutation state — the batch splits at the fence instead.
 //!
 //! ## The consistency contract
 //!
@@ -78,8 +86,8 @@ pub mod scheduler;
 pub mod session;
 
 pub use engine::{
-    Engine, EngineConfig, EngineError, EngineStats, PersistOutcome, Request, Response, SessionId,
-    Ticket,
+    BatchStats, Engine, EngineConfig, EngineError, EngineStats, PersistOutcome, Request, Response,
+    SessionId, Ticket,
 };
 pub use pool::{PoolHandle, WorkerPool};
 pub use scheduler::evaluate_targets;

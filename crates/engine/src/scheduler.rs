@@ -236,6 +236,7 @@ where
         }
         let count = missing_inputs(daig, n, Some(&mut stack))?;
         cone.set(n, count);
+        stats.cone_cells += 1;
         if count == 0 {
             ready.push(n);
         }
@@ -333,6 +334,9 @@ where
                             continue;
                         }
                         let count = missing_inputs(daig, id, None)?;
+                        if !cone.contains(id) {
+                            stats.cone_cells += 1;
+                        }
                         cone.set(id, count);
                         if count == 0 {
                             ready.push(id);

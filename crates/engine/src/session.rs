@@ -37,12 +37,13 @@
 //! `Interproc` session snapshots cold (source + history only), which is
 //! sound — restore just recomputes on demand.
 
-use dai_core::analysis::{resolve_loc_cell, FuncAnalysis};
+use dai_core::analysis::{resolve_loc_frontier, FuncAnalysis, LocResolution};
 use dai_core::dot::{to_dot, DotOptions};
 use dai_core::driver::ProgramEdit;
 use dai_core::graph::Value;
 use dai_core::intern::CellId;
 use dai_core::interproc::{ContextPolicy, InterAnalyzer};
+use dai_core::name::Name;
 use dai_core::query::{IntraResolver, QueryStats};
 use dai_core::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
@@ -249,14 +250,7 @@ impl<D: AbstractDomain> Session<D> {
     }
 
     /// Demands the abstract state at `loc` of `func` under the session's
-    /// resolver choice.
-    ///
-    /// `Intra`: the parallel counterpart of `FuncAnalysis::query_loc` —
-    /// enclosing fixed points are demanded outermost-first on the worker
-    /// pool, then the body cell of the converged iteration is read, so
-    /// the returned state is the one the sequential evaluator (and the
-    /// batch oracle) produces. `Interproc`: the context-joined state the
-    /// REPL's `queryall` prints, demanding callee exits as needed.
+    /// resolver choice — the singleton form of [`Session::query_locs`].
     ///
     /// # Errors
     ///
@@ -270,73 +264,210 @@ impl<D: AbstractDomain> Session<D> {
         pool: &PoolHandle,
         stats: &mut QueryStats,
     ) -> Result<D, EngineError> {
-        self.queries += 1;
+        let mut per_query = [QueryStats::default()];
+        let mut out = self.query_locs(
+            func,
+            std::slice::from_ref(&loc),
+            memo,
+            pool,
+            stats,
+            &mut per_query,
+        );
+        stats.absorb(per_query[0]);
+        out.pop().expect("one answer per queried location")
+    }
+
+    /// Answers a whole batch of location queries against one function in
+    /// a single pass — the engine's coalesced-query path.
+    ///
+    /// `Intra`: the members' demanded cones are evaluated as a **union**:
+    /// each round collects, per still-unanswered member, either its
+    /// resolved location cell or the outermost unconverged fix cell
+    /// blocking its resolution ([`resolve_loc_frontier`]), and evaluates
+    /// all of them in *one* [`evaluate_targets`] call on the worker pool.
+    /// A cold batch therefore traverses one union cone instead of one
+    /// cone per member; every answer is still exactly the sequential
+    /// evaluator's (and the batch oracle's) value, because union
+    /// evaluation applies the same `apply_ready` computations to the same
+    /// inputs. `Interproc`: members are answered sequentially by
+    /// [`dai_core::InterAnalyzer::query_joined`] under the one session
+    /// lock the caller already holds — the batching win there is the
+    /// single lock acquisition.
+    ///
+    /// Shared work (the union-cone evaluation) is recorded into
+    /// `shared_stats`; per-member bookkeeping (cache hits, reuse,
+    /// interprocedural work) into `per_query[i]`. Members fail
+    /// individually: an unknown location yields `Err` in its slot while
+    /// its siblings are still answered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_query.len() != locs.len()`.
+    pub fn query_locs(
+        &mut self,
+        func: &str,
+        locs: &[Loc],
+        memo: &SharedMemoTable<Value<D>>,
+        pool: &PoolHandle,
+        shared_stats: &mut QueryStats,
+        per_query: &mut [QueryStats],
+    ) -> Vec<Result<D, EngineError>> {
+        assert_eq!(per_query.len(), locs.len(), "one stats slot per member");
+        self.queries += locs.len() as u64;
         match &mut self.backend {
             Backend::Intra { units } => {
-                let unit = Self::unit_mut(units, &self.program, self.strategy, func)?;
-                // Steady-state fast path: the resolved cell is cached per
-                // structural epoch; if it is still filled, the query is a
-                // lookup.
-                let epoch = unit.fa.daig().struct_epoch();
-                if let Some(&(cached_epoch, id)) = unit.resolved.get(&loc) {
-                    if cached_epoch == epoch {
-                        if let Some(d) = unit.fa.daig().value_id(id).and_then(Value::as_state) {
-                            stats.reused += 1;
-                            return Ok(d.clone());
-                        }
+                let unit = match Self::unit_mut(units, &self.program, self.strategy, func) {
+                    Ok(unit) => unit,
+                    Err(_) => {
+                        return locs
+                            .iter()
+                            .map(|_| Err(EngineError::NoSuchFunction(func.to_string())))
+                            .collect();
                     }
-                }
-                // The fix-chain walk lives in dai-core (`resolve_loc_cell`);
-                // the engine only substitutes *how* each demanded cell gets
-                // filled — parallel frontier evaluation instead of the
-                // sequential query.
-                let cell = resolve_loc_cell(&mut unit.fa, loc, |fa, cell| {
-                    evaluate_targets(
-                        fa,
-                        std::slice::from_ref(cell),
-                        memo,
-                        &IntraResolver,
-                        pool,
-                        stats,
-                    )
-                })?;
-                evaluate_targets(
-                    &mut unit.fa,
-                    std::slice::from_ref(&cell),
-                    memo,
-                    &IntraResolver,
-                    pool,
-                    stats,
-                )?;
-                // Record the resolution against the *post*-evaluation
-                // epoch: demanded unrolls during evaluation changed the
-                // structure, and the resolved cell belongs to the final
-                // one.
-                if let Some(id) = unit.fa.daig().id_of(&cell) {
-                    unit.resolved
-                        .insert(loc, (unit.fa.daig().struct_epoch(), id));
-                }
-                unit.fa
-                    .daig()
-                    .value(&cell)
-                    .and_then(Value::as_state)
-                    .cloned()
-                    .ok_or_else(|| {
-                        EngineError::Daig(dai_core::DaigError::Invariant(format!(
-                            "location cell {cell} holds a statement"
-                        )))
-                    })
+                };
+                Self::query_unit_locs(unit, locs, memo, pool, shared_stats, per_query)
             }
             Backend::Inter { analyzer, .. } => {
                 if self.program.by_name(func).is_none() {
-                    return Err(EngineError::NoSuchFunction(func.to_string()));
+                    return locs
+                        .iter()
+                        .map(|_| Err(EngineError::NoSuchFunction(func.to_string())))
+                        .collect();
                 }
-                let before = analyzer.stats();
-                let out = analyzer.query_joined(func, loc).map_err(EngineError::Daig);
-                stats.absorb(analyzer.stats().delta(&before));
-                out
+                locs.iter()
+                    .enumerate()
+                    .map(|(i, &loc)| {
+                        let before = analyzer.stats();
+                        let out = analyzer.query_joined(func, loc).map_err(EngineError::Daig);
+                        per_query[i].absorb(analyzer.stats().delta(&before));
+                        out
+                    })
+                    .collect()
             }
         }
+    }
+
+    /// The `Intra` union-cone drain behind [`Session::query_locs`].
+    fn query_unit_locs(
+        unit: &mut Unit<D>,
+        locs: &[Loc],
+        memo: &SharedMemoTable<Value<D>>,
+        pool: &PoolHandle,
+        shared_stats: &mut QueryStats,
+        per_query: &mut [QueryStats],
+    ) -> Vec<Result<D, EngineError>> {
+        let mut out: Vec<Option<Result<D, EngineError>>> = (0..locs.len()).map(|_| None).collect();
+        let mut resolved: Vec<Option<Name>> = vec![None; locs.len()];
+        // Members whose answer required no evaluation at all count as
+        // `Q-Reuse`, exactly like an already-filled `evaluate_targets`
+        // target.
+        let mut demanded = vec![false; locs.len()];
+        // Steady-state fast path: resolved cells are cached per structural
+        // epoch; members still filled answer by lookup.
+        let epoch = unit.fa.daig().struct_epoch();
+        for (i, loc) in locs.iter().enumerate() {
+            if let Some(&(cached_epoch, id)) = unit.resolved.get(loc) {
+                if cached_epoch == epoch {
+                    if let Some(d) = unit.fa.daig().value_id(id).and_then(Value::as_state) {
+                        per_query[i].reused += 1;
+                        out[i] = Some(Ok(d.clone()));
+                    }
+                }
+            }
+        }
+        // Round-based union drain: collect every member's frontier (its
+        // resolved cell, or the outermost unconverged fix cell blocking
+        // resolution), evaluate the union in one call, repeat. A member
+        // nested under L loops needs at most L + 1 rounds, and only rounds
+        // with unfilled targets traverse (and count) a cone — a cold batch
+        // costs one union traversal, a warm one costs none.
+        let round_bound = 2 + locs
+            .iter()
+            .map(|&l| unit.fa.cfg().enclosing_loops(l).len())
+            .max()
+            .unwrap_or(0);
+        for _round in 0..round_bound {
+            let mut targets: Vec<Name> = Vec::new();
+            for (i, &loc) in locs.iter().enumerate() {
+                if out[i].is_some() {
+                    continue;
+                }
+                if resolved[i].is_none() {
+                    match resolve_loc_frontier(&unit.fa, loc) {
+                        Ok(LocResolution::Resolved(name)) => resolved[i] = Some(name),
+                        Ok(LocResolution::NeedsFix(cell)) => {
+                            demanded[i] = true;
+                            targets.push(cell);
+                            continue;
+                        }
+                        Err(e) => {
+                            out[i] = Some(Err(EngineError::Daig(e)));
+                            continue;
+                        }
+                    }
+                }
+                let name = resolved[i].as_ref().expect("resolved above");
+                match unit.fa.daig().value(name) {
+                    Some(v) => match v.as_state() {
+                        Some(d) => {
+                            if !demanded[i] {
+                                per_query[i].reused += 1;
+                            }
+                            let d = d.clone();
+                            // Record the resolution against the *post*-
+                            // evaluation epoch: demanded unrolls changed
+                            // the structure, and the resolved cell belongs
+                            // to the final one.
+                            if let Some(id) = unit.fa.daig().id_of(name) {
+                                unit.resolved
+                                    .insert(loc, (unit.fa.daig().struct_epoch(), id));
+                            }
+                            out[i] = Some(Ok(d));
+                        }
+                        None => {
+                            out[i] = Some(Err(EngineError::Daig(dai_core::DaigError::Invariant(
+                                format!("location cell {name} holds a statement"),
+                            ))));
+                        }
+                    },
+                    None => {
+                        demanded[i] = true;
+                        targets.push(name.clone());
+                    }
+                }
+            }
+            if targets.is_empty() {
+                break;
+            }
+            targets.sort();
+            targets.dedup();
+            if let Err(e) = evaluate_targets(
+                &mut unit.fa,
+                &targets,
+                memo,
+                &IntraResolver,
+                pool,
+                shared_stats,
+            ) {
+                // A union-evaluation failure fails every still-pending
+                // member; already-extracted answers stand.
+                for slot in out.iter_mut().filter(|s| s.is_none()) {
+                    *slot = Some(Err(EngineError::Daig(e.clone())));
+                }
+                break;
+            }
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(EngineError::Daig(dai_core::DaigError::Invariant(format!(
+                        "batched query at {} did not settle within the round bound",
+                        locs[i]
+                    ))))
+                })
+            })
+            .collect()
     }
 
     /// Applies a program edit: the CFG is updated, and the affected DAIGs

@@ -22,9 +22,11 @@
 //! ```
 //!
 //! `serve` routes the current program through the concurrent `dai-engine`:
-//! a session is opened over the program, every (function, location) query
-//! is submitted to the engine's request stream, answers are drained and
-//! printed (sorted), and the engine's own statistics follow. By default
+//! a session is opened over the program, every function's location sweep
+//! is submitted as **one coalesced query batch** (a single session-lock
+//! acquisition and one union demanded-cone evaluation per function),
+//! answers are drained and printed (sorted), and the engine's own
+//! statistics follow. By default
 //! the engine analyzes intraprocedurally per function (calls havoc); with
 //! `--resolver interproc` the engine sessions resolve calls by demanding
 //! callee exits under the REPL's context policy, so `serve` answers match
@@ -48,7 +50,7 @@ use dai_core::Context;
 use dai_domains::{
     AbstractDomain, ConstDomain, IntervalDomain, OctagonDomain, ShapeDomain, SignDomain,
 };
-use dai_engine::{Engine, EngineConfig, Request, ResolverChoice, Response, Ticket};
+use dai_engine::{Engine, EngineConfig, ResolverChoice, Response, Ticket};
 use dai_lang::cfg::lower_program;
 use dai_lang::{EdgeId, Loc, Symbol};
 use dai_persist::{read_snapshot_file, write_snapshot_file, PersistDomain, SessionImage};
@@ -172,6 +174,10 @@ fn serve_via_engine<D: PersistDomain>(
         ..EngineConfig::default()
     });
     let session = engine.open_session("repl", program.clone());
+    // The queryall-style sweep goes out as one coalesced batch per
+    // function: each function's locations are answered from a single
+    // union-cone evaluation under a single session-lock acquisition,
+    // instead of one lock round-trip per location.
     let mut targets: Vec<(String, Loc)> = Vec::new();
     for cfg in program.cfgs() {
         for loc in cfg.locs() {
@@ -179,16 +185,7 @@ fn serve_via_engine<D: PersistDomain>(
         }
     }
     targets.sort();
-    let tickets: Vec<Ticket<D>> = targets
-        .iter()
-        .map(|(f, loc)| {
-            engine.submit(Request::Query {
-                session,
-                func: f.clone(),
-                loc: *loc,
-            })
-        })
-        .collect();
+    let tickets: Vec<Ticket<D>> = engine.submit_query_sweep(session, &targets);
     for ((f, loc), ticket) in targets.iter().zip(tickets) {
         match ticket.wait() {
             Ok(Response::State(state)) => println!("{f} {loc}: {state}"),
@@ -198,9 +195,13 @@ fn serve_via_engine<D: PersistDomain>(
     }
     let s = engine.stats();
     println!(
-        "engine: {} workers, {} queries; {} computed, {} memo-matched, {} reused; memo {} hits / {} misses",
+        "engine: {} workers, {} queries ({} coalesced into {} batches, {} locks); \
+         {} computed, {} memo-matched, {} reused; memo {} hits / {} misses",
         s.workers,
         s.queries,
+        s.batch.coalesced_queries,
+        s.batch.batches,
+        s.session_locks,
         s.query_stats.computed,
         s.query_stats.memo_matched,
         s.query_stats.reused,

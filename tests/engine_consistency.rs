@@ -11,12 +11,14 @@
 use dai_bench::workload::Workload;
 use dai_core::batch::batch_analyze;
 use dai_core::driver::ProgramEdit;
+use dai_core::interproc::ContextPolicy;
 use dai_core::query::IntraResolver;
 use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain};
-use dai_engine::{Engine, Request, Response, SessionId, Ticket};
+use dai_engine::{Engine, EngineConfig, Request, ResolverChoice, Response, SessionId, Ticket};
 use dai_lang::cfg::lower_program;
-use dai_lang::{parse_program, Symbol};
+use dai_lang::{parse_program, Loc, Symbol};
 use dai_persist::PersistDomain;
+use proptest::prelude::*;
 
 const SEED_PROGRAM: &str = "function main() { var x0 = 0; return x0; }";
 
@@ -205,4 +207,113 @@ fn concurrent_sessions_all_match_the_oracle() {
     assert_eq!(stats.sessions, 8);
     assert_eq!(stats.queries, 48);
     assert_eq!(stats.edits, 48);
+}
+
+/// Drains a session's DOT snapshot through the request stream.
+fn dot_of<D: PersistDomain>(engine: &Engine<D>, session: SessionId) -> dai_engine::SessionSnapshot {
+    match engine.request(Request::Snapshot { session }).unwrap() {
+        Response::Snapshot(s) => s,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// One randomized batched-vs-sequential trial: the same edit stream is
+/// applied to two engines under the same resolver; queries — a random mix
+/// of same-function batches and cross-function singletons — are answered
+/// *batched* (through `submit_query_batch` and the coalescing queue) on
+/// one engine and *one at a time, synchronously* on the oracle engine.
+/// Every value must agree, and so must the final DOT snapshots.
+fn run_batched_vs_sequential(seed: u64, workers: usize, resolver: ResolverChoice) {
+    let label = format!("seed {seed} workers {workers} resolver {resolver:?}");
+    let batched: Engine<IntervalDomain> = Engine::with_config(EngineConfig {
+        workers,
+        resolver,
+        ..EngineConfig::default()
+    });
+    let oracle: Engine<IntervalDomain> = Engine::with_config(EngineConfig {
+        workers: 1,
+        resolver,
+        ..EngineConfig::default()
+    });
+    let sb = batched.open_session("prop", Workload::initial_program());
+    let so = oracle.open_session("prop", Workload::initial_program());
+    let mut gen = Workload::new(seed);
+    for round in 0..3 {
+        let edit = gen.next_edit(&batched.program_of(sb).unwrap());
+        for (engine, s) in [(&batched, sb), (&oracle, so)] {
+            engine
+                .request(Request::Edit {
+                    session: s,
+                    edit: edit.clone(),
+                })
+                .unwrap_or_else(|e| panic!("{label} round {round}: edit: {e}"));
+        }
+        let program = batched.program_of(sb).unwrap();
+        // Two same-function location batches plus two cross-function
+        // singletons per round.
+        let mut plan: Vec<(String, Vec<Loc>)> = Vec::new();
+        for _ in 0..2 {
+            let cfg = &program.cfgs()[gen.pick_index(program.cfgs().len())];
+            let locs = cfg.locs();
+            let batch: Vec<Loc> = (0..3).map(|_| locs[gen.pick_index(locs.len())]).collect();
+            plan.push((cfg.name().to_string(), batch));
+        }
+        let singles: Vec<(Symbol, Loc)> = gen.next_queries(&program, 2);
+        let mut tickets: Vec<(String, Loc, Ticket<IntervalDomain>)> = Vec::new();
+        for (f, locs) in &plan {
+            for (loc, t) in locs.iter().zip(batched.submit_query_batch(sb, f, locs)) {
+                tickets.push((f.clone(), *loc, t));
+            }
+        }
+        for (f, loc) in &singles {
+            let t = batched.submit(Request::Query {
+                session: sb,
+                func: f.to_string(),
+                loc: *loc,
+            });
+            tickets.push((f.to_string(), *loc, t));
+        }
+        for (f, loc, t) in tickets {
+            let answer = t
+                .wait()
+                .unwrap_or_else(|e| panic!("{label} round {round}: batched {f} {loc}: {e}"))
+                .into_state()
+                .unwrap();
+            let expected = oracle
+                .query(so, &f, loc)
+                .unwrap_or_else(|e| panic!("{label} round {round}: oracle {f} {loc}: {e}"));
+            assert_eq!(
+                answer, expected,
+                "{label} round {round}: batched answer at {f} {loc} \
+                 differs from the one-at-a-time oracle"
+            );
+        }
+    }
+    assert_eq!(
+        dot_of(&batched, sb),
+        dot_of(&oracle, so),
+        "{label}: final DOT snapshots differ"
+    );
+    let stats = batched.stats();
+    assert_eq!(
+        stats.batch.coalesced_queries + stats.batch.singleton_queries,
+        stats.queries,
+        "{label}: every served query is coalesced or singleton"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, .. ProptestConfig::default() })]
+
+    #[test]
+    fn batched_queries_match_the_sequential_oracle(seed in 0u64..100_000) {
+        for resolver in [
+            ResolverChoice::Intra,
+            ResolverChoice::Interproc { policy: ContextPolicy::CallString(1) },
+        ] {
+            for workers in 1..=8usize {
+                run_batched_vs_sequential(seed, workers, resolver);
+            }
+        }
+    }
 }

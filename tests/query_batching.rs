@@ -1,0 +1,459 @@
+//! Cross-request query batching: coalescing, edit/load fencing, and
+//! `BatchStats` accounting.
+//!
+//! The engine answers every concurrently pending query against one
+//! `(session, function)` from a single union demanded-cone evaluation
+//! under a single session-lock acquisition. These tests lock down the
+//! three properties that make that sound and worth having:
+//!
+//! * **identity** — a coalesced batch answers every member with exactly
+//!   the sequential batch oracle's value, per member (a bad member fails
+//!   alone);
+//! * **fencing** — an `Edit` or `Load` interleaved into a pending batch
+//!   splits it at the fence: no query submitted after the mutation is
+//!   ever answered from pre-mutation state, and a *failed* mutation still
+//!   releases the queries it fenced;
+//! * **accounting** — `coalesced_queries + singleton_queries` equals the
+//!   queries served, one session lock and one union-cone traversal per
+//!   cold coalesced batch, and a union cone is never larger than the sum
+//!   of its members' solo cones.
+
+use dai_core::batch::batch_analyze;
+use dai_core::driver::ProgramEdit;
+use dai_core::query::IntraResolver;
+use dai_domains::{AbstractDomain, IntervalDomain, OctagonDomain};
+use dai_engine::{Engine, EngineError, Request, Response, SessionId, Ticket};
+use dai_lang::cfg::lower_program;
+use dai_lang::{parse_program, Loc, Symbol};
+
+use dai_bench::workload::Workload;
+
+const LOOPY: &str = "function f(n) { var i = 0; var s = 0; \
+                     while (i < 9) { s = s + i; i = i + 1; } \
+                     return s; }";
+
+const STRAIGHT: &str = "function main() { var a = 1; var b = a + 2; return b; }";
+
+fn program(src: &str) -> dai_lang::cfg::LoweredProgram {
+    lower_program(&parse_program(src).unwrap()).unwrap()
+}
+
+fn oracle_of(cfg: &dai_lang::Cfg) -> dai_core::batch::InvariantMap<IntervalDomain> {
+    batch_analyze(
+        cfg,
+        IntervalDomain::entry_default(cfg.params()),
+        &mut IntraResolver,
+    )
+    .unwrap()
+}
+
+#[test]
+fn coalesced_batch_takes_one_lock_and_one_union_walk() {
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session("batch", program(LOOPY));
+    let cfg = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("f")
+        .unwrap()
+        .clone();
+    let locs = cfg.locs();
+    assert!(locs.len() >= 4, "loopy function has a real sweep");
+    let before = engine.stats();
+    let answers = engine.query_batch(session, "f", &locs);
+    let after = engine.stats();
+    // One drain: one session-lock acquisition, one coalesced batch, one
+    // union-cone traversal for the whole (cold) sweep.
+    assert_eq!(after.session_locks - before.session_locks, 1);
+    assert_eq!(after.batch.batches - before.batch.batches, 1);
+    assert_eq!(
+        after.batch.coalesced_queries - before.batch.coalesced_queries,
+        locs.len() as u64
+    );
+    assert_eq!(
+        after.batch.union_cone_walks - before.batch.union_cone_walks,
+        1
+    );
+    assert!(after.batch.union_cone_cells > before.batch.union_cone_cells);
+    // Every member answers with the sequential batch oracle's value.
+    let oracle = oracle_of(&cfg);
+    for (loc, answer) in locs.iter().zip(answers) {
+        assert_eq!(answer.unwrap(), oracle[loc], "batched answer at {loc}");
+    }
+    // A warm repeat of the same batch: still one lock, but no traversal.
+    let before = engine.stats();
+    let _ = engine.query_batch(session, "f", &locs);
+    let after = engine.stats();
+    assert_eq!(after.session_locks - before.session_locks, 1);
+    assert_eq!(
+        after.batch.union_cone_walks - before.batch.union_cone_walks,
+        0
+    );
+}
+
+#[test]
+fn batch_members_fail_individually() {
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session("batch", program(STRAIGHT));
+    let cfg = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .clone();
+    let mut locs = cfg.locs();
+    locs.push(Loc(424242)); // bogus member
+    let before = engine.stats();
+    let answers = engine.query_batch(session, "main", &locs);
+    let after = engine.stats();
+    // Failed members were still served: the accounting identity holds
+    // with failures in the batch.
+    assert_eq!(after.queries - before.queries, locs.len() as u64);
+    assert_eq!(
+        (after.batch.coalesced_queries + after.batch.singleton_queries)
+            - (before.batch.coalesced_queries + before.batch.singleton_queries),
+        after.queries - before.queries
+    );
+    let oracle = oracle_of(&cfg);
+    for (loc, answer) in locs.iter().zip(&answers) {
+        if *loc == Loc(424242) {
+            assert!(
+                matches!(
+                    answer,
+                    Err(EngineError::Daig(dai_core::DaigError::NoSuchCell(_)))
+                ),
+                "bogus member must fail alone: {answer:?}"
+            );
+        } else {
+            assert_eq!(*answer.as_ref().unwrap(), oracle[loc]);
+        }
+    }
+    // Unknown functions and sessions fail every member cleanly.
+    for r in engine.query_batch(session, "nope", &cfg.locs()) {
+        assert!(matches!(r, Err(EngineError::NoSuchFunction(_))));
+    }
+    for r in engine.query_batch(SessionId(999), "main", &cfg.locs()) {
+        assert!(matches!(r, Err(EngineError::NoSuchSession(_))));
+    }
+}
+
+/// An `Edit` interleaved between two pending batches: the first batch is
+/// answered from the pre-edit program, the second — submitted *after* the
+/// edit — must never see pre-edit values, even though it may well be
+/// sitting in the same pending queue when the first batch drains. The
+/// fence splits the batch instead.
+#[test]
+fn edit_interleaved_into_pending_batches_never_yields_stale_answers() {
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session("fence", program(STRAIGHT));
+    let cfg_before = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .clone();
+    let locs = cfg_before.locs();
+    assert!(locs.len() >= 2);
+    let edge = cfg_before
+        .edges()
+        .find(|e| e.stmt.to_string() == "a = 1")
+        .unwrap()
+        .id;
+    assert_eq!(engine.session_fence(session), (0, 0), "no fences yet");
+
+    // Pending batch 1 → edit → pending batch 2, all submitted before the
+    // single worker can possibly have served them all.
+    let batch1 = engine.submit_query_batch(session, "main", &locs);
+    let edit_ticket = engine.submit(Request::Edit {
+        session,
+        edit: ProgramEdit::Relabel {
+            func: Symbol::new("main"),
+            edge,
+            stmt: dai_lang::Stmt::Assign("a".into(), dai_lang::parse_expr("10").unwrap()),
+        },
+    });
+    assert_eq!(
+        engine.session_fence(session).0,
+        1,
+        "the edit bumped the fence at submit time"
+    );
+    let batch2 = engine.submit_query_batch(session, "main", &locs);
+
+    let pre_oracle = oracle_of(&cfg_before);
+    for (loc, t) in locs.iter().zip(batch1) {
+        let answer = t.wait().unwrap().into_state().unwrap();
+        assert_eq!(answer, pre_oracle[loc], "batch 1 at {loc} is pre-edit");
+    }
+    assert!(matches!(edit_ticket.wait().unwrap(), Response::Edited(_)));
+    // Batch 2 must reflect the edit: check against a fresh-from-scratch
+    // analysis of the *edited* program.
+    let cfg_after = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .clone();
+    let post_oracle = oracle_of(&cfg_after);
+    assert_ne!(
+        pre_oracle[&cfg_before.exit()],
+        post_oracle[&cfg_after.exit()],
+        "the edit must change the exit invariant for this test to bite"
+    );
+    for (loc, t) in locs.iter().zip(batch2) {
+        let answer = t.wait().unwrap().into_state().unwrap();
+        assert_eq!(
+            answer, post_oracle[loc],
+            "batch 2 at {loc} was submitted after the edit and must be post-edit"
+        );
+    }
+    // Epoch assertions: exactly one fence submitted and applied, and the
+    // two sweeps were two separate coalesced batches — the pending queue
+    // split at the fence rather than merging them.
+    assert_eq!(engine.session_fence(session), (1, 1));
+    let stats = engine.stats();
+    assert_eq!(stats.batch.batches, 2, "{:?}", stats.batch);
+    assert_eq!(stats.batch.coalesced_queries, 2 * locs.len() as u64);
+    assert_eq!(stats.batch.singleton_queries, 0);
+}
+
+/// A failed edit must still advance the fence: the queries it deferred
+/// are released (and answered from the unchanged program), never stranded.
+#[test]
+fn failed_edit_still_releases_fenced_queries() {
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session("fence", program(STRAIGHT));
+    let cfg = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .clone();
+    let locs = cfg.locs();
+    let edge = cfg.edges().next().unwrap().id;
+    let batch1 = engine.submit_query_batch(session, "main", &locs);
+    // A self-recursive call violates the call-graph invariant: rejected.
+    let edit_ticket = engine.submit(Request::Edit {
+        session,
+        edit: ProgramEdit::Relabel {
+            func: Symbol::new("main"),
+            edge,
+            stmt: dai_lang::Stmt::Call {
+                lhs: Some("a".into()),
+                callee: Symbol::new("main"),
+                args: vec![],
+            },
+        },
+    });
+    let batch2 = engine.submit_query_batch(session, "main", &locs);
+    let oracle = oracle_of(&cfg);
+    for t in batch1 {
+        let _ = t.wait().unwrap();
+    }
+    assert!(edit_ticket.wait().is_err(), "the edit must be rejected");
+    for (loc, t) in locs.iter().zip(batch2) {
+        let answer = t.wait().unwrap().into_state().unwrap();
+        assert_eq!(answer, oracle[loc], "released member at {loc}");
+    }
+    assert_eq!(engine.session_fence(session), (1, 1));
+}
+
+/// A `Load` interleaved between two pending batches fences the whole
+/// engine: the second batch is deferred until the restore (and its
+/// engine-wide memo import) completed, splitting the pending queue in
+/// two instead of answering ahead of the load.
+#[test]
+fn load_interleaved_into_pending_batches_splits_at_the_global_fence() {
+    let dir = std::env::temp_dir().join(format!("dai-batch-fence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("fence.daip").to_string_lossy().into_owned();
+    {
+        let engine: Engine<IntervalDomain> = Engine::new(1);
+        let session = engine.open_session_src("saved", STRAIGHT).unwrap();
+        match engine
+            .request(Request::Save {
+                session,
+                path: snap.clone(),
+            })
+            .unwrap()
+        {
+            Response::Saved(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session("live", program(STRAIGHT));
+    let cfg = engine
+        .program_of(session)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .clone();
+    let locs = cfg.locs();
+    assert_eq!(engine.global_fence(), (0, 0));
+    let batch1 = engine.submit_query_batch(session, "main", &locs);
+    let load_ticket = engine.submit(Request::Load { path: snap.clone() });
+    assert_eq!(engine.global_fence().0, 1, "load bumped the global fence");
+    let batch2 = engine.submit_query_batch(session, "main", &locs);
+
+    let oracle = oracle_of(&cfg);
+    for (loc, t) in locs.iter().zip(batch1) {
+        assert_eq!(t.wait().unwrap().into_state().unwrap(), oracle[loc]);
+    }
+    let restored = match load_ticket.wait().unwrap() {
+        Response::Loaded { session, .. } => session,
+        other => panic!("unexpected {other:?}"),
+    };
+    for (loc, t) in locs.iter().zip(batch2) {
+        assert_eq!(
+            t.wait().unwrap().into_state().unwrap(),
+            oracle[loc],
+            "deferred member at {loc} answers after the load"
+        );
+    }
+    // The restored session serves too, and the fence settled.
+    let restored_answers = engine.query_batch(restored, "main", &locs);
+    for (loc, r) in locs.iter().zip(restored_answers) {
+        assert_eq!(r.unwrap(), oracle[loc]);
+    }
+    assert_eq!(engine.global_fence(), (1, 1));
+    let stats = engine.stats();
+    assert!(
+        stats.batch.batches >= 3,
+        "the two live sweeps split at the fence (plus the restored sweep): {:?}",
+        stats.batch
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `BatchStats` accounting on the Fig. 10 workload: every served query is
+/// either coalesced or a singleton, with one batch (and one lock) per
+/// function sweep.
+#[test]
+fn accounting_balances_on_the_fig10_workload() {
+    let engine: Engine<OctagonDomain> = Engine::new(1);
+    let session = engine.open_session("fig10", Workload::initial_program());
+    let mut gen = Workload::new(0xBA7C);
+    for _ in 0..6 {
+        let program = engine.program_of(session).unwrap();
+        let edit = gen.next_edit(&program);
+        engine.request(Request::Edit { session, edit }).unwrap();
+    }
+    let program = engine.program_of(session).unwrap();
+    let functions: Vec<(String, Vec<Loc>)> = program
+        .cfgs()
+        .iter()
+        .map(|cfg| (cfg.name().to_string(), cfg.locs()))
+        .collect();
+    let before = engine.stats();
+    let mut tickets: Vec<Ticket<OctagonDomain>> = Vec::new();
+    for (f, locs) in &functions {
+        tickets.extend(engine.submit_query_batch(session, f, locs));
+    }
+    Ticket::wait_all(tickets).unwrap();
+    // A few synchronous one-off queries ride along as singletons.
+    let singles = 3u64;
+    for _ in 0..singles {
+        let (f, loc) = gen.next_queries(&program, 1).pop().unwrap();
+        engine.query(session, f.as_str(), loc).unwrap();
+    }
+    let after = engine.stats();
+    let served = after.queries - before.queries;
+    let coalesced = after.batch.coalesced_queries - before.batch.coalesced_queries;
+    let singleton = after.batch.singleton_queries - before.batch.singleton_queries;
+    assert_eq!(
+        coalesced + singleton,
+        served,
+        "every query is coalesced or singleton: {:?}",
+        after.batch
+    );
+    assert_eq!(singleton, singles, "synchronous queries cannot coalesce");
+    assert_eq!(
+        after.batch.batches - before.batch.batches,
+        functions.len() as u64,
+        "one coalesced batch per function sweep"
+    );
+    assert_eq!(
+        after.session_locks - before.session_locks,
+        functions.len() as u64 + singles,
+        "one lock per batch and per singleton"
+    );
+}
+
+/// The union cone of a coalesced pair is no larger than the sum of the
+/// two members' solo cones — the sharing is the point of coalescing.
+#[test]
+fn union_cone_is_at_most_the_sum_of_solo_cones() {
+    let solo_cone = |loc: Loc| -> u64 {
+        let engine: Engine<IntervalDomain> = Engine::new(1);
+        let session = engine.open_session("solo", program(LOOPY));
+        let before = engine.stats().query_stats.cone_cells;
+        engine.query(session, "f", loc).unwrap();
+        engine.stats().query_stats.cone_cells - before
+    };
+    let cfg = program(LOOPY).by_name("f").unwrap().clone();
+    let exit = cfg.exit();
+    // A location inside the loop body (destination of the guard edge).
+    let head = cfg.loop_heads()[0];
+    let body = cfg
+        .out_edges(head)
+        .iter()
+        .map(|&e| cfg.edge(e).unwrap().clone())
+        .find(|e| e.stmt.to_string().contains('<'))
+        .unwrap()
+        .dst;
+    let c_exit = solo_cone(exit);
+    let c_body = solo_cone(body);
+    assert!(c_exit > 0 && c_body > 0, "cold solo queries load cones");
+
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session("pair", program(LOOPY));
+    let before = engine.stats();
+    for r in engine.query_batch(session, "f", &[exit, body]) {
+        r.unwrap();
+    }
+    let after = engine.stats();
+    let union = after.batch.union_cone_cells - before.batch.union_cone_cells;
+    assert!(union > 0);
+    assert!(
+        union <= c_exit + c_body,
+        "union cone ({union}) exceeds the sum of solo cones ({c_exit} + {c_body})"
+    );
+
+    // Same property on the grown Fig. 10 workload's `main`.
+    let grow = |seed: u64| -> (Engine<OctagonDomain>, SessionId, Vec<Loc>) {
+        let engine: Engine<OctagonDomain> = Engine::new(1);
+        let session = engine.open_session("fig10", Workload::initial_program());
+        let mut gen = Workload::new(seed);
+        for _ in 0..8 {
+            let program = engine.program_of(session).unwrap();
+            let edit = gen.next_edit(&program);
+            engine.request(Request::Edit { session, edit }).unwrap();
+        }
+        let locs = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .locs();
+        (engine, session, locs)
+    };
+    let seed = 0xF16;
+    let (pair, pair_session, locs) = grow(seed);
+    let (a, b) = (locs[0], *locs.last().unwrap());
+    let before = pair.stats();
+    for r in pair.query_batch(pair_session, "main", &[a, b]) {
+        r.unwrap();
+    }
+    let union = pair.stats().batch.union_cone_cells - before.batch.union_cone_cells;
+    let solo = |loc: Loc| -> u64 {
+        let (engine, session, _) = grow(seed);
+        let before = engine.stats().query_stats.cone_cells;
+        engine.query(session, "main", loc).unwrap();
+        engine.stats().query_stats.cone_cells - before
+    };
+    assert!(
+        union <= solo(a) + solo(b),
+        "fig10 union cone exceeds the sum of solo cones"
+    );
+}

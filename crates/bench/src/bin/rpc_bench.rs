@@ -1,0 +1,123 @@
+//! Records the socket-vs-in-process baseline (`BENCH_rpc.json`) and
+//! serves as the CI wire-protocol gate for `dai-rpc`.
+//!
+//! ```text
+//! $ cargo run --release --bin rpc_bench -- --out BENCH_rpc.json
+//! $ cargo run --release --bin rpc_bench -- --profile smoke
+//! $ cargo run --release --bin rpc_bench -- --check BENCH_rpc.json
+//! ```
+//!
+//! `--check` validates the committed artifact's fields, then re-runs the
+//! smoke profile and asserts the count-based invariants: identical
+//! answers through the socket and in-process, the sweep frame
+//! reproducing the in-process `BatchStats` lock/walk profile exactly,
+//! and strictly fewer session locks for one sweep frame than for
+//! per-query frames — deterministic counters, so shared-runner timing
+//! noise cannot flake the gate.
+
+use dai_bench::rpc_bench::{
+    check_invariants, run_rpc_bench, to_json, validate_artifact, RpcBenchParams, RpcBenchResult,
+};
+
+fn main() {
+    let mut profile = "full".to_string();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                profile = args
+                    .next()
+                    .filter(|p| p == "full" || p == "smoke")
+                    .unwrap_or_else(|| die("--profile takes full|smoke"));
+            }
+            "--out" => out_path = args.next(),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| die("--check FILE"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: rpc_bench [--profile full|smoke] [--out FILE.json] \
+                     [--check BENCH_rpc.json]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        validate_artifact(&committed).unwrap_or_else(|e| die(&e));
+        println!("{path}: all required fields present");
+        // The live gate: socket answers identical to in-process, and one
+        // sweep frame strictly cheaper in session locks than per-query
+        // frames.
+        let r = run_rpc_bench(&RpcBenchParams::smoke());
+        check_invariants(&r).unwrap_or_else(|e| die(&e));
+        println!(
+            "wire ok: answers identical; locks {} sweep-frame vs {} per-query frames \
+             (in-process sweep {}); {} batches, {} union-cone walks",
+            r.socket_sweep.cold_counters.session_locks,
+            r.socket_per_query.cold_counters.session_locks,
+            r.in_process.cold_counters.session_locks,
+            r.socket_sweep.cold_counters.batch.batches,
+            r.socket_sweep.cold_counters.batch.union_cone_walks,
+        );
+        return;
+    }
+
+    let params = match profile.as_str() {
+        "smoke" => RpcBenchParams::smoke(),
+        _ => RpcBenchParams::full(),
+    };
+    let r = run_rpc_bench(&params);
+    check_invariants(&r).unwrap_or_else(|e| die(&e));
+    print_table(&r);
+    if let Some(path) = out_path {
+        let json = to_json(&profile, &params, &r);
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("baseline written to {path}");
+    }
+}
+
+fn print_table(r: &RpcBenchResult) {
+    println!(
+        "rpc_bench (Fig. 10 workload, octagon, unix socket) — host_cpus {}, {} functions, \
+         {} queries/sweep",
+        r.host_cpus, r.functions, r.in_process.queries
+    );
+    println!(
+        "{:>17} {:>12} {:>14} {:>13} {:>8} {:>11} {:>11}",
+        "variant", "cold", "warm(median)", "warm qps", "locks", "batches", "cone walks"
+    );
+    for (label, v) in [
+        ("in-process sweep", &r.in_process),
+        ("socket sweep", &r.socket_sweep),
+        ("socket per-query", &r.socket_per_query),
+    ] {
+        println!(
+            "{:>17} {:>12.3?} {:>14.3?} {:>13.1} {:>8} {:>11} {:>11}",
+            label,
+            v.cold,
+            v.warm_median,
+            v.warm_qps(),
+            v.cold_counters.session_locks,
+            v.cold_counters.batch.batches,
+            v.cold_counters.batch.union_cone_walks,
+        );
+    }
+    println!(
+        "sweep frame takes {:.1}% of per-query locks; socket sweep runs at {:.1}% of \
+         in-process qps; answers identical: {}",
+        100.0 * r.socket_sweep.cold_counters.session_locks as f64
+            / (r.socket_per_query.cold_counters.session_locks as f64).max(1.0),
+        100.0 * r.socket_sweep.warm_qps() / r.in_process.warm_qps().max(1e-12),
+        r.answers_identical
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("rpc_bench: {msg}");
+    std::process::exit(2)
+}

@@ -24,7 +24,12 @@
 //!   on the Fig. 10 sweep (the `batch_bench` binary records
 //!   `BENCH_batch.json` and is the CI coalescing gate: identical answers,
 //!   strictly fewer session-lock acquisitions, one union-cone traversal
-//!   per cold coalesced batch).
+//!   per cold coalesced batch);
+//! * [`rpc_bench`] — socket vs in-process dispatch through `dai-rpc` on
+//!   the same sweep (the `rpc_bench` binary records `BENCH_rpc.json` and
+//!   is the CI wire gate: identical answers, the sweep frame reproducing
+//!   the in-process lock/walk profile, strictly fewer locks than
+//!   per-query frames).
 
 pub mod batch_bench;
 pub mod buckets;
@@ -33,4 +38,5 @@ pub mod engine_scaling;
 pub mod harness;
 pub mod lists;
 pub mod persist_bench;
+pub mod rpc_bench;
 pub mod workload;

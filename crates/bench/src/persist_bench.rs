@@ -24,7 +24,7 @@
 
 use dai_core::driver::ProgramEdit;
 use dai_domains::OctagonDomain;
-use dai_engine::{Engine, PersistOutcome, Request, Response, SessionId, Ticket};
+use dai_engine::{Engine, PersistOutcome, Request, SessionId, Ticket};
 use dai_lang::Loc;
 use dai_persist::{strip_sections, TAG_FUNC};
 use std::time::{Duration, Instant};
@@ -166,15 +166,13 @@ fn build_warm(params: &PersistBenchParams) -> WarmSession {
 fn load_into_fresh(bytes_path: &str) -> (Engine<D>, SessionId, PersistOutcome, Duration) {
     let engine: Engine<D> = Engine::new(1);
     let t0 = Instant::now();
-    let (session, outcome) = match engine
+    let (session, outcome) = engine
         .request(Request::Load {
             path: bytes_path.to_string(),
         })
         .expect("load succeeds")
-    {
-        Response::Loaded { session, outcome } => (session, outcome),
-        other => panic!("unexpected load response {other:?}"),
-    };
+        .into_loaded()
+        .expect("load answers Loaded");
     (engine, session, outcome, t0.elapsed())
 }
 
@@ -193,16 +191,14 @@ pub fn run_persist_bench(
     // Grow + warm the reference session, then save it.
     let (engine, session, targets, reference) = build_warm(params);
     let t0 = Instant::now();
-    let saved = match engine
+    let saved = engine
         .request(Request::Save {
             session,
             path: full_path.to_string_lossy().into_owned(),
         })
         .expect("save succeeds")
-    {
-        Response::Saved(outcome) => outcome,
-        other => panic!("unexpected save response {other:?}"),
-    };
+        .into_saved()
+        .expect("save answers Saved");
     let save = t0.elapsed();
     drop(engine);
 

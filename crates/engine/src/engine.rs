@@ -196,6 +196,65 @@ impl<D> Response<D> {
             _ => None,
         }
     }
+
+    /// The edit outcome, if this response carries one.
+    pub fn into_edited(self) -> Option<EditOutcome> {
+        match self {
+            Response::Edited(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The session snapshot, if this response carries one.
+    pub fn into_snapshot(self) -> Option<SessionSnapshot> {
+        match self {
+            Response::Snapshot(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The save outcome, if this response carries one.
+    pub fn into_saved(self) -> Option<PersistOutcome> {
+        match self {
+            Response::Saved(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The restored session id and outcome, if this response carries one.
+    pub fn into_loaded(self) -> Option<(SessionId, PersistOutcome)> {
+        match self {
+            Response::Loaded { session, outcome } => Some((session, outcome)),
+            _ => None,
+        }
+    }
+
+    /// The engine statistics, if this response carries them.
+    pub fn into_stats(self) -> Option<EngineStats> {
+        match self {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl<D: AbstractDomain> Response<D> {
+    /// The queried state, or the invariant error every query path
+    /// reports when a query is somehow answered with a different
+    /// response kind.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Daig`] with [`DaigError::Invariant`] for non-state
+    /// responses.
+    pub fn state_or_invariant(self) -> Result<D, EngineError> {
+        match self {
+            Response::State(d) => Ok(d),
+            other => Err(EngineError::Daig(DaigError::Invariant(format!(
+                "query answered with a non-state response {other:?}",
+            )))),
+        }
+    }
 }
 
 /// Failures surfaced to requesters.
@@ -218,6 +277,15 @@ pub enum EngineError {
     NotReplayable(String),
     /// The responder was dropped (worker panicked or engine shut down).
     Disconnected,
+    /// A failure reported by a remote service (`dai-rpc` clients map
+    /// wire errors that have no local counterpart into this variant).
+    /// `code` is the wire protocol's stable error code.
+    Remote {
+        /// The stable error code (see `dai-rpc`'s `WireError::code`).
+        code: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -235,6 +303,9 @@ impl fmt::Display for EngineError {
                  (open it with open_session_src)"
             ),
             EngineError::Disconnected => write!(f, "engine request dropped (worker failure)"),
+            EngineError::Remote { code, message } => {
+                write!(f, "remote service [{code}]: {message}")
+            }
         }
     }
 }
@@ -342,7 +413,7 @@ impl<D> Ticket<D> {
 }
 
 /// Engine-wide counters plus the shared memo statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Worker threads serving the engine.
     pub workers: usize,
@@ -692,14 +763,7 @@ impl<D: PersistDomain> Engine<D> {
     ) -> Vec<Result<D, EngineError>> {
         self.submit_query_batch(session, func, locs)
             .into_iter()
-            .map(|t| {
-                t.wait().and_then(|r| match r {
-                    Response::State(d) => Ok(d),
-                    other => Err(EngineError::Daig(DaigError::Invariant(format!(
-                        "query answered with a non-state response {other:?}",
-                    )))),
-                })
-            })
+            .map(|t| t.wait().and_then(Response::state_or_invariant))
             .collect()
     }
 
@@ -718,16 +782,12 @@ impl<D: PersistDomain> Engine<D> {
     ///
     /// See [`Engine::request`].
     pub fn query(&self, session: SessionId, func: &str, loc: Loc) -> Result<D, EngineError> {
-        match self.request(Request::Query {
+        self.request(Request::Query {
             session,
             func: func.to_string(),
             loc,
-        })? {
-            Response::State(d) => Ok(d),
-            other => Err(EngineError::Daig(DaigError::Invariant(format!(
-                "query answered with a non-state response {other:?}",
-            )))),
-        }
+        })?
+        .state_or_invariant()
     }
 
     /// Current engine-wide statistics (read without blocking workers).

@@ -83,7 +83,9 @@
 pub mod engine;
 pub mod pool;
 pub mod scheduler;
+pub mod service;
 pub mod session;
+pub mod wire;
 
 pub use engine::{
     BatchStats, Engine, EngineConfig, EngineError, EngineStats, PersistOutcome, Request, Response,
@@ -91,6 +93,7 @@ pub use engine::{
 };
 pub use pool::{PoolHandle, WorkerPool};
 pub use scheduler::evaluate_targets;
+pub use service::Service;
 pub use session::{EditOutcome, ResolverChoice, Session, SessionSnapshot};
 
 #[cfg(test)]

@@ -23,9 +23,10 @@
 //! reported as damaged). Which sections are *allowed* to be dropped is the
 //! caller's policy — see [`crate::snapshot`].
 
-use dai_memo::FxHasher64;
+use crate::frame::{split_frame, write_frame};
 use std::fmt;
-use std::hash::Hasher;
+
+pub use crate::frame::checksum;
 
 /// The 4-byte file magic.
 pub const MAGIC: [u8; 4] = *b"DAIP";
@@ -83,15 +84,6 @@ impl fmt::Display for PersistError {
 }
 
 impl std::error::Error for PersistError {}
-
-/// The payload checksum: FxHash64 over the bytes plus the length (so a
-/// truncation to a prefix that happens to hash equal is still caught).
-pub fn checksum(bytes: &[u8]) -> u64 {
-    let mut h = FxHasher64::default();
-    h.write(bytes);
-    h.write_u64(bytes.len() as u64);
-    h.finish()
-}
 
 /// An append-only byte sink for encoding.
 #[derive(Debug, Default)]
@@ -304,14 +296,10 @@ impl SnapshotWriter {
     }
 
     /// Appends one section: tag, payload version, length, payload,
-    /// checksum.
+    /// checksum — one [`crate::frame`] frame, the same layout `dai-rpc`
+    /// sends over sockets.
     pub fn section(&mut self, tag: [u8; 4], version: u16, payload: &[u8]) {
-        self.buf.extend_from_slice(&tag);
-        self.buf.extend_from_slice(&version.to_le_bytes());
-        self.buf
-            .extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        self.buf.extend_from_slice(payload);
-        self.buf.extend_from_slice(&checksum(payload).to_le_bytes());
+        write_frame(&mut self.buf, tag, version, payload);
     }
 
     /// The finished file bytes.
@@ -361,42 +349,27 @@ pub fn read_sections(bytes: &[u8]) -> Result<SectionList<'_>, PersistError> {
         return Err(PersistError::UnsupportedVersion(version));
     }
     let _flags = r.u16().map_err(|_| PersistError::NotASnapshot)?;
+    let mut rest = r.take(r.remaining()).expect("remaining bytes");
     let mut sections = Vec::new();
     let mut truncated = false;
-    while !r.is_exhausted() {
-        let header = (|r: &mut Reader<'_>| {
-            let tag: [u8; 4] = r.take(4)?.try_into().expect("4");
-            let version = r.u16()?;
-            let len = r.u64()?;
-            Ok::<_, PersistError>((tag, version, len))
-        })(&mut r);
-        let Ok((tag, version, len)) = header else {
+    while !rest.is_empty() {
+        let Some(frame) = split_frame(rest) else {
+            // Not even a complete header remains.
             truncated = true;
             break;
         };
-        match r
-            .take(len as usize)
-            .and_then(|payload| r.u64().map(|sum| (payload, sum)))
-        {
-            Ok((payload, sum)) => {
-                sections.push(RawSection {
-                    tag,
-                    version,
-                    payload: (checksum(payload) == sum).then_some(payload),
-                });
-            }
-            Err(_) => {
-                // The payload or its checksum was cut off: record the
-                // section as damaged and stop (no resync point exists).
-                sections.push(RawSection {
-                    tag,
-                    version,
-                    payload: None,
-                });
-                truncated = true;
-                break;
-            }
+        sections.push(RawSection {
+            tag: frame.header.tag,
+            version: frame.header.version,
+            payload: frame.payload,
+        });
+        if frame.truncated {
+            // The payload or its checksum was cut off: the section was
+            // recorded as damaged and no resync point exists.
+            truncated = true;
+            break;
         }
+        rest = &rest[frame.consumed..];
     }
     Ok(SectionList {
         sections,

@@ -51,8 +51,13 @@
 //!
 //! ## Crate map
 //!
-//! * [`codec`] — the container: header, sections, checksums,
-//!   [`codec::strip_sections`] for building partial restore points;
+//! * [`frame`] — the shared frame layout (tag + version + length +
+//!   payload + FxHash64 checksum) used both by snapshot sections here and
+//!   by `dai-rpc`'s socket messages — one framing implementation, two
+//!   transports;
+//! * [`codec`] — the container: header, sections (one [`frame`] each),
+//!   checksums, [`codec::strip_sections`] for building partial restore
+//!   points;
 //! * [`wire`] — the [`wire::Persist`] encode/decode trait and its
 //!   implementations for `dai-lang` syntax, `dai-core` names/values, and
 //!   every shipped abstract domain ([`wire::PersistDomain`]);
@@ -65,12 +70,17 @@
 //! interprocedural session as source + history (cold restore).
 
 pub mod codec;
+pub mod frame;
 pub mod snapshot;
 pub mod wire;
 
 pub use codec::{
     read_sections, strip_sections, PersistError, Reader, SnapshotWriter, Writer, FORMAT_VERSION,
     TAG_FUNC, TAG_MEMO, TAG_SESSION,
+};
+pub use frame::{
+    checksum, read_frame, split_frame, write_frame, FrameHeader, FrameReadError, StreamFrame,
+    FRAME_HEADER_LEN, FRAME_TRAILER_LEN,
 };
 pub use snapshot::{
     decode_daig, encode_daig, read_snapshot_file, write_snapshot_file, FuncImage, RestoreReport,

@@ -189,6 +189,48 @@ impl<A: Persist, B: Persist> Persist for (A, B) {
     }
 }
 
+impl Persist for dai_core::query::QueryStats {
+    fn put(&self, w: &mut Writer) {
+        w.u64(self.computed);
+        w.u64(self.memo_matched);
+        w.u64(self.reused);
+        w.u64(self.unrolls);
+        w.u64(self.fix_converged);
+        w.u64(self.cone_walks);
+        w.u64(self.cone_cells);
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(dai_core::query::QueryStats {
+            computed: r.u64()?,
+            memo_matched: r.u64()?,
+            reused: r.u64()?,
+            unrolls: r.u64()?,
+            fix_converged: r.u64()?,
+            cone_walks: r.u64()?,
+            cone_cells: r.u64()?,
+        })
+    }
+}
+
+impl Persist for dai_memo::MemoStats {
+    fn put(&self, w: &mut Writer) {
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.insertions);
+        w.u64(self.evictions);
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(dai_memo::MemoStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            insertions: r.u64()?,
+            evictions: r.u64()?,
+        })
+    }
+}
+
 impl Persist for MemoKey {
     fn put(&self, w: &mut Writer) {
         w.u128(self.0);

@@ -1,0 +1,292 @@
+//! The typed blocking client: a [`Client<D>`] is a socket connection
+//! that implements [`Service<D>`], so code written against the service
+//! trait — the REPL's sweep printer, the benches, the equality tests —
+//! runs over a socket without changing a line.
+//!
+//! The client is *typed* where the wire is not: the wire carries opaque
+//! state blobs, and `Client<D>` decodes them under `D` after the hello
+//! exchange has pinned the server to the same domain tag — a connection
+//! to a server analyzing a different domain fails at [`Client::connect`]
+//! with a structured [`WireError::DomainMismatch`], never with a
+//! misdecoded state.
+//!
+//! One client is one connection; calls serialize on an internal lock
+//! (one in-flight request per connection), so a shared `&Client` is safe
+//! from many threads, and *concurrency* comes from opening more
+//! connections — exactly the many-clients shape the server is built for.
+//! A whole sweep is still one frame ([`Service::query_sweep`]), so a
+//! single client gets the engine's coalesced lock/cone profile without
+//! needing in-flight pipelining.
+
+use dai_core::driver::ProgramEdit;
+use dai_engine::{
+    EditOutcome, EngineError, EngineStats, PersistOutcome, Service, SessionId, SessionSnapshot,
+};
+use dai_lang::Loc;
+use dai_persist::frame::{read_frame, write_frame, FrameReadError};
+use dai_persist::PersistDomain;
+use std::io::Write;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+use crate::proto::{
+    decode_message, encode_message, WireError, WireRequest, WireResponse, WireState, MAX_FRAME_LEN,
+    PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
+};
+use crate::server::{Addr, Stream};
+
+/// A blocking connection to a [`crate::Server`] for domain `D`.
+pub struct Client<D: PersistDomain> {
+    stream: Mutex<Stream>,
+    _domain: PhantomData<fn() -> D>,
+}
+
+fn transport_err(detail: impl std::fmt::Display) -> EngineError {
+    EngineError::Remote {
+        code: "transport",
+        message: detail.to_string(),
+    }
+}
+
+impl<D: PersistDomain> Client<D> {
+    /// Connects to `addr` (any form [`Addr::parse`] accepts) and performs
+    /// the hello exchange, pinning the connection to `D`'s domain tag.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`EngineError::Remote`] (code `transport`);
+    /// a server speaking another protocol version (code `version`) or
+    /// analyzing another domain (code `domain`) as the mapped wire error.
+    pub fn connect(addr: &str) -> Result<Client<D>, EngineError> {
+        let addr = Addr::parse(addr).map_err(transport_err)?;
+        Client::connect_addr(&addr)
+    }
+
+    /// [`Client::connect`] over an already-parsed address.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_addr(addr: &Addr) -> Result<Client<D>, EngineError> {
+        let stream = Stream::connect(addr).map_err(transport_err)?;
+        let client = Client {
+            stream: Mutex::new(stream),
+            _domain: PhantomData,
+        };
+        match client.call(&WireRequest::Hello {
+            domain: D::domain_tag(),
+        })? {
+            WireResponse::HelloOk { .. } => Ok(client),
+            WireResponse::Error(e) => Err(e.into_engine()),
+            other => Err(transport_err(format!(
+                "unexpected hello response {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one request frame and reads one response frame.
+    fn call(&self, request: &WireRequest) -> Result<WireResponse, EngineError> {
+        let mut stream = self.stream.lock().expect("client connection poisoned");
+        let payload = encode_message(request);
+        // The server rejects oversized frames from the header alone and
+        // would then parse the payload bytes we sent as garbage frames —
+        // never put such a frame on the wire in the first place.
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(EngineError::Remote {
+                code: "protocol",
+                message: format!(
+                    "request of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
+                    payload.len()
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(payload.len() + 32);
+        write_frame(&mut out, TAG_REQUEST, PROTOCOL_VERSION, &payload);
+        stream.write_all(&out).map_err(transport_err)?;
+        stream.flush().map_err(transport_err)?;
+        let frame = read_frame(&mut *stream, MAX_FRAME_LEN).map_err(|e| match e {
+            FrameReadError::Eof | FrameReadError::Truncated => {
+                transport_err("server closed the connection")
+            }
+            other => transport_err(other),
+        })?;
+        if frame.header.tag != TAG_RESPONSE {
+            return Err(transport_err(format!(
+                "unexpected response frame tag {:?}",
+                frame.header.tag
+            )));
+        }
+        if frame.header.version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                got: frame.header.version,
+                want: PROTOCOL_VERSION,
+            }
+            .into_engine());
+        }
+        let payload = frame
+            .payload
+            .ok_or_else(|| transport_err("response frame checksum mismatch"))?;
+        decode_message::<WireResponse>(&payload)
+            .map_err(|e| transport_err(format!("undecodable response: {e}")))
+    }
+
+    /// As [`Client::call`], but a `WireResponse::Error` becomes `Err`.
+    fn call_ok(&self, request: &WireRequest) -> Result<WireResponse, EngineError> {
+        match self.call(request)? {
+            WireResponse::Error(e) => Err(e.into_engine()),
+            other => Ok(other),
+        }
+    }
+
+    fn decode_state(blob: &WireState) -> Result<D, EngineError> {
+        blob.decode::<D>().map_err(|e| EngineError::Remote {
+            code: "protocol",
+            message: format!("state blob does not decode under {}: {e}", D::domain_tag()),
+        })
+    }
+
+    fn states_of(&self, request: &WireRequest, expected: usize) -> Vec<Result<D, EngineError>> {
+        match self.call_ok(request) {
+            Ok(WireResponse::States(members)) if members.len() == expected => members
+                .into_iter()
+                .map(|m| match m {
+                    Ok(blob) => Self::decode_state(&blob),
+                    Err(e) => Err(e.into_engine()),
+                })
+                .collect(),
+            Ok(other) => {
+                let err =
+                    || transport_err(format!("expected {expected} member answers, got {other:?}"));
+                (0..expected).map(|_| Err(err())).collect()
+            }
+            Err(e) => (0..expected)
+                .map(|_| {
+                    Err(match &e {
+                        EngineError::Remote { code, message } => EngineError::Remote {
+                            code,
+                            message: message.clone(),
+                        },
+                        other => transport_err(other),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Releases `session` from this connection's server-side ownership,
+    /// so it survives this connection (the explicit handoff). Returns
+    /// `true` when this connection owned it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn handoff(&self, session: SessionId) -> Result<bool, EngineError> {
+        match self.call_ok(&WireRequest::Handoff { session: session.0 })? {
+            WireResponse::Released { owned } => Ok(owned),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+impl<D: PersistDomain> Service<D> for Client<D> {
+    fn open(&self, name: &str, source: &str) -> Result<SessionId, EngineError> {
+        match self.call_ok(&WireRequest::Open {
+            name: name.to_string(),
+            source: source.to_string(),
+        })? {
+            WireResponse::Opened { session } => Ok(SessionId(session)),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn close(&self, session: SessionId) -> Result<bool, EngineError> {
+        match self.call_ok(&WireRequest::Close { session: session.0 })? {
+            WireResponse::Closed { existed } => Ok(existed),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn query(&self, session: SessionId, func: &str, loc: Loc) -> Result<D, EngineError> {
+        match self.call_ok(&WireRequest::Query {
+            session: session.0,
+            func: func.to_string(),
+            loc,
+        })? {
+            WireResponse::State(blob) => Self::decode_state(&blob),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn query_batch(
+        &self,
+        session: SessionId,
+        func: &str,
+        locs: &[Loc],
+    ) -> Vec<Result<D, EngineError>> {
+        self.states_of(
+            &WireRequest::QueryBatch {
+                session: session.0,
+                func: func.to_string(),
+                locs: locs.to_vec(),
+            },
+            locs.len(),
+        )
+    }
+
+    fn query_sweep(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+    ) -> Vec<Result<D, EngineError>> {
+        self.states_of(
+            &WireRequest::Sweep {
+                session: session.0,
+                targets: targets.to_vec(),
+            },
+            targets.len(),
+        )
+    }
+
+    fn edit(&self, session: SessionId, edit: &ProgramEdit) -> Result<EditOutcome, EngineError> {
+        match self.call_ok(&WireRequest::Edit {
+            session: session.0,
+            edit: edit.clone(),
+        })? {
+            WireResponse::Edited(outcome) => Ok(outcome),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn snapshot(&self, session: SessionId) -> Result<SessionSnapshot, EngineError> {
+        match self.call_ok(&WireRequest::Snapshot { session: session.0 })? {
+            WireResponse::Snapshot(snap) => Ok(snap),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn save(&self, session: SessionId, path: &str) -> Result<PersistOutcome, EngineError> {
+        match self.call_ok(&WireRequest::Save {
+            session: session.0,
+            path: path.to_string(),
+        })? {
+            WireResponse::Saved(outcome) => Ok(outcome),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn load(&self, path: &str) -> Result<(SessionId, PersistOutcome), EngineError> {
+        match self.call_ok(&WireRequest::Load {
+            path: path.to_string(),
+        })? {
+            WireResponse::Loaded { session, outcome } => Ok((SessionId(session), outcome)),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn stats(&self) -> Result<EngineStats, EngineError> {
+        match self.call_ok(&WireRequest::Stats)? {
+            WireResponse::Stats(stats) => Ok(stats),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The socket front end: one [`dai_engine::Engine`], many connections.
+//!
+//! A [`Server`] binds a TCP or Unix socket and routes decoded
+//! [`WireRequest`] frames into the engine it wraps. Concurrency is
+//! inherited wholesale from the engine: each connection is served by its
+//! own thread, but every query lands in the engine's coalescing queue —
+//! a [`WireRequest::Sweep`] frame goes through
+//! [`dai_engine::Engine::submit_query_sweep`], so one wire frame buys the
+//! same one-lock-per-function, one-union-cone profile as the in-process
+//! batched path, and concurrent frames from *different* connections
+//! against the same `(session, function)` coalesce with each other
+//! exactly like concurrent in-process submitters.
+//!
+//! ## Session ownership
+//!
+//! Sessions a connection opens ([`WireRequest::Open`]) or restores
+//! ([`WireRequest::Load`]) are **owned by that connection**: when it
+//! disconnects, they are closed — a crashed IDE does not leak sessions
+//! into a long-lived server. [`WireRequest::Handoff`] releases a session
+//! to the engine (the explicit handoff), after which it survives the
+//! connection and any other connection may address — or adopt nothing;
+//! ownership is only about cleanup, addressing is engine-wide by id.
+//!
+//! ## Hostile bytes
+//!
+//! Malformed traffic is answered in protocol, not with a dropped
+//! connection: a damaged frame (checksum mismatch), an oversized declared
+//! length (rejected before any allocation), an undecodable payload, or a
+//! frame with the wrong protocol version each produce one structured
+//! [`WireError`] response, and the read loop continues. Only transport
+//! EOF/errors (the peer actually went away, or cut a frame off
+//! mid-stream, after which no sync point exists) end the connection —
+//! and ending a connection never takes the server down.
+
+use dai_engine::{Engine, Response, Service, SessionId, Ticket};
+use dai_persist::frame::{read_frame, write_frame, FrameReadError};
+use dai_persist::PersistDomain;
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::proto::{
+    decode_message, encode_message, WireError, WireRequest, WireResponse, WireState, MAX_FRAME_LEN,
+    PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
+};
+
+/// A parsed bind/connect address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// A TCP socket address (host:port).
+    Tcp(String),
+    /// A Unix domain socket path.
+    Unix(String),
+}
+
+impl Addr {
+    /// Parses `"tcp:HOST:PORT"`, `"unix:PATH"`, a bare `/path` (unix), or
+    /// a bare `HOST:PORT` (tcp).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of an unrecognizable address.
+    pub fn parse(s: &str) -> Result<Addr, String> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            return Ok(Addr::Tcp(rest.to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("unix:") {
+            return Ok(Addr::Unix(rest.to_string()));
+        }
+        if s.starts_with('/') || s.starts_with('.') {
+            return Ok(Addr::Unix(s.to_string()));
+        }
+        if s.contains(':') {
+            return Ok(Addr::Tcp(s.to_string()));
+        }
+        Err(format!(
+            "unrecognized address `{s}` (use tcp:HOST:PORT, unix:PATH, HOST:PORT, or /path)"
+        ))
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Tcp(a) => write!(f, "tcp:{a}"),
+            Addr::Unix(p) => write!(f, "unix:{p}"),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    pub(crate) fn connect(addr: &Addr) -> std::io::Result<Stream> {
+        Ok(match addr {
+            Addr::Tcp(a) => Stream::Tcp(TcpStream::connect(a)?),
+            Addr::Unix(p) => Stream::Unix(UnixStream::connect(p)?),
+        })
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+struct ServerShared<D: PersistDomain> {
+    engine: Arc<Engine<D>>,
+    stop: AtomicBool,
+    /// Clones of live connection streams keyed by connection id, kept so
+    /// shutdown can unblock their read loops. A handler removes its own
+    /// entry (and shuts the socket down, so the clone here cannot hold
+    /// the connection half-open) when it exits.
+    conns: Mutex<HashMap<u64, Stream>>,
+    next_conn: AtomicU64,
+    /// Join handles of connection threads, reaped on shutdown.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A bound socket server serving one engine to many connections.
+pub struct Server<D: PersistDomain> {
+    shared: Arc<ServerShared<D>>,
+    addr: Addr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl<D: PersistDomain> Server<D> {
+    /// Binds `addr` and starts accepting connections against `engine`.
+    /// For `tcp:host:0` the kernel assigns the port; read the result from
+    /// [`Server::addr`]. A pre-existing Unix socket path is replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] from binding.
+    pub fn bind(addr: &Addr, engine: Arc<Engine<D>>) -> std::io::Result<Server<D>> {
+        let (listener, bound) = match addr {
+            Addr::Tcp(a) => {
+                let l = TcpListener::bind(a)?;
+                let actual = Addr::Tcp(l.local_addr()?.to_string());
+                (Listener::Tcp(l), actual)
+            }
+            Addr::Unix(p) => {
+                // Replace a stale socket file from a previous run.
+                let _ = std::fs::remove_file(p);
+                (Listener::Unix(UnixListener::bind(p)?), addr.clone())
+            }
+        };
+        let shared = Arc::new(ServerShared {
+            engine,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            handles: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(Server {
+            shared,
+            addr: bound,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the kernel-assigned port for `tcp:…:0`),
+    /// in the form [`Addr::parse`] and clients accept.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<Engine<D>> {
+        &self.shared.engine
+    }
+
+    /// Stops accepting, unblocks and joins every connection thread, and
+    /// removes a Unix socket file. Sessions still owned by connections
+    /// are closed by their handlers as they unwind.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = Stream::connect(&self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for (_, conn) in self.shared.conns.lock().expect("conn list").drain() {
+            conn.shutdown();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .handles
+            .lock()
+            .expect("handle list")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Addr::Unix(p) = &self.addr {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl<D: PersistDomain> Drop for Server<D> {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<D: PersistDomain>(listener: Listener, shared: &Arc<ServerShared<D>>) {
+    loop {
+        let stream = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared
+            .conns
+            .lock()
+            .expect("conn list")
+            .insert(conn_id, clone);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || serve_connection(conn_id, stream, &conn_shared));
+        let mut handles = shared.handles.lock().expect("handle list");
+        // Reap finished connections as new ones arrive, so a long-lived
+        // server's handle list tracks live connections, not history.
+        let mut live = Vec::with_capacity(handles.len() + 1);
+        for h in handles.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        live.push(handle);
+        *handles = live;
+    }
+}
+
+/// Sends one response frame. A response that would itself exceed the
+/// frame bound (a pathological snapshot export, say) is replaced with a
+/// structured error — the client's bounded reader would otherwise
+/// reject it and desynchronize.
+fn send(stream: &mut Stream, msg: &WireResponse) -> std::io::Result<()> {
+    let mut payload = encode_message(msg);
+    if payload.len() > MAX_FRAME_LEN {
+        payload = encode_message(&WireResponse::Error(WireError::Protocol(format!(
+            "response of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
+            payload.len()
+        ))));
+    }
+    let mut out = Vec::with_capacity(payload.len() + 32);
+    write_frame(&mut out, TAG_RESPONSE, PROTOCOL_VERSION, &payload);
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// One connection's lifetime: hello exchange, then the request loop.
+/// Sessions the connection still owns when it ends are closed.
+fn serve_connection<D: PersistDomain>(
+    conn_id: u64,
+    mut stream: Stream,
+    shared: &Arc<ServerShared<D>>,
+) {
+    let mut owned: HashSet<SessionId> = HashSet::new();
+    let mut hello_done = false;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Read one frame; in-protocol problems answer a structured error
+        // and continue, transport problems end the connection.
+        let frame = match read_frame(&mut stream, MAX_FRAME_LEN) {
+            Ok(frame) => frame,
+            Err(FrameReadError::Oversized { declared, bound }) => {
+                // Only the header was consumed. Conforming clients bound
+                // their sends, so an oversized header arrives with
+                // nothing behind it and the stream stays in sync; a peer
+                // that actually shipped the payload only desynchronizes
+                // its own connection (the bytes parse as garbage frames
+                // answered with further errors until EOF).
+                let err = WireError::Protocol(format!(
+                    "declared frame length {declared} exceeds the {bound}-byte bound"
+                ));
+                if send(&mut stream, &WireResponse::Error(err)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(FrameReadError::Eof)
+            | Err(FrameReadError::Truncated)
+            | Err(FrameReadError::Io(_)) => break,
+        };
+        let response = if frame.header.tag != TAG_REQUEST {
+            WireResponse::Error(WireError::Protocol(format!(
+                "unexpected frame tag {:?} (want {:?})",
+                frame.header.tag, TAG_REQUEST
+            )))
+        } else if frame.header.version != PROTOCOL_VERSION {
+            WireResponse::Error(WireError::UnsupportedVersion {
+                got: frame.header.version,
+                want: PROTOCOL_VERSION,
+            })
+        } else {
+            match &frame.payload {
+                None => {
+                    WireResponse::Error(WireError::Protocol("frame checksum mismatch".to_string()))
+                }
+                Some(payload) => match decode_message::<WireRequest>(payload) {
+                    Err(e) => WireResponse::Error(WireError::Protocol(format!(
+                        "undecodable request payload: {e}"
+                    ))),
+                    Ok(request) => handle(shared, &mut owned, &mut hello_done, request),
+                },
+            }
+        };
+        if send(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+    for session in owned {
+        shared.engine.close_session(session);
+    }
+    // `shutdown` acts on the socket itself (not just this FD), so the
+    // registry clone cannot hold the connection half-open; removing the
+    // entry keeps a long-lived server from accumulating dead FDs.
+    stream.shutdown();
+    shared.conns.lock().expect("conn list").remove(&conn_id);
+}
+
+/// Routes one decoded request into the engine.
+fn handle<D: PersistDomain>(
+    shared: &Arc<ServerShared<D>>,
+    owned: &mut HashSet<SessionId>,
+    hello_done: &mut bool,
+    request: WireRequest,
+) -> WireResponse {
+    let engine = shared.engine.as_ref();
+    if !*hello_done {
+        return match request {
+            WireRequest::Hello { domain } => {
+                if domain != D::domain_tag() {
+                    WireResponse::Error(WireError::DomainMismatch {
+                        client: domain,
+                        server: D::domain_tag(),
+                    })
+                } else {
+                    *hello_done = true;
+                    WireResponse::HelloOk {
+                        domain,
+                        protocol: PROTOCOL_VERSION,
+                    }
+                }
+            }
+            other => WireResponse::Error(WireError::Protocol(format!(
+                "first message must be a hello, got {}",
+                request_name(&other)
+            ))),
+        };
+    }
+    match request {
+        WireRequest::Hello { .. } => WireResponse::Error(WireError::Protocol(
+            "hello already exchanged on this connection".to_string(),
+        )),
+        WireRequest::Open { name, source } => match engine.open_session_src(name, &source) {
+            Ok(id) => {
+                owned.insert(id);
+                WireResponse::Opened { session: id.0 }
+            }
+            Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+        },
+        WireRequest::Close { session } => {
+            let id = SessionId(session);
+            owned.remove(&id);
+            WireResponse::Closed {
+                existed: engine.close_session(id),
+            }
+        }
+        WireRequest::Query { session, func, loc } => {
+            match engine.query(SessionId(session), &func, loc) {
+                Ok(d) => WireResponse::State(WireState::encode(&d)),
+                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            }
+        }
+        WireRequest::QueryBatch {
+            session,
+            func,
+            locs,
+        } => {
+            // One wire frame → one deliberate coalesced batch.
+            let tickets = engine.submit_query_batch(SessionId(session), &func, &locs);
+            WireResponse::States(collect_states(tickets))
+        }
+        WireRequest::Sweep { session, targets } => {
+            // One wire frame → the engine's sweep path: one coalesced
+            // batch per contiguous function run, preserving PR 4's
+            // lock/cone profile across the wire.
+            let tickets = engine.submit_query_sweep(SessionId(session), &targets);
+            WireResponse::States(collect_states(tickets))
+        }
+        WireRequest::Edit { session, edit } => {
+            match Service::edit(engine, SessionId(session), &edit) {
+                Ok(outcome) => WireResponse::Edited(outcome),
+                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            }
+        }
+        WireRequest::Snapshot { session } => match Service::snapshot(engine, SessionId(session)) {
+            Ok(snap) => WireResponse::Snapshot(snap),
+            Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+        },
+        WireRequest::Save { session, path } => {
+            match Service::save(engine, SessionId(session), &path) {
+                Ok(outcome) => WireResponse::Saved(outcome),
+                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            }
+        }
+        WireRequest::Load { path } => match Service::load(engine, &path) {
+            Ok((id, outcome)) => {
+                owned.insert(id);
+                WireResponse::Loaded {
+                    session: id.0,
+                    outcome,
+                }
+            }
+            Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+        },
+        WireRequest::Stats => WireResponse::Stats(engine.stats()),
+        WireRequest::Handoff { session } => WireResponse::Released {
+            owned: owned.remove(&SessionId(session)),
+        },
+    }
+}
+
+/// Waits a batch of query tickets into wire member results. Members fail
+/// individually (unlike [`Ticket::wait_all`], which short-circuits), and
+/// the drain runs in reverse submission order for the same
+/// one-sleep-per-batch reason `wait_all` documents.
+fn collect_states<D: PersistDomain>(tickets: Vec<Ticket<D>>) -> Vec<Result<WireState, WireError>> {
+    let mut out: Vec<Option<Result<WireState, WireError>>> = tickets.iter().map(|_| None).collect();
+    for (i, t) in tickets.into_iter().enumerate().rev() {
+        out[i] = Some(
+            t.wait()
+                .and_then(Response::state_or_invariant)
+                .map(|d| WireState::encode(&d))
+                .map_err(|e| WireError::from_engine(&e)),
+        );
+    }
+    out.into_iter()
+        .map(|r| r.expect("every ticket waited"))
+        .collect()
+}
+
+fn request_name(r: &WireRequest) -> &'static str {
+    match r {
+        WireRequest::Hello { .. } => "hello",
+        WireRequest::Open { .. } => "open",
+        WireRequest::Close { .. } => "close",
+        WireRequest::Query { .. } => "query",
+        WireRequest::QueryBatch { .. } => "query-batch",
+        WireRequest::Sweep { .. } => "sweep",
+        WireRequest::Edit { .. } => "edit",
+        WireRequest::Snapshot { .. } => "snapshot",
+        WireRequest::Save { .. } => "save",
+        WireRequest::Load { .. } => "load",
+        WireRequest::Stats => "stats",
+        WireRequest::Handoff { .. } => "handoff",
+    }
+}

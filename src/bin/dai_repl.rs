@@ -16,21 +16,28 @@
 //! dai> save session.daip
 //! dai> load session.daip
 //! dai> serve
+//! dai> listen tcp:127.0.0.1:7777
+//! dai> connect tcp:127.0.0.1:7777
 //! dai> stats
 //! dai> dot main
 //! dai> quit
 //! ```
 //!
 //! `serve` routes the current program through the concurrent `dai-engine`:
-//! a session is opened over the program, every function's location sweep
-//! is submitted as **one coalesced query batch** (a single session-lock
-//! acquisition and one union demanded-cone evaluation per function),
-//! answers are drained and printed (sorted), and the engine's own
-//! statistics follow. By default
+//! a session is opened from source (edit history replayed), every
+//! function's location sweep is submitted as **one coalesced query batch**
+//! (a single session-lock acquisition and one union demanded-cone
+//! evaluation per function), answers are drained and printed (sorted),
+//! and the engine's own statistics follow. By default
 //! the engine analyzes intraprocedurally per function (calls havoc); with
 //! `--resolver interproc` the engine sessions resolve calls by demanding
 //! callee exits under the REPL's context policy, so `serve` answers match
 //! `queryall`.
+//!
+//! `listen ADDR` binds the same engine behind `dai-rpc`'s socket server,
+//! and `connect ADDR` runs the identical sweep against a remote engine
+//! through the typed socket client — the sweep code is one function over
+//! the `dai_engine::Service` trait, so the two paths cannot drift.
 //!
 //! `save PATH` persists the session — original source text plus the edit
 //! history — through `dai-persist`; `load PATH` replays such a snapshot
@@ -50,11 +57,13 @@ use dai_core::Context;
 use dai_domains::{
     AbstractDomain, ConstDomain, IntervalDomain, OctagonDomain, ShapeDomain, SignDomain,
 };
-use dai_engine::{Engine, EngineConfig, ResolverChoice, Response, Ticket};
+use dai_engine::{Engine, EngineConfig, ResolverChoice, Service};
 use dai_lang::cfg::lower_program;
 use dai_lang::{EdgeId, Loc, Symbol};
 use dai_persist::{read_snapshot_file, write_snapshot_file, PersistDomain, SessionImage};
+use dai_rpc::{Addr, Client, Server};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -150,34 +159,9 @@ fn parse_edge(s: &str) -> Option<EdgeId> {
     s.strip_prefix('e').and_then(|n| n.parse().ok()).map(EdgeId)
 }
 
-/// `serve`: route every (function, location) query of the current program
-/// through a fresh `dai-engine` session, draining the answers from the
-/// concurrent request stream.
-fn serve_via_engine<D: PersistDomain>(
-    program: &dai_lang::cfg::LoweredProgram,
-    threads: usize,
-    resolver: ResolverChoice,
-) {
-    match resolver {
-        ResolverChoice::Intra => println!(
-            "serve: intraprocedural per-function analysis (calls havoc; \
-             entry states are the domain's defaults)"
-        ),
-        ResolverChoice::Interproc { .. } => println!(
-            "serve: interprocedural analysis (calls demand callee exits; \
-             answers match queryall)"
-        ),
-    }
-    let engine: Engine<D> = Engine::with_config(EngineConfig {
-        workers: threads,
-        resolver,
-        ..EngineConfig::default()
-    });
-    let session = engine.open_session("repl", program.clone());
-    // The queryall-style sweep goes out as one coalesced batch per
-    // function: each function's locations are answered from a single
-    // union-cone evaluation under a single session-lock acquisition,
-    // instead of one lock round-trip per location.
+/// The queryall-style sweep targets of `program`, sorted so the sweep
+/// coalesces into exactly one batch per function.
+fn sweep_targets(program: &dai_lang::cfg::LoweredProgram) -> Vec<(String, Loc)> {
     let mut targets: Vec<(String, Loc)> = Vec::new();
     for cfg in program.cfgs() {
         for loc in cfg.locs() {
@@ -185,18 +169,39 @@ fn serve_via_engine<D: PersistDomain>(
         }
     }
     targets.sort();
-    let tickets: Vec<Ticket<D>> = engine.submit_query_sweep(session, &targets);
-    for ((f, loc), ticket) in targets.iter().zip(tickets) {
-        match ticket.wait() {
-            Ok(Response::State(state)) => println!("{f} {loc}: {state}"),
-            Ok(_) => eprintln!("{f} {loc}: unexpected response"),
-            Err(e) => eprintln!("{f} {loc}: serve failed: {e}"),
+    targets
+}
+
+/// `serve`/`connect`: route every (function, location) query of the
+/// current program through a demanded-analysis [`Service`] — the
+/// in-process engine or a remote socket client; the sweep logic cannot
+/// tell the difference. A session is opened from source, the edit
+/// history is replayed, the whole sweep goes out as **one** submission
+/// (one coalesced batch per function — over the wire, a single sweep
+/// frame), and the service's statistics follow.
+fn sweep_via_service<D: PersistDomain>(
+    service: &impl Service<D>,
+    source: &str,
+    history: &[ProgramEdit],
+    targets: &[(String, Loc)],
+) -> Result<(), String> {
+    let session = service.open("repl", source).map_err(|e| e.to_string())?;
+    for edit in history {
+        service
+            .edit(session, edit)
+            .map_err(|e| format!("replaying edit: {e}"))?;
+    }
+    for ((f, loc), answer) in targets.iter().zip(service.query_sweep(session, targets)) {
+        match answer {
+            Ok(state) => println!("{f} {loc}: {state}"),
+            Err(e) => eprintln!("{f} {loc}: sweep failed: {e}"),
         }
     }
-    let s = engine.stats();
+    let s = service.stats().map_err(|e| e.to_string())?;
     println!(
-        "engine: {} workers, {} queries ({} coalesced into {} batches, {} locks); \
-         {} computed, {} memo-matched, {} reused; memo {} hits / {} misses",
+        "service: {} workers, {} queries ({} coalesced into {} batches, {} locks); \
+         {} computed, {} memo-matched, {} reused; memo {} hits / {} misses; \
+         {} saves, {} loads",
         s.workers,
         s.queries,
         s.batch.coalesced_queries,
@@ -207,7 +212,24 @@ fn serve_via_engine<D: PersistDomain>(
         s.query_stats.reused,
         s.memo.hits,
         s.memo.misses,
+        s.saves,
+        s.loads,
     );
+    service.close(session).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn print_resolver_banner(what: &str, resolver: ResolverChoice) {
+    match resolver {
+        ResolverChoice::Intra => println!(
+            "{what}: intraprocedural per-function analysis (calls havoc; \
+             entry states are the domain's defaults)"
+        ),
+        ResolverChoice::Interproc { .. } => println!(
+            "{what}: interprocedural analysis (calls demand callee exits; \
+             answers match queryall)"
+        ),
+    }
 }
 
 /// The REPL's replayable session state: the analyzer plus what persistence
@@ -343,6 +365,8 @@ fn repl<D: PersistDomain>(
     );
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
+    // Servers started by `listen`; kept alive (and serving) until quit.
+    let mut servers: Vec<Server<D>> = Vec::new();
     loop {
         print!("dai> ");
         let _ = out.flush();
@@ -371,7 +395,68 @@ fn repl<D: PersistDomain>(
         match cmd {
             "quit" | "exit" => break,
             "help" => print_help(),
-            "serve" => serve_via_engine::<D>(analyzer.program(), threads, serve_resolver),
+            "serve" => {
+                print_resolver_banner("serve", serve_resolver);
+                let engine: Engine<D> = Engine::with_config(EngineConfig {
+                    workers: threads,
+                    resolver: serve_resolver,
+                    ..EngineConfig::default()
+                });
+                let targets = sweep_targets(analyzer.program());
+                if let Err(e) =
+                    sweep_via_service(&engine, &session.source, &session.history, &targets)
+                {
+                    eprintln!("serve failed: {e}");
+                }
+            }
+            "listen" => {
+                let addr = rest.trim();
+                if addr.is_empty() {
+                    eprintln!("usage: listen tcp:HOST:PORT | listen unix:PATH");
+                    continue;
+                }
+                let engine: Arc<Engine<D>> = Arc::new(Engine::with_config(EngineConfig {
+                    workers: threads,
+                    resolver: serve_resolver,
+                    ..EngineConfig::default()
+                }));
+                match Addr::parse(addr)
+                    .map_err(std::io::Error::other)
+                    .and_then(|addr| Server::bind(&addr, engine))
+                {
+                    Ok(server) => {
+                        println!(
+                            "listening on {} (domain {}, {} worker(s)); \
+                             `connect {}` from another repl",
+                            server.addr(),
+                            D::domain_tag(),
+                            threads,
+                            server.addr(),
+                        );
+                        servers.push(server);
+                    }
+                    Err(e) => eprintln!("listen failed: {e}"),
+                }
+            }
+            "connect" => {
+                let addr = rest.trim();
+                if addr.is_empty() {
+                    eprintln!("usage: connect tcp:HOST:PORT | connect unix:PATH");
+                    continue;
+                }
+                match Client::<D>::connect(addr) {
+                    Ok(client) => {
+                        println!("connected to {addr} (domain {})", D::domain_tag());
+                        let targets = sweep_targets(analyzer.program());
+                        if let Err(e) =
+                            sweep_via_service(&client, &session.source, &session.history, &targets)
+                        {
+                            eprintln!("remote sweep failed: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("connect failed: {e}"),
+                }
+            }
             "list" => {
                 for cfg in analyzer.program().cfgs() {
                     println!(
@@ -605,6 +690,11 @@ fn print_help() {
   serve                     answer every (function, location) query through
                             the concurrent engine (--threads N workers,
                             --resolver intra|interproc)
+  listen ADDR               serve a fresh engine over a socket (ADDR is
+                            tcp:HOST:PORT or unix:PATH); runs until quit
+  connect ADDR              run the serve sweep against a remote engine
+                            through the dai-rpc socket client (the server's
+                            domain must match --domain)
   stats                     query/memo work counters
   dot FN                    Graphviz export of FN's DAIG (root context)
   help | quit"

@@ -380,6 +380,79 @@ fn accounting_balances_on_the_fig10_workload() {
     );
 }
 
+/// The socket path keeps the accounting identity: the same Fig. 10
+/// sweep submitted as one wire frame per function (plus a few singleton
+/// query frames) produces the same `coalesced + singleton == served`
+/// balance and the same one-lock-per-batch profile, observed entirely
+/// through the wire's own `stats()` — a remote client never needs
+/// in-process access to assert coalescing happened.
+#[test]
+fn accounting_balances_over_the_socket_path() {
+    use dai_engine::Service;
+    use dai_rpc::{Addr, Client, Server};
+    use std::sync::Arc;
+
+    let engine: Arc<Engine<OctagonDomain>> = Arc::new(Engine::new(1));
+    let sock = std::env::temp_dir()
+        .join(format!("dai-batch-socket-{}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let server = Server::bind(&Addr::Unix(sock), Arc::clone(&engine)).unwrap();
+    let client: Client<OctagonDomain> = Client::connect(&server.addr().to_string()).unwrap();
+    let session = client
+        .open("fig10-socket", &Workload::initial_source())
+        .unwrap();
+    let mut gen = Workload::new(0xBA7C);
+    for _ in 0..6 {
+        let program = engine.program_of(session).unwrap();
+        let edit = gen.next_edit(&program);
+        client.edit(session, &edit).unwrap();
+    }
+    let program = engine.program_of(session).unwrap();
+    let functions: Vec<(String, Vec<Loc>)> = program
+        .cfgs()
+        .iter()
+        .map(|cfg| (cfg.name().to_string(), cfg.locs()))
+        .collect();
+    let before = client.stats().unwrap();
+    for (f, locs) in &functions {
+        // One wire frame per function: the whole batch coalesces.
+        for r in client.query_batch(session, f, locs) {
+            r.unwrap();
+        }
+    }
+    // A few per-query frames ride along as singletons.
+    let singles = 3u64;
+    for _ in 0..singles {
+        let (f, loc) = gen.next_queries(&program, 1).pop().unwrap();
+        client.query(session, f.as_str(), loc).unwrap();
+    }
+    let after = client.stats().unwrap();
+    let served = after.queries - before.queries;
+    let coalesced = after.batch.coalesced_queries - before.batch.coalesced_queries;
+    let singleton = after.batch.singleton_queries - before.batch.singleton_queries;
+    assert_eq!(
+        coalesced + singleton,
+        served,
+        "every query is coalesced or singleton: {:?}",
+        after.batch
+    );
+    assert_eq!(singleton, singles, "per-query frames cannot coalesce");
+    assert_eq!(
+        after.batch.batches - before.batch.batches,
+        functions.len() as u64,
+        "one coalesced batch per function's wire frame"
+    );
+    assert_eq!(
+        after.session_locks - before.session_locks,
+        functions.len() as u64 + singles,
+        "one lock per batch frame and per singleton frame"
+    );
+    // The wire's stats byte-agree with the engine's own.
+    assert_eq!(after, engine.stats());
+    server.shutdown();
+}
+
 /// The union cone of a coalesced pair is no larger than the sum of the
 /// two members' solo cones — the sharing is the point of coalescing.
 #[test]

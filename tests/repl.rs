@@ -171,7 +171,7 @@ fn serve_routes_queries_through_the_engine() {
         assert!(stdout.contains("inc l"), "{stdout}");
         // ...and the engine reports its configuration and work.
         assert!(
-            stdout.contains(&format!("engine: {threads} workers")),
+            stdout.contains(&format!("service: {threads} workers")),
             "{stdout}"
         );
         assert!(stdout.contains("memo"), "{stdout}");
@@ -184,7 +184,7 @@ fn serve_results_are_identical_across_thread_counts() {
         let (stdout, _) = run_repl(PROGRAM, &["--threads", threads], "serve\nquit\n");
         stdout
             .lines()
-            .filter(|l| l.contains("l") && l.contains(':') && !l.starts_with("engine:"))
+            .filter(|l| l.contains("l") && l.contains(':') && !l.starts_with("service:"))
             .map(|l| l.trim_start_matches("dai> ").to_string())
             .filter(|l| l.starts_with("main ") || l.starts_with("inc "))
             .collect()
@@ -286,6 +286,54 @@ function main() {
         "deadcode main\nquit\n",
     );
     assert!(stdout2.contains("no unreachable locations"), "{stdout2}");
+}
+
+#[test]
+fn listen_and_connect_answer_like_serve() {
+    // One REPL process both listens (a dai-rpc server over a unix
+    // socket) and connects to itself: the remote sweep must print the
+    // same per-location answers as the in-process `serve`.
+    let sock = std::env::temp_dir().join(format!(
+        "dai-repl-listen-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let script = format!(
+        "listen unix:{sock}\nconnect unix:{sock}\nserve\nquit\n",
+        sock = sock.display()
+    );
+    let (stdout, stderr) = run_repl(PROGRAM, &[], &script);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    assert!(stdout.contains("listening on unix:"), "{stdout}");
+    assert!(stdout.contains("connected to unix:"), "{stdout}");
+    // Both sweeps print the same answer lines; the remote one appears
+    // first (connect precedes serve in the script).
+    let answers: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("main l") || l.starts_with("inc l"))
+        .collect();
+    assert!(!answers.is_empty(), "{stdout}");
+    assert_eq!(answers.len() % 2, 0, "two sweeps: {stdout}");
+    let (remote, local) = answers.split_at(answers.len() / 2);
+    assert_eq!(remote, local, "socket sweep differs from serve: {stdout}");
+    // Two service summaries: one from the remote engine, one in-process.
+    assert_eq!(
+        stdout.lines().filter(|l| l.starts_with("service:")).count(),
+        2,
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(&sock);
+}
+
+#[test]
+fn connect_to_a_dead_address_fails_cleanly() {
+    let (stdout, stderr) = run_repl(
+        PROGRAM,
+        &[],
+        "connect unix:/nonexistent/dai-test.sock\nquit\n",
+    );
+    assert!(stderr.contains("connect failed"), "{stderr}");
+    assert!(!stdout.contains("connected"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,627 @@
+//! End-to-end contract of the `dai-rpc` wire API: a socket client must
+//! be indistinguishable — answer for answer, DOT byte for DOT byte —
+//! from the in-process engine, and no hostile bytes may take the server
+//! (or even just the connection) down.
+//!
+//! * **equality** — on the Fig. 10 synthetic octagon workload (and a
+//!   loopy single-function program), every `(function, location)` answer
+//!   and the final session DOT obtained through a socket `Client`
+//!   byte-match the in-process `Engine` path, under both
+//!   `ResolverChoice::Intra` and `Interproc`, with two concurrent client
+//!   connections;
+//! * **ownership** — sessions die with their connection unless handed
+//!   off explicitly;
+//! * **hostility** — truncations, bit flips, bad checksums, wrong
+//!   protocol versions, and oversized declared lengths each produce a
+//!   structured `WireError` (or a clean connection close for
+//!   unresyncable cuts), never a panic, and the server keeps serving —
+//!   mirroring `persistence.rs`'s every-truncation-prefix sweep.
+
+use dai_core::driver::ProgramEdit;
+use dai_domains::{IntervalDomain, OctagonDomain};
+use dai_engine::{
+    Engine, EngineConfig, EngineError, ResolverChoice, Service, SessionId, SessionSnapshot,
+};
+use dai_lang::Loc;
+use dai_persist::frame::{read_frame, write_frame, FrameHeader, FrameReadError};
+use dai_persist::{PersistDomain, FRAME_HEADER_LEN};
+use dai_rpc::{
+    Addr, Client, Server, WireError, WireRequest, WireResponse, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    TAG_REQUEST,
+};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+use dai_bench::workload::Workload;
+use proptest::prelude::*;
+
+const LOOPY: &str = "function f(n) { var i = 0; var s = 0; \
+                     while (i < 9) { s = s + i; i = i + 1; } \
+                     return s; }";
+
+/// A unique scratch path for sockets and snapshots.
+fn scratch(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "dai-rpc-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Replays `grow` Workload edits through a scratch engine, returning the
+/// deterministic (source, edit script, sorted sweep targets).
+fn fig10_script(grow: usize, seed: u64) -> (String, Vec<ProgramEdit>, Vec<(String, Loc)>) {
+    let source = Workload::initial_source();
+    let engine: Engine<OctagonDomain> = Engine::new(1);
+    let session = engine.open_session_src("gen", &source).unwrap();
+    let mut gen = Workload::new(seed);
+    let mut edits = Vec::new();
+    for _ in 0..grow {
+        let program = engine.program_of(session).unwrap();
+        let edit = gen.next_edit(&program);
+        Service::<OctagonDomain>::edit(&engine, session, &edit).unwrap();
+        edits.push(edit);
+    }
+    let program = engine.program_of(session).unwrap();
+    let mut targets = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    (source, edits, targets)
+}
+
+/// Opens a session named `name`, replays `edits`, sweeps `targets`, and
+/// snapshots — the whole client lifecycle, over any service.
+fn run_session<D: PersistDomain, S: Service<D>>(
+    service: &S,
+    name: &str,
+    source: &str,
+    edits: &[ProgramEdit],
+    targets: &[(String, Loc)],
+) -> (Vec<Result<D, String>>, SessionSnapshot) {
+    let session = service.open(name, source).unwrap();
+    for edit in edits {
+        service.edit(session, edit).unwrap();
+    }
+    let answers = service
+        .query_sweep(session, targets)
+        .into_iter()
+        .map(|r| r.map_err(|e| e.to_string()))
+        .collect();
+    let snapshot = service.snapshot(session).unwrap();
+    (answers, snapshot)
+}
+
+fn engine_with(resolver: ResolverChoice) -> Arc<Engine<OctagonDomain>> {
+    Arc::new(Engine::with_config(EngineConfig {
+        workers: 1,
+        resolver,
+        ..EngineConfig::default()
+    }))
+}
+
+/// The acceptance gate: socket answers and DOT bytes == in-process, with
+/// two concurrent connections, under the given resolver.
+fn socket_matches_in_process(resolver: ResolverChoice, tag: &str) {
+    let (source, edits, targets) = fig10_script(10, 379422);
+    // In-process reference.
+    let (reference, reference_snap) = run_session(
+        engine_with(resolver).as_ref(),
+        "e2e",
+        &source,
+        &edits,
+        &targets,
+    );
+    assert!(
+        reference.iter().all(|r| r.is_ok()),
+        "reference sweep answers"
+    );
+    // One server, two concurrent client connections doing the identical
+    // lifecycle against their own sessions.
+    let server = Server::bind(&Addr::Unix(scratch(tag)), engine_with(resolver)).unwrap();
+    let addr = server.addr().to_string();
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let source = source.clone();
+            let edits = edits.clone();
+            let targets = targets.clone();
+            std::thread::spawn(move || {
+                let client: Client<OctagonDomain> = Client::connect(&addr).unwrap();
+                run_session(&client, "e2e", &source, &edits, &targets)
+            })
+        })
+        .collect();
+    for worker in workers {
+        let (answers, snap) = worker.join().unwrap();
+        assert_eq!(answers, reference, "socket sweep answers differ");
+        assert_eq!(
+            snap, reference_snap,
+            "socket session DOT is not byte-identical"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn fig10_socket_equals_in_process_intra() {
+    socket_matches_in_process(ResolverChoice::Intra, "intra");
+}
+
+#[test]
+fn fig10_socket_equals_in_process_interproc() {
+    socket_matches_in_process(
+        ResolverChoice::Interproc {
+            policy: dai_core::interproc::ContextPolicy::CallString(1),
+        },
+        "interproc",
+    );
+}
+
+#[test]
+fn loopy_program_roundtrips_with_unrolling() {
+    let engine: Arc<Engine<IntervalDomain>> = Arc::new(Engine::new(2));
+    let server = Server::bind(&Addr::Unix(scratch("loopy")), Arc::clone(&engine)).unwrap();
+    let client: Client<IntervalDomain> = Client::connect(&server.addr().to_string()).unwrap();
+    let session = client.open("loopy", LOOPY).unwrap();
+    let program = engine.program_of(session).unwrap();
+    let cfg = program.by_name("f").unwrap();
+    let targets: Vec<(String, Loc)> = cfg.locs().iter().map(|&l| ("f".to_string(), l)).collect();
+    let remote: Vec<IntervalDomain> = client
+        .query_sweep(session, &targets)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    // In-process oracle on a fresh engine.
+    let oracle_engine: Engine<IntervalDomain> = Engine::new(1);
+    let oracle_session = oracle_engine.open_session_src("loopy", LOOPY).unwrap();
+    for ((_, loc), got) in targets.iter().zip(&remote) {
+        let want = oracle_engine.query(oracle_session, "f", *loc).unwrap();
+        assert_eq!(*got, want, "socket answer differs at {loc}");
+    }
+    // The DOTs byte-match too (both sessions demanded the same cones).
+    let remote_snap = client.snapshot(session).unwrap();
+    let local_snap = Service::<IntervalDomain>::snapshot(&oracle_engine, oracle_session).unwrap();
+    assert_eq!(remote_snap, local_snap);
+    server.shutdown();
+}
+
+#[test]
+fn sessions_die_with_their_connection_unless_handed_off() {
+    let engine: Arc<Engine<IntervalDomain>> = Arc::new(Engine::new(1));
+    let server = Server::bind(&Addr::Unix(scratch("ownership")), Arc::clone(&engine)).unwrap();
+    let addr = server.addr().to_string();
+    let exit_of = |session: SessionId| {
+        engine
+            .program_of(session)
+            .unwrap()
+            .by_name("f")
+            .unwrap()
+            .exit()
+    };
+
+    // Without handoff: the session is closed when its connection ends.
+    let client: Client<IntervalDomain> = Client::connect(&addr).unwrap();
+    let orphan = client.open("orphan", LOOPY).unwrap();
+    assert!(client.query(orphan, "f", exit_of(orphan)).is_ok());
+    drop(client);
+    // The connection handler closes owned sessions as it unwinds; poll
+    // until the close lands (the disconnect is asynchronous).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match engine.program_of(orphan) {
+            Err(EngineError::NoSuchSession(_)) => break,
+            Ok(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            other => panic!("orphaned session not closed: {other:?}"),
+        }
+    }
+
+    // With handoff: the session survives and another connection uses it.
+    let client: Client<IntervalDomain> = Client::connect(&addr).unwrap();
+    let kept = client.open("kept", LOOPY).unwrap();
+    let exit = exit_of(kept);
+    let before = client.query(kept, "f", exit).unwrap();
+    assert!(client.handoff(kept).unwrap(), "first handoff owns");
+    assert!(!client.handoff(kept).unwrap(), "second handoff is a no-op");
+    drop(client);
+    let client2: Client<IntervalDomain> = Client::connect(&addr).unwrap();
+    assert_eq!(client2.query(kept, "f", exit).unwrap(), before);
+    // Closing an adopted session works from any connection.
+    assert!(client2.close(kept).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn wire_stats_carry_batch_and_persist_counters() {
+    let engine: Arc<Engine<IntervalDomain>> = Arc::new(Engine::new(1));
+    let server = Server::bind(&Addr::Unix(scratch("stats")), engine).unwrap();
+    let client: Client<IntervalDomain> = Client::connect(&server.addr().to_string()).unwrap();
+    let session = client.open("stats", LOOPY).unwrap();
+    let targets: Vec<(String, Loc)> = {
+        let snap_engine = server.engine();
+        let program = snap_engine.program_of(session).unwrap();
+        let cfg = program.by_name("f").unwrap();
+        cfg.locs().iter().map(|&l| ("f".to_string(), l)).collect()
+    };
+    let before = client.stats().unwrap();
+    for r in client.query_sweep(session, &targets) {
+        r.unwrap();
+    }
+    let after = client.stats().unwrap();
+    // The remote client can assert coalescing happened: one batch, one
+    // lock, one union-cone walk, every member coalesced.
+    assert_eq!(after.session_locks - before.session_locks, 1);
+    assert_eq!(after.batch.batches - before.batch.batches, 1);
+    assert_eq!(
+        after.batch.coalesced_queries - before.batch.coalesced_queries,
+        targets.len() as u64
+    );
+    assert_eq!(
+        after.batch.union_cone_walks - before.batch.union_cone_walks,
+        1
+    );
+    // And that persistence happened: saves/loads travel in the stats.
+    let snap_path = scratch("stats-snapshot.daip");
+    let saved = client.save(session, &snap_path).unwrap();
+    assert!(saved.bytes > 0 && saved.funcs == 1);
+    let (restored, outcome) = client.load(&snap_path).unwrap();
+    assert!(outcome.is_warm(), "{outcome:?}");
+    assert_ne!(restored, session);
+    let after_persist = client.stats().unwrap();
+    assert_eq!(after_persist.saves - after.saves, 1);
+    assert_eq!(after_persist.loads - after.loads, 1);
+    // The restored session answers over the wire too.
+    let (f, loc) = targets.last().unwrap().clone();
+    assert_eq!(
+        client.query(restored, &f, loc).unwrap(),
+        client.query(session, &f, loc).unwrap()
+    );
+    let _ = std::fs::remove_file(&snap_path);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Hostile frames.
+// ---------------------------------------------------------------------
+
+/// A raw (frame-level) connection that has already completed the hello
+/// exchange, for crafting hostile bytes a typed `Client` cannot send.
+struct RawConn {
+    stream: UnixStream,
+}
+
+impl RawConn {
+    fn connect(path: &str) -> RawConn {
+        let mut conn = RawConn {
+            stream: UnixStream::connect(path).expect("server socket accepts"),
+        };
+        let hello = dai_rpc::proto::encode_message(&WireRequest::Hello {
+            domain: IntervalDomain::domain_tag(),
+        });
+        conn.send_frame(TAG_REQUEST, PROTOCOL_VERSION, &hello);
+        match conn.read_response() {
+            Some(WireResponse::HelloOk { .. }) => conn,
+            other => panic!("hello failed: {other:?}"),
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("send");
+        self.stream.flush().expect("flush");
+    }
+
+    fn send_frame(&mut self, tag: [u8; 4], version: u16, payload: &[u8]) {
+        let mut out = Vec::new();
+        write_frame(&mut out, tag, version, payload);
+        self.send_raw(&out);
+    }
+
+    /// Reads one response, or `None` when the server closed the
+    /// connection instead.
+    fn read_response(&mut self) -> Option<WireResponse> {
+        match read_frame(&mut self.stream, MAX_FRAME_LEN) {
+            Ok(frame) => {
+                let payload = frame.payload.expect("server frames are well-formed");
+                Some(dai_rpc::proto::decode_message::<WireResponse>(&payload).unwrap())
+            }
+            Err(FrameReadError::Eof) | Err(FrameReadError::Truncated) => None,
+            Err(e) => panic!("client-side read failed oddly: {e}"),
+        }
+    }
+
+    /// Sends a valid `Stats` request and asserts it is answered — the
+    /// probe that the connection survived whatever came before.
+    fn assert_alive(&mut self) {
+        let payload = dai_rpc::proto::encode_message(&WireRequest::Stats);
+        self.send_frame(TAG_REQUEST, PROTOCOL_VERSION, &payload);
+        match self.read_response() {
+            Some(WireResponse::Stats(_)) => {}
+            other => panic!("connection did not survive: {other:?}"),
+        }
+    }
+}
+
+fn hostile_server() -> (Server<IntervalDomain>, String) {
+    let engine: Arc<Engine<IntervalDomain>> = Arc::new(Engine::new(1));
+    let server = Server::bind(&Addr::Unix(scratch("hostile")), engine).unwrap();
+    let path = match server.addr() {
+        Addr::Unix(p) => p.clone(),
+        other => panic!("expected unix addr, got {other}"),
+    };
+    (server, path)
+}
+
+#[test]
+fn bad_checksum_answers_wire_error_and_connection_survives() {
+    let (server, path) = hostile_server();
+    let mut conn = RawConn::connect(&path);
+    let payload = dai_rpc::proto::encode_message(&WireRequest::Stats);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, TAG_REQUEST, PROTOCOL_VERSION, &payload);
+    // Flip one payload byte: the checksum must catch it.
+    frame[FRAME_HEADER_LEN] ^= 0xFF;
+    conn.send_raw(&frame);
+    match conn.read_response() {
+        Some(WireResponse::Error(e)) => assert_eq!(e.code(), "protocol", "{e}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    conn.assert_alive();
+    server.shutdown();
+}
+
+#[test]
+fn wrong_protocol_version_answers_structured_error_and_survives() {
+    let (server, path) = hostile_server();
+    let mut conn = RawConn::connect(&path);
+    let payload = dai_rpc::proto::encode_message(&WireRequest::Stats);
+    conn.send_frame(TAG_REQUEST, PROTOCOL_VERSION + 41, &payload);
+    match conn.read_response() {
+        Some(WireResponse::Error(WireError::UnsupportedVersion { got, want })) => {
+            assert_eq!(got, PROTOCOL_VERSION + 41);
+            assert_eq!(want, PROTOCOL_VERSION);
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+    conn.assert_alive();
+    server.shutdown();
+}
+
+#[test]
+fn oversized_declared_length_rejected_before_allocation_and_survives() {
+    let (server, path) = hostile_server();
+    let mut conn = RawConn::connect(&path);
+    // A header declaring a multi-terabyte payload, with nothing behind
+    // it: the server must answer from the header alone (allocating
+    // nothing) and stay in sync for the next real frame.
+    let header = FrameHeader {
+        tag: TAG_REQUEST,
+        version: PROTOCOL_VERSION,
+        len: 1 << 42,
+    };
+    conn.send_raw(&header.encode());
+    match conn.read_response() {
+        Some(WireResponse::Error(e)) => {
+            assert_eq!(e.code(), "protocol");
+            assert!(e.to_string().contains("exceeds"), "{e}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    conn.assert_alive();
+    server.shutdown();
+}
+
+#[test]
+fn undecodable_and_misdirected_payloads_answer_wire_errors() {
+    let (server, path) = hostile_server();
+    let mut conn = RawConn::connect(&path);
+    // Garbage payload under a valid frame (checksum fine, bytes absurd).
+    conn.send_frame(TAG_REQUEST, PROTOCOL_VERSION, &[0xFE, 0xDC, 0xBA]);
+    match conn.read_response() {
+        Some(WireResponse::Error(e)) => assert_eq!(e.code(), "protocol", "{e}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // Trailing bytes after a valid request are a violation, not padding.
+    let mut padded = dai_rpc::proto::encode_message(&WireRequest::Stats);
+    padded.extend_from_slice(b"padding");
+    conn.send_frame(TAG_REQUEST, PROTOCOL_VERSION, &padded);
+    match conn.read_response() {
+        Some(WireResponse::Error(e)) => assert_eq!(e.code(), "protocol", "{e}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // A response-tagged frame sent at the server.
+    let payload = dai_rpc::proto::encode_message(&WireRequest::Stats);
+    conn.send_frame(*b"RPCS", PROTOCOL_VERSION, &payload);
+    match conn.read_response() {
+        Some(WireResponse::Error(e)) => assert_eq!(e.code(), "protocol", "{e}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    conn.assert_alive();
+    server.shutdown();
+}
+
+#[test]
+fn client_refuses_to_send_oversized_frames_and_stays_usable() {
+    // A request whose encoding exceeds the frame bound must be rejected
+    // client-side *before* hitting the wire — the server would answer
+    // from the header alone and then misparse the payload bytes as
+    // garbage frames, desynchronizing the connection.
+    let (server, path) = hostile_server();
+    let client: Client<IntervalDomain> = Client::connect(&format!("unix:{path}")).unwrap();
+    let huge = "x".repeat(MAX_FRAME_LEN + 1);
+    match client.open("huge", &huge) {
+        Err(EngineError::Remote { code, message }) => {
+            assert_eq!(code, "protocol");
+            assert!(message.contains("exceeds"), "{message}");
+        }
+        other => panic!("expected a client-side bound rejection, got {other:?}"),
+    }
+    // Nothing was sent: the connection is still in sync.
+    let session = client.open("after", LOOPY).unwrap();
+    assert!(client.close(session).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn requests_before_hello_are_rejected_in_protocol() {
+    let (server, path) = hostile_server();
+    let mut stream = UnixStream::connect(&path).unwrap();
+    let payload = dai_rpc::proto::encode_message(&WireRequest::Stats);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, TAG_REQUEST, PROTOCOL_VERSION, &payload);
+    stream.write_all(&frame).unwrap();
+    let response = read_frame(&mut stream, MAX_FRAME_LEN).unwrap();
+    let decoded =
+        dai_rpc::proto::decode_message::<WireResponse>(&response.payload.unwrap()).unwrap();
+    match decoded {
+        WireResponse::Error(e) => {
+            assert_eq!(e.code(), "protocol");
+            assert!(e.to_string().contains("hello"), "{e}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn domain_mismatch_is_a_structured_error() {
+    let (server, path) = hostile_server(); // serves IntervalDomain
+    let err = match Client::<OctagonDomain>::connect(&format!("unix:{path}")) {
+        Err(e) => e,
+        Ok(_) => panic!("octagon client connected to an interval server"),
+    };
+    match err {
+        EngineError::Remote { code, message } => {
+            assert_eq!(code, "domain");
+            assert!(
+                message.contains("octagon") && message.contains("interval"),
+                "{message}"
+            );
+        }
+        other => panic!("expected domain mismatch, got {other}"),
+    }
+    // The rejection did not hurt the server: the right domain connects.
+    let ok = Client::<IntervalDomain>::connect(&format!("unix:{path}"));
+    assert!(ok.is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn every_truncation_prefix_is_handled_cleanly() {
+    // The socket mirror of persistence.rs's every-truncation-prefix
+    // sweep: for each proper prefix of a valid request frame, a fresh
+    // connection sends the prefix and hangs up; the server must neither
+    // panic nor stop serving. (A cut frame has no resync point, so the
+    // clean outcome for the cut connection is a close — the guarantee
+    // under test is server survival plus clean teardown, exactly like a
+    // truncated snapshot file degrading instead of crashing.)
+    let (server, path) = hostile_server();
+    let payload = dai_rpc::proto::encode_message(&WireRequest::Query {
+        session: 1,
+        func: "f".to_string(),
+        loc: Loc(3),
+    });
+    let mut frame = Vec::new();
+    write_frame(&mut frame, TAG_REQUEST, PROTOCOL_VERSION, &payload);
+    for cut in 0..frame.len() {
+        let mut conn = RawConn::connect(&path);
+        conn.send_raw(&frame[..cut]);
+        conn.stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        // Drain whatever the server does (a response would only arrive
+        // for a prefix that happens to be a complete frame; EOF is the
+        // expected outcome) until it closes our read side.
+        while conn.read_response().is_some() {}
+    }
+    // After the whole sweep, the server still serves typed clients.
+    let client: Client<IntervalDomain> = Client::connect(&format!("unix:{path}")).unwrap();
+    let session = client.open("after-sweep", LOOPY).unwrap();
+    let exit = server
+        .engine()
+        .program_of(session)
+        .unwrap()
+        .by_name("f")
+        .unwrap()
+        .exit();
+    assert!(client.query(session, "f", exit).is_ok());
+    server.shutdown();
+}
+
+/// The pure-decode half of the hostile sweep: whatever bytes arrive,
+/// message decoding returns a structured error rather than panicking or
+/// over-allocating. This is the layer the socket tests drive end to
+/// end; fuzzing it directly covers orders of magnitude more inputs per
+/// second than a connection per case would.
+fn decode_never_panics(bytes: &[u8]) {
+    let _ = dai_rpc::proto::decode_message::<WireRequest>(bytes);
+    let _ = dai_rpc::proto::decode_message::<WireResponse>(bytes);
+    let _ = dai_persist::split_frame(bytes);
+    let _ = read_frame(&mut &bytes[..], MAX_FRAME_LEN);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn fuzzed_frames_decode_to_errors_not_panics(seed in 0u64..1_000_000) {
+        // Deterministic pseudo-random mutations of a real frame: flips,
+        // truncations, and splices at seed-chosen positions, plus raw
+        // seed-derived garbage.
+        let payload = dai_rpc::proto::encode_message(&WireRequest::Sweep {
+            session: seed,
+            targets: vec![("main".to_string(), Loc(seed as u32 % 17))],
+        });
+        let mut frame = Vec::new();
+        write_frame(&mut frame, TAG_REQUEST, PROTOCOL_VERSION, &payload);
+        let a = (seed as usize) % frame.len();
+        let b = (seed as usize / 7) % frame.len();
+        decode_never_panics(&frame[..a]);
+        let mut flipped = frame.clone();
+        flipped[a] ^= (seed % 255) as u8 + 1;
+        decode_never_panics(&flipped);
+        let mut spliced = frame[..a].to_vec();
+        spliced.extend_from_slice(&frame[b..]);
+        decode_never_panics(&spliced);
+        let garbage: Vec<u8> = (0..(seed % 64)).map(|i| (seed >> (i % 8)) as u8).collect();
+        decode_never_panics(&garbage);
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_handled_cleanly() {
+    // Bit-flip sweep over a whole valid frame: each position is flipped
+    // on its own fresh connection. Depending on the position the server
+    // sees a bad tag, a bad version, a lying length, a checksum
+    // mismatch, or an undecodable payload — every one must end in a
+    // structured error or a clean close, and the server must survive
+    // them all.
+    let (server, path) = hostile_server();
+    let payload = dai_rpc::proto::encode_message(&WireRequest::Stats);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, TAG_REQUEST, PROTOCOL_VERSION, &payload);
+    for i in 0..frame.len() {
+        let mut flipped = frame.clone();
+        flipped[i] ^= 0xFF;
+        let mut conn = RawConn::connect(&path);
+        conn.send_raw(&flipped);
+        conn.stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        // Either a structured response (error, or Stats when the flip
+        // landed somewhere harmless… it never is, but the contract is
+        // "no panic, no hang") or a clean close.
+        while conn.read_response().is_some() {}
+    }
+    let client: Client<IntervalDomain> = Client::connect(&format!("unix:{path}")).unwrap();
+    assert!(Service::<IntervalDomain>::stats(&client).is_ok());
+    server.shutdown();
+}

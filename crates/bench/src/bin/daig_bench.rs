@@ -8,6 +8,13 @@
 //! # CI smoke: validate the committed artifact and fail on a >30%
 //! # single-worker throughput regression against its smoke point:
 //! $ cargo run --release --bin daig_bench -- --check BENCH_daig.json
+//!
+//! # CI trace-smoke: print the smoke median alone (machine-readable) …
+//! $ BASE=$(cargo run --release -p dai-bench --no-default-features \
+//!       --bin daig_bench -- --smoke-qps)
+//! # … then gate a probes-compiled build against it at 5%:
+//! $ cargo run --release --bin daig_bench -- --baseline-qps "$BASE" \
+//!       --max-regress 0.05
 //! ```
 
 use dai_bench::daig_bench::{
@@ -24,12 +31,22 @@ fn main() {
     let mut profile = "full".to_string();
     let mut before_remeasured: Option<f64> = None;
     let mut max_regress = 0.30f64;
+    let mut smoke_qps_only = false;
+    let mut baseline_qps: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next(),
             "--check" => check_path = args.next(),
             "--profile" => profile = args.next().unwrap_or_default(),
+            "--smoke-qps" => smoke_qps_only = true,
+            "--baseline-qps" => {
+                baseline_qps = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--baseline-qps takes a qps number")),
+                );
+            }
             "--before-remeasured" => {
                 before_remeasured = args.next().and_then(|s| s.parse().ok());
             }
@@ -42,12 +59,48 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: daig_bench [--out FILE.json] [--check FILE.json] \
-                     [--profile full|smoke] [--before-remeasured QPS] [--max-regress 0.30]"
+                     [--profile full|smoke] [--before-remeasured QPS] [--max-regress 0.30] \
+                     [--smoke-qps] [--baseline-qps QPS]"
                 );
                 return;
             }
             other => die(&format!("unknown flag `{other}` (try --help)")),
         }
+    }
+
+    // `--smoke-qps`: the smoke median alone on stdout, so CI can capture
+    // a baseline number from one build (say, probes compiled out) and
+    // feed it to another via `--baseline-qps`.
+    if smoke_qps_only {
+        let smoke = measure_throughput(&DaigBenchParams::smoke());
+        println!("{:.1}", smoke.median());
+        return;
+    }
+
+    // `--baseline-qps`: gate this build's smoke median against a number
+    // measured elsewhere — the trace-smoke CI job's probes-compiled vs
+    // no-probe comparison.
+    if let Some(base) = baseline_qps {
+        let smoke = measure_throughput(&DaigBenchParams::smoke());
+        let measured = smoke.median();
+        let floor = base * (1.0 - max_regress);
+        println!(
+            "trace probes compiled: {}; runtime tracing enabled: {}",
+            dai_trace::TraceConfig::probes_compiled(),
+            dai_trace::config().is_enabled(),
+        );
+        println!(
+            "measured smoke median {measured:.1} qps vs baseline {base:.1} \
+             (floor {floor:.1}, tolerance {max_regress})"
+        );
+        if measured < floor {
+            die(&format!(
+                "warm-path qps regressed vs baseline: measured {measured:.1} < floor {floor:.1} \
+                 (baseline {base:.1}, tolerance {max_regress})"
+            ));
+        }
+        println!("warm-path throughput within {max_regress} of the baseline — OK");
+        return;
     }
 
     if let Some(path) = check_path {

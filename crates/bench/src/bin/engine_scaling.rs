@@ -51,17 +51,25 @@ fn main() {
 
     // The scaling sanity gate: skipped (with an explanation) on 1-CPU
     // hosts, where every worker count measures the same serial machine.
-    match flat_scaling_check(&run) {
-        Ok(Some(skipped)) => println!("{skipped}"),
-        Ok(None) => println!(
-            "flat-scaling assertion passed (host_cpus = {})",
-            run.host_cpus
-        ),
+    // Whether it was skipped is recorded in the artifact, so a baseline
+    // blessed on a serial host can't masquerade as a verified one.
+    let skipped_flat_assertion = match flat_scaling_check(&run) {
+        Ok(Some(skipped)) => {
+            println!("{skipped}");
+            true
+        }
+        Ok(None) => {
+            println!(
+                "flat-scaling assertion passed (host_cpus = {})",
+                run.host_cpus
+            );
+            false
+        }
         Err(msg) => die(&msg),
-    }
+    };
 
     if let Some(path) = out_path {
-        let json = to_json(&params, &run);
+        let json = to_json(&params, &run, skipped_flat_assertion);
         std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         println!("baseline written to {path}");
     }
@@ -81,7 +89,7 @@ fn die(msg: &str) -> ! {
 /// order, one point object per worker count. `host_cpus` comes from the
 /// [`ScalingRun`] — sampled when the sweep *ran*, so an artifact can
 /// never carry throughput from one machine and a CPU count from another.
-fn to_json(params: &ScalingParams, run: &ScalingRun) -> String {
+fn to_json(params: &ScalingParams, run: &ScalingRun, skipped_flat_assertion: bool) -> String {
     let points = &run.points[..];
     let base = speedup_base(points);
     let mut s = String::from("{\n");
@@ -92,6 +100,7 @@ fn to_json(params: &ScalingParams, run: &ScalingRun) -> String {
         s,
         "  \"host_cpus_provenance\": \"available_parallelism at measurement time\","
     );
+    let _ = writeln!(s, "  \"skipped_flat_assertion\": {skipped_flat_assertion},");
     let _ = writeln!(s, "  \"sessions\": {},", params.sessions);
     let _ = writeln!(s, "  \"grow_edits\": {},", params.grow_edits);
     let _ = writeln!(s, "  \"seed\": {},", params.seed);

@@ -13,6 +13,7 @@ fn main() {
     let mut params = Fig10Params::default();
     let mut show_cdf = false;
     let mut show_scatter = false;
+    let mut chrome_trace: Option<String> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,9 +37,16 @@ fn main() {
             }
             "--cdf" => show_cdf = true,
             "--scatter" => show_scatter = true,
+            "--chrome-trace" => {
+                chrome_trace = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--chrome-trace needs a path")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "fig10 [--edits N] [--trials T] [--queries Q] [--cdf] [--scatter]\n\
+                    "fig10 [--edits N] [--trials T] [--queries Q] [--cdf] [--scatter] \
+                     [--chrome-trace FILE.json]\n\
                      Reproduces Fig. 10 of 'Demanded Abstract Interpretation' (PLDI 2021).\n\
                      Paper-scale: --edits 3000 --trials 9 --queries 5"
                 );
@@ -53,7 +61,29 @@ fn main() {
          (octagon, context-insensitive)",
         params.edits, params.trials, params.queries_per_edit
     );
+    if chrome_trace.is_some() {
+        if !dai_trace::TraceConfig::probes_compiled() {
+            die("--chrome-trace needs trace probes compiled in (build with default features)");
+        }
+        let _ = dai_trace::drain();
+        dai_trace::config().set_enabled(true);
+    }
     let samples = run_fig10(params);
+    if let Some(path) = &chrome_trace {
+        dai_trace::config().set_enabled(false);
+        let dump = dai_trace::drain();
+        let json = dai_trace::chrome_trace_json(&dump);
+        // Re-parse what was just emitted: the smoke run dies — loudly —
+        // if the exporter ever produces JSON a viewer would reject.
+        let summary = dai_trace::validate_chrome_trace(&json)
+            .unwrap_or_else(|e| die(&format!("emitted Chrome trace does not re-parse: {e}")));
+        std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!(
+            "fig10: chrome trace written to {path}: {} events \
+             ({} spans, {} instants, {} thread-metadata; {} record(s) dropped)",
+            summary.total, summary.complete, summary.instants, summary.metadata, dump.dropped
+        );
+    }
 
     println!("== Fig. 10 summary table (per-configuration latency) ==");
     print!("{}", format_summary(&summarize(&samples)));

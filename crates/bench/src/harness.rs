@@ -60,6 +60,10 @@ pub struct Sample {
 
 /// Runs one configuration over one trial's edit stream.
 pub fn run_trial(config: Config, seed: u64, params: Fig10Params) -> Vec<Sample> {
+    // One span per (config, trial) pair: the top-level phase bars of a
+    // `fig10 --chrome-trace` flame trace, enclosing every demand-walk
+    // and memo probe the trial fires. Payload: samples produced.
+    let mut trial_span = dai_trace::span!("bench.trial");
     let mut samples = Vec::new();
     let program = Workload::initial_program();
     let mut driver: Driver<OctagonDomain> = Driver::new(
@@ -112,6 +116,7 @@ pub fn run_trial(config: Config, seed: u64, params: Fig10Params) -> Vec<Sample> 
             }
         }
     }
+    trial_span.set_arg(samples.len() as u64);
     samples
 }
 
@@ -119,6 +124,9 @@ pub fn run_trial(config: Config, seed: u64, params: Fig10Params) -> Vec<Sample> 
 pub fn run_fig10(params: Fig10Params) -> Vec<Sample> {
     let mut samples = Vec::new();
     for config in Config::ALL {
+        // A phase marker per configuration, so the four sweep phases
+        // are separable in the flame trace without decoding trial args.
+        dai_trace::event!("bench.config", config as u64);
         for trial in 0..params.trials {
             samples.extend(run_trial(config, 0xDA1 + trial, params));
         }

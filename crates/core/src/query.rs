@@ -399,12 +399,14 @@ fn apply_inputs<D: AbstractDomain>(
                 match memo.fetch(key) {
                     Some(v) => {
                         stats.memo_matched += 1;
+                        dai_trace::event!("core.memo_hit");
                         Ok(v)
                     }
                     None => {
                         let v = Value::State(pre.transfer(stmt));
                         memo.record(key, v.clone());
                         stats.computed += 1;
+                        dai_trace::event!("core.memo_miss");
                         Ok(v)
                     }
                 }
@@ -440,9 +442,11 @@ fn apply_inputs<D: AbstractDomain>(
             match memo.fetch(key) {
                 Some(v) => {
                     stats.memo_matched += 1;
+                    dai_trace::event!("core.memo_hit");
                     Ok(v)
                 }
                 None => {
+                    dai_trace::event!("core.memo_miss");
                     let out = match iterate {
                         None => {
                             let mut it = states.iter();
@@ -573,6 +577,7 @@ pub fn fix_step_id<D: AbstractDomain>(
     };
     let spliced = unroll_loop(daig, cfg, head, &sigma, k);
     stats.unrolls += 1;
+    dai_trace::event!("core.unroll", spliced.len());
     Ok(FixOutcome::Unrolled { spliced })
 }
 
@@ -619,6 +624,7 @@ pub fn query_id<D: AbstractDomain>(
         stats.reused += 1;
         return Ok(v.clone());
     }
+    let _walk = dai_trace::span!("core.demand_walk");
 
     let mut stack: Vec<CellId> = vec![target];
     let mut missing: Vec<CellId> = Vec::new();

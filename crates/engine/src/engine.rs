@@ -442,6 +442,90 @@ pub struct EngineStats {
     pub memo: MemoStats,
 }
 
+impl EngineStats {
+    /// Publishes every counter into the process metrics registry as
+    /// `dai_*` gauges. Gauges, not counters: a stats snapshot is a
+    /// last-value-wins observation, and re-publishing must not double.
+    pub fn publish_metrics(&self) {
+        let m = dai_trace::metrics();
+        m.gauge("dai_engine_workers").set(self.workers as u64);
+        m.gauge("dai_engine_sessions").set(self.sessions as u64);
+        m.gauge("dai_engine_queries").set(self.queries);
+        m.gauge("dai_engine_edits").set(self.edits);
+        m.gauge("dai_engine_snapshots").set(self.snapshots);
+        m.gauge("dai_engine_saves").set(self.saves);
+        m.gauge("dai_engine_loads").set(self.loads);
+        m.gauge("dai_engine_session_locks").set(self.session_locks);
+        m.gauge("dai_engine_batches").set(self.batch.batches);
+        m.gauge("dai_engine_coalesced_queries")
+            .set(self.batch.coalesced_queries);
+        m.gauge("dai_engine_singleton_queries")
+            .set(self.batch.singleton_queries);
+        m.gauge("dai_engine_union_cone_cells")
+            .set(self.batch.union_cone_cells);
+        m.gauge("dai_engine_union_cone_walks")
+            .set(self.batch.union_cone_walks);
+        m.gauge("dai_query_cells_computed")
+            .set(self.query_stats.computed);
+        m.gauge("dai_query_cells_memo_matched")
+            .set(self.query_stats.memo_matched);
+        m.gauge("dai_query_cells_reused")
+            .set(self.query_stats.reused);
+        m.gauge("dai_query_unrolls").set(self.query_stats.unrolls);
+        m.gauge("dai_query_fix_converged")
+            .set(self.query_stats.fix_converged);
+        m.gauge("dai_query_cone_walks")
+            .set(self.query_stats.cone_walks);
+        m.gauge("dai_query_cone_cells")
+            .set(self.query_stats.cone_cells);
+        m.gauge("dai_memo_hits").set(self.memo.hits);
+        m.gauge("dai_memo_misses").set(self.memo.misses);
+        m.gauge("dai_memo_insertions").set(self.memo.insertions);
+        m.gauge("dai_memo_evictions").set(self.memo.evictions);
+    }
+
+    /// The stats as one line of JSON, mirroring the struct's nesting.
+    /// This is the `stats --json` schema; a REPL test locks it.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"sessions\":{},\"queries\":{},\"edits\":{},\
+             \"snapshots\":{},\"saves\":{},\"loads\":{},\"session_locks\":{},\
+             \"batch\":{{\"batches\":{},\"coalesced_queries\":{},\
+             \"singleton_queries\":{},\"union_cone_cells\":{},\
+             \"union_cone_walks\":{}}},\
+             \"query_stats\":{{\"computed\":{},\"memo_matched\":{},\
+             \"reused\":{},\"unrolls\":{},\"fix_converged\":{},\
+             \"cone_walks\":{},\"cone_cells\":{}}},\
+             \"memo\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\
+             \"evictions\":{}}}}}",
+            self.workers,
+            self.sessions,
+            self.queries,
+            self.edits,
+            self.snapshots,
+            self.saves,
+            self.loads,
+            self.session_locks,
+            self.batch.batches,
+            self.batch.coalesced_queries,
+            self.batch.singleton_queries,
+            self.batch.union_cone_cells,
+            self.batch.union_cone_walks,
+            self.query_stats.computed,
+            self.query_stats.memo_matched,
+            self.query_stats.reused,
+            self.query_stats.unrolls,
+            self.query_stats.fix_converged,
+            self.query_stats.cone_walks,
+            self.query_stats.cone_cells,
+            self.memo.hits,
+            self.memo.misses,
+            self.memo.insertions,
+            self.memo.evictions,
+        )
+    }
+}
+
 /// What query coalescing did: every served query is either a member of a
 /// coalesced batch or a singleton, so
 /// `coalesced_queries + singleton_queries` equals the total number of
@@ -815,6 +899,39 @@ impl<D: PersistDomain> Engine<D> {
             self.shared.global_fence.applied.load(Ordering::SeqCst),
         )
     }
+
+    /// Flips the runtime tracing switch. The switch (like the per-thread
+    /// recorders behind it) is process-wide — it covers every layer's
+    /// probes, not just this engine's — so remote `trace on` over the
+    /// RPC socket lights up the whole query path.
+    pub fn set_tracing(&self, on: bool) {
+        dai_trace::config().set_enabled(on);
+    }
+
+    /// Whether runtime tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        dai_trace::config().is_enabled()
+    }
+
+    /// Drains every thread's trace ring into one dump (records sorted by
+    /// start time). Draining consumes the records.
+    pub fn drain_trace(&self) -> dai_trace::TraceDump {
+        dai_trace::drain()
+    }
+
+    /// Drains the trace and encodes it as one checksummed binary frame;
+    /// [`dai_persist::decode_trace_frame`] reads it back.
+    pub fn dump_trace_binary(&self) -> Vec<u8> {
+        dai_persist::encode_trace_frame(&self.drain_trace())
+    }
+
+    /// Prometheus text exposition of the process metrics registry, with
+    /// this engine's current [`EngineStats`] published into `dai_*`
+    /// gauges first so the scrape always reflects the live counters.
+    pub fn metrics_text(&self) -> String {
+        self.stats().publish_metrics();
+        dai_trace::metrics().render_prometheus()
+    }
 }
 
 /// Builds one reply slot, returning the waiting and the producing half.
@@ -890,6 +1007,7 @@ fn enqueue_queries<D: PersistDomain>(
     if members.is_empty() {
         return;
     }
+    dai_trace::event!("engine.enqueue", members.len());
     let fence = fence_of(shared, session).submitted.load(Ordering::SeqCst);
     let global_fence = shared.global_fence.submitted.load(Ordering::SeqCst);
     let key = (session, func);
@@ -1014,6 +1132,7 @@ fn serve_batch<D: PersistDomain>(shared: &Arc<EngineShared<D>>, pool: &PoolHandl
                 shared.singleton_queries.fetch_add(1, Ordering::Relaxed);
             }
             shared.queries.fetch_add(served, Ordering::Relaxed);
+            dai_trace::event!("engine.answer", served);
             for m in members {
                 m.responder
                     .send(Err(EngineError::NoSuchSession(session_id)));
@@ -1021,7 +1140,14 @@ fn serve_batch<D: PersistDomain>(shared: &Arc<EngineShared<D>>, pool: &PoolHandl
             return;
         }
     };
+    let t0 = std::time::Instant::now();
     let mut guard = lock_session(shared.as_ref(), &session);
+    // Opened only after the lock is held (a leader waiting its turn must
+    // not overlap the holder's span — the acceptance trace shows strictly
+    // serialized held regions, each enclosing its batch's cone walk and
+    // cell evaluations), and explicitly dropped before the answers go
+    // out, so a client draining the instant its sweep returns sees it.
+    let mut lock_span = dai_trace::span!("engine.session_lock");
     let applied = fence_of(shared.as_ref(), session_id)
         .applied
         .load(Ordering::SeqCst);
@@ -1033,6 +1159,7 @@ fn serve_batch<D: PersistDomain>(shared: &Arc<EngineShared<D>>, pool: &PoolHandl
             .into_iter()
             .partition(|m| m.fence <= applied && m.global_fence <= global_applied);
         if !deferred.is_empty() {
+            dai_trace::event!("engine.fence_defer", deferred.len());
             // The batch splits at the fence: later-stamped members stay
             // queued for the fence's completion kick (re-inserted *before*
             // the re-check below, so no kick can slip between).
@@ -1041,6 +1168,7 @@ fn serve_batch<D: PersistDomain>(shared: &Arc<EngineShared<D>>, pool: &PoolHandl
         eligible
     };
     if eligible.is_empty() {
+        drop(lock_span);
         drop(guard);
         recheck_deferred(shared, pool, &key, applied, global_applied);
         return;
@@ -1056,9 +1184,16 @@ fn serve_batch<D: PersistDomain>(shared: &Arc<EngineShared<D>>, pool: &PoolHandl
         &mut shared_stats,
         &mut per_query,
     );
-    drop(guard);
     let served = eligible.len() as u64;
+    lock_span.set_arg(served);
+    // Recorded while the lock is still held: closing after the release
+    // would let a successor's span open inside ours, and recording after
+    // the answers go out would let a client that drains the trace the
+    // instant its sweep returns miss this batch's span entirely.
+    drop(lock_span);
+    drop(guard);
     if served >= 2 {
+        dai_trace::event!("engine.coalesce", served);
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared
             .coalesced_queries
@@ -1085,10 +1220,18 @@ fn serve_batch<D: PersistDomain>(shared: &Arc<EngineShared<D>>, pool: &PoolHandl
         .lock()
         .expect("stats poisoned")
         .absorb(work);
+    dai_trace::event!("engine.answer", served);
     for (m, r) in eligible.into_iter().zip(results) {
         m.responder.send(r.map(Response::State));
     }
+    batch_latency().observe_ns(t0.elapsed().as_nanos() as u64);
     recheck_deferred(shared, pool, &key, applied, global_applied);
+}
+
+/// The engine-wide batch-serve latency histogram, registered once.
+fn batch_latency() -> &'static dai_trace::Histogram {
+    static H: std::sync::OnceLock<dai_trace::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| dai_trace::metrics().histogram("dai_engine_batch_serve_seconds"))
 }
 
 /// After a drain deferred members: if the fences moved past the values the
@@ -1181,8 +1324,10 @@ fn process<D: PersistDomain>(
                 pool,
                 session: Some(session),
             };
+            let _edit_span = dai_trace::span!("engine.edit");
             let session = session_of(shared, session)?;
             let mut guard = lock_session(shared.as_ref(), &session);
+            let _lock_span = dai_trace::span!("engine.session_lock");
             let out = guard.apply_edit(&edit);
             drop(guard);
             if out.is_ok() {
@@ -1193,12 +1338,14 @@ fn process<D: PersistDomain>(
         Request::Snapshot { session } => {
             let session = session_of(shared, session)?;
             let guard = lock_session(shared.as_ref(), &session);
+            let _lock_span = dai_trace::span!("engine.session_lock");
             let snap = guard.snapshot();
             drop(guard);
             shared.snapshots.fetch_add(1, Ordering::Relaxed);
             Ok(Response::Snapshot(snap))
         }
         Request::Save { session, path } => {
+            let mut save_span = dai_trace::span!("engine.save");
             let session = session_of(shared, session)?;
             // Behind the session lock (like Edit): the image is a
             // consistent point in this session's request stream. The
@@ -1209,12 +1356,14 @@ fn process<D: PersistDomain>(
             // by all sessions — that sharing is what makes it warm), so
             // its export rides along with whichever session is saved.
             let guard = lock_session(shared.as_ref(), &session);
+            let _lock_span = dai_trace::span!("engine.session_lock");
             let mut image = guard.image()?;
             drop(guard);
             image.memo = shared.memo.export_entries();
             let funcs = image.funcs.len();
             let memo_entries = image.memo.len();
             let bytes = image.to_bytes();
+            save_span.set_arg(bytes.len() as u64);
             write_snapshot_file(&path, &bytes)?;
             shared.saves.fetch_add(1, Ordering::Relaxed);
             Ok(Response::Saved(PersistOutcome {
@@ -1234,7 +1383,9 @@ fn process<D: PersistDomain>(
                 pool,
                 session: None,
             };
+            let mut load_span = dai_trace::span!("engine.load");
             let bytes = read_snapshot_file(&path)?;
+            load_span.set_arg(bytes.len() as u64);
             let (mut image, report) = SessionImage::<D>::from_bytes(&bytes)?;
             let memo_entries = std::mem::take(&mut image.memo);
             // A snapshot's semantics travel with it: like the iteration

@@ -91,6 +91,10 @@ pub use engine::{
     BatchStats, Engine, EngineConfig, EngineError, EngineStats, PersistOutcome, Request, Response,
     SessionId, Ticket,
 };
+// Re-exported so engine users (the RPC server, the REPL) can name the
+// trace types `Engine::set_tracing` / `Engine::drain_trace` work with
+// without depending on `dai-trace` directly.
+pub use dai_trace::{TraceDump, TraceOp};
 pub use pool::{PoolHandle, WorkerPool};
 pub use scheduler::evaluate_targets;
 pub use service::Service;

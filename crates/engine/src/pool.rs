@@ -184,7 +184,7 @@ impl WorkerPool {
             .map(|i| {
                 let injector = Arc::clone(&injector);
                 std::thread::Builder::new()
-                    .name(format!("dai-engine-worker-{i}"))
+                    .name(format!("dai-worker-{i}"))
                     .spawn(move || worker_loop(&injector))
                     .expect("spawn engine worker")
             })

@@ -270,6 +270,7 @@ where
             if pure.len() < MIN_PARALLEL_BATCH || pool.workers() <= 1 {
                 // In-place fast path: inputs are borrowed from the graph,
                 // not cloned.
+                let _cells_span = dai_trace::span!("engine.cells", pure.len());
                 let mut memo = memo.clone();
                 let mut res = resolver.clone();
                 for &id in &pure {
@@ -285,6 +286,10 @@ where
                 let shared = memo.clone();
                 let res0 = resolver.clone();
                 let results = pool.parallel_map(batch, move |rc| {
+                    // One span per cell, recorded on the worker thread that
+                    // evaluated it — this is what attributes flame-trace
+                    // time to `dai-worker-{i}` threads.
+                    let _cell_span = dai_trace::span!("engine.cells", 1);
                     let mut local = QueryStats::default();
                     let mut memo = shared.clone();
                     let mut res = res0.clone();

@@ -356,6 +356,11 @@ impl<D: AbstractDomain> Session<D> {
         shared_stats: &mut QueryStats,
         per_query: &mut [QueryStats],
     ) -> Vec<Result<D, EngineError>> {
+        // One span per union drain; its payload is the number of cells the
+        // drain loaded into cone tables (0 for a fully warm batch). Every
+        // `engine.cells` span the rounds record falls inside it.
+        let mut walk_span = dai_trace::span!("engine.cone_walk");
+        let cells_before = shared_stats.cone_cells;
         let mut out: Vec<Option<Result<D, EngineError>>> = (0..locs.len()).map(|_| None).collect();
         let mut resolved: Vec<Option<Name>> = vec![None; locs.len()];
         // Members whose answer required no evaluation at all count as
@@ -441,6 +446,7 @@ impl<D: AbstractDomain> Session<D> {
             }
             targets.sort();
             targets.dedup();
+            let _round_span = dai_trace::span!("engine.round", targets.len());
             if let Err(e) = evaluate_targets(
                 &mut unit.fa,
                 &targets,
@@ -457,6 +463,7 @@ impl<D: AbstractDomain> Session<D> {
                 break;
             }
         }
+        walk_span.set_arg(shared_stats.cone_cells - cells_before);
         out.into_iter()
             .enumerate()
             .map(|(i, slot)| {

@@ -72,6 +72,7 @@
 pub mod codec;
 pub mod frame;
 pub mod snapshot;
+pub mod trace;
 pub mod wire;
 
 pub use codec::{
@@ -86,4 +87,5 @@ pub use snapshot::{
     decode_daig, encode_daig, read_snapshot_file, write_snapshot_file, FuncImage, RestoreReport,
     SessionImage, FUNC_VERSION, MEMO_VERSION, SESSION_VERSION,
 };
+pub use trace::{decode_trace_frame, encode_trace_frame, TRACE_FRAME_TAG, TRACE_FRAME_VERSION};
 pub use wire::{Persist, PersistDomain, MAX_DECODE_DEPTH};

@@ -1,0 +1,270 @@
+//! [`Persist`] codecs and disk/wire framing for `dai-trace` dumps, so
+//! traces travel exactly like snapshots and RPC messages: one
+//! [`crate::frame`] frame — tag, version, length, payload, FxHash64
+//! checksum — around a `Persist`-encoded payload.
+//!
+//! The codecs live here (not in `dai-trace`, which is dependency-free,
+//! nor in `dai-engine`, which the orphan rule excludes) because this is
+//! the one crate that sees both the [`Persist`] trait and the trace
+//! types.
+
+use dai_trace::{Record, RecordKind, TraceDump, TraceOp};
+
+use crate::codec::{PersistError, Reader, Writer};
+use crate::frame::{split_frame, write_frame};
+use crate::wire::{bad_tag, Persist};
+
+/// The frame tag of a binary trace dump (`trace dump PATH` in the REPL,
+/// `dump_trace_binary` in the engine).
+pub const TRACE_FRAME_TAG: [u8; 4] = *b"TRCE";
+
+/// Version of the trace payload encoding inside a [`TRACE_FRAME_TAG`]
+/// frame.
+pub const TRACE_FRAME_VERSION: u16 = 1;
+
+impl Persist for TraceOp {
+    fn put(&self, w: &mut Writer) {
+        w.u8(match self {
+            TraceOp::Enable => 0,
+            TraceOp::Disable => 1,
+            TraceOp::Dump => 2,
+        });
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.u8()? {
+            0 => Ok(TraceOp::Enable),
+            1 => Ok(TraceOp::Disable),
+            2 => Ok(TraceOp::Dump),
+            t => Err(bad_tag("trace-op", t)),
+        }
+    }
+}
+
+impl Persist for RecordKind {
+    fn put(&self, w: &mut Writer) {
+        w.u8(match self {
+            RecordKind::Span => 0,
+            RecordKind::Event => 1,
+        });
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.u8()? {
+            0 => Ok(RecordKind::Span),
+            1 => Ok(RecordKind::Event),
+            t => Err(bad_tag("trace-record-kind", t)),
+        }
+    }
+}
+
+impl Persist for Record {
+    fn put(&self, w: &mut Writer) {
+        w.u32(self.label);
+        w.u32(self.thread);
+        self.kind.put(w);
+        w.u64(self.start_ns);
+        w.u64(self.end_ns);
+        w.u64(self.arg);
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Record {
+            label: r.u32()?,
+            thread: r.u32()?,
+            kind: RecordKind::get(r)?,
+            start_ns: r.u64()?,
+            end_ns: r.u64()?,
+            arg: r.u64()?,
+        })
+    }
+}
+
+impl Persist for TraceDump {
+    fn put(&self, w: &mut Writer) {
+        self.records.put(w);
+        self.labels.put(w);
+        self.threads.put(w);
+        w.u64(self.dropped);
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let dump = TraceDump {
+            records: Vec::<Record>::get(r)?,
+            labels: Vec::<String>::get(r)?,
+            threads: Vec::<String>::get(r)?,
+            dropped: r.u64()?,
+        };
+        // A record indexing past the interned tables would have been
+        // assembled by something other than the recorder: reject it
+        // rather than let `"?"` fallbacks mask real corruption.
+        for rec in &dump.records {
+            if rec.label as usize >= dump.labels.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "trace record label {} out of range ({} labels)",
+                    rec.label,
+                    dump.labels.len()
+                )));
+            }
+            if rec.thread as usize >= dump.threads.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "trace record thread {} out of range ({} threads)",
+                    rec.thread,
+                    dump.threads.len()
+                )));
+            }
+        }
+        Ok(dump)
+    }
+}
+
+/// Encodes `dump` as one checksummed [`TRACE_FRAME_TAG`] frame — the
+/// binary on-disk trace format.
+pub fn encode_trace_frame(dump: &TraceDump) -> Vec<u8> {
+    let mut w = Writer::new();
+    dump.put(&mut w);
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 32);
+    write_frame(&mut out, TRACE_FRAME_TAG, TRACE_FRAME_VERSION, &payload);
+    out
+}
+
+/// Decodes a binary trace dump produced by [`encode_trace_frame`].
+///
+/// # Errors
+///
+/// [`PersistError`] when the frame is missing, truncated, mistagged,
+/// version-skewed, checksum-damaged, carries trailing bytes, or its
+/// payload does not decode.
+pub fn decode_trace_frame(bytes: &[u8]) -> Result<TraceDump, PersistError> {
+    let frame = split_frame(bytes).ok_or(PersistError::Truncated)?;
+    if frame.header.tag != TRACE_FRAME_TAG {
+        return Err(PersistError::Corrupt(format!(
+            "not a trace dump (tag {:?})",
+            frame.header.tag
+        )));
+    }
+    if frame.header.version != TRACE_FRAME_VERSION {
+        return Err(PersistError::UnsupportedVersion(frame.header.version));
+    }
+    if frame.truncated {
+        return Err(PersistError::Truncated);
+    }
+    let payload = frame
+        .payload
+        .ok_or_else(|| PersistError::Corrupt("trace frame checksum mismatch".to_string()))?;
+    if frame.consumed != bytes.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after trace frame",
+            bytes.len() - frame.consumed
+        )));
+    }
+    let mut r = Reader::new(payload);
+    let dump = TraceDump::get(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes in trace payload",
+            r.remaining()
+        )));
+    }
+    Ok(dump)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dump() -> TraceDump {
+        TraceDump {
+            records: vec![
+                Record {
+                    label: 0,
+                    thread: 0,
+                    kind: RecordKind::Span,
+                    start_ns: 10,
+                    end_ns: 90,
+                    arg: 4,
+                },
+                Record {
+                    label: 1,
+                    thread: 1,
+                    kind: RecordKind::Event,
+                    start_ns: 42,
+                    end_ns: 42,
+                    arg: u64::MAX,
+                },
+            ],
+            labels: vec!["engine.cone_walk".into(), "engine.unroll".into()],
+            threads: vec!["main".into(), "dai-worker-1".into()],
+            dropped: 7,
+        }
+    }
+
+    #[test]
+    fn trace_ops_and_dumps_roundtrip() {
+        for op in [TraceOp::Enable, TraceOp::Disable, TraceOp::Dump] {
+            let mut w = Writer::new();
+            op.put(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(TraceOp::get(&mut r).unwrap(), op);
+            assert!(r.is_exhausted());
+        }
+        let dump = sample_dump();
+        let bytes = encode_trace_frame(&dump);
+        assert_eq!(decode_trace_frame(&bytes).unwrap(), dump);
+    }
+
+    #[test]
+    fn empty_dump_roundtrips() {
+        let dump = TraceDump::default();
+        assert_eq!(
+            decode_trace_frame(&encode_trace_frame(&dump)).unwrap(),
+            dump
+        );
+    }
+
+    #[test]
+    fn out_of_range_indices_are_corrupt_not_lossy() {
+        let mut dump = sample_dump();
+        dump.records[0].label = 99;
+        let mut w = Writer::new();
+        dump.put(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        match TraceDump::get(&mut r) {
+            Err(PersistError::Corrupt(m)) => assert!(m.contains("label"), "{m}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_prefix_errors_cleanly() {
+        let bytes = encode_trace_frame(&sample_dump());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_trace_frame(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing garbage after a whole frame is rejected too.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(b"junk-after-frame");
+        assert!(decode_trace_frame(&padded).is_err());
+    }
+
+    #[test]
+    fn every_byte_flip_errors_cleanly() {
+        let bytes = encode_trace_frame(&sample_dump());
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            // The checksum (or a structural check) must catch every
+            // single-byte flip; none may panic or decode successfully.
+            assert!(
+                decode_trace_frame(&flipped).is_err(),
+                "flip at byte {i} decoded"
+            );
+        }
+    }
+}

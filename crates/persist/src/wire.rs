@@ -61,7 +61,7 @@ pub trait PersistDomain: AbstractDomain + Persist {
     fn domain_tag() -> String;
 }
 
-fn bad_tag(what: &str, tag: u8) -> PersistError {
+pub(crate) fn bad_tag(what: &str, tag: u8) -> PersistError {
     PersistError::Corrupt(format!("unknown {what} tag {tag}"))
 }
 

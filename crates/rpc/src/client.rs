@@ -21,6 +21,7 @@
 use dai_core::driver::ProgramEdit;
 use dai_engine::{
     EditOutcome, EngineError, EngineStats, PersistOutcome, Service, SessionId, SessionSnapshot,
+    TraceDump, TraceOp,
 };
 use dai_lang::Loc;
 use dai_persist::frame::{read_frame, write_frame, FrameReadError};
@@ -183,6 +184,59 @@ impl<D: PersistDomain> Client<D> {
     pub fn handoff(&self, session: SessionId) -> Result<bool, EngineError> {
         match self.call_ok(&WireRequest::Handoff { session: session.0 })? {
             WireResponse::Released { owned } => Ok(owned),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Sends one trace op to the server. Every op answers with a dump;
+    /// enable/disable answer an empty one.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace(&self, op: TraceOp) -> Result<TraceDump, EngineError> {
+        match self.call_ok(&WireRequest::Trace { op })? {
+            WireResponse::Trace(dump) => Ok(dump),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Turns the server's runtime trace recording on.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace_enable(&self) -> Result<(), EngineError> {
+        self.trace(TraceOp::Enable).map(|_| ())
+    }
+
+    /// Turns the server's runtime trace recording off.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace_disable(&self) -> Result<(), EngineError> {
+        self.trace(TraceOp::Disable).map(|_| ())
+    }
+
+    /// Drains the server's recorded trace.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace_dump(&self) -> Result<TraceDump, EngineError> {
+        self.trace(TraceOp::Dump)
+    }
+
+    /// The server's Prometheus metrics exposition (live engine stats
+    /// are published into gauges before rendering).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn metrics(&self) -> Result<String, EngineError> {
+        match self.call_ok(&WireRequest::Metrics)? {
+            WireResponse::Metrics { text } => Ok(text),
             other => Err(transport_err(format!("unexpected response {other:?}"))),
         }
     }

@@ -41,7 +41,9 @@
 //! variants and the rest onto [`dai_engine::EngineError::Remote`].
 
 use dai_core::driver::ProgramEdit;
-use dai_engine::{EditOutcome, EngineError, EngineStats, PersistOutcome, SessionSnapshot};
+use dai_engine::{
+    EditOutcome, EngineError, EngineStats, PersistOutcome, SessionSnapshot, TraceDump, TraceOp,
+};
 use dai_lang::Loc;
 use dai_persist::{Persist, PersistError, Reader, Writer};
 
@@ -190,6 +192,16 @@ pub enum WireRequest {
         /// The session to release.
         session: u64,
     },
+    /// Control the server's trace recorder: flip the runtime switch or
+    /// drain the recorded spans/events. Every op is answered with
+    /// [`WireResponse::Trace`] (an empty dump for enable/disable).
+    Trace {
+        /// What to do.
+        op: TraceOp,
+    },
+    /// Read the server's metrics registry as Prometheus text (the
+    /// engine's live stats are published into gauges first).
+    Metrics,
 }
 
 /// One server → client message.
@@ -241,6 +253,15 @@ pub enum WireResponse {
     },
     /// The request failed.
     Error(WireError),
+    /// A trace op completed; [`WireRequest::Trace`] with
+    /// [`TraceOp::Dump`] carries the drained records, enable/disable an
+    /// empty dump.
+    Trace(TraceDump),
+    /// The metrics exposition.
+    Metrics {
+        /// Prometheus text exposition.
+        text: String,
+    },
 }
 
 /// A structured wire failure. Every variant has a stable [`code`]
@@ -496,6 +517,11 @@ impl Persist for WireRequest {
                 w.u8(11);
                 w.u64(*session);
             }
+            WireRequest::Trace { op } => {
+                w.u8(12);
+                op.put(w);
+            }
+            WireRequest::Metrics => w.u8(13),
         }
     }
 
@@ -537,6 +563,10 @@ impl Persist for WireRequest {
             },
             10 => WireRequest::Stats,
             11 => WireRequest::Handoff { session: r.u64()? },
+            12 => WireRequest::Trace {
+                op: TraceOp::get(r)?,
+            },
+            13 => WireRequest::Metrics,
             t => {
                 return Err(PersistError::Corrupt(format!(
                     "unknown wire-request tag {t}"
@@ -611,6 +641,14 @@ impl Persist for WireResponse {
                 w.u8(11);
                 e.put(w);
             }
+            WireResponse::Trace(dump) => {
+                w.u8(12);
+                dump.put(w);
+            }
+            WireResponse::Metrics { text } => {
+                w.u8(13);
+                text.put(w);
+            }
         }
     }
 
@@ -658,6 +696,10 @@ impl Persist for WireResponse {
                 owned: bool::get(r)?,
             },
             11 => WireResponse::Error(WireError::get(r)?),
+            12 => WireResponse::Trace(TraceDump::get(r)?),
+            13 => WireResponse::Metrics {
+                text: String::get(r)?,
+            },
             t => {
                 return Err(PersistError::Corrupt(format!(
                     "unknown wire-response tag {t}"
@@ -741,6 +783,10 @@ mod tests {
         });
         roundtrip(&WireRequest::Stats);
         roundtrip(&WireRequest::Handoff { session: 4 });
+        for op in [TraceOp::Enable, TraceOp::Disable, TraceOp::Dump] {
+            roundtrip(&WireRequest::Trace { op });
+        }
+        roundtrip(&WireRequest::Metrics);
     }
 
     #[test]
@@ -760,6 +806,23 @@ mod tests {
             want: PROTOCOL_VERSION,
         }));
         roundtrip(&WireResponse::Released { owned: true });
+        roundtrip(&WireResponse::Trace(TraceDump::default()));
+        roundtrip(&WireResponse::Trace(TraceDump {
+            records: vec![dai_trace::Record {
+                label: 0,
+                thread: 0,
+                kind: dai_trace::RecordKind::Span,
+                start_ns: 5,
+                end_ns: 25,
+                arg: 3,
+            }],
+            labels: vec!["engine.cone_walk".to_string()],
+            threads: vec!["dai-worker-0".to_string()],
+            dropped: 0,
+        }));
+        roundtrip(&WireResponse::Metrics {
+            text: "# TYPE dai_engine_queries gauge\ndai_engine_queries 5\n".to_string(),
+        });
     }
 
     #[test]

@@ -199,7 +199,10 @@ impl<D: PersistDomain> Server<D> {
             handles: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        let accept = std::thread::Builder::new()
+            .name("dai-rpc-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_shared))
+            .expect("spawn rpc accept thread");
         Ok(Server {
             shared,
             addr: bound,
@@ -279,7 +282,13 @@ fn accept_loop<D: PersistDomain>(listener: Listener, shared: &Arc<ServerShared<D
             .expect("conn list")
             .insert(conn_id, clone);
         let conn_shared = Arc::clone(shared);
-        let handle = std::thread::spawn(move || serve_connection(conn_id, stream, &conn_shared));
+        let Ok(handle) = std::thread::Builder::new()
+            .name(format!("dai-rpc-conn-{conn_id}"))
+            .spawn(move || serve_connection(conn_id, stream, &conn_shared))
+        else {
+            shared.conns.lock().expect("conn list").remove(&conn_id);
+            continue;
+        };
         let mut handles = shared.handles.lock().expect("handle list");
         // Reap finished connections as new ones arrive, so a long-lived
         // server's handle list tracks live connections, not history.
@@ -301,6 +310,7 @@ fn accept_loop<D: PersistDomain>(listener: Listener, shared: &Arc<ServerShared<D
 /// structured error — the client's bounded reader would otherwise
 /// reject it and desynchronize.
 fn send(stream: &mut Stream, msg: &WireResponse) -> std::io::Result<()> {
+    let _encode_span = dai_trace::span!("rpc.encode");
     let mut payload = encode_message(msg);
     if payload.len() > MAX_FRAME_LEN {
         payload = encode_message(&WireResponse::Error(WireError::Protocol(format!(
@@ -365,12 +375,21 @@ fn serve_connection<D: PersistDomain>(
                 None => {
                     WireResponse::Error(WireError::Protocol("frame checksum mismatch".to_string()))
                 }
-                Some(payload) => match decode_message::<WireRequest>(payload) {
-                    Err(e) => WireResponse::Error(WireError::Protocol(format!(
-                        "undecodable request payload: {e}"
-                    ))),
-                    Ok(request) => handle(shared, &mut owned, &mut hello_done, request),
-                },
+                Some(payload) => {
+                    let decoded = {
+                        let _decode_span = dai_trace::span!("rpc.decode", payload.len());
+                        decode_message::<WireRequest>(payload)
+                    };
+                    match decoded {
+                        Err(e) => WireResponse::Error(WireError::Protocol(format!(
+                            "undecodable request payload: {e}"
+                        ))),
+                        Ok(request) => {
+                            let _dispatch_span = dai_trace::span!("rpc.dispatch");
+                            handle(shared, &mut owned, &mut hello_done, request)
+                        }
+                    }
+                }
             }
         };
         if send(&mut stream, &response).is_err() {
@@ -487,6 +506,20 @@ fn handle<D: PersistDomain>(
         WireRequest::Handoff { session } => WireResponse::Released {
             owned: owned.remove(&SessionId(session)),
         },
+        WireRequest::Trace { op } => WireResponse::Trace(match op {
+            dai_engine::TraceOp::Enable => {
+                engine.set_tracing(true);
+                Default::default()
+            }
+            dai_engine::TraceOp::Disable => {
+                engine.set_tracing(false);
+                Default::default()
+            }
+            dai_engine::TraceOp::Dump => engine.drain_trace(),
+        }),
+        WireRequest::Metrics => WireResponse::Metrics {
+            text: engine.metrics_text(),
+        },
     }
 }
 
@@ -523,5 +556,7 @@ fn request_name(r: &WireRequest) -> &'static str {
         WireRequest::Load { .. } => "load",
         WireRequest::Stats => "stats",
         WireRequest::Handoff { .. } => "handoff",
+        WireRequest::Trace { .. } => "trace",
+        WireRequest::Metrics => "metrics",
     }
 }

@@ -1,0 +1,404 @@
+//! Chrome `trace_event` JSON export: a [`TraceDump`] becomes a
+//! `{"traceEvents": [...]}` document `chrome://tracing` and Perfetto
+//! open directly, and [`validate_chrome_trace`] re-parses one with a
+//! small hand-rolled JSON reader so exports can be checked in-process
+//! (the workspace is offline — no serde).
+
+use crate::recorder::{RecordKind, TraceDump};
+
+/// What a re-parse of an exported trace found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total entries in `traceEvents`.
+    pub total: usize,
+    /// `"ph":"X"` complete (span) events.
+    pub complete: usize,
+    /// `"ph":"i"` instant events.
+    pub instants: usize,
+    /// `"ph":"M"` metadata events (thread names).
+    pub metadata: usize,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `dump` as a Chrome `trace_event` JSON document: one `"M"`
+/// thread-name metadata entry per thread, one `"X"` complete event per
+/// span, one `"i"` instant per event. Timestamps are microseconds from
+/// the trace epoch; the probe's integer payload travels in
+/// `args.arg`.
+pub fn chrome_trace_json(dump: &TraceDump) -> String {
+    let mut out = String::with_capacity(64 + dump.records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: &str, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(s);
+    };
+    for (tid, name) in dump.threads.iter().enumerate() {
+        let mut entry = String::from("{\"ph\":\"M\",\"pid\":1,\"name\":\"thread_name\",\"tid\":");
+        entry.push_str(&tid.to_string());
+        entry.push_str(",\"args\":{\"name\":\"");
+        escape_json(name, &mut entry);
+        entry.push_str("\"}}");
+        emit(&entry, &mut out);
+    }
+    for r in &dump.records {
+        let ts_us = r.start_ns as f64 / 1e3;
+        let mut entry = String::from("{\"name\":\"");
+        escape_json(dump.label_of(r), &mut entry);
+        entry.push_str("\",\"pid\":1,\"tid\":");
+        entry.push_str(&r.thread.to_string());
+        match r.kind {
+            RecordKind::Span => {
+                let dur_us = r.end_ns.saturating_sub(r.start_ns) as f64 / 1e3;
+                entry.push_str(&format!(
+                    ",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3}"
+                ));
+            }
+            RecordKind::Event => {
+                entry.push_str(&format!(",\"ph\":\"i\",\"ts\":{ts_us:.3},\"s\":\"t\""));
+            }
+        }
+        entry.push_str(&format!(",\"args\":{{\"arg\":{}}}}}", r.arg));
+        emit(&entry, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (for re-parsing exports).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value — just enough structure to validate a trace.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.at)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > 64 {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.bytes.get(self.at) {
+            None => Err(self.err("unexpected end")),
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b'}') {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    let val = self.value(depth + 1)?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b']') {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.at) != Some(&b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.at += 1;
+        let mut out = Vec::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return String::from_utf8(out).map_err(|_| self.err("invalid utf-8"));
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0c),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let c = char::from_u32(hex).unwrap_or('\u{fffd}');
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            self.at += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    self.at += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Re-parses a Chrome trace document: the top level must be an object
+/// whose `traceEvents` is an array of objects, each carrying a string
+/// `"ph"` (and a `"name"` unless it is pure metadata). Returns counts
+/// per phase, or a description of the first structural problem.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeSummary, String> {
+    let mut p = Parser {
+        bytes: json.as_bytes(),
+        at: 0,
+    };
+    let doc = p.value(0)?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing bytes after document"));
+    }
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(items)) => items,
+        Some(_) => return Err("`traceEvents` is not an array".to_string()),
+        None => return Err("document has no `traceEvents` field".to_string()),
+    };
+    let mut summary = ChromeSummary::default();
+    for (i, entry) in events.iter().enumerate() {
+        let ph = entry
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] has no string `ph`"))?;
+        match ph {
+            "X" => {
+                summary.complete += 1;
+                for field in ["name", "ts", "dur"] {
+                    if entry.get(field).is_none() {
+                        return Err(format!("traceEvents[{i}] (ph=X) missing `{field}`"));
+                    }
+                }
+            }
+            "i" => {
+                summary.instants += 1;
+                if entry.get("name").is_none() {
+                    return Err(format!("traceEvents[{i}] (ph=i) missing `name`"));
+                }
+            }
+            "M" => summary.metadata += 1,
+            other => return Err(format!("traceEvents[{i}] has unknown ph `{other}`")),
+        }
+        summary.total += 1;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Record;
+
+    fn sample_dump() -> TraceDump {
+        TraceDump {
+            records: vec![
+                Record {
+                    label: 0,
+                    thread: 0,
+                    kind: RecordKind::Span,
+                    start_ns: 1_000,
+                    end_ns: 5_000,
+                    arg: 3,
+                },
+                Record {
+                    label: 1,
+                    thread: 1,
+                    kind: RecordKind::Event,
+                    start_ns: 2_000,
+                    end_ns: 2_000,
+                    arg: 0,
+                },
+            ],
+            labels: vec!["engine.cone_walk".into(), "engine.unroll".into()],
+            threads: vec!["main".into(), "dai-worker-0".into()],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_validator() {
+        let json = chrome_trace_json(&sample_dump());
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(
+            summary,
+            ChromeSummary {
+                total: 4, // 2 thread metadata + 1 span + 1 instant
+                complete: 1,
+                instants: 1,
+                metadata: 2,
+            }
+        );
+        assert!(json.contains("\"dur\":4.000"), "{json}");
+        assert!(json.contains("dai-worker-0"), "{json}");
+    }
+
+    #[test]
+    fn labels_with_json_metacharacters_are_escaped() {
+        let mut dump = sample_dump();
+        dump.labels[0] = "weird\"label\\with\nstuff".into();
+        let json = chrome_trace_json(&dump);
+        let summary = validate_chrome_trace(&json).expect("escaped trace stays valid");
+        assert_eq!(summary.complete, 1);
+    }
+
+    #[test]
+    fn validator_rejects_structural_damage() {
+        assert!(validate_chrome_trace("").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":7}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"no_ph\":1}]}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").unwrap().total == 0);
+        let valid = chrome_trace_json(&sample_dump());
+        assert!(validate_chrome_trace(&valid[..valid.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn parser_handles_numbers_escapes_and_nesting() {
+        let doc = r#"{"traceEvents":[{"ph":"X","name":"aA","ts":1.5,"dur":-2e-3,"args":{"deep":[1,2,{"x":null,"y":true}]}}]}"#;
+        let summary = validate_chrome_trace(doc).expect("parses");
+        assert_eq!(summary.complete, 1);
+    }
+}

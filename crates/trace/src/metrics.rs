@@ -1,0 +1,242 @@
+//! A process-wide registry of named counters, gauges, and fixed-bucket
+//! latency histograms, with Prometheus-style text exposition.
+//!
+//! Handles are cheap `Arc` clones over atomics: register once (a name
+//! lookup under the registry lock), then update lock-free. The registry
+//! subsumes the stack's ad-hoc counters for *export*: layers keep their
+//! own accounting, and publish into gauges when an exposition is
+//! rendered.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Histogram bucket upper bounds in nanoseconds: powers of four from
+/// 1 µs to ~4.3 s, a fixed layout every latency histogram shares so
+/// exports never disagree on buckets.
+pub const LATENCY_BUCKETS_NS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_294_967_296,
+];
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// One count per [`LATENCY_BUCKETS_NS`] bound, plus the +Inf bucket.
+    buckets: [AtomicU64; LATENCY_BUCKETS_NS.len() + 1],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram (bounds: [`LATENCY_BUCKETS_NS`]).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let at = LATENCY_BUCKETS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(LATENCY_BUCKETS_NS.len());
+        self.0.buckets[at].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The metrics registry; get the process-wide one via [`metrics`].
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Registry>,
+}
+
+/// The process-wide metrics registry.
+pub fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(Metrics::default)
+}
+
+impl Metrics {
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut reg = self.inner.lock().expect("metrics registry poisoned");
+        reg.counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut reg = self.inner.lock().expect("metrics registry poisoned");
+        reg.gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The latency histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut reg = self.inner.lock().expect("metrics registry poisoned");
+        reg.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Histogram(Arc::new(HistogramInner {
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                    sum_ns: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Prometheus text exposition: every registered metric, sorted by
+    /// name, with `# TYPE` headers; histogram bounds and sums are
+    /// rendered in seconds.
+    pub fn render_prometheus(&self) -> String {
+        let reg = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, c) in &reg.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in &reg.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in &reg.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &bound) in LATENCY_BUCKETS_NS.iter().enumerate() {
+                cumulative += h.0.buckets[i].load(Ordering::Relaxed);
+                let le = bound as f64 / 1e9;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            cumulative += h.0.buckets[LATENCY_BUCKETS_NS.len()].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", h.sum_ns() as f64 / 1e9);
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_update() {
+        let m = Metrics::default();
+        let c = m.counter("test_ops_total");
+        c.inc();
+        c.add(4);
+        // A second lookup sees the same underlying cell.
+        assert_eq!(m.counter("test_ops_total").get(), 5);
+        let g = m.gauge("test_depth");
+        g.set(17);
+        g.set(3);
+        assert_eq!(m.gauge("test_depth").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let m = Metrics::default();
+        let h = m.histogram("test_latency_seconds");
+        h.observe_ns(500); // <= 1_000
+        h.observe_ns(2_000); // <= 4_000
+        h.observe_ns(10_000_000_000); // beyond the last bound -> +Inf
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("test_latency_seconds_bucket{le=\"0.000001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_latency_seconds_bucket{le=\"0.000004\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("test_latency_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_typed() {
+        let m = Metrics::default();
+        m.counter("zeta_total").inc();
+        m.counter("alpha_total").inc();
+        m.gauge("middle").set(1);
+        let text = m.render_prometheus();
+        let alpha = text.find("# TYPE alpha_total counter").unwrap();
+        let zeta = text.find("# TYPE zeta_total counter").unwrap();
+        assert!(alpha < zeta, "{text}");
+        assert!(text.contains("# TYPE middle gauge"), "{text}");
+    }
+}

@@ -1,0 +1,561 @@
+//! The span/event recorder: per-thread ring buffers of fixed-size
+//! records, interned labels, one monotonic epoch, drained into a
+//! [`TraceDump`].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Records each thread's ring holds before the oldest are overwritten.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------
+// Runtime switch.
+// ---------------------------------------------------------------------
+
+/// The runtime tracing switch, shared as `Arc<TraceConfig>` by every
+/// layer ([`config`] hands out the process-wide instance).
+#[derive(Debug, Default)]
+pub struct TraceConfig {
+    enabled: AtomicBool,
+}
+
+impl TraceConfig {
+    /// Is recording currently on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off (takes effect at the next probe).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Were the hot-path probes compiled in (`probes` feature)?
+    pub fn probes_compiled() -> bool {
+        cfg!(feature = "probes")
+    }
+}
+
+/// The process-wide tracing configuration.
+pub fn config() -> &'static Arc<TraceConfig> {
+    static CONFIG: OnceLock<Arc<TraceConfig>> = OnceLock::new();
+    CONFIG.get_or_init(|| Arc::new(TraceConfig::default()))
+}
+
+/// True iff probes are compiled in *and* the runtime switch is on.
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "probes") && config().is_enabled()
+}
+
+// ---------------------------------------------------------------------
+// Labels and probe sites.
+// ---------------------------------------------------------------------
+
+/// An interned label id (index into [`TraceDump::labels`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+#[derive(Default)]
+struct LabelInterner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+fn labels() -> &'static Mutex<LabelInterner> {
+    static LABELS: OnceLock<Mutex<LabelInterner>> = OnceLock::new();
+    LABELS.get_or_init(|| Mutex::new(LabelInterner::default()))
+}
+
+/// Interns `name`, returning its stable [`Label`].
+pub fn label(name: &str) -> Label {
+    let mut interner = labels().lock().expect("label interner poisoned");
+    if let Some(&id) = interner.index.get(name) {
+        return Label(id);
+    }
+    let id = interner.names.len() as u32;
+    interner.names.push(name.to_string());
+    interner.index.insert(name.to_string(), id);
+    Label(id)
+}
+
+fn label_names() -> Vec<String> {
+    labels()
+        .lock()
+        .expect("label interner poisoned")
+        .names
+        .clone()
+}
+
+/// A `static` probe site: a name plus its lazily interned label, so a
+/// probe that fires a million times interns once.
+pub struct Site {
+    name: &'static str,
+    label: OnceLock<Label>,
+}
+
+impl Site {
+    /// A new (not yet interned) site; `const` so it can live in a
+    /// `static` inside the [`span!`](crate::span)/[`event!`](crate::event)
+    /// expansion.
+    pub const fn new(name: &'static str) -> Site {
+        Site {
+            name,
+            label: OnceLock::new(),
+        }
+    }
+
+    /// The site's interned label.
+    pub fn label(&self) -> Label {
+        *self.label.get_or_init(|| label(self.name))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Records and per-thread rings.
+// ---------------------------------------------------------------------
+
+/// What a [`Record`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A time interval (`start_ns..end_ns`).
+    Span,
+    /// An instant (`start_ns == end_ns`).
+    Event,
+}
+
+/// One fixed-size trace record. `label` and `thread` index the interned
+/// tables of the [`TraceDump`] the record is drained into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Index into [`TraceDump::labels`].
+    pub label: u32,
+    /// Index into [`TraceDump::threads`].
+    pub thread: u32,
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Start time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// End time; equals `start_ns` for events.
+    pub end_ns: u64,
+    /// A probe-chosen integer payload (a count, a size, an id).
+    pub arg: u64,
+}
+
+struct Ring {
+    buf: Vec<Record>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, r: Record) {
+        if self.buf.is_empty() {
+            // Allocate lazily so threads that never record cost nothing.
+            self.buf.reserve_exact(RING_CAPACITY);
+        }
+        if self.len < RING_CAPACITY {
+            let at = (self.head + self.len) % RING_CAPACITY;
+            if at == self.buf.len() {
+                self.buf.push(r);
+            } else {
+                self.buf[at] = r;
+            }
+            self.len += 1;
+        } else {
+            // Full: overwrite the oldest record.
+            self.buf[self.head] = r;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<Record>) -> u64 {
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % RING_CAPACITY]);
+        }
+        self.head = 0;
+        self.len = 0;
+        std::mem::take(&mut self.dropped)
+    }
+}
+
+struct ThreadSlot {
+    id: u32,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Default)]
+struct Registry {
+    slots: Vec<Arc<ThreadSlot>>,
+    names: Vec<String>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+thread_local! {
+    static SLOT: RefCell<Option<Arc<ThreadSlot>>> = const { RefCell::new(None) };
+}
+
+fn my_slot() -> Arc<ThreadSlot> {
+    SLOT.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(s) = slot.as_ref() {
+            return Arc::clone(s);
+        }
+        let mut reg = registry().lock().expect("trace registry poisoned");
+        let id = reg.slots.len() as u32;
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{id}"));
+        let fresh = Arc::new(ThreadSlot {
+            id,
+            ring: Mutex::new(Ring::new()),
+        });
+        reg.slots.push(Arc::clone(&fresh));
+        reg.names.push(name);
+        *slot = Some(Arc::clone(&fresh));
+        fresh
+    })
+}
+
+fn push_record(mut r: Record) {
+    let slot = my_slot();
+    r.thread = slot.id;
+    slot.ring.lock().expect("trace ring poisoned").push(r);
+}
+
+// ---------------------------------------------------------------------
+// Probes.
+// ---------------------------------------------------------------------
+
+/// A span in flight; records on drop. Inert when tracing is off.
+#[must_use = "a span records the interval until the guard drops"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    label: Label,
+    start_ns: u64,
+    arg: u64,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing.
+    pub fn inert() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// Replaces the span's integer payload (e.g. with a count known
+    /// only at the end of the measured region).
+    pub fn set_arg(&mut self, arg: u64) {
+        if let Some(active) = self.0.as_mut() {
+            active.arg = arg;
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            push_record(Record {
+                label: active.label.0,
+                thread: 0,
+                kind: RecordKind::Span,
+                start_ns: active.start_ns,
+                end_ns: now_ns(),
+                arg: active.arg,
+            });
+        }
+    }
+}
+
+/// Opens a span at `site` (prefer the [`span!`](crate::span) macro).
+#[cfg(feature = "probes")]
+pub fn site_span(site: &'static Site, arg: u64) -> SpanGuard {
+    if !config().is_enabled() {
+        return SpanGuard::inert();
+    }
+    SpanGuard(Some(ActiveSpan {
+        label: site.label(),
+        start_ns: now_ns(),
+        arg,
+    }))
+}
+
+/// Records an event at `site` (prefer the [`event!`](crate::event) macro).
+#[cfg(feature = "probes")]
+pub fn site_event(site: &'static Site, arg: u64) {
+    if !config().is_enabled() {
+        return;
+    }
+    let t = now_ns();
+    push_record(Record {
+        label: site.label().0,
+        thread: 0,
+        kind: RecordKind::Event,
+        start_ns: t,
+        end_ns: t,
+        arg,
+    });
+}
+
+/// Probe stub: the `probes` feature is off, so sites compile to nothing.
+#[cfg(not(feature = "probes"))]
+#[inline(always)]
+pub fn site_span(_site: &'static Site, _arg: u64) -> SpanGuard {
+    SpanGuard::inert()
+}
+
+/// Probe stub: the `probes` feature is off, so sites compile to nothing.
+#[cfg(not(feature = "probes"))]
+#[inline(always)]
+pub fn site_event(_site: &'static Site, _arg: u64) {}
+
+// ---------------------------------------------------------------------
+// Draining.
+// ---------------------------------------------------------------------
+
+/// A drained trace: every thread's records (sorted by start time) plus
+/// the interned label and thread-name tables they index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceDump {
+    /// All records, sorted by `(start_ns, Reverse(end_ns))` so an
+    /// enclosing span sorts before the children it contains.
+    pub records: Vec<Record>,
+    /// Interned label names; `Record::label` indexes this.
+    pub labels: Vec<String>,
+    /// Registered thread names; `Record::thread` indexes this.
+    pub threads: Vec<String>,
+    /// Records lost to ring overflow since the previous drain.
+    pub dropped: u64,
+}
+
+impl TraceDump {
+    /// No records at all?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The label text of `r` (`"?"` if the index is out of range — a
+    /// damaged dump stays printable).
+    pub fn label_of(&self, r: &Record) -> &str {
+        self.labels
+            .get(r.label as usize)
+            .map_or("?", String::as_str)
+    }
+
+    /// The thread name of `r` (`"?"` if the index is out of range).
+    pub fn thread_of(&self, r: &Record) -> &str {
+        self.threads
+            .get(r.thread as usize)
+            .map_or("?", String::as_str)
+    }
+
+    /// All span records carrying the label `name`.
+    pub fn spans(&self, name: &str) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Span && self.label_of(r) == name)
+            .collect()
+    }
+
+    /// All event records carrying the label `name`.
+    pub fn events(&self, name: &str) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Event && self.label_of(r) == name)
+            .collect()
+    }
+}
+
+/// Drains every thread's ring into one [`TraceDump`] and resets the
+/// rings (records stay where they were recorded until a drain).
+pub fn drain() -> TraceDump {
+    let (slots, threads) = {
+        let reg = registry().lock().expect("trace registry poisoned");
+        (reg.slots.clone(), reg.names.clone())
+    };
+    let mut records = Vec::new();
+    let mut dropped = 0;
+    for slot in slots {
+        dropped += slot
+            .ring
+            .lock()
+            .expect("trace ring poisoned")
+            .drain_into(&mut records);
+    }
+    records.sort_by_key(|r| (r.start_ns, std::cmp::Reverse(r.end_ns)));
+    TraceDump {
+        records,
+        labels: label_names(),
+        threads,
+        dropped,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remote control.
+// ---------------------------------------------------------------------
+
+/// A tracing control operation, carried by the RPC layer's
+/// `WireRequest::Trace` (the `Persist` codec lives in `dai-persist`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Turn recording on.
+    Enable,
+    /// Turn recording off.
+    Disable,
+    /// Drain all rings and return the dump.
+    Dump,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global; tests that flip the switch and
+    /// drain serialize on this. Only the probed tests need it, so the
+    /// no-probe build sees it as dead.
+    #[cfg_attr(not(feature = "probes"), allow(dead_code))]
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    #[cfg(feature = "probes")]
+    fn spans_and_events_record_only_while_enabled() {
+        let _gate = exclusive();
+        let _ = drain();
+        config().set_enabled(false);
+        crate::event!("test.recorder.off", 1);
+        {
+            let _s = crate::span!("test.recorder.off_span");
+        }
+        config().set_enabled(true);
+        crate::event!("test.recorder.on", 7);
+        {
+            let _s = crate::span!("test.recorder.on_span", 5);
+        }
+        config().set_enabled(false);
+        let dump = drain();
+        assert!(dump.events("test.recorder.off").is_empty());
+        assert!(dump.spans("test.recorder.off_span").is_empty());
+        let events = dump.events("test.recorder.on");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].arg, 7);
+        let spans = dump.spans("test.recorder.on_span");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].arg, 5);
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+    }
+
+    #[test]
+    #[cfg(feature = "probes")]
+    fn records_carry_thread_names_and_spans_enclose_children() {
+        let _gate = exclusive();
+        let _ = drain();
+        config().set_enabled(true);
+        let handle = std::thread::Builder::new()
+            .name("test-recorder-child".into())
+            .spawn(|| {
+                let _outer = crate::span!("test.recorder.outer");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                {
+                    let _inner = crate::span!("test.recorder.inner");
+                }
+            })
+            .unwrap();
+        handle.join().unwrap();
+        config().set_enabled(false);
+        let dump = drain();
+        let outer = dump.spans("test.recorder.outer");
+        let inner = dump.spans("test.recorder.inner");
+        assert_eq!((outer.len(), inner.len()), (1, 1));
+        assert_eq!(dump.thread_of(outer[0]), "test-recorder-child");
+        assert!(outer[0].start_ns <= inner[0].start_ns);
+        assert!(inner[0].end_ns <= outer[0].end_ns);
+        // The sort puts the enclosing span first.
+        let outer_at = dump.records.iter().position(|r| r == outer[0]).unwrap();
+        let inner_at = dump.records.iter().position(|r| r == inner[0]).unwrap();
+        assert!(outer_at < inner_at);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let mut ring = Ring::new();
+        let rec = |i: u64| Record {
+            label: 0,
+            thread: 0,
+            kind: RecordKind::Event,
+            start_ns: i,
+            end_ns: i,
+            arg: i,
+        };
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            ring.push(rec(i));
+        }
+        let mut out = Vec::new();
+        let dropped = ring.drain_into(&mut out);
+        assert_eq!(dropped, 10);
+        assert_eq!(out.len(), RING_CAPACITY);
+        // The oldest ten records were overwritten.
+        assert_eq!(out[0].arg, 10);
+        assert_eq!(out.last().unwrap().arg, RING_CAPACITY as u64 + 9);
+        // A second drain finds an empty, reusable ring.
+        let mut again = Vec::new();
+        assert_eq!(ring.drain_into(&mut again), 0);
+        assert!(again.is_empty());
+        ring.push(rec(1));
+        assert_eq!(ring.len, 1);
+    }
+
+    #[test]
+    fn labels_intern_stably() {
+        let a = label("test.recorder.stable");
+        let b = label("test.recorder.stable");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[cfg(feature = "probes")]
+    fn set_arg_overrides_the_span_payload() {
+        let _gate = exclusive();
+        let _ = drain();
+        config().set_enabled(true);
+        {
+            let mut s = crate::span!("test.recorder.set_arg", 1);
+            s.set_arg(99);
+        }
+        config().set_enabled(false);
+        let dump = drain();
+        assert_eq!(dump.spans("test.recorder.set_arg")[0].arg, 99);
+    }
+}

@@ -184,7 +184,7 @@ fn sweep_via_service<D: PersistDomain>(
     source: &str,
     history: &[ProgramEdit],
     targets: &[(String, Loc)],
-) -> Result<(), String> {
+) -> Result<dai_engine::EngineStats, String> {
     let session = service.open("repl", source).map_err(|e| e.to_string())?;
     for edit in history {
         service
@@ -216,7 +216,7 @@ fn sweep_via_service<D: PersistDomain>(
         s.loads,
     );
     service.close(session).map_err(|e| e.to_string())?;
-    Ok(())
+    Ok(s)
 }
 
 fn print_resolver_banner(what: &str, resolver: ResolverChoice) {
@@ -367,6 +367,12 @@ fn repl<D: PersistDomain>(
     let mut out = std::io::stdout();
     // Servers started by `listen`; kept alive (and serving) until quit.
     let mut servers: Vec<Server<D>> = Vec::new();
+    // The engine stats of the most recent `serve`/`connect` sweep —
+    // what `stats --json` reports.
+    let mut last_engine_stats: Option<dai_engine::EngineStats> = None;
+    // The connection of the most recent `connect`, kept open so `trace`
+    // and `stats --json` address the remote engine.
+    let mut remote: Option<Client<D>> = None;
     loop {
         print!("dai> ");
         let _ = out.flush();
@@ -403,10 +409,9 @@ fn repl<D: PersistDomain>(
                     ..EngineConfig::default()
                 });
                 let targets = sweep_targets(analyzer.program());
-                if let Err(e) =
-                    sweep_via_service(&engine, &session.source, &session.history, &targets)
-                {
-                    eprintln!("serve failed: {e}");
+                match sweep_via_service(&engine, &session.source, &session.history, &targets) {
+                    Ok(stats) => last_engine_stats = Some(stats),
+                    Err(e) => eprintln!("serve failed: {e}"),
                 }
             }
             "listen" => {
@@ -448,11 +453,18 @@ fn repl<D: PersistDomain>(
                     Ok(client) => {
                         println!("connected to {addr} (domain {})", D::domain_tag());
                         let targets = sweep_targets(analyzer.program());
-                        if let Err(e) =
-                            sweep_via_service(&client, &session.source, &session.history, &targets)
-                        {
-                            eprintln!("remote sweep failed: {e}");
+                        match sweep_via_service(
+                            &client,
+                            &session.source,
+                            &session.history,
+                            &targets,
+                        ) {
+                            Ok(stats) => last_engine_stats = Some(stats),
+                            Err(e) => eprintln!("remote sweep failed: {e}"),
                         }
+                        // Keep the connection: `trace …` now addresses the
+                        // remote engine until the next connect or quit.
+                        remote = Some(client);
                     }
                     Err(e) => eprintln!("connect failed: {e}"),
                 }
@@ -641,6 +653,14 @@ fn repl<D: PersistDomain>(
                     Err(e) => eprintln!("load failed: {e}"),
                 }
             }
+            "stats" if rest.trim() == "--json" => {
+                // One JSON line of the full EngineStats of the most recent
+                // `serve`/`connect` sweep (schema locked by tests/repl.rs).
+                match &last_engine_stats {
+                    Some(stats) => println!("{}", stats.to_json()),
+                    None => eprintln!("no engine stats yet (run `serve` or `connect` first)"),
+                }
+            }
             "stats" => {
                 let q = analyzer.stats();
                 let m = analyzer.memo_stats();
@@ -657,6 +677,13 @@ fn repl<D: PersistDomain>(
                 );
                 println!("units: {} (function, context) DAIGs", analyzer.unit_count());
             }
+            "trace" => {
+                if let Err(e) =
+                    trace_command(rest.trim(), remote.as_ref(), last_engine_stats.as_ref())
+                {
+                    eprintln!("{e}");
+                }
+            }
             "dot" => {
                 let f = rest.trim();
                 match analyzer.unit(f, &Context::root()) {
@@ -672,6 +699,91 @@ fn repl<D: PersistDomain>(
             }
             other => eprintln!("unknown command `{other}` (try `help`)"),
         }
+    }
+}
+
+/// The `trace on|off|dump PATH|metrics` command. With a live `connect`
+/// client the ops address the *remote* engine's recorder over the wire;
+/// otherwise they act on this process's recorder.
+fn trace_command<D: PersistDomain>(
+    args: &str,
+    remote: Option<&Client<D>>,
+    last_engine_stats: Option<&dai_engine::EngineStats>,
+) -> Result<(), String> {
+    let side = if remote.is_some() { "remote" } else { "local" };
+    let (sub, rest) = args.split_once(' ').unwrap_or((args, ""));
+    match sub {
+        "on" | "off" => {
+            let enable = sub == "on";
+            match remote {
+                Some(client) => client
+                    .trace(if enable {
+                        dai_engine::TraceOp::Enable
+                    } else {
+                        dai_engine::TraceOp::Disable
+                    })
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())?,
+                None => dai_trace::config().set_enabled(enable),
+            }
+            if enable && !dai_trace::TraceConfig::probes_compiled() && remote.is_none() {
+                eprintln!("note: this build has trace probes compiled out (no-default-features)");
+            }
+            println!(
+                "tracing {} ({side})",
+                if enable { "enabled" } else { "disabled" }
+            );
+            Ok(())
+        }
+        "dump" => {
+            let path = rest.trim();
+            if path.is_empty() {
+                return Err(
+                    "usage: trace dump PATH (.json for Chrome trace_event, else binary)"
+                        .to_string(),
+                );
+            }
+            let dump = match remote {
+                Some(client) => client.trace_dump().map_err(|e| e.to_string())?,
+                None => dai_trace::drain(),
+            };
+            let (bytes, format) = if path.ends_with(".json") {
+                (
+                    dai_trace::chrome_trace_json(&dump).into_bytes(),
+                    "chrome trace_event JSON (chrome://tracing, perfetto.dev)",
+                )
+            } else {
+                (
+                    dai_persist::encode_trace_frame(&dump),
+                    "binary trace frame (dai_persist::decode_trace_frame)",
+                )
+            };
+            std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "dumped {} record(s) from {} thread(s) ({} dropped) to {path} — {format}",
+                dump.records.len(),
+                dump.threads.len(),
+                dump.dropped,
+            );
+            Ok(())
+        }
+        "metrics" => {
+            let text = match remote {
+                Some(client) => client.metrics().map_err(|e| e.to_string())?,
+                None => {
+                    // The server publishes its live stats into the gauges
+                    // before rendering; locally the engine from the last
+                    // `serve` is gone, so publish its retained stats.
+                    if let Some(stats) = last_engine_stats {
+                        stats.publish_metrics();
+                    }
+                    dai_trace::metrics().render_prometheus()
+                }
+            };
+            print!("{text}");
+            Ok(())
+        }
+        _ => Err("usage: trace on|off|dump PATH|metrics".to_string()),
     }
 }
 
@@ -696,6 +808,12 @@ fn print_help() {
                             through the dai-rpc socket client (the server's
                             domain must match --domain)
   stats                     query/memo work counters
+  stats --json              last serve/connect engine stats, one JSON line
+  trace on|off              flip runtime trace recording (remote after a
+                            connect, else this process)
+  trace dump PATH           drain the trace (.json: Chrome trace_event for
+                            chrome://tracing; otherwise binary frame)
+  trace metrics             Prometheus text exposition of the metrics registry
   dot FN                    Graphviz export of FN's DAIG (root context)
   help | quit"
     );

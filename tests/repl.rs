@@ -337,6 +337,145 @@ fn connect_to_a_dead_address_fails_cleanly() {
 }
 
 #[test]
+fn stats_json_emits_the_locked_schema() {
+    // Before any engine runs there is nothing to report — error, not {}.
+    let (stdout, stderr) = run_repl(PROGRAM, &[], "stats --json\nquit\n");
+    assert!(stderr.contains("no engine stats yet"), "{stderr}");
+    assert!(!stdout.contains("{\"workers\""), "{stdout}");
+
+    // After `serve`, one line of JSON with the exact field order below.
+    // This is the machine-readable contract: replacing every integer run
+    // with N must reproduce the template verbatim, so adding, removing,
+    // renaming, or reordering a field fails this test.
+    let (stdout, stderr) = run_repl(PROGRAM, &["--threads", "2"], "serve\nstats --json\nquit\n");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    let json = stdout
+        .lines()
+        .map(|l| l.trim_start_matches("dai> "))
+        .find(|l| l.starts_with("{\"workers\""))
+        .unwrap_or_else(|| panic!("no stats --json line in {stdout}"));
+    let shape: String = {
+        let mut out = String::new();
+        let mut in_digits = false;
+        for c in json.chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    out.push('N');
+                }
+                in_digits = true;
+            } else {
+                in_digits = false;
+                out.push(c);
+            }
+        }
+        out
+    };
+    assert_eq!(
+        shape,
+        "{\"workers\":N,\"sessions\":N,\"queries\":N,\"edits\":N,\
+         \"snapshots\":N,\"saves\":N,\"loads\":N,\"session_locks\":N,\
+         \"batch\":{\"batches\":N,\"coalesced_queries\":N,\
+         \"singleton_queries\":N,\"union_cone_cells\":N,\
+         \"union_cone_walks\":N},\
+         \"query_stats\":{\"computed\":N,\"memo_matched\":N,\
+         \"reused\":N,\"unrolls\":N,\"fix_converged\":N,\
+         \"cone_walks\":N,\"cone_cells\":N},\
+         \"memo\":{\"hits\":N,\"misses\":N,\"insertions\":N,\
+         \"evictions\":N}}",
+        "stats --json schema drifted: {json}"
+    );
+    // Sanity on the values themselves: 2 workers served a real sweep.
+    assert!(json.contains("\"workers\":2"), "{json}");
+    assert!(!json.contains("\"queries\":0,"), "{json}");
+}
+
+#[test]
+fn trace_commands_dump_and_expose_metrics() {
+    let dir = std::env::temp_dir().join(format!(
+        "dai-repl-trace-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("trace.json");
+    let bin_path = dir.join("trace.trc");
+    let script = format!(
+        "trace on\nserve\ntrace dump {}\ntrace on\nserve\ntrace dump {}\ntrace metrics\nquit\n",
+        json_path.display(),
+        bin_path.display()
+    );
+    let (stdout, stderr) = run_repl(PROGRAM, &["--threads", "2"], &script);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    assert!(stdout.contains("tracing enabled (local)"), "{stdout}");
+    assert!(
+        stdout.contains("chrome trace_event JSON"),
+        "dump format line missing: {stdout}"
+    );
+    assert!(stdout.contains("binary trace frame"), "{stdout}");
+    // The Chrome export re-parses, and the binary one decodes. Under the
+    // probes-compiled default build both carry the serve's records.
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let summary = dai_trace::validate_chrome_trace(&json).expect("dumped chrome trace re-parses");
+    let bin = std::fs::read(&bin_path).unwrap();
+    let dump = dai_persist::decode_trace_frame(&bin).expect("dumped binary frame decodes");
+    if dai_trace::TraceConfig::probes_compiled() {
+        assert!(summary.total > 0, "empty chrome trace: {json}");
+        assert!(!dump.records.is_empty(), "empty binary dump");
+        assert!(
+            dump.labels.iter().any(|l| l == "engine.session_lock"),
+            "{:?}",
+            dump.labels
+        );
+    }
+    // `trace metrics` renders Prometheus text exposition on stdout.
+    assert!(
+        stdout.contains("# TYPE dai_engine_queries gauge"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("dai_engine_batch_serve_seconds_count"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn remote_trace_commands_address_the_connected_server() {
+    let sock = std::env::temp_dir().join(format!(
+        "dai-repl-trace-remote-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let dir = std::env::temp_dir().join(format!(
+        "dai-repl-trace-remote-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump_path = dir.join("remote.json");
+    // `connect` retains the client, so every later trace command goes
+    // over the wire (the REPL prints the `(remote)` side marker).
+    let script = format!(
+        "listen unix:{sock}\ntrace on\nconnect unix:{sock}\ntrace on\nserve\n\
+         trace dump {dump}\ntrace metrics\ntrace off\nquit\n",
+        sock = sock.display(),
+        dump = dump_path.display()
+    );
+    let (stdout, stderr) = run_repl(PROGRAM, &[], &script);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    // Before connect: local; after: remote.
+    assert!(stdout.contains("tracing enabled (local)"), "{stdout}");
+    assert!(stdout.contains("tracing enabled (remote)"), "{stdout}");
+    assert!(stdout.contains("tracing disabled (remote)"), "{stdout}");
+    assert!(
+        stdout.contains("# TYPE dai_engine_queries gauge"),
+        "{stdout}"
+    );
+    let json = std::fs::read_to_string(&dump_path).unwrap();
+    dai_trace::validate_chrome_trace(&json).expect("remote dump re-parses");
+    let _ = std::fs::remove_file(&sock);
+}
+
+#[test]
 fn shape_domain_flag_works() {
     let program = r#"
 function main() {

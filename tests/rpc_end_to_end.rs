@@ -565,6 +565,7 @@ fn decode_never_panics(bytes: &[u8]) {
     let _ = dai_rpc::proto::decode_message::<WireRequest>(bytes);
     let _ = dai_rpc::proto::decode_message::<WireResponse>(bytes);
     let _ = dai_persist::split_frame(bytes);
+    let _ = dai_persist::decode_trace_frame(bytes);
     let _ = read_frame(&mut &bytes[..], MAX_FRAME_LEN);
 }
 
@@ -593,6 +594,202 @@ proptest! {
         decode_never_panics(&spliced);
         let garbage: Vec<u8> = (0..(seed % 64)).map(|i| (seed >> (i % 8)) as u8).collect();
         decode_never_panics(&garbage);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace & metrics over the wire.
+// ---------------------------------------------------------------------
+
+/// A seed-derived trace dump: the generator shared by the roundtrip
+/// proptests below. Index tables are kept consistent with the records
+/// (the persist codec rejects out-of-range label/thread indices).
+fn arbitrary_dump(seed: u64) -> dai_engine::TraceDump {
+    let labels = vec![
+        "engine.session_lock".to_string(),
+        "engine.cone_walk".to_string(),
+        "engine.cells".to_string(),
+    ];
+    let threads = vec!["dai-worker-0".to_string(), "dai-rpc-conn-3".to_string()];
+    let records = (0..(seed % 9))
+        .map(|i| {
+            let start = seed.rotate_left(i as u32).wrapping_mul(i + 1);
+            dai_trace::Record {
+                label: (i % labels.len() as u64) as u32,
+                thread: (i % threads.len() as u64) as u32,
+                kind: if (seed >> i) & 1 == 0 {
+                    dai_trace::RecordKind::Span
+                } else {
+                    dai_trace::RecordKind::Event
+                },
+                start_ns: start,
+                end_ns: start.saturating_add(seed % 1_000),
+                arg: seed ^ i,
+            }
+        })
+        .collect();
+    dai_engine::TraceDump {
+        records,
+        labels,
+        threads,
+        dropped: seed % 5,
+    }
+}
+
+#[test]
+fn trace_and_metrics_roundtrip_over_socket() {
+    let (server, path) = hostile_server();
+    let client: Client<IntervalDomain> = Client::connect(&format!("unix:{path}")).unwrap();
+    client.trace_enable().unwrap();
+    let session = client.open("traced", LOOPY).unwrap();
+    let exit = server
+        .engine()
+        .program_of(session)
+        .unwrap()
+        .by_name("f")
+        .unwrap()
+        .exit();
+    client.query(session, "f", exit).unwrap();
+    let dump = client.trace_dump().unwrap();
+    client.trace_disable().unwrap();
+    // Index tables stayed consistent across the wire.
+    for r in &dump.records {
+        assert!(
+            (r.label as usize) < dump.labels.len(),
+            "label index in range"
+        );
+        assert!(
+            (r.thread as usize) < dump.threads.len(),
+            "thread index in range"
+        );
+    }
+    if dai_trace::TraceConfig::probes_compiled() {
+        assert!(!dump.records.is_empty(), "a traced query left no records");
+        assert!(
+            dump.labels.iter().any(|l| l == "engine.session_lock"),
+            "query path spans missing from {:?}",
+            dump.labels
+        );
+    } else {
+        assert!(dump.records.is_empty(), "no-probe build recorded spans");
+    }
+    // Metrics exposition carries the engine counters for the query above.
+    let text = client.metrics().unwrap();
+    assert!(text.contains("# TYPE dai_engine_queries gauge"), "{text}");
+    assert!(
+        text.contains("dai_engine_batch_serve_seconds_bucket"),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn trace_and_metrics_requests_survive_truncations_and_flips() {
+    // The hostile sweeps of the two new wire messages: every proper
+    // prefix of a valid frame (fresh connection each, clean close), and
+    // every payload byte flip (one connection, structured error each
+    // time, connection survives to the next request).
+    let (server, path) = hostile_server();
+    let payloads = [
+        dai_rpc::proto::encode_message(&WireRequest::Trace {
+            op: dai_engine::TraceOp::Dump,
+        }),
+        dai_rpc::proto::encode_message(&WireRequest::Metrics),
+    ];
+    for payload in &payloads {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, TAG_REQUEST, PROTOCOL_VERSION, payload);
+        for cut in 0..frame.len() {
+            let mut conn = RawConn::connect(&path);
+            conn.send_raw(&frame[..cut]);
+            conn.stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            while conn.read_response().is_some() {}
+        }
+        // Payload flips are checksum-caught, so one connection takes the
+        // whole sweep: error, resync, next flip.
+        let mut conn = RawConn::connect(&path);
+        for i in FRAME_HEADER_LEN..frame.len() {
+            let mut flipped = frame.clone();
+            flipped[i] ^= 0xFF;
+            conn.send_raw(&flipped);
+            match conn.read_response() {
+                Some(WireResponse::Error(e)) => assert_eq!(e.code(), "protocol", "{e}"),
+                other => panic!("flip at {i}: expected protocol error, got {other:?}"),
+            }
+        }
+        conn.assert_alive();
+        // Header flips can desync; sweep them on fresh connections like
+        // the general byte-flip test.
+        for i in 0..FRAME_HEADER_LEN {
+            let mut flipped = frame.clone();
+            flipped[i] ^= 0xFF;
+            let mut conn = RawConn::connect(&path);
+            conn.send_raw(&flipped);
+            conn.stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            while conn.read_response().is_some() {}
+        }
+    }
+    // The server outlived both sweeps.
+    let client: Client<IntervalDomain> = Client::connect(&format!("unix:{path}")).unwrap();
+    assert!(client.metrics().is_ok());
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn trace_wire_messages_roundtrip(seed in 0u64..1_000_000) {
+        let dump = arbitrary_dump(seed);
+        // Wire response roundtrip.
+        let encoded = dai_rpc::proto::encode_message(&WireResponse::Trace(dump.clone()));
+        match dai_rpc::proto::decode_message::<WireResponse>(&encoded) {
+            Ok(WireResponse::Trace(back)) => prop_assert_eq!(&back, &dump),
+            other => panic!("bad decode: {other:?}"),
+        }
+        // Request roundtrips for all three ops and the metrics pair.
+        use dai_engine::TraceOp;
+        for op in [TraceOp::Enable, TraceOp::Disable, TraceOp::Dump] {
+            let bytes = dai_rpc::proto::encode_message(&WireRequest::Trace { op });
+            prop_assert!(matches!(
+                dai_rpc::proto::decode_message::<WireRequest>(&bytes),
+                Ok(WireRequest::Trace { op: got }) if got == op
+            ));
+        }
+        let bytes = dai_rpc::proto::encode_message(&WireRequest::Metrics);
+        prop_assert!(matches!(
+            dai_rpc::proto::decode_message::<WireRequest>(&bytes),
+            Ok(WireRequest::Metrics)
+        ));
+        let text = format!("# TYPE x counter\nx {seed}\n");
+        let bytes = dai_rpc::proto::encode_message(&WireResponse::Metrics { text: text.clone() });
+        match dai_rpc::proto::decode_message::<WireResponse>(&bytes) {
+            Ok(WireResponse::Metrics { text: got }) => prop_assert_eq!(got, text),
+            other => panic!("bad decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_binary_frame_roundtrips_and_rejects_mutations(seed in 0u64..1_000_000) {
+        let dump = arbitrary_dump(seed);
+        let frame = dai_persist::encode_trace_frame(&dump);
+        let back = dai_persist::decode_trace_frame(&frame)
+            .unwrap_or_else(|e| panic!("own frame rejected: {e}"));
+        prop_assert_eq!(&back, &dump);
+        // Every proper prefix is a structured error, never a panic.
+        for cut in 0..frame.len() {
+            prop_assert!(dai_persist::decode_trace_frame(&frame[..cut]).is_err());
+        }
+        // Every single-byte flip is checksum- (or header-) caught.
+        for i in 0..frame.len() {
+            let mut flipped = frame.clone();
+            flipped[i] ^= 0xFF;
+            prop_assert!(dai_persist::decode_trace_frame(&flipped).is_err());
+        }
     }
 }
 

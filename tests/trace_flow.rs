@@ -1,0 +1,179 @@
+//! The observability acceptance gate: a traced octagon sweep served over
+//! a unix socket must let a client reconstruct the engine's batching
+//! profile *from spans alone* — the profile PRs 4/5 established with
+//! counters (one session-lock acquisition and one union-cone walk per
+//! same-function batch) must be readable off the wire-exported trace:
+//!
+//! * a sorted sweep over a five-function program produces **exactly 5**
+//!   `engine.session_lock` spans and **exactly 5** `engine.cone_walk`
+//!   spans;
+//! * every cone walk is time-enclosed by exactly one session-lock span,
+//!   and every `engine.cells` evaluation span by exactly one cone walk
+//!   (so locks transitively enclose their cell-evaluation children);
+//! * the spans carry real thread attribution (`dai-worker-{i}` names);
+//! * the dump survives both export formats: the binary `TRCE` frame
+//!   decodes back byte-equal, and the Chrome JSON re-parses with the
+//!   same span/instant counts.
+//!
+//! This file is its own test binary on purpose: the trace recorder is
+//! process-global, and this is the one test that asserts exact span
+//! counts between an enable and a drain.
+
+use dai_domains::OctagonDomain;
+use dai_engine::{Engine, EngineConfig, Service};
+use dai_lang::Loc;
+use dai_rpc::{Addr, Client, Server};
+use dai_trace::RecordKind;
+use std::sync::Arc;
+
+/// Five independent functions, so a sorted whole-program sweep coalesces
+/// into five same-function batches — one lock, one cone walk each.
+const FIVE_FUNCS: &str = "\
+    function a(n) { var i = 0; var s = 0; \
+        while (i < 4) { s = s + i; i = i + 1; } return s; } \
+    function b(n) { var j = 0; while (j < 3) { j = j + 1; } return j; } \
+    function c(n) { var x = 1; var y = 2; return x + y; } \
+    function d(n) { var k = 0; var t = 5; while (k < t) { k = k + 2; } return k; } \
+    function e(n) { var u = 7; return u + n; }";
+
+fn scratch(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "dai-trace-flow-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn traced_sweep_over_socket_reconstructs_batch_profile_from_spans() {
+    if !dai_trace::TraceConfig::probes_compiled() {
+        eprintln!("trace_flow: probes compiled out; nothing to assert");
+        return;
+    }
+    let engine: Arc<Engine<OctagonDomain>> = Arc::new(Engine::with_config(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    }));
+    let server = Server::bind(&Addr::Unix(scratch("sweep")), engine).unwrap();
+    let client: Client<OctagonDomain> = Client::connect(&server.addr().to_string()).unwrap();
+    let session = client.open("flow", FIVE_FUNCS).unwrap();
+
+    // Every location of every function, sorted — the same shape the
+    // REPL's `sweep` and the fig10 harness use.
+    let program = server.engine().program_of(session).unwrap();
+    let mut targets: Vec<(String, Loc)> = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    assert_eq!(
+        program.cfgs().len(),
+        5,
+        "the fixture must have exactly five functions"
+    );
+
+    let _ = dai_trace::drain(); // discard anything recorded before the gate
+    client.trace_enable().unwrap();
+    for answer in client.query_sweep(session, &targets) {
+        answer.unwrap();
+    }
+    let dump = client.trace_dump().unwrap();
+    client.trace_disable().unwrap();
+
+    let label_of = |name: &str| dump.labels.iter().position(|l| l == name).map(|i| i as u32);
+    let spans_of = |name: &str| -> Vec<&dai_trace::Record> {
+        let Some(idx) = label_of(name) else {
+            return Vec::new();
+        };
+        dump.records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Span && r.label == idx)
+            .collect()
+    };
+
+    // The PR 4/5 profile, from spans alone: five batches, five locks,
+    // five union-cone walks.
+    let locks = spans_of("engine.session_lock");
+    let walks = spans_of("engine.cone_walk");
+    assert_eq!(locks.len(), 5, "one session-lock span per batch: {dump:?}");
+    assert_eq!(walks.len(), 5, "one cone-walk span per batch: {dump:?}");
+
+    // Batches are serialized by the session lock: lock spans never
+    // overlap one another.
+    for (i, a) in locks.iter().enumerate() {
+        for b in locks.iter().skip(i + 1) {
+            assert!(
+                a.end_ns <= b.start_ns || b.end_ns <= a.start_ns,
+                "session-lock spans overlap: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    // Every cone walk sits inside exactly one lock span, and every cell
+    // evaluation inside exactly one cone walk — the nesting a flame
+    // viewer renders, checked numerically.
+    let enclosed_by = |inner: &dai_trace::Record, outers: &[&dai_trace::Record]| {
+        outers
+            .iter()
+            .filter(|o| o.start_ns <= inner.start_ns && inner.end_ns <= o.end_ns)
+            .count()
+    };
+    for walk in &walks {
+        assert_eq!(
+            enclosed_by(walk, &locks),
+            1,
+            "cone walk not enclosed by exactly one lock: {walk:?}"
+        );
+    }
+    let cells = spans_of("engine.cells");
+    assert!(!cells.is_empty(), "a cold sweep must evaluate cells");
+    for cell in &cells {
+        assert_eq!(
+            enclosed_by(cell, &walks),
+            1,
+            "cell evaluation not enclosed by exactly one cone walk: {cell:?}"
+        );
+    }
+
+    // Thread attribution is real: batch leaders run on named pool
+    // workers, and the index tables resolve every record.
+    for r in &dump.records {
+        assert!((r.label as usize) < dump.labels.len());
+        assert!((r.thread as usize) < dump.threads.len());
+    }
+    for lock in &locks {
+        let thread = &dump.threads[lock.thread as usize];
+        assert!(
+            thread.starts_with("dai-worker-"),
+            "batch served off-pool on thread {thread:?}"
+        );
+    }
+    // The RPC layer traced its side of the exchange too.
+    assert!(
+        label_of("rpc.dispatch").is_some(),
+        "rpc dispatch spans missing from {:?}",
+        dump.labels
+    );
+
+    // Both export formats survive a roundtrip of this very dump.
+    let frame = dai_persist::encode_trace_frame(&dump);
+    assert_eq!(
+        dai_persist::decode_trace_frame(&frame).expect("binary dump decodes"),
+        dump
+    );
+    let json = dai_trace::chrome_trace_json(&dump);
+    let summary = dai_trace::validate_chrome_trace(&json).expect("chrome dump re-parses");
+    let span_count = dump
+        .records
+        .iter()
+        .filter(|r| r.kind == RecordKind::Span)
+        .count();
+    assert_eq!(summary.complete, span_count, "one X event per span");
+
+    server.shutdown();
+}

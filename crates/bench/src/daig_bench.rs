@@ -13,16 +13,23 @@
 //!    evaluation no matter how many times loops unroll.
 //!
 //! The `--check` mode is the CI contract: it validates a committed
-//! `BENCH_daig.json` (fields present), re-runs the smoke profile, and
-//! fails on a large throughput regression against the committed smoke
-//! point.
+//! `BENCH_daig.json` (fields present), re-runs the smoke profile under
+//! the compiled warm path, and fails on a large throughput regression
+//! against the committed smoke point.
+//!
+//! Since PR 7 the sweep runs **dual-mode**: compiled (staged transfer
+//! closures) and interpreted repeats are interleaved A/B on the same
+//! host so the `transfer` section's speedup compares like with like, and
+//! [`measure_transfer_micro`] isolates the per-cell transfer-application
+//! latency (compiled vs interpreted vs fused straight-line runs).
 
 use dai_core::analysis::FuncAnalysis;
 use dai_core::query::{IntraResolver, QueryStats};
-use dai_domains::OctagonDomain;
+use dai_core::{TransferMode, TransferTable, Value};
+use dai_domains::{AbstractDomain, OctagonDomain};
 use dai_lang::cfg::lower_program;
 use dai_lang::parser::parse_program;
-use dai_memo::MemoTable;
+use dai_memo::{content_digest, MemoTable};
 use std::time::Instant;
 
 use crate::engine_scaling::{run_scaling, ScalingParams};
@@ -114,8 +121,272 @@ const LOOPY: &str = "function f(n) { var i = 0; var s = 0; \
                      while (i < 9) { var j = 0; while (j < 4) { s = s + j; j = j + 1; } i = i + 1; } \
                      return s; }";
 
-/// Runs the end-to-end single-worker sweep `repeats` times.
-pub fn measure_throughput(params: &DaigBenchParams) -> Throughput {
+/// Per-cell transfer-application latency, compiled vs interpreted
+/// (PR 7's staged-closure tentpole), plus the fused straight-line runs.
+#[derive(Debug, Clone)]
+pub struct TransferMicro {
+    /// One staged-closure application (octagon, loopy reference CFG).
+    pub compiled_ns: f64,
+    /// One `AbstractDomain::transfer` interpretation of the same
+    /// (statement, pre-state) pairs.
+    pub interp_ns: f64,
+    /// Amortized per-statement cost through the fused straight-line
+    /// runs (`NaN` when the CFG fuses no run).
+    pub fused_ns_per_stmt: f64,
+    /// Edges with a staged closure.
+    pub compiled_edges: usize,
+    /// Edges falling back to the interpreter.
+    pub interp_edges: usize,
+    /// Fused runs the table precomputed.
+    pub fused_runs: usize,
+    /// Median of the per-round interp/compiled ratios (each round times
+    /// both modes back to back, so host noise cancels within the pair).
+    pub per_cell_ratio: f64,
+}
+
+impl TransferMicro {
+    /// Interpreted-over-compiled latency ratio (> 1 means staging wins):
+    /// the paired-round median, which is robust to the drift that makes
+    /// a single ratio-of-totals swing wildly on a shared host.
+    pub fn speedup(&self) -> f64 {
+        self.per_cell_ratio
+    }
+}
+
+/// Measures [`TransferMicro`] on the loopy reference function under the
+/// octagon domain. Pre-states are grown by interpreting the edge
+/// statements in order, so closures are applied to constrained octagons
+/// rather than ⊤ — the shape the warm path actually sees.
+pub fn measure_transfer_micro() -> TransferMicro {
+    let cfg = lower_program(&parse_program(LOOPY).expect("loopy parses"))
+        .expect("loopy lowers")
+        .cfgs()[0]
+        .clone();
+    let table = TransferTable::<OctagonDomain>::build(&cfg);
+    let digest =
+        |stmt: &dai_lang::Stmt| content_digest(&Value::<OctagonDomain>::Stmt(stmt.clone()));
+
+    // (edge, statement, pre-state) in edge order, state evolved by the
+    // interpreter so both measured paths see identical inputs.
+    let mut state = OctagonDomain::top();
+    let mut pairs = Vec::new();
+    for e in cfg.edges() {
+        pairs.push((e.id, e.stmt.clone(), state.clone()));
+        state = state.transfer(&e.stmt);
+    }
+
+    let staged: Vec<_> = pairs
+        .iter()
+        .filter_map(|(id, stmt, pre)| table.lookup(*id, digest(stmt)).map(|ct| (ct, pre)))
+        .collect();
+    assert!(!staged.is_empty(), "loopy edges stage under octagon");
+
+    // Paired rounds: each round times both modes back to back (order
+    // alternating to cancel drift) and contributes one ratio sample.
+    // On a shared 1-CPU host a single long timing pass per mode is
+    // hopeless — the medians below are stable where one pass is not.
+    let rounds = 25usize;
+    let iters = 200u32;
+    let time_interp = || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for (_, stmt, pre) in &pairs {
+                std::hint::black_box(pre.transfer(stmt));
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (iters as usize * pairs.len()) as f64
+    };
+    let time_compiled = || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for (ct, pre) in &staged {
+                std::hint::black_box(ct.apply(pre));
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (iters as usize * staged.len()) as f64
+    };
+    let mut interp_samples = Vec::with_capacity(rounds);
+    let mut compiled_samples = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let (c, i) = if r % 2 == 0 {
+            let c = time_compiled();
+            (c, time_interp())
+        } else {
+            let i = time_interp();
+            (time_compiled(), i)
+        };
+        compiled_samples.push(c);
+        interp_samples.push(i);
+        ratios.push(i / c.max(1e-9));
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let compiled_ns = median(compiled_samples);
+    let interp_ns = median(interp_samples);
+    let per_cell_ratio = median(ratios);
+
+    // Fused runs: one closure application covers the whole chain; the
+    // per-statement figure amortizes it over the member edges.
+    let runs = table.fused_runs();
+    let fused_ns_per_stmt = if runs.is_empty() {
+        f64::NAN
+    } else {
+        let inputs: Vec<_> = runs
+            .iter()
+            .map(|r| {
+                let pre = pairs
+                    .iter()
+                    .find(|(id, _, _)| *id == r.edges[0])
+                    .map(|(_, _, pre)| pre.clone())
+                    .unwrap_or_else(OctagonDomain::top);
+                (&r.ct, pre, r.edges.len())
+            })
+            .collect();
+        let stmts: usize = inputs.iter().map(|(_, _, n)| n).sum();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for (ct, pre, _) in &inputs {
+                std::hint::black_box(ct.apply(pre));
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (iters as usize * stmts) as f64
+    };
+
+    TransferMicro {
+        compiled_ns,
+        interp_ns,
+        fused_ns_per_stmt,
+        compiled_edges: table.compiled_edges(),
+        interp_edges: table.interp_edges(),
+        fused_runs: runs.len(),
+        per_cell_ratio,
+    }
+}
+
+/// Per-cell transfer latency over the **grown fig10 workload program**
+/// — the same statement population the end-to-end sweep evaluates, so
+/// this is the per-cell figure for the acceptance workload. The fig10
+/// octagons track up to the full 8-variable pool, so the shared
+/// matrix-clone-and-write cost (paid identically by both modes)
+/// dominates and the staging win is structurally smaller than on the
+/// 4-variable loopy function.
+#[derive(Debug, Clone)]
+pub struct TransferMicroFig10 {
+    /// One staged-closure application, median of paired rounds.
+    pub compiled_ns: f64,
+    /// One interpreter application of the same (statement, pre-state)s.
+    pub interp_ns: f64,
+    /// Median of per-round interp/compiled ratios.
+    pub per_cell_ratio: f64,
+    /// Edges with a staged closure (the measured population).
+    pub staged_edges: usize,
+    /// Edges the table left to the interpreter (calls), excluded from
+    /// both timed loops so the comparison stays like-with-like.
+    pub unstaged_edges: usize,
+}
+
+/// Measures [`TransferMicroFig10`]: one session grown by the sweep's
+/// edit mix, every staged edge applied to a pre-state evolved by
+/// interpreting its function's edges in order (bottoms skipped so the
+/// closures see real matrices).
+pub fn measure_transfer_micro_fig10() -> TransferMicroFig10 {
+    use dai_engine::{Engine, EngineConfig, Request};
+    let engine: Engine<OctagonDomain> = Engine::with_config(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let id = engine.open_session(
+        "transfer-micro".to_string(),
+        crate::workload::Workload::initial_program(),
+    );
+    let defaults = DaigBenchParams::full();
+    let mut gen = crate::workload::Workload::new(defaults.seed);
+    for _ in 0..defaults.grow_edits {
+        let program = engine.program_of(id).expect("session open");
+        let edit: dai_core::driver::ProgramEdit = gen.next_edit(&program);
+        engine
+            .request(Request::Edit { session: id, edit })
+            .expect("bench edit applies");
+    }
+    let program = engine.program_of(id).expect("session open");
+
+    let tables: Vec<TransferTable<OctagonDomain>> = program
+        .cfgs()
+        .iter()
+        .map(TransferTable::<OctagonDomain>::build)
+        .collect();
+    let mut triples = Vec::new();
+    let mut unstaged_edges = 0usize;
+    for (cfg, table) in program.cfgs().iter().zip(&tables) {
+        let mut state = OctagonDomain::top();
+        for e in cfg.edges() {
+            let d = content_digest(&Value::<OctagonDomain>::Stmt(e.stmt.clone()));
+            match table.lookup(e.id, d) {
+                Some(ct) => triples.push((ct, e.stmt.clone(), state.clone())),
+                None => unstaged_edges += 1,
+            }
+            let next = state.transfer(&e.stmt);
+            if !next.is_bottom() {
+                state = next;
+            }
+        }
+    }
+    assert!(!triples.is_empty(), "grown fig10 program stages edges");
+
+    let rounds = 25usize;
+    let iters = 40u32;
+    let time_interp = || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for (_, stmt, pre) in &triples {
+                std::hint::black_box(pre.transfer(stmt));
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (iters as usize * triples.len()) as f64
+    };
+    let time_compiled = || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for (ct, _, pre) in &triples {
+                std::hint::black_box(ct.apply(pre));
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (iters as usize * triples.len()) as f64
+    };
+    let mut compiled_samples = Vec::with_capacity(rounds);
+    let mut interp_samples = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let (c, i) = if r % 2 == 0 {
+            let c = time_compiled();
+            (c, time_interp())
+        } else {
+            let i = time_interp();
+            (time_compiled(), i)
+        };
+        compiled_samples.push(c);
+        interp_samples.push(i);
+        ratios.push(i / c.max(1e-9));
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    TransferMicroFig10 {
+        compiled_ns: median(compiled_samples),
+        interp_ns: median(interp_samples),
+        per_cell_ratio: median(ratios),
+        staged_edges: triples.len(),
+        unstaged_edges,
+    }
+}
+
+/// Runs the end-to-end single-worker sweep `repeats` times under
+/// `transfer`.
+pub fn measure_throughput_mode(params: &DaigBenchParams, transfer: TransferMode) -> Throughput {
     let mut runs = Vec::with_capacity(params.repeats);
     let mut queries = 0;
     for _ in 0..params.repeats {
@@ -124,12 +395,46 @@ pub fn measure_throughput(params: &DaigBenchParams) -> Throughput {
             grow_edits: params.grow_edits,
             worker_counts: vec![1],
             seed: params.seed,
+            transfer,
         });
         let p = run.points.first().expect("one point per sweep");
         queries = p.queries;
         runs.push(p.qps);
     }
     Throughput { queries, runs }
+}
+
+/// Runs the sweep under the default (compiled) warm path.
+pub fn measure_throughput(params: &DaigBenchParams) -> Throughput {
+    measure_throughput_mode(params, TransferMode::default())
+}
+
+/// Compiled and interpreted sweeps, measured **interleaved A/B** — one
+/// compiled repeat then one interpreted repeat, `repeats` times — so
+/// host noise (thermal drift, noisy neighbors) hits both series alike
+/// and the ratio is meaningful.
+pub fn measure_throughput_dual(params: &DaigBenchParams) -> (Throughput, Throughput) {
+    let one = DaigBenchParams {
+        repeats: 1,
+        ..params.clone()
+    };
+    let mut compiled = Throughput {
+        queries: 0,
+        runs: Vec::with_capacity(params.repeats),
+    };
+    let mut interp = Throughput {
+        queries: 0,
+        runs: Vec::with_capacity(params.repeats),
+    };
+    for _ in 0..params.repeats {
+        let c = measure_throughput_mode(&one, TransferMode::Compiled);
+        compiled.queries = c.queries;
+        compiled.runs.extend(c.runs);
+        let i = measure_throughput_mode(&one, TransferMode::Interp);
+        interp.queries = i.queries;
+        interp.runs.extend(i.runs);
+    }
+    (compiled, interp)
 }
 
 /// Measures the representation micro-costs on the loopy reference
@@ -219,13 +524,19 @@ pub fn measure_micro() -> MicroCosts {
     }
 }
 
-/// Renders the JSON artifact.
+/// Renders the JSON artifact. `transfer_dual` is the interleaved
+/// (compiled, interpreted) sweep pair; `tmicro` the per-cell
+/// transfer-application latencies.
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     profile: &str,
     params: &DaigBenchParams,
     full: &Throughput,
     smoke: &Throughput,
     micro: &MicroCosts,
+    transfer_dual: &(Throughput, Throughput),
+    tmicro: &TransferMicro,
+    tmicro_fig10: &TransferMicroFig10,
     before_file_qps: f64,
     before_remeasured_qps: Option<f64>,
 ) -> String {
@@ -280,6 +591,43 @@ pub fn to_json(
             full.median() / q
         ));
     }
+    let (compiled, interp) = transfer_dual;
+    out.push_str("  \"transfer\": {\n");
+    out.push_str(&format!(
+        "    \"compiled_qps_median\": {:.1}, \"interp_qps_median\": {:.1}, \"compiled_speedup\": {:.2},\n",
+        compiled.median(),
+        interp.median(),
+        compiled.median() / interp.median().max(1e-9)
+    ));
+    out.push_str(&format!(
+        "    \"compiled_runs\": [{}], \"interp_runs\": [{}],\n",
+        runs(compiled),
+        runs(interp)
+    ));
+    out.push_str(&format!(
+        "    \"measured_how\": \"single worker, fig10 octagon sweep, repeats interleaved A/B\",\n\
+         \x20   \"micro\": {{\"compiled_ns\": {:.1}, \"interp_ns\": {:.1}, \"fused_ns_per_stmt\": {}, \"per_cell_speedup\": {:.2}, \"compiled_edges\": {}, \"interp_edges\": {}, \"fused_runs\": {}}},\n",
+        tmicro.compiled_ns,
+        tmicro.interp_ns,
+        if tmicro.fused_ns_per_stmt.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{:.1}", tmicro.fused_ns_per_stmt)
+        },
+        tmicro.speedup(),
+        tmicro.compiled_edges,
+        tmicro.interp_edges,
+        tmicro.fused_runs
+    ));
+    out.push_str(&format!(
+        "    \"micro_fig10\": {{\"compiled_ns\": {:.1}, \"interp_ns\": {:.1}, \"per_cell_speedup\": {:.2}, \"staged_edges\": {}, \"unstaged_edges\": {}}}\n",
+        tmicro_fig10.compiled_ns,
+        tmicro_fig10.interp_ns,
+        tmicro_fig10.per_cell_ratio,
+        tmicro_fig10.staged_edges,
+        tmicro_fig10.unstaged_edges
+    ));
+    out.push_str("  },\n");
     out.push_str(&format!(
         "  \"micro\": {{\"initial_daig_ns\": {:.0}, \"cold_exit_query_ns\": {:.0}, \"edit_requery_ns\": {:.0}, \"unrolls\": {}, \"cone_walks\": {}}}\n",
         micro.initial_daig_ns,
@@ -307,6 +655,10 @@ pub fn validate_artifact(json: &str) -> Result<f64, String> {
         "\"smoke\"",
         "\"qps_median\"",
         "\"speedup_vs_pr1_file\"",
+        "\"transfer\"",
+        "\"compiled_qps_median\"",
+        "\"interp_qps_median\"",
+        "\"micro_fig10\"",
         "\"micro\"",
         "\"cone_walks\"",
     ] {
@@ -355,7 +707,32 @@ mod tests {
         assert!(micro.initial_daig_ns > 0.0);
         assert!(micro.unrolls >= 2, "loopy function must unroll");
         assert_eq!(micro.cone_walks, 1, "cone traversed once despite unrolls");
-        let json = to_json("smoke", &params, &t, &t, &micro, 55697.9, Some(45991.0));
+        let tmicro = measure_transfer_micro();
+        assert!(tmicro.compiled_ns > 0.0 && tmicro.interp_ns > 0.0);
+        assert!(tmicro.compiled_edges > 0, "loopy edges stage under octagon");
+        let tmicro_fig10 = measure_transfer_micro_fig10();
+        assert!(tmicro_fig10.compiled_ns > 0.0 && tmicro_fig10.interp_ns > 0.0);
+        assert!(tmicro_fig10.staged_edges > 0, "fig10 edges stage");
+        let dual = measure_throughput_dual(&DaigBenchParams {
+            repeats: 1,
+            ..params.clone()
+        });
+        assert_eq!(dual.0.runs.len(), 1);
+        assert_eq!(dual.1.runs.len(), 1);
+        // Both modes answer the identical sweep.
+        assert_eq!(dual.0.queries, dual.1.queries);
+        let json = to_json(
+            "smoke",
+            &params,
+            &t,
+            &t,
+            &micro,
+            &dual,
+            &tmicro,
+            &tmicro_fig10,
+            55697.9,
+            Some(45991.0),
+        );
         let committed_median = validate_artifact(&json).expect("artifact validates");
         // The artifact rounds to one decimal place.
         assert!((committed_median - t.median()).abs() <= 0.05 + 1e-9);

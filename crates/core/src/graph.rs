@@ -8,9 +8,13 @@
 //! dense [`CellId`] by a [`NameInterner`] the first time the graph sees it,
 //! and **all** graph state is `CellId`-indexed:
 //!
-//! * cells live in a slot arena (`Vec<Slot>`): value, cached content
-//!   digest, producing computation, and reverse adjacency are read by
-//!   `u32` index, never by hashing a name;
+//! * cells live in a struct-of-arrays arena: liveness, values, cached
+//!   content digests, producing computations, and reverse adjacency are
+//!   parallel `CellId`-indexed vectors, read by `u32` index, never by
+//!   hashing a name. Splitting the columns keeps the hot scans dense —
+//!   a digest probe or liveness sweep touches a contiguous `Vec<u128>` /
+//!   `Vec<bool>` instead of striding over full slots (whose `Value<D>`
+//!   payload can be large for domains like octagons);
 //! * computation sources ([`CompSlot::srcs`]) and reverse adjacency
 //!   (`Slot::deps`, the flat list of destinations reading a cell) are
 //!   `CellId` lists, so the scheduler's cone bookkeeping and the edit
@@ -160,44 +164,30 @@ impl fmt::Display for DaigError {
 
 impl std::error::Error for DaigError {}
 
-/// One arena slot: the cell state behind a [`CellId`].
-#[derive(Debug, Clone)]
-struct Slot<D> {
-    /// Is the cell currently part of the graph's namespace? Dead slots
-    /// keep their id reserved for resurrection (see module docs).
-    live: bool,
-    /// The cell's value, if filled.
-    value: Option<Value<D>>,
-    /// Content digest of `value`, valid iff `value.is_some()`.
-    digest: u128,
-    /// The computation producing this cell, if any.
-    comp: Option<CompSlot>,
-    /// Reverse adjacency: destinations whose computations read this cell
-    /// (one entry per *distinct* source occurrence).
-    deps: Vec<CellId>,
-}
-
-impl<D> Default for Slot<D> {
-    fn default() -> Self {
-        Slot {
-            live: false,
-            value: None,
-            digest: 0,
-            comp: None,
-            deps: Vec::new(),
-        }
-    }
-}
-
 /// A demanded abstract interpretation graph: named reference cells plus
 /// computation hyperedges keyed by destination (well-formedness (2):
 /// destinations are unique). See the module docs for the id-based
 /// representation.
+///
+/// The arena is struct-of-arrays: five parallel vectors indexed by
+/// [`CellId`], each holding one column of what was conceptually a per-cell
+/// slot. Invariant: all five always have length [`Daig::arena_len`].
 #[derive(Debug, Clone)]
 pub struct Daig<D: AbstractDomain> {
     interner: NameInterner,
-    slots: Vec<Slot<D>>,
-    /// Live cells (slots with `live`).
+    /// Is the cell currently part of the graph's namespace? Dead slots
+    /// keep their id reserved for resurrection (see module docs).
+    live: Vec<bool>,
+    /// Per-cell values, if filled.
+    values: Vec<Option<Value<D>>>,
+    /// Content digest of `values[i]`, valid iff `values[i].is_some()`.
+    digests: Vec<u128>,
+    /// The computation producing each cell, if any.
+    producers: Vec<Option<CompSlot>>,
+    /// Reverse adjacency: destinations whose computations read this cell
+    /// (one entry per *distinct* source occurrence).
+    deps: Vec<Vec<CellId>>,
+    /// Live cells (ids with `live[i]`).
     live_cells: usize,
     /// Installed computations.
     comps: usize,
@@ -223,7 +213,11 @@ impl<D: AbstractDomain> Daig<D> {
     pub fn new() -> Daig<D> {
         Daig {
             interner: NameInterner::new(),
-            slots: Vec::new(),
+            live: Vec::new(),
+            values: Vec::new(),
+            digests: Vec::new(),
+            producers: Vec::new(),
+            deps: Vec::new(),
             live_cells: 0,
             comps: 0,
             epoch: 0,
@@ -254,7 +248,7 @@ impl<D: AbstractDomain> Daig<D> {
     /// The id of `n`, if `n` currently names a cell.
     #[inline]
     pub fn id_of(&self, n: &Name) -> Option<CellId> {
-        self.interner.get(n).filter(|id| self.slots[id.idx()].live)
+        self.interner.get(n).filter(|id| self.live[id.idx()])
     }
 
     /// The name behind `id` (alive or dead).
@@ -272,7 +266,7 @@ impl<D: AbstractDomain> Daig<D> {
     /// names); never shrinks on removal.
     #[inline]
     pub fn arena_len(&self) -> usize {
-        self.slots.len()
+        self.live.len()
     }
 
     /// The structural epoch: bumped whenever a cell or computation is
@@ -285,8 +279,13 @@ impl<D: AbstractDomain> Daig<D> {
 
     fn intern_slot_owned(&mut self, n: Name) -> CellId {
         let id = self.interner.intern_owned(n);
-        if id.idx() >= self.slots.len() {
-            self.slots.resize_with(id.idx() + 1, Slot::default);
+        if id.idx() >= self.live.len() {
+            let len = id.idx() + 1;
+            self.live.resize(len, false);
+            self.values.resize_with(len, || None);
+            self.digests.resize(len, 0);
+            self.producers.resize_with(len, || None);
+            self.deps.resize_with(len, Vec::new);
         }
         id
     }
@@ -331,9 +330,10 @@ impl<D: AbstractDomain> Daig<D> {
 
     /// Number of non-empty cells.
     pub fn filled_count(&self) -> usize {
-        self.slots
+        self.live
             .iter()
-            .filter(|s| s.live && s.value.is_some())
+            .zip(&self.values)
+            .filter(|(&live, v)| live && v.is_some())
             .count()
     }
 
@@ -344,15 +344,14 @@ impl<D: AbstractDomain> Daig<D> {
     /// Is the slot behind `id` a live cell?
     #[inline]
     pub fn contains_id(&self, id: CellId) -> bool {
-        self.slots[id.idx()].live
+        self.live[id.idx()]
     }
 
     /// The value of cell `id`, if live and filled.
     #[inline]
     pub fn value_id(&self, id: CellId) -> Option<&Value<D>> {
-        let s = &self.slots[id.idx()];
-        if s.live {
-            s.value.as_ref()
+        if self.live[id.idx()] {
+            self.values[id.idx()].as_ref()
         } else {
             None
         }
@@ -361,9 +360,8 @@ impl<D: AbstractDomain> Daig<D> {
     /// The cached content digest of cell `id`'s value (`None` when empty).
     #[inline]
     pub fn digest_id(&self, id: CellId) -> Option<u128> {
-        let s = &self.slots[id.idx()];
-        if s.live && s.value.is_some() {
-            Some(s.digest)
+        if self.live[id.idx()] && self.values[id.idx()].is_some() {
+            Some(self.digests[id.idx()])
         } else {
             None
         }
@@ -372,44 +370,39 @@ impl<D: AbstractDomain> Daig<D> {
     /// The function of the computation producing `id`, if any.
     #[inline]
     pub fn comp_func(&self, id: CellId) -> Option<Func> {
-        self.slots[id.idx()].comp.as_ref().map(|c| c.func)
+        self.producers[id.idx()].as_ref().map(|c| c.func)
     }
 
     /// The source ids of the computation producing `id` (argument order).
     #[inline]
     pub fn comp_srcs(&self, id: CellId) -> Option<&[CellId]> {
-        self.slots[id.idx()]
-            .comp
-            .as_ref()
-            .map(|c| c.srcs.as_slice())
+        self.producers[id.idx()].as_ref().map(|c| c.srcs.as_slice())
     }
 
     /// The id-indexed computation producing `id`, if any.
     #[inline]
     pub fn comp_slot(&self, id: CellId) -> Option<&CompSlot> {
-        self.slots[id.idx()].comp.as_ref()
+        self.producers[id.idx()].as_ref()
     }
 
     /// The destinations reading cell `id` (flat id adjacency; unordered).
     #[inline]
     pub fn dependents_ids(&self, id: CellId) -> &[CellId] {
-        &self.slots[id.idx()].deps
+        &self.deps[id.idx()]
     }
 
     /// Writes a value into the live cell `id`, caching its content digest.
     pub fn write_id(&mut self, id: CellId, v: Value<D>) {
-        let s = &mut self.slots[id.idx()];
-        if s.live {
-            s.digest = content_digest(&v);
-            s.value = Some(v);
+        if self.live[id.idx()] {
+            self.digests[id.idx()] = content_digest(&v);
+            self.values[id.idx()] = Some(v);
         }
     }
 
     /// Empties cell `id`, returning its previous value.
     pub fn clear_id(&mut self, id: CellId) -> Option<Value<D>> {
-        let s = &mut self.slots[id.idx()];
-        if s.live {
-            s.value.take()
+        if self.live[id.idx()] {
+            self.values[id.idx()].take()
         } else {
             None
         }
@@ -426,8 +419,7 @@ impl<D: AbstractDomain> Daig<D> {
 
     /// The value of cell `n`, if the cell exists and is non-empty.
     pub fn value(&self, n: &Name) -> Option<&Value<D>> {
-        self.id_of(n)
-            .and_then(|id| self.slots[id.idx()].value.as_ref())
+        self.id_of(n).and_then(|id| self.values[id.idx()].as_ref())
     }
 
     /// The computation producing `n`, if any, with sources materialized as
@@ -435,7 +427,7 @@ impl<D: AbstractDomain> Daig<D> {
     /// [`Daig::comp_func`], which do not clone names.
     pub fn comp(&self, n: &Name) -> Option<Comp> {
         let id = self.id_of(n)?;
-        let c = self.slots[id.idx()].comp.as_ref()?;
+        let c = self.producers[id.idx()].as_ref()?;
         Some(Comp {
             func: c.func,
             srcs: c
@@ -449,7 +441,7 @@ impl<D: AbstractDomain> Daig<D> {
     /// The destinations that read `n`.
     pub fn dependents(&self, n: &Name) -> impl Iterator<Item = &Name> {
         let ids: &[CellId] = match self.id_of(n) {
-            Some(id) => &self.slots[id.idx()].deps,
+            Some(id) => &self.deps[id.idx()],
             None => &[],
         };
         ids.iter().map(move |&d| self.interner.name(d))
@@ -457,19 +449,19 @@ impl<D: AbstractDomain> Daig<D> {
 
     /// All cell names (unordered).
     pub fn names(&self) -> impl Iterator<Item = &Name> {
-        self.slots
+        self.live
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.live)
+            .filter(|(_, &live)| live)
             .map(|(i, _)| self.interner.name(CellId(i as u32)))
     }
 
     /// All live cell ids.
     pub fn ids(&self) -> impl Iterator<Item = CellId> + '_ {
-        self.slots
+        self.live
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.live)
+            .filter(|(_, &live)| live)
             .map(|(i, _)| CellId(i as u32))
     }
 
@@ -492,13 +484,12 @@ impl<D: AbstractDomain> Daig<D> {
     /// [`crate::query::fix_step`] (they mutate the graph) rather than
     /// [`crate::query::apply_ready`].
     pub fn ready_frontier(&self) -> impl Iterator<Item = &Name> {
-        self.slots
+        self.live
             .iter()
             .enumerate()
-            .filter(move |(_, s)| {
-                s.live
-                    && s.value.is_none()
-                    && s.comp
+            .filter(move |&(i, &live)| {
+                live && self.values[i].is_none()
+                    && self.producers[i]
                         .as_ref()
                         .is_some_and(|c| c.srcs.iter().all(|&src| self.value_id(src).is_some()))
             })
@@ -514,19 +505,16 @@ impl<D: AbstractDomain> Daig<D> {
     /// [`Daig::add_cell`], returning the cell's id for id-level wiring.
     pub fn add_cell_id(&mut self, n: Name, v: Option<Value<D>>) -> CellId {
         let id = self.intern_slot_owned(n);
-        let s = &mut self.slots[id.idx()];
-        if !s.live {
-            s.live = true;
+        if !self.live[id.idx()] {
+            self.live[id.idx()] = true;
             self.live_cells += 1;
         }
         match v {
             Some(v) => {
-                let digest = content_digest(&v);
-                let s = &mut self.slots[id.idx()];
-                s.digest = digest;
-                s.value = Some(v);
+                self.digests[id.idx()] = content_digest(&v);
+                self.values[id.idx()] = Some(v);
             }
-            None => self.slots[id.idx()].value = None,
+            None => self.values[id.idx()] = None,
         }
         self.epoch += 1;
         self.record(id);
@@ -568,9 +556,9 @@ impl<D: AbstractDomain> Daig<D> {
             if srcs[..i].contains(&s) {
                 continue;
             }
-            self.slots[s.idx()].deps.push(dest);
+            self.deps[s.idx()].push(dest);
         }
-        self.slots[dest.idx()].comp = Some(CompSlot { func, srcs });
+        self.producers[dest.idx()] = Some(CompSlot { func, srcs });
         self.comps += 1;
         self.epoch += 1;
         self.record(dest);
@@ -585,12 +573,12 @@ impl<D: AbstractDomain> Daig<D> {
 
     /// Id-level [`Daig::remove_comp`].
     pub fn remove_comp_id(&mut self, dest: CellId) {
-        if let Some(old) = self.slots[dest.idx()].comp.take() {
+        if let Some(old) = self.producers[dest.idx()].take() {
             for (i, &s) in old.srcs.iter().enumerate() {
                 if old.srcs[..i].contains(&s) {
                     continue;
                 }
-                let deps = &mut self.slots[s.idx()].deps;
+                let deps = &mut self.deps[s.idx()];
                 if let Some(pos) = deps.iter().position(|&d| d == dest) {
                     deps.swap_remove(pos);
                 }
@@ -613,10 +601,9 @@ impl<D: AbstractDomain> Daig<D> {
     /// and is resurrected by a later [`Daig::add_cell`].
     pub fn remove_cell_id(&mut self, id: CellId) {
         self.remove_comp_id(id);
-        let s = &mut self.slots[id.idx()];
-        if s.live {
-            s.live = false;
-            s.value = None;
+        if self.live[id.idx()] {
+            self.live[id.idx()] = false;
+            self.values[id.idx()] = None;
             self.live_cells -= 1;
             self.epoch += 1;
             self.record(id);
@@ -633,8 +620,8 @@ impl<D: AbstractDomain> Daig<D> {
         // (2)/(1) namespace: a computation's destination must be a live
         // cell (a comp parked on a dead slot is a builder bug — cells are
         // always installed before their computations).
-        for (i, slot) in self.slots.iter().enumerate() {
-            if !slot.live && slot.comp.is_some() {
+        for (i, &live) in self.live.iter().enumerate() {
+            if !live && self.producers[i].is_some() {
                 return Err(DaigError::Invariant(format!(
                     "comp dest {} has no cell",
                     name(CellId(i as u32))
@@ -684,11 +671,10 @@ impl<D: AbstractDomain> Daig<D> {
         // (5) Empty references have dependencies; statement cells must be
         // full; AI-consistency: non-empty cells have non-empty sources.
         for id in self.ids() {
-            let s = &self.slots[id.idx()];
             let n = name(id);
-            match &s.value {
+            match &self.values[id.idx()] {
                 None => {
-                    if s.comp.is_none() {
+                    if self.producers[id.idx()].is_none() {
                         return Err(DaigError::Invariant(format!(
                             "empty cell {n} has no computation"
                         )));
@@ -698,7 +684,7 @@ impl<D: AbstractDomain> Daig<D> {
                     }
                 }
                 Some(_) => {
-                    if let Some(c) = &s.comp {
+                    if let Some(c) = &self.producers[id.idx()] {
                         for &src in &c.srcs {
                             if self.value_id(src).is_none() {
                                 return Err(DaigError::Invariant(format!(
@@ -714,9 +700,9 @@ impl<D: AbstractDomain> Daig<D> {
         // Adjacency coherence: every reverse-adjacency entry is backed by
         // a computation that reads the source, and every computation
         // source is registered.
-        for (i, slot) in self.slots.iter().enumerate() {
+        for (i, cell_deps) in self.deps.iter().enumerate() {
             let src = CellId(i as u32);
-            for &d in &slot.deps {
+            for &d in cell_deps {
                 let Some(c) = self.comp_slot(d) else {
                     return Err(DaigError::Invariant(format!(
                         "dependents lists {} for {} without comp",
@@ -732,9 +718,9 @@ impl<D: AbstractDomain> Daig<D> {
                     )));
                 }
             }
-            if let Some(c) = &slot.comp {
+            if let Some(c) = &self.producers[i] {
                 for &s in &c.srcs {
-                    if !self.slots[s.idx()].deps.contains(&CellId(i as u32)) {
+                    if !self.deps[s.idx()].contains(&CellId(i as u32)) {
                         return Err(DaigError::Invariant(format!(
                             "comp for {} reads {} without a dependents entry",
                             name(CellId(i as u32)),
@@ -748,7 +734,7 @@ impl<D: AbstractDomain> Daig<D> {
         const FRESH: u8 = 0;
         const OPEN: u8 = 1;
         const DONE: u8 = 2;
-        let mut state = vec![FRESH; self.slots.len()];
+        let mut state = vec![FRESH; self.live.len()];
         for start in self.ids() {
             if self.comp_slot(start).is_none() || state[start.idx()] == DONE {
                 continue;

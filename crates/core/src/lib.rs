@@ -20,6 +20,9 @@
 //!   Name ↔ CellId lifecycle);
 //! * [`build`] — `Dinit` (Appendix A) and the loop-region builder shared
 //!   by demanded unrolling and rollback;
+//! * [`compile`] — the staged-transfer table: per-edge compiled closures
+//!   (from `dai_domains::compile`) with digest-guarded lookup and fused
+//!   straight-line runs;
 //! * [`query`] — the Fig. 8 operational semantics (`Q-Reuse`, `Q-Match`,
 //!   `Q-Miss`, `Q-Loop-Converge`, `Q-Loop-Unroll`) with an auxiliary memo
 //!   table from `dai-memo`;
@@ -63,6 +66,7 @@
 pub mod analysis;
 pub mod batch;
 pub mod build;
+pub mod compile;
 pub mod consistency;
 pub mod dot;
 pub mod driver;
@@ -76,6 +80,7 @@ pub mod strategy;
 pub mod summaries;
 
 pub use analysis::{resolve_loc_cell, FuncAnalysis};
+pub use compile::{FusedRun, TransferMode, TransferTable};
 pub use driver::{Config, Driver, ProgramEdit};
 pub use graph::{Daig, DaigError, Func, Value};
 pub use intern::{CellId, NameInterner};

@@ -27,6 +27,7 @@ use dai_lang::interp::{ConcreteState, Value};
 use dai_lang::{BinOp, Expr, Stmt, Symbol, UnOp, RETURN_VAR};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// `+∞` sentinel for DBM entries.
 const INF: i64 = i64::MAX;
@@ -55,7 +56,11 @@ fn bhalf(a: i64) -> i64 {
 /// signed forms.
 #[derive(Debug, Clone)]
 pub struct Oct {
-    vars: Vec<Symbol>,
+    /// Shared, sorted variable list: assignments to already-tracked
+    /// variables clone the matrix but not the list, so the per-transfer
+    /// `Oct::clone` on the warm path is one `Vec<i64>` copy plus a
+    /// refcount bump.
+    vars: Arc<[Symbol]>,
     /// Row-major `(2n)²` matrix; `dbm[i * 2n + j]` bounds `vᵢ − vⱼ`.
     dbm: Vec<i64>,
     /// Whether `dbm` is strongly closed. Ignored by `Eq`/`Hash`.
@@ -142,7 +147,7 @@ impl Oct {
             return None;
         }
         Some(Oct {
-            vars,
+            vars: vars.into(),
             dbm,
             closed: false,
         })
@@ -150,29 +155,37 @@ impl Oct {
 
     /// Adds `var` as an unconstrained tracked variable, rebuilding the
     /// matrix. Returns its index.
+    ///
+    /// Insertion at sorted position `pos` shifts signed-form indices `≥
+    /// 2·pos` up by one pair, so each surviving row splits into two
+    /// contiguous runs — copied as slices, no per-entry index mapping.
+    /// An unconstrained variable adds no finite path, so `closed` is
+    /// preserved as-is.
     fn track(&mut self, var: &Symbol) -> usize {
         if let Some(i) = self.index_of(var) {
             return i;
         }
         let pos = self.vars.binary_search(var).unwrap_err();
-        let old_vars: Vec<Symbol> = self.vars.clone();
-        let mut new_vars = old_vars.clone();
-        new_vars.insert(pos, var.clone());
-        let old = std::mem::replace(self, Oct::unconstrained(new_vars));
-        // Copy surviving entries.
-        for (oi, v1) in old.vars.iter().enumerate() {
-            let ni = self.index_of(v1).expect("kept");
-            for (oj, v2) in old.vars.iter().enumerate() {
-                let nj = self.index_of(v2).expect("kept");
-                for s1 in 0..2 {
-                    for s2 in 0..2 {
-                        let val = old.at(2 * oi + s1, 2 * oj + s2);
-                        self.set(2 * ni + s1, 2 * nj + s2, val);
-                    }
-                }
-            }
+        let od = self.dim();
+        let nd = od + 2;
+        let lo = 2 * pos;
+        let mut vars = Vec::with_capacity(self.vars.len() + 1);
+        vars.extend_from_slice(&self.vars[..pos]);
+        vars.push(var.clone());
+        vars.extend_from_slice(&self.vars[pos..]);
+        let mut dbm = vec![INF; nd * nd];
+        for i in 0..nd {
+            dbm[i * nd + i] = 0;
         }
-        self.closed = old.closed;
+        for i in 0..od {
+            let ni = if i < lo { i } else { i + 2 };
+            let src = i * od;
+            let dst = ni * nd;
+            dbm[dst..dst + lo].copy_from_slice(&self.dbm[src..src + lo]);
+            dbm[dst + lo + 2..dst + od + 2].copy_from_slice(&self.dbm[src + lo..src + od]);
+        }
+        self.vars = vars.into();
+        self.dbm = dbm;
         pos
     }
 
@@ -183,7 +196,7 @@ impl Oct {
             dbm[i * d + i] = 0;
         }
         Oct {
-            vars,
+            vars: vars.into(),
             dbm,
             closed: true,
         }
@@ -267,7 +280,7 @@ impl Oct {
         };
         self.close();
         let old = std::mem::replace(self, Oct::unconstrained(Vec::new()));
-        let mut vars = old.vars.clone();
+        let mut vars = old.vars.to_vec();
         vars.remove(pos);
         *self = Oct::unconstrained(vars);
         // Dropping variable `pos` shifts every later index down by one
@@ -344,7 +357,9 @@ impl Oct {
     /// closure. The caller guarantees `iv` is non-empty.
     fn assign_interval_closed(&mut self, x: &Symbol, iv: Interval) {
         debug_assert!(self.closed);
-        self.forget(x);
+        // No `forget(x)` first: every entry mentioning `x` is written
+        // below from `iv` and the *other* variables' unary rows, so the
+        // O(d) row-clear would be overwritten wholesale.
         let xi = self.track(x);
         let (xp, xn) = (2 * xi, 2 * xi + 1);
         // Upper bounds on x and −x in the ∞-sentinel encoding.
@@ -387,7 +402,9 @@ impl Oct {
         debug_assert!(self.closed);
         debug_assert!(x != y);
         self.track(y);
-        self.forget(x);
+        // As in `assign_interval_closed`, skipping `forget(x)` is safe:
+        // the writes below cover every entry mentioning `x` and read only
+        // `y`'s rows (`x ≠ y`).
         let xi = self.index_of(x).unwrap_or_else(|| self.track(x));
         let yi = self.index_of(y).expect("tracked");
         let (xp, xn) = (2 * xi, 2 * xi + 1);
@@ -510,18 +527,25 @@ fn combine(l: Linear1, r: Linear1, rsign: i64) -> Option<Linear1> {
 }
 
 /// The octagon abstract domain state.
+///
+/// The matrix lives behind an [`Arc`]: a transfer that does not change
+/// the octagon (skips, converged assumes on the warm path, call returns
+/// without a receiver) hands out a shared handle instead of copying a
+/// `(2n)²` matrix, and the DAIG's many cells holding equal iterates
+/// share one allocation. Mutating paths clone the inner [`Oct`] first,
+/// exactly as they used to.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum OctagonDomain {
     /// Unreachable.
     Bottom,
     /// A (possibly unclosed) octagon.
-    Oct(Oct),
+    Oct(Arc<Oct>),
 }
 
 impl OctagonDomain {
     /// The unconstrained state.
     pub fn top() -> OctagonDomain {
-        OctagonDomain::Oct(Oct::unconstrained(Vec::new()))
+        OctagonDomain::Oct(Arc::new(Oct::unconstrained(Vec::new())))
     }
 
     /// The interval of `var` implied by this octagon (`⊤` if untracked,
@@ -534,7 +558,7 @@ impl OctagonDomain {
                 if o.index_of(&sym).is_none() {
                     return Interval::TOP;
                 }
-                let mut c = o.clone();
+                let mut c = Oct::clone(o);
                 if !c.close() {
                     return Interval::EMPTY;
                 }
@@ -548,7 +572,7 @@ impl OctagonDomain {
         match self {
             OctagonDomain::Bottom => true,
             OctagonDomain::Oct(o) => {
-                let mut o = o.clone();
+                let mut o = Oct::clone(o);
                 if !o.close() {
                     return true;
                 }
@@ -575,7 +599,7 @@ impl OctagonDomain {
                 }
             }
             OctagonDomain::Oct(o) => {
-                let mut c = o.clone();
+                let mut c = Oct::clone(o);
                 if !c.close() {
                     return Interval::EMPTY;
                 }
@@ -588,9 +612,9 @@ impl OctagonDomain {
         match self {
             OctagonDomain::Bottom => OctagonDomain::Bottom,
             OctagonDomain::Oct(o) => {
-                let mut o = o.clone();
+                let mut o = Oct::clone(o);
                 if f(&mut o) && o.close() {
-                    OctagonDomain::Oct(o)
+                    OctagonDomain::Oct(Arc::new(o))
                 } else {
                     OctagonDomain::Bottom
                 }
@@ -708,7 +732,7 @@ impl OctagonDomain {
         let base = rc.checked_sub(lc)?;
         let mut out = match self {
             OctagonDomain::Bottom => return Some(OctagonDomain::Bottom),
-            OctagonDomain::Oct(o) => o.clone(),
+            OctagonDomain::Oct(o) => Oct::clone(o),
         };
         let ok = match op {
             BinOp::Lt => add_sum_le(&mut out, &terms, k, base.checked_sub(1)?),
@@ -732,7 +756,7 @@ impl OctagonDomain {
         if !ok || !out.close() {
             return Some(OctagonDomain::Bottom);
         }
-        Some(OctagonDomain::Oct(out))
+        Some(OctagonDomain::Oct(Arc::new(out)))
     }
 
     /// Refines this state by assuming `cond` has truth value `expected`.
@@ -823,6 +847,51 @@ fn merge_terms(terms: Vec<(i64, Symbol)>) -> Option<(Vec<(i64, Symbol)>, i64)> {
 /// Adds `Σ terms ≤ bound` to `o` (terms as produced by [`merge_terms`];
 /// `k = 2` marks a doubled single-variable constraint `±2x ≤ bound`).
 /// Returns `false` on an immediately contradictory constant constraint.
+impl Oct {
+    /// Read-only twin of [`add_sum_le`]: would adding `Σ terms ≤ bound`
+    /// change nothing? True iff every cell [`add_sum_le`] would
+    /// [`Oct::tighten`] already carries a bound at least as tight (so
+    /// the tighten no-ops) and every variable it would [`Oct::track`] is
+    /// already tracked (so the matrix is not rebuilt). Must mirror
+    /// [`add_sum_le`]'s cell arithmetic exactly — the staged assume fast
+    /// path relies on "implied ⟹ bit-equal result".
+    fn implies_sum_le(&self, terms: &[(i64, Symbol)], k: i64, bound: i64) -> bool {
+        match terms {
+            [] => 0 <= bound,
+            [(c, x)] => {
+                let Some(xi) = self.index_of(x) else {
+                    return false;
+                };
+                let doubled = if k == 2 {
+                    bound
+                } else {
+                    bound.saturating_mul(2)
+                };
+                if *c > 0 {
+                    self.at(2 * xi, 2 * xi + 1) <= doubled
+                } else {
+                    self.at(2 * xi + 1, 2 * xi) <= doubled
+                }
+            }
+            [(c1, x), (c2, y)] => {
+                let (Some(xi), Some(yi)) = (self.index_of(x), self.index_of(y)) else {
+                    return false;
+                };
+                let (i, j) = match (*c1 > 0, *c2 > 0) {
+                    (true, true) => (2 * xi, 2 * yi + 1),
+                    (true, false) => (2 * xi, 2 * yi),
+                    (false, true) => (2 * yi, 2 * xi),
+                    (false, false) => (2 * xi + 1, 2 * yi),
+                };
+                self.at(i, j) <= bound
+            }
+            // `add_sum_le` ignores longer sums (unreachable after
+            // `merge_terms`), mutating nothing.
+            _ => true,
+        }
+    }
+}
+
 fn add_sum_le(o: &mut Oct, terms: &[(i64, Symbol)], k: i64, bound: i64) -> bool {
     match terms {
         [] => 0 <= bound,
@@ -919,7 +988,7 @@ impl fmt::Display for OctagonDomain {
         match self {
             OctagonDomain::Bottom => write!(f, "⊥"),
             OctagonDomain::Oct(o) => {
-                let mut c = o.clone();
+                let mut c = Oct::clone(o);
                 if !c.close() {
                     return write!(f, "⊥");
                 }
@@ -987,7 +1056,7 @@ impl AbstractDomain for OctagonDomain {
                     if b.has_negative_diagonal() {
                         return OctagonDomain::Oct(a.clone());
                     }
-                    let mut out = a.clone();
+                    let mut out = Oct::clone(a);
                     for (o, &bv) in out.dbm.iter_mut().zip(&b.dbm) {
                         if bv > *o {
                             *o = bv;
@@ -995,15 +1064,15 @@ impl AbstractDomain for OctagonDomain {
                     }
                     // Pointwise max of closed matrices is closed.
                     out.closed = true;
-                    return OctagonDomain::Oct(out);
+                    return OctagonDomain::Oct(Arc::new(out));
                 }
-                let mut a = a.clone();
-                let mut b = b.clone();
+                let mut a = Oct::clone(a);
+                let mut b = Oct::clone(b);
                 if !a.close() {
-                    return OctagonDomain::Oct(b);
+                    return OctagonDomain::Oct(Arc::new(b));
                 }
                 if !b.close() {
-                    return OctagonDomain::Oct(a);
+                    return OctagonDomain::Oct(Arc::new(a));
                 }
                 // Tracked set: intersection (a variable missing on one side
                 // is unconstrained there, so its join is ⊤).
@@ -1013,14 +1082,16 @@ impl AbstractDomain for OctagonDomain {
                     .filter(|v| b.index_of(v).is_some())
                     .cloned()
                     .collect();
-                for v in a.vars.clone() {
-                    if !common.contains(&v) {
-                        a.untrack(&v);
+                let snapshot = Arc::clone(&a.vars);
+                for v in snapshot.iter() {
+                    if !common.contains(v) {
+                        a.untrack(v);
                     }
                 }
-                for v in b.vars.clone() {
-                    if !common.contains(&v) {
-                        b.untrack(&v);
+                let snapshot = Arc::clone(&b.vars);
+                for v in snapshot.iter() {
+                    if !common.contains(v) {
+                        b.untrack(v);
                     }
                 }
                 debug_assert_eq!(a.vars, b.vars);
@@ -1032,7 +1103,7 @@ impl AbstractDomain for OctagonDomain {
                 }
                 // Pointwise max of closed matrices is closed.
                 out.closed = true;
-                OctagonDomain::Oct(out)
+                OctagonDomain::Oct(Arc::new(out))
             }
         }
     }
@@ -1044,11 +1115,11 @@ impl AbstractDomain for OctagonDomain {
             (OctagonDomain::Oct(a), OctagonDomain::Oct(b)) => {
                 // Close the new iterate (right), NOT the accumulator (left):
                 // closing the widening output would defeat convergence.
-                let mut b = b.clone();
+                let mut b = Oct::clone(b);
                 if !b.close() {
                     return self.clone();
                 }
-                let mut a = a.clone();
+                let mut a = Oct::clone(a);
                 // Align variables: intersection.
                 let common: Vec<Symbol> = a
                     .vars
@@ -1056,14 +1127,16 @@ impl AbstractDomain for OctagonDomain {
                     .filter(|v| b.index_of(v).is_some())
                     .cloned()
                     .collect();
-                for v in a.vars.clone() {
-                    if !common.contains(&v) {
-                        a.untrack(&v);
+                let snapshot = Arc::clone(&a.vars);
+                for v in snapshot.iter() {
+                    if !common.contains(v) {
+                        a.untrack(v);
                     }
                 }
-                for v in b.vars.clone() {
-                    if !common.contains(&v) {
-                        b.untrack(&v);
+                let snapshot = Arc::clone(&b.vars);
+                for v in snapshot.iter() {
+                    if !common.contains(v) {
+                        b.untrack(v);
                     }
                 }
                 let mut out = a.clone();
@@ -1071,7 +1144,7 @@ impl AbstractDomain for OctagonDomain {
                     out.dbm[i] = if b.dbm[i] <= a.dbm[i] { a.dbm[i] } else { INF };
                 }
                 out.closed = false;
-                OctagonDomain::Oct(out)
+                OctagonDomain::Oct(Arc::new(out))
             }
         }
     }
@@ -1080,15 +1153,15 @@ impl AbstractDomain for OctagonDomain {
         match (self, other) {
             (OctagonDomain::Bottom, _) => true,
             (OctagonDomain::Oct(a), OctagonDomain::Bottom) => {
-                let mut a = a.clone();
+                let mut a = Oct::clone(a);
                 !a.close()
             }
             (OctagonDomain::Oct(a), OctagonDomain::Oct(b)) => {
-                let mut a = a.clone();
+                let mut a = Oct::clone(a);
                 if !a.close() {
                     return true;
                 }
-                let mut b = b.clone();
+                let mut b = Oct::clone(b);
                 if !b.close() {
                     return false;
                 }
@@ -1168,6 +1241,10 @@ impl AbstractDomain for OctagonDomain {
         }
     }
 
+    fn compile_transfer(stmt: &Stmt) -> Option<crate::compile::CompiledTransfer<Self>> {
+        <OctagonDomain as crate::compile::CompileTransfer>::stage(stmt)
+    }
+
     fn call_entry(&self, site: CallSite<'_>, callee_params: &[Symbol]) -> Self {
         if self.is_bottom() {
             return OctagonDomain::Bottom;
@@ -1181,15 +1258,18 @@ impl AbstractDomain for OctagonDomain {
         for (t, a) in temps.iter().zip(site.args) {
             cur = cur.transfer(&Stmt::Assign(t.clone(), a.clone()));
         }
-        let OctagonDomain::Oct(mut o) = cur else {
+        let OctagonDomain::Oct(o) = cur else {
             return OctagonDomain::Bottom;
         };
+        // `cur` is locally owned, so this is normally a move, not a copy.
+        let mut o = Arc::try_unwrap(o).unwrap_or_else(|shared| (*shared).clone());
         if !o.close() {
             return OctagonDomain::Bottom;
         }
-        for v in o.vars.clone() {
-            if !temps.contains(&v) {
-                o.untrack(&v);
+        let snapshot = Arc::clone(&o.vars);
+        for v in snapshot.iter() {
+            if !temps.contains(v) {
+                o.untrack(v);
             }
         }
         // Rename $argᵢ → paramᵢ by rebuilding.
@@ -1211,7 +1291,7 @@ impl AbstractDomain for OctagonDomain {
             }
         }
         out.closed = false;
-        OctagonDomain::Oct(out).map(|_| true)
+        OctagonDomain::Oct(Arc::new(out)).map(|_| true)
     }
 
     fn call_return(&self, site: CallSite<'_>, callee_exit: &Self) -> Self {
@@ -1247,7 +1327,7 @@ impl AbstractDomain for OctagonDomain {
                 // in the concrete state, so rows mentioning them cannot be
                 // checked (and need not be: γ only constrains defined vars).
                 let mut vals: Vec<Option<i64>> = Vec::with_capacity(o.n());
-                for v in &o.vars {
+                for v in o.vars.iter() {
                     match concrete.env.get(v) {
                         Some(Value::Int(n)) => vals.push(Some(*n)),
                         Some(_) => return false, // tracked var must be numeric
@@ -1278,6 +1358,299 @@ impl AbstractDomain for OctagonDomain {
                 }
                 true
             }
+        }
+    }
+}
+
+impl crate::compile::CompileTransfer for OctagonDomain {
+    /// Stages a statement against the octagon domain. The win here is
+    /// real: the interpreter re-runs [`linear1`] (an AST walk with
+    /// checked arithmetic) and [`expr_definitely_numeric`] on every
+    /// evaluation before reaching the O(d) `assign_*_closed` primitives;
+    /// staging runs the classification once and the closure jumps
+    /// straight to the same primitive, so the results are bit-identical
+    /// by construction.
+    fn stage(stmt: &Stmt) -> Option<crate::compile::CompiledTransfer<Self>> {
+        use crate::compile::{CompiledTransfer, TransferShape};
+        match stmt {
+            Stmt::Skip | Stmt::Print(_) | Stmt::FieldWrite(..) | Stmt::ArrayWrite(..) => {
+                // Identical to the interpreter on both variants: Bottom
+                // clones to Bottom, an octagon clones to itself.
+                Some(CompiledTransfer::new(
+                    TransferShape::Identity,
+                    |pre: &OctagonDomain| pre.clone(),
+                ))
+            }
+            Stmt::Assign(x, e) => {
+                if let Some(lin) = linear1(e) {
+                    let shape = match &lin {
+                        Linear1::Const(_) => TransferShape::ConstAssign,
+                        Linear1::Term { var, .. } if var == x => TransferShape::ShiftAssign,
+                        Linear1::Term { .. } => TransferShape::CopyAssign,
+                    };
+                    let x = x.clone();
+                    Some(CompiledTransfer::new(shape, move |pre: &OctagonDomain| {
+                        if pre.is_bottom() {
+                            return OctagonDomain::Bottom;
+                        }
+                        pre.assign_linear(&x, &lin)
+                    }))
+                } else {
+                    // Non-octagonal right-hand side: the interval
+                    // evaluation depends on the pre-state, but the
+                    // numericity classification does not — stage it.
+                    let numeric = expr_definitely_numeric(e);
+                    let x = x.clone();
+                    let e = e.clone();
+                    Some(CompiledTransfer::new(
+                        TransferShape::Assign,
+                        move |pre: &OctagonDomain| {
+                            if pre.is_bottom() {
+                                return OctagonDomain::Bottom;
+                            }
+                            let iv = pre.eval_interval(&e);
+                            if iv.is_empty() {
+                                return OctagonDomain::Bottom;
+                            }
+                            pre.map(|o| {
+                                if !o.close() {
+                                    return false;
+                                }
+                                if numeric {
+                                    o.assign_interval_closed(&x, iv);
+                                } else {
+                                    o.forget(&x);
+                                    o.untrack(&x);
+                                }
+                                true
+                            })
+                        },
+                    ))
+                }
+            }
+            Stmt::Assume(e) => {
+                // Stage the whole `refine` recursion: the interpreter
+                // re-walks the condition AST per evaluation, re-running
+                // `linear_terms`/`merge_terms` (allocations + checked
+                // arithmetic) for every comparison leaf. All of that is a
+                // pure function of the expression, so it is hoisted here
+                // into an [`AssumePlan`]; applying the plan jumps straight
+                // to `add_sum_le` + `close`.
+                let plan = AssumePlan::stage(e, true);
+                Some(CompiledTransfer::new(
+                    TransferShape::Assume,
+                    move |pre: &OctagonDomain| plan.apply(pre),
+                ))
+            }
+            // Calls route through the interprocedural resolver; their
+            // meaning is not a function of the statement text alone.
+            Stmt::Call { .. } => None,
+        }
+    }
+}
+
+/// A staged [`OctagonDomain::refine`]: the condition's boolean structure
+/// and every comparison leaf's constraint extraction, precomputed at
+/// stage time. [`AssumePlan::apply`] must take exactly the branches
+/// `refine` would — the bit-identity contract of [`crate::compile`]
+/// rests on each variant below mirroring one arm of `refine` /
+/// `assume_cmp`.
+/// One staged `add_sum_le` invocation: the `±1`-signed term list, its
+/// length `k`, and the bound — the exact argument triple `assume_cmp`
+/// passes through.
+type SumLeArgs = (Vec<(i64, Symbol)>, i64, i64);
+
+enum AssumePlan {
+    /// `Expr::Bool` leaf (or any always-`const` outcome): `true` clones,
+    /// `false` is `Bottom` — `refine`'s literal arm.
+    Const(bool),
+    /// No refinement possible (non-comparison leaf, or constraint
+    /// extraction failed before any state was touched): clone, exactly
+    /// `refine`'s `self.clone()` fallbacks.
+    Keep,
+    /// A comparison leaf whose extraction succeeded: the `(terms, k,
+    /// bound)` list `assume_cmp` would feed to [`add_sum_le`], in order
+    /// (two entries for `Eq`, none for `Ne`), followed by `close`.
+    Cmp(Vec<SumLeArgs>),
+    /// A comparison leaf whose *bound* arithmetic overflows in a place
+    /// `assume_cmp` only reaches lazily (`Eq` with `base == i64::MIN`:
+    /// the second bound's `checked_neg()?` sits after a short-circuiting
+    /// `&&`, so the outcome depends on the first add). Unstageable —
+    /// run the interpreter's own leaf at apply time.
+    Raw(BinOp, Expr, Expr),
+    /// `And` under `expected` / `Or` under `!expected`: refine left,
+    /// then refine right on the result.
+    Seq(Box<AssumePlan>, Box<AssumePlan>),
+    /// `Or` under `expected` / `And` under `!expected`: refine both
+    /// from the same pre-state and join.
+    Join(Box<AssumePlan>, Box<AssumePlan>),
+}
+
+impl AssumePlan {
+    /// Mirrors `refine(cond, expected)`'s match, one variant per arm.
+    fn stage(cond: &Expr, expected: bool) -> AssumePlan {
+        match cond {
+            Expr::Bool(b) => AssumePlan::Const(*b == expected),
+            Expr::Unary(UnOp::Not, inner) => AssumePlan::stage(inner, !expected),
+            Expr::Binary(BinOp::And, l, r) if expected => AssumePlan::Seq(
+                Box::new(AssumePlan::stage(l, true)),
+                Box::new(AssumePlan::stage(r, true)),
+            ),
+            Expr::Binary(BinOp::And, l, r) => AssumePlan::Join(
+                Box::new(AssumePlan::stage(l, false)),
+                Box::new(AssumePlan::stage(r, false)),
+            ),
+            Expr::Binary(BinOp::Or, l, r) if expected => AssumePlan::Join(
+                Box::new(AssumePlan::stage(l, true)),
+                Box::new(AssumePlan::stage(r, true)),
+            ),
+            Expr::Binary(BinOp::Or, l, r) => AssumePlan::Seq(
+                Box::new(AssumePlan::stage(l, false)),
+                Box::new(AssumePlan::stage(r, false)),
+            ),
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                let op = if expected {
+                    *op
+                } else {
+                    op.negate_comparison().expect("comparison")
+                };
+                AssumePlan::stage_cmp(op, l, r)
+            }
+            _ => AssumePlan::Keep,
+        }
+    }
+
+    /// Mirrors `assume_cmp`'s state-independent prefix. Every `?` here
+    /// fires before `assume_cmp` touches the (cloned) state, so mapping
+    /// failure to [`AssumePlan::Keep`] reproduces `refine`'s
+    /// `None => self.clone()` exactly — except `Eq`'s second bound,
+    /// which `assume_cmp` computes lazily after the first `add_sum_le`
+    /// and therefore cannot be hoisted (see [`AssumePlan::Raw`]).
+    fn stage_cmp(op: BinOp, l: &Expr, r: &Expr) -> AssumePlan {
+        let extract = || -> Option<Vec<SumLeArgs>> {
+            let (lt, lc) = linear_terms(l)?;
+            let (rt, rc) = linear_terms(r)?;
+            let mut terms = lt;
+            for (s, v) in rt {
+                terms.push((-s, v));
+            }
+            let (terms, k) = merge_terms(terms)?;
+            let base = rc.checked_sub(lc)?;
+            let neg = |terms: &[(i64, Symbol)]| -> Vec<(i64, Symbol)> {
+                terms.iter().map(|(s, v)| (-s, v.clone())).collect()
+            };
+            Some(match op {
+                BinOp::Lt => vec![(terms, k, base.checked_sub(1)?)],
+                BinOp::Le => vec![(terms, k, base)],
+                BinOp::Gt => {
+                    let n = neg(&terms);
+                    vec![(n, k, base.checked_neg()?.checked_sub(1)?)]
+                }
+                BinOp::Ge => {
+                    let n = neg(&terms);
+                    vec![(n, k, base.checked_neg()?)]
+                }
+                BinOp::Eq => match base.checked_neg() {
+                    Some(nb) => {
+                        let n = neg(&terms);
+                        vec![(terms, k, base), (n, k, nb)]
+                    }
+                    // `assume_cmp` only evaluates this negation after the
+                    // first constraint is added; defer to the interpreter.
+                    None => return None,
+                },
+                BinOp::Ne => Vec::new(), // disjunctive; sound to skip
+                _ => return None,
+            })
+        };
+        match extract() {
+            Some(adds) => AssumePlan::Cmp(adds),
+            // Distinguish "extraction failed before any state was
+            // touched" (→ clone, like `refine`) from the lazy-`Eq`
+            // overflow (→ interpret the leaf). The former is every case
+            // where a `?` above fires on expression-only data; only the
+            // `Eq` branch returns `None` with state-order significance.
+            None => {
+                if op == BinOp::Eq && Self::eq_bound_is_lazy(l, r) {
+                    AssumePlan::Raw(op, l.clone(), r.clone())
+                } else {
+                    AssumePlan::Keep
+                }
+            }
+        }
+    }
+
+    /// True iff `l == r` extracts cleanly up to `base` but
+    /// `base.checked_neg()` overflows — the one failure `assume_cmp`
+    /// reaches only after mutating its working copy.
+    fn eq_bound_is_lazy(l: &Expr, r: &Expr) -> bool {
+        let probe = || -> Option<i64> {
+            let (lt, lc) = linear_terms(l)?;
+            let (rt, rc) = linear_terms(r)?;
+            let mut terms = lt;
+            for (s, v) in rt {
+                terms.push((-s, v));
+            }
+            merge_terms(terms)?;
+            rc.checked_sub(lc)
+        };
+        matches!(probe(), Some(base) if base.checked_neg().is_none())
+    }
+
+    /// Applies the staged plan; branch-for-branch equal to
+    /// `refine(cond, expected)` on the staged `(cond, expected)`.
+    fn apply(&self, pre: &OctagonDomain) -> OctagonDomain {
+        if pre.is_bottom() {
+            return OctagonDomain::Bottom;
+        }
+        match self {
+            AssumePlan::Const(true) | AssumePlan::Keep => pre.clone(),
+            AssumePlan::Const(false) => OctagonDomain::Bottom,
+            AssumePlan::Cmp(adds) => {
+                let o = match pre {
+                    OctagonDomain::Bottom => return OctagonDomain::Bottom,
+                    OctagonDomain::Oct(o) => o,
+                };
+                // Staged fast path: on a closed, consistent octagon that
+                // already implies every staged constraint, `add_sum_le`
+                // tightens nothing and `close` is a no-op, so the
+                // interpreter's result is bit-equal to the pre-state —
+                // share it instead of copying the matrix. (This is the
+                // warm-path common case: at a converged fixpoint, loop
+                // guards no longer tighten anything.) The interpreter
+                // cannot make this check without first re-extracting the
+                // constraints, which is exactly what staging hoisted.
+                if o.is_closed()
+                    && !o.has_negative_diagonal()
+                    && adds
+                        .iter()
+                        .all(|(terms, k, bound)| o.implies_sum_le(terms, *k, *bound))
+                {
+                    return OctagonDomain::Oct(Arc::clone(o));
+                }
+                let mut out = Oct::clone(o);
+                // Sequential-with-break mirrors `assume_cmp`'s
+                // short-circuiting `&&` (a failed first `Eq` constraint
+                // skips the second).
+                let mut ok = true;
+                for (terms, k, bound) in adds {
+                    if !add_sum_le(&mut out, terms, *k, *bound) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok || !out.close() {
+                    OctagonDomain::Bottom
+                } else {
+                    OctagonDomain::Oct(Arc::new(out))
+                }
+            }
+            AssumePlan::Raw(op, l, r) => match pre.assume_cmp(*op, l, r) {
+                Some(s) => s,
+                None => pre.clone(),
+            },
+            AssumePlan::Seq(a, b) => b.apply(&a.apply(pre)),
+            AssumePlan::Join(a, b) => a.apply(pre).join(&b.apply(pre)),
         }
     }
 }

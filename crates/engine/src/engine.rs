@@ -37,6 +37,7 @@
 //! a failed edit still advances the fence, which is sound because it
 //! changed nothing).
 
+use dai_core::compile::TransferMode;
 use dai_core::driver::ProgramEdit;
 use dai_core::graph::{DaigError, Value};
 use dai_core::query::QueryStats;
@@ -80,6 +81,10 @@ pub struct EngineConfig {
     /// Call-resolution backend applied to every session (see
     /// [`ResolverChoice`]).
     pub resolver: ResolverChoice,
+    /// Transfer-evaluation mode applied to every session: staged
+    /// per-edge closures (the default) or the AST interpreter (see
+    /// [`dai_core::compile`]). Both are bit-identical on every value.
+    pub transfer: TransferMode,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +95,7 @@ impl Default for EngineConfig {
             memo_capacity: None,
             strategy: FixStrategy::PAPER,
             resolver: ResolverChoice::Intra,
+            transfer: TransferMode::Compiled,
         }
     }
 }
@@ -478,6 +484,10 @@ impl EngineStats {
             .set(self.query_stats.cone_walks);
         m.gauge("dai_query_cone_cells")
             .set(self.query_stats.cone_cells);
+        m.gauge("dai_transfer_compiled_total")
+            .set(self.query_stats.transfers_compiled);
+        m.gauge("dai_transfer_interp_fallback_total")
+            .set(self.query_stats.transfers_interp);
         m.gauge("dai_memo_hits").set(self.memo.hits);
         m.gauge("dai_memo_misses").set(self.memo.misses);
         m.gauge("dai_memo_insertions").set(self.memo.insertions);
@@ -495,7 +505,8 @@ impl EngineStats {
              \"union_cone_walks\":{}}},\
              \"query_stats\":{{\"computed\":{},\"memo_matched\":{},\
              \"reused\":{},\"unrolls\":{},\"fix_converged\":{},\
-             \"cone_walks\":{},\"cone_cells\":{}}},\
+             \"cone_walks\":{},\"cone_cells\":{},\
+             \"transfers_compiled\":{},\"transfers_interp\":{}}},\
              \"memo\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\
              \"evictions\":{}}}}}",
             self.workers,
@@ -518,6 +529,8 @@ impl EngineStats {
             self.query_stats.fix_converged,
             self.query_stats.cone_walks,
             self.query_stats.cone_cells,
+            self.query_stats.transfers_compiled,
+            self.query_stats.transfers_interp,
             self.memo.hits,
             self.memo.misses,
             self.memo.insertions,
@@ -588,6 +601,7 @@ struct EngineShared<D: AbstractDomain> {
     memo: SharedMemoTable<Value<D>>,
     strategy: FixStrategy,
     resolver: ResolverChoice,
+    transfer: TransferMode,
     next_session: AtomicU64,
     queries: AtomicU64,
     edits: AtomicU64,
@@ -639,6 +653,7 @@ impl<D: PersistDomain> Engine<D> {
                 memo,
                 strategy: config.strategy,
                 resolver: config.resolver,
+                transfer: config.transfer,
                 next_session: AtomicU64::new(1),
                 queries: AtomicU64::new(0),
                 edits: AtomicU64::new(0),
@@ -671,6 +686,7 @@ impl<D: PersistDomain> Engine<D> {
             program,
             self.shared.strategy,
             self.shared.resolver,
+            self.shared.transfer,
             None,
         ))
     }
@@ -695,6 +711,7 @@ impl<D: PersistDomain> Engine<D> {
             program,
             self.shared.strategy,
             self.shared.resolver,
+            self.shared.transfer,
             Some(source.to_string()),
         )))
     }
@@ -1400,7 +1417,8 @@ fn process<D: PersistDomain>(
                 Some(policy) => ResolverChoice::Interproc { policy },
                 None => ResolverChoice::Intra,
             };
-            let (session, installed, dropped) = Session::restore(image, restore_resolver, &report)?;
+            let (session, installed, dropped) =
+                Session::restore(image, restore_resolver, shared.transfer, &report)?;
             // Import the memo section into the engine-wide shared table.
             // Entries are keyed by content hashes of their inputs, so
             // importing them alongside live traffic is exactly as sound

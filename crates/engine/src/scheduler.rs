@@ -39,11 +39,12 @@
 //! would have.
 
 use dai_core::analysis::FuncAnalysis;
+use dai_core::compile::TransferTable;
 use dai_core::graph::{Daig, DaigError, Func, Value};
 use dai_core::intern::CellId;
 use dai_core::name::Name;
 use dai_core::query::{
-    apply_ready, apply_ready_at, collect_ready_id, fix_step_id, CallResolver, FixOutcome,
+    apply_ready_at_with, apply_ready_with, collect_ready_id, fix_step_id, CallResolver, FixOutcome,
     QueryStats, ReadyComp,
 };
 use dai_domains::AbstractDomain;
@@ -188,8 +189,9 @@ where
     R: CallResolver<D> + Clone + Send + Sync + 'static,
 {
     // Split borrow: the CFG is read-only for the whole evaluation, so fix
-    // resolution never clones it.
-    let (cfg, daig) = fa.parts_mut();
+    // resolution never clones it, and the staged transfer table rides
+    // along for compiled evaluation.
+    let (cfg, daig, transfers) = fa.sched_parts_mut();
     let mut pending: Vec<CellId> = Vec::new();
     for t in targets {
         match daig.id_of(t) {
@@ -206,10 +208,11 @@ where
     if pending.is_empty() {
         return Ok(());
     }
-    evaluate_pending(daig, cfg, &pending, memo, resolver, pool, stats)
+    evaluate_pending(daig, cfg, &pending, memo, resolver, pool, stats, transfers)
 }
 
 /// The drain loop over resolved, unfilled target ids.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_pending<D, R>(
     daig: &mut Daig<D>,
     cfg: &Cfg,
@@ -218,6 +221,7 @@ fn evaluate_pending<D, R>(
     resolver: &R,
     pool: &PoolHandle,
     stats: &mut QueryStats,
+    transfers: Option<&TransferTable<D>>,
 ) -> Result<(), DaigError>
 where
     D: AbstractDomain,
@@ -274,7 +278,7 @@ where
                 let mut memo = memo.clone();
                 let mut res = resolver.clone();
                 for &id in &pure {
-                    let v = apply_ready_at(daig, id, &mut memo, &mut res, stats)?;
+                    let v = apply_ready_at_with(daig, id, &mut memo, &mut res, stats, transfers)?;
                     daig.write_id(id, v);
                     settle_write(daig, id, &mut cone, &mut ready);
                 }
@@ -285,6 +289,9 @@ where
                     .collect::<Result<_, _>>()?;
                 let shared = memo.clone();
                 let res0 = resolver.clone();
+                // Cheap fan-out: the table is an `Arc` snapshot, so each
+                // worker closure shares one staged-closure store.
+                let table = transfers.cloned();
                 let results = pool.parallel_map(batch, move |rc| {
                     // One span per cell, recorded on the worker thread that
                     // evaluated it — this is what attributes flame-trace
@@ -293,7 +300,8 @@ where
                     let mut local = QueryStats::default();
                     let mut memo = shared.clone();
                     let mut res = res0.clone();
-                    let value = apply_ready(rc, &mut memo, &mut res, &mut local);
+                    let value =
+                        apply_ready_with(rc, &mut memo, &mut res, &mut local, table.as_ref());
                     (rc.dest_id, value, local)
                 });
                 for (dest, value, local) in results {

@@ -38,6 +38,7 @@
 //! sound — restore just recomputes on demand.
 
 use dai_core::analysis::{resolve_loc_frontier, FuncAnalysis, LocResolution};
+use dai_core::compile::TransferMode;
 use dai_core::dot::{to_dot, DotOptions};
 use dai_core::driver::ProgramEdit;
 use dai_core::graph::Value;
@@ -125,6 +126,9 @@ pub struct Session<D: AbstractDomain> {
     name: String,
     program: LoweredProgram,
     strategy: FixStrategy,
+    /// Transfer-evaluation mode applied to every unit this session
+    /// creates (staged closures vs. the AST interpreter; bit-identical).
+    transfer: TransferMode,
     /// The program's original source text, when known; with `history`,
     /// the replayable description persistence saves.
     source: Option<String>,
@@ -139,6 +143,7 @@ fn make_backend<D: AbstractDomain>(
     resolver: ResolverChoice,
     program: &LoweredProgram,
     strategy: FixStrategy,
+    transfer: TransferMode,
 ) -> Backend<D> {
     match resolver {
         ResolverChoice::Intra => Backend::Intra {
@@ -151,12 +156,13 @@ fn make_backend<D: AbstractDomain>(
             };
             Backend::Inter {
                 policy,
-                analyzer: Box::new(InterAnalyzer::with_strategy(
+                analyzer: Box::new(InterAnalyzer::with_config(
                     program.clone(),
                     policy,
                     &entry,
                     phi0,
                     strategy,
+                    transfer,
                 )),
             }
         }
@@ -167,23 +173,33 @@ impl<D: AbstractDomain> Session<D> {
     /// Creates an intraprocedural session over `program` under the given
     /// iteration strategy, with no replayable source (not saveable).
     pub fn new(name: impl Into<String>, program: LoweredProgram, strategy: FixStrategy) -> Self {
-        Session::with_config(name, program, strategy, ResolverChoice::Intra, None)
+        Session::with_config(
+            name,
+            program,
+            strategy,
+            ResolverChoice::Intra,
+            TransferMode::default(),
+            None,
+        )
     }
 
-    /// Creates a session with an explicit resolver choice and (optionally)
-    /// the program's source text, which makes the session saveable.
+    /// Creates a session with an explicit resolver choice, transfer mode,
+    /// and (optionally) the program's source text, which makes the
+    /// session saveable.
     pub fn with_config(
         name: impl Into<String>,
         program: LoweredProgram,
         strategy: FixStrategy,
         resolver: ResolverChoice,
+        transfer: TransferMode,
         source: Option<String>,
     ) -> Self {
-        let backend = make_backend(resolver, &program, strategy);
+        let backend = make_backend(resolver, &program, strategy, transfer);
         Session {
             name: name.into(),
             program,
             strategy,
+            transfer,
             source,
             history: Vec::new(),
             backend,
@@ -229,6 +245,7 @@ impl<D: AbstractDomain> Session<D> {
         units: &'u mut HashMap<Symbol, Unit<D>>,
         program: &LoweredProgram,
         strategy: FixStrategy,
+        transfer: TransferMode,
         func: &str,
     ) -> Result<&'u mut Unit<D>, EngineError> {
         let sym = Symbol::new(func);
@@ -241,7 +258,7 @@ impl<D: AbstractDomain> Session<D> {
             units.insert(
                 sym.clone(),
                 Unit {
-                    fa: FuncAnalysis::with_strategy(cfg, phi0, strategy),
+                    fa: FuncAnalysis::with_config(cfg, phi0, strategy, transfer),
                     resolved: HashMap::new(),
                 },
             );
@@ -316,7 +333,13 @@ impl<D: AbstractDomain> Session<D> {
         self.queries += locs.len() as u64;
         match &mut self.backend {
             Backend::Intra { units } => {
-                let unit = match Self::unit_mut(units, &self.program, self.strategy, func) {
+                let unit = match Self::unit_mut(
+                    units,
+                    &self.program,
+                    self.strategy,
+                    self.transfer,
+                    func,
+                ) {
                     Ok(unit) => unit,
                     Err(_) => {
                         return locs
@@ -372,7 +395,21 @@ impl<D: AbstractDomain> Session<D> {
         let epoch = unit.fa.daig().struct_epoch();
         for (i, loc) in locs.iter().enumerate() {
             if let Some(&(cached_epoch, id)) = unit.resolved.get(loc) {
+                // Entries are recorded against the post-evaluation epoch
+                // and epochs only grow, so a cached epoch from the future
+                // would mean the guard below can serve a resolution the
+                // current structure never produced.
+                debug_assert!(
+                    cached_epoch <= epoch,
+                    "resolution cache for {loc} is ahead of the DAIG \
+                     (cached epoch {cached_epoch} > current {epoch})"
+                );
                 if cached_epoch == epoch {
+                    debug_assert!(
+                        unit.fa.daig().contains_id(id),
+                        "resolution cache for {loc} points at a dead cell \
+                         within its own epoch {epoch}"
+                    );
                     if let Some(d) = unit.fa.daig().value_id(id).and_then(Value::as_state) {
                         per_query[i].reused += 1;
                         out[i] = Some(Ok(d.clone()));
@@ -663,6 +700,7 @@ impl<D: PersistDomain> Session<D> {
     pub fn restore(
         image: SessionImage<D>,
         resolver: ResolverChoice,
+        transfer: TransferMode,
         report: &RestoreReport,
     ) -> Result<(Session<D>, usize, usize), EngineError> {
         let program = dai_lang::parse_program(&image.source)
@@ -673,6 +711,7 @@ impl<D: PersistDomain> Session<D> {
             program,
             image.strategy,
             resolver,
+            transfer,
             Some(image.source),
         );
         for edit in &image.edits {
@@ -718,10 +757,14 @@ impl<D: PersistDomain> Session<D> {
                     dropped += 1;
                     continue;
                 }
+                // `from_parts` restages transfers under the default mode;
+                // align the unit with the session's configured one.
+                let mut fa = FuncAnalysis::from_parts(cfg.clone(), f.daig, f.entry);
+                fa.set_transfer_mode(transfer);
                 units.insert(
                     f.func.clone(),
                     Unit {
-                        fa: FuncAnalysis::from_parts(cfg.clone(), f.daig, f.entry),
+                        fa,
                         resolved: HashMap::new(),
                     },
                 );

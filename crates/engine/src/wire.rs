@@ -192,6 +192,8 @@ mod tests {
                 fix_converged: 6,
                 cone_walks: 5,
                 cone_cells: 400,
+                transfers_compiled: 45,
+                transfers_interp: 5,
             },
             memo: dai_memo::MemoStats {
                 hits: 20,

@@ -198,6 +198,8 @@ impl Persist for dai_core::query::QueryStats {
         w.u64(self.fix_converged);
         w.u64(self.cone_walks);
         w.u64(self.cone_cells);
+        w.u64(self.transfers_compiled);
+        w.u64(self.transfers_interp);
     }
 
     fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -209,6 +211,8 @@ impl Persist for dai_core::query::QueryStats {
             fix_converged: r.u64()?,
             cone_walks: r.u64()?,
             cone_cells: r.u64()?,
+            transfers_compiled: r.u64()?,
+            transfers_interp: r.u64()?,
         })
     }
 }
@@ -1019,7 +1023,7 @@ impl Persist for OctagonDomain {
                 let oct = Oct::from_parts(vars, dbm).ok_or_else(|| {
                     PersistError::Corrupt("octagon parts violate invariants".to_string())
                 })?;
-                OctagonDomain::Oct(oct)
+                OctagonDomain::Oct(std::sync::Arc::new(oct))
             }
             t => return Err(bad_tag("octagon", t)),
         })

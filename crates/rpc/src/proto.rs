@@ -49,7 +49,9 @@ use dai_persist::{Persist, PersistError, Reader, Writer};
 
 /// The wire protocol version spoken by this build. Bumped when message
 /// layouts change; the frame header carries it on every message.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 2: `QueryStats` gained the compiled/interpreted transfer
+/// counters.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame tag of client → server messages.
 pub const TAG_REQUEST: [u8; 4] = *b"RPCQ";

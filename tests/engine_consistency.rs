@@ -27,10 +27,20 @@ fn initial_program() -> dai_lang::cfg::LoweredProgram {
 }
 
 /// Runs one randomized edit/query script through an engine with `workers`
-/// workers, asserting every answer against the batch oracle; returns the
-/// full answer trace for cross-worker-count comparison.
-fn run_script<D: PersistDomain>(workers: usize, seed: u64, steps: usize) -> Vec<D> {
-    let engine: Engine<D> = Engine::new(workers);
+/// workers under `transfer`, asserting every answer against the batch
+/// oracle; returns the full answer trace for cross-worker-count (and
+/// cross-transfer-mode) comparison.
+fn run_script<D: PersistDomain>(
+    workers: usize,
+    seed: u64,
+    steps: usize,
+    transfer: dai_core::TransferMode,
+) -> Vec<D> {
+    let engine: Engine<D> = Engine::with_config(EngineConfig {
+        workers,
+        transfer,
+        ..EngineConfig::default()
+    });
     let session = engine.open_session(format!("seed-{seed}"), initial_program());
     let mut gen = Workload::new(seed);
     let mut trace = Vec::new();
@@ -98,27 +108,43 @@ fn run_script<D: PersistDomain>(workers: usize, seed: u64, steps: usize) -> Vec<
 
 #[test]
 fn interval_engine_matches_batch_oracle_at_every_worker_count() {
+    use dai_core::TransferMode;
     for seed in [0xE11, 0xE12] {
-        let reference = run_script::<IntervalDomain>(1, seed, 12);
-        for workers in 2..=8 {
-            let trace = run_script::<IntervalDomain>(workers, seed, 12);
-            assert_eq!(
-                trace, reference,
-                "seed {seed}: {workers}-worker trace differs from 1-worker trace"
-            );
+        // The 1-worker compiled trace anchors every other configuration:
+        // worker counts AND transfer modes must be bit-identical.
+        let reference = run_script::<IntervalDomain>(1, seed, 12, TransferMode::Compiled);
+        for transfer in [TransferMode::Compiled, TransferMode::Interp] {
+            for workers in 1..=8 {
+                if workers == 1 && transfer == TransferMode::Compiled {
+                    continue; // the reference itself
+                }
+                let trace = run_script::<IntervalDomain>(workers, seed, 12, transfer);
+                assert_eq!(
+                    trace, reference,
+                    "seed {seed}: {workers}-worker {transfer:?} trace differs from \
+                     the 1-worker compiled trace"
+                );
+            }
         }
     }
 }
 
 #[test]
 fn octagon_engine_matches_batch_oracle_at_every_worker_count() {
+    use dai_core::TransferMode;
     for seed in [0xE21] {
-        let reference = run_script::<OctagonDomain>(1, seed, 8);
-        for workers in [2, 4, 8] {
-            let trace = run_script::<OctagonDomain>(workers, seed, 8);
+        let reference = run_script::<OctagonDomain>(1, seed, 8, TransferMode::Compiled);
+        for (workers, transfer) in [
+            (1, TransferMode::Interp),
+            (2, TransferMode::Compiled),
+            (4, TransferMode::Interp),
+            (8, TransferMode::Compiled),
+        ] {
+            let trace = run_script::<OctagonDomain>(workers, seed, 8, transfer);
             assert_eq!(
                 trace, reference,
-                "seed {seed}: {workers}-worker trace differs from 1-worker trace"
+                "seed {seed}: {workers}-worker {transfer:?} trace differs from \
+                 the 1-worker compiled trace"
             );
         }
     }

@@ -379,7 +379,8 @@ fn stats_json_emits_the_locked_schema() {
          \"union_cone_walks\":N},\
          \"query_stats\":{\"computed\":N,\"memo_matched\":N,\
          \"reused\":N,\"unrolls\":N,\"fix_converged\":N,\
-         \"cone_walks\":N,\"cone_cells\":N},\
+         \"cone_walks\":N,\"cone_cells\":N,\
+         \"transfers_compiled\":N,\"transfers_interp\":N},\
          \"memo\":{\"hits\":N,\"misses\":N,\"insertions\":N,\
          \"evictions\":N}}",
         "stats --json schema drifted: {json}"

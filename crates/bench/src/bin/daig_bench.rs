@@ -19,11 +19,18 @@
 //! # CI transfer microbench: per-cell staged-closure vs interpreter
 //! # latency plus an interleaved dual-mode smoke sweep:
 //! $ cargo run --release --bin daig_bench -- --transfer-micro
+//!
+//! # CI explain-smoke: serve the fig10 octagon sweep with cost
+//! # attribution on (cold + warm), abort unless the accounting identity
+//! # holds and work/span ≥ 1, and print the full per-cell reports as
+//! # JSON on stdout (human summary goes to stderr):
+//! $ cargo run --release --bin daig_bench -- --explain > explain_fig10.json
 //! ```
 
 use dai_bench::daig_bench::{
-    measure_micro, measure_throughput, measure_throughput_dual, measure_transfer_micro,
-    measure_transfer_micro_fig10, to_json, validate_artifact, DaigBenchParams,
+    measure_explain, measure_micro, measure_throughput, measure_throughput_dual,
+    measure_transfer_micro, measure_transfer_micro_fig10, to_json, validate_artifact,
+    DaigBenchParams,
 };
 
 /// The single-worker qps recorded in PR 1's `BENCH_engine.json`
@@ -38,6 +45,7 @@ fn main() {
     let mut max_regress = 0.30f64;
     let mut smoke_qps_only = false;
     let mut transfer_micro_only = false;
+    let mut explain_only = false;
     let mut baseline_qps: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,6 +55,7 @@ fn main() {
             "--profile" => profile = args.next().unwrap_or_default(),
             "--smoke-qps" => smoke_qps_only = true,
             "--transfer-micro" => transfer_micro_only = true,
+            "--explain" => explain_only = true,
             "--baseline-qps" => {
                 baseline_qps = Some(
                     args.next()
@@ -67,7 +76,7 @@ fn main() {
                 println!(
                     "usage: daig_bench [--out FILE.json] [--check FILE.json] \
                      [--profile full|smoke] [--before-remeasured QPS] [--max-regress 0.30] \
-                     [--smoke-qps] [--baseline-qps QPS] [--transfer-micro]"
+                     [--smoke-qps] [--baseline-qps QPS] [--transfer-micro] [--explain]"
                 );
                 return;
             }
@@ -118,6 +127,41 @@ fn main() {
             dual.0.median(),
             dual.1.median(),
             dual.0.median() / dual.1.median().max(1e-9)
+        );
+        return;
+    }
+
+    // `--explain`: the CI explain-smoke gate. Serves the fig10 octagon
+    // sweep with attribution on; `measure_explain` aborts unless both
+    // captures are accounting-exact against the engine's counters, and
+    // the gate below enforces work/span ≥ 1 (span is a path through the
+    // work, so a ratio under 1 means the capture is lying). The per-cell
+    // reports go to stdout as one JSON object for artifact upload.
+    if explain_only {
+        let ex = measure_explain();
+        eprintln!(
+            "explain (fig10 octagon, cold): {} cells, {} fixes, work {} ns, span {} ns, \
+             work/span {:.2}x",
+            ex.cold.cells.len(),
+            ex.cold.fixes.len(),
+            ex.cold.work_ns,
+            ex.cold.span_ns,
+            ex.cold.parallelism()
+        );
+        eprintln!(
+            "explain (fig10 octagon, warm): {} cells, work {} ns, work/span {:.2}x",
+            ex.warm.cells.len(),
+            ex.warm.work_ns,
+            ex.warm.parallelism()
+        );
+        if ex.cold.parallelism() < 1.0 || ex.warm.parallelism() < 1.0 {
+            die("explain capture reports work/span < 1.0 — span exceeds attributed work");
+        }
+        eprintln!("explain accounting identity holds on both captures — OK");
+        println!(
+            "{{\"workload\": \"fig10_synthetic_octagon\",\n \"cold\": {},\n \"warm\": {}}}",
+            ex.cold.to_json(10),
+            ex.warm.to_json(10)
         );
         return;
     }
@@ -227,6 +271,17 @@ fn main() {
         tmicro_fig10.staged_edges,
         tmicro_fig10.unstaged_edges
     );
+    println!("measuring explain attribution (fig10 cold + warm sweeps)…");
+    let explain = measure_explain();
+    println!(
+        "explain: cold {} cells / {} fixes, work/span {:.2}x; warm {} cells, work/span {:.2}x \
+         (accounting exact on both)",
+        explain.cold.cells.len(),
+        explain.cold.fixes.len(),
+        explain.cold.parallelism(),
+        explain.warm.cells.len(),
+        explain.warm.parallelism()
+    );
     println!("measuring representation micro-costs…");
     let micro = measure_micro();
     println!(
@@ -258,6 +313,7 @@ fn main() {
         &dual,
         &tmicro,
         &tmicro_fig10,
+        &explain,
         PR1_FILE_QPS,
         before_remeasured,
     );

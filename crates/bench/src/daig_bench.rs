@@ -24,6 +24,7 @@
 //! latency (compiled vs interpreted vs fused straight-line runs).
 
 use dai_core::analysis::FuncAnalysis;
+use dai_core::explain::{CellOutcome, ExplainReport};
 use dai_core::query::{IntraResolver, QueryStats};
 use dai_core::{TransferMode, TransferTable, Value};
 use dai_domains::{AbstractDomain, OctagonDomain};
@@ -384,6 +385,83 @@ pub fn measure_transfer_micro_fig10() -> TransferMicroFig10 {
     }
 }
 
+/// The fig10 explain captures behind the artifact's `"explain"` section:
+/// one session grown by the sweep's edit mix, the whole-program sweep
+/// served twice with cost attribution on — **cold** (the union cone
+/// computed from scratch; the work/span figure the paper's demanded-cone
+/// parallelism argument is about) and **warm** (the same sweep re-served
+/// against the populated DAIG, so reuse dominates and the attributed
+/// work collapses).
+#[derive(Debug, Clone)]
+pub struct ExplainFig10 {
+    /// The cold-sweep capture.
+    pub cold: ExplainReport,
+    /// The warm re-sweep capture.
+    pub warm: ExplainReport,
+}
+
+/// A field-wise `QueryStats` delta (`after - before`), for checking the
+/// explain accounting identity against exactly one sweep's counters.
+fn stats_delta(after: &QueryStats, before: &QueryStats) -> QueryStats {
+    QueryStats {
+        computed: after.computed - before.computed,
+        memo_matched: after.memo_matched - before.memo_matched,
+        reused: after.reused - before.reused,
+        unrolls: after.unrolls - before.unrolls,
+        fix_converged: after.fix_converged - before.fix_converged,
+        cone_walks: after.cone_walks - before.cone_walks,
+        cone_cells: after.cone_cells - before.cone_cells,
+        transfers_compiled: after.transfers_compiled - before.transfers_compiled,
+        transfers_interp: after.transfers_interp - before.transfers_interp,
+    }
+}
+
+/// Measures [`ExplainFig10`] on the grown fig10 octagon workload. Both
+/// captures have the accounting identity checked against the engine's
+/// `QueryStats` delta before this returns — a report that disagrees
+/// with the counters aborts the bench rather than recording fiction.
+pub fn measure_explain() -> ExplainFig10 {
+    use dai_engine::{Engine, EngineConfig, Request};
+    let engine: Engine<OctagonDomain> = Engine::with_config(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let id = engine.open_session(
+        "explain-bench".to_string(),
+        crate::workload::Workload::initial_program(),
+    );
+    let defaults = DaigBenchParams::full();
+    let mut gen = crate::workload::Workload::new(defaults.seed);
+    for _ in 0..defaults.grow_edits {
+        let program = engine.program_of(id).expect("session open");
+        let edit: dai_core::driver::ProgramEdit = gen.next_edit(&program);
+        engine
+            .request(Request::Edit { session: id, edit })
+            .expect("bench edit applies");
+    }
+    let program = engine.program_of(id).expect("session open");
+    let mut targets: Vec<(String, dai_lang::Loc)> = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+
+    let capture = |label: &str| {
+        let before = engine.stats().query_stats;
+        let report = engine.explain_sweep(id, &targets).expect("explain sweep");
+        let delta = stats_delta(&engine.stats().query_stats, &before);
+        report
+            .check_accounting(&delta)
+            .unwrap_or_else(|e| panic!("{label} explain capture is not accounting-exact: {e}"));
+        report
+    };
+    let cold = capture("cold");
+    let warm = capture("warm");
+    ExplainFig10 { cold, warm }
+}
+
 /// Runs the end-to-end single-worker sweep `repeats` times under
 /// `transfer`.
 pub fn measure_throughput_mode(params: &DaigBenchParams, transfer: TransferMode) -> Throughput {
@@ -537,6 +615,7 @@ pub fn to_json(
     transfer_dual: &(Throughput, Throughput),
     tmicro: &TransferMicro,
     tmicro_fig10: &TransferMicroFig10,
+    explain: &ExplainFig10,
     before_file_qps: f64,
     before_remeasured_qps: Option<f64>,
 ) -> String {
@@ -628,6 +707,35 @@ pub fn to_json(
         tmicro_fig10.unstaged_edges
     ));
     out.push_str("  },\n");
+    let report_json = |r: &ExplainReport| {
+        format!(
+            "{{\"cells\": {}, \"computed\": {}, \"memo_matched\": {}, \"reused\": {}, \
+             \"fixes\": {}, \"unrolls\": {}, \"work_ns\": {}, \"span_ns\": {}, \
+             \"work_span_parallelism\": {:.2}, \"lock_wait_ns\": {}, \"lock_held_ns\": {}, \
+             \"eval_ns\": {}}}",
+            r.cells.len(),
+            r.outcome_cells(CellOutcome::Computed),
+            r.outcome_cells(CellOutcome::MemoMatched),
+            r.outcome_cells(CellOutcome::Reused),
+            r.fixes.len(),
+            r.unrolls(),
+            r.work_ns,
+            r.span_ns,
+            r.parallelism(),
+            r.lock_wait_ns,
+            r.lock_held_ns,
+            r.eval_ns
+        )
+    };
+    out.push_str(&format!(
+        "  \"explain\": {{\n    \"domain\": \"{}\", \"transfer\": \"{}\", \"accounting\": \"exact\",\n",
+        explain.cold.domain, explain.cold.transfer
+    ));
+    out.push_str(&format!(
+        "    \"cold\": {},\n    \"warm\": {}\n  }},\n",
+        report_json(&explain.cold),
+        report_json(&explain.warm)
+    ));
     out.push_str(&format!(
         "  \"micro\": {{\"initial_daig_ns\": {:.0}, \"cold_exit_query_ns\": {:.0}, \"edit_requery_ns\": {:.0}, \"unrolls\": {}, \"cone_walks\": {}}}\n",
         micro.initial_daig_ns,
@@ -659,6 +767,8 @@ pub fn validate_artifact(json: &str) -> Result<f64, String> {
         "\"compiled_qps_median\"",
         "\"interp_qps_median\"",
         "\"micro_fig10\"",
+        "\"explain\"",
+        "\"work_span_parallelism\"",
         "\"micro\"",
         "\"cone_walks\"",
     ] {
@@ -721,6 +831,20 @@ mod tests {
         assert_eq!(dual.1.runs.len(), 1);
         // Both modes answer the identical sweep.
         assert_eq!(dual.0.queries, dual.1.queries);
+        // Explain: accounting identity is checked inside measure_explain;
+        // here the structural shape of the two captures.
+        let explain = measure_explain();
+        assert!(!explain.cold.cells.is_empty(), "cold cone has cells");
+        assert!(explain.cold.parallelism() >= 1.0, "span never exceeds work");
+        assert!(
+            explain.cold.outcome_cells(CellOutcome::Computed) > 0,
+            "a cold sweep computes"
+        );
+        assert_eq!(
+            explain.warm.outcome_cells(CellOutcome::Computed),
+            0,
+            "a warm re-sweep recomputes nothing"
+        );
         let json = to_json(
             "smoke",
             &params,
@@ -730,6 +854,7 @@ mod tests {
             &dual,
             &tmicro,
             &tmicro_fig10,
+            &explain,
             55697.9,
             Some(45991.0),
         );

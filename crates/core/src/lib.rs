@@ -71,6 +71,7 @@ pub mod consistency;
 pub mod dot;
 pub mod driver;
 pub mod edit;
+pub mod explain;
 pub mod graph;
 pub mod intern;
 pub mod interproc;
@@ -82,6 +83,7 @@ pub mod summaries;
 pub use analysis::{resolve_loc_cell, FuncAnalysis};
 pub use compile::{FusedRun, TransferMode, TransferTable};
 pub use driver::{Config, Driver, ProgramEdit};
+pub use explain::{CellCost, CellOutcome, ExplainReport, ExplainSink, FixCost};
 pub use graph::{Daig, DaigError, Func, Value};
 pub use intern::{CellId, NameInterner};
 pub use interproc::{Context, ContextPolicy, InterAnalyzer};

@@ -39,6 +39,7 @@
 
 use dai_core::compile::TransferMode;
 use dai_core::driver::ProgramEdit;
+use dai_core::explain::{CellOutcome, ExplainReport, ExplainSink};
 use dai_core::graph::{DaigError, Value};
 use dai_core::query::QueryStats;
 use dai_core::strategy::FixStrategy;
@@ -190,8 +191,8 @@ pub enum Response<D> {
         /// What was restored and what was dropped.
         outcome: PersistOutcome,
     },
-    /// Engine statistics.
-    Stats(EngineStats),
+    /// Engine statistics (boxed — the stats dwarf every other variant).
+    Stats(Box<EngineStats>),
 }
 
 impl<D> Response<D> {
@@ -238,7 +239,7 @@ impl<D> Response<D> {
     /// The engine statistics, if this response carries them.
     pub fn into_stats(self) -> Option<EngineStats> {
         match self {
-            Response::Stats(s) => Some(s),
+            Response::Stats(s) => Some(*s),
             _ => None,
         }
     }
@@ -418,8 +419,70 @@ impl<D> Ticket<D> {
     }
 }
 
-/// Engine-wide counters plus the shared memo statistics.
+/// Per-call query options (see [`Engine::query_sweep_with`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Capture an [`ExplainReport`] for the sweep: the whole sweep is
+    /// served synchronously under one session-lock acquisition with cost
+    /// attribution riding the evaluation. Off by default — the regular
+    /// coalescing path takes no timestamps at all.
+    pub explain: bool,
+}
+
+/// Per-member sweep answers paired with the optional explain capture
+/// (`None` unless [`QueryOptions::explain`] was set).
+pub type SweepOutcome<D> = (Vec<Result<D, EngineError>>, Option<ExplainReport>);
+
+/// Aggregate cost-attribution counters across every explain capture the
+/// engine has served (each capture also yields its own
+/// [`ExplainReport`]; these are the running totals `stats` exposes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExplainStats {
+    /// Explain captures served.
+    pub reports: u64,
+    /// Cell records attributed across all captures.
+    pub cells: u64,
+    /// Fix-cell records attributed across all captures.
+    pub fixes: u64,
+    /// Total attributed work, ns.
+    pub work_ns: u64,
+    /// Summed critical-path spans, ns.
+    pub span_ns: u64,
+    /// Work attributed to `Q-Miss` (computed) cells, ns.
+    pub computed_ns: u64,
+    /// Work attributed to `Q-Match` (memo) cells, ns.
+    pub memo_matched_ns: u64,
+    /// Work attributed to fix resolution, ns.
+    pub fix_ns: u64,
+    /// Captures per domain tag, sorted by tag. An engine is
+    /// single-domain, so this normally holds one entry — the `Vec`
+    /// keeps the stats domain-erased for the wire.
+    pub domains: Vec<(String, u64)>,
+}
+
+impl ExplainStats {
+    /// Folds one finished capture into the totals.
+    pub fn absorb_report(&mut self, report: &ExplainReport) {
+        self.reports += 1;
+        self.cells += report.cells.len() as u64;
+        self.fixes += report.fixes.len() as u64;
+        self.work_ns += report.work_ns;
+        self.span_ns += report.span_ns;
+        self.computed_ns += report.outcome_ns(CellOutcome::Computed);
+        self.memo_matched_ns += report.outcome_ns(CellOutcome::MemoMatched);
+        self.fix_ns += report.fix_ns();
+        match self
+            .domains
+            .binary_search_by(|(d, _)| d.as_str().cmp(report.domain.as_str()))
+        {
+            Ok(i) => self.domains[i].1 += 1,
+            Err(i) => self.domains.insert(i, (report.domain.clone(), 1)),
+        }
+    }
+}
+
+/// Engine-wide counters plus the shared memo statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Worker threads serving the engine.
     pub workers: usize,
@@ -444,6 +507,8 @@ pub struct EngineStats {
     /// Aggregated evaluation work (computed/memo-matched/reused cells,
     /// unrollings, fixed points) across all requests.
     pub query_stats: QueryStats,
+    /// Running totals across explain captures.
+    pub explain: ExplainStats,
     /// Shared memo table counters.
     pub memo: MemoStats,
 }
@@ -488,6 +553,11 @@ impl EngineStats {
             .set(self.query_stats.transfers_compiled);
         m.gauge("dai_transfer_interp_fallback_total")
             .set(self.query_stats.transfers_interp);
+        m.gauge("dai_explain_reports").set(self.explain.reports);
+        m.gauge("dai_explain_cells").set(self.explain.cells);
+        m.gauge("dai_explain_fixes").set(self.explain.fixes);
+        m.gauge("dai_explain_work_ns").set(self.explain.work_ns);
+        m.gauge("dai_explain_span_ns").set(self.explain.span_ns);
         m.gauge("dai_memo_hits").set(self.memo.hits);
         m.gauge("dai_memo_misses").set(self.memo.misses);
         m.gauge("dai_memo_insertions").set(self.memo.insertions);
@@ -497,6 +567,14 @@ impl EngineStats {
     /// The stats as one line of JSON, mirroring the struct's nesting.
     /// This is the `stats --json` schema; a REPL test locks it.
     pub fn to_json(&self) -> String {
+        let mut domains = String::new();
+        for (i, (tag, n)) in self.explain.domains.iter().enumerate() {
+            if i > 0 {
+                domains.push(',');
+            }
+            use std::fmt::Write as _;
+            let _ = write!(domains, "\"{tag}\":{n}");
+        }
         format!(
             "{{\"workers\":{},\"sessions\":{},\"queries\":{},\"edits\":{},\
              \"snapshots\":{},\"saves\":{},\"loads\":{},\"session_locks\":{},\
@@ -507,6 +585,9 @@ impl EngineStats {
              \"reused\":{},\"unrolls\":{},\"fix_converged\":{},\
              \"cone_walks\":{},\"cone_cells\":{},\
              \"transfers_compiled\":{},\"transfers_interp\":{}}},\
+             \"explain\":{{\"reports\":{},\"cells\":{},\"fixes\":{},\
+             \"work_ns\":{},\"span_ns\":{},\"computed_ns\":{},\
+             \"memo_matched_ns\":{},\"fix_ns\":{},\"domains\":{{{}}}}},\
              \"memo\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\
              \"evictions\":{}}}}}",
             self.workers,
@@ -531,6 +612,15 @@ impl EngineStats {
             self.query_stats.cone_cells,
             self.query_stats.transfers_compiled,
             self.query_stats.transfers_interp,
+            self.explain.reports,
+            self.explain.cells,
+            self.explain.fixes,
+            self.explain.work_ns,
+            self.explain.span_ns,
+            self.explain.computed_ns,
+            self.explain.memo_matched_ns,
+            self.explain.fix_ns,
+            domains,
             self.memo.hits,
             self.memo.misses,
             self.memo.insertions,
@@ -615,6 +705,11 @@ struct EngineShared<D: AbstractDomain> {
     union_cone_cells: AtomicU64,
     union_cone_walks: AtomicU64,
     query_stats: Mutex<QueryStats>,
+    /// Running totals across explain captures (see [`ExplainStats`]).
+    explain_totals: Mutex<ExplainStats>,
+    /// The most recent finished capture, for late retrieval (`Engine::
+    /// last_explain`; the RPC byte-identity test diffs against this).
+    last_explain: Mutex<Option<ExplainReport>>,
 }
 
 /// The concurrent, multi-session demanded-analysis engine.
@@ -667,6 +762,8 @@ impl<D: PersistDomain> Engine<D> {
                 union_cone_cells: AtomicU64::new(0),
                 union_cone_walks: AtomicU64::new(0),
                 query_stats: Mutex::new(QueryStats::default()),
+                explain_totals: Mutex::new(ExplainStats::default()),
+                last_explain: Mutex::new(None),
             }),
         }
     }
@@ -866,6 +963,173 @@ impl<D: PersistDomain> Engine<D> {
             .into_iter()
             .map(|t| t.wait().and_then(Response::state_or_invariant))
             .collect()
+    }
+
+    /// [`Engine::submit_query_sweep`] with per-call options: with
+    /// `opts.explain` the sweep is served synchronously under one
+    /// session-lock acquisition with cost attribution riding the
+    /// evaluation, and the capture comes back alongside the per-member
+    /// results. Without it the sweep takes the regular coalescing path
+    /// (which takes no timestamps) and the report slot is `None`.
+    ///
+    /// # Errors
+    ///
+    /// With `opts.explain`: [`EngineError::NoSuchSession`], or
+    /// [`EngineError::Daig`] when the session runs the interprocedural
+    /// backend (its evaluation never reaches the instrumented
+    /// scheduler). Per-member failures stay inside the result vector
+    /// either way.
+    pub fn query_sweep_with(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+        opts: QueryOptions,
+    ) -> Result<SweepOutcome<D>, EngineError> {
+        if opts.explain {
+            let (results, report) = self.explain_serve(session, targets)?;
+            Ok((results, Some(report)))
+        } else {
+            let results = self
+                .submit_query_sweep(session, targets)
+                .into_iter()
+                .map(|t| t.wait().and_then(Response::state_or_invariant))
+                .collect();
+            Ok((results, None))
+        }
+    }
+
+    /// Serves `targets` with cost attribution and returns the capture:
+    /// where the sweep's time went, cell by cell, and how parallel the
+    /// demanded cone could have been (work/span). The answers themselves
+    /// are discarded — use [`Engine::query_sweep_with`] to keep both.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::query_sweep_with`].
+    pub fn explain_sweep(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+    ) -> Result<ExplainReport, EngineError> {
+        self.explain_serve(session, targets).map(|(_, r)| r)
+    }
+
+    /// The most recent finished explain capture, if any.
+    pub fn last_explain(&self) -> Option<ExplainReport> {
+        self.shared
+            .last_explain
+            .lock()
+            .expect("explain report poisoned")
+            .clone()
+    }
+
+    /// The synchronous explain path: one session-lock acquisition for
+    /// the whole sweep, one [`ExplainSink`] across its contiguous
+    /// same-function runs, every engine counter bumped exactly as the
+    /// coalescing path would (`coalesced + singleton == queries` holds
+    /// through explain traffic too).
+    fn explain_serve(
+        &self,
+        session_id: SessionId,
+        targets: &[(String, Loc)],
+    ) -> Result<(Vec<Result<D, EngineError>>, ExplainReport), EngineError> {
+        let session = session_of(&self.shared, session_id)?;
+        let pool = self.pool.handle();
+        let t_wait = std::time::Instant::now();
+        let mut guard = lock_session(&self.shared, &session);
+        let lock_wait_ns = t_wait.elapsed().as_nanos() as u64;
+        let t_held = std::time::Instant::now();
+        if !guard.intra_backend() {
+            return Err(EngineError::Daig(DaigError::Invariant(
+                "explain requires the intraprocedural backend".to_string(),
+            )));
+        }
+        let mut explain_span = dai_trace::span!("engine.explain");
+        let mut lock_span = dai_trace::span!("engine.session_lock");
+        let mut sink = ExplainSink::new();
+        let mut results = Vec::with_capacity(targets.len());
+        let mut work = QueryStats::default();
+        let mut eval_ns = 0u64;
+        let mut i = 0;
+        while i < targets.len() {
+            let func = &targets[i].0;
+            let j = targets[i..]
+                .iter()
+                .position(|(f, _)| f != func)
+                .map_or(targets.len(), |n| i + n);
+            let locs: Vec<Loc> = targets[i..j].iter().map(|(_, l)| *l).collect();
+            let mut shared_stats = QueryStats::default();
+            let mut per_query = vec![QueryStats::default(); locs.len()];
+            let t0 = std::time::Instant::now();
+            let r = guard.query_locs_explain(
+                func,
+                &locs,
+                &self.shared.memo,
+                &pool,
+                &mut shared_stats,
+                &mut per_query,
+                Some(&mut sink),
+            );
+            eval_ns += t0.elapsed().as_nanos() as u64;
+            results.extend(r);
+            let served = locs.len() as u64;
+            if served >= 2 {
+                self.shared.batches.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .coalesced_queries
+                    .fetch_add(served, Ordering::Relaxed);
+                self.shared
+                    .union_cone_cells
+                    .fetch_add(shared_stats.cone_cells, Ordering::Relaxed);
+                self.shared
+                    .union_cone_walks
+                    .fetch_add(shared_stats.cone_walks, Ordering::Relaxed);
+            } else {
+                self.shared
+                    .singleton_queries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.shared.queries.fetch_add(served, Ordering::Relaxed);
+            work.absorb(shared_stats);
+            for pq in &per_query {
+                work.absorb(*pq);
+            }
+            i = j;
+        }
+        lock_span.set_arg(targets.len() as u64);
+        drop(lock_span);
+        let lock_held_ns = t_held.elapsed().as_nanos() as u64;
+        drop(guard);
+        self.shared
+            .query_stats
+            .lock()
+            .expect("stats poisoned")
+            .absorb(work);
+        let report = sink.finish_report(
+            D::domain_tag(),
+            self.shared.transfer.as_str().to_string(),
+            lock_wait_ns,
+            lock_held_ns,
+            eval_ns,
+        );
+        explain_span.set_arg(report.cells.len() as u64);
+        drop(explain_span);
+        // Per-domain evaluation latency: one histogram per domain tag,
+        // registered on first capture.
+        dai_trace::metrics()
+            .histogram(&format!("dai_explain_eval_seconds_{}", report.domain))
+            .observe_ns(eval_ns);
+        self.shared
+            .explain_totals
+            .lock()
+            .expect("explain stats poisoned")
+            .absorb_report(&report);
+        *self
+            .shared
+            .last_explain
+            .lock()
+            .expect("explain report poisoned") = Some(report.clone());
+        Ok((results, report))
     }
 
     /// Submits a request and blocks for its response.
@@ -1299,6 +1563,11 @@ fn snapshot_stats<D: AbstractDomain>(shared: &EngineShared<D>, workers: usize) -
             union_cone_walks: shared.union_cone_walks.load(Ordering::Relaxed),
         },
         query_stats: *shared.query_stats.lock().expect("stats poisoned"),
+        explain: shared
+            .explain_totals
+            .lock()
+            .expect("explain stats poisoned")
+            .clone(),
         memo: shared.memo.stats(),
     }
 }
@@ -1457,6 +1726,9 @@ fn process<D: PersistDomain>(
                 },
             })
         }
-        Request::Stats => Ok(Response::Stats(snapshot_stats(shared, pool.workers()))),
+        Request::Stats => Ok(Response::Stats(Box::new(snapshot_stats(
+            shared,
+            pool.workers(),
+        )))),
     }
 }

@@ -88,9 +88,12 @@ pub mod session;
 pub mod wire;
 
 pub use engine::{
-    BatchStats, Engine, EngineConfig, EngineError, EngineStats, PersistOutcome, Request, Response,
-    SessionId, Ticket,
+    BatchStats, Engine, EngineConfig, EngineError, EngineStats, ExplainStats, PersistOutcome,
+    QueryOptions, Request, Response, SessionId, SweepOutcome, Ticket,
 };
+// Re-exported so explain consumers (the RPC layer, the REPL, benches)
+// can name the report types without depending on `dai-core` directly.
+pub use dai_core::explain::{CellCost, CellOutcome, ExplainReport, FixCost};
 // Re-exported so engine users (the RPC server, the REPL) can name the
 // trace types `Engine::set_tracing` / `Engine::drain_trace` work with
 // without depending on `dai-trace` directly.
@@ -104,6 +107,7 @@ pub use session::{EditOutcome, ResolverChoice, Session, SessionSnapshot};
 mod tests {
     use super::*;
     use dai_core::driver::ProgramEdit;
+    use dai_core::explain::CellOutcome;
     use dai_domains::interval::Interval;
     use dai_domains::IntervalDomain;
     use dai_lang::cfg::lower_program;
@@ -297,6 +301,104 @@ mod tests {
         );
         assert_eq!(snap_a.functions.len(), 2);
         assert!(snap_a.functions[0].1.starts_with("digraph daig {"));
+    }
+
+    const LOOP_SRC: &str = "function main() { var x = 0; while (x < 12) { x = x + 1; } return x; }
+         function aux(p) { var q = p + 3; return q; }";
+
+    fn loop_program() -> dai_lang::cfg::LoweredProgram {
+        lower_program(&parse_program(LOOP_SRC).unwrap()).unwrap()
+    }
+
+    fn all_targets(engine: &Engine<IntervalDomain>, s: SessionId) -> Vec<(String, dai_lang::Loc)> {
+        let program = engine.program_of(s).unwrap();
+        let mut targets = Vec::new();
+        for cfg in program.cfgs() {
+            for loc in cfg.locs() {
+                targets.push((cfg.name().to_string(), loc));
+            }
+        }
+        targets.sort();
+        targets
+    }
+
+    #[test]
+    fn explain_capture_matches_query_stats_exactly() {
+        let engine: Engine<IntervalDomain> = Engine::new(2);
+        let session = engine.open_session("t", loop_program());
+        let targets = all_targets(&engine, session);
+        let before = engine.stats();
+        let (results, report) = engine
+            .query_sweep_with(session, &targets, QueryOptions { explain: true })
+            .unwrap();
+        let report = report.expect("explain was requested");
+        assert_eq!(results.len(), targets.len());
+        for r in &results {
+            assert!(r.is_ok(), "{r:?}");
+        }
+        // The accounting identity: every cell record corresponds to
+        // exactly one QueryStats bump of this sweep, in both directions.
+        let after = engine.stats();
+        let delta = after.query_stats.delta(&before.query_stats);
+        report.check_accounting(&delta).unwrap();
+        // A cold loop program has real work, a real critical path, and a
+        // converged fix; span can never exceed work.
+        assert!(report.outcome_cells(CellOutcome::Computed) > 0);
+        assert!(report.converged_fixes() > 0, "{report:?}");
+        assert!(report.work_ns >= report.span_ns);
+        assert!(report.parallelism() >= 1.0);
+        // Explain traffic keeps the engine's counter identity intact and
+        // feeds the running totals.
+        assert_eq!(
+            after.batch.coalesced_queries + after.batch.singleton_queries,
+            after.queries
+        );
+        assert_eq!(after.explain.reports, before.explain.reports + 1);
+        assert_eq!(after.explain.cells, report.cells.len() as u64);
+        assert_eq!(after.explain.domains, vec![("interval".to_string(), 1)]);
+        assert_eq!(engine.last_explain().as_ref(), Some(&report));
+
+        // A warm repeat answers everything from cached resolutions; the
+        // identity must hold for the all-reused capture too.
+        let before = engine.stats().query_stats;
+        let warm = engine.explain_sweep(session, &targets).unwrap();
+        let delta = engine.stats().query_stats.delta(&before);
+        warm.check_accounting(&delta).unwrap();
+        assert_eq!(
+            warm.outcome_cells(CellOutcome::Reused),
+            warm.cells.len() as u64,
+            "{warm:?}"
+        );
+    }
+
+    #[test]
+    fn explain_requires_the_intraprocedural_backend() {
+        let engine: Engine<IntervalDomain> = Engine::with_config(engine::EngineConfig {
+            resolver: ResolverChoice::Interproc {
+                policy: dai_core::ContextPolicy::CallString(1),
+            },
+            ..engine::EngineConfig::default()
+        });
+        let session = engine.open_session("t", loop_program());
+        let exit = exit_of(&engine, session, "main");
+        let err = engine
+            .explain_sweep(session, &[("main".to_string(), exit)])
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Daig(dai_core::DaigError::Invariant(m))
+                if m.contains("intraprocedural")),
+            "{err}"
+        );
+        // The plain sweep path still answers afterwards.
+        let (results, report) = engine
+            .query_sweep_with(
+                session,
+                &[("main".to_string(), exit)],
+                QueryOptions::default(),
+            )
+            .unwrap();
+        assert!(report.is_none());
+        assert!(results[0].is_ok());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 use dai_core::analysis::FuncAnalysis;
 use dai_core::compile::TransferTable;
+use dai_core::explain::ExplainSink;
 use dai_core::graph::{Daig, DaigError, Func, Value};
 use dai_core::intern::CellId;
 use dai_core::name::Name;
@@ -188,6 +189,29 @@ where
     D: AbstractDomain,
     R: CallResolver<D> + Clone + Send + Sync + 'static,
 {
+    evaluate_targets_explain(fa, targets, memo, resolver, pool, stats, None)
+}
+
+/// [`evaluate_targets`] with opt-in cost attribution: when `sink` is
+/// supplied, every demanded cell's outcome, wall time, and critical-path
+/// finish time is recorded into it (see [`dai_core::explain`]). The sink
+/// mirrors the [`QueryStats`] movements one-for-one — each record here
+/// corresponds to exactly one counter bump — which is what makes explain
+/// reports accounting-exact. With `sink = None` this *is* the plain
+/// evaluation path: no timestamps are taken.
+pub fn evaluate_targets_explain<D, R>(
+    fa: &mut FuncAnalysis<D>,
+    targets: &[Name],
+    memo: &SharedMemoTable<Value<D>>,
+    resolver: &R,
+    pool: &PoolHandle,
+    stats: &mut QueryStats,
+    mut sink: Option<&mut ExplainSink>,
+) -> Result<(), DaigError>
+where
+    D: AbstractDomain,
+    R: CallResolver<D> + Clone + Send + Sync + 'static,
+{
     // Split borrow: the CFG is read-only for the whole evaluation, so fix
     // resolution never clones it, and the staged transfer table rides
     // along for compiled evaluation.
@@ -199,6 +223,9 @@ where
             Some(id) => {
                 if daig.value_id(id).is_some() {
                     stats.reused += 1;
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.record_reused(daig.name_of(id).to_string());
+                    }
                 } else {
                     pending.push(id);
                 }
@@ -208,7 +235,9 @@ where
     if pending.is_empty() {
         return Ok(());
     }
-    evaluate_pending(daig, cfg, &pending, memo, resolver, pool, stats, transfers)
+    evaluate_pending(
+        daig, cfg, &pending, memo, resolver, pool, stats, transfers, sink,
+    )
 }
 
 /// The drain loop over resolved, unfilled target ids.
@@ -222,6 +251,7 @@ fn evaluate_pending<D, R>(
     pool: &PoolHandle,
     stats: &mut QueryStats,
     transfers: Option<&TransferTable<D>>,
+    mut sink: Option<&mut ExplainSink>,
 ) -> Result<(), DaigError>
 where
     D: AbstractDomain,
@@ -278,8 +308,19 @@ where
                 let mut memo = memo.clone();
                 let mut res = resolver.clone();
                 for &id in &pure {
-                    let v = apply_ready_at_with(daig, id, &mut memo, &mut res, stats, transfers)?;
-                    daig.write_id(id, v);
+                    if let Some(s) = sink.as_deref_mut() {
+                        let before = *stats;
+                        let t0 = std::time::Instant::now();
+                        let v =
+                            apply_ready_at_with(daig, id, &mut memo, &mut res, stats, transfers)?;
+                        let wall_ns = t0.elapsed().as_nanos() as u64;
+                        s.record_applied(daig, id, &stats.delta(&before), wall_ns);
+                        daig.write_id(id, v);
+                    } else {
+                        let v =
+                            apply_ready_at_with(daig, id, &mut memo, &mut res, stats, transfers)?;
+                        daig.write_id(id, v);
+                    }
                     settle_write(daig, id, &mut cone, &mut ready);
                 }
             } else {
@@ -292,6 +333,9 @@ where
                 // Cheap fan-out: the table is an `Arc` snapshot, so each
                 // worker closure shares one staged-closure store.
                 let table = transfers.cloned();
+                // Per-cell timestamps are taken only when a sink is
+                // attached, so the plain path stays timestamp-free.
+                let timed = sink.is_some();
                 let results = pool.parallel_map(batch, move |rc| {
                     // One span per cell, recorded on the worker thread that
                     // evaluated it — this is what attributes flame-trace
@@ -300,13 +344,18 @@ where
                     let mut local = QueryStats::default();
                     let mut memo = shared.clone();
                     let mut res = res0.clone();
+                    let t0 = timed.then(std::time::Instant::now);
                     let value =
                         apply_ready_with(rc, &mut memo, &mut res, &mut local, table.as_ref());
-                    (rc.dest_id, value, local)
+                    let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    (rc.dest_id, value, local, wall_ns)
                 });
-                for (dest, value, local) in results {
+                for (dest, value, local, wall_ns) in results {
                     stats.absorb(local);
                     daig.write_id(dest, value?);
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.record_applied(daig, dest, &local, wall_ns);
+                    }
                     settle_write(daig, dest, &mut cone, &mut ready);
                 }
             }
@@ -320,7 +369,12 @@ where
             // write; an unroll splices a fresh iterate subgraph whose
             // counts are patched into the cone.
             ready.append(&mut fixes);
-            match fix_step_id(daig, cfg, n, stats)? {
+            let t0 = sink.is_some().then(std::time::Instant::now);
+            let outcome = fix_step_id(daig, cfg, n, stats)?;
+            if let (Some(s), Some(t0)) = (sink.as_deref_mut(), t0) {
+                s.record_fix_step(daig, n, t0.elapsed().as_nanos() as u64, outcome.converged());
+            }
+            match outcome {
                 FixOutcome::Converged => {
                     settle_write(daig, n, &mut cone, &mut ready);
                 }

@@ -19,6 +19,7 @@
 //! assert.
 
 use dai_core::driver::ProgramEdit;
+use dai_core::explain::ExplainReport;
 use dai_lang::Loc;
 
 use crate::engine::{
@@ -115,6 +116,24 @@ pub trait Service<D> {
     ///
     /// Transport failures for remote implementations.
     fn stats(&self) -> Result<EngineStats, EngineError>;
+
+    /// Serves a `(function, location)` sweep with cost attribution and
+    /// returns the capture: per-cell outcomes and wall times, the cone's
+    /// work/span parallelism, lock wait vs. held time. The sweep is
+    /// served synchronously under one session-lock acquisition; the
+    /// answers themselves are discarded (use [`Service::query_sweep`] to
+    /// keep them).
+    ///
+    /// # Errors
+    ///
+    /// Unknown session, an interprocedural-backend session (attribution
+    /// requires the instrumented intraprocedural scheduler), or
+    /// transport failures.
+    fn explain(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+    ) -> Result<ExplainReport, EngineError>;
 }
 
 /// Maps a ticket's response to the queried state, sharing
@@ -213,5 +232,13 @@ impl<D: PersistDomain> Service<D> for Engine<D> {
 
     fn stats(&self) -> Result<EngineStats, EngineError> {
         Ok(Engine::stats(self))
+    }
+
+    fn explain(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+    ) -> Result<ExplainReport, EngineError> {
+        self.explain_sweep(session, targets)
     }
 }

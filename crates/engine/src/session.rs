@@ -41,6 +41,7 @@ use dai_core::analysis::{resolve_loc_frontier, FuncAnalysis, LocResolution};
 use dai_core::compile::TransferMode;
 use dai_core::dot::{to_dot, DotOptions};
 use dai_core::driver::ProgramEdit;
+use dai_core::explain::ExplainSink;
 use dai_core::graph::Value;
 use dai_core::intern::CellId;
 use dai_core::interproc::{ContextPolicy, InterAnalyzer};
@@ -56,7 +57,7 @@ use std::collections::HashMap;
 
 use crate::engine::EngineError;
 use crate::pool::PoolHandle;
-use crate::scheduler::evaluate_targets;
+use crate::scheduler::evaluate_targets_explain;
 
 /// How a session resolves call statements (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -329,6 +330,34 @@ impl<D: AbstractDomain> Session<D> {
         shared_stats: &mut QueryStats,
         per_query: &mut [QueryStats],
     ) -> Vec<Result<D, EngineError>> {
+        self.query_locs_explain(func, locs, memo, pool, shared_stats, per_query, None)
+    }
+
+    /// `true` when the session runs the intraprocedural backend — the
+    /// only backend whose evaluation path supports cost attribution
+    /// (interprocedural resolution routes around the parallel scheduler).
+    pub fn intra_backend(&self) -> bool {
+        matches!(self.backend, Backend::Intra { .. })
+    }
+
+    /// [`Session::query_locs`] with opt-in cost attribution: a supplied
+    /// `sink` receives one record per demanded cell — including the
+    /// `Q-Reuse` fast paths this layer answers without touching the
+    /// scheduler — so report cell counts match the [`QueryStats`]
+    /// movements exactly. `Inter` sessions ignore the sink (their
+    /// evaluation never reaches the instrumented scheduler); callers
+    /// wanting reports must check [`Session::intra_backend`] first.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_locs_explain(
+        &mut self,
+        func: &str,
+        locs: &[Loc],
+        memo: &SharedMemoTable<Value<D>>,
+        pool: &PoolHandle,
+        shared_stats: &mut QueryStats,
+        per_query: &mut [QueryStats],
+        sink: Option<&mut ExplainSink>,
+    ) -> Vec<Result<D, EngineError>> {
         assert_eq!(per_query.len(), locs.len(), "one stats slot per member");
         self.queries += locs.len() as u64;
         match &mut self.backend {
@@ -348,7 +377,7 @@ impl<D: AbstractDomain> Session<D> {
                             .collect();
                     }
                 };
-                Self::query_unit_locs(unit, locs, memo, pool, shared_stats, per_query)
+                Self::query_unit_locs(unit, locs, memo, pool, shared_stats, per_query, sink)
             }
             Backend::Inter { analyzer, .. } => {
                 if self.program.by_name(func).is_none() {
@@ -371,6 +400,7 @@ impl<D: AbstractDomain> Session<D> {
     }
 
     /// The `Intra` union-cone drain behind [`Session::query_locs`].
+    #[allow(clippy::too_many_arguments)]
     fn query_unit_locs(
         unit: &mut Unit<D>,
         locs: &[Loc],
@@ -378,7 +408,13 @@ impl<D: AbstractDomain> Session<D> {
         pool: &PoolHandle,
         shared_stats: &mut QueryStats,
         per_query: &mut [QueryStats],
+        mut sink: Option<&mut ExplainSink>,
     ) -> Vec<Result<D, EngineError>> {
+        // Finish-time attribution is per id arena: tell the sink a new
+        // function's DAIG is in play.
+        if let Some(s) = sink.as_deref_mut() {
+            s.begin_unit();
+        }
         // One span per union drain; its payload is the number of cells the
         // drain loaded into cone tables (0 for a fully warm batch). Every
         // `engine.cells` span the rounds record falls inside it.
@@ -412,6 +448,9 @@ impl<D: AbstractDomain> Session<D> {
                     );
                     if let Some(d) = unit.fa.daig().value_id(id).and_then(Value::as_state) {
                         per_query[i].reused += 1;
+                        if let Some(s) = sink.as_deref_mut() {
+                            s.record_reused(unit.fa.daig().name_of(id).to_string());
+                        }
                         out[i] = Some(Ok(d.clone()));
                     }
                 }
@@ -454,6 +493,9 @@ impl<D: AbstractDomain> Session<D> {
                         Some(d) => {
                             if !demanded[i] {
                                 per_query[i].reused += 1;
+                                if let Some(s) = sink.as_deref_mut() {
+                                    s.record_reused(name.to_string());
+                                }
                             }
                             let d = d.clone();
                             // Record the resolution against the *post*-
@@ -484,13 +526,14 @@ impl<D: AbstractDomain> Session<D> {
             targets.sort();
             targets.dedup();
             let _round_span = dai_trace::span!("engine.round", targets.len());
-            if let Err(e) = evaluate_targets(
+            if let Err(e) = evaluate_targets_explain(
                 &mut unit.fa,
                 &targets,
                 memo,
                 &IntraResolver,
                 pool,
                 shared_stats,
+                sink.as_deref_mut(),
             ) {
                 // A union-evaluation failure fails every still-pending
                 // member; already-extracted answers stand.

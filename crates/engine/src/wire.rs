@@ -9,7 +9,7 @@
 
 use dai_persist::{Persist, PersistError, Reader, Writer};
 
-use crate::engine::{BatchStats, EngineStats, PersistOutcome, SessionId};
+use crate::engine::{BatchStats, EngineStats, ExplainStats, PersistOutcome, SessionId};
 use crate::session::{EditOutcome, SessionSnapshot};
 
 impl Persist for SessionId {
@@ -78,6 +78,34 @@ impl Persist for BatchStats {
     }
 }
 
+impl Persist for ExplainStats {
+    fn put(&self, w: &mut Writer) {
+        w.u64(self.reports);
+        w.u64(self.cells);
+        w.u64(self.fixes);
+        w.u64(self.work_ns);
+        w.u64(self.span_ns);
+        w.u64(self.computed_ns);
+        w.u64(self.memo_matched_ns);
+        w.u64(self.fix_ns);
+        self.domains.put(w);
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ExplainStats {
+            reports: r.u64()?,
+            cells: r.u64()?,
+            fixes: r.u64()?,
+            work_ns: r.u64()?,
+            span_ns: r.u64()?,
+            computed_ns: r.u64()?,
+            memo_matched_ns: r.u64()?,
+            fix_ns: r.u64()?,
+            domains: Vec::<(String, u64)>::get(r)?,
+        })
+    }
+}
+
 impl Persist for EngineStats {
     fn put(&self, w: &mut Writer) {
         w.u64(self.workers as u64);
@@ -90,6 +118,7 @@ impl Persist for EngineStats {
         w.u64(self.session_locks);
         self.batch.put(w);
         self.query_stats.put(w);
+        self.explain.put(w);
         self.memo.put(w);
     }
 
@@ -105,6 +134,7 @@ impl Persist for EngineStats {
             session_locks: r.u64()?,
             batch: BatchStats::get(r)?,
             query_stats: dai_core::query::QueryStats::get(r)?,
+            explain: ExplainStats::get(r)?,
             memo: dai_memo::MemoStats::get(r)?,
         })
     }
@@ -194,6 +224,17 @@ mod tests {
                 cone_cells: 400,
                 transfers_compiled: 45,
                 transfers_interp: 5,
+            },
+            explain: ExplainStats {
+                reports: 2,
+                cells: 90,
+                fixes: 3,
+                work_ns: 123_456,
+                span_ns: 45_000,
+                computed_ns: 100_000,
+                memo_matched_ns: 20_000,
+                fix_ns: 3_456,
+                domains: vec![("interval".to_string(), 2)],
             },
             memo: dai_memo::MemoStats {
                 hits: 20,

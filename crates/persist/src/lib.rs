@@ -70,6 +70,7 @@
 //! interprocedural session as source + history (cold restore).
 
 pub mod codec;
+pub mod explain;
 pub mod frame;
 pub mod snapshot;
 pub mod trace;
@@ -78,6 +79,9 @@ pub mod wire;
 pub use codec::{
     read_sections, strip_sections, PersistError, Reader, SnapshotWriter, Writer, FORMAT_VERSION,
     TAG_FUNC, TAG_MEMO, TAG_SESSION,
+};
+pub use explain::{
+    decode_explain_frame, encode_explain_frame, EXPLAIN_FRAME_TAG, EXPLAIN_FRAME_VERSION,
 };
 pub use frame::{
     checksum, read_frame, split_frame, write_frame, FrameHeader, FrameReadError, StreamFrame,

@@ -19,8 +19,9 @@ use crate::wire::{bad_tag, Persist};
 pub const TRACE_FRAME_TAG: [u8; 4] = *b"TRCE";
 
 /// Version of the trace payload encoding inside a [`TRACE_FRAME_TAG`]
-/// frame.
-pub const TRACE_FRAME_VERSION: u16 = 1;
+/// frame. Version 2 added [`TraceDump::dropped_by_thread`] (exact
+/// per-thread overflow losses).
+pub const TRACE_FRAME_VERSION: u16 = 2;
 
 impl Persist for TraceOp {
     fn put(&self, w: &mut Writer) {
@@ -86,6 +87,7 @@ impl Persist for TraceDump {
         self.labels.put(w);
         self.threads.put(w);
         w.u64(self.dropped);
+        self.dropped_by_thread.put(w);
     }
 
     fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -94,7 +96,25 @@ impl Persist for TraceDump {
             labels: Vec::<String>::get(r)?,
             threads: Vec::<String>::get(r)?,
             dropped: r.u64()?,
+            dropped_by_thread: Vec::<u64>::get(r)?,
         };
+        // The per-thread losses are parallel to the thread table and sum
+        // to the total; a payload violating either was not drained from
+        // the recorder.
+        if dump.dropped_by_thread.len() != dump.threads.len() {
+            return Err(PersistError::Corrupt(format!(
+                "trace drop table has {} entries for {} threads",
+                dump.dropped_by_thread.len(),
+                dump.threads.len()
+            )));
+        }
+        let per_thread: u64 = dump.dropped_by_thread.iter().sum();
+        if per_thread != dump.dropped {
+            return Err(PersistError::Corrupt(format!(
+                "trace drop total {} != per-thread sum {per_thread}",
+                dump.dropped
+            )));
+        }
         // A record indexing past the interned tables would have been
         // assembled by something other than the recorder: reject it
         // rather than let `"?"` fallbacks mask real corruption.
@@ -197,6 +217,7 @@ mod tests {
             labels: vec!["engine.cone_walk".into(), "engine.unroll".into()],
             threads: vec!["main".into(), "dai-worker-1".into()],
             dropped: 7,
+            dropped_by_thread: vec![3, 4],
         }
     }
 
@@ -234,6 +255,32 @@ mod tests {
         let mut r = Reader::new(&bytes);
         match TraceDump::get(&mut r) {
             Err(PersistError::Corrupt(m)) => assert!(m.contains("label"), "{m}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_drop_table_is_corrupt_not_lossy() {
+        // Wrong length: not parallel to the thread table.
+        let mut dump = sample_dump();
+        dump.dropped_by_thread.push(0);
+        let mut w = Writer::new();
+        dump.put(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        match TraceDump::get(&mut r) {
+            Err(PersistError::Corrupt(m)) => assert!(m.contains("entries"), "{m}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // Wrong sum: per-thread losses must add up to the total.
+        let mut dump = sample_dump();
+        dump.dropped_by_thread[0] += 1;
+        let mut w = Writer::new();
+        dump.put(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        match TraceDump::get(&mut r) {
+            Err(PersistError::Corrupt(m)) => assert!(m.contains("sum"), "{m}"),
             other => panic!("expected corrupt, got {other:?}"),
         }
     }

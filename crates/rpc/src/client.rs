@@ -20,8 +20,8 @@
 
 use dai_core::driver::ProgramEdit;
 use dai_engine::{
-    EditOutcome, EngineError, EngineStats, PersistOutcome, Service, SessionId, SessionSnapshot,
-    TraceDump, TraceOp,
+    EditOutcome, EngineError, EngineStats, ExplainReport, PersistOutcome, Service, SessionId,
+    SessionSnapshot, TraceDump, TraceOp,
 };
 use dai_lang::Loc;
 use dai_persist::frame::{read_frame, write_frame, FrameReadError};
@@ -340,6 +340,20 @@ impl<D: PersistDomain> Service<D> for Client<D> {
     fn stats(&self) -> Result<EngineStats, EngineError> {
         match self.call_ok(&WireRequest::Stats)? {
             WireResponse::Stats(stats) => Ok(stats),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    fn explain(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+    ) -> Result<ExplainReport, EngineError> {
+        match self.call_ok(&WireRequest::Explain {
+            session: session.0,
+            targets: targets.to_vec(),
+        })? {
+            WireResponse::Explain(report) => Ok(report),
             other => Err(transport_err(format!("unexpected response {other:?}"))),
         }
     }

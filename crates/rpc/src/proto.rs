@@ -42,7 +42,8 @@
 
 use dai_core::driver::ProgramEdit;
 use dai_engine::{
-    EditOutcome, EngineError, EngineStats, PersistOutcome, SessionSnapshot, TraceDump, TraceOp,
+    EditOutcome, EngineError, EngineStats, ExplainReport, PersistOutcome, SessionSnapshot,
+    TraceDump, TraceOp,
 };
 use dai_lang::Loc;
 use dai_persist::{Persist, PersistError, Reader, Writer};
@@ -50,8 +51,9 @@ use dai_persist::{Persist, PersistError, Reader, Writer};
 /// The wire protocol version spoken by this build. Bumped when message
 /// layouts change; the frame header carries it on every message.
 /// Version 2: `QueryStats` gained the compiled/interpreted transfer
-/// counters.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// counters. Version 3: the `Explain` request/response pair, and
+/// `EngineStats` gained the explain totals.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Frame tag of client → server messages.
 pub const TAG_REQUEST: [u8; 4] = *b"RPCQ";
@@ -204,6 +206,17 @@ pub enum WireRequest {
     /// Read the server's metrics registry as Prometheus text (the
     /// engine's live stats are published into gauges first).
     Metrics,
+    /// Serve a `(function, location)` sweep with cost attribution and
+    /// return the capture ([`WireResponse::Explain`]): per-cell outcomes
+    /// and wall times, the demanded cone's work/span parallelism, lock
+    /// wait vs. held time. The answers themselves are not returned —
+    /// use [`WireRequest::Sweep`] to keep them.
+    Explain {
+        /// Target session.
+        session: u64,
+        /// Sweep targets (sort for one batch per function).
+        targets: Vec<(String, Loc)>,
+    },
 }
 
 /// One server → client message.
@@ -264,6 +277,9 @@ pub enum WireResponse {
         /// Prometheus text exposition.
         text: String,
     },
+    /// An explain capture (already domain-erased — cell names and the
+    /// domain tag are strings, so it travels whole).
+    Explain(ExplainReport),
 }
 
 /// A structured wire failure. Every variant has a stable [`code`]
@@ -524,6 +540,11 @@ impl Persist for WireRequest {
                 op.put(w);
             }
             WireRequest::Metrics => w.u8(13),
+            WireRequest::Explain { session, targets } => {
+                w.u8(14);
+                w.u64(*session);
+                targets.put(w);
+            }
         }
     }
 
@@ -569,6 +590,10 @@ impl Persist for WireRequest {
                 op: TraceOp::get(r)?,
             },
             13 => WireRequest::Metrics,
+            14 => WireRequest::Explain {
+                session: r.u64()?,
+                targets: Vec::<(String, Loc)>::get(r)?,
+            },
             t => {
                 return Err(PersistError::Corrupt(format!(
                     "unknown wire-request tag {t}"
@@ -651,6 +676,10 @@ impl Persist for WireResponse {
                 w.u8(13);
                 text.put(w);
             }
+            WireResponse::Explain(report) => {
+                w.u8(14);
+                report.put(w);
+            }
         }
     }
 
@@ -702,6 +731,7 @@ impl Persist for WireResponse {
             13 => WireResponse::Metrics {
                 text: String::get(r)?,
             },
+            14 => WireResponse::Explain(ExplainReport::get(r)?),
             t => {
                 return Err(PersistError::Corrupt(format!(
                     "unknown wire-response tag {t}"
@@ -789,6 +819,10 @@ mod tests {
             roundtrip(&WireRequest::Trace { op });
         }
         roundtrip(&WireRequest::Metrics);
+        roundtrip(&WireRequest::Explain {
+            session: 9,
+            targets: vec![("main".to_string(), Loc(0)), ("main".to_string(), Loc(1))],
+        });
     }
 
     #[test]
@@ -820,11 +854,36 @@ mod tests {
             }],
             labels: vec!["engine.cone_walk".to_string()],
             threads: vec!["dai-worker-0".to_string()],
-            dropped: 0,
+            dropped: 2,
+            dropped_by_thread: vec![2],
         }));
         roundtrip(&WireResponse::Metrics {
             text: "# TYPE dai_engine_queries gauge\ndai_engine_queries 5\n".to_string(),
         });
+        roundtrip(&WireResponse::Explain(ExplainReport::default()));
+        roundtrip(&WireResponse::Explain(ExplainReport {
+            domain: "interval".to_string(),
+            transfer: "compiled".to_string(),
+            cells: vec![dai_engine::CellCost {
+                cell: "main:l2:sigma".to_string(),
+                outcome: dai_engine::CellOutcome::Computed,
+                compiled: true,
+                wall_ns: 320,
+                finish_ns: 320,
+            }],
+            fixes: vec![dai_engine::FixCost {
+                cell: "main:l1.fix:sigma".to_string(),
+                iters: 2,
+                unrolls: 1,
+                wall_ns: 80,
+                converged: true,
+            }],
+            work_ns: 400,
+            span_ns: 320,
+            lock_wait_ns: 3,
+            lock_held_ns: 500,
+            eval_ns: 450,
+        }));
     }
 
     #[test]

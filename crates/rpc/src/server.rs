@@ -520,6 +520,14 @@ fn handle<D: PersistDomain>(
         WireRequest::Metrics => WireResponse::Metrics {
             text: engine.metrics_text(),
         },
+        WireRequest::Explain { session, targets } => {
+            // One wire frame → one attributed sweep, served synchronously
+            // under the session lock (see `Engine::explain_sweep`).
+            match Service::explain(engine, SessionId(session), &targets) {
+                Ok(report) => WireResponse::Explain(report),
+                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            }
+        }
     }
 }
 
@@ -558,5 +566,6 @@ fn request_name(r: &WireRequest) -> &'static str {
         WireRequest::Handoff { .. } => "handoff",
         WireRequest::Trace { .. } => "trace",
         WireRequest::Metrics => "metrics",
+        WireRequest::Explain { .. } => "explain",
     }
 }

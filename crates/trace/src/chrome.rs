@@ -355,6 +355,7 @@ mod tests {
             labels: vec!["engine.cone_walk".into(), "engine.unroll".into()],
             threads: vec!["main".into(), "dai-worker-0".into()],
             dropped: 0,
+            dropped_by_thread: vec![0, 0],
         }
     }
 

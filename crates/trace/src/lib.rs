@@ -38,6 +38,7 @@
 pub mod chrome;
 pub mod metrics;
 pub mod recorder;
+pub mod render;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use metrics::{metrics, Counter, Gauge, Histogram, Metrics, LATENCY_BUCKETS_NS};
@@ -45,6 +46,7 @@ pub use recorder::{
     config, drain, enabled, label, now_ns, site_event, site_span, Label, Record, RecordKind, Site,
     SpanGuard, TraceConfig, TraceDump, TraceOp, RING_CAPACITY,
 };
+pub use render::render_table;
 
 /// Opens a span at this site; the returned guard records on drop.
 ///

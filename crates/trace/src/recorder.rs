@@ -355,6 +355,9 @@ pub struct TraceDump {
     pub threads: Vec<String>,
     /// Records lost to ring overflow since the previous drain.
     pub dropped: u64,
+    /// Per-thread overflow losses, parallel to `threads` (`dropped` is
+    /// the sum). Exact: each ring counts its own overwrites.
+    pub dropped_by_thread: Vec<u64>,
 }
 
 impl TraceDump {
@@ -404,12 +407,20 @@ pub fn drain() -> TraceDump {
     };
     let mut records = Vec::new();
     let mut dropped = 0;
+    let mut dropped_by_thread = vec![0u64; threads.len()];
     for slot in slots {
-        dropped += slot
+        let lost = slot
             .ring
             .lock()
             .expect("trace ring poisoned")
             .drain_into(&mut records);
+        dropped += lost;
+        dropped_by_thread[slot.id as usize] = lost;
+    }
+    if dropped > 0 {
+        crate::metrics()
+            .counter("dai_trace_dropped_records_total")
+            .add(dropped);
     }
     records.sort_by_key(|r| (r.start_ns, std::cmp::Reverse(r.end_ns)));
     TraceDump {
@@ -417,6 +428,7 @@ pub fn drain() -> TraceDump {
         labels: label_names(),
         threads,
         dropped,
+        dropped_by_thread,
     }
 }
 
@@ -535,6 +547,42 @@ mod tests {
         assert!(again.is_empty());
         ring.push(rec(1));
         assert_eq!(ring.len, 1);
+    }
+
+    #[test]
+    #[cfg(feature = "probes")]
+    fn ring_overflow_feeds_the_dropped_counter_and_per_thread_table() {
+        let _gate = exclusive();
+        let _ = drain();
+        let before = crate::metrics()
+            .counter("dai_trace_dropped_records_total")
+            .get();
+        config().set_enabled(true);
+        let overflow = 25u64;
+        std::thread::Builder::new()
+            .name("test-recorder-overflow".into())
+            .spawn(move || {
+                for i in 0..(RING_CAPACITY as u64 + overflow) {
+                    crate::event!("test.recorder.overflow", i);
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        config().set_enabled(false);
+        let dump = drain();
+        assert_eq!(dump.dropped, overflow);
+        assert_eq!(dump.dropped_by_thread.len(), dump.threads.len());
+        let at = dump
+            .threads
+            .iter()
+            .position(|t| t == "test-recorder-overflow")
+            .expect("overflowing thread registered");
+        assert_eq!(dump.dropped_by_thread[at], overflow);
+        let after = crate::metrics()
+            .counter("dai_trace_dropped_records_total")
+            .get();
+        assert_eq!(after - before, overflow, "drain did not count the drops");
     }
 
     #[test]

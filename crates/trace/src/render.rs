@@ -1,0 +1,77 @@
+//! Plain-text table rendering for reports (explain output, bench
+//! summaries) — columns sized to their widest cell, no dependencies.
+
+/// Renders `rows` under `headers` as an aligned text table, each line
+/// prefixed with `indent`. Rows narrower than the header row are padded
+/// with empty cells; wider rows are truncated to the header width.
+pub fn render_table<const N: usize>(
+    headers: &[&str; N],
+    rows: &[[String; N]],
+    indent: &str,
+) -> String {
+    let mut widths: [usize; N] = [0; N];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = h.chars().count();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let push_row = |cells: &[&str], out: &mut String| {
+        out.push_str(indent);
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            // Pad every column but the last, so lines don't trail spaces.
+            if i + 1 < cells.len() {
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+        }
+        out.push('\n');
+    };
+    push_row(&headers[..], &mut out);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let rule_refs: Vec<&str> = rule.iter().map(String::as_str).collect();
+    push_row(&rule_refs, &mut out);
+    for row in rows {
+        let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+        push_row(&refs, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let rows = vec![
+            ["a".to_string(), "long-cell".to_string()],
+            ["much-longer".to_string(), "b".to_string()],
+        ];
+        let table = render_table(&["x", "y"], &rows, "  ");
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "{table}");
+        assert!(lines[0].starts_with("  x"), "{table}");
+        assert!(lines[1].contains("---"), "{table}");
+        // Second column starts at the same offset on every line.
+        let col = lines[2].find("long-cell").unwrap();
+        assert_eq!(lines[3].find('b').unwrap(), col, "{table}");
+    }
+
+    #[test]
+    fn no_trailing_spaces() {
+        let rows = vec![["ab".to_string(), "c".to_string()]];
+        let table = render_table(&["first", "s"], &rows, "");
+        for line in table.lines() {
+            assert_eq!(line, line.trim_end(), "{table:?}");
+        }
+    }
+}

@@ -250,6 +250,28 @@ fn sweep_via_service<D: PersistDomain>(
     Ok(s)
 }
 
+/// `explain`: serve an attributed sweep through a demanded-analysis
+/// [`Service`] — local engine or remote client — on a throwaway session
+/// (source + history replayed, exactly like the serve sweep).
+fn explain_via_service<D: PersistDomain>(
+    service: &impl Service<D>,
+    source: &str,
+    history: &[ProgramEdit],
+    targets: &[(String, Loc)],
+) -> Result<dai_engine::ExplainReport, String> {
+    let session = service
+        .open("repl-explain", source)
+        .map_err(|e| e.to_string())?;
+    for edit in history {
+        service
+            .edit(session, edit)
+            .map_err(|e| format!("replaying edit: {e}"))?;
+    }
+    let report = service.explain(session, targets).map_err(|e| e.to_string());
+    let _ = service.close(session);
+    report
+}
+
 fn print_resolver_banner(what: &str, resolver: ResolverChoice) {
     match resolver {
         ResolverChoice::Intra => println!(
@@ -726,6 +748,76 @@ fn repl<D: PersistDomain>(
                 );
                 println!("units: {} (function, context) DAIGs", analyzer.unit_count());
             }
+            "explain" => {
+                let mut json = false;
+                let mut words: Vec<&str> = Vec::new();
+                for tok in rest.split_whitespace() {
+                    if tok == "--json" {
+                        json = true;
+                    } else {
+                        words.push(tok);
+                    }
+                }
+                let targets: Vec<(String, Loc)> = match words.as_slice() {
+                    [] => sweep_targets(analyzer.program()),
+                    [f] => match analyzer.program().by_name(f) {
+                        Some(cfg) => cfg.locs().iter().map(|&l| (f.to_string(), l)).collect(),
+                        None => {
+                            eprintln!("no function `{f}`");
+                            continue;
+                        }
+                    },
+                    [f, l] => match parse_loc(l) {
+                        Some(loc) => vec![(f.to_string(), loc)],
+                        None => {
+                            eprintln!("bad location `{l}` (use lNN)");
+                            continue;
+                        }
+                    },
+                    _ => {
+                        eprintln!("usage: explain [--json] [FN [lNN]]");
+                        continue;
+                    }
+                };
+                // Remote after a `connect`, else a fresh local engine —
+                // the same split as the serve sweep. The engine itself
+                // rejects explain under the interprocedural resolver.
+                let served = match remote.as_ref() {
+                    Some(client) => {
+                        explain_via_service(client, &session.source, &session.history, &targets)
+                            .and_then(|report| {
+                                client
+                                    .stats()
+                                    .map(|stats| (report, stats))
+                                    .map_err(|e| e.to_string())
+                            })
+                    }
+                    None => {
+                        let engine: Engine<D> = Engine::with_config(EngineConfig {
+                            workers: threads,
+                            resolver: serve_resolver,
+                            transfer: session.transfer,
+                            ..EngineConfig::default()
+                        });
+                        explain_via_service(&engine, &session.source, &session.history, &targets)
+                            .map(|report| {
+                                let stats = engine.stats();
+                                (report, stats)
+                            })
+                    }
+                };
+                match served {
+                    Ok((report, stats)) => {
+                        if json {
+                            println!("{}", report.to_json(10));
+                        } else {
+                            print!("{}", report.render(10));
+                        }
+                        last_engine_stats = Some(stats);
+                    }
+                    Err(e) => eprintln!("explain failed: {e}"),
+                }
+            }
             "trace" => {
                 if let Err(e) =
                     trace_command(rest.trim(), remote.as_ref(), last_engine_stats.as_ref())
@@ -858,6 +950,12 @@ fn print_help() {
                             domain must match --domain)
   stats                     query/memo work counters
   stats --json              last serve/connect engine stats, one JSON line
+  explain [--json] [FN [lNN]]
+                            serve the sweep (whole program, one function,
+                            or one location) with per-cell cost attribution:
+                            outcome/wall per cell, fixpoint iterations,
+                            work/span parallelism, lock wait vs. held
+                            (remote after a connect; needs --resolver intra)
   trace on|off              flip runtime trace recording (remote after a
                             connect, else this process)
   trace dump PATH           drain the trace (.json: Chrome trace_event for

@@ -343,11 +343,18 @@ fn stats_json_emits_the_locked_schema() {
     assert!(stderr.contains("no engine stats yet"), "{stderr}");
     assert!(!stdout.contains("{\"workers\""), "{stdout}");
 
-    // After `serve`, one line of JSON with the exact field order below.
-    // This is the machine-readable contract: replacing every integer run
-    // with N must reproduce the template verbatim, so adding, removing,
-    // renaming, or reordering a field fails this test.
-    let (stdout, stderr) = run_repl(PROGRAM, &["--threads", "2"], "serve\nstats --json\nquit\n");
+    // After `serve` and an `explain` (whose engine stats replace the
+    // serve's, carrying real attribution totals), one line of JSON with
+    // the exact field order below. This is the machine-readable
+    // contract: replacing every integer run with N must reproduce the
+    // template verbatim, so adding, removing, renaming, or reordering a
+    // field fails this test. The domain tag is alphabetic, so the
+    // per-domain report count stays literal in the shape.
+    let (stdout, stderr) = run_repl(
+        PROGRAM,
+        &["--threads", "2"],
+        "serve\nexplain main\nstats --json\nquit\n",
+    );
     assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
     let json = stdout
         .lines()
@@ -381,13 +388,53 @@ fn stats_json_emits_the_locked_schema() {
          \"reused\":N,\"unrolls\":N,\"fix_converged\":N,\
          \"cone_walks\":N,\"cone_cells\":N,\
          \"transfers_compiled\":N,\"transfers_interp\":N},\
+         \"explain\":{\"reports\":N,\"cells\":N,\"fixes\":N,\
+         \"work_ns\":N,\"span_ns\":N,\"computed_ns\":N,\
+         \"memo_matched_ns\":N,\"fix_ns\":N,\
+         \"domains\":{\"interval\":N}},\
          \"memo\":{\"hits\":N,\"misses\":N,\"insertions\":N,\
          \"evictions\":N}}",
         "stats --json schema drifted: {json}"
     );
-    // Sanity on the values themselves: 2 workers served a real sweep.
+    // Sanity on the values themselves: 2 workers served a real sweep,
+    // and the explain run left real attribution totals.
     assert!(json.contains("\"workers\":2"), "{json}");
     assert!(!json.contains("\"queries\":0,"), "{json}");
+    assert!(json.contains("\"explain\":{\"reports\":1,"), "{json}");
+    assert!(json.contains("\"domains\":{\"interval\":1}"), "{json}");
+}
+
+#[test]
+fn explain_command_attributes_cost_and_reports_json() {
+    let script = "explain main\nexplain --json\nexplain nosuch\nexplain main zz9\nquit\n";
+    let (stdout, stderr) = run_repl(PROGRAM, &["--threads", "2"], script);
+    assert!(stderr.contains("no function `nosuch`"), "{stderr}");
+    assert!(stderr.contains("bad location"), "{stderr}");
+    // The rendered block: header, work/span split, lock accounting,
+    // hottest-cell table, and the fixpoint line (main has a loop).
+    assert!(stdout.contains("explain: domain interval"), "{stdout}");
+    assert!(stdout.contains("parallelism"), "{stdout}");
+    assert!(stdout.contains("lock wait"), "{stdout}");
+    assert!(stdout.contains("hottest cells:"), "{stdout}");
+    assert!(stdout.contains("  fix "), "{stdout}");
+    // `explain --json` emits one line of report JSON.
+    let json = stdout
+        .lines()
+        .map(|l| l.trim_start_matches("dai> "))
+        .find(|l| l.starts_with("{\"domain\""))
+        .unwrap_or_else(|| panic!("no explain --json line in {stdout}"));
+    assert!(json.contains("\"transfer\":"), "{json}");
+    assert!(json.contains("\"parallelism\":"), "{json}");
+    assert!(json.contains("\"hottest\":["), "{json}");
+    assert!(json.ends_with("]}"), "{json}");
+    // Attribution needs the instrumented intraprocedural scheduler; the
+    // interprocedural resolver refuses in a structured way.
+    let (_, stderr) = run_repl(
+        PROGRAM,
+        &["--resolver", "interproc"],
+        "explain main\nquit\n",
+    );
+    assert!(stderr.contains("intraprocedural"), "{stderr}");
 }
 
 #[test]

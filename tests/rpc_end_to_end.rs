@@ -128,15 +128,20 @@ fn socket_matches_in_process(resolver: ResolverChoice, tag: &str) {
     let server = Server::bind(&Addr::Unix(scratch(tag)), engine_with(resolver)).unwrap();
     let addr = server.addr().to_string();
     let workers: Vec<_> = (0..2)
-        .map(|_| {
+        .map(|i| {
             let addr = addr.clone();
             let source = source.clone();
             let edits = edits.clone();
             let targets = targets.clone();
-            std::thread::spawn(move || {
-                let client: Client<OctagonDomain> = Client::connect(&addr).unwrap();
-                run_session(&client, "e2e", &source, &edits, &targets)
-            })
+            // Named so any trace records they produce resolve to a real
+            // thread name, never the recorder's `thread-{id}` fallback.
+            std::thread::Builder::new()
+                .name(format!("e2e-client-{i}"))
+                .spawn(move || {
+                    let client: Client<OctagonDomain> = Client::connect(&addr).unwrap();
+                    run_session(&client, "e2e", &source, &edits, &targets)
+                })
+                .expect("spawn e2e client thread")
         })
         .collect();
     for worker in workers {
@@ -628,11 +633,13 @@ fn arbitrary_dump(seed: u64) -> dai_engine::TraceDump {
             }
         })
         .collect();
+    let dropped = seed % 5;
     dai_engine::TraceDump {
         records,
         labels,
         threads,
-        dropped: seed % 5,
+        dropped,
+        dropped_by_thread: vec![dropped / 2, dropped - dropped / 2],
     }
 }
 
@@ -791,6 +798,114 @@ proptest! {
             prop_assert!(dai_persist::decode_trace_frame(&flipped).is_err());
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Explain over the wire.
+// ---------------------------------------------------------------------
+
+#[test]
+fn explain_over_socket_is_byte_identical_to_in_process() {
+    let (server, path) = hostile_server();
+    let client: Client<IntervalDomain> = Client::connect(&format!("unix:{path}")).unwrap();
+    let session = client.open("explain", LOOPY).unwrap();
+    let targets: Vec<(String, Loc)> = {
+        let program = server.engine().program_of(session).unwrap();
+        let cfg = program.by_name("f").unwrap();
+        cfg.locs().iter().map(|&l| ("f".to_string(), l)).collect()
+    };
+    let remote = client.explain(session, &targets).unwrap();
+    // The engine keeps the report it just served; the socket copy must
+    // equal it — and re-encode to the identical EXPL frame bytes, the
+    // same binary form `explain --json` artifacts use on disk.
+    let local = server
+        .engine()
+        .last_explain()
+        .expect("the engine kept the report it served");
+    assert_eq!(remote, local);
+    assert_eq!(
+        dai_persist::encode_explain_frame(&remote),
+        dai_persist::encode_explain_frame(&local),
+        "socket-fetched report does not re-encode byte-identically"
+    );
+    // A real capture travelled: a cold loopy sweep computes cells, runs
+    // a fix, and its accounting matches the engine's own counters.
+    assert!(!remote.cells.is_empty(), "no cells attributed");
+    assert!(!remote.fixes.is_empty(), "loopy sweep ran no fixpoint");
+    assert!(remote.parallelism() >= 1.0);
+    let stats = client.stats().unwrap();
+    remote
+        .check_accounting(&stats.query_stats)
+        .expect("wire report disagrees with engine counters");
+    server.shutdown();
+}
+
+#[test]
+fn explain_on_an_interprocedural_server_is_a_structured_error() {
+    let engine = engine_with(ResolverChoice::Interproc {
+        policy: dai_core::interproc::ContextPolicy::CallString(1),
+    });
+    let server = Server::bind(&Addr::Unix(scratch("explain-inter")), engine).unwrap();
+    let client: Client<OctagonDomain> = Client::connect(&server.addr().to_string()).unwrap();
+    let session = client.open("explain-inter", LOOPY).unwrap();
+    let program = server.engine().program_of(session).unwrap();
+    let exit = program.by_name("f").unwrap().exit();
+    let err = client
+        .explain(session, &[("f".to_string(), exit)])
+        .expect_err("explain must refuse the interprocedural backend");
+    assert!(
+        err.to_string().contains("intraprocedural"),
+        "unexpected error: {err}"
+    );
+    // The refusal is in protocol: the connection still serves queries.
+    assert!(client.query(session, "f", exit).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn explain_requests_survive_truncations_and_flips() {
+    // The hostile sweep of the explain wire message, mirroring the
+    // trace/metrics sweeps above: every proper prefix on a fresh
+    // connection (clean close), every payload byte flip on one
+    // connection (structured error each time, connection survives).
+    let (server, path) = hostile_server();
+    let payload = dai_rpc::proto::encode_message(&WireRequest::Explain {
+        session: 1,
+        targets: vec![("f".to_string(), Loc(2))],
+    });
+    let mut frame = Vec::new();
+    write_frame(&mut frame, TAG_REQUEST, PROTOCOL_VERSION, &payload);
+    for cut in 0..frame.len() {
+        let mut conn = RawConn::connect(&path);
+        conn.send_raw(&frame[..cut]);
+        conn.stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        while conn.read_response().is_some() {}
+    }
+    let mut conn = RawConn::connect(&path);
+    for i in FRAME_HEADER_LEN..frame.len() {
+        let mut flipped = frame.clone();
+        flipped[i] ^= 0xFF;
+        conn.send_raw(&flipped);
+        match conn.read_response() {
+            Some(WireResponse::Error(e)) => assert_eq!(e.code(), "protocol", "{e}"),
+            other => panic!("flip at {i}: expected protocol error, got {other:?}"),
+        }
+    }
+    conn.assert_alive();
+    // The server outlived the sweep and still explains.
+    let client: Client<IntervalDomain> = Client::connect(&format!("unix:{path}")).unwrap();
+    let session = client.open("after-hostile", LOOPY).unwrap();
+    let exit = server
+        .engine()
+        .program_of(session)
+        .unwrap()
+        .by_name("f")
+        .unwrap()
+        .exit();
+    assert!(client.explain(session, &[("f".to_string(), exit)]).is_ok());
+    server.shutdown();
 }
 
 #[test]

@@ -145,6 +145,14 @@ fn traced_sweep_over_socket_reconstructs_batch_profile_from_spans() {
     for r in &dump.records {
         assert!((r.label as usize) < dump.labels.len());
         assert!((r.thread as usize) < dump.threads.len());
+        // Every engine-owned thread is named at spawn; a `thread-{id}`
+        // here is the recorder's fallback for an unnamed thread, i.e. a
+        // spawn site that lost its name.
+        let thread = dump.thread_of(r);
+        assert!(
+            !thread.starts_with("thread-"),
+            "record attributed to unnamed thread {thread:?}"
+        );
     }
     for lock in &locks {
         let thread = &dump.threads[lock.thread as usize];

@@ -1,0 +1,132 @@
+//! Ring-overflow accounting: a tracing session that outruns the
+//! per-thread rings must stay fully diagnosable. A multi-worker engine
+//! sweep runs alongside threads that deliberately overflow their rings
+//! by known amounts; the resulting dump must
+//!
+//! * report **exact** per-thread drop counts (`dropped_by_thread`,
+//!   parallel to the thread table, summing to `dropped`),
+//! * charge nothing to threads that did not overflow,
+//! * still export as a valid Chrome trace and roundtrip the binary
+//!   `TRCE` frame byte-equal,
+//! * feed the `dai_trace_dropped_records_total` counter.
+//!
+//! Its own test binary on purpose: the recorder is process-global, and
+//! this test owns the enable/drain window.
+
+use dai_domains::IntervalDomain;
+use dai_engine::Engine;
+use dai_lang::Loc;
+use dai_trace::RING_CAPACITY;
+
+const LOOPY: &str = "function f(n) { var i = 0; var s = 0; \
+                     while (i < 9) { s = s + i; i = i + 1; } \
+                     return s; }";
+
+#[test]
+fn overflowing_rings_report_exact_per_thread_drops() {
+    if !dai_trace::TraceConfig::probes_compiled() {
+        eprintln!("trace_overflow: probes compiled out; nothing to assert");
+        return;
+    }
+    let _ = dai_trace::drain();
+    let counter_before = dai_trace::metrics()
+        .counter("dai_trace_dropped_records_total")
+        .get();
+    dai_trace::config().set_enabled(true);
+
+    // A multi-worker sweep, so pool workers record real spans into their
+    // own rings (far below capacity — they must be charged zero drops).
+    let engine: Engine<IntervalDomain> = Engine::new(2);
+    let session = engine.open_session_src("overflow", LOOPY).unwrap();
+    let targets: Vec<(String, Loc)> = {
+        let program = engine.program_of(session).unwrap();
+        let cfg = program.by_name("f").unwrap();
+        cfg.locs().iter().map(|&l| ("f".to_string(), l)).collect()
+    };
+    for ticket in engine.submit_query_sweep(session, &targets) {
+        ticket.wait().unwrap();
+    }
+
+    // Two named threads overflow their rings by distinct, known amounts.
+    let overflows: [(&str, u64); 2] = [("overflow-a", 3), ("overflow-b", 41)];
+    for (name, extra) in overflows {
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                for i in 0..(RING_CAPACITY as u64 + extra) {
+                    dai_trace::event!("test.overflow.push", i);
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    dai_trace::config().set_enabled(false);
+    let dump = dai_trace::drain();
+
+    // The drop table is parallel to the thread table and sums exactly.
+    assert_eq!(dump.dropped_by_thread.len(), dump.threads.len());
+    assert_eq!(dump.dropped, dump.dropped_by_thread.iter().sum::<u64>());
+    for (name, extra) in overflows {
+        let at = dump
+            .threads
+            .iter()
+            .position(|t| t == name)
+            .unwrap_or_else(|| panic!("thread {name} not registered in {:?}", dump.threads));
+        assert_eq!(
+            dump.dropped_by_thread[at], extra,
+            "thread {name} drop count is not exact"
+        );
+    }
+    for (at, thread) in dump.threads.iter().enumerate() {
+        if thread.starts_with("dai-worker-") {
+            assert_eq!(
+                dump.dropped_by_thread[at], 0,
+                "worker {thread} charged with drops it did not incur"
+            );
+        }
+    }
+    // The sweep left real worker records, and each overflowing ring
+    // still holds a full window (only the oldest were overwritten).
+    let held_by = |at: usize| {
+        dump.records
+            .iter()
+            .filter(|r| r.thread as usize == at)
+            .count()
+    };
+    assert!(
+        dump.threads
+            .iter()
+            .enumerate()
+            .any(|(at, t)| t.starts_with("dai-worker-") && held_by(at) > 0),
+        "the sweep left no worker records"
+    );
+    for (name, _) in overflows {
+        let at = dump.threads.iter().position(|t| t == name).unwrap();
+        assert_eq!(
+            held_by(at),
+            RING_CAPACITY,
+            "overflowed ring of {name} must retain exactly RING_CAPACITY records"
+        );
+    }
+
+    // The lossy dump is still a valid Chrome trace and a stable frame.
+    let json = dai_trace::chrome_trace_json(&dump);
+    let summary = dai_trace::validate_chrome_trace(&json).expect("overflowed dump re-parses");
+    assert!(summary.total > 0);
+    let frame = dai_persist::encode_trace_frame(&dump);
+    assert_eq!(
+        dai_persist::decode_trace_frame(&frame).expect("binary dump decodes"),
+        dump
+    );
+
+    // And the losses were counted into the metrics registry.
+    let counter_after = dai_trace::metrics()
+        .counter("dai_trace_dropped_records_total")
+        .get();
+    assert_eq!(
+        counter_after - counter_before,
+        overflows.iter().map(|(_, e)| e).sum::<u64>()
+    );
+}

@@ -1,0 +1,33 @@
+//! Scratch RTT floor measurement (not part of CI).
+use dai_domains::OctagonDomain;
+use dai_engine::{Engine, Service};
+use dai_rpc::{Addr, Client, Server};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let engine: Arc<Engine<OctagonDomain>> = Arc::new(Engine::new(1));
+    let path = std::env::temp_dir().join(format!("dai-rtt-{}.sock", std::process::id()));
+    let server = Server::bind(&Addr::Unix(path.to_string_lossy().into_owned()), engine).unwrap();
+    let client: Client<OctagonDomain> = Client::connect(&server.addr().to_string()).unwrap();
+    // Warm up.
+    for _ in 0..100 {
+        client.stats().unwrap();
+    }
+    let reps = 2000u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(client.stats().unwrap());
+    }
+    println!("stats RTT: {:?}", t0.elapsed() / reps);
+    // An engine-ticketed request (goes through submit + completion queue
+    // + waker), unlike stats? stats also goes through submit. Compare
+    // with a session-table request answered inline:
+    let session = client.open("rtt", "function f() { return 1; }").unwrap();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(client.query(session, "f", dai_lang::Loc(0)).ok());
+    }
+    println!("single query RTT: {:?}", t0.elapsed() / reps);
+    server.shutdown();
+}

@@ -1,0 +1,68 @@
+//! Scratch span-level profile of one warm socket sweep (not part of CI).
+use dai_bench::workload::Workload;
+use dai_domains::OctagonDomain;
+use dai_engine::{Engine, Service};
+use dai_lang::Loc;
+use dai_rpc::{Addr, Client, Server};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let source = Workload::initial_source();
+    let engine: Arc<Engine<OctagonDomain>> = Arc::new(Engine::new(1));
+    let path = std::env::temp_dir().join(format!("dai-sweep-trace-{}.sock", std::process::id()));
+    let server = Server::bind(
+        &Addr::Unix(path.to_string_lossy().into_owned()),
+        Arc::clone(&engine),
+    )
+    .unwrap();
+    let client: Client<OctagonDomain> = Client::connect(&server.addr().to_string()).unwrap();
+    let session = client.open("trace", &source).unwrap();
+    let mut gen = Workload::new(379422);
+    for _ in 0..40 {
+        let program = engine.program_of(session).unwrap();
+        let edit = gen.next_edit(&program);
+        client.edit(session, &edit).unwrap();
+    }
+    let program = engine.program_of(session).unwrap();
+    let mut targets: Vec<(String, Loc)> = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    // Cold + warmup sweeps.
+    for _ in 0..20 {
+        let _ = client.query_sweep(session, &targets);
+    }
+    // Traced warm sweeps.
+    engine.set_tracing(true);
+    let reps = 50u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(client.query_sweep(session, &targets));
+    }
+    let wall = t0.elapsed() / reps;
+    engine.set_tracing(false);
+    let dump = engine.drain_trace();
+    let mut agg: HashMap<String, (u64, u64)> = HashMap::new();
+    for r in &dump.records {
+        let label = dump.labels[r.label as usize].clone();
+        let e = agg.entry(label).or_default();
+        e.0 += 1;
+        e.1 += r.end_ns.saturating_sub(r.start_ns);
+    }
+    let mut rows: Vec<_> = agg.into_iter().collect();
+    rows.sort_by_key(|(_, (_, ns))| std::cmp::Reverse(*ns));
+    println!("wall per sweep: {wall:?} over {reps} sweeps");
+    for (label, (count, ns)) in rows.iter().take(15) {
+        println!(
+            "{label:>28}: {:>8.2}µs/sweep  ({} spans)",
+            *ns as f64 / 1000.0 / f64::from(reps),
+            count
+        );
+    }
+    server.shutdown();
+}

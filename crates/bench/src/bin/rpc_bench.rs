@@ -7,16 +7,21 @@
 //! $ cargo run --release --bin rpc_bench -- --check BENCH_rpc.json
 //! ```
 //!
-//! `--check` validates the committed artifact's fields, then re-runs the
-//! smoke profile and asserts the count-based invariants: identical
-//! answers through the socket and in-process, the sweep frame
-//! reproducing the in-process `BatchStats` lock/walk profile exactly,
-//! and strictly fewer session locks for one sweep frame than for
-//! per-query frames — deterministic counters, so shared-runner timing
-//! noise cannot flake the gate.
+//! `--check` validates the committed artifact (required fields, and the
+//! recorded saturated socket/in-process throughput ratio holding the
+//! ≥ 60% acceptance gate), then re-runs the smoke profile — including
+//! the connection-count × pipelined-depth saturation sweep — and
+//! asserts the count-based invariants: identical answers through every
+//! socket shape, the sweep frame reproducing the in-process
+//! `BatchStats` lock/walk profile exactly, pipelined per-query frames
+//! keeping locks ≈ batches (never ≈ queries), and strictly fewer
+//! session locks for one sweep frame than for per-query frames —
+//! deterministic counters, so shared-runner timing noise cannot flake
+//! the gate (wall-clock is gated only on the committed artifact).
 
 use dai_bench::rpc_bench::{
-    check_invariants, run_rpc_bench, to_json, validate_artifact, RpcBenchParams, RpcBenchResult,
+    check_invariants, run_rpc_bench, to_json, validate_artifact, validate_recorded_gate,
+    RpcBenchParams, RpcBenchResult,
 };
 
 fn main() {
@@ -49,20 +54,25 @@ fn main() {
         let committed =
             std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
         validate_artifact(&committed).unwrap_or_else(|e| die(&e));
-        println!("{path}: all required fields present");
-        // The live gate: socket answers identical to in-process, and one
+        validate_recorded_gate(&committed).unwrap_or_else(|e| die(&e));
+        println!("{path}: all required fields present, recorded throughput ratio ≥ 0.60");
+        // The live gate: socket answers identical to in-process, one
         // sweep frame strictly cheaper in session locks than per-query
-        // frames.
+        // frames, pipelined frames coalescing, and the saturation
+        // matrix well-formed.
         let r = run_rpc_bench(&RpcBenchParams::smoke());
         check_invariants(&r).unwrap_or_else(|e| die(&e));
         println!(
-            "wire ok: answers identical; locks {} sweep-frame vs {} per-query frames \
-             (in-process sweep {}); {} batches, {} union-cone walks",
+            "wire ok: answers identical; locks {} sweep-frame vs {} pipelined vs {} per-query \
+             frames (in-process sweep {}); {} batches, {} union-cone walks; \
+             {} saturation points",
             r.socket_sweep.cold_counters.session_locks,
+            r.socket_pipelined.cold_counters.session_locks,
             r.socket_per_query.cold_counters.session_locks,
             r.in_process.cold_counters.session_locks,
             r.socket_sweep.cold_counters.batch.batches,
             r.socket_sweep.cold_counters.batch.union_cone_walks,
+            r.saturation.len(),
         );
         return;
     }
@@ -94,6 +104,7 @@ fn print_table(r: &RpcBenchResult) {
     for (label, v) in [
         ("in-process sweep", &r.in_process),
         ("socket sweep", &r.socket_sweep),
+        ("socket pipelined", &r.socket_pipelined),
         ("socket per-query", &r.socket_per_query),
     ] {
         println!(
@@ -108,11 +119,26 @@ fn print_table(r: &RpcBenchResult) {
         );
     }
     println!(
-        "sweep frame takes {:.1}% of per-query locks; socket sweep runs at {:.1}% of \
-         in-process qps; answers identical: {}",
+        "in-process saturated: {:.1} qps (best over 1/2/4 threads)",
+        r.in_process_saturated_qps
+    );
+    println!("saturation (connections × pipelined depth):");
+    for p in &r.saturation {
+        println!(
+            "{:>17} {:>12} {:>14.3?} {:>13.1}",
+            format!("{} conn{}", p.conns, if p.conns == 1 { "" } else { "s" }),
+            format!("depth {}", p.depth),
+            p.elapsed,
+            p.qps(),
+        );
+    }
+    println!(
+        "sweep frame takes {:.1}% of per-query locks; single-stream socket sweep runs at \
+         {:.1}% of in-process qps, saturated at {:.1}%; answers identical: {}",
         100.0 * r.socket_sweep.cold_counters.session_locks as f64
             / (r.socket_per_query.cold_counters.session_locks as f64).max(1.0),
         100.0 * r.socket_sweep.warm_qps() / r.in_process.warm_qps().max(1e-12),
+        100.0 * r.socket_vs_in_process_qps_ratio(),
         r.answers_identical
     );
 }

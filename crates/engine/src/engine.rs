@@ -338,10 +338,33 @@ impl From<PersistError> for EngineError {
 }
 
 /// A single-use reply slot: one allocation per request instead of an
-/// mpsc channel, with `Condvar` wakeup for the waiter.
+/// mpsc channel, with `Condvar` wakeup for the waiter and an optional
+/// completion hook for pollers that must not block (the RPC event loop).
 struct Oneshot<D> {
     slot: Mutex<Option<Result<Response<D>, EngineError>>>,
     ready: Condvar,
+    /// Fired (at most once) when the slot is filled. Stored and taken
+    /// under `slot`'s lock, so registration can never race a concurrent
+    /// fill into a lost wakeup.
+    hook: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl<D> Oneshot<D> {
+    /// Fills the slot and delivers both wakeup paths: the blocking
+    /// waiter's condvar and the registered completion hook, if any. The
+    /// hook runs *after* the slot lock is released, on the producing
+    /// thread, with the value already visible to [`Ticket::try_take`].
+    fn fill(&self, value: Result<Response<D>, EngineError>) {
+        let hook = {
+            let mut slot = self.slot.lock().expect("ticket slot poisoned");
+            *slot = Some(value);
+            self.hook.lock().expect("ticket hook poisoned").take()
+        };
+        self.ready.notify_one();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
 }
 
 /// The producing side of a [`Ticket`]'s reply slot. Dropping it without
@@ -354,18 +377,15 @@ struct Responder<D> {
 
 impl<D> Responder<D> {
     fn send(mut self, value: Result<Response<D>, EngineError>) {
-        *self.cell.slot.lock().expect("ticket slot poisoned") = Some(value);
         self.sent = true;
-        self.cell.ready.notify_one();
+        self.cell.fill(value);
     }
 }
 
 impl<D> Drop for Responder<D> {
     fn drop(&mut self) {
         if !self.sent {
-            *self.cell.slot.lock().expect("ticket slot poisoned") =
-                Some(Err(EngineError::Disconnected));
-            self.cell.ready.notify_one();
+            self.cell.fill(Err(EngineError::Disconnected));
         }
     }
 }
@@ -390,6 +410,31 @@ impl<D> Ticket<D> {
             }
             guard = self.cell.ready.wait(guard).expect("ticket slot poisoned");
         }
+    }
+
+    /// Takes the response if the worker has already delivered it,
+    /// without blocking. Returns `None` while the request is still in
+    /// flight (or if the response was already taken). A poller that saw
+    /// [`Ticket::on_ready`] fire is guaranteed `Some` on its first call.
+    pub fn try_take(&self) -> Option<Result<Response<D>, EngineError>> {
+        self.cell.slot.lock().expect("ticket slot poisoned").take()
+    }
+
+    /// Registers a completion hook, fired exactly once when the response
+    /// is delivered (immediately, on the caller's thread, if it already
+    /// was). The hook runs on whichever thread fills the reply slot —
+    /// keep it tiny and non-blocking (push a token, wake an event loop);
+    /// heavy work belongs on the loop that polls [`Ticket::try_take`].
+    /// Registering a second hook replaces an unfired first.
+    pub fn on_ready(&self, hook: impl FnOnce() + Send + 'static) {
+        {
+            let slot = self.cell.slot.lock().expect("ticket slot poisoned");
+            if slot.is_none() {
+                *self.cell.hook.lock().expect("ticket hook poisoned") = Some(Box::new(hook));
+                return;
+            }
+        }
+        hook();
     }
 
     /// Waits for a whole batch, returning responses in submission order.
@@ -1220,6 +1265,7 @@ fn reply_slot<D>() -> (Ticket<D>, Responder<D>) {
     let cell = Arc::new(Oneshot {
         slot: Mutex::new(None),
         ready: Condvar::new(),
+        hook: Mutex::new(None),
     });
     let responder = Responder {
         cell: Arc::clone(&cell),

@@ -195,6 +195,56 @@ mod tests {
     }
 
     #[test]
+    fn ticket_hooks_fire_once_and_try_take_never_blocks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let engine: Engine<IntervalDomain> = Engine::new(2);
+        let session = engine.open_session("t", program());
+        let exit = engine
+            .program_of(session)
+            .unwrap()
+            .by_name("main")
+            .unwrap()
+            .exit();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let ticket = engine.submit(Request::Query {
+            session,
+            func: "main".to_string(),
+            loc: exit,
+        });
+        let hook_fired = Arc::clone(&fired);
+        ticket.on_ready(move || {
+            hook_fired.fetch_add(1, Ordering::SeqCst);
+        });
+        // The hook is the poller's wakeup: once it fires, the response
+        // is guaranteed to be takeable without blocking.
+        while fired.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let response = ticket.try_take().expect("filled after hook fired");
+        let state = response.unwrap().into_state().unwrap();
+        assert_eq!(state.interval_of("b"), Interval::constant(3));
+        // The slot is single-use and the hook fires exactly once.
+        assert!(ticket.try_take().is_none());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Registering on an already-completed ticket fires immediately,
+        // on the caller's thread.
+        let done = engine.submit(Request::Stats);
+        let _ = done.wait();
+        let late = engine.submit(Request::Stats);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let immediate = Arc::new(AtomicUsize::new(0));
+        let hook_now = Arc::clone(&immediate);
+        late.on_ready(move || {
+            hook_now.fetch_add(1, Ordering::SeqCst);
+        });
+        while immediate.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert!(late.try_take().is_some());
+    }
+
+    #[test]
     fn unknown_targets_error_cleanly() {
         let engine: Engine<IntervalDomain> = Engine::new(1);
         let session = engine.open_session("t", program());

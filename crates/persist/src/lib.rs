@@ -84,8 +84,9 @@ pub use explain::{
     decode_explain_frame, encode_explain_frame, EXPLAIN_FRAME_TAG, EXPLAIN_FRAME_VERSION,
 };
 pub use frame::{
-    checksum, read_frame, split_frame, write_frame, FrameHeader, FrameReadError, StreamFrame,
-    FRAME_HEADER_LEN, FRAME_TRAILER_LEN,
+    checksum, checksum_with, read_frame, read_frame_expecting, split_frame, write_frame,
+    write_frame_id, FrameHeader, FrameReadError, StreamFrame, FRAME_HEADER_LEN, FRAME_ID_LEN,
+    FRAME_TRAILER_LEN,
 };
 pub use snapshot::{
     decode_daig, encode_daig, read_snapshot_file, write_snapshot_file, FuncImage, RestoreReport,

@@ -10,13 +10,31 @@
 //! with a structured [`WireError::DomainMismatch`], never with a
 //! misdecoded state.
 //!
-//! One client is one connection; calls serialize on an internal lock
-//! (one in-flight request per connection), so a shared `&Client` is safe
-//! from many threads, and *concurrency* comes from opening more
-//! connections — exactly the many-clients shape the server is built for.
-//! A whole sweep is still one frame ([`Service::query_sweep`]), so a
-//! single client gets the engine's coalesced lock/cone profile without
-//! needing in-flight pipelining.
+//! ## Protocol negotiation
+//!
+//! [`Client::connect`] speaks [`PROTOCOL_VERSION`] and **downshifts by
+//! reconnecting** when the server answers
+//! [`WireError::UnsupportedVersion`] naming an older version it does
+//! speak; [`ClientOptions::protocol`] pins the version instead (the
+//! compatibility tests use it to drive a genuine v3 client against a v4
+//! server). On a ≥ 4 connection every request frame carries a fresh
+//! request id and the response's echoed id is verified.
+//!
+//! ## Pipelining
+//!
+//! Service calls serialize on an internal lock — one in-flight request
+//! per connection — so a shared `&Client` is safe from many threads. A
+//! whole sweep is still one frame ([`Service::query_sweep`]); and on
+//! protocol ≥ 4, [`Client::pipeline_queries`] writes **many single-query
+//! frames back-to-back** before reading any response, which the server's
+//! event loop coalesces into one engine batch (one session-lock
+//! acquisition, one union cone) while answering each id individually —
+//! the in-process lock profile, reproduced by pipelining alone.
+//!
+//! If a call panics mid-frame (poisoning the connection lock), later
+//! calls do not cascade the panic: they fail with a structured
+//! [`EngineError::Remote`] (code `disconnected`), because the stream
+//! position is unknowable and the connection is unrecoverable.
 
 use dai_core::driver::ProgramEdit;
 use dai_engine::{
@@ -24,28 +42,83 @@ use dai_engine::{
     SessionSnapshot, TraceDump, TraceOp,
 };
 use dai_lang::Loc;
-use dai_persist::frame::{read_frame, write_frame, FrameReadError};
+use dai_persist::frame::{read_frame_expecting, write_frame_id, FrameReadError, StreamFrame};
 use dai_persist::PersistDomain;
+use std::collections::HashMap;
 use std::io::Write;
 use std::marker::PhantomData;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::proto::{
     decode_message, encode_message, WireError, WireRequest, WireResponse, WireState, MAX_FRAME_LEN,
-    PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
 };
 use crate::server::{Addr, Stream};
 
+/// Client-side connection options for [`Client::connect_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientOptions {
+    /// The auth token to present in the hello, for servers configured to
+    /// require one. Requires protocol ≥ 4 (the v3 hello layout cannot
+    /// carry a token), so a token plus a v3 downshift is a hard error
+    /// rather than a silently-dropped credential.
+    pub auth: Option<String>,
+    /// Pins the protocol version instead of negotiating. `None` tries
+    /// [`PROTOCOL_VERSION`] and downshifts on
+    /// [`WireError::UnsupportedVersion`].
+    pub protocol: Option<u16>,
+}
+
+struct ClientInner {
+    stream: Stream,
+    /// The negotiated (or pinned) protocol version of this connection.
+    proto: u16,
+    /// The next request id (protocol ≥ 4; ids start at 1 — id 0 is the
+    /// server's "unattributable frame" sentinel).
+    next_id: u64,
+}
+
 /// A blocking connection to a [`crate::Server`] for domain `D`.
 pub struct Client<D: PersistDomain> {
-    stream: Mutex<Stream>,
+    inner: Mutex<ClientInner>,
+    /// Memoizes state-blob decoding: the server's warm answers repeat
+    /// byte-for-byte (its own encode cache hands back identical blobs),
+    /// so repeated demands decode once and then clone. Keyed by blob
+    /// bytes, so this is a pure memoization of [`WireState::decode`] —
+    /// a hit and a fresh decode are indistinguishable.
+    decode_cache: Mutex<HashMap<Vec<u8>, D, dai_memo::FxBuild>>,
     _domain: PhantomData<fn() -> D>,
 }
+
+/// [`Client::decode_cache`] entry bound; the map is dropped whole when
+/// it fills.
+const DECODE_CACHE_CAP: usize = 4096;
 
 fn transport_err(detail: impl std::fmt::Display) -> EngineError {
     EngineError::Remote {
         code: "transport",
         message: detail.to_string(),
+    }
+}
+
+/// The structured failure every call on a poisoned connection gets: a
+/// prior call panicked mid-frame, so the stream position is unknowable.
+fn poisoned_err() -> EngineError {
+    EngineError::Remote {
+        code: "disconnected",
+        message: "connection unusable: a prior call on it panicked mid-frame".to_string(),
+    }
+}
+
+/// Duplicates a failure for fan-out to several member results
+/// (`EngineError` is not `Clone`; the remote variants carry strings).
+fn refail(e: &EngineError) -> EngineError {
+    match e {
+        EngineError::Remote { code, message } => EngineError::Remote {
+            code,
+            message: message.clone(),
+        },
+        other => transport_err(other),
     }
 }
 
@@ -56,8 +129,9 @@ impl<D: PersistDomain> Client<D> {
     /// # Errors
     ///
     /// Transport failures as [`EngineError::Remote`] (code `transport`);
-    /// a server speaking another protocol version (code `version`) or
-    /// analyzing another domain (code `domain`) as the mapped wire error.
+    /// a server speaking no common protocol version (code `version`),
+    /// requiring an auth token (code `unauthorized`), or analyzing
+    /// another domain (code `domain`) as the mapped wire error.
     pub fn connect(addr: &str) -> Result<Client<D>, EngineError> {
         let addr = Addr::parse(addr).map_err(transport_err)?;
         Client::connect_addr(&addr)
@@ -69,66 +143,77 @@ impl<D: PersistDomain> Client<D> {
     ///
     /// As [`Client::connect`].
     pub fn connect_addr(addr: &Addr) -> Result<Client<D>, EngineError> {
-        let stream = Stream::connect(addr).map_err(transport_err)?;
-        let client = Client {
-            stream: Mutex::new(stream),
-            _domain: PhantomData,
-        };
-        match client.call(&WireRequest::Hello {
-            domain: D::domain_tag(),
-        })? {
-            WireResponse::HelloOk { .. } => Ok(client),
-            WireResponse::Error(e) => Err(e.into_engine()),
-            other => Err(transport_err(format!(
-                "unexpected hello response {other:?}"
-            ))),
+        Client::connect_with(addr, ClientOptions::default())
+    }
+
+    /// [`Client::connect_addr`] with explicit [`ClientOptions`] (auth
+    /// token, pinned protocol version).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with(addr: &Addr, options: ClientOptions) -> Result<Client<D>, EngineError> {
+        let mut version = options.protocol.unwrap_or(PROTOCOL_VERSION);
+        loop {
+            if options.auth.is_some() && version < 4 {
+                return Err(EngineError::Remote {
+                    code: "unauthorized",
+                    message: format!(
+                        "cannot present an auth token at protocol {version} (tokens need ≥ 4)"
+                    ),
+                });
+            }
+            let stream = Stream::connect(addr).map_err(transport_err)?;
+            let mut inner = ClientInner {
+                stream,
+                proto: version,
+                next_id: 1,
+            };
+            let hello = WireRequest::Hello {
+                domain: D::domain_tag(),
+                auth: options.auth.clone(),
+            };
+            match call_on(&mut inner, &hello)? {
+                WireResponse::HelloOk { .. } => {
+                    return Ok(Client {
+                        inner: Mutex::new(inner),
+                        decode_cache: Mutex::new(HashMap::default()),
+                        _domain: PhantomData,
+                    })
+                }
+                WireResponse::Error(WireError::UnsupportedVersion { want, .. })
+                    if options.protocol.is_none()
+                        && want < version
+                        && want >= MIN_PROTOCOL_VERSION =>
+                {
+                    // The server speaks an older protocol: reconnect at
+                    // its version (frame layouts differ, so a fresh
+                    // stream keeps both sides at a frame boundary).
+                    version = want;
+                }
+                WireResponse::Error(e) => return Err(e.into_engine()),
+                other => {
+                    return Err(transport_err(format!(
+                        "unexpected hello response {other:?}"
+                    )))
+                }
+            }
         }
+    }
+
+    /// The connection's negotiated protocol version.
+    pub fn protocol(&self) -> u16 {
+        self.inner.lock().map(|g| g.proto).unwrap_or(0)
+    }
+
+    fn lock_inner(&self) -> Result<MutexGuard<'_, ClientInner>, EngineError> {
+        self.inner.lock().map_err(|_| poisoned_err())
     }
 
     /// Sends one request frame and reads one response frame.
     fn call(&self, request: &WireRequest) -> Result<WireResponse, EngineError> {
-        let mut stream = self.stream.lock().expect("client connection poisoned");
-        let payload = encode_message(request);
-        // The server rejects oversized frames from the header alone and
-        // would then parse the payload bytes we sent as garbage frames —
-        // never put such a frame on the wire in the first place.
-        if payload.len() > MAX_FRAME_LEN {
-            return Err(EngineError::Remote {
-                code: "protocol",
-                message: format!(
-                    "request of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
-                    payload.len()
-                ),
-            });
-        }
-        let mut out = Vec::with_capacity(payload.len() + 32);
-        write_frame(&mut out, TAG_REQUEST, PROTOCOL_VERSION, &payload);
-        stream.write_all(&out).map_err(transport_err)?;
-        stream.flush().map_err(transport_err)?;
-        let frame = read_frame(&mut *stream, MAX_FRAME_LEN).map_err(|e| match e {
-            FrameReadError::Eof | FrameReadError::Truncated => {
-                transport_err("server closed the connection")
-            }
-            other => transport_err(other),
-        })?;
-        if frame.header.tag != TAG_RESPONSE {
-            return Err(transport_err(format!(
-                "unexpected response frame tag {:?}",
-                frame.header.tag
-            )));
-        }
-        if frame.header.version != PROTOCOL_VERSION {
-            return Err(WireError::UnsupportedVersion {
-                got: frame.header.version,
-                want: PROTOCOL_VERSION,
-            }
-            .into_engine());
-        }
-        let payload = frame
-            .payload
-            .ok_or_else(|| transport_err("response frame checksum mismatch"))?;
-        decode_message::<WireResponse>(&payload)
-            .map_err(|e| transport_err(format!("undecodable response: {e}")))
+        let mut inner = self.lock_inner()?;
+        call_on(&mut inner, request)
     }
 
     /// As [`Client::call`], but a `WireResponse::Error` becomes `Err`.
@@ -139,7 +224,25 @@ impl<D: PersistDomain> Client<D> {
         }
     }
 
-    fn decode_state(blob: &WireState) -> Result<D, EngineError> {
+    fn decode_state(&self, blob: &WireState) -> Result<D, EngineError> {
+        let mut cache = match self.decode_cache.lock() {
+            Ok(g) => g,
+            // A panic mid-decode leaves no partial entry worth keeping;
+            // just decode uncached from then on.
+            Err(_) => return Self::decode_state_uncached(blob),
+        };
+        if let Some(d) = cache.get(blob.0.as_slice()) {
+            return Ok(d.clone());
+        }
+        let d = Self::decode_state_uncached(blob)?;
+        if cache.len() >= DECODE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(blob.0.clone(), d.clone());
+        Ok(d)
+    }
+
+    fn decode_state_uncached(blob: &WireState) -> Result<D, EngineError> {
         blob.decode::<D>().map_err(|e| EngineError::Remote {
             code: "protocol",
             message: format!("state blob does not decode under {}: {e}", D::domain_tag()),
@@ -151,7 +254,7 @@ impl<D: PersistDomain> Client<D> {
             Ok(WireResponse::States(members)) if members.len() == expected => members
                 .into_iter()
                 .map(|m| match m {
-                    Ok(blob) => Self::decode_state(&blob),
+                    Ok(blob) => self.decode_state(&blob),
                     Err(e) => Err(e.into_engine()),
                 })
                 .collect(),
@@ -160,18 +263,179 @@ impl<D: PersistDomain> Client<D> {
                     || transport_err(format!("expected {expected} member answers, got {other:?}"));
                 (0..expected).map(|_| Err(err())).collect()
             }
-            Err(e) => (0..expected)
-                .map(|_| {
-                    Err(match &e {
-                        EngineError::Remote { code, message } => EngineError::Remote {
-                            code,
-                            message: message.clone(),
-                        },
-                        other => transport_err(other),
-                    })
-                })
-                .collect(),
+            Err(e) => (0..expected).map(|_| Err(refail(&e))).collect(),
         }
+    }
+
+    /// Demands many locations of one function as **pipelined single-query
+    /// frames**: on protocol ≥ 4, every frame is written before any
+    /// response is read, and answers are matched back by request id (the
+    /// server may complete them out of order). The server coalesces the
+    /// adjacent frames into one engine batch, so this reproduces
+    /// [`Service::query_batch`]'s lock/cone profile from plain `Query`
+    /// frames. On a v3 connection it degrades to serial round trips.
+    ///
+    /// Answers come back in `locs` order, each member succeeding or
+    /// failing on its own.
+    pub fn pipeline_queries(
+        &self,
+        session: SessionId,
+        func: &str,
+        locs: &[Loc],
+    ) -> Vec<Result<D, EngineError>> {
+        if locs.is_empty() {
+            return Vec::new();
+        }
+        let mut inner = match self.lock_inner() {
+            Ok(g) => g,
+            Err(e) => return locs.iter().map(|_| Err(refail(&e))).collect(),
+        };
+        if inner.proto < 4 {
+            // v3 has no request ids, so in-flight frames cannot be told
+            // apart; fall back to one round trip per query.
+            drop(inner);
+            return locs
+                .iter()
+                .map(|&loc| Service::query(self, session, func, loc))
+                .collect();
+        }
+        // Write every request frame back-to-back, then read the answers.
+        let mut out = Vec::new();
+        let mut ids = Vec::with_capacity(locs.len());
+        for &loc in locs {
+            let request = WireRequest::Query {
+                session: session.0,
+                func: func.to_string(),
+                loc,
+            };
+            let id = inner.next_id;
+            inner.next_id += 1;
+            ids.push(id);
+            write_frame_id(
+                &mut out,
+                TAG_REQUEST,
+                inner.proto,
+                Some(id),
+                &encode_message(&request),
+            );
+        }
+        if let Err(e) = inner
+            .stream
+            .write_all(&out)
+            .and_then(|()| inner.stream.flush())
+            .map_err(transport_err)
+        {
+            return locs.iter().map(|_| Err(refail(&e))).collect();
+        }
+        let mut by_id: HashMap<u64, Result<D, EngineError>> = HashMap::new();
+        for _ in 0..locs.len() {
+            match read_response(&mut inner) {
+                Ok((Some(id), response)) => {
+                    let member = match response {
+                        WireResponse::State(blob) => self.decode_state(&blob),
+                        WireResponse::Error(e) => Err(e.into_engine()),
+                        other => Err(transport_err(format!("unexpected response {other:?}"))),
+                    };
+                    by_id.insert(id, member);
+                }
+                Ok((None, response)) => {
+                    let e = transport_err(format!("response frame without an id: {response:?}"));
+                    return fill_by_id(&ids, by_id, &e);
+                }
+                Err(e) => return fill_by_id(&ids, by_id, &e),
+            }
+        }
+        fill_by_id(&ids, by_id, &transport_err("response id never arrived"))
+    }
+
+    /// Demands `depth` whole sweeps as **pipelined sweep frames**: on
+    /// protocol ≥ 4, all `depth` frames are written before any response
+    /// is read, so syscall and scheduling round-trip costs amortize
+    /// across the in-flight window — the shape a client repeating a
+    /// sweep (or issuing several independent ones) should use for
+    /// throughput. On a v3 connection it degrades to serial sweeps.
+    ///
+    /// Returns one answer vector per sweep, in issue order.
+    pub fn pipeline_sweeps(
+        &self,
+        session: SessionId,
+        targets: &[(String, Loc)],
+        depth: usize,
+    ) -> Vec<Vec<Result<D, EngineError>>> {
+        let depth = depth.max(1);
+        let sweep_err = |e: &EngineError| -> Vec<Result<D, EngineError>> {
+            targets.iter().map(|_| Err(refail(e))).collect()
+        };
+        let mut inner = match self.lock_inner() {
+            Ok(g) => g,
+            Err(e) => return (0..depth).map(|_| sweep_err(&e)).collect(),
+        };
+        if inner.proto < 4 {
+            drop(inner);
+            return (0..depth)
+                .map(|_| Service::query_sweep(self, session, targets))
+                .collect();
+        }
+        let request = WireRequest::Sweep {
+            session: session.0,
+            targets: targets.to_vec(),
+        };
+        let payload = encode_message(&request);
+        let mut out = Vec::with_capacity(depth * (payload.len() + 32));
+        let mut ids = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            let id = inner.next_id;
+            inner.next_id += 1;
+            ids.push(id);
+            write_frame_id(&mut out, TAG_REQUEST, inner.proto, Some(id), &payload);
+        }
+        if let Err(e) = inner
+            .stream
+            .write_all(&out)
+            .and_then(|()| inner.stream.flush())
+            .map_err(transport_err)
+        {
+            return (0..depth).map(|_| sweep_err(&e)).collect();
+        }
+        let mut by_id: HashMap<u64, Vec<Result<D, EngineError>>> = HashMap::new();
+        for _ in 0..depth {
+            match read_response(&mut inner) {
+                Ok((Some(id), WireResponse::States(members))) => {
+                    let answers = members
+                        .into_iter()
+                        .map(|m| match m {
+                            Ok(blob) => self.decode_state(&blob),
+                            Err(e) => Err(e.into_engine()),
+                        })
+                        .collect();
+                    by_id.insert(id, answers);
+                }
+                Ok((Some(id), WireResponse::Error(e))) => {
+                    by_id.insert(id, sweep_err(&e.into_engine()));
+                }
+                Ok((Some(id), other)) => {
+                    let e = transport_err(format!("unexpected response {other:?}"));
+                    by_id.insert(id, sweep_err(&e));
+                }
+                Ok((None, response)) => {
+                    let e = transport_err(format!("response frame without an id: {response:?}"));
+                    return ids
+                        .iter()
+                        .map(|id| by_id.remove(id).unwrap_or_else(|| sweep_err(&e)))
+                        .collect();
+                }
+                Err(e) => {
+                    return ids
+                        .iter()
+                        .map(|id| by_id.remove(id).unwrap_or_else(|| sweep_err(&e)))
+                        .collect();
+                }
+            }
+        }
+        let missing = transport_err("response id never arrived");
+        ids.iter()
+            .map(|id| by_id.remove(id).unwrap_or_else(|| sweep_err(&missing)))
+            .collect()
     }
 
     /// Releases `session` from this connection's server-side ownership,
@@ -242,6 +506,89 @@ impl<D: PersistDomain> Client<D> {
     }
 }
 
+/// Orders pipelined answers back into request order, filling the ids a
+/// failure cut off with copies of that failure.
+fn fill_by_id<D>(
+    ids: &[u64],
+    mut by_id: HashMap<u64, Result<D, EngineError>>,
+    missing: &EngineError,
+) -> Vec<Result<D, EngineError>> {
+    ids.iter()
+        .map(|id| by_id.remove(id).unwrap_or_else(|| Err(refail(missing))))
+        .collect()
+}
+
+/// One round trip on a locked connection: write the request frame (with
+/// a fresh id on protocol ≥ 4), read one response frame, verify the id
+/// echo, decode.
+fn call_on(inner: &mut ClientInner, request: &WireRequest) -> Result<WireResponse, EngineError> {
+    let payload = encode_message(request);
+    // The server rejects oversized frames from the header alone and
+    // would then parse the payload bytes we sent as garbage frames —
+    // never put such a frame on the wire in the first place.
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(EngineError::Remote {
+            code: "protocol",
+            message: format!(
+                "request of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
+                payload.len()
+            ),
+        });
+    }
+    let id = (inner.proto >= 4).then(|| {
+        let id = inner.next_id;
+        inner.next_id += 1;
+        id
+    });
+    let mut out = Vec::with_capacity(payload.len() + 32);
+    write_frame_id(&mut out, TAG_REQUEST, inner.proto, id, &payload);
+    inner.stream.write_all(&out).map_err(transport_err)?;
+    inner.stream.flush().map_err(transport_err)?;
+    let (got_id, response) = read_response(inner)?;
+    if let Some(id) = id {
+        if got_id != Some(id) {
+            return Err(transport_err(format!(
+                "response id {got_id:?} does not echo request id {id}"
+            )));
+        }
+    }
+    Ok(response)
+}
+
+/// Reads and decodes one response frame, returning its echoed id (`None`
+/// on a v3 connection, whose frames carry no id field).
+fn read_response(inner: &mut ClientInner) -> Result<(Option<u64>, WireResponse), EngineError> {
+    let proto = inner.proto;
+    let frame: StreamFrame = read_frame_expecting(&mut inner.stream, MAX_FRAME_LEN, |h| {
+        h.tag == TAG_RESPONSE && h.version >= 4
+    })
+    .map_err(|e| match e {
+        FrameReadError::Eof | FrameReadError::Truncated => {
+            transport_err("server closed the connection")
+        }
+        other => transport_err(other),
+    })?;
+    if frame.header.tag != TAG_RESPONSE {
+        return Err(transport_err(format!(
+            "unexpected response frame tag {:?}",
+            frame.header.tag
+        )));
+    }
+    if frame.header.version != proto {
+        return Err(WireError::UnsupportedVersion {
+            got: frame.header.version,
+            want: proto,
+        }
+        .into_engine());
+    }
+    let payload = frame
+        .payload
+        .ok_or_else(|| transport_err("response frame checksum mismatch"))?;
+    let response = decode_message::<WireResponse>(&payload)
+        .map_err(|e| transport_err(format!("undecodable response: {e}")))?;
+    Ok((frame.id, response))
+}
+
 impl<D: PersistDomain> Service<D> for Client<D> {
     fn open(&self, name: &str, source: &str) -> Result<SessionId, EngineError> {
         match self.call_ok(&WireRequest::Open {
@@ -266,7 +613,7 @@ impl<D: PersistDomain> Service<D> for Client<D> {
             func: func.to_string(),
             loc,
         })? {
-            WireResponse::State(blob) => Self::decode_state(&blob),
+            WireResponse::State(blob) => self.decode_state(&blob),
             other => Err(transport_err(format!("unexpected response {other:?}"))),
         }
     }
@@ -356,5 +703,51 @@ impl<D: PersistDomain> Service<D> for Client<D> {
             WireResponse::Explain(report) => Ok(report),
             other => Err(transport_err(format!("unexpected response {other:?}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use dai_domains::IntervalDomain;
+    use dai_engine::Engine;
+    use std::sync::Arc;
+
+    /// A panic while a thread holds the client's stream lock must not
+    /// cascade: later calls on the client get a structured
+    /// `disconnected` error, not a poisoned-mutex panic of their own.
+    #[test]
+    fn poisoned_stream_lock_degrades_to_a_structured_error() {
+        let engine: Arc<Engine<IntervalDomain>> = Arc::new(Engine::new(1));
+        let path = std::env::temp_dir()
+            .join(format!("dai-rpc-poison-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let server = Server::bind(&Addr::Unix(path), engine).unwrap();
+        let client: Arc<Client<IntervalDomain>> =
+            Arc::new(Client::connect(&server.addr().to_string()).unwrap());
+
+        // Poison the lock: a thread panics while holding it, as a panic
+        // mid-frame would.
+        let victim = Arc::clone(&client);
+        let panicked = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = victim.inner.lock().unwrap();
+                panic!("mid-frame panic");
+            })
+            .unwrap()
+            .join();
+        assert!(panicked.is_err(), "the poisoner must have panicked");
+
+        match client.open("after-poison", "function f() { return 1; }") {
+            Err(EngineError::Remote { code, message }) => {
+                assert_eq!(code, "disconnected");
+                assert!(message.contains("panicked"), "{message}");
+            }
+            other => panic!("expected a structured disconnect, got {other:?}"),
+        }
+        server.shutdown();
     }
 }

@@ -12,15 +12,24 @@
 //!   (once, in the hello exchange) rather than baked into the types, and
 //!   every message is one `dai_persist::frame` frame — the identical
 //!   tag/version/length/checksum layout snapshot sections use on disk;
-//! * [`server`] — one [`dai_engine::Engine`], many connections: each
-//!   connection is a thread routing decoded frames into the engine,
-//!   sessions are owned per connection (closed on disconnect) with
+//! * [`server`] — one [`dai_engine::Engine`], many connections, **one
+//!   event loop**: nonblocking sockets behind a hand-rolled epoll loop,
+//!   per-connection bounded buffers (slow readers stall or get a
+//!   structured `overload` error, never unbounded memory), decoded
+//!   queries dispatched as engine tickets whose completions wake the
+//!   loop — so one connection can pipeline many requests (protocol ≥ 4
+//!   frames carry ids; responses may complete out of order), and
+//!   adjacent same-function query frames coalesce into one engine batch.
+//!   Sessions are owned per connection (closed on disconnect) with
 //!   explicit handoff, and a sweep frame lands in
 //!   `Engine::submit_query_sweep`, so query coalescing and edit/load
 //!   fencing survive the wire;
 //! * [`client`] — a typed blocking [`Client<D>`] implementing the same
 //!   [`dai_engine::Service`] trait as the engine itself: swap
-//!   `&Engine<D>` for `&Client<D>` and code runs remotely.
+//!   `&Engine<D>` for `&Client<D>` and code runs remotely. Protocol
+//!   negotiation (a v4 client downshifts to a v3 server by
+//!   reconnecting), hello auth tokens, and id-matched pipelining
+//!   ([`Client::pipeline_queries`]) live here.
 //!
 //! The wire protocol (frame layout, version negotiation, error codes) is
 //! documented in `crates/rpc/README.md`.
@@ -48,12 +57,12 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientOptions};
 pub use proto::{
-    WireError, WireRequest, WireResponse, WireState, MAX_FRAME_LEN, PROTOCOL_VERSION, TAG_REQUEST,
-    TAG_RESPONSE,
+    WireError, WireRequest, WireResponse, WireState, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
 };
-pub use server::{Addr, Server};
+pub use server::{Addr, Server, ServerConfig};
 
 #[allow(unused_imports)]
 use dai_persist::Persist; // referenced by crate docs

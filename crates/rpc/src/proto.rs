@@ -25,13 +25,27 @@
 //!
 //! ## Version negotiation
 //!
-//! The frame header's `version` field carries [`PROTOCOL_VERSION`]. A
-//! server receiving a frame with any other version answers
-//! [`WireError::UnsupportedVersion`] naming the version it speaks (the
-//! frame is still fully consumed, so the connection stays usable); the
-//! client surfaces that as a structured error instead of misdecoding the
-//! payload. The hello response also carries the server's protocol
-//! version, so a future multi-version client could downshift.
+//! The frame header's `version` field carries the protocol version. The
+//! server speaks [`PROTOCOL_VERSION`] but accepts every version down to
+//! [`MIN_PROTOCOL_VERSION`]: the **first valid-versioned frame pins the
+//! connection** (normally the hello; even a *rejected* hello is answered
+//! in its own frame layout) — a v3 hello gets a v3 connection (serial,
+//! in-order, id-less responses), a v4 hello gets a multiplexed
+//! connection whose frames carry request ids and whose responses may
+//! complete out of order. A frame outside the supported range (or, after the hello,
+//! differing from the pinned version) answers
+//! [`WireError::UnsupportedVersion`] naming the version the server
+//! speaks (the frame is still fully consumed, so the connection stays
+//! usable); the v4 client downshifts by reconnecting at v3.
+//!
+//! ## Request ids (protocol ≥ 4)
+//!
+//! v4 frames carry a `u64` request id between the frame header's length
+//! field and the payload ([`dai_persist::frame::write_frame_id`]); the
+//! checksum covers it. The server echoes each request's id on its
+//! response, so one connection can keep many requests in flight and
+//! match answers out of order. v3 frames have no id field — both layouts
+//! are parsed off the same stream by header `(tag, version)`.
 //!
 //! ## Error codes
 //!
@@ -52,8 +66,16 @@ use dai_persist::{Persist, PersistError, Reader, Writer};
 /// layouts change; the frame header carries it on every message.
 /// Version 2: `QueryStats` gained the compiled/interpreted transfer
 /// counters. Version 3: the `Explain` request/response pair, and
-/// `EngineStats` gained the explain totals.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// `EngineStats` gained the explain totals. Version 4: the request-id
+/// frame field (multiplexed pipelining), the hello auth token, and the
+/// `unauthorized`/`overload` error codes.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// The oldest protocol version the server still accepts. A v3 hello
+/// pins its connection to the v3 framing (no request ids, in-order
+/// responses) and the v3 message layouts (no auth field, the v4-only
+/// error variants downgraded — see [`WireError::downgrade_for`]).
+pub const MIN_PROTOCOL_VERSION: u16 = 3;
 
 /// Frame tag of client → server messages.
 pub const TAG_REQUEST: [u8; 4] = *b"RPCQ";
@@ -117,10 +139,18 @@ impl Persist for WireState {
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireRequest {
     /// The mandatory first message on a connection: names the abstract
-    /// domain the client will decode states under.
+    /// domain the client will decode states under, and (protocol ≥ 4)
+    /// optionally presents an auth token.
     Hello {
         /// The client's [`dai_persist::PersistDomain::domain_tag`].
         domain: String,
+        /// The auth token, when the server is configured to require one
+        /// (compared constant-time server-side; a mismatch or absence
+        /// answers [`WireError::Unauthorized`]). Encoded only when
+        /// `Some`, so a token-less v4 hello is byte-identical to a v3
+        /// hello and decodes on either side; a v3 server receiving a
+        /// token rejects the trailing bytes in protocol.
+        auth: Option<String>,
     },
     /// Open a session by parsing `source` server-side.
     Open {
@@ -323,6 +353,16 @@ pub enum WireError {
     Persist(String),
     /// The serving engine dropped the request (worker failure).
     Disconnected,
+    /// The hello's auth token was missing or wrong (the server is
+    /// configured to require one). Protocol ≥ 4; downgraded to
+    /// [`WireError::Rejected`] (kind `unauthorized`) for v3 clients.
+    Unauthorized,
+    /// The connection's write queue hit its hard bound — the peer reads
+    /// too slowly for the responses it keeps requesting. The response
+    /// this error replaces is dropped; the request id still gets an
+    /// answer. Protocol ≥ 4; downgraded to [`WireError::Rejected`]
+    /// (kind `overload`) for v3 clients.
+    Overloaded,
 }
 
 impl WireError {
@@ -337,6 +377,30 @@ impl WireError {
             WireError::Rejected { .. } => "rejected",
             WireError::Persist(_) => "persist",
             WireError::Disconnected => "disconnected",
+            WireError::Unauthorized => "unauthorized",
+            WireError::Overloaded => "overload",
+        }
+    }
+
+    /// Rewrites the v4-only variants into forms a `version`-speaking
+    /// peer can decode: v3 predates `Unauthorized`/`Overloaded` (its
+    /// decoder rejects their tags), so they travel as
+    /// [`WireError::Rejected`] with the v4 code as the rejection kind.
+    /// At v4+ (and for every other variant) this is the identity.
+    pub fn downgrade_for(self, version: u16) -> WireError {
+        if version >= 4 {
+            return self;
+        }
+        match self {
+            WireError::Unauthorized => WireError::Rejected {
+                kind: "unauthorized".to_string(),
+                message: "hello auth token missing or wrong".to_string(),
+            },
+            WireError::Overloaded => WireError::Rejected {
+                kind: "overload".to_string(),
+                message: "connection write queue full (slow reader)".to_string(),
+            },
+            other => other,
         }
     }
 
@@ -407,6 +471,13 @@ impl std::fmt::Display for WireError {
             WireError::Rejected { kind, message } => write!(f, "rejected ({kind}): {message}"),
             WireError::Persist(m) => write!(f, "persistence failure: {m}"),
             WireError::Disconnected => write!(f, "engine dropped the request (worker failure)"),
+            WireError::Unauthorized => write!(f, "hello auth token missing or wrong"),
+            WireError::Overloaded => {
+                write!(
+                    f,
+                    "connection write queue full (slow reader); response dropped"
+                )
+            }
         }
     }
 }
@@ -448,6 +519,8 @@ impl Persist for WireError {
                 m.put(w);
             }
             WireError::Disconnected => w.u8(7),
+            WireError::Unauthorized => w.u8(8),
+            WireError::Overloaded => w.u8(9),
         }
     }
 
@@ -470,6 +543,8 @@ impl Persist for WireError {
             },
             6 => WireError::Persist(String::get(r)?),
             7 => WireError::Disconnected,
+            8 => WireError::Unauthorized,
+            9 => WireError::Overloaded,
             t => return Err(PersistError::Corrupt(format!("unknown wire-error tag {t}"))),
         })
     }
@@ -478,9 +553,16 @@ impl Persist for WireError {
 impl Persist for WireRequest {
     fn put(&self, w: &mut Writer) {
         match self {
-            WireRequest::Hello { domain } => {
+            WireRequest::Hello { domain, auth } => {
                 w.u8(0);
                 domain.put(w);
+                // The auth field is encoded only when present: a
+                // token-less hello keeps the exact v3 byte layout, so it
+                // decodes under either protocol version.
+                if let Some(token) = auth {
+                    w.u8(1);
+                    token.put(w);
+                }
             }
             WireRequest::Open { name, source } => {
                 w.u8(1);
@@ -550,9 +632,25 @@ impl Persist for WireRequest {
 
     fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(match r.u8()? {
-            0 => WireRequest::Hello {
-                domain: String::get(r)?,
-            },
+            0 => {
+                let domain = String::get(r)?;
+                // Tolerant decode: a legacy (v3) hello ends after the
+                // domain; a v4 hello may carry a tagged auth token.
+                let auth = if r.is_exhausted() {
+                    None
+                } else {
+                    match r.u8()? {
+                        0 => None,
+                        1 => Some(String::get(r)?),
+                        t => {
+                            return Err(PersistError::Corrupt(format!(
+                                "unknown hello auth tag {t}"
+                            )))
+                        }
+                    }
+                };
+                WireRequest::Hello { domain, auth }
+            }
             1 => WireRequest::Open {
                 name: String::get(r)?,
                 source: String::get(r)?,
@@ -782,6 +880,11 @@ mod tests {
     fn requests_roundtrip() {
         roundtrip(&WireRequest::Hello {
             domain: "octagon".to_string(),
+            auth: None,
+        });
+        roundtrip(&WireRequest::Hello {
+            domain: "octagon".to_string(),
+            auth: Some("s3cret".to_string()),
         });
         roundtrip(&WireRequest::Open {
             name: "s".to_string(),
@@ -917,9 +1020,55 @@ mod tests {
             },
             WireError::Persist(String::new()),
             WireError::Disconnected,
+            WireError::Unauthorized,
+            WireError::Overloaded,
         ];
         let codes: std::collections::HashSet<_> = errs.iter().map(|e| e.code()).collect();
         assert_eq!(codes.len(), errs.len());
+        assert_eq!(WireError::Unauthorized.code(), "unauthorized");
+        assert_eq!(WireError::Overloaded.code(), "overload");
+    }
+
+    #[test]
+    fn tokenless_hello_is_byte_identical_to_legacy_and_tolerantly_decoded() {
+        // A v3 client's hello payload is just `tag + domain`; the v4
+        // decoder must accept it with `auth: None`, and a v4 token-less
+        // hello must produce those exact bytes (so v3 servers accept it).
+        let legacy = {
+            let mut w = Writer::new();
+            w.u8(0);
+            "octagon".to_string().put(&mut w);
+            w.into_bytes()
+        };
+        let modern = encode_message(&WireRequest::Hello {
+            domain: "octagon".to_string(),
+            auth: None,
+        });
+        assert_eq!(legacy, modern);
+        match decode_message::<WireRequest>(&legacy).unwrap() {
+            WireRequest::Hello { domain, auth } => {
+                assert_eq!(domain, "octagon");
+                assert_eq!(auth, None);
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v4_only_errors_downgrade_for_v3_peers() {
+        // v3 decoders reject tags 8/9 outright…
+        for e in [WireError::Unauthorized, WireError::Overloaded] {
+            let down = e.clone().downgrade_for(3);
+            match &down {
+                WireError::Rejected { kind, .. } => assert_eq!(*kind, e.code()),
+                other => panic!("expected rejected, got {other:?}"),
+            }
+            // …and the downgrade is the identity at v4.
+            assert_eq!(e.clone().downgrade_for(PROTOCOL_VERSION), e);
+        }
+        // Pre-existing variants pass through untouched at any version.
+        let e = WireError::NoSuchSession(7);
+        assert_eq!(e.clone().downgrade_for(3), e);
     }
 
     #[test]

@@ -1,15 +1,39 @@
-//! The socket front end: one [`dai_engine::Engine`], many connections.
+//! The socket front end: one [`dai_engine::Engine`], many connections,
+//! one event loop.
 //!
 //! A [`Server`] binds a TCP or Unix socket and routes decoded
-//! [`WireRequest`] frames into the engine it wraps. Concurrency is
-//! inherited wholesale from the engine: each connection is served by its
-//! own thread, but every query lands in the engine's coalescing queue —
-//! a [`WireRequest::Sweep`] frame goes through
-//! [`dai_engine::Engine::submit_query_sweep`], so one wire frame buys the
-//! same one-lock-per-function, one-union-cone profile as the in-process
-//! batched path, and concurrent frames from *different* connections
-//! against the same `(session, function)` coalesce with each other
-//! exactly like concurrent in-process submitters.
+//! [`WireRequest`] frames into the engine it wraps. Connections are not
+//! threads: a single readiness event loop (epoll, hand-rolled — no
+//! dependency, matching the rest of the stack) owns every nonblocking
+//! socket, parses frames incrementally out of per-connection read
+//! buffers, and dispatches queries as [`dai_engine::Ticket`]s whose
+//! completion hooks wake the loop through a self-pipe. One connection
+//! can therefore carry **many in-flight requests** (protocol ≥ 4 frames
+//! carry a request id; responses may complete out of order), and the
+//! loop never blocks on the engine.
+//!
+//! ## Pipelined coalescing
+//!
+//! Adjacent `Query` frames against the same `(session, function)` that
+//! arrive in one read drain are submitted through
+//! [`dai_engine::Engine::submit_query_batch`] as **one** batch — one
+//! session-lock acquisition, one union-cone evaluation — while each
+//! frame keeps its own request id and gets its own response. A client
+//! that pipelines per-query frames over one socket reproduces the
+//! in-process coalesced lock profile without ever building an explicit
+//! batch. Runs break at any non-query frame, so an interleaved `Edit`
+//! keeps its submission-order fencing semantics.
+//!
+//! ## Backpressure
+//!
+//! Per-connection buffers are bounded in both directions. A connection
+//! whose write queue backlog passes the soft cap (or that has too many
+//! requests in flight) stops being *read* — its socket fills, the peer's
+//! sends stall, and memory stays put. If the backlog still passes the
+//! hard cap (responses already owed can be large), further responses are
+//! replaced with a structured [`WireError::Overloaded`] carrying the
+//! same request id — the peer always learns the fate of every request,
+//! and the server never buffers unboundedly for a slow reader.
 //!
 //! ## Session ownership
 //!
@@ -18,35 +42,150 @@
 //! disconnects, they are closed — a crashed IDE does not leak sessions
 //! into a long-lived server. [`WireRequest::Handoff`] releases a session
 //! to the engine (the explicit handoff), after which it survives the
-//! connection and any other connection may address — or adopt nothing;
-//! ownership is only about cleanup, addressing is engine-wide by id.
+//! connection. (A `Load` whose connection dies before the restore
+//! completes also leaves the session engine-owned, as if handed off.)
 //!
 //! ## Hostile bytes
 //!
 //! Malformed traffic is answered in protocol, not with a dropped
-//! connection: a damaged frame (checksum mismatch), an oversized declared
-//! length (rejected before any allocation), an undecodable payload, or a
-//! frame with the wrong protocol version each produce one structured
-//! [`WireError`] response, and the read loop continues. Only transport
-//! EOF/errors (the peer actually went away, or cut a frame off
-//! mid-stream, after which no sync point exists) end the connection —
+//! connection: a damaged frame (checksum mismatch), an oversized
+//! declared length (rejected from the header alone), an undecodable
+//! payload, or a frame with the wrong protocol version each produce one
+//! structured [`WireError`] response — with the offending frame's
+//! request id echoed when one was readable — and parsing continues at
+//! the next frame boundary. Only transport EOF/errors end a connection,
 //! and ending a connection never takes the server down.
 
-use dai_engine::{Engine, Response, Service, SessionId, Ticket};
-use dai_persist::frame::{read_frame, write_frame, FrameReadError};
+use dai_engine::{Engine, EngineError, Request, Response, SessionId, Ticket};
+use dai_persist::frame::{
+    checksum_with, FrameHeader, FRAME_HEADER_LEN, FRAME_ID_LEN, FRAME_TRAILER_LEN,
+};
 use dai_persist::PersistDomain;
-use std::collections::{HashMap, HashSet};
-use std::io::Write;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::raw::c_int;
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::proto::{
     decode_message, encode_message, WireError, WireRequest, WireResponse, WireState, MAX_FRAME_LEN,
-    PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
 };
+
+/// Write-queue backlog (bytes) above which a connection stops being
+/// read: the peer's own sends stall instead of the server buffering.
+const SOFT_WRITE_CAP: usize = 1 << 20;
+
+/// Write-queue backlog (bytes) above which further responses are
+/// replaced with [`WireError::Overloaded`] (the id still answers). The
+/// backlog can legitimately exceed the *soft* cap by responses already
+/// owed, so the hard cap bounds worst-case memory per connection at
+/// roughly `HARD_WRITE_CAP + MAX_FRAME_LEN`.
+const HARD_WRITE_CAP: usize = 8 << 20;
+
+/// In-flight request cap per connection; reads stall above it.
+const MAX_INFLIGHT: usize = 1024;
+
+/// Request id used on responses to frames whose own id could not be
+/// read (wrong tag, short header). Clients allocate ids from 1.
+const UNATTRIBUTED_ID: u64 = 0;
+
+// ---------------------------------------------------------------------
+// epoll via the platform libc that std already links: no new deps.
+// ---------------------------------------------------------------------
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// An owned epoll instance.
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> std::io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn del(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Waits for readiness, retrying `EINTR`. Returns the filled prefix.
+    fn wait<'a>(&self, events: &'a mut [EpollEvent]) -> std::io::Result<&'a [EpollEvent]> {
+        loop {
+            let rc = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, -1) };
+            if rc >= 0 {
+                return Ok(&events[..rc as usize]);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Addresses, listeners, streams.
+// ---------------------------------------------------------------------
 
 /// A parsed bind/connect address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,19 +236,35 @@ enum Listener {
     Unix(UnixListener),
 }
 
+impl Listener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            Listener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+        })
+    }
+}
+
 pub(crate) enum Stream {
     Tcp(TcpStream),
     Unix(UnixStream),
 }
 
 impl Stream {
-    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
-        Ok(match self {
-            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
-            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
-        })
-    }
-
     fn shutdown(&self) {
         let _ = match self {
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
@@ -118,14 +273,40 @@ impl Stream {
     }
 
     pub(crate) fn connect(addr: &Addr) -> std::io::Result<Stream> {
-        Ok(match addr {
+        let stream = match addr {
             Addr::Tcp(a) => Stream::Tcp(TcpStream::connect(a)?),
             Addr::Unix(p) => Stream::Unix(UnixStream::connect(p)?),
-        })
+        };
+        tune_stream(&stream);
+        Ok(stream)
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(true),
+            Stream::Unix(s) => s.set_nonblocking(true),
+        }
+    }
+
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
     }
 }
 
-impl std::io::Read for Stream {
+/// Per-socket transport tuning, applied to accepted *and* dialed
+/// streams: `TCP_NODELAY`, so the small request/response frames
+/// pipelining is made of leave immediately instead of sitting out a
+/// Nagle round-trip. Unix sockets need (and take) no tuning.
+pub(crate) fn tune_stream(stream: &Stream) {
+    if let Stream::Tcp(s) = stream {
+        let _ = s.set_nodelay(true);
+    }
+}
+
+impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match self {
             Stream::Tcp(s) => s.read(buf),
@@ -150,35 +331,50 @@ impl Write for Stream {
     }
 }
 
-struct ServerShared<D: PersistDomain> {
-    engine: Arc<Engine<D>>,
-    stop: AtomicBool,
-    /// Clones of live connection streams keyed by connection id, kept so
-    /// shutdown can unblock their read loops. A handler removes its own
-    /// entry (and shuts the socket down, so the clone here cannot hold
-    /// the connection half-open) when it exits.
-    conns: Mutex<HashMap<u64, Stream>>,
-    next_conn: AtomicU64,
-    /// Join handles of connection threads, reaped on shutdown.
-    handles: Mutex<Vec<JoinHandle<()>>>,
+// ---------------------------------------------------------------------
+// Server handle.
+// ---------------------------------------------------------------------
+
+/// Server-side configuration for [`Server::bind_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// When set, every hello must present this token
+    /// ([`WireRequest::Hello`]'s `auth` field); mismatch or absence
+    /// answers [`WireError::Unauthorized`]. Compared constant-time.
+    pub auth_token: Option<String>,
 }
 
 /// A bound socket server serving one engine to many connections.
 pub struct Server<D: PersistDomain> {
-    shared: Arc<ServerShared<D>>,
+    engine: Arc<Engine<D>>,
     addr: Addr,
-    accept: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    waker: Arc<UnixStream>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl<D: PersistDomain> Server<D> {
-    /// Binds `addr` and starts accepting connections against `engine`.
-    /// For `tcp:host:0` the kernel assigns the port; read the result from
+    /// Binds `addr` and starts the event loop against `engine`. For
+    /// `tcp:host:0` the kernel assigns the port; read the result from
     /// [`Server::addr`]. A pre-existing Unix socket path is replaced.
     ///
     /// # Errors
     ///
-    /// [`std::io::Error`] from binding.
+    /// [`std::io::Error`] from binding or epoll setup.
     pub fn bind(addr: &Addr, engine: Arc<Engine<D>>) -> std::io::Result<Server<D>> {
+        Server::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit [`ServerConfig`] (auth token).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::bind`].
+    pub fn bind_with(
+        addr: &Addr,
+        engine: Arc<Engine<D>>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server<D>> {
         let (listener, bound) = match addr {
             Addr::Tcp(a) => {
                 let l = TcpListener::bind(a)?;
@@ -191,22 +387,43 @@ impl<D: PersistDomain> Server<D> {
                 (Listener::Unix(UnixListener::bind(p)?), addr.clone())
             }
         };
-        let shared = Arc::new(ServerShared {
-            engine,
-            stop: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
-            handles: Mutex::new(Vec::new()),
-        });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("dai-rpc-accept".to_string())
-            .spawn(move || accept_loop(listener, &accept_shared))
-            .expect("spawn rpc accept thread");
+        listener.set_nonblocking()?;
+        let (waker_rx, waker_tx) = UnixStream::pair()?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        let waker_tx = Arc::new(waker_tx);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut event_loop = EventLoop {
+            ep: Epoll::new()?,
+            listener,
+            waker_rx,
+            engine: Arc::clone(&engine),
+            auth_token: config.auth_token,
+            stop: Arc::clone(&stop),
+            completion: Arc::new(CompletionQueue {
+                ready: Mutex::new(Vec::new()),
+                waker: Arc::clone(&waker_tx),
+            }),
+            conns: HashMap::new(),
+            next_conn: 0,
+            encode_cache: EncodeCache::new(),
+        };
+        event_loop
+            .ep
+            .add(event_loop.listener.raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        event_loop
+            .ep
+            .add(event_loop.waker_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKER)?;
+        let handle = std::thread::Builder::new()
+            .name("dai-rpc-loop".to_string())
+            .spawn(move || event_loop.run())
+            .expect("spawn rpc event loop");
         Ok(Server {
-            shared,
+            engine,
             addr: bound,
-            accept: Some(accept),
+            stop,
+            waker: waker_tx,
+            event_loop: Some(handle),
         })
     }
 
@@ -218,36 +435,23 @@ impl<D: PersistDomain> Server<D> {
 
     /// The served engine.
     pub fn engine(&self) -> &Arc<Engine<D>> {
-        &self.shared.engine
+        &self.engine
     }
 
-    /// Stops accepting, unblocks and joins every connection thread, and
-    /// removes a Unix socket file. Sessions still owned by connections
-    /// are closed by their handlers as they unwind.
+    /// Stops the event loop, closes every connection (sessions still
+    /// owned by connections are closed with them), and removes a Unix
+    /// socket file. In-flight requests resolve engine-side; their
+    /// responses are dropped with the connections.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        if self.shared.stop.swap(true, Ordering::SeqCst) {
+        if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept with a throwaway connection.
-        let _ = Stream::connect(&self.addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        for (_, conn) in self.shared.conns.lock().expect("conn list").drain() {
-            conn.shutdown();
-        }
-        let handles: Vec<_> = self
-            .shared
-            .handles
-            .lock()
-            .expect("handle list")
-            .drain(..)
-            .collect();
-        for h in handles {
+        let _ = (&*self.waker).write(&[1u8]);
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
         if let Addr::Unix(p) = &self.addr {
@@ -262,292 +466,1042 @@ impl<D: PersistDomain> Drop for Server<D> {
     }
 }
 
-fn accept_loop<D: PersistDomain>(listener: Listener, shared: &Arc<ServerShared<D>>) {
-    loop {
-        let stream = match &listener {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
-            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
-        };
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        let Ok(clone) = stream.try_clone() else {
-            continue;
-        };
-        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        shared
-            .conns
+// ---------------------------------------------------------------------
+// The event loop.
+// ---------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Ticket-completion fan-in: engine workers push `(conn, seq)` and poke
+/// the self-pipe; the loop drains under one short lock hold.
+struct CompletionQueue {
+    ready: Mutex<Vec<(u64, u64)>>,
+    waker: Arc<UnixStream>,
+}
+
+impl CompletionQueue {
+    fn push(&self, conn: u64, seq: u64) {
+        self.ready
             .lock()
-            .expect("conn list")
-            .insert(conn_id, clone);
-        let conn_shared = Arc::clone(shared);
-        let Ok(handle) = std::thread::Builder::new()
-            .name(format!("dai-rpc-conn-{conn_id}"))
-            .spawn(move || serve_connection(conn_id, stream, &conn_shared))
-        else {
-            shared.conns.lock().expect("conn list").remove(&conn_id);
-            continue;
-        };
-        let mut handles = shared.handles.lock().expect("handle list");
-        // Reap finished connections as new ones arrive, so a long-lived
-        // server's handle list tracks live connections, not history.
-        let mut live = Vec::with_capacity(handles.len() + 1);
-        for h in handles.drain(..) {
-            if h.is_finished() {
-                let _ = h.join();
-            } else {
-                live.push(h);
-            }
-        }
-        live.push(handle);
-        *handles = live;
+            .expect("completion queue poisoned")
+            .push((conn, seq));
+        // A full (or closed, post-shutdown) pipe is fine: a byte is
+        // already in flight, or nobody is listening anymore.
+        let _ = (&*self.waker).write(&[1u8]);
+    }
+
+    fn drain(&self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut *self.ready.lock().expect("completion queue poisoned"))
     }
 }
 
-/// Sends one response frame. A response that would itself exceed the
-/// frame bound (a pathological snapshot export, say) is replaced with a
-/// structured error — the client's bounded reader would otherwise
-/// reject it and desynchronize.
-fn send(stream: &mut Stream, msg: &WireResponse) -> std::io::Result<()> {
-    let _encode_span = dai_trace::span!("rpc.encode");
-    let mut payload = encode_message(msg);
-    if payload.len() > MAX_FRAME_LEN {
-        payload = encode_message(&WireResponse::Error(WireError::Protocol(format!(
-            "response of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
-            payload.len()
-        ))));
-    }
-    let mut out = Vec::with_capacity(payload.len() + 32);
-    write_frame(&mut out, TAG_RESPONSE, PROTOCOL_VERSION, &payload);
-    stream.write_all(&out)?;
-    stream.flush()
+/// One queued reply slot, in request-arrival order.
+struct Pending<D> {
+    seq: u64,
+    id: Option<u64>,
+    state: PendState<D>,
 }
 
-/// One connection's lifetime: hello exchange, then the request loop.
-/// Sessions the connection still owns when it ends are closed.
-fn serve_connection<D: PersistDomain>(
-    conn_id: u64,
-    mut stream: Stream,
-    shared: &Arc<ServerShared<D>>,
-) {
-    let mut owned: HashSet<SessionId> = HashSet::new();
-    let mut hello_done = false;
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
+enum PendState<D> {
+    /// Resolved; waiting for its turn (v3) or the next flush (v4).
+    /// Boxed: a resolved response dwarfs the ticket variants, and most
+    /// queue entries at any instant are still tickets.
+    Ready(Box<WireResponse>),
+    /// One engine ticket (single query, edit, save, load, stats, …).
+    One(Ticket<D>),
+    /// A query batch or sweep: one response carrying every member.
+    Many(Vec<Ticket<D>>),
+}
+
+struct Conn<D> {
+    stream: Stream,
+    fd: RawFd,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Pinned by the hello frame's header version; `None` until then.
+    version: Option<u16>,
+    hello_done: bool,
+    owned: HashSet<SessionId>,
+    pending: VecDeque<Pending<D>>,
+    next_seq: u64,
+    interest: u32,
+    peer_eof: bool,
+    dead: bool,
+}
+
+impl<D> Conn<D> {
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Whether new request bytes should stop being consumed.
+    fn stalled(&self) -> bool {
+        self.backlog() > SOFT_WRITE_CAP || self.pending.len() >= MAX_INFLIGHT
+    }
+
+    /// The protocol version responses on this connection are framed
+    /// with ([`PROTOCOL_VERSION`] until the first valid-versioned frame
+    /// pins one).
+    fn wire_version(&self) -> u16 {
+        self.version.unwrap_or(PROTOCOL_VERSION)
+    }
+}
+
+struct EventLoop<D: PersistDomain> {
+    ep: Epoll,
+    listener: Listener,
+    waker_rx: UnixStream,
+    engine: Arc<Engine<D>>,
+    auth_token: Option<String>,
+    stop: Arc<AtomicBool>,
+    completion: Arc<CompletionQueue>,
+    conns: HashMap<u64, Conn<D>>,
+    next_conn: u64,
+    encode_cache: EncodeCache<D>,
+}
+
+/// Memoizes [`WireState::encode`] per state identity (see
+/// [`PersistDomain::encode_identity`]). The engine's memo tables hand
+/// the *same* shared state handle back on warm repeats, so a warm
+/// sweep's per-member encodes collapse into map hits. Each entry pins a
+/// clone of its state: address-derived identity tokens are only unique
+/// while the allocation lives, so the cache keeps it alive.
+///
+/// Domains without a cheap identity (`encode_identity() == None`)
+/// bypass the cache entirely.
+struct EncodeCache<D> {
+    map: HashMap<u64, (D, Vec<u8>), dai_memo::FxBuild>,
+}
+
+impl<D: PersistDomain> EncodeCache<D> {
+    /// Entry bound; the whole map is dropped when it fills, which also
+    /// releases every pinned state (no stale tokens can survive).
+    const CAP: usize = 4096;
+
+    fn new() -> Self {
+        EncodeCache {
+            map: HashMap::default(),
         }
-        // Read one frame; in-protocol problems answer a structured error
-        // and continue, transport problems end the connection.
-        let frame = match read_frame(&mut stream, MAX_FRAME_LEN) {
-            Ok(frame) => frame,
-            Err(FrameReadError::Oversized { declared, bound }) => {
-                // Only the header was consumed. Conforming clients bound
-                // their sends, so an oversized header arrives with
-                // nothing behind it and the stream stays in sync; a peer
-                // that actually shipped the payload only desynchronizes
-                // its own connection (the bytes parse as garbage frames
-                // answered with further errors until EOF).
-                let err = WireError::Protocol(format!(
-                    "declared frame length {declared} exceeds the {bound}-byte bound"
-                ));
-                if send(&mut stream, &WireResponse::Error(err)).is_err() {
-                    break;
-                }
-                continue;
-            }
-            Err(FrameReadError::Eof)
-            | Err(FrameReadError::Truncated)
-            | Err(FrameReadError::Io(_)) => break,
+    }
+
+    fn encode(&mut self, d: &D) -> WireState {
+        let Some(key) = d.encode_identity() else {
+            return WireState::encode(d);
         };
-        let response = if frame.header.tag != TAG_REQUEST {
-            WireResponse::Error(WireError::Protocol(format!(
-                "unexpected frame tag {:?} (want {:?})",
-                frame.header.tag, TAG_REQUEST
-            )))
-        } else if frame.header.version != PROTOCOL_VERSION {
-            WireResponse::Error(WireError::UnsupportedVersion {
-                got: frame.header.version,
-                want: PROTOCOL_VERSION,
-            })
-        } else {
-            match &frame.payload {
-                None => {
-                    WireResponse::Error(WireError::Protocol("frame checksum mismatch".to_string()))
-                }
-                Some(payload) => {
-                    let decoded = {
-                        let _decode_span = dai_trace::span!("rpc.decode", payload.len());
-                        decode_message::<WireRequest>(payload)
-                    };
-                    match decoded {
-                        Err(e) => WireResponse::Error(WireError::Protocol(format!(
-                            "undecodable request payload: {e}"
-                        ))),
-                        Ok(request) => {
-                            let _dispatch_span = dai_trace::span!("rpc.dispatch");
-                            handle(shared, &mut owned, &mut hello_done, request)
+        if let Some((_pin, bytes)) = self.map.get(&key) {
+            return WireState(bytes.clone());
+        }
+        let state = WireState::encode(d);
+        if self.map.len() >= Self::CAP {
+            self.map.clear();
+        }
+        self.map.insert(key, (d.clone(), state.0.clone()));
+        state
+    }
+}
+
+/// One frame parsed off the front of a connection's read buffer.
+enum Parsed {
+    /// Not enough buffered bytes for the next boundary yet.
+    Incomplete,
+    /// A complete frame (damaged payloads arrive as `payload: None`).
+    Frame {
+        header: FrameHeader,
+        id: Option<u64>,
+        payload_ok: bool,
+        consumed: usize,
+    },
+    /// A header whose declared length exceeds the bound; only the
+    /// header (and id, when the layout has one) is consumed.
+    Oversized {
+        header: FrameHeader,
+        id: Option<u64>,
+        consumed: usize,
+    },
+}
+
+/// Whether a frame's `(tag, version)` pair carries the id field.
+fn frame_has_id(header: &FrameHeader) -> bool {
+    (header.tag == TAG_REQUEST || header.tag == TAG_RESPONSE) && header.version >= 4
+}
+
+/// Splits one request frame off `buf` without copying the payload (the
+/// payload is decoded in place; only its verification result travels).
+fn parse_frame(buf: &[u8]) -> Parsed {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Parsed::Incomplete;
+    }
+    let header = FrameHeader::decode(
+        buf[..FRAME_HEADER_LEN]
+            .try_into()
+            .expect("checked header length"),
+    );
+    let id_len = if frame_has_id(&header) {
+        FRAME_ID_LEN
+    } else {
+        0
+    };
+    let pre = FRAME_HEADER_LEN + id_len;
+    if buf.len() < pre {
+        return Parsed::Incomplete;
+    }
+    let id = (id_len > 0)
+        .then(|| u64::from_le_bytes(buf[FRAME_HEADER_LEN..pre].try_into().expect("8 id bytes")));
+    if header.len > MAX_FRAME_LEN as u64 {
+        return Parsed::Oversized {
+            header,
+            id,
+            consumed: pre,
+        };
+    }
+    let len = header.len as usize;
+    let Some(total) = pre.checked_add(len + FRAME_TRAILER_LEN) else {
+        return Parsed::Incomplete;
+    };
+    if buf.len() < total {
+        return Parsed::Incomplete;
+    }
+    let payload = &buf[pre..pre + len];
+    let sum = u64::from_le_bytes(buf[pre + len..total].try_into().expect("8 checksum bytes"));
+    Parsed::Frame {
+        header,
+        id,
+        payload_ok: checksum_with(payload, id) == sum,
+        consumed: total,
+    }
+}
+
+/// A run of adjacent same-`(session, function)` query frames being
+/// collected for one coalesced batch submission.
+struct QueryRun {
+    session: u64,
+    func: String,
+    members: Vec<(dai_lang::Loc, u64, Option<u64>)>, // (loc, seq, id)
+}
+
+impl<D: PersistDomain> EventLoop<D> {
+    fn run(&mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+        // Not a while-let: the handlers below re-borrow `self` mutably,
+        // so the wait result must be detached from the loop condition.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let ready: Vec<EpollEvent> = match self.ep.wait(&mut events) {
+                Ok(evs) => evs.to_vec(),
+                Err(_) => break,
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut touched: Vec<u64> = Vec::new();
+            for ev in &ready {
+                let token = ev.data;
+                let kinds = ev.events;
+                match token {
+                    TOKEN_LISTENER => self.accept_all(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    conn_id => {
+                        if let Some(conn) = self.conns.get_mut(&conn_id) {
+                            if kinds & (EPOLLERR | EPOLLHUP) != 0 {
+                                conn.dead = true;
+                            }
+                            touched.push(conn_id);
                         }
                     }
                 }
             }
-        };
-        if send(&mut stream, &response).is_err() {
-            break;
+            // Ticket completions resolve pending entries to Ready.
+            for (conn_id, seq) in self.completion.drain() {
+                self.resolve(conn_id, seq);
+                touched.push(conn_id);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for conn_id in touched {
+                self.pump(conn_id);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        // Shutdown: close every connection and the sessions it owns.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
         }
     }
-    for session in owned {
-        shared.engine.close_session(session);
-    }
-    // `shutdown` acts on the socket itself (not just this FD), so the
-    // registry clone cannot hold the connection half-open; removing the
-    // entry keeps a long-lived server from accumulating dead FDs.
-    stream.shutdown();
-    shared.conns.lock().expect("conn list").remove(&conn_id);
-}
 
-/// Routes one decoded request into the engine.
-fn handle<D: PersistDomain>(
-    shared: &Arc<ServerShared<D>>,
-    owned: &mut HashSet<SessionId>,
-    hello_done: &mut bool,
-    request: WireRequest,
-) -> WireResponse {
-    let engine = shared.engine.as_ref();
-    if !*hello_done {
-        return match request {
-            WireRequest::Hello { domain } => {
+    fn accept_all(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if stream.set_nonblocking().is_err() {
+                continue;
+            }
+            tune_stream(&stream);
+            let conn_id = self.next_conn;
+            self.next_conn += 1;
+            let fd = stream.raw_fd();
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.ep.add(fd, interest, conn_id).is_err() {
+                continue;
+            }
+            self.conns.insert(
+                conn_id,
+                Conn {
+                    stream,
+                    fd,
+                    rbuf: Vec::new(),
+                    rpos: 0,
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    version: None,
+                    hello_done: false,
+                    owned: HashSet::new(),
+                    pending: VecDeque::new(),
+                    next_seq: 0,
+                    interest,
+                    peer_eof: false,
+                    dead: false,
+                },
+            );
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.waker_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Marks the pending entry `(conn, seq)` Ready by taking its
+    /// completed tickets. Completions for dead connections are dropped.
+    fn resolve(&mut self, conn_id: u64, seq: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let Some(entry) = conn.pending.iter_mut().find(|p| p.seq == seq) else {
+            return;
+        };
+        // Placeholder, immediately overwritten below; never observed.
+        let placeholder = PendState::Ready(Box::new(WireResponse::Error(WireError::Disconnected)));
+        let state = std::mem::replace(&mut entry.state, placeholder);
+        let response = match state {
+            PendState::Ready(r) => *r,
+            PendState::One(ticket) => {
+                let result = ticket.try_take().unwrap_or(Err(EngineError::Disconnected));
+                response_to_wire(result, &mut conn.owned, &mut self.encode_cache)
+            }
+            PendState::Many(tickets) => {
+                let cache = &mut self.encode_cache;
+                let members = tickets
+                    .iter()
+                    .map(|t| {
+                        t.try_take()
+                            .unwrap_or(Err(EngineError::Disconnected))
+                            .and_then(Response::state_or_invariant)
+                            .map(|d| cache.encode(&d))
+                            .map_err(|e| WireError::from_engine(&e))
+                    })
+                    .collect();
+                WireResponse::States(members)
+            }
+        };
+        entry.state = PendState::Ready(Box::new(response));
+    }
+
+    /// Makes every kind of progress available on one connection: parse
+    /// and dispatch buffered requests, flush resolved responses into the
+    /// write buffer, push the write buffer into the socket, then settle
+    /// epoll interest — and close the connection when it is finished.
+    fn pump(&mut self, conn_id: u64) {
+        // Not a while-let: `process_rbuf` needs `&mut self`, so the
+        // connection must be re-fetched around it rather than held.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            if conn.dead {
+                break;
+            }
+            let mut progressed = false;
+            // Read newly arrived bytes (unless backpressure stalls us).
+            if !conn.stalled() && !conn.peer_eof {
+                match read_available(conn) {
+                    Ok(_) => {}
+                    Err(_) => conn.dead = true,
+                }
+            }
+            if !conn.dead {
+                progressed |= self.process_rbuf(conn_id);
+            }
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            progressed |= flush_ready(conn);
+            progressed |= flush_writes(conn);
+            if !progressed || conn.dead {
+                break;
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let finished = conn.peer_eof && conn.pending.is_empty() && conn.backlog() == 0;
+        if conn.dead || finished {
+            self.close_conn(conn_id);
+            return;
+        }
+        let want_read = !conn.stalled() && !conn.peer_eof;
+        let mut interest = EPOLLRDHUP;
+        if want_read {
+            interest |= EPOLLIN;
+        }
+        if conn.backlog() > 0 {
+            interest |= EPOLLOUT;
+        }
+        if interest != conn.interest {
+            if self.ep.modify(conn.fd, interest, conn_id).is_err() {
+                self.close_conn(conn_id);
+                return;
+            }
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.interest = interest;
+            }
+        }
+    }
+
+    /// Parses complete frames out of the read buffer and dispatches
+    /// them, coalescing adjacent same-key query frames into one engine
+    /// batch. Returns whether any frame was consumed.
+    fn process_rbuf(&mut self, conn_id: u64) -> bool {
+        let mut any = false;
+        let mut run: Option<QueryRun> = None;
+        // Not a while-let: `dispatch_frame` needs `&mut self`, so the
+        // connection must be re-fetched around it rather than held.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                break;
+            };
+            if conn.stalled() {
+                break;
+            }
+            let parsed = parse_frame(&conn.rbuf[conn.rpos..]);
+            match parsed {
+                Parsed::Incomplete => break,
+                Parsed::Oversized {
+                    header,
+                    id,
+                    consumed,
+                } => {
+                    conn.rpos += consumed;
+                    any = true;
+                    self.flush_run(conn_id, &mut run);
+                    let err = WireError::Protocol(format!(
+                        "declared frame length {} exceeds the {MAX_FRAME_LEN}-byte bound",
+                        header.len
+                    ));
+                    self.push_ready(conn_id, id, WireResponse::Error(err));
+                }
+                Parsed::Frame {
+                    header,
+                    id,
+                    payload_ok,
+                    consumed,
+                } => {
+                    any = true;
+                    self.dispatch_frame(conn_id, header, id, payload_ok, consumed, &mut run);
+                }
+            }
+        }
+        self.flush_run(conn_id, &mut run);
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            if conn.rpos > 0 {
+                conn.rbuf.drain(..conn.rpos);
+                conn.rpos = 0;
+            }
+        }
+        any
+    }
+
+    /// Handles one complete frame: protocol checks, hello gating, then
+    /// request routing. Query frames extend (or start) the coalescing
+    /// run; everything else flushes it first, preserving submission
+    /// order across the engine's edit fences.
+    fn dispatch_frame(
+        &mut self,
+        conn_id: u64,
+        header: FrameHeader,
+        id: Option<u64>,
+        payload_ok: bool,
+        consumed: usize,
+        run: &mut Option<QueryRun>,
+    ) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let payload_start =
+            conn.rpos + FRAME_HEADER_LEN + if id.is_some() { FRAME_ID_LEN } else { 0 };
+        let payload_range = payload_start..payload_start + header.len as usize;
+        conn.rpos += consumed;
+
+        if header.tag != TAG_REQUEST {
+            self.flush_run(conn_id, run);
+            let err = WireError::Protocol(format!(
+                "unexpected frame tag {:?} (want {:?})",
+                header.tag, TAG_REQUEST
+            ));
+            self.push_ready(conn_id, id, WireResponse::Error(err));
+            return;
+        }
+        let pinned = conn.version;
+        let version_ok = match pinned {
+            Some(v) => header.version == v,
+            None => (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&header.version),
+        };
+        if version_ok && pinned.is_none() {
+            // Pin the connection's frame layout to the first
+            // valid-versioned frame, hello or not, accepted or not: a
+            // rejected v3 hello (bad auth, wrong domain) must be
+            // *answered* in the id-less v3 layout the peer can read.
+            conn.version = Some(header.version);
+        }
+        if !version_ok {
+            self.flush_run(conn_id, run);
+            let err = WireError::UnsupportedVersion {
+                got: header.version,
+                want: PROTOCOL_VERSION,
+            };
+            self.push_ready(conn_id, id, WireResponse::Error(err));
+            return;
+        }
+        if !payload_ok {
+            self.flush_run(conn_id, run);
+            let err = WireError::Protocol("frame checksum mismatch".to_string());
+            self.push_ready(conn_id, id, WireResponse::Error(err));
+            return;
+        }
+        let request = {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            let payload = &conn.rbuf[payload_range];
+            let _decode_span = dai_trace::span!("rpc.decode", payload.len());
+            decode_message::<WireRequest>(payload)
+        };
+        let request = match request {
+            Ok(r) => r,
+            Err(e) => {
+                self.flush_run(conn_id, run);
+                let err = WireError::Protocol(format!("undecodable request payload: {e}"));
+                self.push_ready(conn_id, id, WireResponse::Error(err));
+                return;
+            }
+        };
+        let _dispatch_span = dai_trace::span!("rpc.dispatch");
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if !conn.hello_done {
+            self.flush_run(conn_id, run);
+            let response = self.handle_hello(conn_id, header.version, request);
+            self.push_ready(conn_id, id, response);
+            return;
+        }
+        match request {
+            WireRequest::Query { session, func, loc } => {
+                // Extend the coalescing run, or flush and start another.
+                let matches = run
+                    .as_ref()
+                    .is_some_and(|r| r.session == session && r.func == func);
+                if !matches {
+                    self.flush_run(conn_id, run);
+                }
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                match run {
+                    Some(r) if matches => r.members.push((loc, seq, id)),
+                    _ => {
+                        *run = Some(QueryRun {
+                            session,
+                            func,
+                            members: vec![(loc, seq, id)],
+                        });
+                    }
+                }
+            }
+            other => {
+                self.flush_run(conn_id, run);
+                self.handle_request(conn_id, id, other);
+            }
+        }
+    }
+
+    /// Submits a collected query run as **one** coalesced engine batch;
+    /// every member keeps its own pending entry (and id), so each query
+    /// frame still gets its own response.
+    fn flush_run(&mut self, conn_id: u64, run: &mut Option<QueryRun>) {
+        let Some(r) = run.take() else {
+            return;
+        };
+        let locs: Vec<dai_lang::Loc> = r.members.iter().map(|(l, _, _)| *l).collect();
+        let tickets = self
+            .engine
+            .submit_query_batch(SessionId(r.session), &r.func, &locs);
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        for (ticket, (_, seq, id)) in tickets.into_iter().zip(r.members) {
+            arm_group(
+                std::slice::from_ref(&ticket),
+                conn_id,
+                seq,
+                &self.completion,
+            );
+            conn.pending.push_back(Pending {
+                seq,
+                id,
+                state: PendState::One(ticket),
+            });
+        }
+    }
+
+    /// The gate every connection starts behind: the first decoded
+    /// message must be a hello naming the right domain (and presenting
+    /// the auth token, when the server requires one). The frame layout
+    /// was already pinned to the hello frame's version in
+    /// [`EventLoop::dispatch_frame`] — even a rejected hello answers in
+    /// the layout the peer reads.
+    fn handle_hello(
+        &mut self,
+        conn_id: u64,
+        frame_version: u16,
+        request: WireRequest,
+    ) -> WireResponse {
+        match request {
+            WireRequest::Hello { domain, auth } => {
                 if domain != D::domain_tag() {
-                    WireResponse::Error(WireError::DomainMismatch {
+                    return WireResponse::Error(WireError::DomainMismatch {
                         client: domain,
                         server: D::domain_tag(),
-                    })
-                } else {
-                    *hello_done = true;
-                    WireResponse::HelloOk {
-                        domain,
-                        protocol: PROTOCOL_VERSION,
+                    });
+                }
+                if let Some(want) = &self.auth_token {
+                    let ok = auth
+                        .as_deref()
+                        .is_some_and(|got| constant_time_eq(got.as_bytes(), want.as_bytes()));
+                    if !ok {
+                        return WireResponse::Error(WireError::Unauthorized);
                     }
+                }
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return WireResponse::Error(WireError::Disconnected);
+                };
+                conn.hello_done = true;
+                conn.version = Some(frame_version);
+                WireResponse::HelloOk {
+                    domain,
+                    protocol: frame_version,
                 }
             }
             other => WireResponse::Error(WireError::Protocol(format!(
                 "first message must be a hello, got {}",
                 request_name(&other)
             ))),
-        };
+        }
     }
-    match request {
-        WireRequest::Hello { .. } => WireResponse::Error(WireError::Protocol(
-            "hello already exchanged on this connection".to_string(),
-        )),
-        WireRequest::Open { name, source } => match engine.open_session_src(name, &source) {
-            Ok(id) => {
-                owned.insert(id);
-                WireResponse::Opened { session: id.0 }
+
+    /// Routes one post-hello, non-`Query` request. Engine-backed
+    /// requests become tickets (the loop never blocks on them); the
+    /// session-table and introspection requests answer immediately.
+    fn handle_request(&mut self, conn_id: u64, id: Option<u64>, request: WireRequest) {
+        let engine = Arc::clone(&self.engine);
+        match request {
+            WireRequest::Hello { .. } => {
+                self.push_ready(
+                    conn_id,
+                    id,
+                    WireResponse::Error(WireError::Protocol(
+                        "hello already exchanged on this connection".to_string(),
+                    )),
+                );
             }
-            Err(e) => WireResponse::Error(WireError::from_engine(&e)),
-        },
-        WireRequest::Close { session } => {
-            let id = SessionId(session);
-            owned.remove(&id);
-            WireResponse::Closed {
-                existed: engine.close_session(id),
+            WireRequest::Query { .. } => unreachable!("query frames travel the coalescing run"),
+            WireRequest::QueryBatch {
+                session,
+                func,
+                locs,
+            } => {
+                // One wire frame → one deliberate coalesced batch.
+                let tickets = engine.submit_query_batch(SessionId(session), &func, &locs);
+                self.push_tickets(conn_id, id, tickets);
             }
-        }
-        WireRequest::Query { session, func, loc } => {
-            match engine.query(SessionId(session), &func, loc) {
-                Ok(d) => WireResponse::State(WireState::encode(&d)),
-                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            WireRequest::Sweep { session, targets } => {
+                // One wire frame → the engine's sweep path: one
+                // coalesced batch per contiguous function run.
+                let tickets = {
+                    let _submit_span = dai_trace::span!("rpc.submit");
+                    engine.submit_query_sweep(SessionId(session), &targets)
+                };
+                self.push_tickets(conn_id, id, tickets);
             }
-        }
-        WireRequest::QueryBatch {
-            session,
-            func,
-            locs,
-        } => {
-            // One wire frame → one deliberate coalesced batch.
-            let tickets = engine.submit_query_batch(SessionId(session), &func, &locs);
-            WireResponse::States(collect_states(tickets))
-        }
-        WireRequest::Sweep { session, targets } => {
-            // One wire frame → the engine's sweep path: one coalesced
-            // batch per contiguous function run, preserving PR 4's
-            // lock/cone profile across the wire.
-            let tickets = engine.submit_query_sweep(SessionId(session), &targets);
-            WireResponse::States(collect_states(tickets))
-        }
-        WireRequest::Edit { session, edit } => {
-            match Service::edit(engine, SessionId(session), &edit) {
-                Ok(outcome) => WireResponse::Edited(outcome),
-                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            WireRequest::Edit { session, edit } => {
+                let ticket = engine.submit(Request::Edit {
+                    session: SessionId(session),
+                    edit,
+                });
+                self.push_ticket(conn_id, id, ticket);
             }
-        }
-        WireRequest::Snapshot { session } => match Service::snapshot(engine, SessionId(session)) {
-            Ok(snap) => WireResponse::Snapshot(snap),
-            Err(e) => WireResponse::Error(WireError::from_engine(&e)),
-        },
-        WireRequest::Save { session, path } => {
-            match Service::save(engine, SessionId(session), &path) {
-                Ok(outcome) => WireResponse::Saved(outcome),
-                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            WireRequest::Snapshot { session } => {
+                let ticket = engine.submit(Request::Snapshot {
+                    session: SessionId(session),
+                });
+                self.push_ticket(conn_id, id, ticket);
             }
-        }
-        WireRequest::Load { path } => match Service::load(engine, &path) {
-            Ok((id, outcome)) => {
-                owned.insert(id);
-                WireResponse::Loaded {
-                    session: id.0,
-                    outcome,
+            WireRequest::Save { session, path } => {
+                let ticket = engine.submit(Request::Save {
+                    session: SessionId(session),
+                    path,
+                });
+                self.push_ticket(conn_id, id, ticket);
+            }
+            WireRequest::Load { path } => {
+                // Ownership of the restored session is recorded at
+                // completion time (see `response_to_wire`).
+                let ticket = engine.submit(Request::Load { path });
+                self.push_ticket(conn_id, id, ticket);
+            }
+            WireRequest::Stats => {
+                let ticket = engine.submit(Request::Stats);
+                self.push_ticket(conn_id, id, ticket);
+            }
+            WireRequest::Open { name, source } => {
+                let response = match engine.open_session_src(name, &source) {
+                    Ok(sid) => {
+                        if let Some(conn) = self.conns.get_mut(&conn_id) {
+                            conn.owned.insert(sid);
+                        }
+                        WireResponse::Opened { session: sid.0 }
+                    }
+                    Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+                };
+                self.push_ready(conn_id, id, response);
+            }
+            WireRequest::Close { session } => {
+                let sid = SessionId(session);
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.owned.remove(&sid);
                 }
+                let response = WireResponse::Closed {
+                    existed: engine.close_session(sid),
+                };
+                self.push_ready(conn_id, id, response);
             }
-            Err(e) => WireResponse::Error(WireError::from_engine(&e)),
-        },
-        WireRequest::Stats => WireResponse::Stats(engine.stats()),
-        WireRequest::Handoff { session } => WireResponse::Released {
-            owned: owned.remove(&SessionId(session)),
-        },
-        WireRequest::Trace { op } => WireResponse::Trace(match op {
-            dai_engine::TraceOp::Enable => {
-                engine.set_tracing(true);
-                Default::default()
+            WireRequest::Handoff { session } => {
+                let owned = self
+                    .conns
+                    .get_mut(&conn_id)
+                    .is_some_and(|c| c.owned.remove(&SessionId(session)));
+                self.push_ready(conn_id, id, WireResponse::Released { owned });
             }
-            dai_engine::TraceOp::Disable => {
-                engine.set_tracing(false);
-                Default::default()
+            WireRequest::Trace { op } => {
+                let dump = match op {
+                    dai_engine::TraceOp::Enable => {
+                        engine.set_tracing(true);
+                        Default::default()
+                    }
+                    dai_engine::TraceOp::Disable => {
+                        engine.set_tracing(false);
+                        Default::default()
+                    }
+                    dai_engine::TraceOp::Dump => engine.drain_trace(),
+                };
+                self.push_ready(conn_id, id, WireResponse::Trace(dump));
             }
-            dai_engine::TraceOp::Dump => engine.drain_trace(),
-        }),
-        WireRequest::Metrics => WireResponse::Metrics {
-            text: engine.metrics_text(),
-        },
-        WireRequest::Explain { session, targets } => {
-            // One wire frame → one attributed sweep, served synchronously
-            // under the session lock (see `Engine::explain_sweep`).
-            match Service::explain(engine, SessionId(session), &targets) {
-                Ok(report) => WireResponse::Explain(report),
-                Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+            WireRequest::Metrics => {
+                let response = WireResponse::Metrics {
+                    text: engine.metrics_text(),
+                };
+                self.push_ready(conn_id, id, response);
             }
+            WireRequest::Explain { session, targets } => {
+                // One wire frame → one attributed sweep, served
+                // synchronously under the session lock (see
+                // `Engine::explain_sweep`). The capture is quick and
+                // deliberate; it is the one request the loop waits out.
+                let response = match dai_engine::Service::explain(
+                    engine.as_ref(),
+                    SessionId(session),
+                    &targets,
+                ) {
+                    Ok(report) => WireResponse::Explain(report),
+                    Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+                };
+                self.push_ready(conn_id, id, response);
+            }
+        }
+    }
+
+    fn push_ready(&mut self, conn_id: u64, id: Option<u64>, response: WireResponse) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.pending.push_back(Pending {
+                seq,
+                id,
+                state: PendState::Ready(Box::new(response)),
+            });
+        }
+    }
+
+    fn push_ticket(&mut self, conn_id: u64, id: Option<u64>, ticket: Ticket<D>) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            arm_group(
+                std::slice::from_ref(&ticket),
+                conn_id,
+                seq,
+                &self.completion,
+            );
+            conn.pending.push_back(Pending {
+                seq,
+                id,
+                state: PendState::One(ticket),
+            });
+        }
+    }
+
+    fn push_tickets(&mut self, conn_id: u64, id: Option<u64>, tickets: Vec<Ticket<D>>) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            if tickets.is_empty() {
+                conn.pending.push_back(Pending {
+                    seq,
+                    id,
+                    state: PendState::Ready(Box::new(WireResponse::States(Vec::new()))),
+                });
+                return;
+            }
+            {
+                let _arm_span = dai_trace::span!("rpc.arm", tickets.len());
+                arm_group(&tickets, conn_id, seq, &self.completion);
+            }
+            conn.pending.push_back(Pending {
+                seq,
+                id,
+                state: PendState::Many(tickets),
+            });
+        }
+    }
+
+    fn close_conn(&mut self, conn_id: u64) {
+        let Some(conn) = self.conns.remove(&conn_id) else {
+            return;
+        };
+        self.ep.del(conn.fd);
+        for session in conn.owned {
+            self.engine.close_session(session);
+        }
+        conn.stream.shutdown();
+    }
+}
+
+/// Registers the group-completion hook on each ticket: the *last*
+/// member to resolve pushes `(conn, seq)` and wakes the loop. Hooks run
+/// on engine worker threads and do constant work.
+fn arm_group<D>(tickets: &[Ticket<D>], conn_id: u64, seq: u64, completion: &Arc<CompletionQueue>) {
+    let remaining = Arc::new(AtomicUsize::new(tickets.len()));
+    for ticket in tickets {
+        let remaining = Arc::clone(&remaining);
+        let completion = Arc::clone(completion);
+        ticket.on_ready(move || {
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                completion.push(conn_id, seq);
+            }
+        });
+    }
+}
+
+/// Maps a completed engine response onto its wire form. `Loaded`
+/// responses register session ownership here — completion time — since
+/// the restore runs async to the loop.
+fn response_to_wire<D: PersistDomain>(
+    result: Result<Response<D>, EngineError>,
+    owned: &mut HashSet<SessionId>,
+    cache: &mut EncodeCache<D>,
+) -> WireResponse {
+    match result {
+        Err(e) => WireResponse::Error(WireError::from_engine(&e)),
+        Ok(Response::State(d)) => WireResponse::State(cache.encode(&d)),
+        Ok(Response::Edited(outcome)) => WireResponse::Edited(outcome),
+        Ok(Response::Snapshot(snap)) => WireResponse::Snapshot(snap),
+        Ok(Response::Saved(outcome)) => WireResponse::Saved(outcome),
+        Ok(Response::Loaded { session, outcome }) => {
+            owned.insert(session);
+            WireResponse::Loaded {
+                session: session.0,
+                outcome,
+            }
+        }
+        Ok(Response::Stats(stats)) => WireResponse::Stats(*stats),
+    }
+}
+
+/// Reads whatever the socket has, growing the read buffer. Flags EOF on
+/// a clean peer close.
+///
+/// # Errors
+///
+/// Transport failures (the connection is then torn down).
+fn read_available<D>(conn: &mut Conn<D>) -> std::io::Result<()> {
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                return Ok(());
+            }
+            Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
         }
     }
 }
 
-/// Waits a batch of query tickets into wire member results. Members fail
-/// individually (unlike [`Ticket::wait_all`], which short-circuits), and
-/// the drain runs in reverse submission order for the same
-/// one-sleep-per-batch reason `wait_all` documents.
-fn collect_states<D: PersistDomain>(tickets: Vec<Ticket<D>>) -> Vec<Result<WireState, WireError>> {
-    let mut out: Vec<Option<Result<WireState, WireError>>> = tickets.iter().map(|_| None).collect();
-    for (i, t) in tickets.into_iter().enumerate().rev() {
-        out[i] = Some(
-            t.wait()
-                .and_then(Response::state_or_invariant)
-                .map(|d| WireState::encode(&d))
-                .map_err(|e| WireError::from_engine(&e)),
-        );
+/// Encodes resolved responses into the write buffer. v4 connections
+/// flush any Ready entry (out-of-order completion is the point); v3
+/// connections flush strictly in request order. Returns whether any
+/// response was encoded.
+fn flush_ready<D>(conn: &mut Conn<D>) -> bool {
+    let version = conn.wire_version();
+    let mut any = false;
+    if version >= 4 {
+        let mut i = 0;
+        while i < conn.pending.len() {
+            if matches!(conn.pending[i].state, PendState::Ready(_)) {
+                let entry = conn.pending.remove(i).expect("indexed entry");
+                let PendState::Ready(response) = entry.state else {
+                    unreachable!("matched Ready above")
+                };
+                encode_response(conn, entry.id, *response);
+                any = true;
+            } else {
+                i += 1;
+            }
+        }
+    } else {
+        while matches!(
+            conn.pending.front(),
+            Some(Pending {
+                state: PendState::Ready(_),
+                ..
+            })
+        ) {
+            let entry = conn.pending.pop_front().expect("checked front");
+            let PendState::Ready(response) = entry.state else {
+                unreachable!("matched Ready above")
+            };
+            encode_response(conn, entry.id, *response);
+            any = true;
+        }
     }
-    out.into_iter()
-        .map(|r| r.expect("every ticket waited"))
-        .collect()
+    any
+}
+
+/// Appends one response frame to the connection's write buffer,
+/// applying the three response-side guards: the overload hard cap, the
+/// oversized-response replacement, and the v3 error downgrade.
+fn encode_response<D>(conn: &mut Conn<D>, id: Option<u64>, mut response: WireResponse) {
+    let version = conn.wire_version();
+    if conn.backlog() > HARD_WRITE_CAP {
+        // The peer reads too slowly for the responses it keeps
+        // requesting: drop the payload, keep the id answered.
+        response = WireResponse::Error(WireError::Overloaded);
+    }
+    if let WireResponse::Error(e) = response {
+        response = WireResponse::Error(e.downgrade_for(version));
+    }
+    let _encode_span = dai_trace::span!("rpc.encode");
+    let mut payload = encode_message(&response);
+    if payload.len() > MAX_FRAME_LEN {
+        payload = encode_message(&WireResponse::Error(
+            WireError::Protocol(format!(
+                "response of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
+                payload.len()
+            ))
+            .downgrade_for(version),
+        ));
+    }
+    let frame_id = (version >= 4).then(|| id.unwrap_or(UNATTRIBUTED_ID));
+    dai_persist::frame::write_frame_id(&mut conn.wbuf, TAG_RESPONSE, version, frame_id, &payload);
+}
+
+/// Pushes buffered response bytes into the socket until it would block.
+/// Returns whether any byte moved.
+fn flush_writes<D>(conn: &mut Conn<D>) -> bool {
+    let mut any = false;
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                any = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() && conn.wpos > 0 {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > SOFT_WRITE_CAP {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    any
+}
+
+/// Constant-time byte equality: every byte pair is visited regardless
+/// of where the first mismatch sits, so response timing does not leak
+/// how much of a guessed token matched. Length is folded in rather than
+/// early-returned for the same reason.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = (a.len() ^ b.len()) as u8;
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 fn request_name(r: &WireRequest) -> &'static str {
@@ -567,5 +1521,69 @@ fn request_name(r: &WireRequest) -> &'static str {
         WireRequest::Trace { .. } => "trace",
         WireRequest::Metrics => "metrics",
         WireRequest::Explain { .. } => "explain",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_stream_sets_nodelay_on_both_ends() {
+        // The helper runs on accepted server-side streams and dialed
+        // client-side streams alike; assert the option actually lands.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dialed = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        assert!(!accepted.nodelay().unwrap(), "fresh socket starts Nagled");
+        let server_side = Stream::Tcp(accepted);
+        tune_stream(&server_side);
+        let Stream::Tcp(accepted) = &server_side else {
+            unreachable!()
+        };
+        assert!(
+            accepted.nodelay().unwrap(),
+            "accepted stream must be NODELAY"
+        );
+        drop(dialed);
+        // The client constructor path (`Stream::connect`) tunes too.
+        let connected = Stream::connect(&Addr::Tcp(addr.to_string())).unwrap();
+        let Stream::Tcp(s) = &connected else {
+            unreachable!()
+        };
+        assert!(s.nodelay().unwrap(), "dialed stream must be NODELAY");
+    }
+
+    #[test]
+    fn constant_time_eq_matches_plain_equality() {
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"", b""),
+            (b"a", b"a"),
+            (b"a", b"b"),
+            (b"secret", b"secret"),
+            (b"secret", b"secret2"),
+            (b"", b"x"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(constant_time_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn frame_id_presence_follows_tag_and_version() {
+        for (tag, version, want) in [
+            (TAG_REQUEST, 4, true),
+            (TAG_RESPONSE, 5, true),
+            (TAG_REQUEST, 3, false),
+            (*b"SESS", 4, false),
+        ] {
+            let h = FrameHeader {
+                tag,
+                version,
+                len: 0,
+            };
+            assert_eq!(frame_has_id(&h), want, "{tag:?} v{version}");
+        }
     }
 }

@@ -61,7 +61,7 @@ use dai_engine::{Engine, EngineConfig, ResolverChoice, Service};
 use dai_lang::cfg::lower_program;
 use dai_lang::{EdgeId, Loc, Symbol};
 use dai_persist::{read_snapshot_file, write_snapshot_file, PersistDomain, SessionImage};
-use dai_rpc::{Addr, Client, Server};
+use dai_rpc::{Addr, Client, ClientOptions, Server, ServerConfig};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
@@ -201,6 +201,25 @@ fn sweep_targets(program: &dai_lang::cfg::LoweredProgram) -> Vec<(String, Loc)> 
     }
     targets.sort();
     targets
+}
+
+/// Splits a `listen`/`connect` argument line into the address and an
+/// optional `--token TOKEN` (in either order). `None` when the address
+/// is missing, a flag is unknown, or `--token` has no value.
+fn split_addr_token(rest: &str) -> Option<(String, Option<String>)> {
+    let mut addr = None;
+    let mut token = None;
+    let mut words = rest.split_whitespace();
+    while let Some(word) = words.next() {
+        if word == "--token" {
+            token = Some(words.next()?.to_string());
+        } else if word.starts_with("--") || addr.is_some() {
+            return None;
+        } else {
+            addr = Some(word.to_string());
+        }
+    }
+    addr.map(|a| (a, token))
 }
 
 /// `serve`/`connect`: route every (function, location) query of the
@@ -485,28 +504,33 @@ fn repl<D: PersistDomain>(
                 }
             }
             "listen" => {
-                let addr = rest.trim();
-                if addr.is_empty() {
-                    eprintln!("usage: listen tcp:HOST:PORT | listen unix:PATH");
-                    continue;
-                }
+                let (addr, token) = match split_addr_token(rest) {
+                    Some(parsed) => parsed,
+                    None => {
+                        eprintln!("usage: listen tcp:HOST:PORT | listen unix:PATH [--token TOKEN]");
+                        continue;
+                    }
+                };
                 let engine: Arc<Engine<D>> = Arc::new(Engine::with_config(EngineConfig {
                     workers: threads,
                     resolver: serve_resolver,
                     transfer: session.transfer,
                     ..EngineConfig::default()
                 }));
-                match Addr::parse(addr)
+                let authed = token.is_some();
+                let config = ServerConfig { auth_token: token };
+                match Addr::parse(&addr)
                     .map_err(std::io::Error::other)
-                    .and_then(|addr| Server::bind(&addr, engine))
+                    .and_then(|addr| Server::bind_with(&addr, engine, config))
                 {
                     Ok(server) => {
                         println!(
-                            "listening on {} (domain {}, {} worker(s)); \
+                            "listening on {} (domain {}, {} worker(s){}); \
                              `connect {}` from another repl",
                             server.addr(),
                             D::domain_tag(),
                             threads,
+                            if authed { ", auth required" } else { "" },
                             server.addr(),
                         );
                         servers.push(server);
@@ -515,12 +539,30 @@ fn repl<D: PersistDomain>(
                 }
             }
             "connect" => {
-                let addr = rest.trim();
-                if addr.is_empty() {
-                    eprintln!("usage: connect tcp:HOST:PORT | connect unix:PATH");
-                    continue;
-                }
-                match Client::<D>::connect(addr) {
+                let (addr, token) = match split_addr_token(rest) {
+                    Some(parsed) => parsed,
+                    None => {
+                        eprintln!(
+                            "usage: connect tcp:HOST:PORT | connect unix:PATH [--token TOKEN]"
+                        );
+                        continue;
+                    }
+                };
+                let connected = Addr::parse(&addr)
+                    .map_err(|e| dai_engine::EngineError::Remote {
+                        code: "transport",
+                        message: e,
+                    })
+                    .and_then(|addr| {
+                        Client::<D>::connect_with(
+                            &addr,
+                            ClientOptions {
+                                auth: token,
+                                ..ClientOptions::default()
+                            },
+                        )
+                    });
+                match connected {
                     Ok(client) => {
                         println!("connected to {addr} (domain {})", D::domain_tag());
                         let targets = sweep_targets(analyzer.program());
@@ -943,11 +985,13 @@ fn print_help() {
   serve                     answer every (function, location) query through
                             the concurrent engine (--threads N workers,
                             --resolver intra|interproc)
-  listen ADDR               serve a fresh engine over a socket (ADDR is
-                            tcp:HOST:PORT or unix:PATH); runs until quit
-  connect ADDR              run the serve sweep against a remote engine
+  listen ADDR [--token T]   serve a fresh engine over a socket (ADDR is
+                            tcp:HOST:PORT or unix:PATH); runs until quit;
+                            --token requires clients to present T
+  connect ADDR [--token T]  run the serve sweep against a remote engine
                             through the dai-rpc socket client (the server's
-                            domain must match --domain)
+                            domain must match --domain; --token presents an
+                            auth token)
   stats                     query/memo work counters
   stats --json              last serve/connect engine stats, one JSON line
   explain [--json] [FN [lNN]]

@@ -1,0 +1,133 @@
+//! Records (or checks) the replication + sharding benchmark.
+//!
+//! ```text
+//! replica_bench [--profile full|smoke] [--out FILE.json] [--check FILE.json]
+//! ```
+//!
+//! `--out` writes the JSON artifact (`BENCH_replica.json` in CI).
+//! `--check` validates a committed artifact's recorded invariants, then
+//! re-runs the smoke profile live and gates on [`check_invariants`] —
+//! the deterministic facts (follower equality, zero lag, closed
+//! accounting), never wall-clock.
+
+use dai_bench::replica_bench::{
+    check_invariants, run_replica_bench, to_json, validate_artifact, ReplicaBenchParams,
+    ReplicaBenchResult,
+};
+
+fn die(msg: &str) -> ! {
+    eprintln!("replica_bench: {msg}");
+    std::process::exit(2);
+}
+
+fn print_table(r: &ReplicaBenchResult) {
+    println!(
+        "replica bench: {} cpus, {} queries per sweep",
+        r.host_cpus, r.queries_per_sweep
+    );
+    println!("  sessions  engines  queries      ms        qps  accounting");
+    for p in &r.scaling {
+        println!(
+            "  {:>8}  {:>7}  {:>7}  {:>8.1}  {:>9.0}  {}",
+            p.sessions,
+            p.engines,
+            p.total_queries,
+            p.elapsed.as_secs_f64() * 1e3,
+            p.qps(),
+            if p.accounting_closed() {
+                "closed"
+            } else {
+                "OPEN"
+            }
+        );
+    }
+    let rep = &r.replication;
+    println!(
+        "  catch-up: {} frames in {:.1} ms; after restart {:.1} ms; lag {}",
+        rep.initial.applied,
+        rep.initial.elapsed.as_secs_f64() * 1e3,
+        rep.restart.elapsed.as_secs_f64() * 1e3,
+        rep.lag_after
+    );
+    println!(
+        "  follower equality: answers {}, dot {}",
+        rep.answers_equal, rep.dot_equal
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = "full".to_string();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                i += 1;
+                profile = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--profile needs full|smoke"))
+                    .clone();
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--out needs a file path"))
+                        .clone(),
+                );
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--check needs a recorded artifact path"))
+                        .clone(),
+                );
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(recorded) = check {
+        let json = std::fs::read_to_string(&recorded)
+            .unwrap_or_else(|e| die(&format!("cannot read {recorded}: {e}")));
+        if let Err(e) = validate_artifact(&json) {
+            die(&format!("recorded artifact invalid: {e}"));
+        }
+        println!("recorded artifact {recorded}: ok");
+        // Then re-measure live at smoke scale and gate on the
+        // deterministic invariants.
+        let params = ReplicaBenchParams::smoke();
+        let result = run_replica_bench(&params);
+        print_table(&result);
+        if let Err(e) = check_invariants(&result) {
+            die(&format!("live invariant violated: {e}"));
+        }
+        println!("live smoke invariants: ok");
+        return;
+    }
+
+    let params = match profile.as_str() {
+        "full" => ReplicaBenchParams::full(),
+        "smoke" => ReplicaBenchParams::smoke(),
+        other => die(&format!("unknown profile {other}")),
+    };
+    let result = run_replica_bench(&params);
+    print_table(&result);
+    if let Err(e) = check_invariants(&result) {
+        die(&format!("invariant violated: {e}"));
+    }
+    let json = to_json(&profile, &params, &result);
+    if let Err(e) = validate_artifact(&json) {
+        die(&format!("self-check of rendered artifact failed: {e}"));
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+}

@@ -38,5 +38,6 @@ pub mod engine_scaling;
 pub mod harness;
 pub mod lists;
 pub mod persist_bench;
+pub mod replica_bench;
 pub mod rpc_bench;
 pub mod workload;

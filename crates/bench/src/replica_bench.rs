@@ -1,0 +1,482 @@
+//! Replication and sharding behind `BENCH_replica.json`.
+//!
+//! Two questions, one artifact:
+//!
+//! * **does sharding scale?** — a sessions × engines matrix: S
+//!   sessions consistent-hashed by a `dai_rpc::Router` across E
+//!   single-worker engines, each session warm-sweeping the Fig. 10
+//!   synthetic octagon workload. Throughput per point, plus the
+//!   accounting identity (`routed == served` on every shard) that makes
+//!   the numbers trustworthy;
+//! * **what does catch-up cost?** — a journaled leader served over a
+//!   real socket, a follower tailing it: time to catch up from genesis,
+//!   and again after an injected follower restart (all follower state
+//!   discarded, fresh engine, replay from frame zero).
+//!
+//! Wall-clock is noisy on shared hosts, so the CI gate
+//! ([`check_invariants`]) asserts only deterministic facts: the
+//! caught-up follower answering — and DOT-rendering — byte-identically
+//! to the leader, zero lag after sync, the restart replaying exactly
+//! the same frame count, and the router accounting closing on every
+//! matrix point.
+
+use dai_core::driver::ProgramEdit;
+use dai_domains::OctagonDomain;
+use dai_engine::{Engine, JournalConfig, Service, SessionId};
+use dai_lang::Loc;
+use dai_rpc::{Addr, Client, Replica, Router, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::workload::Workload;
+
+type D = OctagonDomain;
+
+/// Parameters of one replication/sharding measurement.
+#[derive(Debug, Clone)]
+pub struct ReplicaBenchParams {
+    /// Random edits growing each session before the sweeps.
+    pub grow_edits: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Warm-sweep repetitions per session per matrix point.
+    pub repeats: usize,
+}
+
+impl ReplicaBenchParams {
+    /// The recording profile (the Fig. 10 baseline workload size).
+    pub fn full() -> ReplicaBenchParams {
+        ReplicaBenchParams {
+            grow_edits: 30,
+            seed: 379422,
+            repeats: 5,
+        }
+    }
+
+    /// A seconds-scale profile for CI smoke runs.
+    pub fn smoke() -> ReplicaBenchParams {
+        ReplicaBenchParams {
+            grow_edits: 6,
+            seed: 379422,
+            repeats: 2,
+        }
+    }
+}
+
+/// One point of the sessions × engines matrix.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Concurrent sessions routed.
+    pub sessions: usize,
+    /// Backend engines on the ring.
+    pub engines: usize,
+    /// Queries answered during the timed warm window.
+    pub total_queries: usize,
+    /// Wall-clock of the warm window.
+    pub elapsed: Duration,
+    /// Query members the router counted out, per shard.
+    pub routed: Vec<u64>,
+    /// Queries each backend counted served.
+    pub served: Vec<u64>,
+}
+
+impl ScalingPoint {
+    /// Aggregate throughput at this point (queries per second).
+    pub fn qps(&self) -> f64 {
+        self.total_queries as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Whether `routed == served` on every shard.
+    pub fn accounting_closed(&self) -> bool {
+        self.routed == self.served
+    }
+}
+
+/// One timed follower catch-up.
+#[derive(Debug, Clone)]
+pub struct CatchUp {
+    /// Journal frames applied.
+    pub applied: u64,
+    /// Wall-clock of the catch-up loop.
+    pub elapsed: Duration,
+}
+
+/// The replication half of the artifact.
+#[derive(Debug, Clone)]
+pub struct ReplicationResult {
+    /// Frames in the leader's journal (1 open + 1 per edit).
+    pub history_frames: u64,
+    /// A fresh follower catching up from genesis.
+    pub initial: CatchUp,
+    /// The injected restart: all follower state discarded, a second
+    /// fresh follower replays the identical history.
+    pub restart: CatchUp,
+    /// Follower lag after the final sync (must be 0).
+    pub lag_after: u64,
+    /// Caught-up follower's sweep answers equal the leader's.
+    pub answers_equal: bool,
+    /// Caught-up follower's session DOT bytes equal the leader's.
+    pub dot_equal: bool,
+}
+
+/// A complete measurement.
+#[derive(Debug, Clone)]
+pub struct ReplicaBenchResult {
+    /// `available_parallelism` at measurement time.
+    pub host_cpus: usize,
+    /// Queries per sweep.
+    pub queries_per_sweep: usize,
+    /// The sessions × engines scaling matrix.
+    pub scaling: Vec<ScalingPoint>,
+    /// The socket replication measurement.
+    pub replication: ReplicationResult,
+}
+
+/// The deterministic edit script (the same recorded-sequence trick the
+/// other benches use, so every service replays identical history).
+fn edit_script(params: &ReplicaBenchParams) -> (String, Vec<ProgramEdit>, Vec<(String, Loc)>) {
+    let source = Workload::initial_source();
+    let engine: Engine<D> = Engine::new(1);
+    let session = engine
+        .open_session_src("replica-bench-gen", &source)
+        .expect("initial source parses");
+    let mut gen = Workload::new(params.seed);
+    let mut edits = Vec::with_capacity(params.grow_edits);
+    for _ in 0..params.grow_edits {
+        let program = engine.program_of(session).expect("session open");
+        let edit = gen.next_edit(&program);
+        Service::<D>::edit(&engine, session, &edit).expect("bench edit applies");
+        edits.push(edit);
+    }
+    let program = engine.program_of(session).expect("session open");
+    let mut targets = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    (source, edits, targets)
+}
+
+fn sweep<S: Service<D>>(service: &S, session: SessionId, targets: &[(String, Loc)]) -> Vec<D> {
+    service
+        .query_sweep(session, targets)
+        .into_iter()
+        .map(|r| r.expect("bench query succeeds"))
+        .collect()
+}
+
+/// A throwaway scratch path unique to this process.
+fn scratch(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("dai-replica-bench-{tag}-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// One matrix point: S sessions over a router of E fresh engines.
+fn measure_scaling(
+    source: &str,
+    edits: &[ProgramEdit],
+    targets: &[(String, Loc)],
+    sessions: usize,
+    engines: usize,
+    repeats: usize,
+) -> ScalingPoint {
+    let backends: Vec<Arc<Engine<D>>> = (0..engines).map(|_| Arc::new(Engine::new(1))).collect();
+    let router = Router::new(backends.clone());
+    let mut ids = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let session = router
+            .open(&format!("tenant-{i}"), source)
+            .expect("bench session opens");
+        for edit in edits {
+            router.edit(session, edit).expect("bench edit applies");
+        }
+        // Cold sweep outside the timed window: the matrix measures the
+        // steady (warm) state, like the other engine baselines.
+        let _ = sweep(&router, session, targets);
+        ids.push(session);
+    }
+    let t0 = Instant::now();
+    for _ in 0..repeats.max(1) {
+        for &session in &ids {
+            let _ = sweep(&router, session, targets);
+        }
+    }
+    let elapsed = t0.elapsed();
+    let served = backends.iter().map(|b| b.stats().queries).collect();
+    ScalingPoint {
+        sessions,
+        engines,
+        total_queries: repeats.max(1) * sessions * targets.len(),
+        elapsed,
+        routed: router.routed_queries(),
+        served,
+    }
+}
+
+/// The socket replication measurement: journaled leader, two fresh
+/// followers (the second is the injected restart).
+fn measure_replication(
+    source: &str,
+    edits: &[ProgramEdit],
+    targets: &[(String, Loc)],
+) -> ReplicationResult {
+    let journal = scratch("leader.daij");
+    let _ = std::fs::remove_file(&journal);
+    let leader: Arc<Engine<D>> = Arc::new(Engine::new(1));
+    leader
+        .open_journal(&journal, JournalConfig::default())
+        .expect("fresh journal attaches");
+    let session = leader.open("replica-bench", source).expect("leader opens");
+    for edit in edits {
+        leader.edit(session, edit).expect("leader edit applies");
+    }
+    let leader_answers = sweep(leader.as_ref(), session, targets);
+    let leader_dot = leader.snapshot(session).expect("leader DOT");
+    let history_frames = leader.journal().expect("journal attached").frames();
+
+    let server =
+        Server::bind(&Addr::Unix(scratch("leader.sock")), Arc::clone(&leader)).expect("binds");
+    let addr = server.addr().to_string();
+
+    let catch_up_once = || -> (Replica<D>, CatchUp) {
+        let client: Client<D> = Client::connect(&addr).expect("follower connects");
+        let follower = Replica::new(client, Arc::new(Engine::new(1)));
+        let t0 = Instant::now();
+        let applied = follower.catch_up().expect("catch-up succeeds");
+        (
+            follower,
+            CatchUp {
+                applied,
+                elapsed: t0.elapsed(),
+            },
+        )
+    };
+
+    let (follower, initial) = catch_up_once();
+    let replica_session = SessionId(1);
+    let follower_answers = sweep(follower.engine().as_ref(), replica_session, targets);
+    let follower_dot = follower
+        .engine()
+        .snapshot(replica_session)
+        .expect("follower DOT");
+    let lag_after = follower
+        .sync_batch(dai_rpc::DEFAULT_PULL_BATCH)
+        .expect("sync succeeds")
+        .lag;
+
+    // Injected restart: every byte of follower state gone; a second
+    // fresh follower replays the identical history over the wire.
+    drop(follower);
+    let (_follower2, restart) = catch_up_once();
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&journal);
+    ReplicationResult {
+        history_frames,
+        initial,
+        restart,
+        lag_after,
+        answers_equal: follower_answers == leader_answers,
+        dot_equal: follower_dot == leader_dot,
+    }
+}
+
+/// Runs the full measurement: the scaling matrix, then replication.
+pub fn run_replica_bench(params: &ReplicaBenchParams) -> ReplicaBenchResult {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (source, edits, targets) = edit_script(params);
+    let mut scaling = Vec::new();
+    for engines in [1usize, 2, 3] {
+        for sessions in [1usize, 2, 4] {
+            scaling.push(measure_scaling(
+                &source,
+                &edits,
+                &targets,
+                sessions,
+                engines,
+                params.repeats,
+            ));
+        }
+    }
+    let replication = measure_replication(&source, &edits, &targets);
+    ReplicaBenchResult {
+        host_cpus,
+        queries_per_sweep: targets.len(),
+        scaling,
+        replication,
+    }
+}
+
+/// The invariants the acceptance gate (and CI) assert, independent of
+/// timing noise.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn check_invariants(r: &ReplicaBenchResult) -> Result<(), String> {
+    let rep = &r.replication;
+    if !rep.answers_equal {
+        return Err("caught-up follower answered differently from the leader".to_string());
+    }
+    if !rep.dot_equal {
+        return Err("caught-up follower's session DOT differs from the leader's".to_string());
+    }
+    if rep.lag_after != 0 {
+        return Err(format!(
+            "follower still lags {} frames after catch-up",
+            rep.lag_after
+        ));
+    }
+    if rep.initial.applied != rep.history_frames {
+        return Err(format!(
+            "initial catch-up applied {} frames for a {}-frame history",
+            rep.initial.applied, rep.history_frames
+        ));
+    }
+    if rep.restart.applied != rep.initial.applied {
+        return Err(format!(
+            "restarted follower replayed {} frames, the first replayed {}",
+            rep.restart.applied, rep.initial.applied
+        ));
+    }
+    if r.scaling.is_empty() {
+        return Err("scaling matrix is empty".to_string());
+    }
+    for p in &r.scaling {
+        if !p.accounting_closed() {
+            return Err(format!(
+                "{} sessions × {} engines: routed {:?} != served {:?}",
+                p.sessions, p.engines, p.routed, p.served
+            ));
+        }
+        if p.total_queries == 0 || p.elapsed.is_zero() {
+            return Err(format!(
+                "degenerate scaling point: {} queries in {:?} ({} sessions, {} engines)",
+                p.total_queries, p.elapsed, p.sessions, p.engines
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders the JSON artifact (hand-rolled; the workspace is offline).
+pub fn to_json(profile: &str, params: &ReplicaBenchParams, r: &ReplicaBenchResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"replica\",\n");
+    s.push_str("  \"workload\": \"fig10_synthetic_octagon\",\n");
+    s.push_str("  \"transport\": \"unix-socket\",\n");
+    s.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    s.push_str(&format!("  \"host_cpus\": {},\n", r.host_cpus));
+    s.push_str("  \"host_cpus_provenance\": \"available_parallelism at measurement time\",\n");
+    s.push_str(&format!(
+        "  \"grow_edits\": {}, \"seed\": {}, \"repeats\": {},\n",
+        params.grow_edits, params.seed, params.repeats
+    ));
+    s.push_str(&format!(
+        "  \"queries_per_sweep\": {},\n",
+        r.queries_per_sweep
+    ));
+    s.push_str("  \"scaling\": [\n");
+    for (i, p) in r.scaling.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"sessions\": {}, \"engines\": {}, \"total_queries\": {}, \
+             \"elapsed_ms\": {:.3}, \"qps\": {:.1}, \"accounting_closed\": {}}}{}\n",
+            p.sessions,
+            p.engines,
+            p.total_queries,
+            p.elapsed.as_secs_f64() * 1e3,
+            p.qps(),
+            p.accounting_closed(),
+            if i + 1 < r.scaling.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let rep = &r.replication;
+    s.push_str("  \"replication\": {\n");
+    s.push_str(&format!(
+        "    \"history_frames\": {},\n",
+        rep.history_frames
+    ));
+    s.push_str(&format!(
+        "    \"catch_up_ms\": {:.3}, \"catch_up_frames\": {},\n",
+        rep.initial.elapsed.as_secs_f64() * 1e3,
+        rep.initial.applied
+    ));
+    s.push_str(&format!(
+        "    \"restart_catch_up_ms\": {:.3}, \"restart_catch_up_frames\": {},\n",
+        rep.restart.elapsed.as_secs_f64() * 1e3,
+        rep.restart.applied
+    ));
+    s.push_str(&format!("    \"lag_after\": {},\n", rep.lag_after));
+    s.push_str(&format!(
+        "    \"answers_equal\": {}, \"dot_equal\": {}\n",
+        rep.answers_equal, rep.dot_equal
+    ));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Validates a committed `BENCH_replica.json` (required fields present
+/// and the recorded invariants hold).
+///
+/// # Errors
+///
+/// A human-readable description of the first problem.
+pub fn validate_artifact(json: &str) -> Result<(), String> {
+    for field in [
+        "\"bench\": \"replica\"",
+        "\"workload\"",
+        "\"transport\"",
+        "\"host_cpus\"",
+        "\"queries_per_sweep\"",
+        "\"scaling\"",
+        "\"sessions\"",
+        "\"engines\"",
+        "\"qps\"",
+        "\"replication\"",
+        "\"history_frames\"",
+        "\"catch_up_ms\"",
+        "\"restart_catch_up_ms\"",
+        "\"lag_after\": 0",
+        "\"answers_equal\": true, \"dot_equal\": true",
+    ] {
+        if !json.contains(field) {
+            return Err(format!("BENCH_replica.json is missing {field}"));
+        }
+    }
+    if json.contains("\"accounting_closed\": false") {
+        return Err("BENCH_replica.json records an open accounting identity".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_replication_and_sharding_invariants_hold() {
+        let params = ReplicaBenchParams {
+            grow_edits: 3,
+            seed: 7,
+            repeats: 1,
+        };
+        let r = run_replica_bench(&params);
+        check_invariants(&r).unwrap();
+        assert_eq!(r.scaling.len(), 9, "3 engine counts × 3 session counts");
+        assert_eq!(
+            r.replication.history_frames,
+            1 + params.grow_edits as u64,
+            "one open frame plus one per edit"
+        );
+        let json = to_json("smoke", &params, &r);
+        validate_artifact(&json).unwrap();
+    }
+}

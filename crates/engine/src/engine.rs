@@ -44,11 +44,13 @@ use dai_core::graph::{DaigError, Value};
 use dai_core::query::QueryStats;
 use dai_core::strategy::FixStrategy;
 use dai_domains::AbstractDomain;
+use dai_journal::{Journal, JournalConfig, JournalEntry, JournalRecord};
 use dai_lang::cfg::{lower_program, LoweredProgram};
 use dai_lang::{CfgError, Loc};
-use dai_memo::{MemoStats, SharedMemoTable};
+use dai_memo::{MemoKey, MemoStats, SharedMemoTable};
 use dai_persist::{
-    read_snapshot_file, write_snapshot_file, PersistDomain, PersistError, SessionImage,
+    read_snapshot_file, write_snapshot_file_durable, Durability, Persist, PersistDomain,
+    PersistError, Reader, SessionImage, Writer,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -56,7 +58,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::pool::{PoolHandle, WorkerPool};
-use crate::session::{EditOutcome, ResolverChoice, Session, SessionSnapshot};
+use crate::session::{EditOutcome, ResolverChoice, Session, SessionCounters, SessionSnapshot};
 
 /// Identifies a session within one engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,6 +88,10 @@ pub struct EngineConfig {
     /// per-edge closures (the default) or the AST interpreter (see
     /// [`dai_core::compile`]). Both are bit-identical on every value.
     pub transfer: TransferMode,
+    /// Fsync policy for snapshot saves (and, unless overridden in the
+    /// [`JournalConfig`] handed to [`Engine::open_journal`], journal
+    /// appends). `Fast` keeps the historical tmp+rename-only behavior.
+    pub durability: Durability,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +103,7 @@ impl Default for EngineConfig {
             strategy: FixStrategy::PAPER,
             resolver: ResolverChoice::Intra,
             transfer: TransferMode::Compiled,
+            durability: Durability::Fast,
         }
     }
 }
@@ -282,6 +289,10 @@ pub enum EngineError {
     /// The session cannot be saved: it was opened without source text, so
     /// there is no replayable description to persist.
     NotReplayable(String),
+    /// The session is a read-only replica: its state is replayed from a
+    /// leader's journal, and accepting a local edit would fork it from
+    /// the leader. Edit on the leader instead; the change replicates.
+    ReadOnly(SessionId),
     /// The responder was dropped (worker panicked or engine shut down).
     Disconnected,
     /// A failure reported by a remote service (`dai-rpc` clients map
@@ -308,6 +319,10 @@ impl fmt::Display for EngineError {
                 f,
                 "session `{name}` was opened without source text and cannot be saved \
                  (open it with open_session_src)"
+            ),
+            EngineError::ReadOnly(id) => write!(
+                f,
+                "session {id} is a read-only replica (edits must go to the leader)"
             ),
             EngineError::Disconnected => write!(f, "engine request dropped (worker failure)"),
             EngineError::Remote { code, message } => {
@@ -526,6 +541,25 @@ impl ExplainStats {
     }
 }
 
+/// Journal/replication counters: what the engine has durably logged
+/// (leader side) and what it has applied from someone else's journal
+/// (follower side). Either half may be all zeros — a plain engine has
+/// no journal and never applies; a follower has the second half only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Whether a journal is attached ([`Engine::open_journal`]).
+    pub journal_attached: bool,
+    /// Highest sequence number the journal has handed out.
+    pub journal_last_seq: u64,
+    /// Good frames currently in the journal file.
+    pub journal_frames: u64,
+    /// Highest journal sequence number applied via
+    /// [`Engine::apply_journal_entry`] (recovery replay + replication).
+    pub applied_seq: u64,
+    /// Entries applied via [`Engine::apply_journal_entry`].
+    pub applied_frames: u64,
+}
+
 /// Engine-wide counters plus the shared memo statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -556,6 +590,8 @@ pub struct EngineStats {
     pub explain: ExplainStats,
     /// Shared memo table counters.
     pub memo: MemoStats,
+    /// Journal and replication counters.
+    pub replication: ReplicationStats,
 }
 
 impl EngineStats {
@@ -607,6 +643,16 @@ impl EngineStats {
         m.gauge("dai_memo_misses").set(self.memo.misses);
         m.gauge("dai_memo_insertions").set(self.memo.insertions);
         m.gauge("dai_memo_evictions").set(self.memo.evictions);
+        m.gauge("dai_journal_attached")
+            .set(u64::from(self.replication.journal_attached));
+        m.gauge("dai_journal_last_seq")
+            .set(self.replication.journal_last_seq);
+        m.gauge("dai_journal_frames")
+            .set(self.replication.journal_frames);
+        m.gauge("dai_replica_applied_seq")
+            .set(self.replication.applied_seq);
+        m.gauge("dai_replica_applied_frames")
+            .set(self.replication.applied_frames);
     }
 
     /// The stats as one line of JSON, mirroring the struct's nesting.
@@ -634,7 +680,10 @@ impl EngineStats {
              \"work_ns\":{},\"span_ns\":{},\"computed_ns\":{},\
              \"memo_matched_ns\":{},\"fix_ns\":{},\"domains\":{{{}}}}},\
              \"memo\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\
-             \"evictions\":{}}}}}",
+             \"evictions\":{}}},\
+             \"replication\":{{\"journal_attached\":{},\
+             \"journal_last_seq\":{},\"journal_frames\":{},\
+             \"applied_seq\":{},\"applied_frames\":{}}}}}",
             self.workers,
             self.sessions,
             self.queries,
@@ -670,6 +719,11 @@ impl EngineStats {
             self.memo.misses,
             self.memo.insertions,
             self.memo.evictions,
+            self.replication.journal_attached,
+            self.replication.journal_last_seq,
+            self.replication.journal_frames,
+            self.replication.applied_seq,
+            self.replication.applied_frames,
         )
     }
 }
@@ -721,6 +775,34 @@ struct PendingQuery<D> {
 /// the same single lock acquisition).
 type BatchKey = (SessionId, String);
 
+/// The correspondence between journal session ids and this engine's
+/// local [`SessionId`]s. Journal ids are allocated independently of
+/// local ids (local ids restart at 1 on every process, journal ids live
+/// as long as the file), so both directions need a map.
+#[derive(Default)]
+struct JournalMap {
+    /// Journal session id → local session.
+    to_local: HashMap<u64, SessionId>,
+    /// Local session → journal session id (leader append path).
+    to_journal: HashMap<SessionId, u64>,
+    /// Next journal session id to hand out (above every replayed one).
+    next_id: u64,
+}
+
+impl JournalMap {
+    fn bind(&mut self, journal_id: u64, local: SessionId) {
+        self.to_local.insert(journal_id, local);
+        self.to_journal.insert(local, journal_id);
+        self.next_id = self.next_id.max(journal_id + 1);
+    }
+
+    fn unbind_local(&mut self, local: SessionId) -> Option<u64> {
+        let journal_id = self.to_journal.remove(&local)?;
+        self.to_local.remove(&journal_id);
+        Some(journal_id)
+    }
+}
+
 struct EngineShared<D: AbstractDomain> {
     sessions: RwLock<HashMap<SessionId, Arc<Mutex<Session<D>>>>>,
     /// Per-session fences. Entries are created on first use and kept for
@@ -750,6 +832,18 @@ struct EngineShared<D: AbstractDomain> {
     union_cone_cells: AtomicU64,
     union_cone_walks: AtomicU64,
     query_stats: Mutex<QueryStats>,
+    /// Fsync policy for saves and (by default) journal appends.
+    durability: Durability,
+    /// The attached journal, if any ([`Engine::open_journal`]). Writes
+    /// happen with the owning session's lock held, so one session's
+    /// frames appear in its edit order.
+    journal: RwLock<Option<Arc<Journal>>>,
+    /// Journal-session ↔ local-session correspondence.
+    journal_map: Mutex<JournalMap>,
+    /// Highest journal sequence number applied through
+    /// [`Engine::apply_journal_entry`], and how many entries that was.
+    applied_seq: AtomicU64,
+    applied_frames: AtomicU64,
     /// Running totals across explain captures (see [`ExplainStats`]).
     explain_totals: Mutex<ExplainStats>,
     /// The most recent finished capture, for late retrieval (`Engine::
@@ -807,6 +901,14 @@ impl<D: PersistDomain> Engine<D> {
                 union_cone_cells: AtomicU64::new(0),
                 union_cone_walks: AtomicU64::new(0),
                 query_stats: Mutex::new(QueryStats::default()),
+                durability: config.durability,
+                journal: RwLock::new(None),
+                journal_map: Mutex::new(JournalMap {
+                    next_id: 1,
+                    ..JournalMap::default()
+                }),
+                applied_seq: AtomicU64::new(0),
+                applied_frames: AtomicU64::new(0),
                 explain_totals: Mutex::new(ExplainStats::default()),
                 last_explain: Mutex::new(None),
             }),
@@ -848,14 +950,17 @@ impl<D: PersistDomain> Engine<D> {
         let program = dai_lang::parse_program(source)
             .map_err(|e| EngineError::Parse(e.to_string()))
             .and_then(|p| lower_program(&p).map_err(EngineError::Cfg))?;
-        Ok(self.install_session(Session::with_config(
-            name,
+        let name = name.into();
+        let id = self.install_session(Session::with_config(
+            name.clone(),
             program,
             self.shared.strategy,
             self.shared.resolver,
             self.shared.transfer,
             Some(source.to_string()),
-        )))
+        ));
+        journal_open(&self.shared, id, &name, source);
+        Ok(id)
     }
 
     fn install_session(&self, session: Session<D>) -> SessionId {
@@ -870,12 +975,17 @@ impl<D: PersistDomain> Engine<D> {
 
     /// Closes a session, returning `false` if the id was unknown.
     pub fn close_session(&self, id: SessionId) -> bool {
-        self.shared
+        let present = self
+            .shared
             .sessions
             .write()
             .expect("session map poisoned")
             .remove(&id)
-            .is_some()
+            .is_some();
+        if present {
+            journal_close(&self.shared, id);
+        }
+        present
     }
 
     /// The current program of a session (cloned), for inspection and
@@ -1258,6 +1368,394 @@ impl<D: PersistDomain> Engine<D> {
         self.stats().publish_metrics();
         dai_trace::metrics().render_prometheus()
     }
+
+    /// The per-session activity counters of `id` (queries, edits,
+    /// saves, loads) — per-session attribution, unlike the engine-wide
+    /// [`EngineStats`] totals.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoSuchSession`] for unknown ids.
+    pub fn session_counters(&self, id: SessionId) -> Result<SessionCounters, EngineError> {
+        let session = self.session(id)?;
+        let guard = session.lock().expect("session poisoned");
+        Ok(guard.full_counters())
+    }
+
+    /// Whether `id` is a read-only replica session.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoSuchSession`] for unknown ids.
+    pub fn session_is_replica(&self, id: SessionId) -> Result<bool, EngineError> {
+        let session = self.session(id)?;
+        let guard = session.lock().expect("session poisoned");
+        Ok(guard.is_replica())
+    }
+
+    /// The attached journal, if [`Engine::open_journal`] has run.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.shared
+            .journal
+            .read()
+            .expect("journal slot poisoned")
+            .clone()
+    }
+
+    /// Opens (or creates) the journal at `path`, **recovers** by
+    /// replaying its clean prefix into this engine — opens, edits,
+    /// memo deltas, snapshots; any torn tail was already truncated by
+    /// [`Journal::open`] — and then attaches the journal so every
+    /// subsequent source-backed open, edit, close, and save is
+    /// appended. Sessions opened *before* the journal attaches are
+    /// adopted lazily: their first journaled event writes their `Open`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, an already-attached journal, or a replayed entry
+    /// that fails to apply (a parse error in a logged source — the
+    /// journal lied). Tail damage is NOT an error.
+    pub fn open_journal(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+        config: JournalConfig,
+    ) -> Result<JournalRecovery, EngineError> {
+        if self.journal().is_some() {
+            return Err(EngineError::Daig(DaigError::Invariant(
+                "a journal is already attached to this engine".to_string(),
+            )));
+        }
+        let (journal, replay) = Journal::open(path, config)?;
+        for entry in &replay.entries {
+            self.apply_journal_entry(entry, false)?;
+        }
+        let journal = Arc::new(journal);
+        let recovery = JournalRecovery {
+            entries_replayed: replay.entries.len(),
+            damaged_len: replay.damaged_len,
+            last_seq: journal.last_seq(),
+        };
+        *self.shared.journal.write().expect("journal slot poisoned") = Some(journal);
+        Ok(recovery)
+    }
+
+    /// Applies one journal entry to this engine — the shared spine of
+    /// cold-start recovery (`replica = false`: the replayed sessions
+    /// are this engine's own, writable) and follower replication
+    /// (`replica = true`: sessions are read-only mirrors; edits arrive
+    /// only through this path). Sound at any prefix: a journal prefix
+    /// describes a consistent (older) program state, and demanded
+    /// evaluation from any consistent prior state answers correctly.
+    ///
+    /// # Errors
+    ///
+    /// Parse/CFG failures on `Open`, unknown journal sessions on
+    /// `Edit`/`Close`, snapshot decode failures. An undecodable
+    /// `MemoDelta` is *not* an error — memo warmth is lossy by design.
+    pub fn apply_journal_entry(
+        &self,
+        entry: &JournalEntry,
+        replica: bool,
+    ) -> Result<(), EngineError> {
+        let shared = &self.shared;
+        let local_of = |journal_id: u64| -> Result<SessionId, EngineError> {
+            shared
+                .journal_map
+                .lock()
+                .expect("journal map poisoned")
+                .to_local
+                .get(&journal_id)
+                .copied()
+                .ok_or(EngineError::NoSuchSession(SessionId(journal_id)))
+        };
+        match &entry.record {
+            JournalRecord::Open { name, source } => {
+                let program = dai_lang::parse_program(source)
+                    .map_err(|e| EngineError::Parse(e.to_string()))
+                    .and_then(|p| lower_program(&p).map_err(EngineError::Cfg))?;
+                let mut session = Session::with_config(
+                    name.clone(),
+                    program,
+                    shared.strategy,
+                    shared.resolver,
+                    shared.transfer,
+                    Some(source.clone()),
+                );
+                session.set_replica(replica);
+                let id = self.install_session(session);
+                shared
+                    .journal_map
+                    .lock()
+                    .expect("journal map poisoned")
+                    .bind(entry.session, id);
+            }
+            JournalRecord::Edit { edit } => {
+                let local = local_of(entry.session)?;
+                let session = session_of(shared, local)?;
+                let mut guard = lock_session(shared.as_ref(), &session);
+                // Deliberately NOT gated on `is_replica`: this is the
+                // one path through which replica sessions change.
+                guard.apply_edit(edit)?;
+                drop(guard);
+                shared.edits.fetch_add(1, Ordering::Relaxed);
+            }
+            JournalRecord::Close => {
+                let local = local_of(entry.session)?;
+                self.close_session(local);
+            }
+            JournalRecord::MemoDelta { bytes } => {
+                // Lossy, like a snapshot's MEMO section: a delta that
+                // fails to decode is skipped whole, costing warmth only.
+                match decode_memo_delta::<D>(bytes) {
+                    Ok(entries) => {
+                        for (k, v) in entries {
+                            shared.memo.insert(k, v);
+                        }
+                    }
+                    Err(_) => {
+                        dai_trace::metrics()
+                            .counter("dai_journal_memo_deltas_dropped_total")
+                            .inc();
+                    }
+                }
+            }
+            JournalRecord::Snapshot { bytes } => {
+                let (mut image, report) = SessionImage::<D>::from_bytes(bytes)?;
+                let memo_entries = std::mem::take(&mut image.memo);
+                let restore_resolver = match image.policy {
+                    Some(policy) => ResolverChoice::Interproc { policy },
+                    None => ResolverChoice::Intra,
+                };
+                let (mut session, _, _) =
+                    Session::restore(image, restore_resolver, shared.transfer, &report)?;
+                session.set_replica(replica);
+                if !matches!(restore_resolver, ResolverChoice::Interproc { .. }) {
+                    for (k, v) in memo_entries {
+                        shared.memo.insert(k, v);
+                    }
+                }
+                let mut map = shared.journal_map.lock().expect("journal map poisoned");
+                match map.to_local.get(&entry.session).copied() {
+                    Some(local) => {
+                        // Refresh the mapped session in place: replace
+                        // its slot, keeping the local id stable for
+                        // queries in flight against the follower.
+                        shared
+                            .sessions
+                            .write()
+                            .expect("session map poisoned")
+                            .insert(local, Arc::new(Mutex::new(session)));
+                    }
+                    None => {
+                        let id = self.install_session(session);
+                        map.bind(entry.session, id);
+                    }
+                }
+            }
+        }
+        shared.applied_seq.store(entry.seq, Ordering::Relaxed);
+        shared.applied_frames.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Compacts the attached journal if it has crossed its configured
+    /// append threshold: one `DAIP` snapshot frame per journal-bound
+    /// session replaces the accumulated history. Returns `true` when a
+    /// compaction ran. Called automatically after journaled edits; a
+    /// REPL/router can also invoke it directly (`force = true`).
+    ///
+    /// # Errors
+    ///
+    /// Imaging or I/O failures (the journal is left as it was).
+    pub fn compact_journal(&self, force: bool) -> Result<bool, EngineError> {
+        compact_attached_journal(&self.shared, force)
+    }
+}
+
+/// [`Engine::compact_journal`]'s body, callable from the request path.
+fn compact_attached_journal<D: PersistDomain>(
+    shared: &EngineShared<D>,
+    force: bool,
+) -> Result<bool, EngineError> {
+    let Some(journal) = shared
+        .journal
+        .read()
+        .expect("journal slot poisoned")
+        .clone()
+    else {
+        return Ok(false);
+    };
+    if !force && !journal.wants_compaction() {
+        return Ok(false);
+    }
+    // Copy the bindings out first: imaging locks sessions, and the
+    // map lock must never be held across a session lock.
+    let bound: Vec<(u64, SessionId)> = {
+        let map = shared.journal_map.lock().expect("journal map poisoned");
+        let mut v: Vec<_> = map.to_local.iter().map(|(j, l)| (*j, *l)).collect();
+        v.sort_unstable();
+        v
+    };
+    let mut snapshots = Vec::with_capacity(bound.len());
+    for (journal_id, local) in bound {
+        let Ok(session) = session_of(shared, local) else {
+            continue; // closed concurrently — its Close frame rides the tail
+        };
+        let guard = session.lock().expect("session poisoned");
+        let image = guard.image()?;
+        drop(guard);
+        snapshots.push((journal_id, image.to_bytes()));
+    }
+    journal.compact(&snapshots)?;
+    Ok(true)
+}
+
+/// The outcome of [`Engine::open_journal`]'s recovery replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// Entries replayed from the journal's clean prefix.
+    pub entries_replayed: usize,
+    /// Bytes of torn/damaged tail truncated away (0 for a clean file).
+    pub damaged_len: usize,
+    /// The journal's last handed-out sequence number after recovery.
+    pub last_seq: u64,
+}
+
+/// Appends a source-backed session's `Open` frame (no-op without an
+/// attached journal).
+fn journal_open<D: AbstractDomain>(
+    shared: &EngineShared<D>,
+    local: SessionId,
+    name: &str,
+    source: &str,
+) {
+    let Some(journal) = shared
+        .journal
+        .read()
+        .expect("journal slot poisoned")
+        .clone()
+    else {
+        return;
+    };
+    let mut map = shared.journal_map.lock().expect("journal map poisoned");
+    let journal_id = map.next_id;
+    map.bind(journal_id, local);
+    drop(map);
+    journal_append(
+        &journal,
+        journal_id,
+        JournalRecord::Open {
+            name: name.to_string(),
+            source: source.to_string(),
+        },
+    );
+}
+
+/// Appends a `Close` frame for a bound session and drops the binding
+/// (no-op for unbound sessions or without a journal).
+fn journal_close<D: AbstractDomain>(shared: &EngineShared<D>, local: SessionId) {
+    let unbound = shared
+        .journal_map
+        .lock()
+        .expect("journal map poisoned")
+        .unbind_local(local);
+    let Some(journal_id) = unbound else { return };
+    let Some(journal) = shared
+        .journal
+        .read()
+        .expect("journal slot poisoned")
+        .clone()
+    else {
+        return;
+    };
+    journal_append(&journal, journal_id, JournalRecord::Close);
+}
+
+/// Appends `record` for the session `local` is bound to, lazily
+/// adopting a pre-journal session (its `Open` is written first, from
+/// the locked session's own name and source). Call with the session
+/// lock held so the session's frames appear in its edit order.
+fn journal_record<D: AbstractDomain>(
+    shared: &EngineShared<D>,
+    local: SessionId,
+    guard: &Session<D>,
+    record: JournalRecord,
+) {
+    let Some(journal) = shared
+        .journal
+        .read()
+        .expect("journal slot poisoned")
+        .clone()
+    else {
+        return;
+    };
+    let mut map = shared.journal_map.lock().expect("journal map poisoned");
+    let journal_id = match map.to_journal.get(&local) {
+        Some(id) => *id,
+        None => {
+            // Adopt: sessions without source aren't replayable, so they
+            // stay out of the journal entirely.
+            let Some(source) = guard.source() else { return };
+            let journal_id = map.next_id;
+            map.bind(journal_id, local);
+            journal_append(
+                &journal,
+                journal_id,
+                JournalRecord::Open {
+                    name: guard.name().to_string(),
+                    source: source.to_string(),
+                },
+            );
+            journal_id
+        }
+    };
+    drop(map);
+    journal_append(&journal, journal_id, record);
+}
+
+/// One journal append, with failures counted rather than propagated:
+/// the state change the frame describes has already happened, so the
+/// caller cannot un-apply it — an append failure costs durability (and
+/// is visible in `dai_journal_append_errors_total`), never consistency.
+fn journal_append(journal: &Journal, journal_id: u64, record: JournalRecord) {
+    if journal.append(journal_id, record).is_err() {
+        dai_trace::metrics()
+            .counter("dai_journal_append_errors_total")
+            .inc();
+    }
+}
+
+/// Encodes memo entries as an opaque `MemoDelta` payload.
+fn encode_memo_delta<D: PersistDomain>(entries: &[(MemoKey, Value<D>)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(entries.len() as u64);
+    for (k, v) in entries {
+        k.put(&mut w);
+        v.put(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a `MemoDelta` payload (strict: any malformed entry rejects
+/// the whole delta, and the caller skips it — lossy, sound).
+fn decode_memo_delta<D: PersistDomain>(
+    bytes: &[u8],
+) -> Result<Vec<(MemoKey, Value<D>)>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let k = MemoKey::get(&mut r)?;
+        let v = Value::<D>::get(&mut r)?;
+        out.push((k, v));
+    }
+    if !r.is_exhausted() {
+        return Err(PersistError::Corrupt(format!(
+            "memo delta has {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(out)
 }
 
 /// Builds one reply slot, returning the waiting and the producing half.
@@ -1615,6 +2113,20 @@ fn snapshot_stats<D: AbstractDomain>(shared: &EngineShared<D>, workers: usize) -
             .expect("explain stats poisoned")
             .clone(),
         memo: shared.memo.stats(),
+        replication: {
+            let journal = shared
+                .journal
+                .read()
+                .expect("journal slot poisoned")
+                .clone();
+            ReplicationStats {
+                journal_attached: journal.is_some(),
+                journal_last_seq: journal.as_ref().map_or(0, |j| j.last_seq()),
+                journal_frames: journal.as_ref().map_or(0, |j| j.frames()),
+                applied_seq: shared.applied_seq.load(Ordering::Relaxed),
+                applied_frames: shared.applied_frames.load(Ordering::Relaxed),
+            }
+        },
     }
 }
 
@@ -1651,6 +2163,7 @@ fn process<D: PersistDomain>(
             // `applied` + re-kick of deferred queries) must happen on every
             // exit path — a failed edit changed nothing, so releasing the
             // queries it fenced is sound.
+            let sid = session;
             let _fence = FenceCompletion {
                 shared,
                 pool,
@@ -1660,10 +2173,21 @@ fn process<D: PersistDomain>(
             let session = session_of(shared, session)?;
             let mut guard = lock_session(shared.as_ref(), &session);
             let _lock_span = dai_trace::span!("engine.session_lock");
+            if guard.is_replica() {
+                return Err(EngineError::ReadOnly(sid));
+            }
             let out = guard.apply_edit(&edit);
+            if out.is_ok() {
+                // Behind the session lock: this session's journal frames
+                // land in its edit order.
+                journal_record(shared.as_ref(), sid, &guard, JournalRecord::Edit { edit });
+            }
             drop(guard);
             if out.is_ok() {
                 shared.edits.fetch_add(1, Ordering::Relaxed);
+                // Past the threshold? Fold history into snapshots. A
+                // compaction failure costs journal size, not the edit.
+                let _ = compact_attached_journal(shared.as_ref(), false);
             }
             out.map(Response::Edited)
         }
@@ -1677,6 +2201,7 @@ fn process<D: PersistDomain>(
             Ok(Response::Snapshot(snap))
         }
         Request::Save { session, path } => {
+            let sid = session;
             let mut save_span = dai_trace::span!("engine.save");
             let session = session_of(shared, session)?;
             // Behind the session lock (like Edit): the image is a
@@ -1696,8 +2221,25 @@ fn process<D: PersistDomain>(
             let memo_entries = image.memo.len();
             let bytes = image.to_bytes();
             save_span.set_arg(bytes.len() as u64);
-            write_snapshot_file(&path, &bytes)?;
+            write_snapshot_file_durable(&path, &bytes, shared.durability)?;
             shared.saves.fetch_add(1, Ordering::Relaxed);
+            // Per-session attribution (and the journal's memo delta)
+            // happen only once the write has actually landed. The brief
+            // relock is bookkeeping, not serving — not a session_lock.
+            {
+                let mut guard = session.lock().expect("session poisoned");
+                guard.note_saved();
+                if !image.memo.is_empty() {
+                    journal_record(
+                        shared.as_ref(),
+                        sid,
+                        &guard,
+                        JournalRecord::MemoDelta {
+                            bytes: encode_memo_delta(&image.memo),
+                        },
+                    );
+                }
+            }
             Ok(Response::Saved(PersistOutcome {
                 bytes: bytes.len(),
                 funcs,

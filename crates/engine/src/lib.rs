@@ -88,9 +88,14 @@ pub mod session;
 pub mod wire;
 
 pub use engine::{
-    BatchStats, Engine, EngineConfig, EngineError, EngineStats, ExplainStats, PersistOutcome,
-    QueryOptions, Request, Response, SessionId, SweepOutcome, Ticket,
+    BatchStats, Engine, EngineConfig, EngineError, EngineStats, ExplainStats, JournalRecovery,
+    PersistOutcome, QueryOptions, ReplicationStats, Request, Response, SessionId, SweepOutcome,
+    Ticket,
 };
+// Re-exported so replication consumers (the RPC replica, the REPL's
+// `journal` command) can configure and read journals without depending
+// on `dai-journal` directly.
+pub use dai_journal::{Journal, JournalConfig, JournalEntry, JournalRecord};
 // Re-exported so explain consumers (the RPC layer, the REPL, benches)
 // can name the report types without depending on `dai-core` directly.
 pub use dai_core::explain::{CellCost, CellOutcome, ExplainReport, FixCost};
@@ -101,7 +106,7 @@ pub use dai_trace::{TraceDump, TraceOp};
 pub use pool::{PoolHandle, WorkerPool};
 pub use scheduler::evaluate_targets;
 pub use service::Service;
-pub use session::{EditOutcome, ResolverChoice, Session, SessionSnapshot};
+pub use session::{EditOutcome, ResolverChoice, Session, SessionCounters, SessionSnapshot};
 
 #[cfg(test)]
 mod tests {

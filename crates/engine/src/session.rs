@@ -83,6 +83,19 @@ pub struct EditOutcome {
     pub new_edges: usize,
 }
 
+/// Per-session activity counters (see [`Session::full_counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Queries this session answered.
+    pub queries: u64,
+    /// Edits applied to this session (replayed history excluded).
+    pub edits: u64,
+    /// Saves taken of this session.
+    pub saves: u64,
+    /// Restores that produced or refreshed this session.
+    pub loads: u64,
+}
+
 /// A deterministic picture of a session's DAIGs: per-function Graphviz
 /// exports, sorted by function name (and internally sorted by cell name —
 /// see `dai_core::dot`), so two snapshots of structurally identical
@@ -138,6 +151,16 @@ pub struct Session<D: AbstractDomain> {
     backend: Backend<D>,
     queries: u64,
     edits: u64,
+    /// Times this session's state was persisted ([`Session::image`]
+    /// successfully taken by a `Save`).
+    saves: u64,
+    /// 1 for a session that came out of [`Session::restore`], plus any
+    /// later re-restores in place (replica snapshot application).
+    loads: u64,
+    /// `true` for a replica session: state replayed from another
+    /// engine's journal, writable only through the replication apply
+    /// path — client edits are rejected with `EngineError::ReadOnly`.
+    replica: bool,
 }
 
 fn make_backend<D: AbstractDomain>(
@@ -206,6 +229,9 @@ impl<D: AbstractDomain> Session<D> {
             backend,
             queries: 0,
             edits: 0,
+            saves: 0,
+            loads: 0,
+            replica: false,
         }
     }
 
@@ -240,6 +266,34 @@ impl<D: AbstractDomain> Session<D> {
     /// Queries served and edits applied so far.
     pub fn counters(&self) -> (u64, u64) {
         (self.queries, self.edits)
+    }
+
+    /// All four per-session persistence/activity counters. Per-session,
+    /// not engine-global: a `Save` of session A must never inflate
+    /// session B's accounting, and a restored session starts with the
+    /// query/edit history it actually replayed — zero — plus one load.
+    pub fn full_counters(&self) -> SessionCounters {
+        SessionCounters {
+            queries: self.queries,
+            edits: self.edits,
+            saves: self.saves,
+            loads: self.loads,
+        }
+    }
+
+    /// Records a successful persist of this session's image.
+    pub fn note_saved(&mut self) {
+        self.saves += 1;
+    }
+
+    /// Whether this session is a read-only replica (see the field doc).
+    pub fn is_replica(&self) -> bool {
+        self.replica
+    }
+
+    /// Marks this session as a read-only replica.
+    pub fn set_replica(&mut self, replica: bool) {
+        self.replica = replica;
     }
 
     fn unit_mut<'u>(
@@ -761,8 +815,12 @@ impl<D: PersistDomain> Session<D> {
             session.apply_edit(edit)?;
         }
         debug_assert_eq!(session.history.len(), image.edits.len());
-        // Replay counts as history, not as served work.
+        // Replay counts as history, not as served work: the restored
+        // session keeps its edit-history *provenance* (`history`, so a
+        // re-save round-trips byte-identically) but its activity
+        // counters start fresh, with exactly one load on the books.
         session.edits = 0;
+        session.loads = 1;
         let mut installed = 0usize;
         let mut dropped = report.funcs_dropped;
         if !matches!(session.backend, Backend::Intra { .. }) {

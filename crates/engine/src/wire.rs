@@ -9,7 +9,9 @@
 
 use dai_persist::{Persist, PersistError, Reader, Writer};
 
-use crate::engine::{BatchStats, EngineStats, ExplainStats, PersistOutcome, SessionId};
+use crate::engine::{
+    BatchStats, EngineStats, ExplainStats, PersistOutcome, ReplicationStats, SessionId,
+};
 use crate::session::{EditOutcome, SessionSnapshot};
 
 impl Persist for SessionId {
@@ -106,6 +108,26 @@ impl Persist for ExplainStats {
     }
 }
 
+impl Persist for ReplicationStats {
+    fn put(&self, w: &mut Writer) {
+        self.journal_attached.put(w);
+        w.u64(self.journal_last_seq);
+        w.u64(self.journal_frames);
+        w.u64(self.applied_seq);
+        w.u64(self.applied_frames);
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ReplicationStats {
+            journal_attached: bool::get(r)?,
+            journal_last_seq: r.u64()?,
+            journal_frames: r.u64()?,
+            applied_seq: r.u64()?,
+            applied_frames: r.u64()?,
+        })
+    }
+}
+
 impl Persist for EngineStats {
     fn put(&self, w: &mut Writer) {
         w.u64(self.workers as u64);
@@ -120,6 +142,7 @@ impl Persist for EngineStats {
         self.query_stats.put(w);
         self.explain.put(w);
         self.memo.put(w);
+        self.replication.put(w);
     }
 
     fn get(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -136,6 +159,7 @@ impl Persist for EngineStats {
             query_stats: dai_core::query::QueryStats::get(r)?,
             explain: ExplainStats::get(r)?,
             memo: dai_memo::MemoStats::get(r)?,
+            replication: ReplicationStats::get(r)?,
         })
     }
 }
@@ -241,6 +265,13 @@ mod tests {
                 misses: 50,
                 insertions: 50,
                 evictions: 0,
+            },
+            replication: ReplicationStats {
+                journal_attached: true,
+                journal_last_seq: 42,
+                journal_frames: 17,
+                applied_seq: 40,
+                applied_frames: 15,
             },
         };
         roundtrip(&stats);

@@ -1,0 +1,471 @@
+//! The on-disk append-only journal.
+//!
+//! One file, a run of checksummed frames ([`crate::record`]). Opening
+//! replays the longest clean prefix and truncates anything after it —
+//! recovery IS the ordinary open path, so every test of open is a test
+//! of crash recovery. Appends go to the end under a lock; `Safe`
+//! durability fsyncs the file after each append batch. Compaction
+//! rewrites the file as one `JSNP` snapshot frame per live session
+//! (with *fresh* sequence numbers, so follower cursors survive) via the
+//! same tmp + rename + fsync dance snapshots use.
+
+use crate::record::{replay_bytes, JournalEntry, JournalRecord, Replay};
+use dai_persist::{sync_file, sync_parent_dir, Durability, PersistError};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// Fsync policy for appends and compaction (see [`Durability`]).
+    pub durability: Durability,
+    /// Suggest compaction after this many appended frames since the
+    /// last one (`0` disables the hint; callers poll
+    /// [`Journal::wants_compaction`]).
+    pub compact_every: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            durability: Durability::Fast,
+            compact_every: 1024,
+        }
+    }
+}
+
+/// A batch of raw frames pulled for replication.
+#[derive(Debug, Clone, Default)]
+pub struct FrameBatch {
+    /// Concatenated frame bytes, exactly as on disk.
+    pub bytes: Vec<u8>,
+    /// Number of frames in `bytes`.
+    pub count: u32,
+    /// Sequence number of the last frame in the batch (or the cursor
+    /// unchanged when `count == 0`).
+    pub last_seq: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: std::fs::File,
+    /// Next global sequence number to assign.
+    next_seq: u64,
+    /// Per-session next `session_seq`.
+    session_seqs: HashMap<u64, u64>,
+    /// Good frames currently in the file.
+    frames: u64,
+    /// Appends since the last compaction (compaction-hint counter).
+    appended_since_compact: u64,
+}
+
+/// An open journal file. Cheap to share behind an `Arc`; all file
+/// access is serialized on an internal lock.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    config: JournalConfig,
+    inner: Mutex<Inner>,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> PersistError {
+    PersistError::Io(format!("{}: {e}", path.display()))
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replaying the longest
+    /// clean prefix and truncating any torn/damaged tail in place.
+    /// Returns the journal positioned for append plus the replay — the
+    /// caller feeds `replay.entries` through its apply path to rebuild
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failure. Damage is NOT an
+    /// error: it is truncated away and reported via
+    /// [`Replay::damaged_len`].
+    pub fn open(
+        path: impl Into<PathBuf>,
+        config: JournalConfig,
+    ) -> Result<(Journal, Replay), PersistError> {
+        let path = path.into();
+        let err = |e| io_err(&path, e);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(err(e)),
+        };
+        let replay = replay_bytes(&bytes);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(err)?;
+        if replay.damaged_len > 0 {
+            file.set_len(replay.good_len as u64).map_err(err)?;
+            if config.durability == Durability::Safe {
+                sync_file(&file).map_err(err)?;
+            }
+        }
+        let mut session_seqs = HashMap::new();
+        let mut next_seq = 1;
+        for e in &replay.entries {
+            next_seq = e.seq + 1;
+            session_seqs.insert(e.session, e.session_seq + 1);
+        }
+        let mut file_for_append = file;
+        std::io::Seek::seek(
+            &mut file_for_append,
+            std::io::SeekFrom::Start(replay.good_len as u64),
+        )
+        .map_err(err)?;
+        let journal = Journal {
+            inner: Mutex::new(Inner {
+                file: file_for_append,
+                next_seq,
+                session_seqs,
+                frames: replay.entries.len() as u64,
+                appended_since_compact: 0,
+            }),
+            path,
+            config,
+        };
+        Ok((journal, replay))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured durability level.
+    pub fn durability(&self) -> Durability {
+        self.config.durability
+    }
+
+    /// Appends one record for `session`, assigning its sequence
+    /// numbers. Returns the entry's global sequence number. Under
+    /// [`Durability::Safe`] the file is fsync'd before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on write failure.
+    pub fn append(&self, session: u64, record: JournalRecord) -> Result<u64, PersistError> {
+        self.append_all(session, std::iter::once(record))
+    }
+
+    /// Appends a batch of records for `session` with a single fsync at
+    /// the end (the "after each journal append batch" rule). Returns
+    /// the last assigned global sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on write failure.
+    pub fn append_all(
+        &self,
+        session: u64,
+        records: impl IntoIterator<Item = JournalRecord>,
+    ) -> Result<u64, PersistError> {
+        let err = |e| io_err(&self.path, e);
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        let mut buf = Vec::new();
+        let mut appended = 0u64;
+        for record in records {
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            let slot = inner.session_seqs.entry(session).or_insert(1);
+            let session_seq = *slot;
+            *slot += 1;
+            appended += 1;
+            JournalEntry {
+                seq,
+                session,
+                session_seq,
+                record,
+            }
+            .encode_into(&mut buf);
+        }
+        if appended == 0 {
+            return Ok(inner.next_seq.saturating_sub(1));
+        }
+        inner.file.write_all(&buf).map_err(err)?;
+        inner.file.flush().map_err(err)?;
+        if self.config.durability == Durability::Safe {
+            sync_file(&inner.file).map_err(err)?;
+        }
+        inner.frames += appended;
+        inner.appended_since_compact += appended;
+        dai_trace::metrics()
+            .counter("dai_journal_appended_frames_total")
+            .add(appended);
+        Ok(inner.next_seq - 1)
+    }
+
+    /// The last assigned global sequence number (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        inner.next_seq - 1
+    }
+
+    /// Good frames currently in the file.
+    pub fn frames(&self) -> u64 {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        inner.frames
+    }
+
+    /// `true` once the append count since the last compaction passes
+    /// the configured threshold.
+    pub fn wants_compaction(&self) -> bool {
+        if self.config.compact_every == 0 {
+            return false;
+        }
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        inner.appended_since_compact >= self.config.compact_every
+    }
+
+    /// Pulls the raw frame bytes of every entry with `seq > after`, in
+    /// order — the replication feed. Frames ship exactly as stored
+    /// (checksums and all), so a follower verifies them with the same
+    /// [`replay_bytes`] the leader's own recovery uses.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] if the file cannot be re-read.
+    pub fn frames_since(&self, after: u64, max: u32) -> Result<FrameBatch, PersistError> {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        let bytes = std::fs::read(&self.path).map_err(|e| io_err(&self.path, e))?;
+        drop(inner);
+        let mut batch = FrameBatch {
+            last_seq: after,
+            ..FrameBatch::default()
+        };
+        let mut offset = 0usize;
+        while offset < bytes.len() && batch.count < max {
+            let Some(split) = dai_persist::split_frame(&bytes[offset..]) else {
+                break;
+            };
+            let Some(payload) = split.payload else { break };
+            let Ok(entry) = JournalEntry::decode(split.header.tag, split.header.version, payload)
+            else {
+                break;
+            };
+            let end = offset + split.consumed;
+            if entry.seq > after {
+                batch.bytes.extend_from_slice(&bytes[offset..end]);
+                batch.count += 1;
+                batch.last_seq = entry.seq;
+            }
+            offset = end;
+        }
+        Ok(batch)
+    }
+
+    /// Replaces the journal's contents with one snapshot frame per
+    /// `(session, DAIP bytes)` pair, assigning fresh sequence numbers
+    /// **above** every previously handed-out one. Written atomically
+    /// (tmp + rename; fsync'd under [`Durability::Safe`]). Returns the
+    /// new last sequence number.
+    ///
+    /// A follower whose cursor points into the truncated history simply
+    /// receives the snapshot frames next pull — snapshot application is
+    /// idempotent, so catching up over a compaction is seamless.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failure.
+    pub fn compact(&self, snapshots: &[(u64, Vec<u8>)]) -> Result<u64, PersistError> {
+        let err = |e| io_err(&self.path, e);
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        let mut buf = Vec::new();
+        let mut frames = 0u64;
+        for (session, bytes) in snapshots {
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            let slot = inner.session_seqs.entry(*session).or_insert(1);
+            let session_seq = *slot;
+            *slot += 1;
+            frames += 1;
+            JournalEntry {
+                seq,
+                session: *session,
+                session_seq,
+                record: JournalRecord::Snapshot {
+                    bytes: bytes.clone(),
+                },
+            }
+            .encode_into(&mut buf);
+        }
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(format!(".compact-{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(err)?;
+            file.write_all(&buf).map_err(err)?;
+            if self.config.durability == Durability::Safe {
+                sync_file(&file).map_err(err)?;
+            }
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            err(e)
+        })?;
+        if self.config.durability == Durability::Safe {
+            sync_parent_dir(&self.path).map_err(err)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(err)?;
+        std::io::Seek::seek(&mut file, std::io::SeekFrom::End(0)).map_err(err)?;
+        inner.file = file;
+        inner.frames = frames;
+        inner.appended_since_compact = 0;
+        dai_trace::metrics()
+            .counter("dai_journal_compactions_total")
+            .inc();
+        Ok(inner.next_seq - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dai-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn open_record(n: u32) -> JournalRecord {
+        JournalRecord::Open {
+            name: format!("s{n}"),
+            source: format!("fn f{n}() {{ x = {n}; }}"),
+        }
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let path = tmp_path("append-reopen.daij");
+        let _ = std::fs::remove_file(&path);
+        let (journal, replay) = Journal::open(&path, JournalConfig::default()).unwrap();
+        assert!(replay.entries.is_empty());
+        for i in 0..5 {
+            journal.append(1, open_record(i)).unwrap();
+        }
+        assert_eq!(journal.last_seq(), 5);
+        drop(journal);
+        let (journal, replay) = Journal::open(&path, JournalConfig::default()).unwrap();
+        assert_eq!(replay.entries.len(), 5);
+        assert_eq!(replay.damaged_len, 0);
+        assert_eq!(journal.last_seq(), 5);
+        // Sequences continue where they left off.
+        let seq = journal.append(1, JournalRecord::Close).unwrap();
+        assert_eq!(seq, 6);
+        let entry = &replay.entries[4];
+        assert_eq!((entry.seq, entry.session, entry.session_seq), (5, 1, 5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp_path("torn-tail.daij");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path, JournalConfig::default()).unwrap();
+        journal.append(1, open_record(0)).unwrap();
+        journal.append(1, open_record(1)).unwrap();
+        drop(journal);
+        // Tear the last frame: chop 3 bytes off the file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (journal, replay) = Journal::open(&path, JournalConfig::default()).unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert!(replay.damaged_len > 0);
+        // The file was truncated to the clean prefix and appends work.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len() as usize,
+            replay.good_len
+        );
+        let seq = journal.append(1, open_record(2)).unwrap();
+        assert_eq!(seq, 2, "seq restarts after the lost frame");
+        drop(journal);
+        let (_, replay) = Journal::open(&path, JournalConfig::default()).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn frames_since_pages_through_the_feed() {
+        let path = tmp_path("frames-since.daij");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path, JournalConfig::default()).unwrap();
+        for i in 0..6 {
+            journal.append(u64::from(i % 2), open_record(i)).unwrap();
+        }
+        let batch = journal.frames_since(0, 4).unwrap();
+        assert_eq!(batch.count, 4);
+        assert_eq!(batch.last_seq, 4);
+        let replayed = replay_bytes(&batch.bytes);
+        assert_eq!(replayed.entries.len(), 4);
+        assert_eq!(replayed.damaged_len, 0);
+        let rest = journal.frames_since(batch.last_seq, 100).unwrap();
+        assert_eq!(rest.count, 2);
+        assert_eq!(rest.last_seq, 6);
+        let empty = journal.frames_since(6, 100).unwrap();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.last_seq, 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_truncates_but_keeps_sequencing_monotonic() {
+        let path = tmp_path("compact.daij");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path, JournalConfig::default()).unwrap();
+        for i in 0..8 {
+            journal.append(3, open_record(i)).unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let last = journal.compact(&[(3, vec![0xAB; 10])]).unwrap();
+        assert_eq!(last, 9, "snapshot frame takes the next fresh seq");
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+        assert_eq!(journal.frames(), 1);
+        // A follower parked at seq 5 pulls and gets the snapshot frame.
+        let batch = journal.frames_since(5, 100).unwrap();
+        assert_eq!(batch.count, 1);
+        assert_eq!(batch.last_seq, 9);
+        let replay = replay_bytes(&batch.bytes);
+        assert!(matches!(
+            replay.entries[0].record,
+            JournalRecord::Snapshot { .. }
+        ));
+        // Appends continue past the compaction.
+        assert_eq!(journal.append(3, JournalRecord::Close).unwrap(), 10);
+        drop(journal);
+        let (_, replay) = Journal::open(&path, JournalConfig::default()).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.entries[1].seq, 10);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn safe_durability_syncs_on_append() {
+        let path = tmp_path("safe-append.daij");
+        let _ = std::fs::remove_file(&path);
+        let config = JournalConfig {
+            durability: Durability::Safe,
+            ..JournalConfig::default()
+        };
+        let (journal, _) = Journal::open(&path, config).unwrap();
+        let (f0, _) = dai_persist::sync_counts();
+        journal.append(1, open_record(0)).unwrap();
+        let (f1, _) = dai_persist::sync_counts();
+        assert!(f1 > f0, "Safe journal append must fsync the file");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -89,7 +89,8 @@ pub use frame::{
     FRAME_TRAILER_LEN,
 };
 pub use snapshot::{
-    decode_daig, encode_daig, read_snapshot_file, write_snapshot_file, FuncImage, RestoreReport,
+    decode_daig, encode_daig, read_snapshot_file, sync_counts, sync_file, sync_parent_dir,
+    write_snapshot_file, write_snapshot_file_durable, Durability, FuncImage, RestoreReport,
     SessionImage, FUNC_VERSION, MEMO_VERSION, SESSION_VERSION,
 };
 pub use trace::{decode_trace_frame, encode_trace_frame, TRACE_FRAME_TAG, TRACE_FRAME_VERSION};

@@ -504,6 +504,49 @@ impl<D: PersistDomain> Client<D> {
             other => Err(transport_err(format!("unexpected response {other:?}"))),
         }
     }
+
+    /// Pulls journal frames for replication: every frame with sequence
+    /// number strictly greater than `after`, at most `max` per call,
+    /// verbatim off the server's journal (disk format == wire format).
+    /// [`crate::Replica`] drives this in a loop; call it directly to
+    /// tail a leader by hand.
+    ///
+    /// # Errors
+    ///
+    /// `rejected` (kind `no-journal`) when the server has no journal
+    /// attached; transport failures.
+    pub fn subscribe(&self, after: u64, max: u32) -> Result<StreamBatch, EngineError> {
+        match self.call_ok(&WireRequest::Subscribe { after, max })? {
+            WireResponse::Stream {
+                head_seq,
+                last_seq,
+                count,
+                frames,
+            } => Ok(StreamBatch {
+                head_seq,
+                last_seq,
+                count,
+                frames,
+            }),
+            other => Err(transport_err(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+/// One [`Client::subscribe`] answer: a batch of journal frames plus the
+/// leader's head sequence number at answer time (lag = `head_seq` minus
+/// the last applied sequence).
+#[derive(Debug, Clone)]
+pub struct StreamBatch {
+    /// The leader's journal head when the batch was cut.
+    pub head_seq: u64,
+    /// Sequence number of the final frame in `frames` (0 when empty).
+    pub last_seq: u64,
+    /// Number of frames in `frames`.
+    pub count: u32,
+    /// The frames, concatenated verbatim as they sit on the leader's
+    /// disk.
+    pub frames: Vec<u8>,
 }
 
 /// Orders pipelined answers back into request order, filling the ids a

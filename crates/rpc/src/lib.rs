@@ -29,7 +29,18 @@
 //!   `&Engine<D>` for `&Client<D>` and code runs remotely. Protocol
 //!   negotiation (a v4 client downshifts to a v3 server by
 //!   reconnecting), hello auth tokens, and id-matched pipelining
-//!   ([`Client::pipeline_queries`]) live here.
+//!   ([`Client::pipeline_queries`]) live here;
+//! * [`replica`] — streaming replication: a [`Replica`] tails a
+//!   leader's `dai-journal` over [`Client::subscribe`] (the journal's
+//!   disk format *is* the wire format) and applies it into a local
+//!   follower engine whose replicated sessions are read-only — a
+//!   lagging follower is simply the leader as of an earlier frame, so
+//!   its answers are sound (see `crates/journal/README.md`);
+//! * [`router`] — session sharding: a [`Router`] is a third [`Service`]
+//!   implementor that consistent-hashes session names across N
+//!   [`ShardBackend`]s (engines or clients), forwards every call to the
+//!   owning shard, counts routed query members per shard, and migrates
+//!   sessions live between shards via save → release → close → load.
 //!
 //! The wire protocol (frame layout, version negotiation, error codes) is
 //! documented in `crates/rpc/README.md`.
@@ -55,13 +66,17 @@
 
 pub mod client;
 pub mod proto;
+pub mod replica;
+pub mod router;
 pub mod server;
 
-pub use client::{Client, ClientOptions};
+pub use client::{Client, ClientOptions, StreamBatch};
 pub use proto::{
     WireError, WireRequest, WireResponse, WireState, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION, TAG_REQUEST, TAG_RESPONSE,
 };
+pub use replica::{Replica, SyncOutcome, DEFAULT_PULL_BATCH};
+pub use router::{Router, ShardBackend};
 pub use server::{Addr, Server, ServerConfig};
 
 #[allow(unused_imports)]

@@ -247,6 +247,18 @@ pub enum WireRequest {
         /// Sweep targets (sort for one batch per function).
         targets: Vec<(String, Loc)>,
     },
+    /// Pull journal frames for replication: every frame with sequence
+    /// number strictly greater than `after`, at most `max` of them,
+    /// verbatim as they sit on the leader's disk. Answered with
+    /// [`WireResponse::Stream`]; a server with no journal attached
+    /// answers [`WireError::Rejected`] (kind `no-journal`). Protocol ≥ 4
+    /// (a v3 decoder rejects the tag).
+    Subscribe {
+        /// Return only frames with `seq > after` (0 pulls from genesis).
+        after: u64,
+        /// Batch bound: at most this many frames per response.
+        max: u32,
+    },
 }
 
 /// One server → client message.
@@ -310,6 +322,21 @@ pub enum WireResponse {
     /// An explain capture (already domain-erased — cell names and the
     /// domain tag are strings, so it travels whole).
     Explain(ExplainReport),
+    /// A replication batch: `count` journal frames, byte-for-byte as the
+    /// leader's journal holds them (the disk format *is* the wire
+    /// format). `head_seq` is the leader's journal head at answer time,
+    /// so a follower computes its lag as `head_seq - applied_seq`;
+    /// `last_seq` is the last frame in this batch (0 when empty).
+    Stream {
+        /// The leader's journal head sequence number.
+        head_seq: u64,
+        /// Sequence number of the final frame in `frames` (0 if none).
+        last_seq: u64,
+        /// Number of frames in `frames`.
+        count: u32,
+        /// The frames, concatenated verbatim.
+        frames: Vec<u8>,
+    },
 }
 
 /// A structured wire failure. Every variant has a stable [`code`]
@@ -424,6 +451,10 @@ impl WireError {
             EngineError::NotReplayable(name) => WireError::Rejected {
                 kind: "not-replayable".to_string(),
                 message: name.clone(),
+            },
+            EngineError::ReadOnly(id) => WireError::Rejected {
+                kind: "read-only".to_string(),
+                message: format!("session s{} is a replica (read-only)", id.0),
             },
             EngineError::Persist(p) => WireError::Persist(p.to_string()),
             EngineError::Disconnected => WireError::Disconnected,
@@ -627,6 +658,11 @@ impl Persist for WireRequest {
                 w.u64(*session);
                 targets.put(w);
             }
+            WireRequest::Subscribe { after, max } => {
+                w.u8(15);
+                w.u64(*after);
+                w.u32(*max);
+            }
         }
     }
 
@@ -691,6 +727,10 @@ impl Persist for WireRequest {
             14 => WireRequest::Explain {
                 session: r.u64()?,
                 targets: Vec::<(String, Loc)>::get(r)?,
+            },
+            15 => WireRequest::Subscribe {
+                after: r.u64()?,
+                max: r.u32()?,
             },
             t => {
                 return Err(PersistError::Corrupt(format!(
@@ -778,6 +818,19 @@ impl Persist for WireResponse {
                 w.u8(14);
                 report.put(w);
             }
+            WireResponse::Stream {
+                head_seq,
+                last_seq,
+                count,
+                frames,
+            } => {
+                w.u8(15);
+                w.u64(*head_seq);
+                w.u64(*last_seq);
+                w.u32(*count);
+                w.u64(frames.len() as u64);
+                w.bytes(frames);
+            }
         }
     }
 
@@ -830,6 +883,18 @@ impl Persist for WireResponse {
                 text: String::get(r)?,
             },
             14 => WireResponse::Explain(ExplainReport::get(r)?),
+            15 => {
+                let head_seq = r.u64()?;
+                let last_seq = r.u64()?;
+                let count = r.u32()?;
+                let n = r.len_prefix()?;
+                WireResponse::Stream {
+                    head_seq,
+                    last_seq,
+                    count,
+                    frames: r.take(n)?.to_vec(),
+                }
+            }
             t => {
                 return Err(PersistError::Corrupt(format!(
                     "unknown wire-response tag {t}"
@@ -926,6 +991,10 @@ mod tests {
             session: 9,
             targets: vec![("main".to_string(), Loc(0)), ("main".to_string(), Loc(1))],
         });
+        roundtrip(&WireRequest::Subscribe {
+            after: 17,
+            max: 256,
+        });
     }
 
     #[test]
@@ -962,6 +1031,18 @@ mod tests {
         }));
         roundtrip(&WireResponse::Metrics {
             text: "# TYPE dai_engine_queries gauge\ndai_engine_queries 5\n".to_string(),
+        });
+        roundtrip(&WireResponse::Stream {
+            head_seq: 40,
+            last_seq: 38,
+            count: 3,
+            frames: vec![0xAB; 64],
+        });
+        roundtrip(&WireResponse::Stream {
+            head_seq: 0,
+            last_seq: 0,
+            count: 0,
+            frames: Vec::new(),
         });
         roundtrip(&WireResponse::Explain(ExplainReport::default()));
         roundtrip(&WireResponse::Explain(ExplainReport {

@@ -1,0 +1,203 @@
+//! Streaming replication: a follower engine that tails a leader's
+//! journal over the wire and serves read-only queries from the
+//! replicated state.
+//!
+//! A [`Replica`] pairs a [`Client`] connection to the leader with a
+//! local follower [`Engine`]. It pulls journal frames with
+//! [`Client::subscribe`] — the frames travel **byte-for-byte** as they
+//! sit on the leader's disk (`dai-journal`'s disk format is the wire
+//! format) — decodes them with `dai_journal::replay_bytes`, and applies
+//! each entry into the follower via
+//! [`Engine::apply_journal_entry`] with `replica = true`, so every
+//! replicated session is **read-only**: a direct edit against the
+//! follower answers [`dai_engine::EngineError::ReadOnly`], and the only
+//! write path is the replication stream itself.
+//!
+//! ## Why a lagging replica is sound
+//!
+//! The journal orders whole edits, so every prefix of it is a program
+//! state the leader actually passed through. A follower that has
+//! applied `k` of `n` frames is therefore not *wrong* — it is the
+//! leader as of frame `k`, and demanded evaluation against that state
+//! answers exactly what the leader would have answered then (the
+//! from-scratch-consistency argument of Stein et al., *Demanded
+//! Abstract Interpretation*, PLDI 2021, Theorems 6.1–6.3: results agree
+//! with a batch analysis of the current program, whichever program that
+//! is). Catching up never requires invalidation beyond what the edits
+//! themselves demand.
+//!
+//! Lag is observable: [`Replica::sync_batch`] sets the
+//! `dai_replica_lag_frames` gauge to `head_seq - applied_seq` after
+//! every pull, and each applied entry is timed into the
+//! `dai_replica_apply_seconds` histogram.
+
+use dai_engine::{Engine, EngineError, JournalEntry};
+use dai_journal::replay_bytes;
+use dai_persist::PersistDomain;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::client::{Client, StreamBatch};
+
+/// Default frames-per-pull bound for [`Replica::catch_up`].
+pub const DEFAULT_PULL_BATCH: u32 = 256;
+
+/// What one [`Replica::sync_batch`] pull did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// Entries applied into the follower by this pull.
+    pub applied: u64,
+    /// The leader's journal head when the batch was cut.
+    pub head_seq: u64,
+    /// The follower's cursor after applying (last applied sequence).
+    pub applied_seq: u64,
+    /// Frames the follower still trails the leader by
+    /// (`head_seq - applied_seq`, saturating).
+    pub lag: u64,
+}
+
+/// A follower: one leader connection, one local engine applying the
+/// replicated journal, serving read-only queries.
+pub struct Replica<D: PersistDomain> {
+    client: Client<D>,
+    engine: Arc<Engine<D>>,
+    /// Last applied journal sequence number (the subscribe cursor).
+    cursor: AtomicU64,
+}
+
+impl<D: PersistDomain> Replica<D> {
+    /// Wraps an established leader connection and a follower engine.
+    /// The cursor starts at 0, so the first pull replays from genesis —
+    /// hand a *fresh* engine in, or one whose sessions the stream's
+    /// snapshot frames may overwrite.
+    pub fn new(client: Client<D>, engine: Arc<Engine<D>>) -> Replica<D> {
+        Replica {
+            client,
+            engine,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Connects to the leader at `addr` and wraps a fresh follower
+    /// engine with `workers` workers.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, as [`Client::connect`].
+    pub fn connect(addr: &str, workers: usize) -> Result<Replica<D>, EngineError> {
+        let client = Client::connect(addr)?;
+        Ok(Replica::new(client, Arc::new(Engine::new(workers))))
+    }
+
+    /// The follower engine — query it directly (it implements
+    /// [`dai_engine::Service`]); replicated sessions reject edits with
+    /// [`EngineError::ReadOnly`].
+    pub fn engine(&self) -> &Arc<Engine<D>> {
+        &self.engine
+    }
+
+    /// The leader connection.
+    pub fn client(&self) -> &Client<D> {
+        &self.client
+    }
+
+    /// Last applied journal sequence number.
+    pub fn applied_seq(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Pulls one batch of at most `max` frames past the cursor and
+    /// applies it. Updates the `dai_replica_lag_frames` gauge and times
+    /// each entry into `dai_replica_apply_seconds`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a leader without a journal (`rejected`, kind
+    /// `no-journal`), a damaged frame in the stream (`Persist` — the
+    /// wire is checksummed per message, so this indicates leader-side
+    /// corruption), or an entry the follower cannot apply.
+    pub fn sync_batch(&self, max: u32) -> Result<SyncOutcome, EngineError> {
+        let after = self.applied_seq();
+        let batch = self.client.subscribe(after, max)?;
+        self.apply_stream(&batch)
+    }
+
+    /// Applies an already-pulled [`StreamBatch`] (exposed so tests can
+    /// inject hand-cut batches).
+    ///
+    /// # Errors
+    ///
+    /// As [`Replica::sync_batch`].
+    pub fn apply_stream(&self, batch: &StreamBatch) -> Result<SyncOutcome, EngineError> {
+        let replay = replay_bytes(&batch.frames);
+        if replay.damaged_len > 0 {
+            return Err(EngineError::Persist(dai_persist::PersistError::Corrupt(
+                format!(
+                    "replication stream carries {} damaged trailing bytes",
+                    replay.damaged_len
+                ),
+            )));
+        }
+        let hist = dai_trace::metrics().histogram("dai_replica_apply_seconds");
+        let mut applied = 0u64;
+        let mut cursor = self.applied_seq();
+        for entry in &replay.entries {
+            if entry.seq <= cursor {
+                // Snapshot-compaction renumbers above the old head, so
+                // sequences only grow; an overlap means the leader
+                // re-sent frames we already hold. Skip, don't re-apply.
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            self.apply_entry(entry)?;
+            hist.observe_ns(t0.elapsed().as_nanos() as u64);
+            cursor = entry.seq;
+            applied += 1;
+        }
+        self.cursor.store(cursor, Ordering::Release);
+        let lag = batch.head_seq.saturating_sub(cursor);
+        dai_trace::metrics()
+            .gauge("dai_replica_lag_frames")
+            .set(lag);
+        Ok(SyncOutcome {
+            applied,
+            head_seq: batch.head_seq,
+            applied_seq: cursor,
+            lag,
+        })
+    }
+
+    fn apply_entry(&self, entry: &JournalEntry) -> Result<(), EngineError> {
+        self.engine.apply_journal_entry(entry, true)
+    }
+
+    /// Pulls until the follower has caught up with the leader's head as
+    /// of the final pull (`lag == 0`). Returns the total entries
+    /// applied.
+    ///
+    /// # Errors
+    ///
+    /// As [`Replica::sync_batch`].
+    pub fn catch_up(&self) -> Result<u64, EngineError> {
+        let mut total = 0u64;
+        loop {
+            let outcome = self.sync_batch(DEFAULT_PULL_BATCH)?;
+            total += outcome.applied;
+            if outcome.lag == 0 {
+                return Ok(total);
+            }
+            if outcome.applied == 0 {
+                // Lag without progress: the leader's head moved past
+                // frames it no longer serves (it should never happen —
+                // compaction renumbers *forward* — but never spin).
+                return Err(EngineError::Remote {
+                    code: "protocol",
+                    message: format!(
+                        "leader reports head {} but serves no frame past {}",
+                        outcome.head_seq, outcome.applied_seq
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1257,6 +1257,29 @@ impl<D: PersistDomain> EventLoop<D> {
                 };
                 self.push_ready(conn_id, id, response);
             }
+            WireRequest::Subscribe { after, max } => {
+                // Served straight off the leader's journal file: the
+                // frames ship verbatim (disk format == wire format), so
+                // the loop only pays one bounded read, not an engine
+                // round trip.
+                let response = match engine.journal() {
+                    None => WireResponse::Error(WireError::Rejected {
+                        kind: "no-journal".to_string(),
+                        message: "server has no journal attached (nothing to replicate)"
+                            .to_string(),
+                    }),
+                    Some(journal) => match journal.frames_since(after, max) {
+                        Ok(batch) => WireResponse::Stream {
+                            head_seq: journal.last_seq(),
+                            last_seq: batch.last_seq,
+                            count: batch.count,
+                            frames: batch.bytes,
+                        },
+                        Err(e) => WireResponse::Error(WireError::Persist(e.to_string())),
+                    },
+                };
+                self.push_ready(conn_id, id, response);
+            }
         }
     }
 
@@ -1521,6 +1544,7 @@ fn request_name(r: &WireRequest) -> &'static str {
         WireRequest::Trace { .. } => "trace",
         WireRequest::Metrics => "metrics",
         WireRequest::Explain { .. } => "explain",
+        WireRequest::Subscribe { .. } => "subscribe",
     }
 }
 

@@ -61,7 +61,7 @@ use dai_engine::{Engine, EngineConfig, ResolverChoice, Service};
 use dai_lang::cfg::lower_program;
 use dai_lang::{EdgeId, Loc, Symbol};
 use dai_persist::{read_snapshot_file, write_snapshot_file, PersistDomain, SessionImage};
-use dai_rpc::{Addr, Client, ClientOptions, Server, ServerConfig};
+use dai_rpc::{Addr, Client, ClientOptions, Replica, Router, Server, ServerConfig};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
@@ -461,6 +461,9 @@ fn repl<D: PersistDomain>(
     // The connection of the most recent `connect`, kept open so `trace`
     // and `stats --json` address the remote engine.
     let mut remote: Option<Client<D>> = None;
+    // The journaled engine of the most recent `journal PATH`, kept so
+    // `journal status|compact` address it (and `listen` could serve it).
+    let mut journaled: Option<Arc<Engine<D>>> = None;
     loop {
         print!("dai> ");
         let _ = out.flush();
@@ -511,12 +514,18 @@ fn repl<D: PersistDomain>(
                         continue;
                     }
                 };
-                let engine: Arc<Engine<D>> = Arc::new(Engine::with_config(EngineConfig {
-                    workers: threads,
-                    resolver: serve_resolver,
-                    transfer: session.transfer,
-                    ..EngineConfig::default()
-                }));
+                // Serve the journaled engine when one is attached (so a
+                // `follow` from another repl has a journal to pull);
+                // otherwise a fresh engine.
+                let engine: Arc<Engine<D>> = match &journaled {
+                    Some(engine) => Arc::clone(engine),
+                    None => Arc::new(Engine::with_config(EngineConfig {
+                        workers: threads,
+                        resolver: serve_resolver,
+                        transfer: session.transfer,
+                        ..EngineConfig::default()
+                    })),
+                };
                 let authed = token.is_some();
                 let config = ServerConfig { auth_token: token };
                 match Addr::parse(&addr)
@@ -860,6 +869,138 @@ fn repl<D: PersistDomain>(
                     Err(e) => eprintln!("explain failed: {e}"),
                 }
             }
+            "journal" => match rest.trim() {
+                "" => eprintln!("usage: journal PATH | journal status | journal compact"),
+                "status" => match &journaled {
+                    Some(engine) => {
+                        let r = engine.stats().replication;
+                        println!(
+                            "journal: attached, head seq {}, {} frame(s); \
+                             applied seq {} ({} frame(s))",
+                            r.journal_last_seq, r.journal_frames, r.applied_seq, r.applied_frames,
+                        );
+                    }
+                    None => eprintln!("no journal attached (run `journal PATH` first)"),
+                },
+                "compact" => match &journaled {
+                    Some(engine) => match engine.compact_journal(true) {
+                        Ok(true) => {
+                            let r = engine.stats().replication;
+                            println!(
+                                "compacted: journal now {} frame(s), head seq {}",
+                                r.journal_frames, r.journal_last_seq
+                            );
+                        }
+                        Ok(false) => println!("nothing to compact"),
+                        Err(e) => eprintln!("compact failed: {e}"),
+                    },
+                    None => eprintln!("no journal attached (run `journal PATH` first)"),
+                },
+                path => {
+                    // A journaled engine: recover whatever the file holds,
+                    // then run the serve sweep through it — the open and
+                    // replayed edits land in the journal as they happen.
+                    let engine: Arc<Engine<D>> = Arc::new(Engine::with_config(EngineConfig {
+                        workers: threads,
+                        resolver: serve_resolver,
+                        transfer: session.transfer,
+                        ..EngineConfig::default()
+                    }));
+                    match engine.open_journal(path, dai_engine::JournalConfig::default()) {
+                        Ok(recovery) => {
+                            println!(
+                                "journal {path}: {} entr{} replayed, head seq {}{}",
+                                recovery.entries_replayed,
+                                if recovery.entries_replayed == 1 {
+                                    "y"
+                                } else {
+                                    "ies"
+                                },
+                                recovery.last_seq,
+                                if recovery.damaged_len > 0 {
+                                    format!(
+                                        " ({} torn tail byte(s) truncated)",
+                                        recovery.damaged_len
+                                    )
+                                } else {
+                                    String::new()
+                                },
+                            );
+                            match sweep_via_service(
+                                engine.as_ref(),
+                                &session.source,
+                                &session.history,
+                                &sweep_targets(analyzer.program()),
+                            ) {
+                                Ok(stats) => last_engine_stats = Some(stats),
+                                Err(e) => eprintln!("journaled sweep failed: {e}"),
+                            }
+                            journaled = Some(engine);
+                        }
+                        Err(e) => eprintln!("journal {path} failed: {e}"),
+                    }
+                }
+            },
+            "follow" => {
+                let addr = rest.trim();
+                if addr.is_empty() {
+                    eprintln!("usage: follow ADDR (a `listen` server with a journal)");
+                    continue;
+                }
+                match Replica::<D>::connect(addr, threads) {
+                    Ok(replica) => match replica.catch_up() {
+                        Ok(applied) => {
+                            let stats = replica.engine().stats();
+                            println!(
+                                "caught up with {addr}: {applied} entr{} applied, \
+                                 seq {}, {} replica session(s) serving read-only",
+                                if applied == 1 { "y" } else { "ies" },
+                                replica.applied_seq(),
+                                stats.sessions,
+                            );
+                            last_engine_stats = Some(stats);
+                        }
+                        Err(e) => eprintln!("catch-up failed: {e}"),
+                    },
+                    Err(e) => eprintln!("follow failed: {e}"),
+                }
+            }
+            "route" => {
+                let n: usize = match rest.trim().parse() {
+                    Ok(n) if (1..=16).contains(&n) => n,
+                    _ => {
+                        eprintln!("usage: route N (1..=16 in-process shards)");
+                        continue;
+                    }
+                };
+                let backends: Vec<Arc<Engine<D>>> = (0..n)
+                    .map(|_| {
+                        Arc::new(Engine::with_config(EngineConfig {
+                            workers: threads,
+                            resolver: serve_resolver,
+                            transfer: session.transfer,
+                            ..EngineConfig::default()
+                        }))
+                    })
+                    .collect();
+                let router = Router::new(backends);
+                match sweep_via_service(
+                    &router,
+                    &session.source,
+                    &session.history,
+                    &sweep_targets(analyzer.program()),
+                ) {
+                    Ok(stats) => {
+                        let routed = router.routed_queries();
+                        println!(
+                            "routed per shard: {routed:?} (total {})",
+                            routed.iter().sum::<u64>()
+                        );
+                        last_engine_stats = Some(stats);
+                    }
+                    Err(e) => eprintln!("routed sweep failed: {e}"),
+                }
+            }
             "trace" => {
                 if let Err(e) =
                     trace_command(rest.trim(), remote.as_ref(), last_engine_stats.as_ref())
@@ -992,6 +1133,17 @@ fn print_help() {
                             through the dai-rpc socket client (the server's
                             domain must match --domain; --token presents an
                             auth token)
+  journal PATH              attach an append-only journal (recovering its
+                            clean prefix first), then run the serve sweep
+                            through the journaled engine
+  journal status            head/applied sequence numbers of that journal
+  journal compact           fold the journal into one snapshot per session
+  follow ADDR               replicate a journaled `listen` server: pull its
+                            journal, apply it into a read-only follower,
+                            report the catch-up
+  route N                   run the serve sweep through a session-sharding
+                            router over N in-process engines, reporting the
+                            per-shard routed-query fan-out
   stats                     query/memo work counters
   stats --json              last serve/connect engine stats, one JSON line
   explain [--json] [FN [lNN]]

@@ -1,0 +1,263 @@
+//! Crash-injection sweep over the append-only journal (`dai-journal`):
+//! however the journal file is damaged, `Engine::open_journal` must
+//! recover — without panicking — to a state that IS some prefix of the
+//! recorded history, and that state must answer exactly like the
+//! sequential batch oracle (`dai_core::batch`, Theorem 6.1) on the
+//! prefix's program. A torn tail costs recency, never soundness: every
+//! journal prefix is a program state the engine actually passed
+//! through.
+//!
+//! * **every-prefix truncation** — for each byte length `0..=len`, the
+//!   file cut there recovers to the longest clean frame prefix and the
+//!   recovered session's full sweep matches the batch oracle;
+//! * **every-byte flip** — each single corrupted byte is caught by the
+//!   frame checksums (or the frame headers), truncating from the
+//!   damaged frame on, and the surviving prefix again matches the
+//!   oracle;
+//! * **compaction equivalence** — under proptest, a journal that was
+//!   compacted mid-history (snapshot frames + edit tail) recovers to
+//!   the same answers as the full uncompacted history.
+
+use dai_bench::workload::Workload;
+use dai_core::batch::batch_analyze;
+use dai_core::driver::ProgramEdit;
+use dai_core::query::IntraResolver;
+use dai_domains::{AbstractDomain, IntervalDomain};
+use dai_engine::{Engine, JournalConfig, Service, SessionId};
+use dai_lang::Loc;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A unique scratch path for journal files.
+fn scratch(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "dai-journal-recovery-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Records a history — one source-backed open plus `grow` Fig. 10
+/// workload edits — into a fresh journal at `path`, returning the edit
+/// script (the journal on disk is the artifact under test).
+fn record_history(path: &str, grow: usize, seed: u64) -> Vec<ProgramEdit> {
+    let _ = std::fs::remove_file(path);
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    engine
+        .open_journal(path, JournalConfig::default())
+        .expect("fresh journal opens");
+    let session = engine
+        .open_session_src("crash", &Workload::initial_source())
+        .unwrap();
+    let mut gen = Workload::new(seed);
+    let mut edits = Vec::new();
+    for _ in 0..grow {
+        let program = engine.program_of(session).unwrap();
+        let edit = gen.next_edit(&program);
+        Service::<IntervalDomain>::edit(&engine, session, &edit).unwrap();
+        edits.push(edit);
+    }
+    edits
+}
+
+/// Sorted sweep targets plus the batch-oracle answer at each.
+type Oracle = (Vec<(String, Loc)>, Vec<IntervalDomain>);
+
+/// The expected state after `k` replayed journal entries (entry 1 is
+/// the open, entries 2..=k the first `k - 1` edits): the sorted sweep
+/// targets of that prefix's program plus the batch-oracle answer at
+/// each. `k == 0` means no session at all.
+fn oracle_for(k: usize, edits: &[ProgramEdit]) -> Oracle {
+    assert!(k >= 1, "oracle_for needs at least the open entry");
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine
+        .open_session_src("oracle", &Workload::initial_source())
+        .unwrap();
+    for edit in &edits[..k - 1] {
+        Service::<IntervalDomain>::edit(&engine, session, edit).unwrap();
+    }
+    let program = engine.program_of(session).unwrap();
+    let mut targets = Vec::new();
+    let mut answers = Vec::new();
+    let mut per_cfg = Vec::new();
+    for cfg in program.cfgs() {
+        let oracle = batch_analyze(
+            cfg,
+            IntervalDomain::entry_default(cfg.params()),
+            &mut IntraResolver,
+        )
+        .unwrap_or_else(|e| panic!("prefix {k}: batch oracle: {e}"));
+        per_cfg.push((cfg.name().to_string(), cfg.locs(), oracle));
+    }
+    per_cfg.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, locs, oracle) in per_cfg {
+        for loc in locs {
+            targets.push((name.clone(), loc));
+            answers.push(oracle[&loc].clone());
+        }
+    }
+    (targets, answers)
+}
+
+/// Recovers a fresh engine from the journal bytes in `file`, asserts
+/// the replayed prefix answers like its batch oracle, and returns how
+/// many entries survived. `oracles` caches per-prefix references.
+fn assert_recovered_matches_oracle(
+    file: &str,
+    edits: &[ProgramEdit],
+    oracles: &mut HashMap<usize, Oracle>,
+    label: &str,
+) -> usize {
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let recovery = engine
+        .open_journal(file, JournalConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: recovery must not fail: {e}"));
+    let k = recovery.entries_replayed;
+    assert!(k <= 1 + edits.len(), "{label}: impossible prefix {k}");
+    if k == 0 {
+        // Nothing survived: the engine must be empty, not wrong.
+        assert!(
+            engine.program_of(SessionId(1)).is_err(),
+            "{label}: zero entries replayed but a session exists"
+        );
+        return 0;
+    }
+    let (targets, expected) = oracles
+        .entry(k)
+        .or_insert_with(|| oracle_for(k, edits))
+        .clone();
+    // Journal replay installs the recovered session first: id 1.
+    let got: Vec<IntervalDomain> = engine
+        .query_sweep(SessionId(1), &targets)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{label}: sweep failed: {e}")))
+        .collect();
+    assert_eq!(
+        got, expected,
+        "{label}: recovered prefix of {k} entries disagrees with the batch oracle"
+    );
+    k
+}
+
+#[test]
+fn every_truncation_prefix_recovers_to_an_oracle_consistent_state() {
+    let journal = scratch("prefix");
+    let edits = record_history(&journal, 5, 379422);
+    let bytes = std::fs::read(&journal).unwrap();
+    let total = 1 + edits.len();
+    let mut oracles = HashMap::new();
+    let cut_file = scratch("prefix-cut");
+    let mut deepest = 0;
+    for cut in 0..=bytes.len() {
+        std::fs::write(&cut_file, &bytes[..cut]).unwrap();
+        let k = assert_recovered_matches_oracle(
+            &cut_file,
+            &edits,
+            &mut oracles,
+            &format!("cut at {cut}"),
+        );
+        deepest = deepest.max(k);
+    }
+    assert_eq!(deepest, total, "the uncut file must replay everything");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&cut_file);
+}
+
+#[test]
+fn every_single_byte_flip_recovers_to_an_oracle_consistent_state() {
+    let journal = scratch("flip");
+    let edits = record_history(&journal, 4, 911);
+    let bytes = std::fs::read(&journal).unwrap();
+    let total = 1 + edits.len();
+    let mut oracles = HashMap::new();
+    let flip_file = scratch("flip-cut");
+    let mut shallowest = usize::MAX;
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0xFF;
+        let k = assert_recovered_matches_oracle(
+            flip_file_write(&flip_file, &flipped),
+            &edits,
+            &mut oracles,
+            &format!("flip at {i}"),
+        );
+        // A flip damages the frame it lands in, so the surviving prefix
+        // is always strictly shorter than the whole history.
+        assert!(
+            k < total,
+            "flip at {i}: a corrupted journal replayed all {total} entries"
+        );
+        shallowest = shallowest.min(k);
+    }
+    // Flips in the very first frame wipe the whole history.
+    assert_eq!(shallowest, 0, "no flip ever landed in the first frame?");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&flip_file);
+}
+
+fn flip_file_write<'a>(path: &'a str, bytes: &[u8]) -> &'a str {
+    std::fs::write(path, bytes).unwrap();
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Compacting mid-history (snapshot frames replacing the prefix,
+    /// later edits riding as the tail) changes the journal's bytes but
+    /// not the state it recovers: snapshot + tail ≡ full history.
+    #[test]
+    fn compacted_journal_recovers_identically_to_full_history(seed in 0u64..100_000) {
+        let grow = 3 + (seed as usize % 4);
+        let compact_at = 1 + (seed as usize % grow.max(1));
+
+        // Full history, no compaction: the reference journal.
+        let full = scratch("proptest-full");
+        let edits = record_history(&full, grow, seed);
+
+        // Same history, force-compacted after `compact_at` edits.
+        let compacted = scratch("proptest-compacted");
+        let _ = std::fs::remove_file(&compacted);
+        {
+            let engine: Engine<IntervalDomain> = Engine::new(1);
+            engine.open_journal(&compacted, JournalConfig::default()).unwrap();
+            let session = engine
+                .open_session_src("crash", &Workload::initial_source())
+                .unwrap();
+            for (i, edit) in edits.iter().enumerate() {
+                Service::<IntervalDomain>::edit(&engine, session, edit).unwrap();
+                if i + 1 == compact_at {
+                    prop_assert!(engine.compact_journal(true).unwrap());
+                }
+            }
+        }
+
+        // Both recover; the compacted file holds strictly fewer frames
+        // when any tail edits followed the compaction, yet both sweeps
+        // agree with the full history's oracle.
+        let mut oracles = HashMap::new();
+        let k_full = assert_recovered_matches_oracle(&full, &edits, &mut oracles, "full");
+        prop_assert_eq!(k_full, 1 + edits.len());
+
+        let (targets, expected) = oracles[&k_full].clone();
+        let engine: Engine<IntervalDomain> = Engine::new(1);
+        let recovery = engine.open_journal(&compacted, JournalConfig::default()).unwrap();
+        prop_assert_eq!(recovery.damaged_len, 0);
+        prop_assert!(recovery.entries_replayed <= k_full);
+        let got: Vec<IntervalDomain> = engine
+            .query_sweep(SessionId(1), &targets)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(
+            got, expected,
+            "snapshot + tail recovered differently from the full history"
+        );
+
+        let _ = std::fs::remove_file(&full);
+        let _ = std::fs::remove_file(&compacted);
+    }
+}

@@ -463,3 +463,71 @@ proptest! {
         run_random_roundtrip(seed, 6);
     }
 }
+
+// ---------------------------------------------------------------------
+// Per-session counter accounting.
+// ---------------------------------------------------------------------
+
+#[test]
+fn save_and_load_counters_are_attributed_per_session_not_engine_wide() {
+    // Two sessions with deliberately different persistence traffic: the
+    // engine-wide `saves`/`loads` totals must decompose into the
+    // per-session counters, and neither session may see the other's.
+    let engine: Engine<D> = Engine::new(1);
+    let source = "function main() { var x = 1; return x; }";
+    let busy = engine.open_session_src("busy", source).unwrap();
+    let quiet = engine.open_session_src("quiet", source).unwrap();
+
+    let busy_path = scratch("per-session-busy.daip");
+    let quiet_path = scratch("per-session-quiet.daip");
+    for _ in 0..3 {
+        save_to(&engine, busy, &busy_path);
+    }
+    save_to(&engine, quiet, &quiet_path);
+
+    let busy_counters = engine.session_counters(busy).unwrap();
+    let quiet_counters = engine.session_counters(quiet).unwrap();
+    assert_eq!(busy_counters.saves, 3, "busy session saves");
+    assert_eq!(quiet_counters.saves, 1, "quiet session saves");
+    assert_eq!(busy_counters.loads, 0, "never restored");
+    assert_eq!(quiet_counters.loads, 0, "never restored");
+
+    // A restore produces a NEW session whose loads counter starts at 1;
+    // the source session's counters are untouched.
+    let (restored, _) = match engine
+        .request(Request::Load {
+            path: busy_path.to_string_lossy().into_owned(),
+        })
+        .expect("load succeeds")
+    {
+        Response::Loaded { session, outcome } => (session, outcome),
+        other => panic!("unexpected {other:?}"),
+    };
+    let restored_counters = engine.session_counters(restored).unwrap();
+    assert_eq!(restored_counters.loads, 1, "restored session loads");
+    assert_eq!(restored_counters.saves, 0, "restored session never saved");
+    assert_eq!(engine.session_counters(busy).unwrap().saves, 3);
+
+    // The engine-wide totals are exactly the per-session sums.
+    let stats = engine.stats();
+    assert_eq!(
+        stats.saves,
+        busy_counters.saves + quiet_counters.saves,
+        "engine saves != sum of session saves"
+    );
+    assert_eq!(stats.loads, 1, "engine loads != sum of session loads");
+
+    // Query/edit attribution splits the same way: drive only `busy`.
+    let exit = engine
+        .program_of(busy)
+        .unwrap()
+        .by_name("main")
+        .unwrap()
+        .exit();
+    engine.query(busy, "main", exit).unwrap();
+    assert_eq!(engine.session_counters(busy).unwrap().queries, 1);
+    assert_eq!(engine.session_counters(quiet).unwrap().queries, 0);
+
+    let _ = std::fs::remove_file(&busy_path);
+    let _ = std::fs::remove_file(&quiet_path);
+}

@@ -393,7 +393,10 @@ fn stats_json_emits_the_locked_schema() {
          \"memo_matched_ns\":N,\"fix_ns\":N,\
          \"domains\":{\"interval\":N}},\
          \"memo\":{\"hits\":N,\"misses\":N,\"insertions\":N,\
-         \"evictions\":N}}",
+         \"evictions\":N},\
+         \"replication\":{\"journal_attached\":false,\
+         \"journal_last_seq\":N,\"journal_frames\":N,\
+         \"applied_seq\":N,\"applied_frames\":N}}",
         "stats --json schema drifted: {json}"
     );
     // Sanity on the values themselves: 2 workers served a real sweep,

@@ -1,0 +1,309 @@
+//! Contract of the session-sharding router (`dai_rpc::Router`): a
+//! router over N backends is just another `Service` — answers match a
+//! single unsharded engine — while its per-shard accounting closes
+//! (`routed == served` on every shard) and live migration moves a
+//! session between shards mid-workload without losing a single query.
+//!
+//! * **accounting** — query members routed to each shard equal that
+//!   backend's own `stats().queries`, over singles, batches, and
+//!   sweeps;
+//! * **equality** — every sharded answer equals the unsharded oracle;
+//! * **migration** — a live `migrate` mid-workload: queries racing the
+//!   move all succeed (the binding table serializes them against the
+//!   move), answers stay correct, and the session afterwards lives —
+//!   and is served — on the destination shard;
+//! * **remote shards** — the same accounting holds when the backends
+//!   are socket `Client`s instead of in-process engines.
+
+use dai_bench::workload::Workload;
+use dai_core::driver::ProgramEdit;
+use dai_domains::IntervalDomain;
+use dai_engine::{Engine, Service, SessionId};
+use dai_lang::Loc;
+use dai_rpc::{Addr, Client, Router, Server};
+use std::sync::Arc;
+
+/// A unique scratch path for sockets and snapshots.
+fn scratch(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "dai-router-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Replays `grow` Workload edits, returning (source, edits, targets).
+fn fig10_script(grow: usize, seed: u64) -> (String, Vec<ProgramEdit>, Vec<(String, Loc)>) {
+    let source = Workload::initial_source();
+    let engine: Engine<IntervalDomain> = Engine::new(1);
+    let session = engine.open_session_src("gen", &source).unwrap();
+    let mut gen = Workload::new(seed);
+    let mut edits = Vec::new();
+    for _ in 0..grow {
+        let program = engine.program_of(session).unwrap();
+        let edit = gen.next_edit(&program);
+        Service::<IntervalDomain>::edit(&engine, session, &edit).unwrap();
+        edits.push(edit);
+    }
+    let program = engine.program_of(session).unwrap();
+    let mut targets = Vec::new();
+    for cfg in program.cfgs() {
+        for loc in cfg.locs() {
+            targets.push((cfg.name().to_string(), loc));
+        }
+    }
+    targets.sort();
+    (source, edits, targets)
+}
+
+fn engines(n: usize) -> Vec<Arc<Engine<IntervalDomain>>> {
+    (0..n).map(|_| Arc::new(Engine::new(1))).collect()
+}
+
+#[test]
+fn routed_query_members_equal_each_backends_served_count() {
+    let (source, edits, targets) = fig10_script(6, 379422);
+    let backends = engines(3);
+    let router = Router::new(backends.clone());
+
+    // Twelve sessions spread over the ring, each doing the full
+    // lifecycle: edits, one single query, one batch, one sweep.
+    let mut sessions = Vec::new();
+    for i in 0..12 {
+        let session = router.open(&format!("tenant-{i}"), &source).unwrap();
+        for edit in &edits {
+            router.edit(session, edit).unwrap();
+        }
+        sessions.push(session);
+    }
+    let (func, loc) = targets.last().unwrap().clone();
+    let batch_locs: Vec<Loc> = targets
+        .iter()
+        .filter(|(f, _)| *f == func)
+        .map(|&(_, l)| l)
+        .collect();
+    for &session in &sessions {
+        router.query(session, &func, loc).unwrap();
+        for r in router.query_batch(session, &func, &batch_locs) {
+            r.unwrap();
+        }
+        for r in router.query_sweep(session, &targets) {
+            r.unwrap();
+        }
+    }
+
+    // The fan-out accounting closes per shard: what the router counted
+    // out equals what each backend counted served.
+    let routed = router.routed_queries();
+    assert_eq!(routed.len(), 3);
+    let per_session = 1 + batch_locs.len() as u64 + targets.len() as u64;
+    assert_eq!(
+        routed.iter().sum::<u64>(),
+        per_session * sessions.len() as u64,
+        "router-side total"
+    );
+    for (shard, backend) in backends.iter().enumerate() {
+        assert_eq!(
+            routed[shard],
+            backend.stats().queries,
+            "shard {shard}: routed != served"
+        );
+    }
+    // The spread was real: more than one shard saw traffic.
+    assert!(
+        routed.iter().filter(|&&n| n > 0).count() >= 2,
+        "12 sessions all hashed onto one shard: {routed:?}"
+    );
+}
+
+#[test]
+fn sharded_answers_equal_the_unsharded_oracle() {
+    let (source, edits, targets) = fig10_script(8, 911);
+    // Unsharded oracle.
+    let oracle: Engine<IntervalDomain> = Engine::new(1);
+    let oracle_session = oracle.open("oracle", &source).unwrap();
+    for edit in &edits {
+        oracle.edit(oracle_session, edit).unwrap();
+    }
+    let expected: Vec<_> = oracle
+        .query_sweep(oracle_session, &targets)
+        .into_iter()
+        .map(|r| r.map_err(|e| e.to_string()))
+        .collect();
+
+    let router = Router::new(engines(3));
+    for i in 0..6 {
+        let session = router.open(&format!("eq-{i}"), &source).unwrap();
+        for edit in &edits {
+            router.edit(session, edit).unwrap();
+        }
+        let got: Vec<_> = router
+            .query_sweep(session, &targets)
+            .into_iter()
+            .map(|r| r.map_err(|e| e.to_string()))
+            .collect();
+        assert_eq!(got, expected, "session eq-{i} differs from the oracle");
+    }
+}
+
+#[test]
+fn live_migration_loses_no_queries_and_lands_on_the_destination() {
+    let (source, edits, targets) = fig10_script(6, 2024);
+    let backends = engines(2);
+    let router = Arc::new(Router::new(backends.clone()));
+    let session = router.open("mover", &source).unwrap();
+    for edit in &edits {
+        router.edit(session, edit).unwrap();
+    }
+    let from = router.shard_of(session).unwrap();
+    let to = 1 - from;
+    let expected: Vec<_> = router
+        .query_sweep(session, &targets)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    // Hammer the session with queries from two threads while the main
+    // thread migrates it: every single query must succeed — racing
+    // calls serialize against the move on the binding table, they are
+    // never routed to a shard that no longer holds the session.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammers: Vec<_> = (0..2)
+        .map(|h| {
+            let router = Arc::clone(&router);
+            let targets = targets.clone();
+            let expected = expected.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("hammer-{h}"))
+                .spawn(move || {
+                    let mut served = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        for (i, r) in router
+                            .query_sweep(session, &targets)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            let got =
+                                r.unwrap_or_else(|e| panic!("query lost during migration: {e}"));
+                            assert_eq!(got, expected[i], "wrong answer during migration");
+                            served += 1;
+                        }
+                    }
+                    served
+                })
+                .expect("spawn hammer")
+        })
+        .collect();
+
+    // A few round trips while the hammers run.
+    let snap = scratch("mover.daip");
+    for round in 0..4 {
+        let dest = if round % 2 == 0 { to } else { from };
+        router.migrate(session, dest, &snap).unwrap();
+        assert_eq!(router.shard_of(session), Some(dest), "round {round}");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut total = 0;
+    for hammer in hammers {
+        total += hammer.join().expect("hammer must not panic");
+    }
+    assert!(total > 0, "the hammers never queried at all");
+
+    // The session ended up on `from` (even round count) and is served
+    // there: the destination backend, addressed directly, knows it.
+    let final_shard = router.shard_of(session).unwrap();
+    let post: Vec<_> = router
+        .query_sweep(session, &targets)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(post, expected, "answers changed across migration");
+    // The other backend no longer serves any session (close landed).
+    let idle = backends[1 - final_shard].stats().sessions;
+    assert_eq!(idle, 0, "source shard still holds the migrated session");
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn router_over_socket_clients_keeps_the_accounting_closed() {
+    let (source, edits, targets) = fig10_script(5, 77);
+    // Two real servers, each its own engine; the router shards over
+    // socket clients, so `release` exercises the handoff path.
+    let servers: Vec<_> = (0..2)
+        .map(|i| {
+            let engine: Arc<Engine<IntervalDomain>> = Arc::new(Engine::new(1));
+            Server::bind(&Addr::Unix(scratch(&format!("shard-{i}"))), engine).unwrap()
+        })
+        .collect();
+    let clients: Vec<Arc<Client<IntervalDomain>>> = servers
+        .iter()
+        .map(|s| Arc::new(Client::connect(&s.addr().to_string()).unwrap()))
+        .collect();
+    let router = Router::new(clients);
+
+    let mut sessions = Vec::new();
+    for i in 0..6 {
+        let session = router.open(&format!("remote-{i}"), &source).unwrap();
+        for edit in &edits {
+            router.edit(session, edit).unwrap();
+        }
+        for r in router.query_sweep(session, &targets) {
+            r.unwrap();
+        }
+        sessions.push(session);
+    }
+
+    let routed = router.routed_queries();
+    for (shard, server) in servers.iter().enumerate() {
+        assert_eq!(
+            routed[shard],
+            server.engine().stats().queries,
+            "shard {shard}: routed != served over the socket"
+        );
+    }
+
+    // Migrate one session across the socket boundary: save on the
+    // owner, handoff (release), close, load on the other server.
+    let session = sessions[0];
+    let from = router.shard_of(session).unwrap();
+    let to = 1 - from;
+    let before: Vec<_> = router
+        .query_sweep(session, &targets)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let snap = scratch("remote-mover.daip");
+    router.migrate(session, to, &snap).unwrap();
+    assert_eq!(router.shard_of(session), Some(to));
+    let after: Vec<_> = router
+        .query_sweep(session, &targets)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(after, before, "answers changed across a remote migration");
+
+    let _ = std::fs::remove_file(&snap);
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn routing_to_an_unknown_session_or_shard_is_structured() {
+    let router = Router::new(engines(2));
+    match router.query(SessionId(99), "main", Loc(0)) {
+        Err(dai_engine::EngineError::NoSuchSession(id)) => assert_eq!(id, SessionId(99)),
+        other => panic!("expected NoSuchSession, got {other:?}"),
+    }
+    let session = router
+        .open("bounds", "function main() { var x = 1; return x; }")
+        .unwrap();
+    match router.migrate(session, 7, "/tmp/nope") {
+        Err(dai_engine::EngineError::Remote { code, .. }) => assert_eq!(code, "rejected"),
+        other => panic!("expected a shard-bounds rejection, got {other:?}"),
+    }
+}
